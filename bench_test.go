@@ -1,0 +1,456 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (§5), plus ablations of the design choices called out in
+// DESIGN.md. Each experiment has one Benchmark* entry:
+//
+//	E1  BenchmarkE1DeadlockImmunity    — §5 ¶2: avoided reoccurrence of the
+//	                                     NotificationManagerService /
+//	                                     StatusBarService deadlock
+//	E2  BenchmarkTable1Throughput      — Table 1: per-app syncs/sec
+//	E3  BenchmarkMicroSyncThroughput   — §5 ¶4: 2–512 threads, 64–256 sigs
+//	E4  BenchmarkPowerAttribution      — §5 ¶5: battery share
+//	E5  BenchmarkTable1Memory          — §5 ¶6 / Table 1 memory columns
+//	E6  BenchmarkSyncSiteCensus        — §3.2 static census
+//	A1  BenchmarkAblationOuterDepth    — depth-1 vs deeper outer stacks
+//	A2  BenchmarkAblationQueueReuse    — two-queue entry recycling
+//	A3  BenchmarkAblationFattening     — thin fast path vs always-fat
+//	A4  BenchmarkAblationGlobalLock    — cost of the core's three calls
+//	A5  BenchmarkAblationStaticIDs     — stack capture vs compiler ids
+//	    BenchmarkAvoidanceMatching     — signature-count scaling
+//
+// Scenario benchmarks (E1/E2/E4/E5) time one full scenario per iteration
+// and attach domain metrics via b.ReportMetric; operation benchmarks
+// (E3 per-op, ablations) are conventional per-op loops.
+package dimmunix_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	dimmunix "github.com/dimmunix/dimmunix"
+	"github.com/dimmunix/dimmunix/internal/android"
+	"github.com/dimmunix/dimmunix/internal/apps"
+	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/metrics"
+	"github.com/dimmunix/dimmunix/internal/vm"
+	"github.com/dimmunix/dimmunix/internal/workload"
+)
+
+// --- E1: deadlock immunity end to end -----------------------------------
+
+func BenchmarkE1DeadlockImmunity(b *testing.B) {
+	cfg := dimmunix.DefaultPhoneConfig()
+	cfg.History = dimmunix.NewMemHistory()
+	cfg.WatchdogInterval = 20 * time.Millisecond
+	cfg.WatchdogThreshold = 700 * time.Millisecond
+	cfg.GateTimeout = 50 * time.Millisecond
+	ph := dimmunix.NewPhone(cfg)
+	if err := ph.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	defer ph.Shutdown()
+	// Immunize once (run 1: freeze + detection + reboot), outside the
+	// timed region.
+	if out, err := ph.RunNotificationScenario(time.Minute); err != nil || out != dimmunix.OutcomeFroze {
+		b.Fatalf("immunization run: out=%v err=%v", out, err)
+	}
+	if err := ph.Reboot(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := ph.RunNotificationScenario(time.Minute)
+		if err != nil || out != dimmunix.OutcomeCompleted {
+			b.Fatalf("iteration %d: out=%v err=%v", i, out, err)
+		}
+	}
+	b.StopTimer()
+	st := ph.System().Proc.Dimmunix().Stats()
+	b.ReportMetric(float64(st.Yields)/float64(b.N), "yields/op")
+	if st.DeadlocksDetected != 0 {
+		b.Fatalf("deadlock reoccurred under immunity: %+v", st)
+	}
+}
+
+// --- E2: Table 1 throughput ----------------------------------------------
+
+// benchReplayDuration keeps scenario iterations affordable under the
+// default -benchtime.
+const benchReplayDuration = 250 * time.Millisecond
+
+func BenchmarkTable1Throughput(b *testing.B) {
+	for _, profile := range apps.Table1() {
+		profile := profile
+		for _, mode := range []struct {
+			name string
+			dim  bool
+		}{{"vanilla", false}, {"dimmunix", true}} {
+			b.Run(fmt.Sprintf("%s/%s", profile.Name, mode.name), func(b *testing.B) {
+				var last apps.Result
+				for i := 0; i < b.N; i++ {
+					res, err := apps.RunProfile(profile, mode.dim, benchReplayDuration, 100*time.Millisecond, apps.DefaultReplayConfig())
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.PeakSyncsPerSec, "syncs/sec")
+				b.ReportMetric(profile.SyncsPerSec, "paper-syncs/sec")
+			})
+		}
+	}
+}
+
+// --- E3: the §5 microbenchmark -------------------------------------------
+
+func BenchmarkMicroSyncThroughput(b *testing.B) {
+	for _, threads := range []int{2, 8, 32, 128, 512} {
+		for _, mode := range []struct {
+			name string
+			dim  bool
+		}{{"vanilla", false}, {"dimmunix", true}} {
+			b.Run(fmt.Sprintf("threads=%d/%s", threads, mode.name), func(b *testing.B) {
+				cfg := workload.DefaultMicroConfig(threads)
+				cfg.Duration = 200 * time.Millisecond
+				cfg.Dimmunix = mode.dim
+				var last workload.Result
+				for i := 0; i < b.N; i++ {
+					res, err := workload.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.SyncsPerSec, "syncs/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkMicroOperatingPoint measures the per-op cost at the paper's
+// calibrated operating point (~1,747 vanilla syncs/sec on the reference
+// device) with the paper's synthetic history sizes.
+func BenchmarkMicroOperatingPoint(b *testing.B) {
+	work := workload.CalibrateWork(workload.PaperTargetSyncsPerSec, 2)
+	for _, sigs := range []int{64, 128, 256} {
+		for _, mode := range []struct {
+			name string
+			dim  bool
+		}{{"vanilla", false}, {"dimmunix", true}} {
+			b.Run(fmt.Sprintf("sigs=%d/%s", sigs, mode.name), func(b *testing.B) {
+				cfg := workload.DefaultMicroConfig(2)
+				cfg.Duration = 300 * time.Millisecond
+				cfg.Signatures = sigs
+				cfg.Dimmunix = mode.dim
+				cfg.InsideWork = work / 4
+				cfg.OutsideWork = work - work/4
+				var last workload.Result
+				for i := 0; i < b.N; i++ {
+					res, err := workload.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.SyncsPerSec, "syncs/sec")
+			})
+		}
+	}
+}
+
+// --- E4: power attribution -----------------------------------------------
+
+func BenchmarkPowerAttribution(b *testing.B) {
+	profile := apps.Table1()[0] // Email: the most sync-intensive app
+	van, err := apps.RunProfile(profile, false, benchReplayDuration, 100*time.Millisecond, apps.DefaultReplayConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dim, err := apps.RunProfile(profile, true, benchReplayDuration, 100*time.Millisecond, apps.DefaultReplayConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var vrep, drep metrics.PowerReport
+	for i := 0; i < b.N; i++ {
+		vrep, drep = apps.PowerComparison(van.BusyTime, dim.BusyTime, benchReplayDuration, metrics.DefaultPowerModel())
+	}
+	b.ReportMetric(vrep.AppsAndOSPct, "vanilla-apps+os-%")
+	b.ReportMetric(drep.AppsAndOSPct, "dimmunix-apps+os-%")
+}
+
+// --- E5: memory overhead --------------------------------------------------
+
+func BenchmarkTable1Memory(b *testing.B) {
+	for _, profile := range apps.Table1()[:3] { // Email, Browser, Maps
+		profile := profile
+		b.Run(profile.Name, func(b *testing.B) {
+			var mem metrics.AppMemory
+			for i := 0; i < b.N; i++ {
+				van, err := apps.RunProfile(profile, false, benchReplayDuration, 100*time.Millisecond, apps.DefaultReplayConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				dim, err := apps.RunProfile(profile, true, benchReplayDuration, 100*time.Millisecond, apps.DefaultReplayConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				delta := dim.VMSyncBytes - van.VMSyncBytes
+				if delta < 0 {
+					delta = 0
+				}
+				mem = metrics.AppMemory{
+					Name:      profile.Name,
+					VanillaMB: profile.VanillaMB,
+					CoreBytes: dim.CoreBytes,
+					VMBytes:   delta,
+				}
+			}
+			b.ReportMetric(mem.OverheadPct(), "mem-overhead-%")
+			b.ReportMetric((profile.DimmunixMB-profile.VanillaMB)/profile.VanillaMB*100, "paper-overhead-%")
+		})
+	}
+}
+
+// --- E6: sync-site census --------------------------------------------------
+
+func BenchmarkSyncSiteCensus(b *testing.B) {
+	var counts vm.CensusCounts
+	for i := 0; i < b.N; i++ {
+		census, err := dimmunix.FrameworkCensus()
+		if err != nil {
+			b.Fatal(err)
+		}
+		counts = census.Counts()
+	}
+	b.ReportMetric(float64(counts.TotalSyncSites), "sync-sites")
+	b.ReportMetric(float64(counts.ExplicitLocks), "explicit-sites")
+}
+
+// --- per-op helpers ---------------------------------------------------------
+
+// benchProc builds a process (with or without a core) and a worker thread
+// executing fn in a bench-controlled loop.
+func benchSyncOp(b *testing.B, dim bool, depth int, frames int, op func(t *vm.Thread, o *vm.Object, site *vm.Site)) {
+	var c *core.Core
+	if dim {
+		opts := []core.Option{}
+		if depth > 0 {
+			opts = append(opts, core.WithOuterDepth(depth))
+		}
+		var err error
+		c, err = core.New(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	proc := vm.NewProcess("bench", c)
+	defer proc.Kill()
+	o := proc.NewObject("lock")
+	site := vm.NewSite("com.bench.C", "m", 1)
+	done := make(chan struct{})
+	_, err := proc.Start("w", func(t *vm.Thread) {
+		defer close(done)
+		for i := 0; i < frames; i++ {
+			t.PushFrame(core.Frame{Class: fmt.Sprintf("com.bench.F%d", i), Method: "call", Line: i})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op(t, o, site)
+		}
+		b.StopTimer()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-done
+}
+
+// --- A1: outer call-stack depth --------------------------------------------
+
+func BenchmarkAblationOuterDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			benchSyncOp(b, true, depth, 6, func(t *vm.Thread, o *vm.Object, _ *vm.Site) {
+				o.Synchronized(t, func() {})
+			})
+		})
+	}
+}
+
+// --- A2: queue entry reuse ---------------------------------------------------
+
+func BenchmarkAblationQueueReuse(b *testing.B) {
+	for _, reuse := range []bool{true, false} {
+		b.Run(fmt.Sprintf("reuse=%v", reuse), func(b *testing.B) {
+			c, err := core.New(core.WithQueueReuse(reuse))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			t := c.NewThreadNode("w", nil)
+			l := c.NewLockNode("l")
+			pos, err := c.Intern(core.CallStack{{Class: "com.bench.C", Method: "m", Line: 1}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Request(t, l, pos); err != nil {
+					b.Fatal(err)
+				}
+				c.Acquired(t, l)
+				c.Release(t, l)
+			}
+		})
+	}
+}
+
+// --- A3: thin fast path vs always-fat ----------------------------------------
+
+func BenchmarkAblationFattening(b *testing.B) {
+	b.Run("vanilla-thin", func(b *testing.B) {
+		benchSyncOp(b, false, 0, 1, func(t *vm.Thread, o *vm.Object, _ *vm.Site) {
+			if err := o.Enter(t); err != nil {
+				b.Fatal(err)
+			}
+			if err := o.Exit(t); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("dimmunix-fat", func(b *testing.B) {
+		benchSyncOp(b, true, 0, 1, func(t *vm.Thread, o *vm.Object, _ *vm.Site) {
+			if err := o.Enter(t); err != nil {
+				b.Fatal(err)
+			}
+			if err := o.Exit(t); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+}
+
+// --- A4: core call cost under the global lock --------------------------------
+
+func BenchmarkAblationGlobalLock(b *testing.B) {
+	c, err := core.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	t := c.NewThreadNode("w", nil)
+	l := c.NewLockNode("l")
+	pos, err := c.Intern(core.CallStack{{Class: "com.bench.C", Method: "m", Line: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Request(t, l, pos); err != nil {
+			b.Fatal(err)
+		}
+		c.Acquired(t, l)
+		c.Release(t, l)
+	}
+}
+
+// --- A5: stack capture vs compiler-assigned static ids -----------------------
+
+func BenchmarkAblationStaticIDs(b *testing.B) {
+	b.Run("capture", func(b *testing.B) {
+		benchSyncOp(b, true, 1, 6, func(t *vm.Thread, o *vm.Object, _ *vm.Site) {
+			o.Synchronized(t, func() {})
+		})
+	})
+	b.Run("static-id", func(b *testing.B) {
+		benchSyncOp(b, true, 1, 6, func(t *vm.Thread, o *vm.Object, site *vm.Site) {
+			o.SynchronizedAt(t, site, func() {})
+		})
+	})
+}
+
+// --- platform message-passing cost under interception -------------------------
+
+// BenchmarkLooperRoundTrip measures one Handler.Post round trip through
+// the monitor-backed MessageQueue (enqueue → wait/notify → dispatch),
+// vanilla vs Dimmunix — the framework-overhead component of platform-wide
+// immunity (every queue operation is an intercepted synchronized block).
+func BenchmarkLooperRoundTrip(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		dim  bool
+	}{{"vanilla", false}, {"dimmunix", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			z := vm.NewZygote(vm.WithDimmunix(mode.dim))
+			proc, err := z.Fork("bench-looper")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer proc.Kill()
+			looper, err := android.StartLooper(proc, "bench-looper-thread")
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := android.NewHandler(looper, "h", nil)
+			done := make(chan struct{})
+			poster, err := proc.Start("poster", func(t *vm.Thread) {
+				defer close(done)
+				ack := make(chan struct{})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h.Post(t, func(*vm.Thread) { ack <- struct{}{} })
+					<-ack
+				}
+				b.StopTimer()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-poster.Done()
+			<-done
+		})
+	}
+}
+
+// --- avoidance matching cost vs history size ---------------------------------
+
+func BenchmarkAvoidanceMatching(b *testing.B) {
+	for _, sigs := range []int{0, 64, 128, 256} {
+		b.Run(fmt.Sprintf("sigs=%d", sigs), func(b *testing.B) {
+			c, err := core.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			hot := core.CallStack{{Class: "com.bench.Hot", Method: "m", Line: 1}}
+			for i := 0; i < sigs; i++ {
+				cold := core.CallStack{{Class: "com.bench.Cold", Method: "m", Line: 100 + i}}
+				sig := &core.Signature{Kind: core.DeadlockSig, Pairs: []core.SigPair{
+					{Outer: hot, Inner: hot},
+					{Outer: cold, Inner: cold},
+				}}
+				if _, _, err := c.AddSignature(sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+			t := c.NewThreadNode("w", nil)
+			l := c.NewLockNode("l")
+			pos, err := c.Intern(hot)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Request(t, l, pos); err != nil {
+					b.Fatal(err)
+				}
+				c.Acquired(t, l)
+				c.Release(t, l)
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+// Command histdump inspects a persistent Dimmunix deadlock-history file:
+// it validates the format and prints each signature's kind, outer
+// positions (what avoidance matches on) and inner call stacks (the
+// diagnostic context recorded at the moment of the deadlock).
+//
+// Usage:
+//
+//	histdump [-lenient] FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "histdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("histdump", flag.ContinueOnError)
+	lenient := fs.Bool("lenient", false, "skip malformed blocks instead of failing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: histdump [-lenient] FILE")
+	}
+	path := fs.Arg(0)
+
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sigs, skipped, err := core.DecodeHistory(f, *lenient)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: %d signature(s)", path, len(sigs))
+	if skipped > 0 {
+		fmt.Printf(", %d malformed block(s) skipped", skipped)
+	}
+	fmt.Println()
+	for i, sig := range sigs {
+		fmt.Printf("\nsignature %d: %s, %d thread(s)\n", i, sig.Kind, len(sig.Pairs))
+		for j, pair := range sig.Pairs {
+			fmt.Printf("  thread %d:\n", j)
+			fmt.Printf("    outer (lock acquired at): %s\n", pair.Outer.Key())
+			fmt.Printf("    inner (blocked at):       %s\n", pair.Inner.Key())
+		}
+	}
+	return nil
+}

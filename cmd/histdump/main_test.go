@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+func writeHistory(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "h.hist")
+	fh := core.NewFileHistory(path)
+	sig := &core.Signature{
+		Kind: core.DeadlockSig,
+		Pairs: []core.SigPair{
+			{Outer: core.CallStack{{Class: "a.B", Method: "m", Line: 1}}, Inner: core.CallStack{{Class: "a.B", Method: "m", Line: 1}}},
+			{Outer: core.CallStack{{Class: "c.D", Method: "n", Line: 2}}, Inner: core.CallStack{{Class: "c.D", Method: "n", Line: 2}}},
+		},
+	}
+	if err := fh.Append(sig); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestHistdumpRun(t *testing.T) {
+	path := writeHistory(t)
+	if err := run([]string{path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestHistdumpMissingArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("run with no file must fail")
+	}
+	if err := run([]string{"a", "b"}); err == nil {
+		t.Error("run with two files must fail")
+	}
+}
+
+func TestHistdumpMissingFile(t *testing.T) {
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.hist")}); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestHistdumpCorruptStrictVsLenient(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.hist")
+	content := "#dimmunix-history v1\nsig deadlock\npair outer=a.B.m:1 inner=a.B.m:1\npair outer=c.D.n:2 inner=c.D.n:2\nend\nsig deadlock\ntorn"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}); err == nil {
+		t.Error("strict dump of torn file must fail")
+	}
+	if err := run([]string{"-lenient", path}); err != nil {
+		t.Errorf("lenient dump: %v", err)
+	}
+}

@@ -1,0 +1,59 @@
+// Command histmerge merges Dimmunix deadlock histories: signatures
+// collected elsewhere (a vendor's test fleet, another device) are folded
+// into a destination history, deduplicated by deadlock identity. The
+// paper frames Dimmunix antibodies as shareable — "used by customers to
+// defend against deadlocks while waiting for a vendor patch, and by
+// software vendors as a safety net" — and merging is how they travel.
+//
+// Usage:
+//
+//	histmerge DEST SOURCE [SOURCE...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "histmerge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("histmerge", flag.ContinueOnError)
+	lenient := fs.Bool("lenient", false, "skip malformed source blocks instead of failing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("usage: histmerge [-lenient] DEST SOURCE [SOURCE...]")
+	}
+
+	var opts []core.FileHistoryOption
+	if *lenient {
+		opts = append(opts, core.WithLenientLoad())
+	}
+	dst := core.NewFileHistory(fs.Arg(0), opts...)
+	sources := make([]core.HistoryStore, 0, fs.NArg()-1)
+	for _, path := range fs.Args()[1:] {
+		sources = append(sources, core.NewFileHistory(path, opts...))
+	}
+
+	added, err := core.MergeStores(dst, sources...)
+	if err != nil {
+		return err
+	}
+	final, err := dst.Load()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged %d source(s) into %s: %d new signature(s), %d total\n",
+		len(sources), fs.Arg(0), added, len(final))
+	return nil
+}

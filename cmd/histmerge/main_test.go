@@ -1,0 +1,53 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+func writeSig(t *testing.T, path string, line int) {
+	t.Helper()
+	fh := core.NewFileHistory(path)
+	sig := &core.Signature{
+		Kind: core.DeadlockSig,
+		Pairs: []core.SigPair{
+			{Outer: core.CallStack{{Class: "a.B", Method: "m", Line: line}}, Inner: core.CallStack{{Class: "a.B", Method: "m", Line: line}}},
+			{Outer: core.CallStack{{Class: "c.D", Method: "n", Line: line + 1}}, Inner: core.CallStack{{Class: "c.D", Method: "n", Line: line + 1}}},
+		},
+	}
+	if err := fh.Append(sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistmergeRun(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "device.hist")
+	src1 := filepath.Join(dir, "v1.hist")
+	src2 := filepath.Join(dir, "v2.hist")
+	writeSig(t, src1, 1)
+	writeSig(t, src2, 1) // duplicate of src1
+	writeSig(t, src2, 10)
+
+	if err := run([]string{dst, src1, src2}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sigs, err := core.NewFileHistory(dst).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 2 {
+		t.Errorf("merged history has %d signatures, want 2", len(sigs))
+	}
+}
+
+func TestHistmergeUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args must fail")
+	}
+	if err := run([]string{"only-dest"}); err == nil {
+		t.Error("missing sources must fail")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"2,8,32", []int{2, 8, 32}, true},
+		{" 4 , 16 ", []int{4, 16}, true},
+		{"1", []int{1}, true},
+		{"", nil, false},
+		{"a,b", nil, false},
+		{"0", nil, false},
+		{"-3", nil, false},
+	}
+	for _, tc := range tests {
+		got, err := parseInts(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("parseInts(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseInts(%q)[%d] = %d, want %d", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestMicrobenchRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{"-threads", "2", "-sigs", "64", "-duration", "80ms", "-work", "300"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestMicrobenchBadFlags(t *testing.T) {
+	if err := run([]string{"-threads", "zero"}); err == nil {
+		t.Error("bad -threads must fail")
+	}
+	if err := run([]string{"-sigs", ""}); err == nil {
+		t.Error("empty -sigs must fail")
+	}
+}

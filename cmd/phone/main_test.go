@@ -1,0 +1,23 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestPhoneRunBadScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "bogus"}); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+}
+
+func TestPhoneRunOneCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	hist := filepath.Join(t.TempDir(), "phone.hist")
+	// One freeze+reboot cycle plus one immunized run, persisted history.
+	if err := run([]string{"-runs", "2", "-history", hist}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

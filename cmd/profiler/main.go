@@ -1,0 +1,82 @@
+// Command profiler regenerates Table 1 and the platform-level memory and
+// power figures (experiments E2, E4, E5): it replays the synchronization
+// behaviour of the 8 profiled applications, once vanilla and once under
+// Dimmunix, and prints per-app threads, peak syncs/sec, memory with and
+// without Dimmunix, the overall platform memory utilization, and the
+// battery attribution.
+//
+// Usage:
+//
+//	profiler [-duration D] [-peak W] [-apps csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/apps"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "profiler:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("profiler", flag.ContinueOnError)
+	duration := fs.Duration("duration", 2*time.Second, "replay duration per app per configuration")
+	peak := fs.Duration("peak", 500*time.Millisecond, "peak-throughput window (scaled stand-in for the paper's 30s)")
+	appsCSV := fs.String("apps", "", "comma-separated app names (default: all 8)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profiles := apps.Table1()
+	if *appsCSV != "" {
+		var selected []apps.Profile
+		for _, name := range strings.Split(*appsCSV, ",") {
+			p, err := apps.ProfileByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, p)
+		}
+		profiles = selected
+	}
+
+	fmt.Printf("profiling %d application(s), %v per configuration (%v peak windows)...\n\n",
+		len(profiles), *duration, *peak)
+	report, err := apps.RunTable1(profiles, *duration, *peak, apps.DefaultReplayConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Format())
+
+	fmt.Println("\npaper reference (Table 1):")
+	for _, row := range report.Rows {
+		fmt.Printf("  %-12s paper: %s syncs/sec, %.1f MB dimmunix / %.1f MB vanilla\n",
+			row.App, formatInt(rowPaperRate(row)), row.PaperDimmunixMB, row.PaperVanillaMB)
+	}
+	return nil
+}
+
+// rowPaperRate finds the paper's measured rate for the row's app.
+func rowPaperRate(row apps.Table1Row) int {
+	if p, err := apps.ProfileByName(row.App); err == nil {
+		return int(p.SyncsPerSec)
+	}
+	return 0
+}
+
+// formatInt renders with a thousands separator.
+func formatInt(n int) string {
+	if n < 1000 {
+		return fmt.Sprintf("%d", n)
+	}
+	return fmt.Sprintf("%d,%03d", n/1000, n%1000)
+}

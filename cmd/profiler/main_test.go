@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestProfilerRunSingleApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{"-apps", "Camera", "-duration", "200ms", "-peak", "80ms"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestProfilerUnknownApp(t *testing.T) {
+	if err := run([]string{"-apps", "Solitaire"}); err == nil {
+		t.Error("unknown app must fail")
+	}
+}
+
+func TestFormatInt(t *testing.T) {
+	tests := []struct {
+		in   int
+		want string
+	}{
+		{0, "0"}, {999, "999"}, {1000, "1,000"}, {1952, "1,952"}, {12345, "12,345"},
+	}
+	for _, tc := range tests {
+		if got := formatInt(tc.in); got != tc.want {
+			t.Errorf("formatInt(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command syncstats prints the §3.2 synchronization-site census
+// (experiment E6): Android 2.2 essential applications contain 1,050
+// synchronized blocks/methods and only 15 explicit lock/unlock call
+// sites — the measurement behind Android Dimmunix handling only
+// synchronized blocks/methods.
+//
+// Usage:
+//
+//	syncstats [-by-class]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dimmunix "github.com/dimmunix/dimmunix"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "syncstats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("syncstats", flag.ContinueOnError)
+	byClass := fs.Bool("by-class", false, "print the per-class breakdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	census, err := dimmunix.FrameworkCensus()
+	if err != nil {
+		return err
+	}
+	counts := census.Counts()
+	fmt.Println("synchronization sites in the simulated Android 2.2 platform:")
+	fmt.Printf("  synchronized blocks:   %5d\n", counts.SyncBlocks)
+	fmt.Printf("  synchronized methods:  %5d\n", counts.SyncMethods)
+	fmt.Printf("  total synchronized:    %5d   (paper: %d)\n", counts.TotalSyncSites, dimmunix.TargetSyncSites)
+	fmt.Printf("  explicit lock/unlock:  %5d   (paper: %d)\n", counts.ExplicitLocks, dimmunix.TargetExplicitSites)
+	fmt.Printf("  classes:               %5d\n", counts.ClassesDeclared)
+	fmt.Printf("\nsynchronized:explicit ratio %d:1 — handling only synchronized\n", counts.TotalSyncSites/counts.ExplicitLocks)
+	fmt.Println("blocks/methods is not a major shortcoming (§3.2)")
+
+	if *byClass {
+		fmt.Println("\nper-class breakdown:")
+		for _, cs := range census.ByClass() {
+			fmt.Printf("  %-60s %4d synchronized %3d explicit\n", cs.Class, cs.Synchronized, cs.Explicit)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestSyncstatsRun(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-by-class"}); err != nil {
+		t.Fatalf("run -by-class: %v", err)
+	}
+}

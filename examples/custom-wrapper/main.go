@@ -1,0 +1,145 @@
+// Custom wrapper: the §3.2 MyLock pitfall of depth-1 outer call stacks.
+//
+//	public class MyLock {
+//	  private ReentrantLock l;
+//	  public void lock() { l.lock(); }
+//	  public void unlock() { l.unlock(); }
+//	}
+//
+// If every lock in the program is taken through one wrapper method, every
+// acquisition shares the same depth-1 position. After the first deadlock,
+// that single position lands in the history and avoidance starts yielding
+// on *unrelated* wrapper users: false positives that serialize the whole
+// program. This is exactly why the paper argues depth-1 stacks are safe
+// only for synchronized blocks (which cannot live inside wrappers) and
+// why Android Dimmunix handles only synchronized blocks/methods.
+//
+// The demo measures wrapper-user throughput after a deadlock signature is
+// recorded, at outer depth 1 (heavy false-positive serialization) and at
+// outer depth 2 (the wrapper's *callers* disambiguate the positions, so
+// independent users run free).
+//
+//	go run ./examples/custom-wrapper
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	dimmunix "github.com/dimmunix/dimmunix"
+)
+
+// wrapperFrame is MyLock.lock's program location — the one frame every
+// acquisition shares when going through the wrapper.
+var wrapperFrame = dimmunix.Frame{Class: "demo.MyLock", Method: "lock", Line: 7}
+
+func main() {
+	for _, depth := range []int{1, 2} {
+		yields, ops := run(depth)
+		fmt.Printf("outer depth %d: %6d ops in 300ms, %5d avoidance yields\n", depth, ops, yields)
+	}
+	fmt.Println("\ndepth 1 treats every MyLock.lock() call as the same position — the")
+	fmt.Println("recorded deadlock's antibody then serializes unrelated wrapper users.")
+	fmt.Println("depth 2 sees the callers, so only the genuinely matching flows yield.")
+}
+
+// run executes the wrapper workload at the given outer depth and returns
+// the observed yields and completed operations.
+func run(depth int) (yields uint64, ops uint64) {
+	rt := dimmunix.New(dimmunix.WithCoreOptions(dimmunix.WithOuterDepth(depth)))
+	defer rt.Shutdown()
+	proc, err := rt.Fork("wrapper-app")
+	if err != nil {
+		fmt.Println("fork:", err)
+		return 0, 0
+	}
+
+	// Seed the history as if a deadlock had already happened between two
+	// threads that both acquired through the wrapper (from two different
+	// call sites — callerA and callerB).
+	seedSignature(proc, depth)
+
+	// Two independent workers, each with its own lock, both acquiring
+	// through the wrapper from their own call sites. They can never
+	// deadlock with each other — any yield is a false positive.
+	lockA := proc.NewObject("resourceA")
+	lockB := proc.NewObject("resourceB")
+	var counter atomic.Uint64
+	stop := make(chan struct{})
+	worker := func(name string, caller string, line int, lock *dimmunix.Object) {
+		_, _ = proc.Start(name, func(t *dimmunix.Thread) {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if proc.Killed() {
+					return
+				}
+				t.Call(caller, "work", line, func() {
+					myLockLock(t, lock, func() {
+						// A realistic critical section: while it runs, the
+						// worker occupies the wrapper position, which is
+						// what triggers false-positive yields at depth 1.
+						busy(400)
+						counter.Add(1)
+					})
+				})
+			}
+		})
+	}
+	worker("workerA", "demo.CacheRefresher", 21, lockA)
+	worker("workerB", "demo.LogFlusher", 63, lockB)
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	proc.Join(5 * time.Second)
+	st := proc.Dimmunix().Stats()
+	return st.Yields + st.SuppressedYields, counter.Load()
+}
+
+// busySink defeats dead-code elimination.
+var busySink atomic.Uint64
+
+// busy simulates computation.
+func busy(iters int) {
+	var acc uint64
+	for i := 0; i < iters; i++ {
+		acc = acc*1664525 + 1013904223
+	}
+	busySink.Add(acc)
+}
+
+// myLockLock simulates MyLock.lock(): the acquisition happens inside the
+// wrapper's frame, so a depth-1 capture sees only demo.MyLock.lock:7.
+func myLockLock(t *dimmunix.Thread, lock *dimmunix.Object, body func()) {
+	t.Call(wrapperFrame.Class, wrapperFrame.Method, wrapperFrame.Line, func() {
+		lock.Synchronized(t, body)
+	})
+}
+
+// seedSignature installs the antibody a previous wrapper deadlock would
+// have left: at depth 1 both outers collapse to the wrapper frame; at
+// depth 2 they keep the distinct caller frames.
+func seedSignature(proc *dimmunix.Process, depth int) {
+	callerA := dimmunix.Frame{Class: "demo.TransferJob", Method: "run", Line: 88}
+	callerB := dimmunix.Frame{Class: "demo.ReportJob", Method: "run", Line: 99}
+	outerA := dimmunix.CallStack{wrapperFrame, callerA}
+	outerB := dimmunix.CallStack{wrapperFrame, callerB}
+	if depth == 1 {
+		outerA = outerA[:1]
+		outerB = outerB[:1]
+	}
+	sig := &dimmunix.Signature{
+		Kind: dimmunix.DeadlockSig,
+		Pairs: []dimmunix.SigPair{
+			{Outer: outerA, Inner: outerA},
+			{Outer: outerB, Inner: outerB},
+		},
+	}
+	if _, _, err := proc.Dimmunix().AddSignature(sig); err != nil {
+		fmt.Println("seed:", err)
+	}
+}

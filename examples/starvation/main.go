@@ -1,0 +1,100 @@
+// Starvation: an avoidance-induced deadlock and its antibody.
+//
+// Avoidance suspends a thread whose acquisition would re-create a
+// recorded deadlock pattern. If the suspended thread's witnesses are
+// themselves blocked on the suspended thread, nothing can progress — an
+// avoidance-induced deadlock (§2.2). Dimmunix detects the cycle through
+// the yield edge, saves a *starvation* signature, and resumes the
+// suspended thread; on later runs the same yield is suppressed outright.
+//
+//	go run ./examples/starvation
+package main
+
+import (
+	"fmt"
+	"time"
+
+	dimmunix "github.com/dimmunix/dimmunix"
+)
+
+func main() {
+	history := dimmunix.NewMemHistory()
+	// Pre-load the deadlock antibody whose avoidance will starve.
+	seed := &dimmunix.Signature{
+		Kind: dimmunix.DeadlockSig,
+		Pairs: []dimmunix.SigPair{
+			{Outer: stack("app.Producer", "fill", 10), Inner: stack("app.Producer", "fill", 10)},
+			{Outer: stack("app.Consumer", "drain", 20), Inner: stack("app.Consumer", "drain", 20)},
+		},
+	}
+	if err := history.Append(seed); err != nil {
+		fmt.Println("seed:", err)
+		return
+	}
+
+	fmt.Println("== run 1: avoidance starves, Dimmunix records the starvation ==")
+	runOnce(history)
+	fmt.Println("\n== run 2: the starving yield is suppressed from the start ==")
+	runOnce(history)
+}
+
+func stack(class, method string, line int) dimmunix.CallStack {
+	return dimmunix.CallStack{{Class: class, Method: method, Line: line}}
+}
+
+func runOnce(history dimmunix.HistoryStore) {
+	rt := dimmunix.New(dimmunix.WithHistory(history))
+	defer rt.Shutdown()
+	proc, err := rt.Fork("pipeline")
+	if err != nil {
+		fmt.Println("fork:", err)
+		return
+	}
+
+	buffer := proc.NewObject("buffer") // held by consumer, wanted by producer
+	lockX := proc.NewObject("x")       // producer's position-10 hold
+	lockY := proc.NewObject("y")       // consumer's position-20 request
+
+	consumerInBuffer := make(chan struct{})
+	producerHolding := make(chan struct{})
+
+	// Consumer: holds buffer, then engages the signature at drain:20 —
+	// avoidance wants to suspend it (producer occupies fill:10).
+	consumer, _ := proc.Start("consumer", func(t *dimmunix.Thread) {
+		buffer.Synchronized(t, func() {
+			close(consumerInBuffer)
+			<-producerHolding
+			t.Call("app.Consumer", "drain", 20, func() {
+				lockY.Synchronized(t, func() {})
+			})
+		})
+	})
+	// Producer: occupies fill:10, then blocks on the buffer (held by the
+	// consumer) — closing the would-be yield cycle.
+	producer, _ := proc.Start("producer", func(t *dimmunix.Thread) {
+		<-consumerInBuffer
+		t.Call("app.Producer", "fill", 10, func() {
+			lockX.Synchronized(t, func() {
+				close(producerHolding)
+				buffer.Synchronized(t, func() {})
+			})
+		})
+	})
+
+	hung := false
+	for _, th := range []*dimmunix.Thread{consumer, producer} {
+		select {
+		case <-th.Done():
+		case <-time.After(3 * time.Second):
+			hung = true
+		}
+	}
+	st := proc.Dimmunix().Stats()
+	fmt.Printf("  finished=%v  yields=%d  starvations=%d  suppressed-yields=%d\n",
+		!hung, st.Yields, st.Starvations, st.SuppressedYields)
+	for _, sig := range proc.Dimmunix().History() {
+		if sig.Kind == dimmunix.StarvationSig {
+			fmt.Printf("  starvation antibody: %s\n", sig)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Why the VM owns its monitors: Go's native sync.Mutex is opaque.
+//
+// The paper argues (§3.1) that platform-wide deadlock immunity must live
+// in the synchronization library, because that is the only layer that
+// observes every lock/unlock. Go makes the same point sharply: a
+// sync.Mutex cannot be intercepted, so a Dimmunix built "next to" native
+// mutexes is blind to them. This demo builds the same inversion twice:
+//
+//  1. with VM monitors — detected, recorded, and avoided on the next run;
+//
+//  2. with native Go mutexes (stand-ins for NDK pthread locks) — the
+//     deadlock forms, Dimmunix sees nothing, and only a timeout (the
+//     user force-killing the app) dissolves it.
+//
+//     go run ./examples/why-monitors
+package main
+
+import (
+	"fmt"
+	"time"
+
+	dimmunix "github.com/dimmunix/dimmunix"
+)
+
+func main() {
+	fmt.Println("== intercepted monitors: deadlock detected and recorded ==")
+	monitorRun()
+
+	fmt.Println("\n== native locks: the same inversion is invisible (§4's NDK gap) ==")
+	nativeRun()
+}
+
+// monitorRun builds the ABBA inversion on VM monitors.
+func monitorRun() {
+	rt := dimmunix.New()
+	defer rt.Shutdown()
+	proc, err := rt.Fork("monitored-app")
+	if err != nil {
+		fmt.Println("fork:", err)
+		return
+	}
+	a, b := proc.NewObject("A"), proc.NewObject("B")
+	hasA, hasB := make(chan struct{}), make(chan struct{})
+
+	proc.Start("t1", func(t *dimmunix.Thread) {
+		t.Call("app.Left", "run", 1, func() {
+			a.Synchronized(t, func() {
+				close(hasA)
+				<-hasB
+				b.Synchronized(t, func() {})
+			})
+		})
+	})
+	proc.Start("t2", func(t *dimmunix.Thread) {
+		t.Call("app.Right", "run", 2, func() {
+			<-hasA
+			b.Synchronized(t, func() {
+				close(hasB)
+				a.Synchronized(t, func() {})
+			})
+		})
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && proc.Dimmunix().Stats().DeadlocksDetected == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	st := proc.Dimmunix().Stats()
+	fmt.Printf("  deadlocks detected: %d — signature recorded, future runs immune\n", st.DeadlocksDetected)
+}
+
+// nativeLock is an uninterceptable lock (what an NDK pthread mutex is to
+// Android Dimmunix), with a timed acquire so the demo can end.
+type nativeLock struct{ ch chan struct{} }
+
+func newNativeLock() *nativeLock {
+	l := &nativeLock{ch: make(chan struct{}, 1)}
+	l.ch <- struct{}{}
+	return l
+}
+
+func (l *nativeLock) lock(timeout time.Duration) bool {
+	select {
+	case <-l.ch:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+func (l *nativeLock) unlock() { l.ch <- struct{}{} }
+
+// nativeRun builds the same inversion on native locks.
+func nativeRun() {
+	rt := dimmunix.New()
+	defer rt.Shutdown()
+	proc, err := rt.Fork("native-app")
+	if err != nil {
+		fmt.Println("fork:", err)
+		return
+	}
+	a, b := newNativeLock(), newNativeLock()
+	hasA, hasB := make(chan struct{}), make(chan struct{})
+	timedOut := make(chan string, 2)
+
+	proc.Start("t1", func(t *dimmunix.Thread) {
+		if !a.lock(time.Second) {
+			return
+		}
+		close(hasA)
+		<-hasB
+		if !b.lock(500 * time.Millisecond) {
+			timedOut <- "t1"
+			a.unlock()
+			return
+		}
+		b.unlock()
+		a.unlock()
+	})
+	proc.Start("t2", func(t *dimmunix.Thread) {
+		<-hasA
+		if !b.lock(time.Second) {
+			return
+		}
+		close(hasB)
+		if !a.lock(500 * time.Millisecond) {
+			timedOut <- "t2"
+			b.unlock()
+			return
+		}
+		a.unlock()
+		b.unlock()
+	})
+
+	victims := 0
+	deadline := time.After(5 * time.Second)
+	for victims < 1 {
+		select {
+		case name := <-timedOut:
+			fmt.Printf("  %s gave up after its timeout (the deadlock really formed)\n", name)
+			victims++
+		case <-deadline:
+			fmt.Println("  (no timeout observed)")
+			return
+		}
+	}
+	fmt.Printf("  deadlocks detected by Dimmunix: %d — native locks are invisible to the RAG\n",
+		proc.Dimmunix().Stats().DeadlocksDetected)
+	fmt.Println("  (this is why the VM implements its own monitors — and why §4 leaves NDK locks to future work)")
+}

@@ -1,0 +1,255 @@
+package android
+
+import (
+	"sync"
+
+	"github.com/dimmunix/dimmunix/internal/vm"
+)
+
+// ActivityManagerService and WindowManagerService, modeled with the
+// lock-order inversion family well known from this Android era: AMS takes
+// its own lock and calls into WMS (app start / visibility changes), while
+// WMS animation handling takes the WMS lock and calls back into AMS
+// (activity-drawn notifications). This is the repository's second
+// immunizable platform deadlock, used to demonstrate that the history
+// accumulates antibodies for multiple distinct bugs.
+
+const (
+	amsClass  = "com.android.server.am.ActivityManagerService"
+	wmsClass  = "com.android.server.WindowManagerService"
+	wmsHClass = "com.android.server.WindowManagerService$H"
+)
+
+// wmsMsgAnimate is the WMS handler's animation-step message.
+const wmsMsgAnimate = 2000
+
+// ActivityRecord is one started activity.
+type ActivityRecord struct {
+	Component string
+	Visible   bool
+	Drawn     bool
+}
+
+// ActivityManagerService models the AMS slice involved in the inversion.
+type ActivityManagerService struct {
+	proc *vm.Process
+	// amLock is the service's global lock ("synchronized (this)" in the
+	// real AMS).
+	amLock     *vm.Object
+	wms        *WindowManagerService
+	activities []ActivityRecord
+
+	hookMu   sync.Mutex
+	raceHook func()
+}
+
+var _ Service = (*ActivityManagerService)(nil)
+
+// NewActivityManagerService creates the service.
+func NewActivityManagerService(p *vm.Process) *ActivityManagerService {
+	return &ActivityManagerService{
+		proc:   p,
+		amLock: p.NewObject("AMS.this"),
+	}
+}
+
+// ServiceName implements Service.
+func (a *ActivityManagerService) ServiceName() string { return "activity" }
+
+// SetWindowManager wires the WMS dependency.
+func (a *ActivityManagerService) SetWindowManager(w *WindowManagerService) { a.wms = w }
+
+// SetRaceHook installs the scenario race window. nil disables it.
+func (a *ActivityManagerService) SetRaceHook(fn func()) {
+	a.hookMu.Lock()
+	a.raceHook = fn
+	a.hookMu.Unlock()
+}
+
+func (a *ActivityManagerService) runRaceHook() {
+	a.hookMu.Lock()
+	fn := a.raceHook
+	a.hookMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// StartActivity starts an activity: under the AMS lock it records the
+// activity and pushes its visibility into the window manager — the first
+// half of the inversion.
+func (a *ActivityManagerService) StartActivity(t *vm.Thread, component string) {
+	t.Call(amsClass, "startActivityLocked", 1502, func() {
+		a.amLock.Synchronized(t, func() {
+			a.activities = append(a.activities, ActivityRecord{Component: component, Visible: true})
+			a.runRaceHook()
+			// Still holding the AMS lock: cross into the window manager.
+			a.wms.SetAppVisibility(t, component, true)
+		})
+	})
+}
+
+// NotifyActivityDrawn is WMS's callback when an activity's first frame is
+// drawn; it takes the AMS lock — the second half of the inversion.
+func (a *ActivityManagerService) NotifyActivityDrawn(t *vm.Thread, component string) {
+	t.Call(amsClass, "activityDrawn", 1688, func() {
+		a.amLock.Synchronized(t, func() {
+			for i := range a.activities {
+				if a.activities[i].Component == component {
+					a.activities[i].Drawn = true
+				}
+			}
+		})
+	})
+}
+
+// ActivityCount returns the number of recorded activities.
+func (a *ActivityManagerService) ActivityCount(t *vm.Thread) int {
+	n := 0
+	t.Call(amsClass, "getActivityCount", 1901, func() {
+		a.amLock.Synchronized(t, func() { n = len(a.activities) })
+	})
+	return n
+}
+
+// censusSites lists the service's static synchronization sites.
+func (a *ActivityManagerService) censusSites() []*vm.Site {
+	return []*vm.Site{
+		vm.NewSite(amsClass, "startActivityLocked", 1502),
+		vm.NewSite(amsClass, "activityDrawn", 1688),
+		vm.NewSite(amsClass, "getActivityCount", 1901),
+	}
+}
+
+// WindowManagerService models the WMS slice involved in the inversion;
+// its animation steps run on the UI looper via the $H handler.
+type WindowManagerService struct {
+	proc *vm.Process
+	// wmLock is the window map lock ("synchronized (mWindowMap)").
+	wmLock *vm.Object
+	ams    *ActivityManagerService
+	h      *Handler
+
+	windows map[string]bool // component → visible
+	// animations counts completed animation steps (atomic-free: guarded
+	// by wmLock; exposed via pending channel signals instead).
+	animationsDone chan string
+
+	hookMu   sync.Mutex
+	raceHook func()
+}
+
+var _ Service = (*WindowManagerService)(nil)
+
+// NewWindowManagerService creates the service with its $H handler on the
+// given looper.
+func NewWindowManagerService(p *vm.Process, uiLooper *Looper) *WindowManagerService {
+	w := &WindowManagerService{
+		proc:           p,
+		wmLock:         p.NewObject("WMS.mWindowMap"),
+		windows:        make(map[string]bool),
+		animationsDone: make(chan string, 64),
+	}
+	w.h = NewHandler(uiLooper, "WindowManagerService$H", w.handleMessage)
+	return w
+}
+
+// ServiceName implements Service.
+func (w *WindowManagerService) ServiceName() string { return "window" }
+
+// SetActivityManager wires the AMS dependency.
+func (w *WindowManagerService) SetActivityManager(a *ActivityManagerService) { w.ams = a }
+
+// SetRaceHook installs the scenario race window. nil disables it.
+func (w *WindowManagerService) SetRaceHook(fn func()) {
+	w.hookMu.Lock()
+	w.raceHook = fn
+	w.hookMu.Unlock()
+}
+
+func (w *WindowManagerService) runRaceHook() {
+	w.hookMu.Lock()
+	fn := w.raceHook
+	w.hookMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Handler returns the $H handler (monitored by the watchdog).
+func (w *WindowManagerService) Handler() *Handler { return w.h }
+
+// SetAppVisibility updates a window's visibility under the WMS lock.
+// Called by AMS while it holds its own lock.
+func (w *WindowManagerService) SetAppVisibility(t *vm.Thread, component string, visible bool) {
+	t.Call(wmsClass, "setAppVisibility", 3220, func() {
+		w.wmLock.Synchronized(t, func() {
+			w.windows[component] = visible
+		})
+	})
+}
+
+// ScheduleAnimation posts an animation step to the UI looper; the step
+// animates every currently visible window.
+func (w *WindowManagerService) ScheduleAnimation(t *vm.Thread) {
+	t.Call(wmsClass, "scheduleAnimationLocked", 3475, func() {
+		w.h.Send(t, Message{What: wmsMsgAnimate})
+	})
+}
+
+// animate runs one animation step on the UI looper: under the WMS lock it
+// completes the animation and notifies AMS that the activity is drawn —
+// taking the AMS lock while holding the WMS lock.
+func (w *WindowManagerService) handleMessage(t *vm.Thread, msg Message) {
+	t.Call(wmsHClass, "handleMessage", 141, func() {
+		if msg.What != wmsMsgAnimate {
+			return
+		}
+		var drawn []string
+		w.wmLock.Synchronized(t, func() {
+			w.runRaceHook()
+			for component, visible := range w.windows {
+				if visible {
+					drawn = append(drawn, component)
+				}
+			}
+			// Still holding the WMS lock: call back into AMS (the
+			// inversion; the real code notified from performLayout paths
+			// while holding mWindowMap).
+			for _, component := range drawn {
+				if w.ams != nil {
+					w.ams.NotifyActivityDrawn(t, component)
+				}
+			}
+		})
+		for _, component := range drawn {
+			select {
+			case w.animationsDone <- component:
+			default:
+			}
+		}
+	})
+}
+
+// AnimationsDone exposes completed animation signals (lock-free; scenario
+// drivers select on it).
+func (w *WindowManagerService) AnimationsDone() <-chan string { return w.animationsDone }
+
+// WindowCount returns the number of tracked windows.
+func (w *WindowManagerService) WindowCount(t *vm.Thread) int {
+	n := 0
+	t.Call(wmsClass, "getWindowCount", 3610, func() {
+		w.wmLock.Synchronized(t, func() { n = len(w.windows) })
+	})
+	return n
+}
+
+// censusSites lists the service's static synchronization sites.
+func (w *WindowManagerService) censusSites() []*vm.Site {
+	return []*vm.Site{
+		vm.NewSite(wmsClass, "setAppVisibility", 3220),
+		vm.NewSite(wmsClass, "scheduleAnimationLocked", 3475),
+		vm.NewSite(wmsHClass, "handleMessage", 141),
+		vm.NewSite(wmsClass, "getWindowCount", 3610),
+	}
+}

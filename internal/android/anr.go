@@ -1,0 +1,82 @@
+package android
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/vm"
+)
+
+// ANR reports — when the watchdog declares a handler frozen, the platform
+// captures a full thread dump of system_server, as Android writes
+// /data/anr/traces.txt before killing the process. The dump is what makes
+// a freshly recorded deadlock signature diagnosable: the blocked threads'
+// stacks show both halves of the inversion.
+
+// ANRReport is one freeze's diagnostic capture.
+type ANRReport struct {
+	// Looper is the frozen looper thread's name.
+	Looper string
+	// Process is the frozen process's name.
+	Process string
+	// When is the capture time.
+	When time.Time
+	// Threads is the full thread dump.
+	Threads []vm.ThreadDump
+}
+
+// String renders the report in traces.txt style.
+func (r *ANRReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ANR: looper %q in %q not responding (captured %s)\n",
+		r.Looper, r.Process, r.When.Format(time.RFC3339))
+	b.WriteString(vm.FormatDump(r.Process, r.Threads))
+	return b.String()
+}
+
+// BlockedThreads returns the subset of threads that were blocked on a
+// monitor — for a deadlock freeze, the parties of the cycle.
+func (r *ANRReport) BlockedThreads() []vm.ThreadDump {
+	var out []vm.ThreadDump
+	for _, d := range r.Threads {
+		if d.State == vm.StateBlocked {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// anrLog collects ANR reports (thread-safe; written by the watchdog path,
+// read by diagnostics).
+type anrLog struct {
+	mu      sync.Mutex
+	reports []*ANRReport
+}
+
+// add appends a report.
+func (l *anrLog) add(r *ANRReport) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reports = append(l.reports, r)
+}
+
+// last returns the most recent report, or nil.
+func (l *anrLog) last() *ANRReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.reports) == 0 {
+		return nil
+	}
+	return l.reports[len(l.reports)-1]
+}
+
+// all returns a copy of the report list.
+func (l *anrLog) all() []*ANRReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*ANRReport, len(l.reports))
+	copy(out, l.reports)
+	return out
+}

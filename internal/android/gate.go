@@ -1,0 +1,51 @@
+package android
+
+import (
+	"sync"
+	"time"
+)
+
+// Gate is a best-effort rendezvous used to force the thread interleaving
+// that triggers a race (the paper "made a small Android application in
+// which one thread issues a notification, and a second thread expands the
+// status bar, in the same time"). Each party calls Sync while holding its
+// first lock; once all parties have arrived, everyone proceeds to the
+// crossing acquisition simultaneously.
+//
+// The timeout makes the gate safe under avoidance: when Dimmunix suspends
+// one party before it can arrive, the other party times out and proceeds
+// alone instead of hanging the scenario.
+type Gate struct {
+	mu      sync.Mutex
+	needed  int
+	arrived int
+	opened  chan struct{}
+	timeout time.Duration
+}
+
+// NewGate creates a gate for the given number of parties.
+func NewGate(parties int, timeout time.Duration) *Gate {
+	return &Gate{
+		needed:  parties,
+		opened:  make(chan struct{}),
+		timeout: timeout,
+	}
+}
+
+// Sync signals arrival and blocks until all parties arrive or the timeout
+// elapses. It reports whether the rendezvous completed.
+func (g *Gate) Sync() bool {
+	g.mu.Lock()
+	g.arrived++
+	if g.arrived == g.needed {
+		close(g.opened)
+	}
+	g.mu.Unlock()
+
+	select {
+	case <-g.opened:
+		return true
+	case <-time.After(g.timeout):
+		return false
+	}
+}

@@ -1,0 +1,287 @@
+package android
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/vm"
+)
+
+// testProc forks a Dimmunix-enabled process for platform tests.
+func testProc(t *testing.T) *vm.Process {
+	t.Helper()
+	z := vm.NewZygote(vm.WithDimmunix(true))
+	p, err := z.Fork("test-proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Kill)
+	return p
+}
+
+func TestLooperDispatchesInOrder(t *testing.T) {
+	p := testProc(t)
+	l, err := StartLooper(p, "test-looper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	var order []int
+	done := make(chan struct{})
+	h := NewHandler(l, "h", func(_ *vm.Thread, msg Message) {
+		order = append(order, msg.What) // only the looper thread touches it
+		if msg.What == n-1 {
+			close(done)
+		}
+	})
+	sender, err := p.Start("sender", func(t *vm.Thread) {
+		for i := 0; i < n; i++ {
+			h.Send(t, Message{What: i})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sender.Done()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("messages not dispatched")
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("message %d dispatched out of order: %v", i, order)
+		}
+	}
+	if l.Dispatched() < n {
+		t.Errorf("Dispatched = %d, want >= %d", l.Dispatched(), n)
+	}
+}
+
+func TestHandlerPostCallback(t *testing.T) {
+	p := testProc(t)
+	l, err := StartLooper(p, "cb-looper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(l, "h", nil)
+	ran := make(chan string, 1)
+	poster, err := p.Start("poster", func(t *vm.Thread) {
+		h.Post(t, func(lt *vm.Thread) { ran <- lt.Name() })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-poster.Done()
+	select {
+	case name := <-ran:
+		if name != "cb-looper" {
+			t.Errorf("callback ran on %q, want looper thread", name)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("callback never ran")
+	}
+}
+
+func TestLooperQuitDrainsPending(t *testing.T) {
+	p := testProc(t)
+	l, err := StartLooper(p, "quit-looper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var processed atomic.Int32
+	h := NewHandler(l, "h", func(*vm.Thread, Message) {
+		processed.Add(1)
+	})
+	const n = 5
+	ctl, err := p.Start("ctl", func(t *vm.Thread) {
+		for i := 0; i < n; i++ {
+			h.Send(t, Message{What: i})
+		}
+		l.Quit(t)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ctl.Done()
+	select {
+	case <-l.Thread().Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("looper did not quit")
+	}
+	if got := processed.Load(); got != n {
+		t.Errorf("processed %d of %d pending messages before quitting", got, n)
+	}
+}
+
+func TestMessageQueueBlocksUntilMessage(t *testing.T) {
+	p := testProc(t)
+	q := newMessageQueue(p, "q")
+	got := make(chan Message, 1)
+	consumer, err := p.Start("consumer", func(t *vm.Thread) {
+		if m, ok := q.Next(t); ok {
+			got <- m
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+		t.Fatal("Next returned before any message was queued")
+	case <-time.After(20 * time.Millisecond):
+	}
+	producer, err := p.Start("producer", func(t *vm.Thread) {
+		q.Enqueue(t, Message{What: 7})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-producer.Done()
+	select {
+	case m := <-got:
+		if m.What != 7 {
+			t.Errorf("got What=%d, want 7", m.What)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer never woke")
+	}
+	<-consumer.Done()
+}
+
+func TestWatchdogQuietOnHealthyHandler(t *testing.T) {
+	p := testProc(t)
+	l, err := StartLooper(p, "healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(l, "healthy-h", func(*vm.Thread, Message) {})
+	var frozen atomic.Int32
+	if _, err := StartWatchdog(p, []*Handler{h}, 10*time.Millisecond, 30*time.Millisecond, func(string) {
+		frozen.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if got := frozen.Load(); got != 0 {
+		t.Errorf("watchdog reported %d freezes on a healthy handler", got)
+	}
+}
+
+func TestWatchdogDetectsFrozenHandler(t *testing.T) {
+	p := testProc(t)
+	l, err := StartLooper(p, "freezing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	h := NewHandler(l, "frozen-h", func(*vm.Thread, Message) {
+		<-block // freeze the looper on the first message
+	})
+	reports := make(chan string, 4)
+	if _, err := StartWatchdog(p, []*Handler{h}, 10*time.Millisecond, 40*time.Millisecond, func(name string) {
+		reports <- name
+	}); err != nil {
+		t.Fatal(err)
+	}
+	trigger, err := p.Start("trigger", func(t *vm.Thread) {
+		h.Send(t, Message{What: 1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-trigger.Done()
+	select {
+	case name := <-reports:
+		if name != "freezing" {
+			t.Errorf("freeze reported for looper %q, want freezing", name)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog never reported the freeze")
+	}
+	close(block)
+}
+
+func TestServiceManagerRegistry(t *testing.T) {
+	p := testProc(t)
+	sm := NewServiceManager(p)
+	nms := NewNotificationManagerService(p)
+	th, err := p.Start("registrar", func(vt *vm.Thread) {
+		sm.AddService(vt, nms)
+		if got := sm.GetService(vt, "notification"); got != Service(nms) {
+			t.Error("GetService returned wrong service")
+		}
+		if got := sm.GetService(vt, "missing"); got != nil {
+			t.Error("GetService for unknown name must return nil")
+		}
+		if names := sm.ListServices(vt); len(names) != 1 || names[0] != "notification" {
+			t.Errorf("ListServices = %v", names)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-th.Done()
+	if th.Err() != nil {
+		t.Fatal(th.Err())
+	}
+}
+
+func TestFrameworkCensusMatchesPaperCounts(t *testing.T) {
+	census, err := FrameworkCensus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := census.Counts()
+	if counts.TotalSyncSites != TargetSyncSites {
+		t.Errorf("synchronized sites = %d, want %d", counts.TotalSyncSites, TargetSyncSites)
+	}
+	if counts.ExplicitLocks != TargetExplicitSites {
+		t.Errorf("explicit lock sites = %d, want %d", counts.ExplicitLocks, TargetExplicitSites)
+	}
+	if counts.ClassesDeclared < 40 {
+		t.Errorf("classes = %d, want a realistic platform spread (>= 40)", counts.ClassesDeclared)
+	}
+	// The live-service sites must also fit under the same total.
+	p := testProc(t)
+	nms := NewNotificationManagerService(p)
+	l, err := StartLooper(p, "ui")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbs := NewStatusBarService(p, l)
+	census2, err := FrameworkCensus(nms.censusSites(), sbs.censusSites())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := census2.Counts().TotalSyncSites; got != TargetSyncSites {
+		t.Errorf("census with service sites = %d, want %d", got, TargetSyncSites)
+	}
+}
+
+func TestGateRendezvousAndTimeout(t *testing.T) {
+	g := NewGate(2, time.Second)
+	done := make(chan bool, 2)
+	go func() { done <- g.Sync() }()
+	go func() { done <- g.Sync() }()
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-done:
+			if !ok {
+				t.Error("two-party gate must open, not time out")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("gate never opened")
+		}
+	}
+
+	lone := NewGate(2, 10*time.Millisecond)
+	if lone.Sync() {
+		t.Error("lone party must time out")
+	}
+}
+
+// ensure core import is used even if tests above change.
+var _ = core.DeadlockSig

@@ -1,0 +1,101 @@
+// Package android simulates the slice of the Android 2.2 platform the
+// paper evaluates on: Looper/Handler message processing, the system-server
+// services involved in the reproduced deadlock (NotificationManagerService
+// and StatusBarService, Android issue 7986), the watchdog that notices a
+// frozen platform, and the Phone controller that boots, freezes, reboots
+// and recovers.
+//
+// All platform synchronization goes through internal/vm monitors, so every
+// lock acquisition in the platform is intercepted by Dimmunix exactly as
+// Dalvik's monitorenter is in the paper.
+package android
+
+import (
+	"github.com/dimmunix/dimmunix/internal/vm"
+)
+
+// Message is a unit of work posted to a Handler, mirroring
+// android.os.Message: a what code, an integer argument, and (for
+// Handler.Post-style usage) an optional callback.
+type Message struct {
+	// What identifies the operation to the handler.
+	What int
+	// Arg is an optional integer argument.
+	Arg int
+	// Callback, when non-nil, is executed instead of the handler's
+	// handleMessage.
+	Callback func(*vm.Thread)
+
+	// target is the handler the message was sent to.
+	target *Handler
+}
+
+// MessageQueue is android.os.MessageQueue: a FIFO of messages protected by
+// a VM monitor, with Object.wait/notify providing the blocking behaviour.
+// Because it synchronizes through the VM, queue operations are themselves
+// covered by Dimmunix — platform-wide immunity includes the framework's
+// own locks.
+type MessageQueue struct {
+	lock     *vm.Object
+	messages []Message
+	quitting bool
+}
+
+// newMessageQueue creates a queue owned by process p.
+func newMessageQueue(p *vm.Process, name string) *MessageQueue {
+	return &MessageQueue{lock: p.NewObject("MessageQueue:" + name)}
+}
+
+// Enqueue appends a message and wakes the looper. Mirrors
+// MessageQueue.enqueueMessage.
+func (q *MessageQueue) Enqueue(t *vm.Thread, m Message) {
+	t.Call("android.os.MessageQueue", "enqueueMessage", 316, func() {
+		q.lock.Synchronized(t, func() {
+			q.messages = append(q.messages, m)
+			// We own the monitor; Notify cannot fail.
+			_ = q.lock.Notify(t)
+		})
+	})
+}
+
+// Next blocks until a message is available and returns it; ok=false means
+// the queue is quitting and drained. Mirrors MessageQueue.next.
+func (q *MessageQueue) Next(t *vm.Thread) (msg Message, ok bool) {
+	t.Call("android.os.MessageQueue", "next", 188, func() {
+		q.lock.Synchronized(t, func() {
+			for len(q.messages) == 0 && !q.quitting {
+				if _, err := q.lock.Wait(t, 0); err != nil {
+					// Interrupted or killed: treat as quit; the looper
+					// thread unwinds on the next iteration.
+					q.quitting = true
+					return
+				}
+			}
+			if len(q.messages) == 0 {
+				return
+			}
+			msg = q.messages[0]
+			q.messages = q.messages[1:]
+			ok = true
+		})
+	})
+	return msg, ok
+}
+
+// Quit marks the queue as quitting and wakes the looper; pending messages
+// are still delivered first.
+func (q *MessageQueue) Quit(t *vm.Thread) {
+	t.Call("android.os.MessageQueue", "quit", 421, func() {
+		q.lock.Synchronized(t, func() {
+			q.quitting = true
+			_ = q.lock.NotifyAll(t)
+		})
+	})
+}
+
+// Len returns the number of queued messages (diagnostics; racy by nature).
+func (q *MessageQueue) Len(t *vm.Thread) int {
+	n := 0
+	q.lock.Synchronized(t, func() { n = len(q.messages) })
+	return n
+}

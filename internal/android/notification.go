@@ -1,0 +1,171 @@
+package android
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dimmunix/dimmunix/internal/vm"
+)
+
+// Notification is one entry in the notification list.
+type Notification struct {
+	Pkg  string
+	Tag  string
+	ID   int
+	Seen bool
+}
+
+// NotificationCallbacks is the interface the status bar uses to call back
+// into the notification manager (NotificationManagerService's inner
+// NotificationCallbacks binder in Android 2.2). The callback runs while
+// the status bar holds its own lock — one half of the issue-7986
+// inversion.
+type NotificationCallbacks interface {
+	OnPanelRevealed(t *vm.Thread)
+	OnNotificationClick(t *vm.Thread, pkg, tag string, id int)
+}
+
+// NotificationManagerService models
+// com.android.server.NotificationManagerService: the notification list
+// guarded by the mNotificationList monitor, with calls into the status bar
+// performed while that monitor is held (as in Android 2.2, where
+// enqueueNotificationInternal calls mStatusBarService.addNotification
+// inside synchronized(mNotificationList)).
+type NotificationManagerService struct {
+	proc *vm.Process
+	// mNotificationList is the service's main lock object.
+	mNotificationList *vm.Object
+	statusBar         *StatusBarService
+	notifications     []Notification
+
+	// raceHook, when non-nil, runs while mNotificationList is held, just
+	// before the status-bar call — the scenario's race window (§5: the
+	// small application that triggers the deadlock). Guarded by hookMu:
+	// it is written by scenario drivers outside the VM.
+	hookMu   sync.Mutex
+	raceHook func()
+}
+
+var _ Service = (*NotificationManagerService)(nil)
+var _ NotificationCallbacks = (*NotificationManagerService)(nil)
+
+// The service's program locations (class.method:line), mirroring the
+// Android 2.2 sources.
+const (
+	nmsClass          = "com.android.server.NotificationManagerService"
+	nmsCallbacksClass = "com.android.server.NotificationManagerService$NotificationCallbacks"
+)
+
+// NewNotificationManagerService creates the service in process p.
+func NewNotificationManagerService(p *vm.Process) *NotificationManagerService {
+	return &NotificationManagerService{
+		proc:              p,
+		mNotificationList: p.NewObject("NMS.mNotificationList"),
+	}
+}
+
+// ServiceName implements Service.
+func (n *NotificationManagerService) ServiceName() string { return "notification" }
+
+// SetStatusBar wires the status bar dependency (done by SystemServer after
+// both services exist).
+func (n *NotificationManagerService) SetStatusBar(sb *StatusBarService) {
+	n.statusBar = sb
+}
+
+// SetRaceHook installs the scenario race window. nil disables it.
+func (n *NotificationManagerService) SetRaceHook(fn func()) {
+	n.hookMu.Lock()
+	n.raceHook = fn
+	n.hookMu.Unlock()
+}
+
+// runRaceHook invokes the installed hook, if any.
+func (n *NotificationManagerService) runRaceHook() {
+	n.hookMu.Lock()
+	fn := n.raceHook
+	n.hookMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// EnqueueNotificationWithTag is the paper's named entry point: it appends
+// to the list and pushes the notification to the status bar while holding
+// mNotificationList.
+func (n *NotificationManagerService) EnqueueNotificationWithTag(t *vm.Thread, pkg, tag string, id int) {
+	t.Call(nmsClass, "enqueueNotificationWithTag", 843, func() {
+		n.mNotificationList.Synchronized(t, func() {
+			n.notifications = append(n.notifications, Notification{Pkg: pkg, Tag: tag, ID: id})
+			n.runRaceHook()
+			// Still holding mNotificationList: cross into the status bar.
+			n.statusBar.AddNotification(t, fmt.Sprintf("%s/%s#%d", pkg, tag, id))
+		})
+	})
+}
+
+// CancelNotificationWithTag removes a notification and retracts its icon.
+func (n *NotificationManagerService) CancelNotificationWithTag(t *vm.Thread, pkg, tag string, id int) {
+	t.Call(nmsClass, "cancelNotificationWithTag", 934, func() {
+		n.mNotificationList.Synchronized(t, func() {
+			key := fmt.Sprintf("%s/%s#%d", pkg, tag, id)
+			for i, ntf := range n.notifications {
+				if ntf.Pkg == pkg && ntf.Tag == tag && ntf.ID == id {
+					n.notifications = append(n.notifications[:i], n.notifications[i+1:]...)
+					break
+				}
+			}
+			n.statusBar.RemoveNotification(t, key)
+		})
+	})
+}
+
+// OnPanelRevealed implements NotificationCallbacks: called by the status
+// bar (while the status bar holds its lock) when the user expands the
+// panel; it marks all notifications seen under mNotificationList — the
+// other half of the inversion.
+func (n *NotificationManagerService) OnPanelRevealed(t *vm.Thread) {
+	t.Call(nmsCallbacksClass, "onPanelRevealed", 112, func() {
+		n.mNotificationList.Synchronized(t, func() {
+			for i := range n.notifications {
+				n.notifications[i].Seen = true
+			}
+		})
+	})
+}
+
+// OnNotificationClick implements NotificationCallbacks.
+func (n *NotificationManagerService) OnNotificationClick(t *vm.Thread, pkg, tag string, id int) {
+	t.Call(nmsCallbacksClass, "onNotificationClick", 98, func() {
+		n.mNotificationList.Synchronized(t, func() {
+			for i, ntf := range n.notifications {
+				if ntf.Pkg == pkg && ntf.Tag == tag && ntf.ID == id {
+					n.notifications[i].Seen = true
+				}
+			}
+		})
+	})
+}
+
+// Count returns the number of pending notifications.
+func (n *NotificationManagerService) Count(t *vm.Thread) int {
+	count := 0
+	t.Call(nmsClass, "getNotificationCount", 1011, func() {
+		n.mNotificationList.Synchronized(t, func() {
+			count = len(n.notifications)
+		})
+	})
+	return count
+}
+
+// censusSites lists this service's static synchronization sites for the
+// §3.2 census.
+func (n *NotificationManagerService) censusSites() []*vm.Site {
+	return []*vm.Site{
+		vm.NewSite(nmsClass, "enqueueNotificationWithTag", 843),
+		vm.NewSite(nmsClass, "cancelNotificationWithTag", 934),
+		vm.NewSite(nmsClass, "getNotificationCount", 1011),
+		vm.NewSite(nmsCallbacksClass, "onPanelRevealed", 112),
+		vm.NewSite(nmsCallbacksClass, "onNotificationClick", 98),
+	}
+}

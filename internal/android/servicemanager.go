@@ -1,0 +1,59 @@
+package android
+
+import "github.com/dimmunix/dimmunix/internal/vm"
+
+// Service is anything registrable with the ServiceManager.
+type Service interface {
+	// ServiceName is the binder registration name (e.g. "notification").
+	ServiceName() string
+}
+
+// ServiceManager is the system service registry (android.os.ServiceManager
+// backed by servicemanager). Registration and lookup synchronize on a VM
+// monitor, like the real sCache lock.
+type ServiceManager struct {
+	proc     *vm.Object
+	services map[string]Service
+}
+
+// NewServiceManager creates the registry in process p.
+func NewServiceManager(p *vm.Process) *ServiceManager {
+	return &ServiceManager{
+		proc:     p.NewObject("ServiceManager.sCache"),
+		services: make(map[string]Service),
+	}
+}
+
+// AddService registers a service.
+func (sm *ServiceManager) AddService(t *vm.Thread, svc Service) {
+	t.Call("android.os.ServiceManager", "addService", 72, func() {
+		sm.proc.Synchronized(t, func() {
+			sm.services[svc.ServiceName()] = svc
+		})
+	})
+}
+
+// GetService looks a service up, or returns nil.
+func (sm *ServiceManager) GetService(t *vm.Thread, name string) Service {
+	var svc Service
+	t.Call("android.os.ServiceManager", "getService", 49, func() {
+		sm.proc.Synchronized(t, func() {
+			svc = sm.services[name]
+		})
+	})
+	return svc
+}
+
+// ListServices returns the registered service names.
+func (sm *ServiceManager) ListServices(t *vm.Thread) []string {
+	var names []string
+	t.Call("android.os.ServiceManager", "listServices", 95, func() {
+		sm.proc.Synchronized(t, func() {
+			names = make([]string, 0, len(sm.services))
+			for n := range sm.services {
+				names = append(names, n)
+			}
+		})
+	})
+	return names
+}

@@ -1,0 +1,171 @@
+package android
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/vm"
+)
+
+// TestWindowScenarioFreezesAndImmunizes mirrors E1 for the second platform
+// deadlock (ActivityManagerService ↔ WindowManagerService).
+func TestWindowScenarioFreezesAndImmunizes(t *testing.T) {
+	store := core.NewMemHistory()
+	ph := NewPhone(testPhoneConfig(true, store))
+	if err := ph.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	defer ph.Shutdown()
+
+	out, err := ph.RunWindowScenario(scenarioTimeout)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	if out != OutcomeFroze {
+		t.Fatalf("run 1 outcome = %v, want froze", out)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("history has %d signatures, want 1", store.Len())
+	}
+
+	if err := ph.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	out, err = ph.RunWindowScenario(scenarioTimeout)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if out != OutcomeCompleted {
+		t.Fatalf("run 2 outcome = %v, want completed", out)
+	}
+	if st := ph.System().Proc.Dimmunix().Stats(); st.DeadlocksDetected != 0 {
+		t.Errorf("run 2 deadlocked: %+v", st)
+	}
+}
+
+// TestPhoneTwoBugImmunity accumulates antibodies for both platform bugs:
+// after each has frozen the phone once, both scenarios complete on the
+// same boot.
+func TestPhoneTwoBugImmunity(t *testing.T) {
+	store := core.NewMemHistory()
+	ph := NewPhone(testPhoneConfig(true, store))
+	if err := ph.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	defer ph.Shutdown()
+
+	// Bug 1: notification/status bar.
+	if out, err := ph.RunNotificationScenario(scenarioTimeout); err != nil || out != OutcomeFroze {
+		t.Fatalf("bug 1: out=%v err=%v", out, err)
+	}
+	if err := ph.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	// Bug 2: activity/window manager — a different deadlock, still unknown.
+	if out, err := ph.RunWindowScenario(scenarioTimeout); err != nil || out != OutcomeFroze {
+		t.Fatalf("bug 2: out=%v err=%v", out, err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("history has %d signatures, want 2", store.Len())
+	}
+	if err := ph.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both bugs immunized on one boot.
+	if out, err := ph.RunNotificationScenario(scenarioTimeout); err != nil || out != OutcomeCompleted {
+		t.Fatalf("immunized bug 1: out=%v err=%v", out, err)
+	}
+	if out, err := ph.RunWindowScenario(scenarioTimeout); err != nil || out != OutcomeCompleted {
+		t.Fatalf("immunized bug 2: out=%v err=%v", out, err)
+	}
+	if st := ph.System().Proc.Dimmunix().Stats(); st.DeadlocksDetected+st.DuplicateDeadlocks != 0 {
+		t.Errorf("immunized boot deadlocked: %+v", st)
+	}
+}
+
+// TestANRReportCapturedOnFreeze verifies the freeze diagnostics: the dump
+// must contain the two deadlocked threads, blocked, with the deadlock's
+// frames on their stacks.
+func TestANRReportCapturedOnFreeze(t *testing.T) {
+	ph := NewPhone(testPhoneConfig(true, core.NewMemHistory()))
+	if err := ph.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	defer ph.Shutdown()
+	if out, err := ph.RunNotificationScenario(scenarioTimeout); err != nil || out != OutcomeFroze {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+
+	anr := ph.LastANR()
+	if anr == nil {
+		t.Fatal("no ANR report captured")
+	}
+	if anr.Looper != "android.ui" {
+		t.Errorf("ANR looper = %q, want android.ui", anr.Looper)
+	}
+	if anr.Process != "system_server" {
+		t.Errorf("ANR process = %q", anr.Process)
+	}
+	blocked := anr.BlockedThreads()
+	if len(blocked) < 2 {
+		t.Fatalf("blocked threads = %d, want >= 2 (both deadlock parties)", len(blocked))
+	}
+	text := anr.String()
+	for _, needle := range []string{
+		"NotificationManagerService.enqueueNotificationWithTag",
+		"StatusBarService$H.handleMessage",
+		"tid=",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("ANR text missing %q", needle)
+		}
+	}
+	if len(ph.ANRs()) != 1 {
+		t.Errorf("ANR count = %d, want 1", len(ph.ANRs()))
+	}
+}
+
+// TestAMSWMSNormalOperation checks the services outside the race window.
+func TestAMSWMSNormalOperation(t *testing.T) {
+	ph := NewPhone(testPhoneConfig(true, core.NewMemHistory()))
+	if err := ph.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	defer ph.Shutdown()
+	ss := ph.System()
+
+	user, err := ss.Proc.Start("user", func(th *vm.Thread) {
+		ss.AMS.StartActivity(th, "com.example/.Main")
+		ss.WMS.ScheduleAnimation(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-user.Done()
+	if user.Err() != nil {
+		t.Fatal(user.Err())
+	}
+	select {
+	case comp := <-ss.WMS.AnimationsDone():
+		if comp != "com.example/.Main" {
+			t.Errorf("animated %q", comp)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("animation never completed")
+	}
+	check, err := ss.Proc.Start("check", func(th *vm.Thread) {
+		if n := ss.AMS.ActivityCount(th); n != 1 {
+			t.Errorf("activities = %d, want 1", n)
+		}
+		if n := ss.WMS.WindowCount(th); n != 1 {
+			t.Errorf("windows = %d, want 1", n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-check.Done()
+}

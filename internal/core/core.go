@@ -1,0 +1,527 @@
+// Package core implements Dimmunix deadlock immunity: deadlock detection
+// over a resource allocation graph, deadlock signatures, a persistent
+// signature history, and avoidance of execution flows that match previously
+// recorded signatures.
+//
+// One Core instance exists per (simulated) process — platform-wide
+// immunity runs Dimmunix in user space inside every application process
+// (§3.1 of the paper), so state is process-local and isolated.
+//
+// The embedding runtime (a synchronization library, here internal/vm's
+// Dalvik-like monitors) drives the core through three interception points,
+// mirroring the paper's integration with lockMonitor/unlockMonitor:
+//
+//   - Request, before a monitorenter: runs detection, then blocks the
+//     caller while any history signature could be instantiated.
+//   - Acquired, right after a monitorenter succeeds.
+//   - Release, right before a monitorexit.
+//
+// For thread safety the core serializes these entry points with one global
+// (per-process) mutex, as the paper does: "Dimmunix uses a global lock
+// within these methods" (§4); the calls themselves are cheap.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Core is one per-process Dimmunix instance.
+type Core struct {
+	mu  sync.Mutex
+	cfg Config
+
+	// positions is the per-process intern table mapping call-stack keys to
+	// unique Position objects (the paper's global positions map).
+	positions map[string]*Position
+	posSeq    int
+
+	// history is the installed signature list; sigKeys deduplicates by
+	// Signature.Key.
+	history []*Signature
+	sigKeys map[string]*Signature
+
+	// yielders tracks threads currently suspended by avoidance.
+	yielders map[*Node]*yieldRecord
+
+	nodeCount        uint64
+	entriesAllocated uint64
+
+	// matchScratch is the reusable slot-assignment buffer for signature
+	// matching (safe: matching always runs under mu).
+	matchScratch []*Node
+
+	stats Stats
+
+	events       chan Event
+	eventsClosed bool
+	killed       bool
+
+	watchdogStop chan struct{}
+	watchdogWG   sync.WaitGroup
+}
+
+// New creates a Core with the given options applied over DefaultConfig.
+// If a history store is configured, all persisted signatures are loaded
+// and installed before New returns, so avoidance is armed from the first
+// monitorenter — this is the paper's initDimmunix, called when Zygote
+// forks a new process.
+func New(opts ...Option) (*Core, error) {
+	cfg := DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:       cfg,
+		positions: make(map[string]*Position),
+		sigKeys:   make(map[string]*Signature),
+		yielders:  make(map[*Node]*yieldRecord),
+		events:    make(chan Event, cfg.EventBuffer),
+	}
+	if cfg.Store != nil {
+		sigs, err := cfg.Store.Load()
+		if err != nil {
+			return nil, fmt.Errorf("init dimmunix: %w", err)
+		}
+		c.mu.Lock()
+		for _, s := range sigs {
+			installed, fresh, err := c.installSignatureLocked(s, false)
+			if err != nil {
+				c.mu.Unlock()
+				return nil, fmt.Errorf("init dimmunix: install signature: %w", err)
+			}
+			if fresh {
+				c.stats.SignaturesLoaded++
+				c.emitLocked(Event{Kind: EventSignatureLoaded, Sig: installed.snapshot()})
+			}
+		}
+		c.mu.Unlock()
+	}
+	if cfg.WatchdogPeriod > 0 {
+		c.watchdogStop = make(chan struct{})
+		c.watchdogWG.Add(1)
+		go c.watchdogLoop()
+	}
+	return c, nil
+}
+
+// Config returns a copy of the effective configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Events returns the event stream. The channel is closed by Close. Events
+// are dropped (never blocking the synchronization path) if the consumer
+// falls behind.
+func (c *Core) Events() <-chan Event { return c.events }
+
+// Close shuts the core down: the watchdog stops, all threads suspended in
+// avoidance are woken with ErrCoreClosed, and the event channel is closed.
+// Close is idempotent.
+func (c *Core) Close() error {
+	c.mu.Lock()
+	if c.killed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.killed = true
+	// Wake every yielder so blocked Requests can return ErrCoreClosed.
+	for _, s := range c.history {
+		s.cond.Broadcast()
+	}
+	c.mu.Unlock()
+
+	if c.watchdogStop != nil {
+		close(c.watchdogStop)
+		c.watchdogWG.Wait()
+	}
+
+	c.mu.Lock()
+	c.eventsClosed = true
+	close(c.events)
+	c.mu.Unlock()
+	return nil
+}
+
+// NewThreadNode creates the RAG node for a thread. stackFn, which may be
+// nil, captures the thread's current full call stack for the informational
+// inner stacks of signatures; it must be safe to call from any goroutine.
+// The paper embeds this node in Dalvik's Thread struct ("Node node").
+func (c *Core) NewThreadNode(name string, stackFn func() CallStack) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodeCount++
+	return &Node{kind: ThreadNode, id: c.nodeCount, name: name, stackFn: stackFn}
+}
+
+// NewLockNode creates the RAG node for a lock (monitor). The paper embeds
+// this node in Dalvik's Monitor struct.
+func (c *Core) NewLockNode(name string) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodeCount++
+	return &Node{kind: LockNode, id: c.nodeCount, name: name}
+}
+
+// Intern returns the unique Position for the given outer call stack,
+// truncated to the configured outer depth. The stack is cloned when a new
+// Position is created, so callers may reuse their capture buffers (the
+// paper's Thread.stackBuffer).
+func (c *Core) Intern(stack CallStack) (*Position, error) {
+	if len(stack) == 0 {
+		return nil, fmt.Errorf("intern: empty call stack")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.internLocked(stack), nil
+}
+
+// internLocked is Intern under c.mu.
+func (c *Core) internLocked(stack CallStack) *Position {
+	stack = stack.Truncate(c.cfg.OuterDepth)
+	key := stack.Key()
+	if p, ok := c.positions[key]; ok {
+		return p
+	}
+	p := &Position{key: key, stack: stack.Clone(), seq: c.posSeq}
+	c.posSeq++
+	c.positions[key] = p
+	return p
+}
+
+// Request implements the pre-monitorenter interception. t is about to
+// request lock l with outer call stack position pos. Request:
+//
+//  1. Runs deadlock detection: if granting the request would complete a
+//     RAG cycle, the deadlock's signature is recorded (and persisted), and
+//     Request either proceeds (PolicyFreeze — the deadlock happens, as on
+//     an unmodified phone it would, but now with an antibody saved) or
+//     returns *DeadlockError (PolicyFail).
+//  2. Runs avoidance: while the pretended approval would make any history
+//     signature instantiable, the calling goroutine is suspended on that
+//     signature's condition variable (§2.2).
+//  3. Approves: t is registered in pos's thread queue ("holds or is
+//     allowed to wait for a lock at pos") and the request edge t→l is
+//     added to the RAG.
+//
+// On success the caller must proceed to block on the real lock and then
+// call Acquired; if the caller gives up instead it must call Abort.
+func (c *Core) Request(t, l *Node, pos *Position) error {
+	if err := checkArgs(t, l); err != nil {
+		return err
+	}
+	if pos == nil {
+		return fmt.Errorf("request: nil position")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		return ErrCoreClosed
+	}
+	c.stats.Requests++
+	if t.reqLock != nil {
+		// A second Request without Acquired/Abort: tolerate but count.
+		c.stats.Misuse++
+	}
+
+	inCycle := false
+	if c.cfg.Detection {
+		if cycle := c.findCycleLocked(t, l); cycle != nil {
+			inCycle = true
+			if err := c.handleDeadlockLocked(t, pos, cycle); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Avoidance. Skipped when the request completes an already-formed
+	// deadlock: yielding cannot undo it, and under PolicyFreeze the
+	// faithful behaviour is to let the deadlock manifest.
+	if c.cfg.Avoidance && !inCycle && len(pos.sigs) > 0 {
+		yielded, err := c.avoidLocked(t, pos)
+		if err != nil {
+			return err
+		}
+		if yielded {
+			c.stats.Resumes++
+			c.emitLocked(Event{
+				Kind:       EventResume,
+				ThreadID:   t.id,
+				ThreadName: t.name,
+				Pos:        pos.key,
+			})
+		}
+	}
+	t.forceResume = false
+
+	// Approve: enter pos's queue and set the request edge.
+	t.reqLock = l
+	t.reqPos = pos
+	t.reqEntry = c.takeEntryLocked(pos, t)
+
+	// A new waits-for edge (t→l) may complete a starvation cycle for a
+	// current yielder.
+	c.scanYieldersLocked()
+	return nil
+}
+
+// Acquired implements the post-monitorenter interception: t now owns l.
+// The request edge is replaced by a hold edge and the position entry is
+// transferred from the thread to the lock (it stays in the same queue: the
+// thread went from "allowed to wait at pos" to "holds at pos").
+func (c *Core) Acquired(t, l *Node) {
+	if checkArgs(t, l) != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Acquisitions++
+	if t.reqLock != l || t.reqEntry == nil {
+		// Acquired without a matching approved Request.
+		c.stats.Misuse++
+		l.owner = t
+		t.reqLock, t.reqPos, t.reqEntry = nil, nil, nil
+		return
+	}
+	l.owner = t
+	l.acqPos = t.reqPos
+	l.acqEntry = t.reqEntry
+	t.reqLock, t.reqPos, t.reqEntry = nil, nil, nil
+	// t becoming the owner creates waits-for edges u→t for every thread u
+	// blocked on l; a yield cycle may have formed.
+	c.scanYieldersLocked()
+}
+
+// Release implements the pre-monitorexit interception: t is about to
+// release l. The hold edge and the position-queue entry are removed; if
+// the acquisition position appears in any history signature, all threads
+// yielding on those signatures are woken to re-check (the paper's
+// notifyAll over signatures containing the position).
+func (c *Core) Release(t, l *Node) {
+	if checkArgs(t, l) != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Releases++
+	if l.owner != t {
+		c.stats.Misuse++
+	}
+	pos := l.acqPos
+	if pos != nil && l.acqEntry != nil {
+		c.releaseEntryLocked(pos, l.acqEntry)
+	}
+	l.owner = nil
+	l.acqPos = nil
+	l.acqEntry = nil
+	if pos != nil && pos.inHistory {
+		for _, s := range pos.sigs {
+			s.cond.Broadcast()
+		}
+	}
+}
+
+// Abort undoes an approved Request that will not proceed to Acquired
+// (e.g. the embedding runtime cancelled a blocked monitorenter during
+// process teardown). The position entry and the request edge are removed
+// and yielders on affected signatures are woken.
+func (c *Core) Abort(t, l *Node) {
+	if checkArgs(t, l) != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Aborts++
+	if t.reqLock != l {
+		c.stats.Misuse++
+		return
+	}
+	pos := t.reqPos
+	if pos != nil && t.reqEntry != nil {
+		c.releaseEntryLocked(pos, t.reqEntry)
+		if pos.inHistory {
+			for _, s := range pos.sigs {
+				s.cond.Broadcast()
+			}
+		}
+	}
+	t.reqLock, t.reqPos, t.reqEntry = nil, nil, nil
+}
+
+// takeEntryLocked allocates or recycles a queue entry, tracking the
+// allocation high-water mark.
+func (c *Core) takeEntryLocked(pos *Position, t *Node) *entry {
+	if c.cfg.QueueReuse && pos.free.len() > 0 {
+		return pos.takeEntry(t, true)
+	}
+	c.entriesAllocated++
+	return pos.takeEntry(t, false)
+}
+
+// releaseEntryLocked returns an entry to the position's free list.
+func (c *Core) releaseEntryLocked(pos *Position, e *entry) {
+	pos.releaseEntry(e, c.cfg.QueueReuse)
+}
+
+// AddSignature installs a signature directly (deduplicated by key) and
+// persists it if a store is configured. It returns the installed snapshot
+// and whether the signature was new. Synthetic histories for benchmarks
+// (§5's 64–256 synthetic signatures) are built this way.
+func (c *Core) AddSignature(sig *Signature) (SignatureInfo, bool, error) {
+	if sig == nil {
+		return SignatureInfo{}, false, fmt.Errorf("add signature: nil signature")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	installed, fresh, err := c.installSignatureLocked(sig, true)
+	if err != nil {
+		return SignatureInfo{}, false, err
+	}
+	return installed.snapshot(), fresh, nil
+}
+
+// installSignatureLocked deduplicates, resolves outer positions, wires the
+// condition variable, and optionally persists. Caller must hold c.mu.
+func (c *Core) installSignatureLocked(sig *Signature, persist bool) (*Signature, bool, error) {
+	if err := sig.Validate(); err != nil {
+		return nil, false, err
+	}
+	// Identity is computed over depth-truncated outer stacks so that a
+	// history recorded at a deeper depth deduplicates consistently under
+	// the current configuration.
+	truncated := &Signature{Kind: sig.Kind, Pairs: make([]SigPair, len(sig.Pairs))}
+	for i, p := range sig.Pairs {
+		truncated.Pairs[i] = SigPair{
+			Outer: p.Outer.Truncate(c.cfg.OuterDepth).Clone(),
+			Inner: p.Inner.Clone(),
+		}
+	}
+	key := truncated.Key()
+	if existing, ok := c.sigKeys[key]; ok {
+		return existing, false, nil
+	}
+	s := truncated
+	s.id = len(c.history)
+	s.cond = sync.NewCond(&c.mu)
+	s.slots = make([]*Position, len(s.Pairs))
+	for i, p := range s.Pairs {
+		pos := c.internLocked(p.Outer)
+		s.slots[i] = pos
+		pos.inHistory = true
+		if !containsSig(pos.sigs, s) {
+			pos.sigs = append(pos.sigs, s)
+		}
+	}
+	c.history = append(c.history, s)
+	c.sigKeys[key] = s
+	c.stats.SignaturesAdded++
+	if persist && c.cfg.Store != nil {
+		if err := c.cfg.Store.Append(s); err != nil {
+			// The in-memory antibody still protects this run; persistence
+			// will be retried implicitly if the bug reoccurs next boot.
+			c.stats.PersistErrors++
+		}
+	}
+	return s, true, nil
+}
+
+// containsSig reports whether sigs already holds s.
+func containsSig(sigs []*Signature, s *Signature) bool {
+	for _, x := range sigs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// History returns a snapshot of all installed signatures.
+func (c *Core) History() []SignatureInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SignatureInfo, len(c.history))
+	for i, s := range c.history {
+		out[i] = s.snapshot()
+	}
+	return out
+}
+
+// HistorySize returns the number of installed signatures.
+func (c *Core) HistorySize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.history)
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Core) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// MemStats computes the current memory footprint of the core's data
+// structures.
+func (c *Core) MemStats() MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memStatsLocked()
+}
+
+// PositionCount returns the number of interned positions.
+func (c *Core) PositionCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.positions)
+}
+
+// CheckStarvationNow synchronously re-runs the starvation scan over all
+// yielding threads. Tests and embedders without a watchdog can call this
+// to force timely starvation handling.
+func (c *Core) CheckStarvationNow() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scanYieldersLocked()
+	if c.cfg.Starvation == StarvationTimeout {
+		c.timeoutYieldersLocked(time.Now())
+	}
+}
+
+// watchdogLoop periodically re-scans yielders (cycle mode) and applies the
+// yield timeout (timeout mode).
+func (c *Core) watchdogLoop() {
+	defer c.watchdogWG.Done()
+	ticker := time.NewTicker(c.cfg.WatchdogPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.watchdogStop:
+			return
+		case now := <-ticker.C:
+			c.mu.Lock()
+			if !c.killed {
+				c.scanYieldersLocked()
+				if c.cfg.Starvation == StarvationTimeout {
+					c.timeoutYieldersLocked(now)
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// checkArgs validates the node kinds for the interception entry points.
+func checkArgs(t, l *Node) error {
+	if t == nil || l == nil {
+		return fmt.Errorf("core: nil node")
+	}
+	if t.kind != ThreadNode {
+		return fmt.Errorf("core: %v is not a thread node", t)
+	}
+	if l.kind != LockNode {
+		return fmt.Errorf("core: %v is not a lock node", l)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import "fmt"
+
+// EventKind identifies the type of a core event.
+type EventKind int
+
+// Event kinds emitted by a Core.
+const (
+	// EventDeadlockDetected fires when Request finds a cycle in the RAG.
+	// The signature has already been added to the history (and persisted,
+	// if a store is configured) by the time the event is visible.
+	EventDeadlockDetected EventKind = iota + 1
+	// EventSignatureLoaded fires once per signature installed from the
+	// persistent store at Core construction.
+	EventSignatureLoaded
+	// EventYield fires when avoidance suspends a thread because a
+	// signature instantiation became possible.
+	EventYield
+	// EventResume fires when a suspended thread passes the avoidance check
+	// and proceeds.
+	EventResume
+	// EventStarvation fires when an avoidance-induced deadlock is
+	// detected; its signature has been saved and the yielding thread
+	// force-resumed.
+	EventStarvation
+	// EventDuplicateDeadlock fires when detection encounters a deadlock
+	// whose signature is already in the history (same bug, reoccurring).
+	EventDuplicateDeadlock
+)
+
+// String returns a readable event-kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventDeadlockDetected:
+		return "deadlock-detected"
+	case EventSignatureLoaded:
+		return "signature-loaded"
+	case EventYield:
+		return "yield"
+	case EventResume:
+		return "resume"
+	case EventStarvation:
+		return "starvation"
+	case EventDuplicateDeadlock:
+		return "duplicate-deadlock"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one observable core occurrence, delivered on Core.Events.
+// Events carry value snapshots only; consuming them never touches live
+// core state.
+type Event struct {
+	Kind EventKind
+	// Sig describes the signature involved (all kinds).
+	Sig SignatureInfo
+	// ThreadID and ThreadName identify the thread involved (yield, resume,
+	// starvation, detection requester).
+	ThreadID   uint64
+	ThreadName string
+	// Pos is the requesting position's key, when applicable.
+	Pos string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%s thread=%s(%d) pos=%s sig=%s",
+		e.Kind, e.ThreadName, e.ThreadID, e.Pos, e.Sig)
+}
+
+// emitLocked queues an event for delivery. Caller must hold c.mu. Delivery
+// is non-blocking: if the buffer is full the event is dropped and counted,
+// so a slow or absent consumer can never stall the synchronization fast
+// path.
+func (c *Core) emitLocked(ev Event) {
+	if c.eventsClosed {
+		return
+	}
+	select {
+	case c.events <- ev:
+	default:
+		c.stats.EventsDropped++
+	}
+}

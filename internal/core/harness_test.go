@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// harness wires a Core to convenience constructors for RAG scenario tests.
+type harness struct {
+	t *testing.T
+	c *Core
+}
+
+func newHarness(t *testing.T, opts ...Option) *harness {
+	t.Helper()
+	c, err := New(opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return &harness{t: t, c: c}
+}
+
+// thread creates a thread node with a fixed informational stack.
+func (h *harness) thread(name string) *Node {
+	stack := CallStack{{Class: "test.Threads", Method: name, Line: 1}}
+	return h.c.NewThreadNode(name, func() CallStack { return stack })
+}
+
+func (h *harness) lock(name string) *Node {
+	return h.c.NewLockNode(name)
+}
+
+// pos interns a depth-1 position "test.<class>.<method>:<line>".
+func (h *harness) pos(class, method string, line int) *Position {
+	h.t.Helper()
+	p, err := h.c.Intern(CallStack{{Class: "test." + class, Method: method, Line: line}})
+	if err != nil {
+		h.t.Fatalf("Intern: %v", err)
+	}
+	return p
+}
+
+// acquire performs the full Request+Acquired sequence, failing the test on
+// error.
+func (h *harness) acquire(t, l *Node, pos *Position) {
+	h.t.Helper()
+	if err := h.c.Request(t, l, pos); err != nil {
+		h.t.Fatalf("Request(%s,%s): %v", t, l, err)
+	}
+	h.c.Acquired(t, l)
+}
+
+// release releases a held lock.
+func (h *harness) release(t, l *Node) {
+	h.t.Helper()
+	h.c.Release(t, l)
+}
+
+// stack builds a call stack from "Class.Method:Line"-style triples.
+func stackOf(frames ...Frame) CallStack { return frames }
+
+func fr(class, method string, line int) Frame {
+	return Frame{Class: class, Method: method, Line: line}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// eventRecorder drains a core's event channel into an inspectable log.
+type eventRecorder struct {
+	mu     sync.Mutex
+	events []Event
+	done   chan struct{}
+}
+
+// recordEvents starts draining c's events until the core is closed.
+func recordEvents(t *testing.T, c *Core) *eventRecorder {
+	t.Helper()
+	r := &eventRecorder{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		for ev := range c.Events() {
+			r.mu.Lock()
+			r.events = append(r.events, ev)
+			r.mu.Unlock()
+		}
+	}()
+	return r
+}
+
+// count returns how many recorded events have the given kind.
+func (r *eventRecorder) count(kind EventKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ev := range r.events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// find returns the first event of the given kind, if any.
+func (r *eventRecorder) find(kind EventKind) (Event, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ev := range r.events {
+		if ev.Kind == kind {
+			return ev, true
+		}
+	}
+	return Event{}, false
+}
+
+// sigOf builds a deadlock signature over depth-1 outer frames.
+func sigOf(kind SigKind, outers ...Frame) *Signature {
+	sig := &Signature{Kind: kind}
+	for _, f := range outers {
+		sig.Pairs = append(sig.Pairs, SigPair{
+			Outer: CallStack{f},
+			Inner: CallStack{f},
+		})
+	}
+	return sig
+}
+
+// mustAdd installs a signature, failing the test on error.
+func mustAdd(t *testing.T, c *Core, sig *Signature) SignatureInfo {
+	t.Helper()
+	info, _, err := c.AddSignature(sig)
+	if err != nil {
+		t.Fatalf("AddSignature: %v", err)
+	}
+	return info
+}
+
+// uniqueFrame generates distinct frames for table-driven tests.
+func uniqueFrame(i int) Frame {
+	return Frame{Class: "gen.C" + fmt.Sprint(i), Method: "m", Line: i}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSigs() []*Signature {
+	return []*Signature{
+		{
+			Kind: DeadlockSig,
+			Pairs: []SigPair{
+				{Outer: stackOf(fr("a.B", "m", 1)), Inner: stackOf(fr("a.B", "m", 1), fr("x.Y", "run", 7))},
+				{Outer: stackOf(fr("c.D", "n", 2)), Inner: stackOf(fr("c.D", "n", 2))},
+			},
+		},
+		{
+			Kind: StarvationSig,
+			Pairs: []SigPair{
+				{Outer: stackOf(fr("e.F", "o", 3)), Inner: stackOf(fr("e.F", "o", 3))},
+			},
+		},
+	}
+}
+
+func TestHistoryEncodeDecodeRoundTrip(t *testing.T) {
+	sigs := sampleSigs()
+	var buf bytes.Buffer
+	if err := EncodeHistory(&buf, sigs); err != nil {
+		t.Fatalf("EncodeHistory: %v", err)
+	}
+	got, skipped, err := DecodeHistory(&buf, false)
+	if err != nil {
+		t.Fatalf("DecodeHistory: %v", err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d, want 0", skipped)
+	}
+	if len(got) != len(sigs) {
+		t.Fatalf("decoded %d signatures, want %d", len(got), len(sigs))
+	}
+	for i := range sigs {
+		if got[i].Key() != sigs[i].Key() {
+			t.Errorf("sig %d key = %q, want %q", i, got[i].Key(), sigs[i].Key())
+		}
+		for j := range sigs[i].Pairs {
+			if !got[i].Pairs[j].Inner.Equal(sigs[i].Pairs[j].Inner) {
+				t.Errorf("sig %d pair %d inner mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeHistoryEmpty(t *testing.T) {
+	got, skipped, err := DecodeHistory(strings.NewReader(""), false)
+	if err != nil || skipped != 0 || len(got) != 0 {
+		t.Errorf("empty input: got %v, %d, %v; want empty history", got, skipped, err)
+	}
+}
+
+func TestDecodeHistoryBadHeader(t *testing.T) {
+	_, _, err := DecodeHistory(strings.NewReader("#not-a-history\n"), false)
+	if !errors.Is(err, ErrHistoryFormat) {
+		t.Errorf("bad header: err = %v, want ErrHistoryFormat", err)
+	}
+}
+
+func TestDecodeHistoryCorruptBlocks(t *testing.T) {
+	corrupt := []string{
+		historyHeader + "\nsig deadlock\npair outer=a.B.m:1 inner=a.B.m:1\n", // truncated: no end
+		historyHeader + "\nsig bogus\nend\n",                                 // unknown kind
+		historyHeader + "\nsig deadlock\nend\n",                              // too few pairs
+		historyHeader + "\nsig deadlock\npair outer=??? inner=a.B.m:1\npair outer=a.B.m:1 inner=a.B.m:1\nend\n",
+		historyHeader + "\ngarbage line\n",
+	}
+	for i, in := range corrupt {
+		if _, _, err := DecodeHistory(strings.NewReader(in), false); !errors.Is(err, ErrHistoryFormat) {
+			t.Errorf("case %d strict: err = %v, want ErrHistoryFormat", i, err)
+		}
+	}
+}
+
+func TestDecodeHistoryLenientSkipsTornTail(t *testing.T) {
+	// A valid signature followed by a torn (crash-truncated) block: lenient
+	// load must keep the prefix — the phone must boot with the antibodies
+	// it has.
+	var buf bytes.Buffer
+	if err := EncodeHistory(&buf, sampleSigs()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("sig deadlock\npair outer=a.B.m:1 inner=a.B.m:1\n") // torn
+	got, skipped, err := DecodeHistory(&buf, true)
+	if err != nil {
+		t.Fatalf("lenient decode: %v", err)
+	}
+	if len(got) != 1 || skipped != 1 {
+		t.Errorf("got %d sigs, %d skipped; want 1 and 1", len(got), skipped)
+	}
+}
+
+func TestFileHistoryMissingFileIsEmpty(t *testing.T) {
+	fh := NewFileHistory(filepath.Join(t.TempDir(), "none.hist"))
+	sigs, err := fh.Load()
+	if err != nil || len(sigs) != 0 {
+		t.Errorf("missing file: got %v, %v; want empty, nil", sigs, err)
+	}
+}
+
+func TestFileHistoryAppendLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dimmunix.hist")
+	fh := NewFileHistory(path)
+	for _, s := range sampleSigs() {
+		if err := fh.Append(s); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	got, err := fh.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d sigs, want 2", len(got))
+	}
+	// The header must appear exactly once even across multiple appends.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(raw), historyHeader); n != 1 {
+		t.Errorf("header appears %d times, want 1", n)
+	}
+}
+
+func TestFileHistoryAppendInvalid(t *testing.T) {
+	fh := NewFileHistory(filepath.Join(t.TempDir(), "x.hist"))
+	if err := fh.Append(&Signature{Kind: DeadlockSig}); err == nil {
+		t.Error("appending an invalid signature must fail")
+	}
+}
+
+func TestFileHistoryLenientOption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.hist")
+	content := historyHeader + "\nsig deadlock\npair outer=a.B.m:1 inner=a.B.m:1\npair outer=c.D.n:2 inner=c.D.n:2\nend\nsig deadlock\npair outer=torn"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileHistory(path).Load(); err == nil {
+		t.Error("strict load of torn file must fail")
+	}
+	sigs, err := NewFileHistory(path, WithLenientLoad()).Load()
+	if err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	if len(sigs) != 1 {
+		t.Errorf("lenient load got %d sigs, want 1", len(sigs))
+	}
+}
+
+func TestMemHistoryIsolation(t *testing.T) {
+	m := NewMemHistory()
+	orig := sampleSigs()[0]
+	if err := m.Append(orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0].Pairs[0].Outer[0].Line = 424242
+	reloaded, err := m.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded[0].Pairs[0].Outer[0].Line == 424242 {
+		t.Error("MemHistory must not alias loaded signatures")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+// genSignature builds a random valid signature for the round-trip property.
+func genSignature(r *rand.Rand) *Signature {
+	kind := DeadlockSig
+	minPairs := 2
+	if r.Intn(2) == 0 {
+		kind = StarvationSig
+		minPairs = 1
+	}
+	n := minPairs + r.Intn(3)
+	sig := &Signature{Kind: kind}
+	for i := 0; i < n; i++ {
+		outer := CallStack{genFrame(r)}
+		innerDepth := 1 + r.Intn(4)
+		inner := make(CallStack, innerDepth)
+		for j := range inner {
+			inner[j] = genFrame(r)
+		}
+		sig.Pairs = append(sig.Pairs, SigPair{Outer: outer, Inner: inner})
+	}
+	return sig
+}
+
+func TestHistoryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		sigs := make([]*Signature, n)
+		for i := range sigs {
+			sigs[i] = genSignature(r)
+		}
+		var buf bytes.Buffer
+		if err := EncodeHistory(&buf, sigs); err != nil {
+			return false
+		}
+		got, skipped, err := DecodeHistory(&buf, false)
+		if err != nil || skipped != 0 || len(got) != n {
+			return false
+		}
+		for i := range sigs {
+			if got[i].Key() != sigs[i].Key() || got[i].Kind != sigs[i].Kind {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignatureKeyOrderIndependent(t *testing.T) {
+	a := sigOf(DeadlockSig, fr("a.B", "m", 1), fr("c.D", "n", 2))
+	b := sigOf(DeadlockSig, fr("c.D", "n", 2), fr("a.B", "m", 1))
+	if a.Key() != b.Key() {
+		t.Error("signature key must not depend on pair order")
+	}
+	c := sigOf(StarvationSig, fr("a.B", "m", 1), fr("c.D", "n", 2))
+	if a.Key() == c.Key() {
+		t.Error("signature key must include the kind")
+	}
+}
+
+func TestSignatureValidate(t *testing.T) {
+	if err := sigOf(DeadlockSig, fr("a.B", "m", 1)).Validate(); err == nil {
+		t.Error("1-pair deadlock signature must not validate")
+	}
+	if err := sigOf(StarvationSig, fr("a.B", "m", 1)).Validate(); err != nil {
+		t.Errorf("1-pair starvation signature must validate: %v", err)
+	}
+	if err := (&Signature{Kind: SigKind(99), Pairs: []SigPair{{Outer: stackOf(fr("a.B", "m", 1)), Inner: stackOf(fr("a.B", "m", 1))}}}).Validate(); err == nil {
+		t.Error("unknown kind must not validate")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import "fmt"
+
+// History merging. The paper positions Dimmunix antibodies as something
+// "customers [use] to defend against deadlocks while waiting for a vendor
+// patch, and software vendors as a safety net" — which implies histories
+// move between machines: a vendor ships the signatures its test fleet
+// collected, a user merges them into the device's history, and every app
+// is immune to bugs it has never locally encountered. MergeHistories
+// implements that: a deduplicating union of signature sets.
+
+// MergeHistories returns the union of the given signature lists,
+// deduplicated by signature key (kind + outer-position multiset), in
+// first-seen order. Inputs are not modified; the result contains deep
+// copies.
+func MergeHistories(lists ...[]*Signature) ([]*Signature, error) {
+	seen := make(map[string]bool)
+	var out []*Signature
+	for li, list := range lists {
+		for si, sig := range list {
+			if sig == nil {
+				return nil, fmt.Errorf("merge: list %d entry %d is nil", li, si)
+			}
+			if err := sig.Validate(); err != nil {
+				return nil, fmt.Errorf("merge: list %d entry %d: %w", li, si, err)
+			}
+			key := sig.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, &Signature{Kind: sig.Kind, Pairs: clonePairs(sig.Pairs)})
+		}
+	}
+	return out, nil
+}
+
+// MergeStores loads every source store and appends the signatures missing
+// from dst, returning how many were added. Duplicates already in dst (or
+// across sources) are skipped.
+func MergeStores(dst HistoryStore, sources ...HistoryStore) (added int, err error) {
+	existing, err := dst.Load()
+	if err != nil {
+		return 0, fmt.Errorf("merge: load destination: %w", err)
+	}
+	seen := make(map[string]bool, len(existing))
+	for _, sig := range existing {
+		seen[sig.Key()] = true
+	}
+	for i, src := range sources {
+		sigs, err := src.Load()
+		if err != nil {
+			return added, fmt.Errorf("merge: load source %d: %w", i, err)
+		}
+		for _, sig := range sigs {
+			key := sig.Key()
+			if seen[key] {
+				continue
+			}
+			if err := dst.Append(sig); err != nil {
+				return added, fmt.Errorf("merge: append: %w", err)
+			}
+			seen[key] = true
+			added++
+		}
+	}
+	return added, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+// Position is the interned representation of an outer call stack: the
+// program location of a monitorenter statement (struct Position in the
+// paper). Exactly one Position object exists per distinct call-stack key in
+// a given Core (one per process), allocated by the positions intern table
+// at first use — "Dimmunix allocates a unique Position object for each call
+// stack of a synchronization operation" (§4).
+//
+// Each Position carries the set of threads that currently hold, or are
+// allowed by Dimmunix to wait for, locks acquired at this location. That
+// set drives the signature-instantiation check. Following §4, the set is a
+// linked queue whose entries are recycled through a second, free queue to
+// minimize allocations.
+//
+// All fields are guarded by the owning Core's global mutex.
+type Position struct {
+	// key is the canonical encoding of stack (CallStack.Key).
+	key string
+	// stack is the interned outer call stack, truncated to the configured
+	// outer depth. Owned by the Position (cloned at intern time).
+	stack CallStack
+	// inHistory is true when at least one history signature contains this
+	// position; only then can an acquisition here participate in an
+	// instantiation, so the release fast path checks this single bool.
+	inHistory bool
+	// sigs lists the history signatures whose outer positions include this
+	// position. Avoidance at this position only needs to examine these.
+	sigs []*Signature
+	// queue holds one entry per (thread, acquisition) that is currently
+	// holding or approved to wait at this position. The paper's main queue.
+	queue entryList
+	// free is the recycling list for queue entries. The paper's second
+	// queue: "whenever a thread t needs to be added to the main queue and
+	// the second queue is non-empty, Dimmunix pops an element from the
+	// second queue" (§4).
+	free entryList
+	// seq is a stable intern order index, used for deterministic iteration
+	// in diagnostics.
+	seq int
+}
+
+// Key returns the canonical string encoding of the position's call stack.
+func (p *Position) Key() string { return p.key }
+
+// Stack returns the interned outer call stack. The caller must not modify
+// the returned slice.
+func (p *Position) Stack() CallStack { return p.stack }
+
+// InHistory reports whether any known signature contains this position.
+func (p *Position) InHistory() bool { return p.inHistory }
+
+// entry is a node in a Position's thread queue. One entry exists per
+// in-flight or completed acquisition at the position; a thread holding two
+// locks acquired at the same position owns two entries there.
+type entry struct {
+	thread     *Node
+	next, prev *entry
+}
+
+// entryList is an intrusive doubly linked list of entries with O(1)
+// insertion and removal. The zero value is an empty list.
+type entryList struct {
+	head, tail *entry
+	size       int
+}
+
+// pushBack appends e to the list.
+func (l *entryList) pushBack(e *entry) {
+	e.next = nil
+	e.prev = l.tail
+	if l.tail != nil {
+		l.tail.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+	l.size++
+}
+
+// remove unlinks e from the list. e must be an element of the list.
+func (l *entryList) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.next, e.prev = nil, nil
+	l.size--
+}
+
+// popFront removes and returns the first entry, or nil if the list is
+// empty.
+func (l *entryList) popFront() *entry {
+	e := l.head
+	if e == nil {
+		return nil
+	}
+	l.remove(e)
+	return e
+}
+
+// len returns the number of entries in the list.
+func (l *entryList) len() int { return l.size }
+
+// takeEntry obtains a queue entry for t at position p, recycling from the
+// free list when possible (the §4 allocation-avoidance scheme). When the
+// Core is configured with queue reuse disabled (ablation A2), entries are
+// always freshly allocated.
+func (p *Position) takeEntry(t *Node, reuse bool) *entry {
+	if reuse {
+		if e := p.free.popFront(); e != nil {
+			e.thread = t
+			p.queue.pushBack(e)
+			return e
+		}
+	}
+	e := &entry{thread: t}
+	p.queue.pushBack(e)
+	return e
+}
+
+// releaseEntry removes e from the main queue and recycles it onto the free
+// list (or drops it when reuse is disabled).
+func (p *Position) releaseEntry(e *entry, reuse bool) {
+	p.queue.remove(e)
+	e.thread = nil
+	if reuse {
+		p.free.pushBack(e)
+	}
+}
+
+// distinctThreads appends to dst the distinct threads present in the
+// position's queue and returns the extended slice. A thread holding several
+// locks acquired here appears once: a single thread cannot deadlock with
+// itself, so instantiation matching is over distinct threads.
+func (p *Position) distinctThreads(dst []*Node) []*Node {
+	for e := p.queue.head; e != nil; e = e.next {
+		seen := false
+		for _, t := range dst {
+			if t == e.thread {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, e.thread)
+		}
+	}
+	return dst
+}
+
+// occupants returns the number of entries (not distinct threads) currently
+// in the queue. Used by stats and tests.
+func (p *Position) occupants() int { return p.queue.len() }

@@ -1,0 +1,162 @@
+package core
+
+import "testing"
+
+func TestEntryListBasics(t *testing.T) {
+	var l entryList
+	if l.len() != 0 || l.popFront() != nil {
+		t.Fatal("zero-value list must be empty")
+	}
+	a, b, c := &entry{}, &entry{}, &entry{}
+	l.pushBack(a)
+	l.pushBack(b)
+	l.pushBack(c)
+	if l.len() != 3 {
+		t.Fatalf("len = %d, want 3", l.len())
+	}
+	l.remove(b) // middle removal
+	if l.len() != 2 || l.head != a || l.tail != c || a.next != c || c.prev != a {
+		t.Fatal("middle removal corrupted links")
+	}
+	l.remove(a) // head removal
+	if l.head != c || c.prev != nil {
+		t.Fatal("head removal corrupted links")
+	}
+	l.remove(c) // tail == head removal
+	if l.len() != 0 || l.head != nil || l.tail != nil {
+		t.Fatal("final removal must empty the list")
+	}
+}
+
+func TestEntryListPopFrontOrder(t *testing.T) {
+	var l entryList
+	n1, n2 := &Node{id: 1}, &Node{id: 2}
+	l.pushBack(&entry{thread: n1})
+	l.pushBack(&entry{thread: n2})
+	if e := l.popFront(); e.thread != n1 {
+		t.Error("popFront must be FIFO")
+	}
+	if e := l.popFront(); e.thread != n2 {
+		t.Error("popFront must be FIFO")
+	}
+}
+
+func TestPositionEntryReuse(t *testing.T) {
+	p := &Position{key: "k"}
+	n := &Node{id: 1}
+
+	e1 := p.takeEntry(n, true)
+	if p.queue.len() != 1 || p.free.len() != 0 {
+		t.Fatal("takeEntry should enqueue")
+	}
+	p.releaseEntry(e1, true)
+	if p.queue.len() != 0 || p.free.len() != 1 {
+		t.Fatal("releaseEntry should recycle onto the free list")
+	}
+	if e1.thread != nil {
+		t.Error("recycled entry must not pin the thread")
+	}
+	e2 := p.takeEntry(n, true)
+	if e2 != e1 {
+		t.Error("takeEntry should reuse the recycled entry (the paper's second queue)")
+	}
+	if p.free.len() != 0 {
+		t.Error("reused entry must leave the free list")
+	}
+}
+
+func TestPositionEntryReuseDisabled(t *testing.T) {
+	p := &Position{key: "k"}
+	n := &Node{id: 1}
+	e1 := p.takeEntry(n, false)
+	p.releaseEntry(e1, false)
+	if p.free.len() != 0 {
+		t.Fatal("reuse disabled: free list must stay empty")
+	}
+	e2 := p.takeEntry(n, false)
+	if e2 == e1 {
+		t.Error("reuse disabled: entries must be freshly allocated")
+	}
+}
+
+func TestPositionDistinctThreads(t *testing.T) {
+	p := &Position{key: "k"}
+	n1, n2 := &Node{id: 1}, &Node{id: 2}
+	// n1 holds two locks acquired at this position: two entries, one thread.
+	p.takeEntry(n1, true)
+	p.takeEntry(n1, true)
+	p.takeEntry(n2, true)
+	got := p.distinctThreads(nil)
+	if len(got) != 2 {
+		t.Fatalf("distinctThreads = %d threads, want 2 (duplicates collapse)", len(got))
+	}
+	if p.occupants() != 3 {
+		t.Fatalf("occupants = %d, want 3", p.occupants())
+	}
+}
+
+func TestInternDeduplicates(t *testing.T) {
+	h := newHarness(t)
+	p1 := h.pos("C", "m", 1)
+	p2 := h.pos("C", "m", 1)
+	p3 := h.pos("C", "m", 2)
+	if p1 != p2 {
+		t.Error("identical stacks must intern to the same Position")
+	}
+	if p1 == p3 {
+		t.Error("different stacks must intern to different Positions")
+	}
+	if h.c.PositionCount() != 2 {
+		t.Errorf("PositionCount = %d, want 2", h.c.PositionCount())
+	}
+}
+
+func TestInternTruncatesToOuterDepth(t *testing.T) {
+	h := newHarness(t, WithOuterDepth(1))
+	deep := stackOf(fr("a.B", "m", 1), fr("c.D", "n", 2))
+	shallow := stackOf(fr("a.B", "m", 1))
+	p1, err := h.c.Intern(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := h.c.Intern(shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("depth-1 interning must collapse stacks with the same top frame")
+	}
+
+	h2 := newHarness(t, WithOuterDepth(2))
+	q1, err := h2.c.Intern(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := h2.c.Intern(shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 == q2 {
+		t.Error("depth-2 interning must distinguish stacks differing below the top")
+	}
+}
+
+func TestInternEmptyStack(t *testing.T) {
+	h := newHarness(t)
+	if _, err := h.c.Intern(nil); err == nil {
+		t.Error("interning an empty stack must fail")
+	}
+}
+
+func TestInternClonesStack(t *testing.T) {
+	h := newHarness(t)
+	buf := stackOf(fr("a.B", "m", 1))
+	p, err := h.c.Intern(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0].Line = 999 // caller reuses its capture buffer
+	if p.Stack()[0].Line == 999 {
+		t.Error("Position must own a copy of the interned stack")
+	}
+}

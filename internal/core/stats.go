@@ -1,0 +1,125 @@
+package core
+
+import "unsafe"
+
+// Stats counts core activity. All counters are cumulative since Core
+// creation. Snapshot with Core.Stats.
+type Stats struct {
+	// Requests counts Request calls (monitorenter interceptions).
+	Requests uint64
+	// Acquisitions counts Acquired calls.
+	Acquisitions uint64
+	// Releases counts Release calls (monitorexit interceptions).
+	Releases uint64
+	// Aborts counts approved requests undone via Abort.
+	Aborts uint64
+	// CycleWalks counts RAG chain walks performed by detection.
+	CycleWalks uint64
+	// DeadlocksDetected counts new deadlock signatures discovered.
+	DeadlocksDetected uint64
+	// DuplicateDeadlocks counts detections whose signature was already in
+	// the history (the same bug reoccurring).
+	DuplicateDeadlocks uint64
+	// AvoidanceChecks counts signature-instantiation matchings attempted.
+	AvoidanceChecks uint64
+	// InstantiationsFound counts matchings that succeeded (led to a yield
+	// or a starvation verdict).
+	InstantiationsFound uint64
+	// Yields counts avoidance suspensions.
+	Yields uint64
+	// Resumes counts threads that resumed from avoidance and proceeded.
+	Resumes uint64
+	// Starvations counts avoidance-induced deadlocks detected.
+	Starvations uint64
+	// SuppressedYields counts yields skipped because the yield state
+	// matched a recorded starvation signature.
+	SuppressedYields uint64
+	// ForcedResumes counts threads force-resumed by starvation handling.
+	ForcedResumes uint64
+	// SignaturesLoaded counts signatures installed from the store at
+	// construction.
+	SignaturesLoaded uint64
+	// SignaturesAdded counts new signatures installed at runtime.
+	SignaturesAdded uint64
+	// PersistErrors counts failed history store appends (the in-memory
+	// history still protects the current run).
+	PersistErrors uint64
+	// EventsDropped counts events discarded because the event buffer was
+	// full.
+	EventsDropped uint64
+	// Misuse counts API sequencing violations detected and tolerated
+	// (e.g. Release of a lock the core never saw acquired).
+	Misuse uint64
+}
+
+// MemStats describes the memory footprint of a Core's data structures —
+// the quantity behind the paper's 4% platform memory overhead claim.
+type MemStats struct {
+	// Positions is the number of interned Position objects.
+	Positions int
+	// Signatures is the number of installed signatures.
+	Signatures int
+	// Nodes is the number of RAG nodes created.
+	Nodes int
+	// QueueEntriesLive is the number of entries currently in position
+	// queues (threads holding or allowed to wait).
+	QueueEntriesLive int
+	// QueueEntriesFree is the number of entries parked on free lists.
+	QueueEntriesFree int
+	// QueueEntriesAllocated is the total number of entries ever allocated;
+	// with queue reuse on, it plateaus at the high-water mark of
+	// concurrent acquisitions per position.
+	QueueEntriesAllocated uint64
+	// Bytes is the estimated total footprint in bytes of positions,
+	// entries, signatures and nodes (struct sizes plus owned strings and
+	// slices).
+	Bytes int64
+}
+
+// Struct sizes used by the footprint estimate.
+const (
+	sizeofPosition  = int64(unsafe.Sizeof(Position{}))
+	sizeofEntry     = int64(unsafe.Sizeof(entry{}))
+	sizeofNode      = int64(unsafe.Sizeof(Node{}))
+	sizeofSignature = int64(unsafe.Sizeof(Signature{}))
+	sizeofFrame     = int64(unsafe.Sizeof(Frame{}))
+	sizeofSigPair   = int64(unsafe.Sizeof(SigPair{}))
+)
+
+// stackBytes estimates the owned bytes of a call stack.
+func stackBytes(cs CallStack) int64 {
+	b := sizeofFrame * int64(len(cs))
+	for _, f := range cs {
+		b += int64(len(f.Class) + len(f.Method))
+	}
+	return b
+}
+
+// memStatsLocked computes the footprint. Caller must hold c.mu.
+func (c *Core) memStatsLocked() MemStats {
+	ms := MemStats{
+		Positions:             len(c.positions),
+		Signatures:            len(c.history),
+		Nodes:                 int(c.nodeCount),
+		QueueEntriesAllocated: c.entriesAllocated,
+	}
+	var bytes int64
+	for key, p := range c.positions {
+		bytes += sizeofPosition + int64(len(key)) + stackBytes(p.stack)
+		ms.QueueEntriesLive += p.queue.len()
+		ms.QueueEntriesFree += p.free.len()
+		// sigs slice headers.
+		bytes += int64(len(p.sigs)) * 8
+	}
+	bytes += int64(ms.QueueEntriesLive+ms.QueueEntriesFree) * sizeofEntry
+	for _, s := range c.history {
+		bytes += sizeofSignature
+		for _, pr := range s.Pairs {
+			bytes += sizeofSigPair + stackBytes(pr.Outer) + stackBytes(pr.Inner)
+		}
+		bytes += int64(len(s.slots)) * 8
+	}
+	bytes += int64(c.nodeCount) * sizeofNode
+	ms.Bytes = bytes
+	return ms
+}

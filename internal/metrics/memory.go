@@ -1,0 +1,111 @@
+package metrics
+
+import "fmt"
+
+// Memory accounting for experiment E5 (Table 1's memory columns and the
+// overall 4% claim). The vanilla footprint of each application is modeled
+// from the paper's own measurements (we have no phone to run procrank on);
+// the Dimmunix-attributable bytes are *measured* from the live data
+// structures: interned positions, RAG nodes, queue entries and signatures
+// in the core, plus fattened monitors, per-thread stack buffers and site
+// caches in the VM.
+
+const bytesPerMB = 1024 * 1024
+
+// AppMemory is one application row of Table 1's memory columns.
+type AppMemory struct {
+	// Name is the application name.
+	Name string
+	// VanillaMB is the modeled footprint without Dimmunix.
+	VanillaMB float64
+	// CoreBytes is the measured footprint of the app process's Dimmunix
+	// core structures.
+	CoreBytes int64
+	// VMBytes is the measured footprint of Dimmunix-attributable VM
+	// structures (extra fattened monitors, stack buffers, RAG nodes).
+	VMBytes int64
+}
+
+// DimmunixMB returns the total footprint with Dimmunix enabled.
+func (a AppMemory) DimmunixMB() float64 {
+	return a.VanillaMB + float64(a.CoreBytes+a.VMBytes)/bytesPerMB
+}
+
+// OverheadPct returns the per-app memory overhead percentage (the paper
+// reports 1.3–5.3% across the 8 applications).
+func (a AppMemory) OverheadPct() float64 {
+	if a.VanillaMB <= 0 {
+		return 0
+	}
+	return (a.DimmunixMB() - a.VanillaMB) / a.VanillaMB * 100
+}
+
+// PlatformMemory aggregates all running applications against the device's
+// RAM to reproduce the paper's overall figures: "the overall memory
+// consumption is 52% for the Dimmunix-enabled Android OS, and 50% for the
+// vanilla Android OS".
+type PlatformMemory struct {
+	// DeviceMB is the device RAM (Nexus One: 512 MB).
+	DeviceMB float64
+	// BaseOSMB is the OS footprint outside the profiled apps.
+	BaseOSMB float64
+	// Apps are the per-application rows.
+	Apps []AppMemory
+}
+
+// VanillaUsedMB sums the vanilla footprints plus the OS base.
+func (p PlatformMemory) VanillaUsedMB() float64 {
+	total := p.BaseOSMB
+	for _, a := range p.Apps {
+		total += a.VanillaMB
+	}
+	return total
+}
+
+// DimmunixUsedMB sums the Dimmunix footprints plus the OS base.
+func (p PlatformMemory) DimmunixUsedMB() float64 {
+	total := p.BaseOSMB
+	for _, a := range p.Apps {
+		total += a.DimmunixMB()
+	}
+	return total
+}
+
+// VanillaPct returns vanilla memory utilization as a percentage of device
+// RAM.
+func (p PlatformMemory) VanillaPct() float64 {
+	if p.DeviceMB <= 0 {
+		return 0
+	}
+	return p.VanillaUsedMB() / p.DeviceMB * 100
+}
+
+// DimmunixPct returns Dimmunix memory utilization as a percentage of
+// device RAM.
+func (p PlatformMemory) DimmunixPct() float64 {
+	if p.DeviceMB <= 0 {
+		return 0
+	}
+	return p.DimmunixUsedMB() / p.DeviceMB * 100
+}
+
+// OverallOverheadPct returns the total memory overhead across all apps —
+// the paper's "overall, for all the running applications, the memory
+// overhead is 4%".
+func (p PlatformMemory) OverallOverheadPct() float64 {
+	van := 0.0
+	dim := 0.0
+	for _, a := range p.Apps {
+		van += a.VanillaMB
+		dim += a.DimmunixMB()
+	}
+	if van <= 0 {
+		return 0
+	}
+	return (dim - van) / van * 100
+}
+
+// FormatMB renders a footprint like the paper's table ("15.8 MB").
+func FormatMB(mb float64) string {
+	return fmt.Sprintf("%.1f MB", mb)
+}

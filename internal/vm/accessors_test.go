@@ -1,0 +1,173 @@
+package vm
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+func TestVMAccessors(t *testing.T) {
+	p := vanillaProcess(t)
+	o := p.NewObject("shared")
+	if o.Name() != "shared" {
+		t.Errorf("Object.Name = %q", o.Name())
+	}
+	if p.Killed() {
+		t.Error("fresh process must not be killed")
+	}
+	th := startThread(t, p, "w", func(th *Thread) {
+		if th.ID() == 0 {
+			t.Error("thread ID must be assigned")
+		}
+		if th.Process() != p {
+			t.Error("Thread.Process mismatch")
+		}
+		o.Synchronized(th, func() {})
+	})
+	waitDone(t, th)
+	if p.SyncCount() != 1 {
+		t.Errorf("SyncCount = %d, want 1", p.SyncCount())
+	}
+	if got := len(p.Threads()); got != 1 {
+		t.Errorf("Threads() = %d, want 1", got)
+	}
+	if fp := p.SyncFootprint(); fp < 0 {
+		t.Errorf("SyncFootprint = %d", fp)
+	}
+}
+
+func TestThreadStateStrings(t *testing.T) {
+	tests := []struct {
+		state ThreadState
+		want  string
+	}{
+		{StateNew, "new"},
+		{StateRunnable, "runnable"},
+		{StateBlocked, "blocked"},
+		{StateWaiting, "waiting"},
+		{StateTerminated, "terminated"},
+		{ThreadState(99), "ThreadState(99)"},
+	}
+	for _, tc := range tests {
+		if got := tc.state.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.state, got, tc.want)
+		}
+	}
+	kinds := []struct {
+		kind SiteKind
+		want string
+	}{
+		{SyncBlock, "synchronized-block"},
+		{SyncMethod, "synchronized-method"},
+		{ExplicitLock, "explicit-lock"},
+		{SiteKind(42), "SiteKind(42)"},
+	}
+	for _, tc := range kinds {
+		if got := tc.kind.String(); got != tc.want {
+			t.Errorf("SiteKind = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestZygoteAccessors(t *testing.T) {
+	store := core.NewMemHistory()
+	z := NewZygote(
+		WithDimmunix(true),
+		WithHistory(store),
+		WithCoreOptions(core.WithOuterDepth(2)),
+	)
+	if !z.DimmunixEnabled() {
+		t.Error("DimmunixEnabled = false")
+	}
+	p, err := z.Fork("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer z.KillAll()
+	if got := p.Dimmunix().Config().OuterDepth; got != 2 {
+		t.Errorf("forwarded OuterDepth = %d, want 2", got)
+	}
+	if procs := z.Processes(); len(procs) != 1 || procs[0] != p {
+		t.Errorf("Processes() = %v", procs)
+	}
+}
+
+// TestSyncFootprintGrowsWithMonitors: the E5 measurement must actually
+// track monitor inflation.
+func TestSyncFootprintGrowsWithMonitors(t *testing.T) {
+	p := dimProcess(t)
+	before := p.SyncFootprint()
+	objs := make([]*Object, 50)
+	for i := range objs {
+		objs[i] = p.NewObject("o")
+	}
+	th := startThread(t, p, "w", func(th *Thread) {
+		for _, o := range objs {
+			o.Synchronized(th, func() {})
+		}
+	})
+	waitDone(t, th)
+	after := p.SyncFootprint()
+	if after <= before {
+		t.Errorf("footprint did not grow: %d -> %d", before, after)
+	}
+	if grown := after - before; grown < 50*sizeofMonitor {
+		t.Errorf("footprint grew %d bytes for 50 monitors, want >= %d", grown, 50*sizeofMonitor)
+	}
+}
+
+// TestEnterAtVanillaIgnoresSite: static sites only matter under Dimmunix;
+// the vanilla thin path must work unchanged.
+func TestEnterAtVanillaIgnoresSite(t *testing.T) {
+	p := vanillaProcess(t)
+	o := p.NewObject("o")
+	site := NewSite("com.app.S", "m", 7)
+	th := startThread(t, p, "w", func(th *Thread) {
+		if err := o.EnterAt(th, site); err != nil {
+			t.Error(err)
+		}
+		if o.IsFat() {
+			t.Error("vanilla EnterAt must stay thin when uncontended")
+		}
+		if err := o.Exit(th); err != nil {
+			t.Error(err)
+		}
+	})
+	waitDone(t, th)
+}
+
+// TestWaitZeroTimeoutMeansForever plus notify path through SynchronizedAt.
+func TestSynchronizedAtWaitNotify(t *testing.T) {
+	p := dimProcess(t)
+	o := p.NewObject("cond")
+	site := NewSite("com.app.C", "await", 11)
+	got := make(chan bool, 1)
+	waiter := startThread(t, p, "waiter", func(th *Thread) {
+		o.SynchronizedAt(th, site, func() {
+			notified, err := o.Wait(th, 0)
+			if err != nil {
+				t.Error(err)
+			}
+			got <- notified
+		})
+	})
+	pollUntil(t, "parked", func() bool { return p.Stats().Waits == 1 })
+	n := startThread(t, p, "notifier", func(th *Thread) {
+		o.SynchronizedAt(th, site, func() {
+			if err := o.NotifyAll(th); err != nil {
+				t.Error(err)
+			}
+		})
+	})
+	waitDone(t, n)
+	select {
+	case notified := <-got:
+		if !notified {
+			t.Error("waiter must be notified")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter hung")
+	}
+	waitDone(t, waiter)
+}

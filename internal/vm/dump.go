@@ -1,0 +1,73 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// Thread dumps — the VM equivalent of the traces Android writes to
+// /data/anr/traces.txt when the watchdog or ANR machinery fires. A dump
+// snapshots every thread's name, state and simulated call stack; the
+// platform attaches one to each freeze report so a recorded deadlock is
+// diagnosable after the fact.
+
+// ThreadDump is one thread's snapshot.
+type ThreadDump struct {
+	// ID is the thread id within its process.
+	ID uint32
+	// Name is the thread name.
+	Name string
+	// State is the thread state at snapshot time.
+	State ThreadState
+	// Stack is the thread's simulated call stack, innermost frame first.
+	Stack core.CallStack
+}
+
+// String renders one thread like a traces.txt entry.
+func (d ThreadDump) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\"%s\" tid=%d %s\n", d.Name, d.ID, d.State)
+	for _, f := range d.Stack {
+		fmt.Fprintf(&b, "    at %s\n", f)
+	}
+	return b.String()
+}
+
+// DumpThreads snapshots all threads of the process, sorted by id. The
+// snapshot is taken thread by thread (each stack is internally consistent;
+// the set is approximate while threads run, exact once they are blocked —
+// which is the case that matters for freeze diagnosis).
+func (p *Process) DumpThreads() []ThreadDump {
+	p.mu.Lock()
+	threads := make([]*Thread, 0, len(p.threads))
+	for _, t := range p.threads {
+		threads = append(threads, t)
+	}
+	p.mu.Unlock()
+
+	dumps := make([]ThreadDump, 0, len(threads))
+	for _, t := range threads {
+		dumps = append(dumps, ThreadDump{
+			ID:    t.id,
+			Name:  t.name,
+			State: t.State(),
+			Stack: t.CurrentStack(),
+		})
+	}
+	sort.Slice(dumps, func(i, j int) bool { return dumps[i].ID < dumps[j].ID })
+	return dumps
+}
+
+// FormatDump renders a full process dump.
+func FormatDump(procName string, dumps []ThreadDump) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "----- thread dump of process %q (%d threads) -----\n", procName, len(dumps))
+	for _, d := range dumps {
+		b.WriteString(d.String())
+	}
+	b.WriteString("----- end dump -----\n")
+	return b.String()
+}

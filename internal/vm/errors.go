@@ -1,0 +1,23 @@
+package vm
+
+import "errors"
+
+var (
+	// ErrNotOwner reports a monitorexit/wait/notify by a thread that does
+	// not own the monitor (Java's IllegalMonitorStateException).
+	ErrNotOwner = errors.New("vm: thread does not own the monitor")
+	// ErrInterrupted reports that a thread was interrupted while waiting
+	// (Java's InterruptedException). The monitor has been re-acquired when
+	// Wait returns this error.
+	ErrInterrupted = errors.New("vm: interrupted while waiting")
+	// ErrProcessKilled reports that the operation was abandoned because
+	// the process is being torn down (reboot).
+	ErrProcessKilled = errors.New("vm: process killed")
+	// ErrNilThread reports a nil thread argument.
+	ErrNilThread = errors.New("vm: nil thread")
+	// ErrForeignThread reports a thread operating on another process's
+	// object: processes are isolated address spaces.
+	ErrForeignThread = errors.New("vm: thread belongs to a different process")
+	// ErrProcessDead reports an operation on a killed process.
+	ErrProcessDead = errors.New("vm: process is dead")
+)

@@ -1,0 +1,41 @@
+package vm
+
+// Thin lock word encoding, modeled on Dalvik's u4 lock word: an unowned
+// object has lock word 0; a thin-locked object encodes the owner thread id
+// and a recursion count; a fattened object has the shape bit set and its
+// Monitor published separately (Dalvik packs the Monitor pointer into the
+// word; we keep an atomic pointer alongside, which preserves the protocol
+// while staying in safe Go).
+//
+// Layout (64-bit word):
+//
+//	bit  63     : shape (0 = thin, 1 = fat)
+//	bits 16..47 : owner thread id (32 bits)
+//	bits  0..15 : recursion count - 1 (thin locks only)
+const (
+	lwShapeFat uint64 = 1 << 63
+
+	lwOwnerShift        = 16
+	lwOwnerMask  uint64 = 0xFFFFFFFF << lwOwnerShift
+
+	lwCountMask uint64 = 0xFFFF
+
+	// maxThinRecursion is the deepest recursion a thin lock can encode;
+	// one past it forces inflation, as in Dalvik.
+	maxThinRecursion = int(lwCountMask)
+)
+
+// thinWord builds a thin lock word for owner tid with the given recursion
+// count (>= 1).
+func thinWord(tid uint32, count int) uint64 {
+	return uint64(tid)<<lwOwnerShift | uint64(count-1)
+}
+
+// lwIsFat reports whether the word has the fat shape bit.
+func lwIsFat(lw uint64) bool { return lw&lwShapeFat != 0 }
+
+// lwOwner extracts the owner tid of a thin word.
+func lwOwner(lw uint64) uint32 { return uint32((lw & lwOwnerMask) >> lwOwnerShift) }
+
+// lwCount extracts the recursion count of a thin word.
+func lwCount(lw uint64) int { return int(lw&lwCountMask) + 1 }

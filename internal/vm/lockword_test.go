@@ -1,0 +1,44 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestThinWordRoundTrip(t *testing.T) {
+	f := func(tid uint32, countSeed uint16) bool {
+		count := int(countSeed) + 1 // 1..65536; cap at encodable max
+		if count > maxThinRecursion {
+			count = maxThinRecursion
+		}
+		lw := thinWord(tid, count)
+		return !lwIsFat(lw) && lwOwner(lw) == tid && lwCount(lw) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThinWordIncrementIsRecursion(t *testing.T) {
+	lw := thinWord(7, 1)
+	for want := 2; want <= 5; want++ {
+		lw++
+		if lwCount(lw) != want || lwOwner(lw) != 7 {
+			t.Fatalf("after ++: count=%d owner=%d, want %d/7", lwCount(lw), lwOwner(lw), want)
+		}
+	}
+}
+
+func TestFatShapeBitDisjointFromThinFields(t *testing.T) {
+	// The max thin word must not collide with the shape bit.
+	lw := thinWord(^uint32(0), maxThinRecursion)
+	if lwIsFat(lw) {
+		t.Error("max thin word must not read as fat")
+	}
+	if !lwIsFat(lwShapeFat) {
+		t.Error("shape constant must read as fat")
+	}
+	if lwIsFat(0) {
+		t.Error("zero word must read as thin/free")
+	}
+}

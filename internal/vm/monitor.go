@@ -1,0 +1,278 @@
+package vm
+
+import (
+	"sync"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// Monitor is a fat lock: Dalvik's struct Monitor with the paper's added
+// RAG node. It provides mutual exclusion with recursion and the
+// wait/notify wait set, and drives the Dimmunix interception:
+//
+//	dvmGetCallStack + getPosition          (capture, intern)
+//	Request  — before blocking on the lock (detection + avoidance)
+//	Acquired — right after obtaining it
+//	Release  — right before releasing it
+type Monitor struct {
+	obj  *Object
+	proc *Process
+	// node is the RAG lock node ("Node node" added to struct Monitor);
+	// nil when the process runs vanilla.
+	node *core.Node
+
+	mu        sync.Mutex
+	acqCond   *sync.Cond
+	owner     *Thread
+	recursion int
+	// blocked counts threads inside the acquisition loop (diagnostics).
+	blocked int
+	// waitSet holds threads parked in Object.wait, in arrival order.
+	waitSet []*waitNode
+}
+
+// waitNode parks one waiting thread.
+type waitNode struct {
+	t        *Thread
+	notified bool
+	ch       chan struct{}
+}
+
+// Owner returns the current owner, or nil. Diagnostic only: the value may
+// be stale by the time it is observed.
+func (m *Monitor) Owner() *Thread {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.owner
+}
+
+// Blocked returns how many threads are currently blocked entering.
+func (m *Monitor) Blocked() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.blocked
+}
+
+// enter acquires the monitor for t with the given recursion level
+// (normally 1; Object.wait re-acquisition restores its saved count).
+// site, when non-nil, supplies a pre-resolved position (static-id mode).
+func (m *Monitor) enter(t *Thread, recursion int, site *Site) error {
+	m.mu.Lock()
+	if m.owner == t {
+		m.recursion += recursion
+		m.mu.Unlock()
+		m.proc.stats.recursiveEnters.Add(1)
+		m.proc.noteSync()
+		return nil
+	}
+	m.mu.Unlock()
+
+	// Dimmunix interception: position capture + Request. This may suspend
+	// the thread in avoidance; it returns an error only if the core is
+	// closed (process teardown) or detection fails the request.
+	dim := m.proc.dim
+	if dim != nil {
+		pos, err := m.resolvePosition(t, site)
+		if err != nil {
+			return err
+		}
+		t.setState(StateBlocked)
+		if err := dim.Request(t.node, m.node, pos); err != nil {
+			t.setState(StateRunnable)
+			return err
+		}
+	}
+
+	m.mu.Lock()
+	t.setState(StateBlocked)
+	m.blocked++
+	for {
+		// The kill check runs on every wakeup and before the first wait:
+		// a thread must never acquire a monitor (and run its critical
+		// section) on a process being torn down, even if the owner's
+		// unwinding just released it.
+		if m.proc.isKilled() {
+			m.blocked--
+			m.mu.Unlock()
+			t.setState(StateRunnable)
+			if dim != nil {
+				dim.Abort(t.node, m.node)
+			}
+			return ErrProcessKilled
+		}
+		if m.owner == nil {
+			break
+		}
+		m.acqCond.Wait()
+	}
+	m.blocked--
+	m.owner = t
+	m.recursion = recursion
+	m.mu.Unlock()
+	t.setState(StateRunnable)
+
+	if dim != nil {
+		dim.Acquired(t.node, m.node)
+	}
+	m.proc.stats.fatEnters.Add(1)
+	m.proc.noteSync()
+	return nil
+}
+
+// resolvePosition produces the monitorenter position: the pre-resolved
+// site id when available, otherwise a stack capture + intern (the paper's
+// dvmGetCallStack + getPosition pair).
+func (m *Monitor) resolvePosition(t *Thread, site *Site) (*core.Position, error) {
+	if site != nil {
+		return site.position(m.proc)
+	}
+	stack := t.captureTop(m.proc.captureDepth)
+	return m.proc.dim.Intern(stack)
+}
+
+// exit releases the monitor (one recursion level).
+func (m *Monitor) exit(t *Thread) error {
+	m.mu.Lock()
+	if m.owner != t {
+		m.mu.Unlock()
+		return ErrNotOwner
+	}
+	if m.recursion > 1 {
+		m.recursion--
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
+
+	// Dimmunix interception right before the release (§4: unlockMonitor
+	// notifies yielders on in-history positions, then calls Release).
+	if dim := m.proc.dim; dim != nil {
+		dim.Release(t.node, m.node)
+	}
+
+	m.mu.Lock()
+	m.owner = nil
+	m.recursion = 0
+	m.acqCond.Signal()
+	m.mu.Unlock()
+	return nil
+}
+
+// wait implements Object.wait on the fat monitor: full release, park,
+// re-acquire through the complete interception path (§3.2's waitMonitor
+// change), restoring the saved recursion count.
+func (m *Monitor) wait(t *Thread, timeout time.Duration) (bool, error) {
+	m.mu.Lock()
+	if m.owner != t {
+		m.mu.Unlock()
+		return false, ErrNotOwner
+	}
+	if t.Interrupted() {
+		m.mu.Unlock()
+		return false, ErrInterrupted
+	}
+	saved := m.recursion
+	wn := &waitNode{t: t, ch: make(chan struct{})}
+	m.waitSet = append(m.waitSet, wn)
+	m.mu.Unlock()
+
+	// Fully release the monitor (wait releases all recursion levels).
+	if dim := m.proc.dim; dim != nil {
+		dim.Release(t.node, m.node)
+	}
+	m.mu.Lock()
+	m.owner = nil
+	m.recursion = 0
+	m.acqCond.Signal()
+	m.mu.Unlock()
+	m.proc.stats.waits.Add(1)
+
+	// Park.
+	t.setState(StateWaiting)
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	interrupted := false
+	killed := false
+	select {
+	case <-wn.ch:
+	case <-timerC:
+	case <-t.interruptCh:
+		interrupted = true
+	case <-m.proc.killCh:
+		killed = true
+	}
+	t.setState(StateRunnable)
+
+	// Determine the outcome and leave the wait set. A concurrent notify
+	// wins over timeout/interrupt, consuming the notification (so it is
+	// not lost for other waiters).
+	m.mu.Lock()
+	notified := wn.notified
+	if !notified {
+		m.removeWaiter(wn)
+	}
+	m.mu.Unlock()
+
+	if killed {
+		// Process teardown: do not re-acquire; unwind.
+		return notified, ErrProcessKilled
+	}
+
+	// Re-acquire through the full path: this is where wait-inversion
+	// deadlocks form, and exactly what Android Dimmunix intercepts by
+	// changing the Object.wait native method (§3.2).
+	if err := m.enter(t, saved, nil); err != nil {
+		return notified, err
+	}
+	if interrupted {
+		t.interrupted.Store(false)
+		t.drainInterrupt()
+		return notified, ErrInterrupted
+	}
+	return notified, nil
+}
+
+// removeWaiter unlinks wn from the wait set. Caller must hold m.mu.
+func (m *Monitor) removeWaiter(wn *waitNode) {
+	for i, x := range m.waitSet {
+		if x == wn {
+			m.waitSet = append(m.waitSet[:i], m.waitSet[i+1:]...)
+			return
+		}
+	}
+}
+
+// notify wakes one (or all) waiters. Caller must own the monitor.
+func (m *Monitor) notify(t *Thread, all bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.owner != t {
+		return ErrNotOwner
+	}
+	for len(m.waitSet) > 0 {
+		wn := m.waitSet[0]
+		m.waitSet = m.waitSet[1:]
+		wn.notified = true
+		close(wn.ch)
+		m.proc.stats.notifies.Add(1)
+		if !all {
+			break
+		}
+	}
+	return nil
+}
+
+// killWake wakes every thread parked in this monitor (acquisition and wait
+// set) during process teardown. Parked acquirers observe the killed flag;
+// waiters observe killCh directly, so only the acquisition condition needs
+// a broadcast.
+func (m *Monitor) killWake() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.acqCond.Broadcast()
+}

@@ -1,0 +1,190 @@
+package vm
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+func TestProcessJoin(t *testing.T) {
+	p := vanillaProcess(t)
+	release := make(chan struct{})
+	startThread(t, p, "w", func(*Thread) { <-release })
+	if p.Join(10 * time.Millisecond) {
+		t.Error("Join must time out while a thread runs")
+	}
+	close(release)
+	if !p.Join(5 * time.Second) {
+		t.Error("Join must succeed after threads finish")
+	}
+}
+
+func TestProcessKillIdempotent(t *testing.T) {
+	p := NewProcess("test", nil)
+	startThread(t, p, "w", func(th *Thread) { <-th.proc.killCh })
+	p.Kill()
+	p.Kill() // second kill must not panic or hang
+}
+
+func TestProcessStatsCounts(t *testing.T) {
+	p := dimProcess(t)
+	o := p.NewObject("o")
+	th := startThread(t, p, "w", func(th *Thread) {
+		o.Synchronized(th, func() {})
+		o.Synchronized(th, func() {
+			o.Synchronized(th, func() {}) // recursive
+		})
+	})
+	waitDone(t, th)
+	st := p.Stats()
+	if st.SyncOps != 3 {
+		t.Errorf("SyncOps = %d, want 3", st.SyncOps)
+	}
+	if st.RecursiveEnters != 1 {
+		t.Errorf("RecursiveEnters = %d, want 1", st.RecursiveEnters)
+	}
+	if st.Threads != 1 || st.Objects != 1 || st.Monitors != 1 {
+		t.Errorf("threads/objects/monitors = %d/%d/%d, want 1/1/1", st.Threads, st.Objects, st.Monitors)
+	}
+}
+
+func TestZygoteForkIsolation(t *testing.T) {
+	z := NewZygote(WithDimmunix(true))
+	p1, err := z.Fork("app1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := z.Fork("app2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer z.KillAll()
+
+	if p1.Dimmunix() == nil || p2.Dimmunix() == nil {
+		t.Fatal("dimmunix zygote must give every process a core")
+	}
+	if p1.Dimmunix() == p2.Dimmunix() {
+		t.Error("each process must have its own core (user-space isolation, §3.1)")
+	}
+	if p1.ID() == p2.ID() {
+		t.Error("processes must have distinct pids")
+	}
+}
+
+func TestZygoteVanillaFork(t *testing.T) {
+	z := NewZygote(WithDimmunix(false))
+	p, err := z.Fork("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer z.KillAll()
+	if p.Dimmunix() != nil {
+		t.Error("vanilla zygote must not attach a core")
+	}
+}
+
+// TestZygoteSharedHistory is platform-wide immunity across apps: a
+// deadlock detected in one app's process immunizes a different app forked
+// later, because both load the same history store.
+func TestZygoteSharedHistory(t *testing.T) {
+	store := core.NewMemHistory()
+	z := NewZygote(WithDimmunix(true), WithHistory(store))
+
+	p1, err := z.Fork("buggy-app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abbaScenario(t, p1, true)
+	pollUntil(t, "deadlock in app1", func() bool {
+		return p1.Dimmunix().Stats().DeadlocksDetected == 1
+	})
+	p1.Kill()
+
+	// A different app with the same code pattern is immune from birth.
+	p2, err := z.Fork("other-app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer z.KillAll()
+	if p2.Dimmunix().HistorySize() != 1 {
+		t.Fatalf("app2 loaded %d signatures, want 1", p2.Dimmunix().HistorySize())
+	}
+	t1, t2 := abbaScenario(t, p2, false)
+	waitDone(t, t1)
+	waitDone(t, t2)
+	if st := p2.Dimmunix().Stats(); st.DeadlocksDetected != 0 {
+		t.Errorf("app2 deadlocked: %+v", st)
+	}
+}
+
+func TestZygoteForkFailsOnBadStore(t *testing.T) {
+	z := NewZygote(WithDimmunix(true), WithHistory(badStore{}))
+	if _, err := z.Fork("app"); err == nil {
+		t.Error("fork with failing history store must error")
+	}
+}
+
+// badStore always fails to load.
+type badStore struct{}
+
+func (badStore) Load() ([]*core.Signature, error) {
+	return nil, errTest
+}
+func (badStore) Append(*core.Signature) error { return errTest }
+
+var errTest = core.ErrHistoryFormat
+
+func TestCensusCounts(t *testing.T) {
+	c := NewCensus()
+	c.Register(
+		NewSite("a.A", "m", 1),
+		NewSite("a.A", "m", 2),
+		NewMethodSite("a.B", "n", 1),
+		&Site{Frame: core.Frame{Class: "a.C", Method: "lock", Line: 3}, Kind: ExplicitLock},
+	)
+	got := c.Counts()
+	if got.SyncBlocks != 2 || got.SyncMethods != 1 || got.ExplicitLocks != 1 {
+		t.Errorf("counts = %+v", got)
+	}
+	if got.TotalSyncSites != 3 || got.TotalSites != 4 {
+		t.Errorf("totals = %+v", got)
+	}
+	if got.ClassesDeclared != 3 {
+		t.Errorf("classes = %d, want 3", got.ClassesDeclared)
+	}
+	by := c.ByClass()
+	if len(by) != 3 || by[0].Class != "a.A" || by[0].Synchronized != 2 {
+		t.Errorf("ByClass = %+v", by)
+	}
+}
+
+// TestDeadlockFreezeKeepsOtherAppsAlive: platform-wide immunity is
+// per-process; one app's freeze must not impede another process.
+func TestDeadlockFreezeKeepsOtherAppsAlive(t *testing.T) {
+	z := NewZygote(WithDimmunix(true), WithHistory(core.NewMemHistory()))
+	frozen, err := z.Fork("frozen-app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abbaScenario(t, frozen, true)
+	pollUntil(t, "freeze", func() bool {
+		return frozen.Dimmunix().Stats().DeadlocksDetected == 1
+	})
+
+	healthy, err := z.Fork("healthy-app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer z.KillAll()
+	o := healthy.NewObject("o")
+	th := startThread(t, healthy, "w", func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			o.Synchronized(th, func() {})
+		}
+	})
+	waitDone(t, th)
+	if th.Err() != nil {
+		t.Errorf("healthy app impacted by frozen app: %v", th.Err())
+	}
+}

@@ -1,0 +1,195 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// SiteKind classifies a synchronization site in simulated platform code,
+// for the §3.2 census (Android 2.2 essential applications contain 1,050
+// synchronized blocks/methods and only 15 explicit lock/unlock sites).
+type SiteKind int
+
+// Synchronization site kinds.
+const (
+	// SyncBlock is a synchronized(obj){...} block.
+	SyncBlock SiteKind = iota + 1
+	// SyncMethod is a synchronized method (a block over `this`).
+	SyncMethod
+	// ExplicitLock is an explicit lock()/unlock() pair (the minority case
+	// Android Dimmunix does not intercept; counted for the census).
+	ExplicitLock
+)
+
+// String returns a readable kind name.
+func (k SiteKind) String() string {
+	switch k {
+	case SyncBlock:
+		return "synchronized-block"
+	case SyncMethod:
+		return "synchronized-method"
+	case ExplicitLock:
+		return "explicit-lock"
+	default:
+		return fmt.Sprintf("SiteKind(%d)", int(k))
+	}
+}
+
+// Site is a static synchronization statement: a program location that
+// performs monitorenter. Sites serve two purposes: they are the unit of
+// the §3.2 census, and they implement the §4 proposal of compiler-assigned
+// static ids ("the compiler could produce a unique id for each
+// synchronization statement ... retrieving the id would not incur any
+// performance penalty") — EnterAt with a Site skips the stack capture.
+type Site struct {
+	// Frame is the site's program location.
+	Frame core.Frame
+	// Kind classifies the site.
+	Kind SiteKind
+}
+
+// NewSite declares a synchronized-block site.
+func NewSite(class, method string, line int) *Site {
+	return &Site{Frame: core.Frame{Class: class, Method: method, Line: line}, Kind: SyncBlock}
+}
+
+// NewMethodSite declares a synchronized-method site.
+func NewMethodSite(class, method string, line int) *Site {
+	return &Site{Frame: core.Frame{Class: class, Method: method, Line: line}, Kind: SyncMethod}
+}
+
+// position resolves (and caches) the site's interned Position in process
+// p. Positions are per-process, so the cache lives on the process.
+func (s *Site) position(p *Process) (*core.Position, error) {
+	p.sitesMu.Lock()
+	defer p.sitesMu.Unlock()
+	if pos, ok := p.sites[s]; ok {
+		return pos, nil
+	}
+	pos, err := p.dim.Intern(core.CallStack{s.Frame})
+	if err != nil {
+		return nil, err
+	}
+	p.sites[s] = pos
+	return pos, nil
+}
+
+// Synchronized runs body as a synchronized(o){...} block on thread t. If
+// the monitor cannot be entered because the process is being torn down (or
+// a fail-policy deadlock fires), the thread unwinds — the VM equivalent of
+// a Java thread dying from an exception; Process.Start's trampoline
+// absorbs it.
+func (o *Object) Synchronized(t *Thread, body func()) {
+	if err := o.Enter(t); err != nil {
+		unwind(err)
+	}
+	defer o.exitOrUnwind(t)
+	body()
+}
+
+// SynchronizedAt is Synchronized with a static site id (ablation A5).
+func (o *Object) SynchronizedAt(t *Thread, site *Site, body func()) {
+	if err := o.EnterAt(t, site); err != nil {
+		unwind(err)
+	}
+	defer o.exitOrUnwind(t)
+	body()
+}
+
+// exitOrUnwind releases the monitor on block exit. During a kill-driven
+// unwind the exit may legitimately fail (e.g. a Wait abandoned the monitor
+// without re-acquiring); re-panicking there would mask the original
+// teardown error, so failures on a dying process are swallowed.
+func (o *Object) exitOrUnwind(t *Thread) {
+	if err := o.Exit(t); err != nil && !o.proc.isKilled() {
+		unwind(err)
+	}
+}
+
+// Census tallies the static synchronization sites declared by the
+// simulated platform and applications, reproducing the §3.2 measurement
+// that justifies handling only synchronized blocks/methods.
+type Census struct {
+	mu    sync.Mutex
+	sites []*Site
+}
+
+// NewCensus returns an empty census.
+func NewCensus() *Census { return &Census{} }
+
+// Register adds sites to the census.
+func (c *Census) Register(sites ...*Site) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sites = append(c.sites, sites...)
+}
+
+// CensusCounts summarizes a census.
+type CensusCounts struct {
+	SyncBlocks      int
+	SyncMethods     int
+	ExplicitLocks   int
+	TotalSyncSites  int // blocks + methods
+	TotalSites      int
+	ClassesDeclared int
+}
+
+// Counts tallies the registered sites.
+func (c *Census) Counts() CensusCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	classes := make(map[string]bool)
+	var out CensusCounts
+	for _, s := range c.sites {
+		classes[s.Frame.Class] = true
+		switch s.Kind {
+		case SyncBlock:
+			out.SyncBlocks++
+		case SyncMethod:
+			out.SyncMethods++
+		case ExplicitLock:
+			out.ExplicitLocks++
+		}
+	}
+	out.TotalSyncSites = out.SyncBlocks + out.SyncMethods
+	out.TotalSites = len(c.sites)
+	out.ClassesDeclared = len(classes)
+	return out
+}
+
+// ByClass returns per-class site counts, sorted by class name, for the
+// syncstats report.
+func (c *Census) ByClass() []ClassSites {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg := make(map[string]*ClassSites)
+	for _, s := range c.sites {
+		cs, ok := agg[s.Frame.Class]
+		if !ok {
+			cs = &ClassSites{Class: s.Frame.Class}
+			agg[s.Frame.Class] = cs
+		}
+		switch s.Kind {
+		case SyncBlock, SyncMethod:
+			cs.Synchronized++
+		case ExplicitLock:
+			cs.Explicit++
+		}
+	}
+	out := make([]ClassSites, 0, len(agg))
+	for _, cs := range agg {
+		out = append(out, *cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// ClassSites is one class's site tally.
+type ClassSites struct {
+	Class        string
+	Synchronized int
+	Explicit     int
+}

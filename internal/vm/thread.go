@@ -1,0 +1,266 @@
+// Package vm implements a Dalvik-like virtual machine substrate: VM
+// threads with explicit call stacks, objects with thin/fat lock words,
+// recursive monitors with wait/notify, and per-process Dimmunix
+// integration.
+//
+// Go's runtime mutexes are opaque — their lock/unlock operations cannot be
+// intercepted — which is precisely the paper's argument for implementing
+// deadlock immunity inside the synchronization library itself (§3.1). This
+// package therefore is the synchronization library: it reimplements
+// Dalvik's monitor subsystem, with Dimmunix called at the paper's three
+// interception points (before monitorenter, after monitorenter, before
+// monitorexit) plus around the re-acquisition inside Object.wait (§3.2).
+package vm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// ThreadState describes what a VM thread is currently doing.
+type ThreadState int32
+
+// Thread states.
+const (
+	StateNew ThreadState = iota + 1
+	StateRunnable
+	StateBlocked // blocked entering a monitor (includes avoidance yields)
+	StateWaiting // parked in Object.wait
+	StateTerminated
+)
+
+// String returns a readable state name.
+func (s ThreadState) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunnable:
+		return "runnable"
+	case StateBlocked:
+		return "blocked"
+	case StateWaiting:
+		return "waiting"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("ThreadState(%d)", int32(s))
+	}
+}
+
+// Thread is a VM thread: a goroutine paired with an explicit call stack
+// (the simulated equivalent of Dalvik's interpreted frames), a reusable
+// stack-capture buffer (the paper's Thread.stackBuffer), and a RAG node
+// (the paper's Thread.node).
+type Thread struct {
+	id   uint32
+	name string
+	proc *Process
+
+	// node is the Dimmunix RAG node; nil when the process runs vanilla.
+	node *core.Node
+
+	// frameMu guards frames. Pushes and pops happen only on the owning
+	// goroutine, but deadlock detection captures the inner stacks of
+	// *other* threads, so reads can come from any goroutine.
+	frameMu sync.Mutex
+	frames  []core.Frame
+
+	// stackBuf is the reusable capture buffer: position capture fills it
+	// top-frame-first without allocating (§4: "the dvmGetCallStack routine
+	// does not need to allocate memory").
+	stackBuf []core.Frame
+
+	state       atomic.Int32
+	interrupted atomic.Bool
+	interruptCh chan struct{}
+
+	// done closes when the thread's function returns.
+	done chan struct{}
+	// err records why the thread terminated abnormally (killed process,
+	// deadlock unwind), nil for normal completion.
+	err   error
+	errMu sync.Mutex
+}
+
+// ID returns the thread's id, unique within its process.
+func (t *Thread) ID() uint32 { return t.id }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Process returns the owning process.
+func (t *Thread) Process() *Process { return t.proc }
+
+// State returns the thread's current state.
+func (t *Thread) State() ThreadState { return ThreadState(t.state.Load()) }
+
+func (t *Thread) setState(s ThreadState) { t.state.Store(int32(s)) }
+
+// Done returns a channel closed when the thread terminates.
+func (t *Thread) Done() <-chan struct{} { return t.done }
+
+// Err returns the thread's termination error, if any. Valid after Done.
+func (t *Thread) Err() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.err
+}
+
+func (t *Thread) setErr(err error) {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	if t.err == nil {
+		t.err = err
+	}
+}
+
+// Interrupt sets the thread's interrupt flag and wakes it if it is parked
+// in Object.wait (Java Thread.interrupt semantics for monitors).
+func (t *Thread) Interrupt() {
+	t.interrupted.Store(true)
+	select {
+	case t.interruptCh <- struct{}{}:
+	default:
+	}
+}
+
+// Interrupted reports and clears the interrupt flag.
+func (t *Thread) Interrupted() bool {
+	if !t.interrupted.Swap(false) {
+		return false
+	}
+	t.drainInterrupt()
+	return true
+}
+
+// drainInterrupt empties the interrupt channel after the flag is consumed.
+func (t *Thread) drainInterrupt() {
+	select {
+	case <-t.interruptCh:
+	default:
+	}
+}
+
+// PushFrame enters a simulated method frame. Platform and application code
+// brackets method bodies with PushFrame/PopFrame (or uses Call) so that
+// monitorenter positions are meaningful, stable program locations.
+func (t *Thread) PushFrame(f core.Frame) {
+	t.frameMu.Lock()
+	t.frames = append(t.frames, f)
+	t.frameMu.Unlock()
+}
+
+// PopFrame leaves the innermost simulated frame. Popping an empty stack is
+// a programming error in simulation code; it is tolerated as a no-op.
+func (t *Thread) PopFrame() {
+	t.frameMu.Lock()
+	if n := len(t.frames); n > 0 {
+		t.frames = t.frames[:n-1]
+	}
+	t.frameMu.Unlock()
+}
+
+// Call runs body inside a simulated frame, mirroring a method invocation.
+func (t *Thread) Call(class, method string, line int, body func()) {
+	t.PushFrame(core.Frame{Class: class, Method: method, Line: line})
+	defer t.PopFrame()
+	body()
+}
+
+// FrameDepth returns the current simulated stack depth.
+func (t *Thread) FrameDepth() int {
+	t.frameMu.Lock()
+	defer t.frameMu.Unlock()
+	return len(t.frames)
+}
+
+// CurrentStack returns a copy of the thread's full call stack, innermost
+// frame first. Safe to call from any goroutine; used by the core for the
+// informational inner stacks of signatures.
+func (t *Thread) CurrentStack() core.CallStack {
+	t.frameMu.Lock()
+	defer t.frameMu.Unlock()
+	n := len(t.frames)
+	if n == 0 {
+		return core.CallStack{t.syntheticFrame()}
+	}
+	out := make(core.CallStack, n)
+	for i := 0; i < n; i++ {
+		out[i] = t.frames[n-1-i]
+	}
+	return out
+}
+
+// captureTop fills the reusable stack buffer with the top `depth` frames,
+// innermost first, and returns it — the simulated dvmGetCallStack. The
+// returned slice aliases t.stackBuf and is only valid until the next
+// capture; core.Intern copies what it keeps.
+func (t *Thread) captureTop(depth int) core.CallStack {
+	if depth < 1 {
+		depth = 1
+	}
+	t.frameMu.Lock()
+	n := len(t.frames)
+	if n == 0 {
+		t.frameMu.Unlock()
+		if cap(t.stackBuf) < 1 {
+			t.stackBuf = make([]core.Frame, 1)
+		}
+		t.stackBuf = t.stackBuf[:1]
+		t.stackBuf[0] = t.syntheticFrame()
+		return core.CallStack(t.stackBuf)
+	}
+	if depth > n {
+		depth = n
+	}
+	if cap(t.stackBuf) < depth {
+		t.stackBuf = make([]core.Frame, depth)
+	}
+	t.stackBuf = t.stackBuf[:depth]
+	for i := 0; i < depth; i++ {
+		t.stackBuf[i] = t.frames[n-1-i]
+	}
+	t.frameMu.Unlock()
+	return core.CallStack(t.stackBuf)
+}
+
+// syntheticFrame stands in for threads that synchronize without having
+// pushed any simulated frames (e.g. raw tests): the position is then the
+// thread's entry point.
+func (t *Thread) syntheticFrame() core.Frame {
+	return core.Frame{Class: "vm.ThreadEntry", Method: t.name, Line: 0}
+}
+
+// run is the goroutine trampoline. Thread bodies unwind abnormal
+// termination (process kill, deadlock-fail policy) with a typed panic that
+// is recovered here, mimicking how a Java thread dies from an uncaught
+// exception without taking the process down.
+func (t *Thread) run(fn func(*Thread)) {
+	defer t.proc.wg.Done()
+	defer close(t.done)
+	defer func() {
+		t.setState(StateTerminated)
+		if r := recover(); r != nil {
+			if u, ok := r.(threadUnwind); ok {
+				t.setErr(u.err)
+				return
+			}
+			panic(r)
+		}
+	}()
+	t.setState(StateRunnable)
+	fn(t)
+}
+
+// threadUnwind is the typed panic payload used by Synchronized/MustEnter
+// to unwind a thread that cannot continue (killed process or PolicyFail
+// deadlock). It never escapes the package: run recovers it.
+type threadUnwind struct{ err error }
+
+// unwind aborts the current thread with err.
+func unwind(err error) {
+	panic(threadUnwind{err: err})
+}

@@ -1,0 +1,186 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// startThread launches a thread on p and fails the test on error.
+func startThread(t *testing.T, p *Process, name string, fn func(*Thread)) *Thread {
+	t.Helper()
+	th, err := p.Start(name, fn)
+	if err != nil {
+		t.Fatalf("Start(%s): %v", name, err)
+	}
+	return th
+}
+
+// waitDone waits for a thread to terminate.
+func waitDone(t *testing.T, th *Thread) {
+	t.Helper()
+	select {
+	case <-th.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("thread %s did not terminate", th.Name())
+	}
+}
+
+// pollUntil polls cond until true or the deadline passes. Main test
+// goroutine only (it may call Fatalf).
+func pollUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	if !pollSoft(cond) {
+		t.Fatalf("timeout waiting for %s", what)
+	}
+}
+
+// pollSoft polls cond from any goroutine, returning whether it held within
+// the deadline.
+func pollSoft(cond func() bool) bool {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+func TestThreadLifecycle(t *testing.T) {
+	p := NewProcess("test", nil)
+	defer p.Kill()
+	ran := make(chan struct{})
+	th := startThread(t, p, "worker", func(*Thread) { close(ran) })
+	<-ran
+	waitDone(t, th)
+	if th.Err() != nil {
+		t.Errorf("Err = %v, want nil", th.Err())
+	}
+	if th.State() != StateTerminated {
+		t.Errorf("State = %v, want terminated", th.State())
+	}
+}
+
+func TestThreadFrames(t *testing.T) {
+	p := NewProcess("test", nil)
+	defer p.Kill()
+	var stack core.CallStack
+	var depthInside, depthAfter int
+	th := startThread(t, p, "worker", func(th *Thread) {
+		th.Call("com.example.A", "outer", 10, func() {
+			th.Call("com.example.B", "inner", 20, func() {
+				depthInside = th.FrameDepth()
+				stack = th.CurrentStack()
+			})
+		})
+		depthAfter = th.FrameDepth()
+	})
+	waitDone(t, th)
+	if depthInside != 2 || depthAfter != 0 {
+		t.Errorf("depths = %d/%d, want 2/0", depthInside, depthAfter)
+	}
+	if len(stack) != 2 {
+		t.Fatalf("stack length = %d, want 2", len(stack))
+	}
+	// Innermost first.
+	if stack[0].Class != "com.example.B" || stack[1].Class != "com.example.A" {
+		t.Errorf("stack order wrong: %v", stack)
+	}
+}
+
+func TestThreadCaptureTop(t *testing.T) {
+	p := NewProcess("test", nil)
+	defer p.Kill()
+	th := startThread(t, p, "worker", func(th *Thread) {
+		th.PushFrame(core.Frame{Class: "a.A", Method: "m", Line: 1})
+		th.PushFrame(core.Frame{Class: "b.B", Method: "n", Line: 2})
+		th.PushFrame(core.Frame{Class: "c.C", Method: "o", Line: 3})
+
+		top1 := th.captureTop(1)
+		if len(top1) != 1 || top1[0].Class != "c.C" {
+			t.Errorf("captureTop(1) = %v, want [c.C]", top1)
+		}
+		top2 := th.captureTop(2)
+		if len(top2) != 2 || top2[0].Class != "c.C" || top2[1].Class != "b.B" {
+			t.Errorf("captureTop(2) = %v", top2)
+		}
+		// Depth beyond the stack clamps.
+		top9 := th.captureTop(9)
+		if len(top9) != 3 {
+			t.Errorf("captureTop(9) length = %d, want 3", len(top9))
+		}
+	})
+	waitDone(t, th)
+}
+
+func TestThreadCaptureBufferReuse(t *testing.T) {
+	p := NewProcess("test", nil)
+	defer p.Kill()
+	th := startThread(t, p, "worker", func(th *Thread) {
+		th.PushFrame(core.Frame{Class: "a.A", Method: "m", Line: 1})
+		first := th.captureTop(1)
+		second := th.captureTop(1)
+		if &first[0] != &second[0] {
+			t.Error("captureTop must reuse the stack buffer (paper's Thread.stackBuffer)")
+		}
+	})
+	waitDone(t, th)
+}
+
+func TestThreadSyntheticFrameWhenEmpty(t *testing.T) {
+	p := NewProcess("test", nil)
+	defer p.Kill()
+	th := startThread(t, p, "bare", func(th *Thread) {
+		cs := th.captureTop(1)
+		if len(cs) != 1 || cs[0].Class != "vm.ThreadEntry" {
+			t.Errorf("empty-stack capture = %v, want synthetic frame", cs)
+		}
+		full := th.CurrentStack()
+		if len(full) != 1 || full[0].Method != "bare" {
+			t.Errorf("CurrentStack on empty frames = %v", full)
+		}
+	})
+	waitDone(t, th)
+}
+
+func TestThreadInterruptFlag(t *testing.T) {
+	p := NewProcess("test", nil)
+	defer p.Kill()
+	th := startThread(t, p, "w", func(th *Thread) {
+		pollUntil(t, "interrupt flag", func() bool { return th.interrupted.Load() })
+		if !th.Interrupted() {
+			t.Error("Interrupted must report true once")
+		}
+		if th.Interrupted() {
+			t.Error("Interrupted must clear the flag")
+		}
+	})
+	th.Interrupt()
+	waitDone(t, th)
+}
+
+func TestStartOnDeadProcess(t *testing.T) {
+	p := NewProcess("test", nil)
+	p.Kill()
+	if _, err := p.Start("w", func(*Thread) {}); !errors.Is(err, ErrProcessDead) {
+		t.Errorf("Start after Kill = %v, want ErrProcessDead", err)
+	}
+	if _, err := p.Start("w", nil); err == nil {
+		t.Error("Start with nil function must fail")
+	}
+}
+
+func TestThreadUnwindRecordsError(t *testing.T) {
+	p := NewProcess("test", nil)
+	defer p.Kill()
+	sentinel := errors.New("boom")
+	th := startThread(t, p, "w", func(*Thread) { unwind(sentinel) })
+	waitDone(t, th)
+	if !errors.Is(th.Err(), sentinel) {
+		t.Errorf("Err = %v, want sentinel", th.Err())
+	}
+}

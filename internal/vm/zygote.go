@@ -1,0 +1,103 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// Zygote forks application processes, initializing a fresh per-process
+// Dimmunix instance in each child — the paper's modification of
+// Dalvik_dalvik_system_Zygote_fork / forkAndSpecializeCommon to call
+// initDimmunix "as soon as the child process starts" (§4). Every forked
+// process loads the shared persistent history, so an antibody discovered
+// by any app protects all apps from the next boot (or next app start)
+// onward.
+type Zygote struct {
+	mu       sync.Mutex
+	nextPID  int
+	dimmunix bool
+	coreOpts []core.Option
+	store    core.HistoryStore
+	procs    []*Process
+}
+
+// ZygoteOption configures a Zygote.
+type ZygoteOption func(*Zygote)
+
+// WithDimmunix toggles platform-wide deadlock immunity for all forked
+// processes. Enabled is the Android Dimmunix build; disabled is the
+// vanilla Android build used as the evaluation baseline.
+func WithDimmunix(enabled bool) ZygoteOption {
+	return func(z *Zygote) { z.dimmunix = enabled }
+}
+
+// WithCoreOptions forwards options to each forked process's core.
+func WithCoreOptions(opts ...core.Option) ZygoteOption {
+	return func(z *Zygote) { z.coreOpts = append(z.coreOpts, opts...) }
+}
+
+// WithHistory sets the shared persistent history store (the on-flash
+// history file).
+func WithHistory(store core.HistoryStore) ZygoteOption {
+	return func(z *Zygote) { z.store = store }
+}
+
+// NewZygote creates a Zygote.
+func NewZygote(opts ...ZygoteOption) *Zygote {
+	z := &Zygote{}
+	for _, opt := range opts {
+		opt(z)
+	}
+	return z
+}
+
+// DimmunixEnabled reports whether forked processes run with immunity.
+func (z *Zygote) DimmunixEnabled() bool { return z.dimmunix }
+
+// Fork creates a new process. With Dimmunix enabled, the child's core is
+// initialized (and the shared history loaded) before the process can run
+// any code, so immunity covers the app's entire lifetime.
+func (z *Zygote) Fork(name string) (*Process, error) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.nextPID++
+	var dim *core.Core
+	if z.dimmunix {
+		opts := make([]core.Option, 0, len(z.coreOpts)+1)
+		opts = append(opts, z.coreOpts...)
+		if z.store != nil {
+			opts = append(opts, core.WithStore(z.store))
+		}
+		var err error
+		dim, err = core.New(opts...)
+		if err != nil {
+			return nil, fmt.Errorf("zygote fork %s: init dimmunix: %w", name, err)
+		}
+	}
+	p := newProcess(z.nextPID, name, dim)
+	z.procs = append(z.procs, p)
+	return p, nil
+}
+
+// Processes returns all processes forked so far (including killed ones).
+func (z *Zygote) Processes() []*Process {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	out := make([]*Process, len(z.procs))
+	copy(out, z.procs)
+	return out
+}
+
+// KillAll tears down every forked process (the reboot path) and forgets
+// them.
+func (z *Zygote) KillAll() {
+	z.mu.Lock()
+	procs := z.procs
+	z.procs = nil
+	z.mu.Unlock()
+	for _, p := range procs {
+		p.Kill()
+	}
+}

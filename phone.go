@@ -1,0 +1,49 @@
+package dimmunix
+
+import (
+	"github.com/dimmunix/dimmunix/internal/android"
+)
+
+// Phone-simulation facade: the full platform of the paper's evaluation —
+// system server, Looper/Handler services, watchdog, and the
+// boot/freeze/reboot lifecycle around Android issue 7986.
+type (
+	// Phone is the simulated device.
+	Phone = android.Phone
+	// PhoneConfig configures a Phone.
+	PhoneConfig = android.PhoneConfig
+	// SystemServer is the platform's service host process.
+	SystemServer = android.SystemServer
+	// ScenarioOutcome reports how a driven scenario ended.
+	ScenarioOutcome = android.ScenarioOutcome
+)
+
+// Scenario outcomes.
+const (
+	// OutcomeCompleted: the scenario's operations all finished.
+	OutcomeCompleted = android.OutcomeCompleted
+	// OutcomeFroze: the watchdog reported a frozen platform handler.
+	OutcomeFroze = android.OutcomeFroze
+)
+
+// NewPhone creates a simulated phone; call Boot to start it.
+func NewPhone(cfg PhoneConfig) *Phone { return android.NewPhone(cfg) }
+
+// DefaultPhoneConfig returns a Dimmunix-enabled phone configuration with
+// an in-memory history.
+func DefaultPhoneConfig() PhoneConfig { return android.DefaultPhoneConfig() }
+
+// FrameworkCensus builds the simulated platform's static
+// synchronization-site census (the §3.2 measurement: 1,050 synchronized
+// blocks/methods vs 15 explicit lock/unlock sites).
+func FrameworkCensus(serviceSites ...[]*Site) (*Census, error) {
+	return android.FrameworkCensus(serviceSites...)
+}
+
+// Census targets from the paper (§3.2).
+const (
+	// TargetSyncSites is the synchronized blocks/methods count.
+	TargetSyncSites = android.TargetSyncSites
+	// TargetExplicitSites is the explicit lock/unlock count.
+	TargetExplicitSites = android.TargetExplicitSites
+)

@@ -24,6 +24,8 @@ package dimmunix_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -411,6 +413,107 @@ func BenchmarkLooperRoundTrip(b *testing.B) {
 			}
 			<-poster.Done()
 			<-done
+		})
+	}
+}
+
+// --- sharded engine: uncontended monitorenter throughput ----------------------
+
+// BenchmarkUncontendedEnter measures the full Request/Acquired/Release
+// interception cycle for uncontended monitorenters (per-goroutine private
+// lock and position, named by no signature — the common case) on the
+// serial reference engine vs the sharded fast path, at increasing
+// goroutine counts. This is the before/after number for the sharded
+// low-contention engine.
+func BenchmarkUncontendedEnter(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"serial", true}, {"sharded", false}} {
+		for _, gor := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("engine=%s/goroutines=%d", mode.name, gor), func(b *testing.B) {
+				c, err := core.New(core.WithSerialEngine(mode.serial))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				// Exactly gor goroutines (RunParallel would multiply by
+				// GOMAXPROCS), each cycling a private lock and position:
+				// uncontended monitorenters through the full interception.
+				perG := (b.N + gor - 1) / gor
+				var wg sync.WaitGroup
+				var failed atomic.Bool
+				b.ResetTimer()
+				for i := 0; i < gor; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						t := c.NewThreadNode(fmt.Sprintf("w%d", i), nil)
+						l := c.NewLockNode(fmt.Sprintf("l%d", i))
+						pos, err := c.Intern(core.CallStack{{Class: "com.bench.Private", Method: "m", Line: i}})
+						if err != nil {
+							failed.Store(true)
+							return
+						}
+						for n := 0; n < perG; n++ {
+							if err := c.Request(t, l, pos); err != nil {
+								failed.Store(true)
+								return
+							}
+							c.Acquired(t, l)
+							c.Release(t, l)
+						}
+					}(i)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if failed.Load() {
+					b.Fatal("worker failed")
+				}
+				st := c.Stats()
+				if !mode.serial && st.FastRequests == 0 {
+					b.Fatal("sharded engine never took the fast path")
+				}
+				if mode.serial && st.FastRequests != 0 {
+					b.Fatal("serial engine took the fast path")
+				}
+			})
+		}
+	}
+}
+
+// --- fleet stress: many processes × many threads ------------------------------
+
+// BenchmarkFleet drives the fleet stress workload (mixed Table 1 app
+// profiles forked from one Zygote, unpaced) and reports aggregate
+// throughput per engine — the platform-under-heavy-traffic scenario.
+func BenchmarkFleet(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		dimmunix bool
+		serial   bool
+	}{{"vanilla", false, false}, {"serial", true, true}, {"sharded", true, false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last workload.FleetResult
+			for i := 0; i < b.N; i++ {
+				cfg := workload.DefaultFleetConfig()
+				cfg.Processes = 4
+				cfg.ThreadsPerProc = 8
+				cfg.Locks = 32
+				cfg.Duration = 300 * time.Millisecond
+				cfg.Dimmunix = mode.dimmunix
+				cfg.Serial = mode.serial
+				res, err := workload.RunFleet(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.DeadlocksDetected != 0 {
+					b.Fatalf("fleet detected %d deadlocks", res.DeadlocksDetected)
+				}
+				last = res
+			}
+			b.ReportMetric(last.SyncsPerSec, "syncs/sec")
+			b.ReportMetric(last.FastPathPct, "fastpath-%")
 		})
 	}
 }

@@ -144,6 +144,9 @@ var (
 	WithQueueReuse = core.WithQueueReuse
 	// WithWatchdog enables the core's starvation watchdog.
 	WithWatchdog = core.WithWatchdog
+	// WithSerialEngine selects the serial reference engine (the paper's
+	// single global lock) instead of the sharded low-contention fast path.
+	WithSerialEngine = core.WithSerialEngine
 )
 
 // NewSite declares a synchronized-block site (for the static-id fast path

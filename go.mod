@@ -1,0 +1,3 @@
+module github.com/dimmunix/dimmunix
+
+go 1.22

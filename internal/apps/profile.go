@@ -110,6 +110,12 @@ func ProfileByName(name string) (Profile, error) {
 	return Profile{}, fmt.Errorf("apps: unknown profile %q", name)
 }
 
+// SiteFrames deterministically generates the profile's call-site frames —
+// the positions a replay (or the fleet stress workload) synchronizes at.
+func (p Profile) SiteFrames() []core.Frame {
+	return p.sitePositions()
+}
+
 // sitePositions deterministically generates the profile's call-site
 // frames, cycling through its classes with distinct methods/lines.
 func (p Profile) sitePositions() []core.Frame {

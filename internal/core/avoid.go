@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,12 +23,14 @@ import (
 // again" (§2.2).
 
 // avoidLocked runs the avoidance loop for t requesting at pos. It returns
-// whether the thread yielded at least once. Caller must hold c.mu; the
-// mutex is released while the thread is suspended on a signature's
-// condition variable.
+// whether the thread yielded at least once. Caller must hold c.mu
+// exclusively; the lock is released while the thread is suspended on a
+// signature's condition variable. The yielder count mirrors the yielders
+// map atomically so the fast path can gate on "nothing yields" without
+// the engine lock.
 func (c *Core) avoidLocked(t *Node, pos *Position) (yielded bool, err error) {
 	for {
-		if c.killed {
+		if c.killed.Load() {
 			return yielded, ErrCoreClosed
 		}
 		if t.forceResume {
@@ -37,11 +40,11 @@ func (c *Core) avoidLocked(t *Node, pos *Position) (yielded bool, err error) {
 		if sig == nil {
 			return yielded, nil
 		}
-		c.stats.InstantiationsFound++
-		sig.matches++
+		atomic.AddUint64(&c.stats.InstantiationsFound, 1)
+		atomic.AddUint64(&sig.matches, 1)
 
 		if c.yieldSuppressedLocked(pos, witnesses) {
-			c.stats.SuppressedYields++
+			atomic.AddUint64(&c.stats.SuppressedYields, 1)
 			return yielded, nil
 		}
 		// Would this yield complete an avoidance-induced deadlock right
@@ -55,8 +58,9 @@ func (c *Core) avoidLocked(t *Node, pos *Position) (yielded bool, err error) {
 		rec := &yieldRecord{sig: sig, witnesses: witnesses, pos: pos, since: time.Now()}
 		t.yield = rec
 		c.yielders[t] = rec
-		c.stats.Yields++
-		c.emitLocked(Event{
+		c.yielderCount.Add(1)
+		atomic.AddUint64(&c.stats.Yields, 1)
+		c.emit(Event{
 			Kind:       EventYield,
 			Sig:        sig.snapshot(),
 			ThreadID:   t.id,
@@ -66,6 +70,7 @@ func (c *Core) avoidLocked(t *Node, pos *Position) (yielded bool, err error) {
 		sig.cond.Wait()
 		t.yield = nil
 		delete(c.yielders, t)
+		c.yielderCount.Add(-1)
 	}
 }
 
@@ -83,7 +88,7 @@ func (c *Core) findInstantiationLocked(t *Node, pos *Position) (*Signature, map[
 		if sig.Kind != DeadlockSig {
 			continue
 		}
-		c.stats.AvoidanceChecks++
+		atomic.AddUint64(&c.stats.AvoidanceChecks, 1)
 		if assigned := c.matchSignatureLocked(sig, t, pos); assigned != nil {
 			// A successful match is rare (it precedes a yield); only then
 			// materialize the witness map.

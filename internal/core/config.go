@@ -93,6 +93,11 @@ type Config struct {
 	// QueueReuse enables the §4 two-queue entry recycling. Disabling it is
 	// ablation A2.
 	QueueReuse bool
+	// Serial disables the sharded fast path, forcing every interception
+	// through the paper's single global engine lock — the serial reference
+	// engine used for equivalence tests and as the before/after baseline
+	// in microbenchmarks.
+	Serial bool
 	// Store, when non-nil, is the persistent history: loaded by New,
 	// appended to on every new signature.
 	Store HistoryStore
@@ -196,4 +201,12 @@ func WithEventBuffer(n int) Option {
 // WithQueueReuse toggles the two-queue entry recycling (ablation A2).
 func WithQueueReuse(on bool) Option {
 	return func(c *Config) { c.QueueReuse = on }
+}
+
+// WithSerialEngine selects the serial reference engine: every Request,
+// Acquired and Release serializes on the global engine lock, as in the
+// paper's §4 implementation. Off (the default) enables the sharded
+// low-contention fast path.
+func WithSerialEngine(on bool) Option {
+	return func(c *Config) { c.Serial = on }
 }

@@ -16,47 +16,126 @@
 //   - Acquired, right after a monitorenter succeeds.
 //   - Release, right before a monitorexit.
 //
-// For thread safety the core serializes these entry points with one global
-// (per-process) mutex, as the paper does: "Dimmunix uses a global lock
-// within these methods" (§4); the calls themselves are cheap.
+// # Concurrency architecture
+//
+// The paper serializes the three entry points under one global per-process
+// mutex ("Dimmunix uses a global lock within these methods", §4). That is
+// kept as the serial reference engine (Config.Serial). The default engine
+// is sharded for low contention:
+//
+//   - The position intern table is lock-striped into posShardCount shards
+//     keyed by call-stack hash (shard.go), so interning — done on every
+//     monitorenter — never touches the engine lock.
+//
+//   - Each Position carries the index of signatures that name it
+//     (Position.sigs, maintained at signature install time) plus an atomic
+//     inHistory flag, so "could this acquisition matter to avoidance?" is
+//     one atomic load.
+//
+//   - The engine lock c.mu is a RWMutex. Detection, avoidance, signature
+//     installation and the starvation scan hold it exclusively and see a
+//     frozen RAG, exactly like the paper's global lock. The fast path
+//     holds it shared: when the requesting position appears in no
+//     installed signature, the requested lock is unowned (so granting
+//     cannot complete a cycle — detection's walk would stop immediately),
+//     and no thread is yielding (so no starvation cycle can involve the
+//     new edge), Request/Acquired/Release skip detection-and-avoidance
+//     entirely and only publish their RAG updates. Writer preference in
+//     RWMutex keeps slow operations from starving.
+//
+// # Lock order
+//
+//	c.mu (engine RWMutex; shared = fast path, exclusive = slow path)
+//	  > c.histMu   (history list + dedup map; History() readers take it alone)
+//	  > c.nodesMu  (node registry; node constructors take it alone)
+//	  > posTable shard locks (leaf; Intern takes them with no other lock)
+//	  > c.evMu     (event channel; leaf)
+//
+// Never acquire c.mu while holding any of the inner locks. Fields read on
+// the fast path while others mutate them are atomic: Node.owner,
+// Position.inHistory, the yielder count, the kill flag, and the Stats
+// counters (the per-thread fast-path counters are plain, written only by
+// the owning thread and read under the exclusive lock).
+//
+// Position thread queues are maintained lazily: only in-history positions
+// keep them (signature matching is their only consumer), so the fast path
+// never touches a queue; when a signature first names a position, the
+// queue is rebuilt from live RAG state via the node registry.
+//
+// # Fast-path safety argument
+//
+// Approving a request t→l with l unowned cannot complete a deadlock cycle
+// (a cycle needs l held), and every cycle's final edge targets a held lock,
+// so the request that completes a cycle always sees owner != nil and runs
+// full detection under the exclusive lock. Avoidance only inspects the
+// queues of positions named by signatures; a fast-path position is named
+// by none (checked under the shared lock, and installation takes the
+// exclusive lock, so the answer cannot change mid-operation). Starvation
+// cycles need a yielder; the fast path bails out to the slow path whenever
+// one exists, and a thread that starts yielding later does so under the
+// exclusive lock, observing every previously published fast-path edge.
 package core
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Core is one per-process Dimmunix instance.
 type Core struct {
-	mu  sync.Mutex
 	cfg Config
 
-	// positions is the per-process intern table mapping call-stack keys to
-	// unique Position objects (the paper's global positions map).
-	positions map[string]*Position
-	posSeq    int
+	// mu is the engine lock guarding the RAG (node edges), position
+	// queues, per-signature runtime state and the yielder set. Exclusive
+	// for the slow path (detection, avoidance, installation, starvation
+	// scans); shared for the fast path, which relies on the atomics and
+	// leaf locks described in the package comment.
+	mu sync.RWMutex
 
-	// history is the installed signature list; sigKeys deduplicates by
-	// Signature.Key.
+	// positions is the sharded per-process intern table mapping call-stack
+	// keys to unique Position objects (the paper's global positions map).
+	positions *posTable
+
+	// histMu guards history and sigKeys against concurrent readers;
+	// writers additionally hold c.mu exclusively.
+	histMu  sync.Mutex
 	history []*Signature
 	sigKeys map[string]*Signature
 
-	// yielders tracks threads currently suspended by avoidance.
-	yielders map[*Node]*yieldRecord
+	// yielders tracks threads currently suspended by avoidance (under
+	// exclusive c.mu); yielderCount mirrors len(yielders) atomically for
+	// the fast-path gate.
+	yielders     map[*Node]*yieldRecord
+	yielderCount atomic.Int32
 
-	nodeCount        uint64
-	entriesAllocated uint64
+	// nodesMu guards the node registry. The registry exists so that
+	// installSignatureLocked can rebuild a newly named position's thread
+	// queue from live RAG state (queues are maintained lazily, only for
+	// in-history positions) and so Stats can aggregate the per-thread
+	// fast-path counters.
+	nodesMu     sync.Mutex
+	threadNodes []*Node
+	lockNodes   []*Node
+
+	nodeCount        atomic.Uint64
+	entriesAllocated atomic.Uint64
 
 	// matchScratch is the reusable slot-assignment buffer for signature
-	// matching (safe: matching always runs under mu).
+	// matching (safe: matching always runs under exclusive c.mu).
 	matchScratch []*Node
 
+	// stats fields are all mutated with sync/atomic (the fast path updates
+	// them without the engine lock). Snapshot with Stats().
 	stats Stats
 
+	// evMu guards the event channel and its closed flag.
+	evMu         sync.Mutex
 	events       chan Event
 	eventsClosed bool
-	killed       bool
+
+	killed atomic.Bool
 
 	watchdogStop chan struct{}
 	watchdogWG   sync.WaitGroup
@@ -77,7 +156,7 @@ func New(opts ...Option) (*Core, error) {
 	}
 	c := &Core{
 		cfg:       cfg,
-		positions: make(map[string]*Position),
+		positions: newPosTable(),
 		sigKeys:   make(map[string]*Signature),
 		yielders:  make(map[*Node]*yieldRecord),
 		events:    make(chan Event, cfg.EventBuffer),
@@ -95,8 +174,8 @@ func New(opts ...Option) (*Core, error) {
 				return nil, fmt.Errorf("init dimmunix: install signature: %w", err)
 			}
 			if fresh {
-				c.stats.SignaturesLoaded++
-				c.emitLocked(Event{Kind: EventSignatureLoaded, Sig: installed.snapshot()})
+				atomic.AddUint64(&c.stats.SignaturesLoaded, 1)
+				c.emit(Event{Kind: EventSignatureLoaded, Sig: installed.snapshot()})
 			}
 		}
 		c.mu.Unlock()
@@ -121,16 +200,19 @@ func (c *Core) Events() <-chan Event { return c.events }
 // avoidance are woken with ErrCoreClosed, and the event channel is closed.
 // Close is idempotent.
 func (c *Core) Close() error {
-	c.mu.Lock()
-	if c.killed {
-		c.mu.Unlock()
+	if !c.killed.CompareAndSwap(false, true) {
 		return nil
 	}
-	c.killed = true
-	// Wake every yielder so blocked Requests can return ErrCoreClosed.
+	// Wake every yielder so blocked Requests can return ErrCoreClosed. The
+	// exclusive lock orders the kill flag before any in-progress avoidance
+	// check: a yielder either sees killed before waiting or is already
+	// parked on its condition variable when the broadcast fires.
+	c.mu.Lock()
+	c.histMu.Lock()
 	for _, s := range c.history {
 		s.cond.Broadcast()
 	}
+	c.histMu.Unlock()
 	c.mu.Unlock()
 
 	if c.watchdogStop != nil {
@@ -138,10 +220,10 @@ func (c *Core) Close() error {
 		c.watchdogWG.Wait()
 	}
 
-	c.mu.Lock()
+	c.evMu.Lock()
 	c.eventsClosed = true
 	close(c.events)
-	c.mu.Unlock()
+	c.evMu.Unlock()
 	return nil
 }
 
@@ -150,45 +232,88 @@ func (c *Core) Close() error {
 // inner stacks of signatures; it must be safe to call from any goroutine.
 // The paper embeds this node in Dalvik's Thread struct ("Node node").
 func (c *Core) NewThreadNode(name string, stackFn func() CallStack) *Node {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nodeCount++
-	return &Node{kind: ThreadNode, id: c.nodeCount, name: name, stackFn: stackFn}
+	n := &Node{kind: ThreadNode, id: c.nodeCount.Add(1), name: name, stackFn: stackFn}
+	c.nodesMu.Lock()
+	c.threadNodes = append(c.threadNodes, n)
+	c.nodesMu.Unlock()
+	return n
 }
 
 // NewLockNode creates the RAG node for a lock (monitor). The paper embeds
 // this node in Dalvik's Monitor struct.
 func (c *Core) NewLockNode(name string) *Node {
+	n := &Node{kind: LockNode, id: c.nodeCount.Add(1), name: name}
+	c.nodesMu.Lock()
+	c.lockNodes = append(c.lockNodes, n)
+	c.nodesMu.Unlock()
+	return n
+}
+
+// RetireThreadNode removes a terminated thread's node from the registry,
+// folding its fast-path counters into the core totals. Nodes are
+// otherwise retained for the Core's lifetime (the paper embeds them in
+// Thread/Monitor structs), so embeddings with thread churn should retire
+// nodes as threads exit to keep the registry — which signature
+// installation and Stats scan — bounded by live threads. A node still
+// holding an approved request or a yield is left registered (the RAG
+// still references it).
+func (c *Core) RetireThreadNode(t *Node) {
+	if t == nil || t.kind != ThreadNode {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.nodeCount++
-	return &Node{kind: LockNode, id: c.nodeCount, name: name}
+	if t.reqLock != nil || t.yield != nil {
+		return
+	}
+	atomic.AddUint64(&c.stats.FastRequests, t.fastRequests)
+	atomic.AddUint64(&c.stats.FastAcquisitions, t.fastAcquisitions)
+	atomic.AddUint64(&c.stats.FastReleases, t.fastReleases)
+	t.fastRequests, t.fastAcquisitions, t.fastReleases = 0, 0, 0
+	c.nodesMu.Lock()
+	c.threadNodes = removeNode(c.threadNodes, t)
+	c.nodesMu.Unlock()
+}
+
+// RetireLockNode removes a dead (unheld, unrequested) lock's node from
+// the registry — the monitor-deflation hook for embeddings that reclaim
+// monitors. A held lock is left registered.
+func (c *Core) RetireLockNode(l *Node) {
+	if l == nil || l.kind != LockNode {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l.owner.Load() != nil || l.acqEntry != nil {
+		return
+	}
+	c.nodesMu.Lock()
+	c.lockNodes = removeNode(c.lockNodes, l)
+	c.nodesMu.Unlock()
+}
+
+// removeNode deletes n from nodes (order not preserved).
+func removeNode(nodes []*Node, n *Node) []*Node {
+	for i, x := range nodes {
+		if x == n {
+			nodes[i] = nodes[len(nodes)-1]
+			nodes[len(nodes)-1] = nil
+			return nodes[:len(nodes)-1]
+		}
+	}
+	return nodes
 }
 
 // Intern returns the unique Position for the given outer call stack,
-// truncated to the configured outer depth. The stack is cloned when a new
+// truncated to the configured outer depth. Interning touches only the
+// sharded table, never the engine lock. The stack is cloned when a new
 // Position is created, so callers may reuse their capture buffers (the
 // paper's Thread.stackBuffer).
 func (c *Core) Intern(stack CallStack) (*Position, error) {
 	if len(stack) == 0 {
 		return nil, fmt.Errorf("intern: empty call stack")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.internLocked(stack), nil
-}
-
-// internLocked is Intern under c.mu.
-func (c *Core) internLocked(stack CallStack) *Position {
-	stack = stack.Truncate(c.cfg.OuterDepth)
-	key := stack.Key()
-	if p, ok := c.positions[key]; ok {
-		return p
-	}
-	p := &Position{key: key, stack: stack.Clone(), seq: c.posSeq}
-	c.posSeq++
-	c.positions[key] = p
-	return p
+	return c.positions.intern(stack.Truncate(c.cfg.OuterDepth)), nil
 }
 
 // Request implements the pre-monitorenter interception. t is about to
@@ -206,6 +331,10 @@ func (c *Core) internLocked(stack CallStack) *Position {
 //     allowed to wait for a lock at pos") and the request edge t→l is
 //     added to the RAG.
 //
+// When the position is named by no installed signature, the lock is
+// unowned and nothing is yielding, steps 1 and 2 are provably no-ops and
+// Request takes the shared-lock fast path (see the package comment).
+//
 // On success the caller must proceed to block on the real lock and then
 // call Acquired; if the caller gives up instead it must call Abort.
 func (c *Core) Request(t, l *Node, pos *Position) error {
@@ -215,15 +344,19 @@ func (c *Core) Request(t, l *Node, pos *Position) error {
 	if pos == nil {
 		return fmt.Errorf("request: nil position")
 	}
+	if c.fastRequest(t, l, pos) {
+		return nil
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.killed {
+	if c.killed.Load() {
 		return ErrCoreClosed
 	}
-	c.stats.Requests++
+	atomic.AddUint64(&c.stats.Requests, 1)
 	if t.reqLock != nil {
 		// A second Request without Acquired/Abort: tolerate but count.
-		c.stats.Misuse++
+		atomic.AddUint64(&c.stats.Misuse, 1)
 	}
 
 	inCycle := false
@@ -245,8 +378,8 @@ func (c *Core) Request(t, l *Node, pos *Position) error {
 			return err
 		}
 		if yielded {
-			c.stats.Resumes++
-			c.emitLocked(Event{
+			atomic.AddUint64(&c.stats.Resumes, 1)
+			c.emit(Event{
 				Kind:       EventResume,
 				ThreadID:   t.id,
 				ThreadName: t.name,
@@ -256,15 +389,46 @@ func (c *Core) Request(t, l *Node, pos *Position) error {
 	}
 	t.forceResume = false
 
-	// Approve: enter pos's queue and set the request edge.
+	// Approve: set the request edge, and enter pos's queue when pos is
+	// named by a signature (queues are maintained lazily — positions
+	// outside every signature are never matched against, and their queues
+	// are rebuilt from RAG state if a signature naming them installs).
 	t.reqLock = l
 	t.reqPos = pos
-	t.reqEntry = c.takeEntryLocked(pos, t)
+	if pos.inHistory.Load() {
+		t.reqEntry = c.takeEntryLocked(pos, t)
+	} else {
+		t.reqEntry = nil
+	}
 
 	// A new waits-for edge (t→l) may complete a starvation cycle for a
 	// current yielder.
 	c.scanYieldersLocked()
 	return nil
+}
+
+// fastRequest is the sharded engine's low-contention approval: under the
+// shared engine lock it verifies that detection and avoidance would both
+// be no-ops — the position is named by no signature, the lock is unowned,
+// nothing yields — and then only publishes the approval (request edge +
+// queue entry). Returns false to fall back to the serial reference path.
+func (c *Core) fastRequest(t, l *Node, pos *Position) bool {
+	if c.cfg.Serial {
+		return false
+	}
+	c.mu.RLock()
+	if c.killed.Load() || t.reqLock != nil || pos.inHistory.Load() ||
+		l.owner.Load() != nil || c.yielderCount.Load() != 0 {
+		c.mu.RUnlock()
+		return false
+	}
+	t.fastRequests++
+	t.forceResume = false
+	t.reqLock = l
+	t.reqPos = pos
+	t.reqEntry = nil // lazy queues: no entry for positions outside every signature
+	c.mu.RUnlock()
+	return true
 }
 
 // Acquired implements the post-monitorenter interception: t now owns l.
@@ -275,23 +439,49 @@ func (c *Core) Acquired(t, l *Node) {
 	if checkArgs(t, l) != nil {
 		return
 	}
+	if c.fastAcquired(t, l) {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stats.Acquisitions++
-	if t.reqLock != l || t.reqEntry == nil {
+	atomic.AddUint64(&c.stats.Acquisitions, 1)
+	if t.reqLock != l {
 		// Acquired without a matching approved Request.
-		c.stats.Misuse++
-		l.owner = t
+		atomic.AddUint64(&c.stats.Misuse, 1)
+		l.owner.Store(t)
 		t.reqLock, t.reqPos, t.reqEntry = nil, nil, nil
 		return
 	}
-	l.owner = t
 	l.acqPos = t.reqPos
 	l.acqEntry = t.reqEntry
 	t.reqLock, t.reqPos, t.reqEntry = nil, nil, nil
+	l.owner.Store(t)
 	// t becoming the owner creates waits-for edges u→t for every thread u
 	// blocked on l; a yield cycle may have formed.
 	c.scanYieldersLocked()
+}
+
+// fastAcquired publishes the hold edge under the shared lock. Only the
+// acquiring thread writes l's acquisition fields (ownership transfers are
+// serialized by the embedding runtime's real lock), and the owner pointer
+// is atomic for concurrent fastRequest readers. Skipped whenever a thread
+// yields, so the starvation scan never misses a new hold edge.
+func (c *Core) fastAcquired(t, l *Node) bool {
+	if c.cfg.Serial {
+		return false
+	}
+	c.mu.RLock()
+	if t.reqLock != l || c.yielderCount.Load() != 0 {
+		c.mu.RUnlock()
+		return false
+	}
+	t.fastAcquisitions++
+	l.acqPos = t.reqPos
+	l.acqEntry = t.reqEntry
+	t.reqLock, t.reqPos, t.reqEntry = nil, nil, nil
+	l.owner.Store(t)
+	c.mu.RUnlock()
+	return true
 }
 
 // Release implements the pre-monitorexit interception: t is about to
@@ -303,45 +493,80 @@ func (c *Core) Release(t, l *Node) {
 	if checkArgs(t, l) != nil {
 		return
 	}
+	if c.fastRelease(t, l) {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stats.Releases++
-	if l.owner != t {
-		c.stats.Misuse++
+	atomic.AddUint64(&c.stats.Releases, 1)
+	if l.owner.Load() != t {
+		atomic.AddUint64(&c.stats.Misuse, 1)
 	}
 	pos := l.acqPos
 	if pos != nil && l.acqEntry != nil {
 		c.releaseEntryLocked(pos, l.acqEntry)
 	}
-	l.owner = nil
+	l.owner.Store(nil)
 	l.acqPos = nil
 	l.acqEntry = nil
-	if pos != nil && pos.inHistory {
+	if pos != nil && pos.inHistory.Load() {
 		for _, s := range pos.sigs {
 			s.cond.Broadcast()
 		}
 	}
 }
 
+// fastRelease removes the hold edge under the shared lock. Requires the
+// caller to be the current owner (so l's acquisition fields are its own
+// writes) and the position to be outside every signature (so no yielder
+// needs waking).
+func (c *Core) fastRelease(t, l *Node) bool {
+	if c.cfg.Serial {
+		return false
+	}
+	c.mu.RLock()
+	// Owner check first: only when t is the owner are l.acqPos/acqEntry
+	// t's own prior writes, safe to read without the exclusive lock.
+	if l.owner.Load() != t {
+		c.mu.RUnlock()
+		return false
+	}
+	pos := l.acqPos
+	if pos == nil || pos.inHistory.Load() || l.acqEntry != nil {
+		// In-history positions release on the slow path (queue entry to
+		// recycle, yielders to wake). A non-nil entry at a non-history
+		// position cannot happen; routing it to the slow path keeps the
+		// misuse tolerance in one place.
+		c.mu.RUnlock()
+		return false
+	}
+	t.fastReleases++
+	l.acqPos = nil
+	l.owner.Store(nil)
+	c.mu.RUnlock()
+	return true
+}
+
 // Abort undoes an approved Request that will not proceed to Acquired
 // (e.g. the embedding runtime cancelled a blocked monitorenter during
 // process teardown). The position entry and the request edge are removed
-// and yielders on affected signatures are woken.
+// and yielders on affected signatures are woken. Aborts are rare (they
+// happen on teardown), so there is no fast path.
 func (c *Core) Abort(t, l *Node) {
 	if checkArgs(t, l) != nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stats.Aborts++
+	atomic.AddUint64(&c.stats.Aborts, 1)
 	if t.reqLock != l {
-		c.stats.Misuse++
+		atomic.AddUint64(&c.stats.Misuse, 1)
 		return
 	}
 	pos := t.reqPos
 	if pos != nil && t.reqEntry != nil {
 		c.releaseEntryLocked(pos, t.reqEntry)
-		if pos.inHistory {
+		if pos.inHistory.Load() {
 			for _, s := range pos.sigs {
 				s.cond.Broadcast()
 			}
@@ -351,16 +576,17 @@ func (c *Core) Abort(t, l *Node) {
 }
 
 // takeEntryLocked allocates or recycles a queue entry, tracking the
-// allocation high-water mark.
+// allocation high-water mark. Caller must hold c.mu exclusively.
 func (c *Core) takeEntryLocked(pos *Position, t *Node) *entry {
 	if c.cfg.QueueReuse && pos.free.len() > 0 {
 		return pos.takeEntry(t, true)
 	}
-	c.entriesAllocated++
+	c.entriesAllocated.Add(1)
 	return pos.takeEntry(t, false)
 }
 
-// releaseEntryLocked returns an entry to the position's free list.
+// releaseEntryLocked returns an entry to the position's free list. Caller
+// must hold c.mu exclusively.
 func (c *Core) releaseEntryLocked(pos *Position, e *entry) {
 	pos.releaseEntry(e, c.cfg.QueueReuse)
 }
@@ -383,7 +609,9 @@ func (c *Core) AddSignature(sig *Signature) (SignatureInfo, bool, error) {
 }
 
 // installSignatureLocked deduplicates, resolves outer positions, wires the
-// condition variable, and optionally persists. Caller must hold c.mu.
+// condition variable, and optionally persists. Caller must hold c.mu
+// exclusively — installation flips positions from the fast path to the
+// slow path (Position.inHistory), which must not happen mid-operation.
 func (c *Core) installSignatureLocked(sig *Signature, persist bool) (*Signature, bool, error) {
 	if err := sig.Validate(); err != nil {
 		return nil, false, err
@@ -399,32 +627,67 @@ func (c *Core) installSignatureLocked(sig *Signature, persist bool) (*Signature,
 		}
 	}
 	key := truncated.Key()
-	if existing, ok := c.sigKeys[key]; ok {
+	c.histMu.Lock()
+	existing, ok := c.sigKeys[key]
+	c.histMu.Unlock()
+	if ok {
 		return existing, false, nil
 	}
 	s := truncated
-	s.id = len(c.history)
 	s.cond = sync.NewCond(&c.mu)
 	s.slots = make([]*Position, len(s.Pairs))
 	for i, p := range s.Pairs {
-		pos := c.internLocked(p.Outer)
+		pos := c.positions.intern(p.Outer.Truncate(c.cfg.OuterDepth))
 		s.slots[i] = pos
-		pos.inHistory = true
 		if !containsSig(pos.sigs, s) {
 			pos.sigs = append(pos.sigs, s)
 		}
+		if !pos.inHistory.Load() {
+			// First signature naming this position: arm it and rebuild its
+			// lazily maintained thread queue from live RAG state, so
+			// matching sees every current holder and approved waiter.
+			pos.inHistory.Store(true)
+			c.rebuildQueueLocked(pos)
+		}
 	}
+	c.histMu.Lock()
+	s.id = len(c.history)
 	c.history = append(c.history, s)
 	c.sigKeys[key] = s
-	c.stats.SignaturesAdded++
+	c.histMu.Unlock()
+	atomic.AddUint64(&c.stats.SignaturesAdded, 1)
 	if persist && c.cfg.Store != nil {
 		if err := c.cfg.Store.Append(s); err != nil {
 			// The in-memory antibody still protects this run; persistence
 			// will be retried implicitly if the bug reoccurs next boot.
-			c.stats.PersistErrors++
+			atomic.AddUint64(&c.stats.PersistErrors, 1)
 		}
 	}
 	return s, true, nil
+}
+
+// rebuildQueueLocked populates a newly armed position's thread queue from
+// the RAG: one entry per lock currently held that was acquired at pos, and
+// one per approved in-flight request at pos. Queues of positions outside
+// every signature are not maintained (nothing ever matches against them);
+// this reconstruction runs once, when the position first becomes named by
+// a signature, under the exclusive engine lock. Caller must hold c.mu
+// exclusively.
+func (c *Core) rebuildQueueLocked(pos *Position) {
+	c.nodesMu.Lock()
+	defer c.nodesMu.Unlock()
+	for _, l := range c.lockNodes {
+		if l.acqPos == pos && l.acqEntry == nil {
+			if owner := l.owner.Load(); owner != nil {
+				l.acqEntry = c.takeEntryLocked(pos, owner)
+			}
+		}
+	}
+	for _, t := range c.threadNodes {
+		if t.reqPos == pos && t.reqLock != nil && t.reqEntry == nil {
+			t.reqEntry = c.takeEntryLocked(pos, t)
+		}
+	}
 }
 
 // containsSig reports whether sigs already holds s.
@@ -439,8 +702,8 @@ func containsSig(sigs []*Signature, s *Signature) bool {
 
 // History returns a snapshot of all installed signatures.
 func (c *Core) History() []SignatureInfo {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.histMu.Lock()
+	defer c.histMu.Unlock()
 	out := make([]SignatureInfo, len(c.history))
 	for i, s := range c.history {
 		out[i] = s.snapshot()
@@ -450,16 +713,30 @@ func (c *Core) History() []SignatureInfo {
 
 // HistorySize returns the number of installed signatures.
 func (c *Core) HistorySize() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.histMu.Lock()
+	defer c.histMu.Unlock()
 	return len(c.history)
 }
 
-// Stats returns a snapshot of the activity counters.
+// Stats returns a snapshot of the activity counters. The fast-path
+// counters live on the thread nodes (written lock-free by each thread);
+// aggregating them takes the exclusive engine lock briefly to exclude
+// in-flight fast operations.
 func (c *Core) Stats() Stats {
+	out := c.stats.snapshot()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	c.nodesMu.Lock()
+	for _, t := range c.threadNodes {
+		out.FastRequests += t.fastRequests
+		out.FastAcquisitions += t.fastAcquisitions
+		out.FastReleases += t.fastReleases
+	}
+	c.nodesMu.Unlock()
+	c.mu.Unlock()
+	out.Requests += out.FastRequests
+	out.Acquisitions += out.FastAcquisitions
+	out.Releases += out.FastReleases
+	return out
 }
 
 // MemStats computes the current memory footprint of the core's data
@@ -472,9 +749,7 @@ func (c *Core) MemStats() MemStats {
 
 // PositionCount returns the number of interned positions.
 func (c *Core) PositionCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.positions)
+	return c.positions.count()
 }
 
 // CheckStarvationNow synchronously re-runs the starvation scan over all
@@ -501,7 +776,7 @@ func (c *Core) watchdogLoop() {
 			return
 		case now := <-ticker.C:
 			c.mu.Lock()
-			if !c.killed {
+			if !c.killed.Load() {
 				c.scanYieldersLocked()
 				if c.cfg.Starvation == StarvationTimeout {
 					c.timeoutYieldersLocked(now)

@@ -40,9 +40,10 @@ func TestBasicAcquireReleaseFlow(t *testing.T) {
 	t1 := h.thread("t1")
 	l1 := h.lock("l1")
 	p := h.pos("C", "m", 1)
+	h.arm("C", "m", 1) // exercise the queue-maintaining slow path
 
 	h.acquire(t1, l1, p)
-	if l1.owner != t1 {
+	if l1.owner.Load() != t1 {
 		t.Error("lock must record its owner after Acquired")
 	}
 	if l1.acqPos != p {
@@ -56,7 +57,7 @@ func TestBasicAcquireReleaseFlow(t *testing.T) {
 	}
 
 	h.release(t1, l1)
-	if l1.owner != nil || l1.acqPos != nil {
+	if l1.owner.Load() != nil || l1.acqPos != nil {
 		t.Error("release must clear ownership")
 	}
 	if p.occupants() != 0 {
@@ -104,7 +105,7 @@ func TestMisuseCounters(t *testing.T) {
 
 	// Acquired without Request.
 	h.c.Acquired(t1, l1)
-	if l1.owner != t1 {
+	if l1.owner.Load() != t1 {
 		t.Error("Acquired must still record ownership for robustness")
 	}
 	h.c.Release(t1, l1)
@@ -115,6 +116,7 @@ func TestAbortUndoesApproval(t *testing.T) {
 	t1 := h.thread("t1")
 	l1 := h.lock("l1")
 	p := h.pos("C", "m", 1)
+	h.arm("C", "m", 1)
 
 	if err := h.c.Request(t1, l1, p); err != nil {
 		t.Fatal(err)
@@ -230,6 +232,7 @@ func TestMemStatsAccounting(t *testing.T) {
 	t1 := h.thread("t1")
 	l1 := h.lock("l1")
 	p := h.pos("C", "m", 1)
+	h.arm("C", "m", 1)
 	h.acquire(t1, l1, p)
 
 	ms := h.c.MemStats()
@@ -258,6 +261,7 @@ func TestQueueReuseBoundsAllocations(t *testing.T) {
 	t1 := h.thread("t1")
 	l1 := h.lock("l1")
 	p := h.pos("C", "m", 1)
+	h.arm("C", "m", 1)
 	for i := 0; i < 100; i++ {
 		h.acquire(t1, l1, p)
 		h.release(t1, l1)
@@ -271,6 +275,7 @@ func TestQueueReuseBoundsAllocations(t *testing.T) {
 	u1 := h2.thread("u1")
 	m1 := h2.lock("m1")
 	q := h2.pos("C", "m", 1)
+	h2.arm("C", "m", 1)
 	for i := 0; i < 100; i++ {
 		h2.acquire(u1, m1, q)
 		h2.release(u1, m1)
@@ -289,12 +294,9 @@ func TestEventChannelDropsWhenFull(t *testing.T) {
 	defer c.Close()
 	mustAdd(t, c, sigOf(DeadlockSig, fr("a.B", "m", 1), fr("c.D", "n", 2)))
 
-	c.mu.Lock()
-	c.emitLocked(Event{Kind: EventYield})
-	c.emitLocked(Event{Kind: EventYield}) // would block without drop logic
-	dropped := c.stats.EventsDropped
-	c.mu.Unlock()
-	if dropped != 1 {
+	c.emit(Event{Kind: EventYield})
+	c.emit(Event{Kind: EventYield}) // would block without drop logic
+	if dropped := c.Stats().EventsDropped; dropped != 1 {
 		t.Errorf("EventsDropped = %d, want 1", dropped)
 	}
 }

@@ -1,5 +1,7 @@
 package core
 
+import "sync/atomic"
+
 // Deadlock detection. Every time a thread t requests a lock, Dimmunix
 // looks for RAG cycles containing t (§2.2). Because each thread requests
 // at most one lock and each lock has at most one owner, the reachable part
@@ -18,13 +20,13 @@ type cycleLink struct {
 // if granting t→l would complete a deadlock, or nil. The walk also
 // terminates (returning nil) if it runs into a pre-existing cycle that
 // does not contain t: that deadlock was already detected when it formed,
-// and t is merely queued behind it. Caller must hold c.mu.
+// and t is merely queued behind it. Caller must hold c.mu exclusively.
 func (c *Core) findCycleLocked(t, l *Node) []cycleLink {
-	c.stats.CycleWalks++
+	atomic.AddUint64(&c.stats.CycleWalks, 1)
 	var links []cycleLink
 	cur := l
 	for {
-		owner := cur.owner
+		owner := cur.owner.Load()
 		if owner == nil {
 			return nil // lock free (or being handed over): no cycle
 		}
@@ -56,7 +58,7 @@ func (c *Core) handleDeadlockLocked(t *Node, pos *Position, cycle []cycleLink) e
 		// A signature built from live RAG state is always valid; failure
 		// here indicates internal inconsistency. Count and continue: the
 		// deadlock still manifests per policy.
-		c.stats.Misuse++
+		atomic.AddUint64(&c.stats.Misuse, 1)
 		return nil
 	}
 	ev := Event{
@@ -66,14 +68,14 @@ func (c *Core) handleDeadlockLocked(t *Node, pos *Position, cycle []cycleLink) e
 		Sig:        installed.snapshot(),
 	}
 	if fresh {
-		c.stats.DeadlocksDetected++
+		atomic.AddUint64(&c.stats.DeadlocksDetected, 1)
 		ev.Kind = EventDeadlockDetected
 	} else {
-		installed.hits++
-		c.stats.DuplicateDeadlocks++
+		atomic.AddUint64(&installed.hits, 1)
+		atomic.AddUint64(&c.stats.DuplicateDeadlocks, 1)
 		ev.Kind = EventDuplicateDeadlock
 	}
-	c.emitLocked(ev)
+	c.emit(ev)
 	if c.cfg.Policy == PolicyFail {
 		return &DeadlockError{Sig: installed.snapshot()}
 	}

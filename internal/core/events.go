@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // EventKind identifies the type of a core event.
 type EventKind int
@@ -70,17 +73,20 @@ func (e Event) String() string {
 		e.Kind, e.ThreadName, e.ThreadID, e.Pos, e.Sig)
 }
 
-// emitLocked queues an event for delivery. Caller must hold c.mu. Delivery
-// is non-blocking: if the buffer is full the event is dropped and counted,
-// so a slow or absent consumer can never stall the synchronization fast
-// path.
-func (c *Core) emitLocked(ev Event) {
+// emit queues an event for delivery, serialized by the event lock (evMu,
+// a leaf in the lock order — emit may be called with or without the
+// engine lock). Delivery is non-blocking: if the buffer is full the event
+// is dropped and counted, so a slow or absent consumer can never stall
+// the synchronization path.
+func (c *Core) emit(ev Event) {
+	c.evMu.Lock()
+	defer c.evMu.Unlock()
 	if c.eventsClosed {
 		return
 	}
 	select {
 	case c.events <- ev:
 	default:
-		c.stats.EventsDropped++
+		atomic.AddUint64(&c.stats.EventsDropped, 1)
 	}
 }

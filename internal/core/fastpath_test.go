@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Fast-path correctness: the sharded engine may skip detection-and-
+// avoidance only when doing so is provably equivalent to the serial
+// reference engine. These tests pin the conditions down.
+
+// TestFastPathConditions table-drives the situations in which Request must
+// (or must never) take the fast path.
+func TestFastPathConditions(t *testing.T) {
+	tests := []struct {
+		name string
+		// prepare arms the core and returns the (thread, lock, position)
+		// for the probed Request.
+		prepare  func(t *testing.T, h *harness) (*Node, *Node, *Position)
+		wantFast bool
+	}{
+		{
+			name: "unnamed position, unowned lock",
+			prepare: func(t *testing.T, h *harness) (*Node, *Node, *Position) {
+				return h.thread("t"), h.lock("l"), h.pos("Free", "m", 1)
+			},
+			wantFast: true,
+		},
+		{
+			name: "position named by a deadlock signature",
+			prepare: func(t *testing.T, h *harness) (*Node, *Node, *Position) {
+				p := h.pos("Armed", "m", 1)
+				mustAdd(t, h.c, sigOf(DeadlockSig, fr("test.Armed", "m", 1), fr("test.Cold", "x", 9)))
+				return h.thread("t"), h.lock("l"), p
+			},
+			wantFast: false,
+		},
+		{
+			name: "position named by a starvation signature",
+			prepare: func(t *testing.T, h *harness) (*Node, *Node, *Position) {
+				p := h.pos("Starved", "m", 1)
+				h.arm("Starved", "m", 1)
+				return h.thread("t"), h.lock("l"), p
+			},
+			wantFast: false,
+		},
+		{
+			name: "contended lock",
+			prepare: func(t *testing.T, h *harness) (*Node, *Node, *Position) {
+				holder := h.thread("holder")
+				l := h.lock("l")
+				h.acquire(holder, l, h.pos("Other", "m", 7))
+				return h.thread("t"), l, h.pos("Free", "m", 1)
+			},
+			wantFast: false,
+		},
+		{
+			name: "serial engine always slow",
+			prepare: func(t *testing.T, h *harness) (*Node, *Node, *Position) {
+				return h.thread("t"), h.lock("l"), h.pos("Free", "m", 1)
+			},
+			wantFast: false,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var opts []Option
+			if tc.name == "serial engine always slow" {
+				opts = append(opts, WithSerialEngine(true))
+			}
+			h := newHarness(t, opts...)
+			th, l, pos := tc.prepare(t, h)
+			before := h.c.Stats().FastRequests
+			if err := h.c.Request(th, l, pos); err != nil {
+				t.Fatalf("Request: %v", err)
+			}
+			gotFast := h.c.Stats().FastRequests-before == 1
+			if gotFast != tc.wantFast {
+				t.Errorf("fast path taken = %v, want %v", gotFast, tc.wantFast)
+			}
+			h.c.Abort(th, l)
+		})
+	}
+}
+
+// TestSignatureInstallFlipsPositionToSlowPath: an armed position must stop
+// fast-pathing the moment its signature installs, and the rebuilt queue
+// must include acquisitions that happened while the position was still on
+// the fast path.
+func TestSignatureInstallFlipsPositionToSlowPath(t *testing.T) {
+	h := newHarness(t)
+	t1, t2 := h.thread("t1"), h.thread("t2")
+	l1, l2 := h.lock("l1"), h.lock("l2")
+	p := h.pos("Hot", "m", 1)
+
+	// Fast-path acquisition; no queue entry is maintained.
+	h.acquire(t1, l1, p)
+	if st := h.c.Stats(); st.FastRequests != 1 {
+		t.Fatalf("FastRequests = %d, want 1", st.FastRequests)
+	}
+	if p.occupants() != 0 {
+		t.Fatalf("unnamed position has %d queue entries, want 0 (lazy queues)", p.occupants())
+	}
+
+	// Install a signature naming p: the queue must be rebuilt to include
+	// t1's live holding.
+	mustAdd(t, h.c, sigOf(DeadlockSig, fr("test.Hot", "m", 1), fr("test.Cold", "x", 9)))
+	if !p.InHistory() {
+		t.Fatal("position not armed by installation")
+	}
+	if p.occupants() != 1 {
+		t.Fatalf("rebuilt queue has %d entries, want 1 (t1 holds l1 at p)", p.occupants())
+	}
+
+	// Subsequent requests at p go slow-path.
+	before := h.c.Stats().FastRequests
+	h.acquire(t2, l2, p)
+	if h.c.Stats().FastRequests != before {
+		t.Error("armed position took the fast path")
+	}
+	if p.occupants() != 2 {
+		t.Fatalf("queue has %d entries, want 2", p.occupants())
+	}
+
+	// Releases (slow path now) must drain the rebuilt entries cleanly.
+	h.release(t1, l1)
+	h.release(t2, l2)
+	if p.occupants() != 0 {
+		t.Fatalf("queue has %d entries after releases, want 0", p.occupants())
+	}
+	if ms := h.c.MemStats(); ms.QueueEntriesLive != 0 {
+		t.Errorf("live entries = %d, want 0", ms.QueueEntriesLive)
+	}
+}
+
+// TestQueueRebuildIncludesInFlightRequests: an approved-but-not-acquired
+// fast-path request must appear in the rebuilt queue too.
+func TestQueueRebuildIncludesInFlightRequests(t *testing.T) {
+	h := newHarness(t)
+	t1 := h.thread("t1")
+	l1 := h.lock("l1")
+	p := h.pos("Hot", "m", 1)
+
+	if err := h.c.Request(t1, l1, p); err != nil {
+		t.Fatal(err)
+	}
+	if t1.reqEntry != nil {
+		t.Fatal("fast-path approval must not take a queue entry")
+	}
+	mustAdd(t, h.c, sigOf(DeadlockSig, fr("test.Hot", "m", 1), fr("test.Cold", "x", 9)))
+	if t1.reqEntry == nil {
+		t.Fatal("rebuild must attach an entry to the in-flight request")
+	}
+	if p.occupants() != 1 {
+		t.Fatalf("rebuilt queue has %d entries, want 1", p.occupants())
+	}
+	// The entry must flow through Acquired/Release like a slow-path one.
+	h.c.Acquired(t1, l1)
+	if l1.acqEntry == nil {
+		t.Fatal("entry must transfer to the lock on Acquired")
+	}
+	h.release(t1, l1)
+	if p.occupants() != 0 {
+		t.Errorf("queue has %d entries after release, want 0", p.occupants())
+	}
+}
+
+// engineScript is a deterministic single-goroutine schedule replayed on
+// both engines; every step's outcome must be identical.
+type engineStep struct {
+	op     string // "acquire", "release", "request", "abort", "addsig"
+	thread int
+	lock   int
+	pos    int
+	sig    *Signature
+	// wantErr is matched with errors.Is against the step's error (nil
+	// means the step must succeed).
+	wantErr error
+}
+
+// runEngineScript replays a script and returns the final stats.
+func runEngineScript(t *testing.T, serial bool, steps []engineStep) Stats {
+	t.Helper()
+	h := newHarness(t, WithSerialEngine(serial), WithPolicy(PolicyFail))
+	threads := map[int]*Node{}
+	locks := map[int]*Node{}
+	positions := map[int]*Position{}
+	node := func(i int) *Node {
+		if threads[i] == nil {
+			threads[i] = h.thread(fmt.Sprintf("t%d", i))
+		}
+		return threads[i]
+	}
+	lock := func(i int) *Node {
+		if locks[i] == nil {
+			locks[i] = h.lock(fmt.Sprintf("l%d", i))
+		}
+		return locks[i]
+	}
+	pos := func(i int) *Position {
+		if positions[i] == nil {
+			positions[i] = h.pos("Eq", "m", i)
+		}
+		return positions[i]
+	}
+	for si, st := range steps {
+		var err error
+		switch st.op {
+		case "request":
+			err = h.c.Request(node(st.thread), lock(st.lock), pos(st.pos))
+		case "acquire":
+			if err = h.c.Request(node(st.thread), lock(st.lock), pos(st.pos)); err == nil {
+				h.c.Acquired(node(st.thread), lock(st.lock))
+			}
+		case "release":
+			h.c.Release(node(st.thread), lock(st.lock))
+		case "abort":
+			h.c.Abort(node(st.thread), lock(st.lock))
+		case "addsig":
+			_, _, err = h.c.AddSignature(st.sig)
+		default:
+			t.Fatalf("step %d: unknown op %q", si, st.op)
+		}
+		if st.wantErr == nil {
+			if err != nil {
+				t.Fatalf("step %d (%s): unexpected error %v (serial=%v)", si, st.op, err, serial)
+			}
+		} else if !errors.Is(err, st.wantErr) {
+			var de *DeadlockError
+			if !(errors.As(err, &de) && errors.As(st.wantErr, &de)) {
+				t.Fatalf("step %d (%s): error = %v, want %v (serial=%v)", si, st.op, err, st.wantErr, serial)
+			}
+		}
+	}
+	return h.c.Stats()
+}
+
+// TestEngineEquivalence replays deterministic schedules — including a real
+// deadlock and suppressed-yield traffic — on the serial reference engine
+// and the sharded engine, and requires identical avoidance and detection
+// decisions.
+func TestEngineEquivalence(t *testing.T) {
+	deadlockErr := &DeadlockError{}
+	scripts := map[string][]engineStep{
+		"ordered no deadlock": {
+			{op: "acquire", thread: 1, lock: 1, pos: 1},
+			{op: "acquire", thread: 1, lock: 2, pos: 2},
+			{op: "release", thread: 1, lock: 2},
+			{op: "release", thread: 1, lock: 1},
+			{op: "acquire", thread: 2, lock: 1, pos: 1},
+			{op: "release", thread: 2, lock: 1},
+		},
+		"real deadlock detected": {
+			{op: "acquire", thread: 1, lock: 1, pos: 1},
+			{op: "acquire", thread: 2, lock: 2, pos: 2},
+			{op: "request", thread: 1, lock: 2, pos: 3},
+			// t2 requesting l1 completes the cycle: PolicyFail errors.
+			{op: "request", thread: 2, lock: 1, pos: 4, wantErr: deadlockErr},
+			{op: "abort", thread: 1, lock: 2},
+			{op: "release", thread: 2, lock: 2},
+			{op: "release", thread: 1, lock: 1},
+		},
+		"armed but never instantiable": {
+			{op: "addsig", sig: sigOf(DeadlockSig, fr("test.Eq", "m", 1), fr("test.Never", "x", 1))},
+			{op: "acquire", thread: 1, lock: 1, pos: 1},
+			{op: "acquire", thread: 2, lock: 2, pos: 1},
+			{op: "release", thread: 2, lock: 2},
+			{op: "release", thread: 1, lock: 1},
+			{op: "acquire", thread: 1, lock: 1, pos: 2},
+			{op: "release", thread: 1, lock: 1},
+		},
+		"suppressed yield proceeds": {
+			// A starvation signature over {p1, p2} suppresses the yield
+			// that the deadlock signature over the same positions would
+			// otherwise force, so the single-goroutine script cannot hang.
+			{op: "addsig", sig: sigOf(DeadlockSig, fr("test.Eq", "m", 1), fr("test.Eq", "m", 2))},
+			{op: "addsig", sig: sigOf(StarvationSig, fr("test.Eq", "m", 1), fr("test.Eq", "m", 2))},
+			{op: "acquire", thread: 1, lock: 1, pos: 1},
+			// t2's request at p2 makes sig{p1,p2} instantiable; the
+			// starvation signature suppresses the yield and it proceeds.
+			{op: "acquire", thread: 2, lock: 2, pos: 2},
+			{op: "release", thread: 2, lock: 2},
+			{op: "release", thread: 1, lock: 1},
+		},
+	}
+	for name, script := range scripts {
+		t.Run(name, func(t *testing.T) {
+			serial := runEngineScript(t, true, script)
+			sharded := runEngineScript(t, false, script)
+
+			// The serial engine must never fast-path; the sharded engine
+			// must agree with it on every decision-relevant counter.
+			if serial.FastRequests != 0 {
+				t.Errorf("serial engine took %d fast requests", serial.FastRequests)
+			}
+			type decision struct {
+				requests, acquisitions, releases, aborts uint64
+				deadlocks, duplicates                    uint64
+				yields, suppressed, starvations          uint64
+				instantiations                           uint64
+				misuse                                   uint64
+			}
+			d := func(s Stats) decision {
+				return decision{
+					requests: s.Requests, acquisitions: s.Acquisitions,
+					releases: s.Releases, aborts: s.Aborts,
+					deadlocks: s.DeadlocksDetected, duplicates: s.DuplicateDeadlocks,
+					yields: s.Yields, suppressed: s.SuppressedYields,
+					starvations: s.Starvations, instantiations: s.InstantiationsFound,
+					misuse: s.Misuse,
+				}
+			}
+			if d(serial) != d(sharded) {
+				t.Errorf("engines disagree:\nserial : %+v\nsharded: %+v", d(serial), d(sharded))
+			}
+		})
+	}
+}

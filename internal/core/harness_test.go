@@ -43,6 +43,18 @@ func (h *harness) pos(class, method string, line int) *Position {
 	return p
 }
 
+// arm marks the position for the given frame as signature-named, so the
+// queue-maintaining slow path runs, without enabling any avoidance:
+// a starvation signature is never matched by findInstantiation, it only
+// suppresses yields that would otherwise happen.
+func (h *harness) arm(class, method string, line int) {
+	h.t.Helper()
+	f := fr("test."+class, method, line)
+	mustAdd(h.t, h.c, &Signature{Kind: StarvationSig, Pairs: []SigPair{
+		{Outer: CallStack{f}, Inner: CallStack{f}},
+	}})
+}
+
 // acquire performs the full Request+Acquired sequence, failing the test on
 // error.
 func (h *harness) acquire(t, l *Node, pos *Position) {

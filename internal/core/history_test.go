@@ -258,3 +258,80 @@ func TestSignatureValidate(t *testing.T) {
 		t.Error("unknown kind must not validate")
 	}
 }
+
+// FuzzHistoryParse fuzzes the persistent history file parser. For any
+// input (corrupt, truncated, duplicated, binary garbage) the parser must
+// not panic; in lenient mode it must always produce a usable (possibly
+// empty) history — the phone must keep booting even off a torn file — and
+// everything it accepts must re-encode and re-parse to the same
+// signatures (round-trip stability, the property the persistent store
+// depends on across reboots).
+func FuzzHistoryParse(f *testing.F) {
+	var valid strings.Builder
+	if err := EncodeHistory(&valid, sampleSigs()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add("")
+	f.Add("#dimmunix-history v1\n")
+	// Truncated mid-block (torn final write).
+	f.Add("#dimmunix-history v1\nsig deadlock\npair outer=A.b:1 inner=A.b:1\n")
+	// Duplicate signatures back to back.
+	f.Add("#dimmunix-history v1\n" +
+		"sig deadlock\npair outer=A.b:1 inner=A.b:1\npair outer=C.d:2 inner=C.d:2\nend\n" +
+		"sig deadlock\npair outer=A.b:1 inner=A.b:1\npair outer=C.d:2 inner=C.d:2\nend\n")
+	// Wrong header, stray tokens, malformed pairs, bad kinds.
+	f.Add("#dimmunix-history v2\nsig deadlock\nend\n")
+	f.Add("#dimmunix-history v1\ngarbage line\nsig starvation\npair outer=A.b:1 inner=A.b:1\nend\n")
+	f.Add("#dimmunix-history v1\nsig deadlock\npair outer= inner=\nend\n")
+	f.Add("#dimmunix-history v1\nsig wat\npair outer=A.b:1 inner=A.b:1\nend\n")
+	f.Add("#dimmunix-history v1\nsig deadlock\npair outer=A.b:one inner=A.b:1\nend\nsig\n")
+	f.Add("\x00\xff\xfe#dimmunix-history v1\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		// Strict mode: must not panic; error or signature list both fine.
+		strictSigs, _, strictErr := DecodeHistory(strings.NewReader(input), false)
+		// Lenient mode: must not panic and must never fail on any input
+		// short of scanner-level errors (which a string reader cannot
+		// produce for inputs under the scanner's buffer cap).
+		lenientSigs, skipped, lenientErr := DecodeHistory(strings.NewReader(input), true)
+		if len(input) < 512*1024 {
+			if lenientErr != nil && !errors.Is(lenientErr, ErrHistoryFormat) {
+				t.Fatalf("lenient decode failed unexpectedly: %v", lenientErr)
+			}
+		}
+		if strictErr == nil && skipped == 0 && len(strictSigs) != len(lenientSigs) {
+			t.Fatalf("strict accepted %d sigs, lenient %d with nothing skipped",
+				len(strictSigs), len(lenientSigs))
+		}
+
+		// Everything accepted must validate and round-trip.
+		for _, sigs := range [][]*Signature{strictSigs, lenientSigs} {
+			if strictErr != nil && len(sigs) == 0 {
+				continue
+			}
+			for i, s := range sigs {
+				if err := s.Validate(); err != nil {
+					t.Fatalf("accepted signature %d does not validate: %v", i, err)
+				}
+			}
+			var reenc strings.Builder
+			if err := EncodeHistory(&reenc, sigs); err != nil {
+				t.Fatalf("re-encode of accepted history failed: %v", err)
+			}
+			again, reSkipped, err := DecodeHistory(strings.NewReader(reenc.String()), false)
+			if err != nil || reSkipped != 0 {
+				t.Fatalf("re-decode failed: err=%v skipped=%d", err, reSkipped)
+			}
+			if len(again) != len(sigs) {
+				t.Fatalf("round trip lost signatures: %d -> %d", len(sigs), len(again))
+			}
+			for i := range sigs {
+				if sigs[i].Key() != again[i].Key() {
+					t.Fatalf("signature %d key changed across round trip:\n%s\n%s",
+						i, sigs[i].Key(), again[i].Key())
+				}
+			}
+		}
+	})
+}

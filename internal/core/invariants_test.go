@@ -86,7 +86,7 @@ func randomOrderedSchedule(t *testing.T, seed int64, threads, locks, opsPer int)
 		t.Errorf("live queue entries after quiescence: %d", ms.QueueEntriesLive)
 	}
 	for i, l := range lockNodes {
-		if l.owner != nil || l.acqPos != nil || l.acqEntry != nil {
+		if l.owner.Load() != nil || l.acqPos != nil || l.acqEntry != nil {
 			t.Errorf("lock %d not clean after quiescence", i)
 		}
 	}
@@ -211,6 +211,7 @@ func TestInvariantAbortPaths(t *testing.T) {
 func TestInvariantEntryReuseHighWaterMark(t *testing.T) {
 	h := newHarness(t)
 	p := h.pos("A", "m", 1)
+	h.arm("A", "m", 1) // queues (and hence entries) exist only for armed positions
 	const concurrent = 5
 	threads := make([]*Node, concurrent)
 	lcks := make([]*Node, concurrent)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,7 +37,11 @@ func (k NodeKind) String() string {
 // most one lock at a time and a lock has at most one owner, so edges are
 // plain pointer fields and cycle detection is a chain walk.
 //
-// All mutable fields are guarded by the owning Core's global mutex.
+// Mutable fields are guarded by the owning Core's engine lock. Thread-node
+// fields are additionally written under the shared engine lock, but only
+// ever by the thread the node belongs to, so shared-lock holders never
+// race on them. The owner pointer is atomic: the fast path reads it
+// lock-free to prove a requested lock uncontended.
 type Node struct {
 	kind NodeKind
 	id   uint64
@@ -64,12 +69,22 @@ type Node struct {
 	// stackFn captures the thread's current full call stack; used only for
 	// the informational inner call stacks of signatures. May be nil.
 	stackFn func() CallStack
+	// fastRequests/fastAcquisitions/fastReleases count this thread's
+	// fast-path operations. Plain fields: only the owning thread writes
+	// them (under the shared engine lock), and Core.Stats aggregates them
+	// under the exclusive lock, which excludes all fast-path writers.
+	fastRequests     uint64
+	fastAcquisitions uint64
+	fastReleases     uint64
 
 	// ---- lock-node state ----
 
 	// owner is the thread currently holding this lock (the hold edge
-	// lock→thread). nil when the lock is free.
-	owner *Node
+	// lock→thread). nil when the lock is free. Atomic: written by the
+	// acquiring/releasing thread (ownership handoffs are serialized by the
+	// embedding runtime's real lock), read concurrently by fast-path
+	// requests checking for contention.
+	owner atomic.Pointer[Node]
 	// acqPos is the position at which owner acquired the lock — the
 	// paper's l.acqPos, i.e. the candidate outer call stack.
 	acqPos *Position

@@ -1,5 +1,7 @@
 package core
 
+import "sync/atomic"
+
 // Position is the interned representation of an outer call stack: the
 // program location of a monitorenter statement (struct Position in the
 // paper). Exactly one Position object exists per distinct call-stack key in
@@ -13,7 +15,9 @@ package core
 // linked queue whose entries are recycled through a second, free queue to
 // minimize allocations.
 //
-// All fields are guarded by the owning Core's global mutex.
+// Mutable fields are guarded by the owning Core's engine lock (held
+// exclusively); inHistory is atomic so the fast path can read it
+// lock-free (see the lock-order comment in core.go).
 type Position struct {
 	// key is the canonical encoding of stack (CallStack.Key).
 	key string
@@ -22,13 +26,21 @@ type Position struct {
 	stack CallStack
 	// inHistory is true when at least one history signature contains this
 	// position; only then can an acquisition here participate in an
-	// instantiation, so the release fast path checks this single bool.
-	inHistory bool
-	// sigs lists the history signatures whose outer positions include this
-	// position. Avoidance at this position only needs to examine these.
+	// instantiation. It is the fast-path gate: a request at a position
+	// outside every signature needs no avoidance, and a release there
+	// wakes no yielder. Set (never cleared) at signature install time,
+	// under the exclusive engine lock.
+	inHistory atomic.Bool
+	// sigs is the position→candidate-signature index: the history
+	// signatures whose outer positions include this position, maintained
+	// at install time. Avoidance at this position only examines these.
 	sigs []*Signature
 	// queue holds one entry per (thread, acquisition) that is currently
-	// holding or approved to wait at this position. The paper's main queue.
+	// holding or approved to wait at this position. The paper's main
+	// queue, maintained lazily: only while the position is in-history (the
+	// only time matching consults it); rebuilt from RAG state when the
+	// position first becomes named by a signature. Guarded by the
+	// exclusive engine lock.
 	queue entryList
 	// free is the recycling list for queue entries. The paper's second
 	// queue: "whenever a thread t needs to be added to the main queue and
@@ -37,7 +49,7 @@ type Position struct {
 	free entryList
 	// seq is a stable intern order index, used for deterministic iteration
 	// in diagnostics.
-	seq int
+	seq int64
 }
 
 // Key returns the canonical string encoding of the position's call stack.
@@ -48,7 +60,7 @@ func (p *Position) Key() string { return p.key }
 func (p *Position) Stack() CallStack { return p.stack }
 
 // InHistory reports whether any known signature contains this position.
-func (p *Position) InHistory() bool { return p.inHistory }
+func (p *Position) InHistory() bool { return p.inHistory.Load() }
 
 // entry is a node in a Position's thread queue. One entry exists per
 // in-flight or completed acquisition at the position; a thread holding two

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // SigKind distinguishes signatures of real deadlocks from signatures of
@@ -86,10 +87,11 @@ type Signature struct {
 	// pair order. Two pairs with identical outer stacks share a *Position.
 	slots []*Position
 	// cond is the condition variable threads yield on while this signature
-	// is instantiable; its Locker is the Core's global mutex (the paper's
-	// per-signature wait/notifyAll).
+	// is instantiable; its Locker is the Core's engine lock, write side
+	// (the paper's per-signature wait/notifyAll).
 	cond *sync.Cond
-	// stats, guarded by the Core mutex.
+	// stats, incremented under the exclusive engine lock but read by
+	// History() snapshots without it, hence atomic.
 	matches uint64 // instantiations found (yields caused)
 	hits    uint64 // times detection re-encountered this signature
 }
@@ -167,15 +169,14 @@ type SignatureInfo struct {
 	Hits uint64
 }
 
-// snapshot builds a SignatureInfo from an installed signature. Caller must
-// hold the Core mutex.
+// snapshot builds a SignatureInfo from an installed signature.
 func (s *Signature) snapshot() SignatureInfo {
 	return SignatureInfo{
 		ID:      s.id,
 		Kind:    s.Kind,
 		Pairs:   clonePairs(s.Pairs),
-		Matches: s.matches,
-		Hits:    s.hits,
+		Matches: atomic.LoadUint64(&s.matches),
+		Hits:    atomic.LoadUint64(&s.hits),
 	}
 }
 

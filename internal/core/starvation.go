@@ -1,6 +1,9 @@
 package core
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Starvation (avoidance-induced deadlock) handling. A yield suspends a
 // thread until the matched instantiation dissolves; if the threads that
@@ -56,7 +59,7 @@ func (c *Core) reachesLocked(from, target *Node, visited map[*Node]bool) bool {
 		}
 	}
 	if from.reqLock != nil {
-		if owner := from.reqLock.owner; owner != nil {
+		if owner := from.reqLock.owner.Load(); owner != nil {
 			if c.reachesLocked(owner, target, visited) {
 				return true
 			}
@@ -105,7 +108,7 @@ func (c *Core) timeoutYieldersLocked(now time.Time) {
 // avoidance loop observes forceResume and proceeds.
 func (c *Core) forceResumeLocked(y *Node, rec *yieldRecord) {
 	y.forceResume = true
-	c.stats.ForcedResumes++
+	atomic.AddUint64(&c.stats.ForcedResumes, 1)
 	rec.sig.cond.Broadcast()
 }
 
@@ -122,14 +125,14 @@ func (c *Core) recordStarvationLocked(t *Node, pos *Position, witnesses map[*Nod
 	sig := &Signature{Kind: StarvationSig, Pairs: pairs}
 	installed, fresh, err := c.installSignatureLocked(sig, true)
 	if err != nil {
-		c.stats.Misuse++
+		atomic.AddUint64(&c.stats.Misuse, 1)
 		return
 	}
-	c.stats.Starvations++
+	atomic.AddUint64(&c.stats.Starvations, 1)
 	if !fresh {
-		installed.hits++
+		atomic.AddUint64(&installed.hits, 1)
 	}
-	c.emitLocked(Event{
+	c.emit(Event{
 		Kind:       EventStarvation,
 		Sig:        installed.snapshot(),
 		ThreadID:   t.id,

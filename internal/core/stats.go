@@ -1,16 +1,32 @@
 package core
 
-import "unsafe"
+import (
+	"sync/atomic"
+	"unsafe"
+)
 
 // Stats counts core activity. All counters are cumulative since Core
-// creation. Snapshot with Core.Stats.
+// creation. Snapshot with Core.Stats. Inside the core every field is
+// updated with sync/atomic (the fast path runs without the engine lock);
+// the Requests/Acquisitions/Releases totals include their fast-path
+// subsets, which the internal representation keeps in the Fast* fields
+// only (folded together by snapshot).
 type Stats struct {
-	// Requests counts Request calls (monitorenter interceptions).
+	// Requests counts Request calls (monitorenter interceptions),
+	// including fast-path ones.
 	Requests uint64
-	// Acquisitions counts Acquired calls.
+	// FastRequests counts Requests approved on the sharded fast path
+	// (no detection or avoidance needed).
+	FastRequests uint64
+	// Acquisitions counts Acquired calls, including fast-path ones.
 	Acquisitions uint64
-	// Releases counts Release calls (monitorexit interceptions).
+	// FastAcquisitions counts Acquired calls on the fast path.
+	FastAcquisitions uint64
+	// Releases counts Release calls (monitorexit interceptions),
+	// including fast-path ones.
 	Releases uint64
+	// FastReleases counts Release calls on the fast path.
+	FastReleases uint64
 	// Aborts counts approved requests undone via Abort.
 	Aborts uint64
 	// CycleWalks counts RAG chain walks performed by detection.
@@ -52,6 +68,37 @@ type Stats struct {
 	Misuse uint64
 }
 
+// snapshot atomically reads every counter. The Fast* fields of the
+// internal representation hold only the folded counts of retired thread
+// nodes; Core.Stats adds the live nodes' counters and folds the totals.
+func (s *Stats) snapshot() Stats {
+	out := Stats{
+		Requests:            atomic.LoadUint64(&s.Requests),
+		Acquisitions:        atomic.LoadUint64(&s.Acquisitions),
+		Releases:            atomic.LoadUint64(&s.Releases),
+		FastRequests:        atomic.LoadUint64(&s.FastRequests),
+		FastAcquisitions:    atomic.LoadUint64(&s.FastAcquisitions),
+		FastReleases:        atomic.LoadUint64(&s.FastReleases),
+		Aborts:              atomic.LoadUint64(&s.Aborts),
+		CycleWalks:          atomic.LoadUint64(&s.CycleWalks),
+		DeadlocksDetected:   atomic.LoadUint64(&s.DeadlocksDetected),
+		DuplicateDeadlocks:  atomic.LoadUint64(&s.DuplicateDeadlocks),
+		AvoidanceChecks:     atomic.LoadUint64(&s.AvoidanceChecks),
+		InstantiationsFound: atomic.LoadUint64(&s.InstantiationsFound),
+		Yields:              atomic.LoadUint64(&s.Yields),
+		Resumes:             atomic.LoadUint64(&s.Resumes),
+		Starvations:         atomic.LoadUint64(&s.Starvations),
+		SuppressedYields:    atomic.LoadUint64(&s.SuppressedYields),
+		ForcedResumes:       atomic.LoadUint64(&s.ForcedResumes),
+		SignaturesLoaded:    atomic.LoadUint64(&s.SignaturesLoaded),
+		SignaturesAdded:     atomic.LoadUint64(&s.SignaturesAdded),
+		PersistErrors:       atomic.LoadUint64(&s.PersistErrors),
+		EventsDropped:       atomic.LoadUint64(&s.EventsDropped),
+		Misuse:              atomic.LoadUint64(&s.Misuse),
+	}
+	return out
+}
+
 // MemStats describes the memory footprint of a Core's data structures —
 // the quantity behind the paper's 4% platform memory overhead claim.
 type MemStats struct {
@@ -59,7 +106,7 @@ type MemStats struct {
 	Positions int
 	// Signatures is the number of installed signatures.
 	Signatures int
-	// Nodes is the number of RAG nodes created.
+	// Nodes is the number of live RAG nodes (created minus retired).
 	Nodes int
 	// QueueEntriesLive is the number of entries currently in position
 	// queues (threads holding or allowed to wait).
@@ -95,23 +142,32 @@ func stackBytes(cs CallStack) int64 {
 	return b
 }
 
-// memStatsLocked computes the footprint. Caller must hold c.mu.
+// memStatsLocked computes the footprint. Caller must hold c.mu
+// exclusively (freezing the position queues); the shard and history locks
+// are taken per the lock order.
 func (c *Core) memStatsLocked() MemStats {
+	// Live nodes only: retired (dead-thread / deflated-monitor) nodes no
+	// longer occupy memory, so the footprint counts the registry, not the
+	// cumulative creation counter.
+	c.nodesMu.Lock()
+	nodes := int64(len(c.threadNodes) + len(c.lockNodes))
+	c.nodesMu.Unlock()
 	ms := MemStats{
-		Positions:             len(c.positions),
-		Signatures:            len(c.history),
-		Nodes:                 int(c.nodeCount),
-		QueueEntriesAllocated: c.entriesAllocated,
+		Nodes:                 int(nodes),
+		QueueEntriesAllocated: c.entriesAllocated.Load(),
 	}
 	var bytes int64
-	for key, p := range c.positions {
+	c.positions.forEach(func(key string, p *Position) {
+		ms.Positions++
 		bytes += sizeofPosition + int64(len(key)) + stackBytes(p.stack)
 		ms.QueueEntriesLive += p.queue.len()
 		ms.QueueEntriesFree += p.free.len()
 		// sigs slice headers.
 		bytes += int64(len(p.sigs)) * 8
-	}
+	})
 	bytes += int64(ms.QueueEntriesLive+ms.QueueEntriesFree) * sizeofEntry
+	c.histMu.Lock()
+	ms.Signatures = len(c.history)
 	for _, s := range c.history {
 		bytes += sizeofSignature
 		for _, pr := range s.Pairs {
@@ -119,7 +175,8 @@ func (c *Core) memStatsLocked() MemStats {
 		}
 		bytes += int64(len(s.slots)) * 8
 	}
-	bytes += int64(c.nodeCount) * sizeofNode
+	c.histMu.Unlock()
+	bytes += nodes * sizeofNode
 	ms.Bytes = bytes
 	return ms
 }

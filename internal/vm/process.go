@@ -34,8 +34,13 @@ type Process struct {
 	monitors []*Monitor
 	objects  int
 
-	sitesMu sync.Mutex
-	sites   map[*Site]*core.Position
+	// sites caches each static Site's interned Position (sync.Map: written
+	// once per site at first use, then read on every monitorenter at that
+	// site from many threads — the read-mostly case sync.Map is for).
+	// siteCount mirrors the number of cached sites for the footprint
+	// estimate.
+	sites     sync.Map // *Site -> *core.Position
+	siteCount atomic.Int64
 
 	killCh chan struct{}
 	killed atomic.Bool
@@ -92,7 +97,6 @@ func newProcess(id int, name string, dim *core.Core) *Process {
 		dim:          dim,
 		captureDepth: depth,
 		threads:      make(map[uint32]*Thread),
-		sites:        make(map[*Site]*core.Position),
 		killCh:       make(chan struct{}),
 	}
 }
@@ -223,9 +227,7 @@ func (p *Process) SyncFootprint() int64 {
 	}
 	p.mu.Unlock()
 
-	p.sitesMu.Lock()
-	sites := len(p.sites)
-	p.sitesMu.Unlock()
+	sites := int(p.siteCount.Load())
 
 	return int64(monitors)*sizeofMonitor +
 		int64(waitNodes)*sizeofWaitNode +

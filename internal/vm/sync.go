@@ -62,18 +62,23 @@ func NewMethodSite(class, method string, line int) *Site {
 }
 
 // position resolves (and caches) the site's interned Position in process
-// p. Positions are per-process, so the cache lives on the process.
+// p. Positions are per-process, so the cache lives on the process. The
+// cache is lock-free on the hit path (every monitorenter at an already
+// seen site), keeping static-id interception off all process locks — the
+// VM half of the core's sharded low-contention fast path. Interning is
+// idempotent (the core's sharded table returns the same *Position for the
+// same stack), so a racing first use stores the same value.
 func (s *Site) position(p *Process) (*core.Position, error) {
-	p.sitesMu.Lock()
-	defer p.sitesMu.Unlock()
-	if pos, ok := p.sites[s]; ok {
-		return pos, nil
+	if pos, ok := p.sites.Load(s); ok {
+		return pos.(*core.Position), nil
 	}
 	pos, err := p.dim.Intern(core.CallStack{s.Frame})
 	if err != nil {
 		return nil, err
 	}
-	p.sites[s] = pos
+	if _, loaded := p.sites.LoadOrStore(s, pos); !loaded {
+		p.siteCount.Add(1)
+	}
 	return pos, nil
 }
 

@@ -243,6 +243,11 @@ func (t *Thread) run(fn func(*Thread)) {
 	defer close(t.done)
 	defer func() {
 		t.setState(StateTerminated)
+		// Retire the RAG node so the core's registry stays bounded by
+		// live threads (long-lived processes spawn and reap many).
+		if dim := t.proc.dim; dim != nil && t.node != nil {
+			dim.RetireThreadNode(t.node)
+		}
 		if r := recover(); r != nil {
 			if u, ok := r.(threadUnwind); ok {
 				t.setErr(u.err)

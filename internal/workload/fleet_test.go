@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// fleetTestConfig returns a small, fast fleet for tests.
+func fleetTestConfig() FleetConfig {
+	cfg := DefaultFleetConfig()
+	cfg.Processes = 4
+	cfg.ThreadsPerProc = 6
+	cfg.Locks = 16
+	cfg.Duration = 150 * time.Millisecond
+	cfg.InsideWork = 5
+	cfg.OutsideWork = 10
+	return cfg
+}
+
+func TestFleetRunsMixedProfiles(t *testing.T) {
+	res, err := RunFleet(fleetTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("fleet made no progress")
+	}
+	if len(res.PerProcess) != 4 {
+		t.Fatalf("per-process results = %d, want 4", len(res.PerProcess))
+	}
+	seen := map[string]bool{}
+	for _, pr := range res.PerProcess {
+		if pr.TotalOps == 0 {
+			t.Errorf("process %s made no progress", pr.Name)
+		}
+		if pr.CoreStats.DeadlocksDetected != 0 {
+			t.Errorf("process %s detected %d deadlocks in a deadlock-free workload",
+				pr.Name, pr.CoreStats.DeadlocksDetected)
+		}
+		// The armed (never-instantiable) signatures must route their
+		// sites through the slow path without ever suspending anyone.
+		if pr.CoreStats.Yields != 0 {
+			t.Errorf("process %s yielded %d times on never-instantiable signatures",
+				pr.Name, pr.CoreStats.Yields)
+		}
+		seen[pr.Profile] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("profiles mixed = %d distinct, want 4 (round-robin)", len(seen))
+	}
+	// With 25% of sites armed, traffic must split between fast and slow
+	// paths: the fast path carries real load but never 100%.
+	if res.FastPathPct <= 0 || res.FastPathPct >= 100 {
+		t.Errorf("fast-path share = %.1f%%, want strictly between 0 and 100", res.FastPathPct)
+	}
+}
+
+func TestFleetSerialEngineNeverFastPaths(t *testing.T) {
+	cfg := fleetTestConfig()
+	cfg.Processes = 2
+	cfg.Duration = 80 * time.Millisecond
+	cfg.Serial = true
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("serial fleet made no progress")
+	}
+	if res.FastPathPct != 0 {
+		t.Errorf("serial engine fast-path share = %.1f%%, want 0", res.FastPathPct)
+	}
+	for _, pr := range res.PerProcess {
+		st := pr.CoreStats
+		if st.FastRequests != 0 || st.FastAcquisitions != 0 || st.FastReleases != 0 {
+			t.Errorf("process %s took fast paths under the serial engine: %+v", pr.Name, st)
+		}
+	}
+}
+
+func TestFleetVanillaBaseline(t *testing.T) {
+	cfg := fleetTestConfig()
+	cfg.Processes = 2
+	cfg.Duration = 80 * time.Millisecond
+	cfg.Dimmunix = false
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("vanilla fleet made no progress")
+	}
+	if res.FastPathPct != 0 || res.Yields != 0 {
+		t.Errorf("vanilla fleet reported core activity: %+v", res)
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	bad := []FleetConfig{
+		{Processes: 0, Duration: time.Second},
+		{Processes: 1, Duration: 0},
+		{Processes: 1, Duration: time.Second, ArmedSiteFraction: 1.5},
+		{Processes: 1, Duration: time.Second, ThreadsPerProc: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunFleet(cfg); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+}

@@ -46,6 +46,10 @@ type MicroConfig struct {
 	// QueueReuse toggles the entry free-list (ablation A2); ignored for
 	// vanilla runs.
 	QueueReuse bool
+	// Serial forces the core's serial reference engine (global engine
+	// lock, no sharded fast path) — the before/after baseline for the
+	// sharded-engine numbers. Ignored for vanilla runs.
+	Serial bool
 	// Seed makes lock selection reproducible.
 	Seed int64
 }
@@ -147,7 +151,7 @@ func Run(cfg MicroConfig) (Result, error) {
 	}
 	var dim *core.Core
 	if cfg.Dimmunix {
-		opts := []core.Option{core.WithQueueReuse(cfg.QueueReuse)}
+		opts := []core.Option{core.WithQueueReuse(cfg.QueueReuse), core.WithSerialEngine(cfg.Serial)}
 		if cfg.OuterDepth > 0 {
 			opts = append(opts, core.WithOuterDepth(cfg.OuterDepth))
 		}

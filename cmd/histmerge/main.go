@@ -45,7 +45,7 @@ func run(args []string) error {
 		sources = append(sources, core.NewFileHistory(path, opts...))
 	}
 
-	added, err := core.MergeStores(dst, sources...)
+	detail, err := core.MergeStoresDetailed(dst, sources...)
 	if err != nil {
 		return err
 	}
@@ -54,6 +54,16 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("merged %d source(s) into %s: %d new signature(s), %d total\n",
-		len(sources), fs.Arg(0), added, len(final))
+		len(sources), fs.Arg(0), detail.Added, len(final))
+	for i, stat := range detail.PerSource {
+		fmt.Printf("  %-40s %3d loaded, %3d added, %3d duplicate(s)\n",
+			fs.Arg(i+1), stat.Loaded, stat.Added, stat.Duplicates)
+	}
+	if len(detail.AddedKeys) > 0 {
+		fmt.Println("provenance (first contributor of each new signature):")
+		for _, key := range detail.AddedKeys {
+			fmt.Printf("  %s <- %s\n", key, fs.Arg(detail.Origin[key]+1))
+		}
+	}
 	return nil
 }

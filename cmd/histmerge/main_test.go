@@ -1,11 +1,37 @@
 package main
 
 import (
+	"io"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/dimmunix/dimmunix/internal/core"
 )
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = orig
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	return string(out)
+}
 
 func writeSig(t *testing.T, path string, line int) {
 	t.Helper()
@@ -31,15 +57,28 @@ func TestHistmergeRun(t *testing.T) {
 	writeSig(t, src2, 1) // duplicate of src1
 	writeSig(t, src2, 10)
 
-	if err := run([]string{dst, src1, src2}); err != nil {
-		t.Fatalf("run: %v", err)
-	}
+	out := captureStdout(t, func() error { return run([]string{dst, src1, src2}) })
 	sigs, err := core.NewFileHistory(dst).Load()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(sigs) != 2 {
 		t.Errorf("merged history has %d signatures, want 2", len(sigs))
+	}
+
+	// The summary reports per-source counts and first-contributor
+	// provenance.
+	for _, want := range []string{
+		"2 new signature(s), 2 total",
+		"1 loaded,   1 added,   0 duplicate(s)",
+		"2 loaded,   1 added,   1 duplicate(s)",
+		"provenance (first contributor of each new signature):",
+		"<- " + src1,
+		"<- " + src2,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
 	}
 }
 

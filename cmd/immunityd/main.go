@@ -1,0 +1,64 @@
+// Command immunityd runs the platform immunity distribution tier against
+// a simulated fleet: per-phone immunity services (the single writer of
+// each device's history, hot-installing antibodies into live processes)
+// connected through a signature exchange with a confirm-before-arm
+// threshold. It injects a real deadlock on enough phones to cross the
+// threshold and prints the measured propagation timeline and the fleet
+// provenance table.
+//
+// Usage:
+//
+//	immunityd [-phones N] [-procs N] [-threshold N] [-timeout D]
+//	immunityd -propagation [-procs N] [-sigs N]   # on-device tier only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "immunityd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("immunityd", flag.ContinueOnError)
+	phones := fs.Int("phones", 4, "simulated phones in the fleet")
+	procs := fs.Int("procs", 3, "live application processes per phone")
+	threshold := fs.Int("threshold", 2, "distinct devices that must confirm a signature before fleet-wide arming")
+	timeout := fs.Duration("timeout", 30*time.Second, "scenario deadline")
+	propagation := fs.Bool("propagation", false, "measure only the on-device publish→all-armed latency")
+	sigs := fs.Int("sigs", 64, "signatures to publish in -propagation mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *propagation {
+		res, err := workload.PropagationLatency(*procs, *sigs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(workload.FormatPropagation(res))
+		return nil
+	}
+
+	cfg := workload.FleetImmunityConfig{
+		Phones:           *phones,
+		ProcsPerPhone:    *procs,
+		ConfirmThreshold: *threshold,
+		Timeout:          *timeout,
+	}
+	res, err := workload.RunFleetImmunity(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(workload.FormatFleetImmunity(res))
+	return nil
+}

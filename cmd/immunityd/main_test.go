@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestImmunitydFleetRun(t *testing.T) {
+	if err := run([]string{"-phones", "2", "-procs", "1", "-threshold", "2"}); err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+}
+
+func TestImmunitydPropagationRun(t *testing.T) {
+	if err := run([]string{"-propagation", "-procs", "2", "-sigs", "4"}); err != nil {
+		t.Fatalf("propagation run: %v", err)
+	}
+}
+
+func TestImmunitydBadFlags(t *testing.T) {
+	if err := run([]string{"-phones", "1"}); err == nil {
+		t.Error("one phone must fail validation")
+	}
+	if err := run([]string{"-threshold", "9", "-phones", "2"}); err == nil {
+		t.Error("threshold above phone count must fail")
+	}
+}

@@ -8,6 +8,7 @@
 //	microbench [-threads csv] [-sigs csv] [-duration D] [-work N | -calibrate]
 //	microbench -engines [-threads csv] [-duration D]   # serial vs sharded engine
 //	microbench -fleet N [-duration D] [-engine serial|sharded]  # fleet stress
+//	microbench -propagation [-procs N] [-propsigs N]   # time-to-immunity across live processes
 package main
 
 import (
@@ -40,12 +41,24 @@ func run(args []string) error {
 	engines := fs.Bool("engines", false, "compare the serial and sharded engines head to head (full VM path)")
 	uncontended := fs.Bool("uncontended", false, "compare the engines on core-level uncontended monitorenters (per-goroutine private locks)")
 	fleet := fs.Int("fleet", 0, "run the fleet stress workload with this many processes instead of the thread sweep")
+	propagation := fs.Bool("propagation", false, "measure the immunity service's publish→all-armed latency across live processes")
+	propProcs := fs.Int("procs", 8, "live processes for -propagation")
+	propSigs := fs.Int("propsigs", 64, "signatures to publish for -propagation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	serial, err := parseEngine(*engine)
 	if err != nil {
 		return err
+	}
+
+	if *propagation {
+		res, err := workload.PropagationLatency(*propProcs, *propSigs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(workload.FormatPropagation(res))
+		return nil
 	}
 
 	if *fleet > 0 {

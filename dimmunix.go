@@ -41,6 +41,7 @@ package dimmunix
 
 import (
 	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity"
 	"github.com/dimmunix/dimmunix/internal/vm"
 )
 
@@ -96,6 +97,23 @@ type (
 	Census = vm.Census
 )
 
+// Immunity distribution types re-exported for API users.
+type (
+	// ImmunityService is the on-device hub: single writer of the
+	// persistent history and live signature fan-out to running processes.
+	ImmunityService = immunity.Service
+	// ImmunityServiceStats snapshot an ImmunityService's counters.
+	ImmunityServiceStats = immunity.ServiceStats
+	// Exchange is the cross-device hub syncing device histories across a
+	// fleet with a confirm-before-arm threshold.
+	Exchange = immunity.Exchange
+	// ExchangeClient bridges one device's ImmunityService to an Exchange.
+	ExchangeClient = immunity.ExchangeClient
+	// Provenance is one fleet signature's audit record (first-seen device,
+	// confirmation count, armed state).
+	Provenance = immunity.Provenance
+)
+
 // Signature kinds.
 const (
 	DeadlockSig   = core.DeadlockSig
@@ -104,12 +122,13 @@ const (
 
 // Core event kinds.
 const (
-	EventDeadlockDetected  = core.EventDeadlockDetected
-	EventSignatureLoaded   = core.EventSignatureLoaded
-	EventYield             = core.EventYield
-	EventResume            = core.EventResume
-	EventStarvation        = core.EventStarvation
-	EventDuplicateDeadlock = core.EventDuplicateDeadlock
+	EventDeadlockDetected   = core.EventDeadlockDetected
+	EventSignatureLoaded    = core.EventSignatureLoaded
+	EventYield              = core.EventYield
+	EventResume             = core.EventResume
+	EventStarvation         = core.EventStarvation
+	EventDuplicateDeadlock  = core.EventDuplicateDeadlock
+	EventSignatureInstalled = core.EventSignatureInstalled
 )
 
 // Errors re-exported for matching with errors.Is.
@@ -131,6 +150,18 @@ func NewFileHistory(path string) HistoryStore { return core.NewFileHistory(path)
 // NewMemHistory creates an in-memory history (shared across the runtime's
 // processes; useful for tests and simulations).
 func NewMemHistory() HistoryStore { return core.NewMemHistory() }
+
+// NewImmunityService creates a device's live-propagation hub over an
+// optional backing store (nil keeps the history in memory only). Attach
+// it to a Runtime with WithImmunityService; connect it to an Exchange for
+// fleet-wide immunity.
+func NewImmunityService(name string, store HistoryStore) (*ImmunityService, error) {
+	return immunity.NewService(name, store)
+}
+
+// NewExchange creates a fleet signature exchange that arms a signature
+// fleet-wide once confirmThreshold distinct devices have reported it.
+func NewExchange(confirmThreshold int) *Exchange { return immunity.NewExchange(confirmThreshold) }
 
 // Core option constructors re-exported for API users.
 var (

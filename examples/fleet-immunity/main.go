@@ -1,0 +1,133 @@
+// Fleet immunity: live cross-process propagation and the fleet exchange.
+//
+// Three simulated phones run the same buggy app. Each phone has an
+// immunity service — the single writer of its history, hot-installing
+// every new antibody into all running processes — and all three connect
+// to a fleet exchange with a confirm-before-arm threshold of 2:
+//
+//  1. The deadlock manifests on phone-a. Within milliseconds every live
+//     process on phone-a is armed, no restart. The exchange records the
+//     report but does NOT arm the fleet: one device could be wrong.
+//  2. The same deadlock manifests on phone-b — the second independent
+//     confirmation. The exchange arms the signature fleet-wide, and
+//     phone-c's running app is immunized against a deadlock that never
+//     happened on phone-c.
+//
+//	go run ./examples/fleet-immunity
+package main
+
+import (
+	"fmt"
+	"time"
+
+	dimmunix "github.com/dimmunix/dimmunix"
+)
+
+// phone is one simulated device: a runtime with its own immunity service
+// and a bystander app that has been running since boot.
+type phone struct {
+	name      string
+	svc       *dimmunix.ImmunityService
+	rt        *dimmunix.Runtime
+	bystander *dimmunix.Process
+}
+
+func main() {
+	hub := dimmunix.NewExchange(2) // arm fleet-wide after 2 devices confirm
+	defer hub.Close()
+
+	var phones []*phone
+	for _, name := range []string{"phone-a", "phone-b", "phone-c"} {
+		svc, err := dimmunix.NewImmunityService(name, dimmunix.NewMemHistory())
+		if err != nil {
+			fmt.Println("service:", err)
+			return
+		}
+		defer svc.Close()
+		rt := dimmunix.New(dimmunix.WithImmunityService(svc))
+		defer rt.Shutdown()
+		bystander, err := rt.Fork("com.example.bystander")
+		if err != nil {
+			fmt.Println("fork:", err)
+			return
+		}
+		if _, err := hub.Connect(name, svc); err != nil {
+			fmt.Println("connect:", err)
+			return
+		}
+		phones = append(phones, &phone{name: name, svc: svc, rt: rt, bystander: bystander})
+	}
+
+	fmt.Println("== deadlock manifests on phone-a ==")
+	triggerDeadlock(phones[0])
+	waitArmed(phones[0], "phone-a's own live processes")
+	time.Sleep(50 * time.Millisecond) // let any (wrong) fleet push land
+	report(phones, hub)
+
+	fmt.Println("\n== the same bug manifests on phone-b: second confirmation ==")
+	triggerDeadlock(phones[1])
+	waitArmed(phones[2], "phone-c (never saw the deadlock)")
+	report(phones, hub)
+}
+
+// triggerDeadlock forks the buggy app on the phone and forces the ABBA
+// interleaving; the process freezes, the signature is detected and
+// published to the phone's immunity service.
+func triggerDeadlock(ph *phone) {
+	proc, err := ph.rt.Fork("com.example.buggy")
+	if err != nil {
+		fmt.Println("fork:", err)
+		return
+	}
+	a, b := proc.NewObject("cache"), proc.NewObject("journal")
+	hasA, hasB := make(chan struct{}), make(chan struct{})
+	proc.Start("writer", func(t *dimmunix.Thread) {
+		t.Call("com.example.Store", "flush", 31, func() {
+			a.Synchronized(t, func() {
+				close(hasA)
+				<-hasB
+				b.Synchronized(t, func() {})
+			})
+		})
+	})
+	proc.Start("compactor", func(t *dimmunix.Thread) {
+		t.Call("com.example.Store", "compact", 77, func() {
+			<-hasA
+			b.Synchronized(t, func() {
+				close(hasB)
+				a.Synchronized(t, func() {})
+			})
+		})
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for ph.svc.Epoch() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("%s: deadlock detected, epoch now %d (buggy app frozen — as it would be unprotected)\n",
+		ph.name, ph.svc.Epoch())
+}
+
+// waitArmed polls until the phone's bystander app holds the antibody.
+func waitArmed(ph *phone, what string) {
+	start := time.Now()
+	deadline := start.Add(5 * time.Second)
+	for ph.bystander.Dimmunix().HistorySize() == 0 {
+		if time.Now().After(deadline) {
+			fmt.Printf("%s never armed!\n", ph.name)
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	fmt.Printf("armed %s in %s — live process, no restart\n", what, time.Since(start).Round(100*time.Microsecond))
+}
+
+// report prints each phone's arming state and the fleet provenance.
+func report(phones []*phone, hub *dimmunix.Exchange) {
+	for _, ph := range phones {
+		fmt.Printf("  %s bystander history: %d antibodies\n", ph.name, ph.bystander.Dimmunix().HistorySize())
+	}
+	for _, prov := range hub.Provenance() {
+		fmt.Printf("  fleet: %s first-seen=%s confirms=%d armed=%v\n",
+			prov.Key, prov.FirstSeen, prov.Confirmations, prov.Armed)
+	}
+}

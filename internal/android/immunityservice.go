@@ -1,0 +1,71 @@
+package android
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/immunity"
+)
+
+// ImmunityService is the system-server face of the platform immunity
+// hub: the binder-registered service ("dimmunix") wrapping the
+// internal/immunity.Service that every forked process publishes to and
+// subscribes from. Its watchdog integration records, for each freeze the
+// watchdog declares, the hub epoch at that moment — so a freeze report
+// shows whether the hang produced (or already had) an antibody: a freeze
+// whose episode bumped the epoch is a detected deadlock whose signature
+// is already propagating to every live process while the watchdog is
+// still counting down.
+type ImmunityService struct {
+	hub *immunity.Service
+
+	mu      sync.Mutex
+	freezes []FreezeNote
+}
+
+// FreezeNote is one watchdog freeze as seen by the immunity service.
+type FreezeNote struct {
+	// Looper is the frozen looper thread's name.
+	Looper string
+	// When is the freeze report time.
+	When time.Time
+	// Epoch is the immunity hub's history epoch at the freeze — the
+	// number of antibodies the platform held when the watchdog fired.
+	Epoch uint64
+}
+
+// String renders the note for logs.
+func (n FreezeNote) String() string {
+	return fmt.Sprintf("freeze looper=%s epoch=%d at %s", n.Looper, n.Epoch, n.When.Format(time.RFC3339))
+}
+
+// NewImmunityService wraps the device hub for service registration.
+func NewImmunityService(hub *immunity.Service) *ImmunityService {
+	return &ImmunityService{hub: hub}
+}
+
+// ServiceName implements Service: the binder name apps resolve.
+func (s *ImmunityService) ServiceName() string { return "dimmunix" }
+
+// Hub returns the underlying device immunity hub.
+func (s *ImmunityService) Hub() *immunity.Service { return s.hub }
+
+// NoteFreeze records a watchdog freeze with the current hub epoch. Called
+// from the watchdog path; it must not block (and does not: one mutex and
+// an epoch read).
+func (s *ImmunityService) NoteFreeze(looper string) {
+	note := FreezeNote{Looper: looper, When: time.Now(), Epoch: s.hub.Epoch()}
+	s.mu.Lock()
+	s.freezes = append(s.freezes, note)
+	s.mu.Unlock()
+}
+
+// Freezes returns the recorded freeze notes, oldest first.
+func (s *ImmunityService) Freezes() []FreezeNote {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]FreezeNote, len(s.freezes))
+	copy(out, s.freezes)
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity"
 	"github.com/dimmunix/dimmunix/internal/vm"
 )
 
@@ -19,6 +20,13 @@ type PhoneConfig struct {
 	// across reboots (the on-flash history file). Required when Dimmunix
 	// is on and immunity should survive reboots.
 	History core.HistoryStore
+	// Immunity, when non-nil, is the device's live-propagation hub: it
+	// supersedes History as the processes' store (give the hub the
+	// on-flash store instead), every forked process subscribes for
+	// hot-installs, and the system server registers the "dimmunix"
+	// service. The hub outlives reboots — a rebooted phone's processes
+	// resubscribe to the same hub, like the system re-binding a service.
+	Immunity *immunity.Service
 	// CoreOptions are forwarded to each process's core.
 	CoreOptions []core.Option
 	// WatchdogInterval is the handler heartbeat period.
@@ -111,11 +119,13 @@ func (ph *Phone) Boot() error {
 	if len(ph.cfg.CoreOptions) > 0 {
 		zopts = append(zopts, vm.WithCoreOptions(ph.cfg.CoreOptions...))
 	}
-	if ph.cfg.History != nil {
+	if ph.cfg.Immunity != nil {
+		zopts = append(zopts, vm.WithSignatureBus(ph.cfg.Immunity))
+	} else if ph.cfg.History != nil {
 		zopts = append(zopts, vm.WithHistory(ph.cfg.History))
 	}
 	ph.zygote = vm.NewZygote(zopts...)
-	ss, err := BootSystemServer(ph.zygote, ph.cfg.WatchdogInterval, ph.cfg.WatchdogThreshold, ph.reportFreeze)
+	ss, err := BootSystemServer(ph.zygote, ph.cfg.Immunity, ph.cfg.WatchdogInterval, ph.cfg.WatchdogThreshold, ph.reportFreeze)
 	if err != nil {
 		return fmt.Errorf("phone boot: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/dimmunix/dimmunix/internal/immunity"
 	"github.com/dimmunix/dimmunix/internal/vm"
 )
 
@@ -21,14 +22,19 @@ type SystemServer struct {
 	UILooper  *Looper
 	Watchdog  *Watchdog
 	Census    *vm.Census
+	// Immunity is the registered platform immunity service, nil when the
+	// phone runs without the live-propagation tier.
+	Immunity *ImmunityService
 }
 
 // BootSystemServer forks system_server from the Zygote, starts the UI
 // looper, wires the services, registers them, builds the platform census,
-// and arms the watchdog. onFreeze is invoked from the watchdog thread when
-// a monitored handler stops processing messages for longer than
-// watchdogThreshold.
-func BootSystemServer(z *vm.Zygote, watchdogInterval, watchdogThreshold time.Duration, onFreeze func(string)) (*SystemServer, error) {
+// and arms the watchdog. When hub is non-nil the immunity service is
+// registered alongside the framework services and every watchdog freeze
+// is noted on it with the hub epoch. onFreeze is invoked from the
+// watchdog thread when a monitored handler stops processing messages for
+// longer than watchdogThreshold.
+func BootSystemServer(z *vm.Zygote, hub *immunity.Service, watchdogInterval, watchdogThreshold time.Duration, onFreeze func(string)) (*SystemServer, error) {
 	proc, err := z.Fork("system_server")
 	if err != nil {
 		return nil, fmt.Errorf("boot system_server: %w", err)
@@ -51,6 +57,9 @@ func BootSystemServer(z *vm.Zygote, watchdogInterval, watchdogThreshold time.Dur
 	ss.AMS = NewActivityManagerService(proc)
 	ss.AMS.SetWindowManager(ss.WMS)
 	ss.WMS.SetActivityManager(ss.AMS)
+	if hub != nil {
+		ss.Immunity = NewImmunityService(hub)
+	}
 
 	// Register the services from a bootstrap thread (registry access
 	// synchronizes on a VM monitor, so it needs a VM thread).
@@ -60,6 +69,9 @@ func BootSystemServer(z *vm.Zygote, watchdogInterval, watchdogThreshold time.Dur
 			ss.SM.AddService(t, ss.StatusBar)
 			ss.SM.AddService(t, ss.AMS)
 			ss.SM.AddService(t, ss.WMS)
+			if ss.Immunity != nil {
+				ss.SM.AddService(t, ss.Immunity)
+			}
 		})
 	})
 	if err != nil {
@@ -86,7 +98,18 @@ func BootSystemServer(z *vm.Zygote, watchdogInterval, watchdogThreshold time.Dur
 	ss.Census = census
 
 	monitored := []*Handler{ss.StatusBar.Handler(), ss.WMS.Handler()}
-	wd, err := StartWatchdog(proc, monitored, watchdogInterval, watchdogThreshold, onFreeze)
+	freeze := onFreeze
+	if ss.Immunity != nil {
+		// Watchdog integration: every freeze is stamped with the immunity
+		// epoch before the platform's own report runs.
+		freeze = func(looper string) {
+			ss.Immunity.NoteFreeze(looper)
+			if onFreeze != nil {
+				onFreeze(looper)
+			}
+		}
+	}
+	wd, err := StartWatchdog(proc, monitored, watchdogInterval, watchdogThreshold, freeze)
 	if err != nil {
 		return nil, fmt.Errorf("boot system_server: %w", err)
 	}

@@ -608,6 +608,34 @@ func (c *Core) AddSignature(sig *Signature) (SignatureInfo, bool, error) {
 	return installed.snapshot(), fresh, nil
 }
 
+// InstallSignature installs a signature that originated outside this
+// process — the platform immunity service's hot-install path, pushed to
+// live processes when another process detects a deadlock — without
+// persisting it (the service is the single writer of the persistent
+// history). Installation is idempotent: a signature already in the history
+// is a no-op. On success the position(s) named by the signature flip to
+// the slow path (Position.inHistory), so avoidance is armed for all
+// subsequent monitorenters with no restart.
+func (c *Core) InstallSignature(sig *Signature) (SignatureInfo, bool, error) {
+	if sig == nil {
+		return SignatureInfo{}, false, fmt.Errorf("install signature: nil signature")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed.Load() {
+		return SignatureInfo{}, false, ErrCoreClosed
+	}
+	installed, fresh, err := c.installSignatureLocked(sig, false)
+	if err != nil {
+		return SignatureInfo{}, false, err
+	}
+	if fresh {
+		atomic.AddUint64(&c.stats.SignaturesInstalled, 1)
+		c.emit(Event{Kind: EventSignatureInstalled, Sig: installed.snapshot()})
+	}
+	return installed.snapshot(), fresh, nil
+}
+
 // installSignatureLocked deduplicates, resolves outer positions, wires the
 // condition variable, and optionally persists. Caller must hold c.mu
 // exclusively — installation flips positions from the fast path to the

@@ -30,6 +30,10 @@ const (
 	// EventDuplicateDeadlock fires when detection encounters a deadlock
 	// whose signature is already in the history (same bug, reoccurring).
 	EventDuplicateDeadlock
+	// EventSignatureInstalled fires when a signature detected outside this
+	// process is hot-installed by the platform immunity service
+	// (Core.InstallSignature), arming avoidance without a restart.
+	EventSignatureInstalled
 )
 
 // String returns a readable event-kind name.
@@ -47,6 +51,8 @@ func (k EventKind) String() string {
 		return "starvation"
 	case EventDuplicateDeadlock:
 		return "duplicate-deadlock"
+	case EventSignatureInstalled:
+		return "signature-installed"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

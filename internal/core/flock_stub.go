@@ -1,0 +1,14 @@
+//go:build !unix
+
+package core
+
+import "os"
+
+// On platforms without flock the advisory history lock degrades to a
+// no-op: the per-handle mutex still serializes appends within one handle,
+// and platforms that need true multi-writer safety should route writes
+// through the immunity service (the single-writer path).
+
+func lockFile(*os.File, bool) error { return nil }
+
+func unlockFile(*os.File) error { return nil }

@@ -1,0 +1,34 @@
+//go:build unix
+
+package core
+
+import (
+	"os"
+	"syscall"
+)
+
+// Advisory file locking for the shared on-flash history. Every process of
+// the platform opens the same history file through its own descriptor, so
+// the FileHistory mutex — which only serializes one handle — cannot stop
+// two processes (or two handles in one process) from interleaving their
+// appends: without a file lock, both can observe size==0 and write the
+// header, leaving a second header line mid-file that strict loading
+// rejects, or tear a sig..end block across a concurrent write. flock
+// serializes per open file description, which covers both the
+// cross-process and the multi-handle case.
+
+// lockFile takes the advisory lock on f, shared for readers and exclusive
+// for writers, blocking until it is granted.
+func lockFile(f *os.File, exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	return syscall.Flock(int(f.Fd()), how)
+}
+
+// unlockFile releases the advisory lock (also released implicitly when the
+// descriptor closes; explicit release keeps the critical section tight).
+func unlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

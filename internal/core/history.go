@@ -208,7 +208,10 @@ type HistoryStore interface {
 
 // FileHistory is a HistoryStore backed by a file on disk, the equivalent of
 // the paper's persistent history that survives phone reboots. Appends are
-// flushed (and synced when Sync is set) before returning.
+// flushed (and synced when Sync is set) before returning. Appends and loads
+// take an advisory file lock (on unix), so several handles — including
+// handles in different OS processes — can share one history file without
+// tearing sig..end blocks or duplicating the header.
 type FileHistory struct {
 	mu      sync.Mutex
 	path    string
@@ -257,6 +260,10 @@ func (f *FileHistory) Load() ([]*Signature, error) {
 		return nil, fmt.Errorf("load history: %w", err)
 	}
 	defer file.Close()
+	if err := lockFile(file, false); err != nil {
+		return nil, fmt.Errorf("load history: lock: %w", err)
+	}
+	defer unlockFile(file)
 	sigs, _, err := DecodeHistory(file, f.lenient)
 	if err != nil {
 		return nil, fmt.Errorf("load history %s: %w", f.path, err)
@@ -277,6 +284,13 @@ func (f *FileHistory) Append(sig *Signature) error {
 		return fmt.Errorf("append history: %w", err)
 	}
 	defer file.Close()
+	// The advisory lock serializes appends across handles and processes;
+	// the size check for the header must happen under it, or two writers
+	// can both see an empty file and emit duplicate headers.
+	if err := lockFile(file, true); err != nil {
+		return fmt.Errorf("append history: lock: %w", err)
+	}
+	defer unlockFile(file)
 	info, err := file.Stat()
 	if err != nil {
 		return fmt.Errorf("append history: %w", err)

@@ -40,9 +40,46 @@ func MergeHistories(lists ...[]*Signature) ([]*Signature, error) {
 // from dst, returning how many were added. Duplicates already in dst (or
 // across sources) are skipped.
 func MergeStores(dst HistoryStore, sources ...HistoryStore) (added int, err error) {
+	detail, err := MergeStoresDetailed(dst, sources...)
+	return detail.Added, err
+}
+
+// MergeSourceStat is one source's contribution to a merge.
+type MergeSourceStat struct {
+	// Loaded is how many signatures the source held.
+	Loaded int
+	// Added is how many of them were new to the destination (and to every
+	// earlier source).
+	Added int
+	// Duplicates is how many were already present.
+	Duplicates int
+}
+
+// MergeDetail reports a merge with per-source provenance, the shape a
+// fleet operator needs: which device or vendor history actually
+// contributed each antibody.
+type MergeDetail struct {
+	// Added is the total number of signatures appended to the destination.
+	Added int
+	// PerSource holds one entry per source, in argument order.
+	PerSource []MergeSourceStat
+	// Origin maps each added signature's key to the index of the source
+	// that first contributed it.
+	Origin map[string]int
+	// AddedKeys lists the added signatures' keys in append order.
+	AddedKeys []string
+}
+
+// MergeStoresDetailed is MergeStores with per-source added/duplicate
+// counts and first-contributor provenance.
+func MergeStoresDetailed(dst HistoryStore, sources ...HistoryStore) (MergeDetail, error) {
+	detail := MergeDetail{
+		PerSource: make([]MergeSourceStat, len(sources)),
+		Origin:    make(map[string]int),
+	}
 	existing, err := dst.Load()
 	if err != nil {
-		return 0, fmt.Errorf("merge: load destination: %w", err)
+		return detail, fmt.Errorf("merge: load destination: %w", err)
 	}
 	seen := make(map[string]bool, len(existing))
 	for _, sig := range existing {
@@ -51,19 +88,24 @@ func MergeStores(dst HistoryStore, sources ...HistoryStore) (added int, err erro
 	for i, src := range sources {
 		sigs, err := src.Load()
 		if err != nil {
-			return added, fmt.Errorf("merge: load source %d: %w", i, err)
+			return detail, fmt.Errorf("merge: load source %d: %w", i, err)
 		}
+		detail.PerSource[i].Loaded = len(sigs)
 		for _, sig := range sigs {
 			key := sig.Key()
 			if seen[key] {
+				detail.PerSource[i].Duplicates++
 				continue
 			}
 			if err := dst.Append(sig); err != nil {
-				return added, fmt.Errorf("merge: append: %w", err)
+				return detail, fmt.Errorf("merge: append: %w", err)
 			}
 			seen[key] = true
-			added++
+			detail.PerSource[i].Added++
+			detail.Added++
+			detail.Origin[key] = i
+			detail.AddedKeys = append(detail.AddedKeys, key)
 		}
 	}
-	return added, nil
+	return detail, nil
 }

@@ -82,6 +82,57 @@ func TestMergeStores(t *testing.T) {
 	}
 }
 
+func TestMergeStoresDetailed(t *testing.T) {
+	device := NewMemHistory()
+	vendor1 := NewMemHistory()
+	vendor2 := NewMemHistory()
+
+	deviceSig := sigOf(DeadlockSig, fr("local.A", "m", 1), fr("local.B", "n", 2))
+	sharedSig := sigOf(DeadlockSig, fr("ven.C", "o", 3), fr("ven.D", "p", 4))
+	uniqueSig := sigOf(DeadlockSig, fr("ven.E", "q", 5), fr("ven.F", "r", 6))
+
+	for _, step := range []struct {
+		store HistoryStore
+		sig   *Signature
+	}{
+		{device, deviceSig},
+		{vendor1, sharedSig},
+		{vendor2, sharedSig}, // duplicate across vendors
+		{vendor2, uniqueSig},
+		{vendor2, deviceSig}, // duplicate of the destination
+	} {
+		if err := step.store.Append(step.sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	detail, err := MergeStoresDetailed(device, vendor1, vendor2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detail.Added != 2 {
+		t.Errorf("added %d, want 2", detail.Added)
+	}
+	want := []MergeSourceStat{
+		{Loaded: 1, Added: 1, Duplicates: 0},
+		{Loaded: 3, Added: 1, Duplicates: 2},
+	}
+	for i, w := range want {
+		if detail.PerSource[i] != w {
+			t.Errorf("source %d: got %+v, want %+v", i, detail.PerSource[i], w)
+		}
+	}
+	if got := detail.Origin[sharedSig.Key()]; got != 0 {
+		t.Errorf("shared signature attributed to source %d, want 0", got)
+	}
+	if got := detail.Origin[uniqueSig.Key()]; got != 1 {
+		t.Errorf("unique signature attributed to source %d, want 1", got)
+	}
+	if len(detail.AddedKeys) != 2 {
+		t.Errorf("AddedKeys has %d entries, want 2", len(detail.AddedKeys))
+	}
+}
+
 // TestMergedHistoryImmunizesForeignBug: a core loading a merged history is
 // immune to a deadlock its own device never saw — the vendor-antibody
 // scenario.

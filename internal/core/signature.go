@@ -143,6 +143,13 @@ func (s *Signature) ID() int {
 	return s.id
 }
 
+// ClonePairs deep-copies signature pairs, so a copied signature never
+// aliases the original's stacks. The immunity distribution tier clones
+// every signature it accepts or pushes with this.
+func ClonePairs(pairs []SigPair) []SigPair {
+	return clonePairs(pairs)
+}
+
 // clonePairs deep-copies the pairs so an installed signature never aliases
 // caller-owned stacks.
 func clonePairs(pairs []SigPair) []SigPair {

@@ -57,6 +57,10 @@ type Stats struct {
 	SignaturesLoaded uint64
 	// SignaturesAdded counts new signatures installed at runtime.
 	SignaturesAdded uint64
+	// SignaturesInstalled counts signatures hot-installed from outside the
+	// process (the immunity service's live propagation path); each is also
+	// counted in SignaturesAdded.
+	SignaturesInstalled uint64
 	// PersistErrors counts failed history store appends (the in-memory
 	// history still protects the current run).
 	PersistErrors uint64
@@ -92,6 +96,7 @@ func (s *Stats) snapshot() Stats {
 		ForcedResumes:       atomic.LoadUint64(&s.ForcedResumes),
 		SignaturesLoaded:    atomic.LoadUint64(&s.SignaturesLoaded),
 		SignaturesAdded:     atomic.LoadUint64(&s.SignaturesAdded),
+		SignaturesInstalled: atomic.LoadUint64(&s.SignaturesInstalled),
 		PersistErrors:       atomic.LoadUint64(&s.PersistErrors),
 		EventsDropped:       atomic.LoadUint64(&s.EventsDropped),
 		Misuse:              atomic.LoadUint64(&s.Misuse),

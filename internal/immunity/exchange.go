@@ -1,0 +1,291 @@
+package immunity
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// The cross-device tier. An Exchange is the fleet hub a set of phones
+// syncs deadlock histories through: each phone's Service connects via an
+// ExchangeClient, reports locally detected signatures upward, and
+// receives fleet-armed signatures downward, which it publishes into the
+// local Service — immunizing every live process on the phone. The hub
+// keeps per-signature provenance (first-seen device, the set of
+// confirming devices) and arms a signature fleet-wide only after the
+// confirm-before-arm threshold of *distinct* devices has independently
+// reported it: one device's false positive (a mis-detected cycle, a
+// corrupted history) cannot degrade avoidance on the whole fleet.
+//
+// A signature a client receives from the hub is never re-reported as a
+// local confirmation — confirmations count independent observations
+// only, so the threshold is meaningful.
+
+// Provenance is one fleet signature's audit record.
+type Provenance struct {
+	// Key is the signature's canonical identity (core.Signature.Key).
+	Key string
+	// Kind is the signature kind.
+	Kind core.SigKind
+	// FirstSeen is the device that first reported the signature.
+	FirstSeen string
+	// Confirmations is the number of distinct devices that independently
+	// reported it.
+	Confirmations int
+	// ConfirmedBy lists those devices, sorted.
+	ConfirmedBy []string
+	// Armed reports whether the signature has been armed fleet-wide.
+	Armed bool
+}
+
+// fleetSig is the hub-side state of one signature.
+type fleetSig struct {
+	sig         *core.Signature
+	firstSeen   string
+	confirmedBy map[string]bool
+	// pushedTo records the devices the hub has delivered this signature
+	// to. A report from such a device is not an independent observation —
+	// it is the push coming back (possibly via the device's persistent
+	// store after a reconnect or reboot) — and never counts as a
+	// confirmation. Hub-side state survives client churn, which the
+	// client's own fromFleet map does not.
+	pushedTo map[string]bool
+	armed    bool
+}
+
+// Exchange is the fleet hub.
+type Exchange struct {
+	threshold int
+
+	mu      sync.Mutex
+	entries map[string]*fleetSig
+	order   []string // keys in first-report order
+	clients map[string]*ExchangeClient
+	armed   uint64 // fleet arm counter (the delta epoch for pushes)
+	closed  bool
+}
+
+// NewExchange creates a hub that arms a signature fleet-wide once
+// confirmThreshold distinct devices have reported it (values below 1 are
+// treated as 1: arm on first report).
+func NewExchange(confirmThreshold int) *Exchange {
+	if confirmThreshold < 1 {
+		confirmThreshold = 1
+	}
+	return &Exchange{
+		threshold: confirmThreshold,
+		entries:   make(map[string]*fleetSig),
+		clients:   make(map[string]*ExchangeClient),
+	}
+}
+
+// Threshold returns the confirm-before-arm threshold.
+func (x *Exchange) Threshold() int { return x.threshold }
+
+// ExchangeClient bridges one phone's Service to the hub.
+type ExchangeClient struct {
+	id  string
+	hub *Exchange
+	svc *Service
+
+	mu        sync.Mutex
+	fromFleet map[string]bool // keys received from the hub; not re-reported
+	// cancelLocal (the phone → hub subscription) and closed are guarded
+	// by mu: Connect assigns the cancel after the client is already
+	// reachable through the hub, so a concurrent Close must either find
+	// it or leave a note that Connect should cancel immediately.
+	cancelLocal func()
+	closed      bool
+
+	push      *subscriber // hub → phone deliveries
+	closeOnce sync.Once
+}
+
+// Connect attaches a phone's Service to the hub under deviceID. The
+// client immediately receives every already-armed fleet signature
+// (catch-up), then reports the phone's entire local history — including
+// signatures recorded before connecting — and every future local
+// detection upward. Disconnect with Close.
+func (x *Exchange) Connect(deviceID string, svc *Service) (*ExchangeClient, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("exchange connect %s: nil service", deviceID)
+	}
+	c := &ExchangeClient{id: deviceID, hub: x, svc: svc, fromFleet: make(map[string]bool)}
+	c.push = newSubscriber("fleet->"+deviceID, c.receive)
+
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		c.push.close()
+		return nil, fmt.Errorf("exchange connect %s: exchange closed", deviceID)
+	}
+	if _, dup := x.clients[deviceID]; dup {
+		x.mu.Unlock()
+		c.push.close()
+		return nil, fmt.Errorf("exchange connect %s: device already connected", deviceID)
+	}
+	x.clients[deviceID] = c
+	// Catch-up: a phone joining (or rejoining after a reboot) receives
+	// the armed set before any live pushes.
+	var catchup []*core.Signature
+	for _, key := range x.order {
+		if e := x.entries[key]; e.armed {
+			catchup = append(catchup, e.sig)
+			e.pushedTo[deviceID] = true
+		}
+	}
+	if len(catchup) > 0 {
+		c.push.enqueue(delta{epoch: x.armed, sigs: catchup})
+	}
+	x.mu.Unlock()
+
+	// Subscribe from epoch 0 so pre-existing local history is reported
+	// too; the delivery goroutine calls report with no locks held.
+	cancel := svc.Subscribe("exchange:"+deviceID, 0, func(_ uint64, sigs []*core.Signature) {
+		for _, sig := range sigs {
+			c.reportLocal(sig)
+		}
+	})
+	c.mu.Lock()
+	c.cancelLocal = cancel
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		cancel()
+	}
+	return c, nil
+}
+
+// reportLocal forwards one locally accepted signature to the hub, unless
+// the signature came *from* the hub in the first place.
+func (c *ExchangeClient) reportLocal(sig *core.Signature) {
+	key := sig.Key()
+	c.mu.Lock()
+	skip := c.fromFleet[key]
+	c.mu.Unlock()
+	if skip {
+		return
+	}
+	c.hub.report(c.id, sig)
+}
+
+// receive delivers fleet-armed signatures into the phone's Service. The
+// key is marked before publishing so the local delta subscription never
+// echoes it back as a confirmation.
+func (c *ExchangeClient) receive(_ uint64, sigs []*core.Signature) {
+	for _, sig := range sigs {
+		c.mu.Lock()
+		c.fromFleet[sig.Key()] = true
+		c.mu.Unlock()
+		_, _, _ = c.svc.Publish("fleet", sig)
+	}
+}
+
+// DeviceID returns the client's device id.
+func (c *ExchangeClient) DeviceID() string { return c.id }
+
+// Close disconnects the phone from the hub: local reporting stops, the
+// push queue drains, and the device slot is released. Close is
+// idempotent.
+func (c *ExchangeClient) Close() {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		cancel := c.cancelLocal
+		c.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		c.hub.mu.Lock()
+		delete(c.hub.clients, c.id)
+		c.hub.mu.Unlock()
+		c.push.close()
+	})
+}
+
+// report records a confirmation of sig by device and arms the signature
+// fleet-wide when the threshold is reached. It is called from client
+// delivery goroutines with no service or core locks held.
+func (x *Exchange) report(device string, sig *core.Signature) {
+	key := sig.Key()
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return
+	}
+	e, ok := x.entries[key]
+	if !ok {
+		e = &fleetSig{
+			sig:         &core.Signature{Kind: sig.Kind, Pairs: core.ClonePairs(sig.Pairs)},
+			firstSeen:   device,
+			confirmedBy: make(map[string]bool),
+			pushedTo:    make(map[string]bool),
+		}
+		x.entries[key] = e
+		x.order = append(x.order, key)
+	}
+	if e.confirmedBy[device] || e.pushedTo[device] {
+		// Already counted, or the device only has the signature because
+		// the hub pushed it there: not an independent observation.
+		x.mu.Unlock()
+		return
+	}
+	e.confirmedBy[device] = true
+	if !e.armed && len(e.confirmedBy) >= x.threshold {
+		e.armed = true
+		x.armed++
+		d := delta{epoch: x.armed, sigs: []*core.Signature{e.sig}}
+		for id, c := range x.clients {
+			c.push.enqueue(d)
+			e.pushedTo[id] = true
+		}
+	}
+	x.mu.Unlock()
+}
+
+// Provenance returns the audit records of every signature the fleet has
+// seen, in first-report order.
+func (x *Exchange) Provenance() []Provenance {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]Provenance, 0, len(x.order))
+	for _, key := range x.order {
+		e := x.entries[key]
+		out = append(out, Provenance{
+			Key:           key,
+			Kind:          e.sig.Kind,
+			FirstSeen:     e.firstSeen,
+			Confirmations: len(e.confirmedBy),
+			ConfirmedBy:   sortedKeys(e.confirmedBy),
+			Armed:         e.armed,
+		})
+	}
+	return out
+}
+
+// ArmedCount returns how many signatures are armed fleet-wide.
+func (x *Exchange) ArmedCount() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return int(x.armed)
+}
+
+// Close disconnects every client and shuts the hub down. Close is
+// idempotent.
+func (x *Exchange) Close() {
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return
+	}
+	x.closed = true
+	clients := make([]*ExchangeClient, 0, len(x.clients))
+	for _, c := range x.clients {
+		clients = append(clients, c)
+	}
+	x.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}

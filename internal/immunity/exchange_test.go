@@ -1,0 +1,221 @@
+package immunity
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// phoneSim is one simulated device: a service with a live subscribed core.
+type phoneSim struct {
+	svc    *Service
+	proc   *core.Core
+	client *ExchangeClient
+}
+
+// fleetSim builds n phones connected to a fresh hub with the given
+// threshold.
+func fleetSim(t *testing.T, hub *Exchange, n int) []*phoneSim {
+	t.Helper()
+	phones := make([]*phoneSim, n)
+	for i := range phones {
+		svc, err := NewService(fmt.Sprintf("phone%d", i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc, _ := attach(t, svc, "app")
+		client, err := hub.Connect(svc.Name(), svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phones[i] = &phoneSim{svc: svc, proc: proc, client: client}
+		t.Cleanup(func() { client.Close(); svc.Close() })
+	}
+	return phones
+}
+
+// armedOn reports whether the phone's live process has the signature.
+func (p *phoneSim) armedOn(key string) bool {
+	for _, info := range p.proc.History() {
+		sig := &core.Signature{Kind: info.Kind, Pairs: info.Pairs}
+		if sig.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExchangeThresholdGating: with confirm-before-arm = 2, one device's
+// report must NOT arm the fleet; the second distinct device's report must.
+func TestExchangeThresholdGating(t *testing.T) {
+	hub := NewExchange(2)
+	defer hub.Close()
+	phones := fleetSim(t, hub, 4)
+	key := testSig(0).Key()
+
+	// Device 0 detects the deadlock.
+	if _, _, err := phones[0].svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "hub sees first report", func() bool { return len(hub.Provenance()) == 1 })
+	prov := hub.Provenance()[0]
+	if prov.Armed || prov.Confirmations != 1 || prov.FirstSeen != "phone0" {
+		t.Fatalf("after one report: %+v, want unarmed/1 confirm/first-seen phone0", prov)
+	}
+	// The other devices must stay unarmed (give propagation a real chance
+	// to misfire before asserting).
+	time.Sleep(20 * time.Millisecond)
+	for i := 1; i < 4; i++ {
+		if phones[i].armedOn(key) {
+			t.Fatalf("phone%d armed below the confirmation threshold", i)
+		}
+	}
+	// Re-report from the SAME device: still one confirmation, still
+	// gated. The service would dedup a second Publish before it reached
+	// the hub, so drive the hub's own same-device guard directly.
+	hub.report("phone0", testSig(0))
+	if prov := hub.Provenance()[0]; prov.Armed || prov.Confirmations != 1 {
+		t.Fatalf("same-device re-report changed provenance: %+v", prov)
+	}
+
+	// Device 1 independently confirms: the fleet arms.
+	if _, _, err := phones[1].svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range phones {
+		ph := p
+		waitFor(t, fmt.Sprintf("phone%d armed after threshold", i), func() bool { return ph.armedOn(key) })
+	}
+	prov = hub.Provenance()[0]
+	if !prov.Armed || prov.Confirmations != 2 {
+		t.Fatalf("after threshold: %+v, want armed with 2 confirmations", prov)
+	}
+	if got := prov.ConfirmedBy; len(got) != 2 || got[0] != "phone0" || got[1] != "phone1" {
+		t.Fatalf("confirmed-by = %v, want [phone0 phone1]", got)
+	}
+}
+
+// TestExchangeNoEchoConfirmation: a signature pushed to a device by the
+// hub must not come back as that device's confirmation.
+func TestExchangeNoEchoConfirmation(t *testing.T) {
+	hub := NewExchange(1)
+	defer hub.Close()
+	phones := fleetSim(t, hub, 3)
+	key := testSig(0).Key()
+
+	if _, _, err := phones[0].svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range phones {
+		ph := p
+		waitFor(t, fmt.Sprintf("phone%d armed", i), func() bool { return ph.armedOn(key) })
+	}
+	// Everyone has it; only phone0 observed it.
+	time.Sleep(10 * time.Millisecond)
+	prov := hub.Provenance()[0]
+	if prov.Confirmations != 1 || prov.FirstSeen != "phone0" {
+		t.Fatalf("echoed confirmations: %+v, want exactly 1 from phone0", prov)
+	}
+}
+
+// TestExchangeCatchupOnConnect: a device joining after arming receives the
+// armed set immediately; its pre-existing local history is reported
+// upward as a confirmation.
+func TestExchangeCatchupOnConnect(t *testing.T) {
+	hub := NewExchange(1)
+	defer hub.Close()
+	phones := fleetSim(t, hub, 2)
+	key := testSig(0).Key()
+	if _, _, err := phones[0].svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "fleet armed", func() bool { return hub.ArmedCount() == 1 })
+
+	// A new phone joins late, with its own pre-existing local antibody.
+	svc, err := NewService("phone-late", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, _, err := svc.Publish("local", testSig(5)); err != nil {
+		t.Fatal(err)
+	}
+	proc, _ := attach(t, svc, "app")
+	client, err := hub.Connect("phone-late", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	late := &phoneSim{svc: svc, proc: proc, client: client}
+	waitFor(t, "late phone receives armed set", func() bool { return late.armedOn(key) })
+	// Its local history reached the hub (threshold 1 → arms and spreads).
+	key5 := testSig(5).Key()
+	for i, p := range phones {
+		ph := p
+		waitFor(t, fmt.Sprintf("phone%d armed with late antibody", i), func() bool { return ph.armedOn(key5) })
+	}
+	for _, prov := range hub.Provenance() {
+		if prov.Key == key5 && prov.FirstSeen != "phone-late" {
+			t.Fatalf("late antibody provenance: %+v", prov)
+		}
+	}
+}
+
+// TestExchangeReconnectDoesNotEchoConfirmation: a device that received a
+// signature from the hub and then reconnects (its fresh client has no
+// in-memory echo guard, and the epoch-0 catch-up re-reports its whole
+// local history — which now contains the pushed signature) must not be
+// counted as a new confirmation: the hub remembers who it pushed to.
+func TestExchangeReconnectDoesNotEchoConfirmation(t *testing.T) {
+	hub := NewExchange(1)
+	defer hub.Close()
+	phones := fleetSim(t, hub, 2)
+	key := testSig(0).Key()
+
+	if _, _, err := phones[0].svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "phone1 armed", func() bool { return phones[1].armedOn(key) })
+
+	// phone1 reconnects: its service history now includes the pushed
+	// signature, and the fresh client re-reports everything from epoch 0.
+	phones[1].client.Close()
+	client, err := hub.Connect("phone1", phones[1].svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	time.Sleep(20 * time.Millisecond) // let the re-report (wrongly) land
+	prov := hub.Provenance()[0]
+	if prov.Confirmations != 1 || prov.ConfirmedBy[0] != "phone0" {
+		t.Fatalf("reconnect echoed a confirmation: %+v, want exactly 1 from phone0", prov)
+	}
+}
+
+// TestExchangeDuplicateConnect: one device id can hold only one live
+// connection.
+func TestExchangeDuplicateConnect(t *testing.T) {
+	hub := NewExchange(1)
+	defer hub.Close()
+	svc, err := NewService("phone0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	c1, err := hub.Connect("phone0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Connect("phone0", svc); err == nil {
+		t.Fatal("duplicate connect must fail")
+	}
+	c1.Close()
+	c2, err := hub.Connect("phone0", svc)
+	if err != nil {
+		t.Fatalf("reconnect after close: %v", err)
+	}
+	c2.Close()
+}

@@ -1,0 +1,406 @@
+// Package immunity is the platform's signature distribution tier: it
+// turns per-process Dimmunix instances into platform-wide — and
+// fleet-wide — immunity that takes effect while processes are running,
+// not just at their next start.
+//
+// The paper's deployment stops at fork time: Zygote loads the shared
+// on-flash history into each child, so an antibody discovered by one app
+// protects other apps only after their next start, and every process
+// appends to the history file independently. This package adds two
+// layers on top of the per-process engine:
+//
+//   - Service, the on-device hub. One Service runs per phone (hosted in
+//     the system server) and is the single writer of the persistent
+//     history: process cores publish newly detected signatures to it
+//     (by using the Service as their core's HistoryStore), the Service
+//     merges and deduplicates them (core signature keys), persists them
+//     to its backing store, and pushes the delta to every subscribed
+//     live process, which hot-installs it via Core.InstallSignature —
+//     flipping the named positions to the avoidance slow path. One
+//     app's deadlock immunizes every running app within milliseconds,
+//     no restart.
+//
+//   - Exchange, the cross-device hub (the Communix idea): phones
+//     connect their Services to a fleet exchange that tracks, per
+//     signature, its provenance — the first device that saw it and the
+//     set of devices that independently confirmed it — and arms the
+//     signature fleet-wide only once a configurable number of distinct
+//     devices has confirmed it, so one device's false positive cannot
+//     degrade the whole fleet.
+//
+// # Epoch/delta protocol
+//
+// The Service's merged history is an append-only sequence; the epoch is
+// the number of signatures accepted so far (epoch e ⇒ signatures with
+// indices 0..e-1 exist). Publishing a new signature bumps the epoch by
+// one and enqueues the delta (the new signature, tagged with the
+// post-append epoch) to every subscriber. A subscriber names the epoch
+// it already holds (typically captured just before its core loaded the
+// history), and catch-up delivery replays every signature after that
+// epoch before live deltas — so a process forked while a publish is in
+// flight may receive a signature twice, which is harmless: hot-install
+// deduplicates by signature key. Deliveries to one subscriber are
+// ordered; across subscribers there is no ordering guarantee.
+//
+// # Lock order relative to the engine lock
+//
+// Publish is called from inside the engine's critical section: a core
+// that detects a deadlock appends to its store — the Service — while
+// holding its engine lock (core.Core.mu) exclusively. The Service
+// therefore must never call into any core synchronously: Publish only
+// takes the service lock, appends, and enqueues; the hot-install calls
+// (Core.InstallSignature, which takes the target core's engine lock)
+// happen on per-subscriber delivery goroutines that hold no service
+// lock while invoking the callback. The resulting order is
+//
+//	core.Core.mu (any process) > Service.mu > {subscriber queue lock,
+//	Service.persistMu > backing-store locks}
+//
+// and delivery goroutines acquire core.Core.mu with no immunity lock
+// held, so no cycle through the two subsystems is possible. The
+// Exchange obeys the same rule one level up: Exchange.mu is only held
+// to mutate fleet state and enqueue pushes; client deliveries into a
+// phone's Service run on queue goroutines without Exchange.mu.
+package immunity
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// delta is one ordered delivery to a subscriber: the signatures accepted
+// since the subscriber's last known epoch (deep copies, safe to install
+// into any core), and the epoch after applying them.
+type delta struct {
+	epoch uint64
+	sigs  []*core.Signature
+}
+
+// subscriber is one live process's (or observer's) ordered delivery
+// queue, drained by a dedicated goroutine so Publish never blocks on a
+// slow consumer and never calls into a core synchronously.
+type subscriber struct {
+	name string
+	fn   func(epoch uint64, sigs []*core.Signature)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []delta
+	closed bool
+	done   chan struct{}
+}
+
+func newSubscriber(name string, fn func(epoch uint64, sigs []*core.Signature)) *subscriber {
+	s := &subscriber{name: name, fn: fn, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.drain()
+	return s
+}
+
+// enqueue appends a delta to the queue. Never blocks.
+func (s *subscriber) enqueue(d delta) {
+	s.mu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, d)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// drain delivers queued deltas in order until closed. The callback runs
+// with no locks held.
+func (s *subscriber) drain() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+		for _, d := range batch {
+			s.fn(d.epoch, d.sigs)
+		}
+	}
+}
+
+// close stops the queue after delivering what is already enqueued, and
+// waits for the drain goroutine to exit.
+func (s *subscriber) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	s.cond.Signal()
+	s.mu.Unlock()
+	<-s.done
+}
+
+// ServiceStats snapshots a Service's counters.
+type ServiceStats struct {
+	// Epoch is the current history epoch (number of accepted signatures).
+	Epoch uint64
+	// Published counts accepted (fresh) signatures since creation,
+	// including those loaded from the backing store at construction.
+	Published uint64
+	// Duplicates counts publishes rejected as already known.
+	Duplicates uint64
+	// Deliveries counts delta deliveries enqueued (subscribers × deltas).
+	Deliveries uint64
+	// Subscribers is the current number of live subscriptions.
+	Subscribers int
+	// PersistErrors counts failed appends to the backing store (the
+	// in-memory history and the propagation still protect the platform).
+	PersistErrors uint64
+}
+
+// Service is the on-device immunity hub: the single writer of the
+// persistent history and the live propagation fan-out. It implements
+// core.HistoryStore so it plugs directly into the Zygote as the store
+// every forked core loads from and publishes to.
+type Service struct {
+	name  string
+	store core.HistoryStore // backing persistence; nil = in-memory only
+
+	mu      sync.Mutex
+	sigs    []*core.Signature // accepted signatures, epoch order
+	keys    map[string]uint64 // signature key -> epoch at acceptance
+	sources map[string]string // signature key -> first publisher
+	subs    map[int]*subscriber
+	nextSub int
+	closed  bool
+	stats   ServiceStats
+
+	// persistMu serializes backing-store appends in epoch order. It is
+	// acquired while still holding mu (establishing the epoch) and
+	// released after the append, so the file order always matches the
+	// epoch order even under concurrent publishers — NewService re-derives
+	// epochs from file order after a reboot. Lock order: mu > persistMu.
+	persistMu sync.Mutex
+}
+
+var _ core.HistoryStore = (*Service)(nil)
+
+// NewService creates the device hub named name (the device/phone id in a
+// fleet). store, which may be nil, is the backing persistent history; its
+// contents are loaded, deduplicated, and become epochs 1..n.
+func NewService(name string, store core.HistoryStore) (*Service, error) {
+	s := &Service{
+		name:    name,
+		store:   store,
+		keys:    make(map[string]uint64),
+		sources: make(map[string]string),
+		subs:    make(map[int]*subscriber),
+	}
+	if store != nil {
+		sigs, err := store.Load()
+		if err != nil {
+			return nil, fmt.Errorf("immunity service %s: load store: %w", name, err)
+		}
+		merged, err := core.MergeHistories(sigs)
+		if err != nil {
+			return nil, fmt.Errorf("immunity service %s: %w", name, err)
+		}
+		for _, sig := range merged {
+			s.sigs = append(s.sigs, sig)
+			s.keys[sig.Key()] = uint64(len(s.sigs))
+			s.sources[sig.Key()] = "store"
+			s.stats.Published++
+		}
+	}
+	return s, nil
+}
+
+// Name returns the service's device name.
+func (s *Service) Name() string { return s.name }
+
+// Epoch returns the current history epoch.
+func (s *Service) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.sigs))
+}
+
+// Snapshot returns deep copies of all accepted signatures and the epoch
+// they represent.
+func (s *Service) Snapshot() ([]*core.Signature, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, err := core.MergeHistories(s.sigs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, uint64(len(s.sigs)), nil
+}
+
+// Load implements core.HistoryStore: a forked core seeds its history with
+// everything the service has accepted so far.
+func (s *Service) Load() ([]*core.Signature, error) {
+	sigs, _, err := s.Snapshot()
+	return sigs, err
+}
+
+// Append implements core.HistoryStore: a core that detects a deadlock
+// publishes it to the service instead of writing the history file itself.
+// Append may be called with the publishing core's engine lock held; it
+// never calls back into any core (see the package comment's lock order).
+func (s *Service) Append(sig *core.Signature) error {
+	_, _, err := s.Publish(s.name, sig)
+	return err
+}
+
+// Publish offers a signature to the service, attributed to source. If the
+// signature is new it is persisted to the backing store, assigned the
+// next epoch, and pushed asynchronously to every subscriber. Publish
+// reports the epoch after the call and whether the signature was fresh.
+func (s *Service) Publish(source string, sig *core.Signature) (epoch uint64, fresh bool, err error) {
+	if sig == nil {
+		return 0, false, fmt.Errorf("immunity publish: nil signature")
+	}
+	if err := sig.Validate(); err != nil {
+		return 0, false, fmt.Errorf("immunity publish: %w", err)
+	}
+	key := sig.Key()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, false, fmt.Errorf("immunity publish: service %s closed", s.name)
+	}
+	if _, ok := s.keys[key]; ok {
+		s.stats.Duplicates++
+		epoch = uint64(len(s.sigs))
+		s.mu.Unlock()
+		return epoch, false, nil
+	}
+	cp := &core.Signature{Kind: sig.Kind, Pairs: core.ClonePairs(sig.Pairs)}
+	s.sigs = append(s.sigs, cp)
+	epoch = uint64(len(s.sigs))
+	s.keys[key] = epoch
+	s.sources[key] = source
+	s.stats.Published++
+	d := delta{epoch: epoch, sigs: []*core.Signature{cp}}
+	for _, sub := range s.subs {
+		sub.enqueue(d)
+		s.stats.Deliveries++
+	}
+	store := s.store
+	if store != nil {
+		// Taken under mu: the holder of epoch n owns persistMu before the
+		// publisher of epoch n+1 can request it, so appends land in epoch
+		// order.
+		s.persistMu.Lock()
+	}
+	s.mu.Unlock()
+
+	// Persist outside the service lock: the store may take a file lock,
+	// and subscribers must not wait on flash latency.
+	if store != nil {
+		err := store.Append(cp)
+		s.persistMu.Unlock()
+		if err != nil {
+			s.mu.Lock()
+			s.stats.PersistErrors++
+			s.mu.Unlock()
+		}
+	}
+	return epoch, true, nil
+}
+
+// Subscribe registers fn for every signature accepted after epoch `from`,
+// starting with an immediate catch-up delta if the service is already
+// ahead; fn receives the epoch after each delta and the delta's
+// signatures (deep copies). Deliveries are ordered per subscriber and run
+// on a dedicated goroutine; fn may call into cores (hot-install) but must
+// not call Subscribe or Close on this service. The returned cancel stops
+// delivery after the in-flight delta and waits for the delivery goroutine
+// to exit. Together with Epoch and the HistoryStore methods this
+// implements vm.SignatureBus.
+func (s *Service) Subscribe(name string, from uint64, fn func(epoch uint64, sigs []*core.Signature)) (cancel func()) {
+	sub := newSubscriber(name, fn)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sub.close()
+		return func() {}
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = sub
+	if cur := uint64(len(s.sigs)); from < cur {
+		catchup := delta{epoch: cur, sigs: make([]*core.Signature, 0, cur-from)}
+		catchup.sigs = append(catchup.sigs, s.sigs[from:cur]...)
+		sub.enqueue(catchup)
+		s.stats.Deliveries++
+	}
+	s.mu.Unlock()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			delete(s.subs, id)
+			s.mu.Unlock()
+			sub.close()
+		})
+	}
+}
+
+// SourceOf returns the first publisher recorded for a signature key, or
+// "" if the key is unknown — the on-device half of provenance.
+func (s *Service) SourceOf(key string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sources[key]
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.Epoch = uint64(len(s.sigs))
+	out.Subscribers = len(s.subs)
+	return out
+}
+
+// Close stops the service: subscribers are drained and detached, and
+// further publishes fail. Close is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	subs := make([]*subscriber, 0, len(s.subs))
+	for _, sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.subs = make(map[int]*subscriber)
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.close()
+	}
+}
+
+// sortedKeys returns m's keys sorted, for deterministic rendering.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

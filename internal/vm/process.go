@@ -46,6 +46,12 @@ type Process struct {
 	killed atomic.Bool
 	wg     sync.WaitGroup
 
+	// killHooks run once at the start of Kill, before the core closes —
+	// the Zygote registers the signature-bus unsubscribe here so delta
+	// delivery stops before the process is torn down.
+	killHooksMu sync.Mutex
+	killHooks   []func()
+
 	stats procStats
 }
 
@@ -151,6 +157,20 @@ func (p *Process) Start(name string, fn func(*Thread)) (*Thread, error) {
 	p.mu.Unlock()
 	go t.run(fn)
 	return t, nil
+}
+
+// addKillHook registers fn to run once when the process is killed,
+// before its threads and core are torn down. Hooks registered after Kill
+// has started run immediately.
+func (p *Process) addKillHook(fn func()) {
+	p.killHooksMu.Lock()
+	if !p.killed.Load() {
+		p.killHooks = append(p.killHooks, fn)
+		p.killHooksMu.Unlock()
+		return
+	}
+	p.killHooksMu.Unlock()
+	fn()
 }
 
 // NewObject creates a synchronizable object in this process.
@@ -275,6 +295,13 @@ func (p *Process) Kill() {
 	if !p.killed.CompareAndSwap(false, true) {
 		p.wg.Wait()
 		return
+	}
+	p.killHooksMu.Lock()
+	hooks := p.killHooks
+	p.killHooks = nil
+	p.killHooksMu.Unlock()
+	for _, fn := range hooks {
+		fn()
 	}
 	close(p.killCh)
 	if p.dim != nil {

@@ -20,7 +20,28 @@ type Zygote struct {
 	dimmunix bool
 	coreOpts []core.Option
 	store    core.HistoryStore
+	bus      SignatureBus
 	procs    []*Process
+}
+
+// SignatureBus is the live signature-propagation hub (the platform
+// immunity service) a Zygote can wire its children to. It subsumes the
+// plain history store: forked cores load their initial history from it
+// and publish detections to it (the HistoryStore half), and additionally
+// every forked process subscribes for the deltas other processes publish,
+// hot-installing them into its running core — so an antibody discovered
+// by one app arms all live apps, not just future forks.
+//
+// Epoch returns the current history epoch (the number of accepted
+// signatures); Subscribe delivers, on a dedicated goroutine, every
+// signature accepted after epoch `from` (catch-up first, then live
+// deltas, in order). The delivery callback takes the subscribing core's
+// engine lock, so implementations must never invoke it synchronously
+// from Append (see internal/immunity's lock-order documentation).
+type SignatureBus interface {
+	core.HistoryStore
+	Epoch() uint64
+	Subscribe(name string, from uint64, fn func(epoch uint64, sigs []*core.Signature)) (cancel func())
 }
 
 // ZygoteOption configures a Zygote.
@@ -44,6 +65,15 @@ func WithHistory(store core.HistoryStore) ZygoteOption {
 	return func(z *Zygote) { z.store = store }
 }
 
+// WithSignatureBus wires forked processes to the platform immunity
+// service: the bus becomes each child core's history store (load at fork,
+// publish on detection), and every child subscribes to the bus so
+// signatures detected elsewhere hot-install into its running core. Takes
+// precedence over WithHistory.
+func WithSignatureBus(bus SignatureBus) ZygoteOption {
+	return func(z *Zygote) { z.bus = bus }
+}
+
 // NewZygote creates a Zygote.
 func NewZygote(opts ...ZygoteOption) *Zygote {
 	z := &Zygote{}
@@ -58,16 +88,28 @@ func (z *Zygote) DimmunixEnabled() bool { return z.dimmunix }
 
 // Fork creates a new process. With Dimmunix enabled, the child's core is
 // initialized (and the shared history loaded) before the process can run
-// any code, so immunity covers the app's entire lifetime.
+// any code, so immunity covers the app's entire lifetime. With a
+// signature bus attached, the child additionally subscribes for live
+// deltas before it can run, so there is no window in which a signature
+// published elsewhere could be missed: anything accepted after the
+// captured epoch is delivered (and hot-install deduplicates the overlap
+// with what Load already returned).
 func (z *Zygote) Fork(name string) (*Process, error) {
 	z.mu.Lock()
 	defer z.mu.Unlock()
 	z.nextPID++
 	var dim *core.Core
+	var busFrom uint64
 	if z.dimmunix {
 		opts := make([]core.Option, 0, len(z.coreOpts)+1)
 		opts = append(opts, z.coreOpts...)
-		if z.store != nil {
+		switch {
+		case z.bus != nil:
+			// Capture the epoch before the core loads, so the subscription
+			// below cannot miss a concurrent publish.
+			busFrom = z.bus.Epoch()
+			opts = append(opts, core.WithStore(z.bus))
+		case z.store != nil:
 			opts = append(opts, core.WithStore(z.store))
 		}
 		var err error
@@ -77,6 +119,16 @@ func (z *Zygote) Fork(name string) (*Process, error) {
 		}
 	}
 	p := newProcess(z.nextPID, name, dim)
+	if dim != nil && z.bus != nil {
+		cancel := z.bus.Subscribe(name, busFrom, func(_ uint64, sigs []*core.Signature) {
+			for _, sig := range sigs {
+				// ErrCoreClosed after teardown and duplicate keys are both
+				// benign; the kill hook below cancels the subscription.
+				_, _, _ = dim.InstallSignature(sig)
+			}
+		})
+		p.addKillHook(cancel)
+	}
 	z.procs = append(z.procs, p)
 	return p, nil
 }

@@ -1,0 +1,194 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// fakeBus is a minimal SignatureBus capturing the wiring contract: what
+// the Zygote loads, which epoch it subscribes from, and whether cancel
+// runs at kill.
+type fakeBus struct {
+	mu        sync.Mutex
+	sigs      []*core.Signature
+	appended  []*core.Signature
+	subs      map[string]func(uint64, []*core.Signature)
+	subFrom   map[string]uint64
+	cancelled map[string]bool
+}
+
+func newFakeBus(sigs ...*core.Signature) *fakeBus {
+	return &fakeBus{
+		sigs:      sigs,
+		subs:      make(map[string]func(uint64, []*core.Signature)),
+		subFrom:   make(map[string]uint64),
+		cancelled: make(map[string]bool),
+	}
+}
+
+func (b *fakeBus) Load() ([]*core.Signature, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*core.Signature(nil), b.sigs...), nil
+}
+
+// Append mirrors the real service: accept under the bus lock, then
+// deliver to subscribers asynchronously (Append runs with the publishing
+// core's engine lock held, so delivering synchronously would deadlock the
+// publisher on its own subscription).
+func (b *fakeBus) Append(sig *core.Signature) error {
+	b.mu.Lock()
+	b.sigs = append(b.sigs, sig)
+	b.appended = append(b.appended, sig)
+	epoch := uint64(len(b.sigs))
+	fns := make([]func(uint64, []*core.Signature), 0, len(b.subs))
+	for _, fn := range b.subs {
+		fns = append(fns, fn)
+	}
+	b.mu.Unlock()
+	go func() {
+		for _, fn := range fns {
+			fn(epoch, []*core.Signature{sig})
+		}
+	}()
+	return nil
+}
+
+func (b *fakeBus) Epoch() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return uint64(len(b.sigs))
+}
+
+func (b *fakeBus) Subscribe(name string, from uint64, fn func(uint64, []*core.Signature)) func() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subs[name] = fn
+	b.subFrom[name] = from
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.cancelled[name] = true
+		delete(b.subs, name)
+	}
+}
+
+// push delivers a signature to all current subscribers (synchronously;
+// the fake stands in for the service's delivery goroutines).
+func (b *fakeBus) push(sig *core.Signature) {
+	b.mu.Lock()
+	b.sigs = append(b.sigs, sig)
+	epoch := uint64(len(b.sigs))
+	fns := make([]func(uint64, []*core.Signature), 0, len(b.subs))
+	for _, fn := range b.subs {
+		fns = append(fns, fn)
+	}
+	b.mu.Unlock()
+	for _, fn := range fns {
+		fn(epoch, []*core.Signature{sig})
+	}
+}
+
+func busSig(line int) *core.Signature {
+	a := core.Frame{Class: "com.bus.A", Method: "m", Line: line}
+	b := core.Frame{Class: "com.bus.B", Method: "n", Line: line + 1}
+	return &core.Signature{
+		Kind: core.DeadlockSig,
+		Pairs: []core.SigPair{
+			{Outer: core.CallStack{a}, Inner: core.CallStack{a}},
+			{Outer: core.CallStack{b}, Inner: core.CallStack{b}},
+		},
+	}
+}
+
+// TestZygoteSignatureBusWiring: a forked process loads the bus history,
+// subscribes from the pre-load epoch, hot-installs pushed deltas into its
+// live core, publishes its own detections to the bus, and unsubscribes
+// when killed.
+func TestZygoteSignatureBusWiring(t *testing.T) {
+	bus := newFakeBus(busSig(100))
+	z := NewZygote(WithDimmunix(true), WithSignatureBus(bus))
+
+	p, err := z.Fork("app.one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := p.Dimmunix()
+	if dim == nil {
+		t.Fatal("no core")
+	}
+	// Initial history came from the bus (the bus overrides WithHistory).
+	if got := dim.HistorySize(); got != 1 {
+		t.Fatalf("history size after fork = %d, want 1 (loaded from bus)", got)
+	}
+	if from := bus.subFrom["app.one"]; from != 1 {
+		t.Fatalf("subscribed from epoch %d, want 1 (captured before load)", from)
+	}
+
+	// A push hot-installs into the live core — no restart.
+	bus.push(busSig(200))
+	if got := dim.HistorySize(); got != 2 {
+		t.Fatalf("history size after push = %d, want 2", got)
+	}
+	if got := dim.Stats().SignaturesInstalled; got != 1 {
+		t.Fatalf("hot-installs = %d, want 1", got)
+	}
+
+	// The core's own additions are published to the bus, not a file.
+	if _, _, err := dim.AddSignature(busSig(300)); err != nil {
+		t.Fatal(err)
+	}
+	if len(bus.appended) != 1 {
+		t.Fatalf("bus received %d appends, want 1", len(bus.appended))
+	}
+
+	// Kill cancels the subscription.
+	p.Kill()
+	if !bus.cancelled["app.one"] {
+		t.Fatal("kill did not cancel the bus subscription")
+	}
+}
+
+// TestZygoteBusSecondProcessSeesFirstDetection: the end-to-end on-device
+// story at VM level with a real fork pair and a synchronous fake bus.
+func TestZygoteBusSecondProcessSeesFirstDetection(t *testing.T) {
+	bus := newFakeBus()
+	z := NewZygote(WithDimmunix(true), WithSignatureBus(bus))
+	defer z.KillAll()
+
+	a, err := z.Fork("app.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := z.Fork("app.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// app.a records a signature (standing in for its detection path).
+	if _, _, err := a.Dimmunix().AddSignature(busSig(10)); err != nil {
+		t.Fatal(err)
+	}
+	// app.b — running since before the detection — is armed.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Dimmunix().HistorySize() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("app.b not armed: history size %d", b.Dimmunix().HistorySize())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAddKillHookAfterKillRunsImmediately guards the hook-registration
+// race: registering on an already-killed process runs the hook inline.
+func TestAddKillHookAfterKillRunsImmediately(t *testing.T) {
+	p := NewProcess("dead", nil)
+	p.Kill()
+	ran := false
+	p.addKillHook(func() { ran = true })
+	if !ran {
+		t.Fatal("hook on killed process did not run")
+	}
+}

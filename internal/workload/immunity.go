@@ -1,0 +1,419 @@
+// Fleet immunity workload: measures how fast an antibody travels once
+// detected — first across the live processes of the detecting phone (the
+// on-device propagation tier), then across a simulated fleet of phones
+// through the signature exchange, gated by the confirm-before-arm
+// threshold. The headline number is time-to-fleet-immunity: from the
+// moment the threshold-completing detection is accepted to the moment the
+// last live process on the last phone is armed.
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/vm"
+)
+
+// FleetImmunityConfig parameterizes one fleet immunity run.
+type FleetImmunityConfig struct {
+	// Phones is the number of simulated devices (>= 2; the acceptance
+	// scenario uses >= 4).
+	Phones int
+	// ProcsPerPhone is how many live application processes each phone
+	// runs (forked before any detection, so arming them proves the
+	// no-restart path).
+	ProcsPerPhone int
+	// ConfirmThreshold is how many distinct devices must independently
+	// detect the deadlock before the exchange arms it fleet-wide. It must
+	// not exceed Phones.
+	ConfirmThreshold int
+	// Timeout bounds every wait in the scenario.
+	Timeout time.Duration
+}
+
+// DefaultFleetImmunityConfig is the acceptance-scenario shape: 4 phones,
+// 3 live processes each, arm after 2 independent confirmations.
+func DefaultFleetImmunityConfig() FleetImmunityConfig {
+	return FleetImmunityConfig{
+		Phones:           4,
+		ProcsPerPhone:    3,
+		ConfirmThreshold: 2,
+		Timeout:          30 * time.Second,
+	}
+}
+
+// validate rejects inconsistent configs.
+func (cfg FleetImmunityConfig) validate() error {
+	if cfg.Phones < 2 {
+		return fmt.Errorf("fleet immunity: need >= 2 phones, got %d", cfg.Phones)
+	}
+	if cfg.ProcsPerPhone < 1 {
+		return fmt.Errorf("fleet immunity: need >= 1 process per phone, got %d", cfg.ProcsPerPhone)
+	}
+	if cfg.ConfirmThreshold < 1 || cfg.ConfirmThreshold > cfg.Phones {
+		return fmt.Errorf("fleet immunity: confirm threshold %d outside [1,%d]", cfg.ConfirmThreshold, cfg.Phones)
+	}
+	if cfg.Timeout <= 0 {
+		return fmt.Errorf("fleet immunity: non-positive timeout %v", cfg.Timeout)
+	}
+	return nil
+}
+
+// FleetImmunityResult is the measured timeline of one run.
+type FleetImmunityResult struct {
+	Config FleetImmunityConfig
+	// DeviceImmunity is first detection → every live process on the
+	// detecting phone armed (the on-device propagation latency).
+	DeviceImmunity time.Duration
+	// RemoteArmedBeforeThreshold counts processes on non-detecting phones
+	// that were armed after the first detection but before the threshold
+	// was met. It must be 0 when ConfirmThreshold > 1 — the gating proof.
+	RemoteArmedBeforeThreshold int
+	// RemoteProcsSampled is the number of processes the gating check
+	// sampled.
+	RemoteProcsSampled int
+	// FleetArm is last (threshold-completing) detection → the exchange
+	// arming the signature.
+	FleetArm time.Duration
+	// FleetImmunity is last detection → the last live process on the last
+	// phone armed: the headline time-to-fleet-immunity.
+	FleetImmunity time.Duration
+	// Provenance is the exchange's audit trail after the run.
+	Provenance []immunity.Provenance
+}
+
+// buggyFrames are the injected deadlock's two outer positions — identical
+// on every phone, so each device's detection yields the same signature
+// key and the confirmations accumulate on one fleet entry.
+var buggyOuterA = core.Frame{Class: "com.buggy.App", Method: "lockAB", Line: 10}
+var buggyOuterB = core.Frame{Class: "com.buggy.App", Method: "lockBA", Line: 20}
+
+// buggyKey is the injected deadlock's signature key.
+func buggyKey() string {
+	sig := &core.Signature{
+		Kind: core.DeadlockSig,
+		Pairs: []core.SigPair{
+			{Outer: core.CallStack{buggyOuterA}, Inner: core.CallStack{buggyOuterA}},
+			{Outer: core.CallStack{buggyOuterB}, Inner: core.CallStack{buggyOuterB}},
+		},
+	}
+	return sig.Key()
+}
+
+// armedWith reports whether the process's core holds the signature.
+func armedWith(p *vm.Process, key string) bool {
+	dim := p.Dimmunix()
+	if dim == nil {
+		return false
+	}
+	for _, info := range dim.History() {
+		sig := &core.Signature{Kind: info.Kind, Pairs: info.Pairs}
+		if sig.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// injectDeadlock forks a buggy app on the phone and drives its two
+// threads into a certain AB/BA inversion (strict rendezvous on channels).
+// Under PolicyFreeze the process freezes — like a real buggy app — and
+// the detection publishes the signature to the phone's service. The
+// process is left frozen; the Zygote reaps it at teardown.
+func injectDeadlock(z *vm.Zygote) error {
+	p, err := z.Fork("com.buggy.app")
+	if err != nil {
+		return fmt.Errorf("inject: %w", err)
+	}
+	a, b := p.NewObject("buggy.A"), p.NewObject("buggy.B")
+	hasA := make(chan struct{})
+	hasB := make(chan struct{})
+	if _, err := p.Start("t1", func(t *vm.Thread) {
+		t.Call(buggyOuterA.Class, buggyOuterA.Method, buggyOuterA.Line, func() {
+			a.Synchronized(t, func() {
+				close(hasA)
+				<-hasB
+				t.Call("com.buggy.App", "innerB", 11, func() {
+					b.Synchronized(t, func() {})
+				})
+			})
+		})
+	}); err != nil {
+		return fmt.Errorf("inject: %w", err)
+	}
+	if _, err := p.Start("t2", func(t *vm.Thread) {
+		t.Call(buggyOuterB.Class, buggyOuterB.Method, buggyOuterB.Line, func() {
+			<-hasA
+			b.Synchronized(t, func() {
+				close(hasB)
+				t.Call("com.buggy.App", "innerA", 21, func() {
+					a.Synchronized(t, func() {})
+				})
+			})
+		})
+	}); err != nil {
+		return fmt.Errorf("inject: %w", err)
+	}
+	return nil
+}
+
+// immunityPhone is one simulated device of the fleet.
+type immunityPhone struct {
+	svc    *immunity.Service
+	zygote *vm.Zygote
+	procs  []*vm.Process
+	client *immunity.ExchangeClient
+}
+
+// RunFleetImmunity executes the scenario: fork all live processes on all
+// phones, inject the deadlock on ConfirmThreshold phones one at a time,
+// verify the gating after the first detection, and measure the
+// propagation latencies.
+func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FleetImmunityResult{}, err
+	}
+	res := FleetImmunityResult{Config: cfg}
+	key := buggyKey()
+
+	hub := immunity.NewExchange(cfg.ConfirmThreshold)
+	defer hub.Close()
+	phones := make([]*immunityPhone, cfg.Phones)
+	for i := range phones {
+		svc, err := immunity.NewService(fmt.Sprintf("phone%d", i), core.NewMemHistory())
+		if err != nil {
+			return res, fmt.Errorf("fleet immunity: %w", err)
+		}
+		ph := &immunityPhone{svc: svc}
+		ph.zygote = vm.NewZygote(vm.WithDimmunix(true), vm.WithSignatureBus(svc))
+		defer ph.zygote.KillAll()
+		defer svc.Close()
+		for j := 0; j < cfg.ProcsPerPhone; j++ {
+			p, err := ph.zygote.Fork(fmt.Sprintf("com.example.app%d", j))
+			if err != nil {
+				return res, fmt.Errorf("fleet immunity: %w", err)
+			}
+			ph.procs = append(ph.procs, p)
+		}
+		client, err := hub.Connect(svc.Name(), svc)
+		if err != nil {
+			return res, fmt.Errorf("fleet immunity: %w", err)
+		}
+		ph.client = client
+		defer client.Close()
+		phones[i] = ph
+	}
+
+	// waitUntil polls cond at microsecond-ish granularity.
+	waitUntil := func(what string, cond func() bool) (time.Time, error) {
+		deadline := time.Now().Add(cfg.Timeout)
+		for {
+			if cond() {
+				return time.Now(), nil
+			}
+			if time.Now().After(deadline) {
+				return time.Time{}, fmt.Errorf("fleet immunity: timed out waiting for %s", what)
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+
+	// detect triggers the deadlock on phone i and returns the moment its
+	// service accepted the signature.
+	detect := func(i int) (time.Time, error) {
+		epochBefore := phones[i].svc.Epoch()
+		if err := injectDeadlock(phones[i].zygote); err != nil {
+			return time.Time{}, err
+		}
+		return waitUntil(fmt.Sprintf("detection on phone%d", i),
+			func() bool { return phones[i].svc.Epoch() > epochBefore })
+	}
+
+	// First detection: on-device propagation on phone 0.
+	tDetect0, err := detect(0)
+	if err != nil {
+		return res, err
+	}
+	tArmedDevice, err := waitUntil("phone0 processes armed", func() bool {
+		for _, p := range phones[0].procs {
+			if !armedWith(p, key) {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return res, err
+	}
+	res.DeviceImmunity = tArmedDevice.Sub(tDetect0)
+
+	// Gating check: below the threshold, no remote process may be armed.
+	// Give propagation a real chance to misbehave before sampling.
+	if cfg.ConfirmThreshold > 1 {
+		time.Sleep(20 * time.Millisecond)
+		for _, ph := range phones[1:] {
+			for _, p := range ph.procs {
+				res.RemoteProcsSampled++
+				if armedWith(p, key) {
+					res.RemoteArmedBeforeThreshold++
+				}
+			}
+		}
+	}
+
+	// Remaining confirmations, one phone at a time.
+	tDetectLast := tDetect0
+	for i := 1; i < cfg.ConfirmThreshold; i++ {
+		if tDetectLast, err = detect(i); err != nil {
+			return res, err
+		}
+	}
+
+	tArm, err := waitUntil("exchange arming", func() bool { return hub.ArmedCount() >= 1 })
+	if err != nil {
+		return res, err
+	}
+	res.FleetArm = tArm.Sub(tDetectLast)
+
+	tAll, err := waitUntil("all fleet processes armed", func() bool {
+		for _, ph := range phones {
+			for _, p := range ph.procs {
+				if !armedWith(p, key) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return res, err
+	}
+	res.FleetImmunity = tAll.Sub(tDetectLast)
+	res.Provenance = hub.Provenance()
+	return res, nil
+}
+
+// FormatFleetImmunity renders a fleet immunity result for the CLI.
+func FormatFleetImmunity(res FleetImmunityResult) string {
+	cfg := res.Config
+	out := fmt.Sprintf("fleet immunity: %d phones × %d live procs, confirm-before-arm threshold %d\n",
+		cfg.Phones, cfg.ProcsPerPhone, cfg.ConfirmThreshold)
+	out += fmt.Sprintf("  on-device immunity   %12s  (detection → all %d procs on the detecting phone armed, no restart)\n",
+		res.DeviceImmunity.Round(time.Microsecond), cfg.ProcsPerPhone)
+	if cfg.ConfirmThreshold > 1 {
+		out += fmt.Sprintf("  threshold gating     %6d/%d remote procs armed below %d confirmations (want 0)\n",
+			res.RemoteArmedBeforeThreshold, res.RemoteProcsSampled, cfg.ConfirmThreshold)
+	}
+	out += fmt.Sprintf("  fleet arm            %12s  (last confirming detection → exchange armed)\n",
+		res.FleetArm.Round(time.Microsecond))
+	out += fmt.Sprintf("  fleet immunity       %12s  (last confirming detection → last of %d procs on %d phones armed)\n",
+		res.FleetImmunity.Round(time.Microsecond), cfg.Phones*cfg.ProcsPerPhone, cfg.Phones)
+	out += "provenance:\n"
+	for _, prov := range res.Provenance {
+		out += fmt.Sprintf("  %s first-seen=%s confirms=%d %v armed=%v\n",
+			prov.Key, prov.FirstSeen, prov.Confirmations, prov.ConfirmedBy, prov.Armed)
+	}
+	return out
+}
+
+// PropagationResult reports on-device publish→armed latency.
+type PropagationResult struct {
+	// Procs is the number of live subscriber processes.
+	Procs int
+	// Sigs is how many signatures were published.
+	Sigs int
+	// Avg and Max are per-signature latencies from Publish returning to
+	// every process armed.
+	Avg, Max time.Duration
+}
+
+// propagationSig builds the i-th synthetic benchmark signature (hot site
+// paired with a cold never-executed one, as in the §5 methodology).
+func propagationSig(i int) *core.Signature {
+	hot := core.Frame{Class: "com.bench.Prop", Method: "hot", Line: i}
+	cold := core.Frame{Class: "com.bench.Prop", Method: "neverExecuted", Line: 100000 + i}
+	return &core.Signature{
+		Kind: core.DeadlockSig,
+		Pairs: []core.SigPair{
+			{Outer: core.CallStack{hot}, Inner: core.CallStack{hot}},
+			{Outer: core.CallStack{cold}, Inner: core.CallStack{cold}},
+		},
+	}
+}
+
+// PropagationLatency measures the on-device tier in isolation: one
+// service, procs live processes, sigs sequential publishes, each timed
+// from Publish to the moment every process has hot-installed it. It is
+// the CLI twin of BenchmarkPropagation.
+func PropagationLatency(procs, sigs int) (PropagationResult, error) {
+	if procs < 1 || sigs < 1 {
+		return PropagationResult{}, fmt.Errorf("propagation: need >= 1 proc and >= 1 sig, got %d/%d", procs, sigs)
+	}
+	svc, err := immunity.NewService("bench", nil)
+	if err != nil {
+		return PropagationResult{}, err
+	}
+	defer svc.Close()
+	z := vm.NewZygote(vm.WithDimmunix(true), vm.WithSignatureBus(svc))
+	defer z.KillAll()
+	ps := make([]*vm.Process, procs)
+	for i := range ps {
+		if ps[i], err = z.Fork(fmt.Sprintf("app%d", i)); err != nil {
+			return PropagationResult{}, err
+		}
+	}
+
+	res := PropagationResult{Procs: procs, Sigs: sigs}
+	var total time.Duration
+	for i := 0; i < sigs; i++ {
+		want := i + 1
+		start := time.Now()
+		if _, _, err := svc.Publish("bench", propagationSig(i)); err != nil {
+			return res, err
+		}
+		if err := waitArmedCount(ps, want, 10*time.Second); err != nil {
+			return res, fmt.Errorf("propagation: signature %d: %w", i, err)
+		}
+		lat := time.Since(start)
+		total += lat
+		if lat > res.Max {
+			res.Max = lat
+		}
+	}
+	res.Avg = total / time.Duration(sigs)
+	return res, nil
+}
+
+// waitArmedCount spins until every process's history holds at least want
+// signatures, yielding so the delivery goroutines get the (possibly
+// single) CPU instead of waiting out a preemption slice. Bounded: a
+// process that can never arm (died, delivery failed) returns an error
+// instead of pinning the CPU forever.
+func waitArmedCount(ps []*vm.Process, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		armed := true
+		for _, p := range ps {
+			if p.Dimmunix().HistorySize() < want {
+				armed = false
+				break
+			}
+		}
+		if armed {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out waiting for %d signatures in all %d processes", want, len(ps))
+		}
+		runtime.Gosched()
+	}
+}
+
+// FormatPropagation renders a propagation latency result for the CLI.
+func FormatPropagation(res PropagationResult) string {
+	return fmt.Sprintf("propagation: %d live procs, %d signatures: avg %s, max %s publish→all-armed\n",
+		res.Procs, res.Sigs, res.Avg.Round(100*time.Nanosecond), res.Max.Round(100*time.Nanosecond))
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/vm"
+)
+
+// TestRunFleetImmunity is the acceptance scenario: 4 phones, live
+// processes armed without restart, threshold gating demonstrated, and a
+// measured time-to-fleet-immunity.
+func TestRunFleetImmunity(t *testing.T) {
+	cfg := DefaultFleetImmunityConfig()
+	res, err := RunFleetImmunity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeviceImmunity <= 0 {
+		t.Errorf("device immunity %v, want > 0", res.DeviceImmunity)
+	}
+	if res.FleetImmunity <= 0 {
+		t.Errorf("fleet immunity %v, want > 0", res.FleetImmunity)
+	}
+	if res.FleetArm > res.FleetImmunity {
+		t.Errorf("fleet arm %v after fleet immunity %v", res.FleetArm, res.FleetImmunity)
+	}
+	if res.RemoteProcsSampled != (cfg.Phones-1)*cfg.ProcsPerPhone {
+		t.Errorf("sampled %d remote procs, want %d", res.RemoteProcsSampled, (cfg.Phones-1)*cfg.ProcsPerPhone)
+	}
+	if res.RemoteArmedBeforeThreshold != 0 {
+		t.Errorf("%d remote procs armed below the confirmation threshold", res.RemoteArmedBeforeThreshold)
+	}
+	if len(res.Provenance) != 1 {
+		t.Fatalf("provenance has %d entries, want 1", len(res.Provenance))
+	}
+	prov := res.Provenance[0]
+	if !prov.Armed || prov.Confirmations != cfg.ConfirmThreshold || prov.FirstSeen != "phone0" {
+		t.Errorf("provenance %+v, want armed, %d confirmations, first-seen phone0", prov, cfg.ConfirmThreshold)
+	}
+
+	out := FormatFleetImmunity(res)
+	for _, want := range []string{"fleet immunity:", "threshold gating", "provenance:", "first-seen=phone0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunFleetImmunityThresholdOne: with threshold 1 a single detection
+// immunizes the whole fleet.
+func TestRunFleetImmunityThresholdOne(t *testing.T) {
+	cfg := FleetImmunityConfig{Phones: 2, ProcsPerPhone: 2, ConfirmThreshold: 1, Timeout: 30 * time.Second}
+	res, err := RunFleetImmunity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FleetImmunity <= 0 {
+		t.Errorf("fleet immunity %v, want > 0", res.FleetImmunity)
+	}
+	if res.RemoteProcsSampled != 0 {
+		t.Errorf("gating sampled %d procs with threshold 1, want 0", res.RemoteProcsSampled)
+	}
+}
+
+// TestFleetImmunityConfigValidate rejects inconsistent configs.
+func TestFleetImmunityConfigValidate(t *testing.T) {
+	base := DefaultFleetImmunityConfig()
+	cases := []struct {
+		name   string
+		mutate func(*FleetImmunityConfig)
+	}{
+		{"one phone", func(c *FleetImmunityConfig) { c.Phones = 1 }},
+		{"zero procs", func(c *FleetImmunityConfig) { c.ProcsPerPhone = 0 }},
+		{"zero threshold", func(c *FleetImmunityConfig) { c.ConfirmThreshold = 0 }},
+		{"threshold above phones", func(c *FleetImmunityConfig) { c.ConfirmThreshold = c.Phones + 1 }},
+		{"no timeout", func(c *FleetImmunityConfig) { c.Timeout = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := RunFleetImmunity(cfg); err == nil {
+				t.Error("want config error")
+			}
+		})
+	}
+}
+
+// TestPropagationLatency sanity-checks the on-device latency probe.
+func TestPropagationLatency(t *testing.T) {
+	res, err := PropagationLatency(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Avg <= 0 || res.Max < res.Avg {
+		t.Errorf("latencies avg=%v max=%v, want 0 < avg <= max", res.Avg, res.Max)
+	}
+	if !strings.Contains(FormatPropagation(res), "publish→all-armed") {
+		t.Errorf("format: %q", FormatPropagation(res))
+	}
+}
+
+// BenchmarkPropagation measures time-to-immunity on one device: one
+// publish, N live processes hot-installed. ns/op ≈ the window in which a
+// just-detected deadlock could still reoccur in another process.
+func BenchmarkPropagation(b *testing.B) {
+	const procs = 8
+	svc, err := immunity.NewService("bench", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	z := vm.NewZygote(vm.WithDimmunix(true), vm.WithSignatureBus(svc))
+	defer z.KillAll()
+	ps := make([]*vm.Process, procs)
+	for i := range ps {
+		if ps[i], err = z.Fork(fmt.Sprintf("app%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := svc.Publish("bench", propagationSig(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := waitArmedCount(ps, i+1, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

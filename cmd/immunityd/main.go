@@ -1,23 +1,37 @@
-// Command immunityd runs the platform immunity distribution tier against
-// a simulated fleet: per-phone immunity services (the single writer of
-// each device's history, hot-installing antibodies into live processes)
-// connected through a signature exchange with a confirm-before-arm
-// threshold. It injects a real deadlock on enough phones to cross the
-// threshold and prints the measured propagation timeline and the fleet
-// provenance table.
+// Command immunityd is the fleet immunity daemon and its test harness.
+//
+// In serve mode it is a long-running hub: the signature exchange served
+// over TCP (the versioned wire protocol of internal/immunity/wire),
+// durable provenance in a file store so a daemon restart loses no
+// confirmation and never re-arms below threshold, and an HTTP /status
+// endpoint exposing the fleet epoch, per-signature provenance, connected
+// devices, and delta-batching counters as JSON.
+//
+// In client mode it runs the fleet immunity workload against such a
+// daemon across real sockets. Without either flag it runs the
+// self-contained simulation (in-process hub, loopback or TCP transport).
 //
 // Usage:
 //
-//	immunityd [-phones N] [-procs N] [-threshold N] [-timeout D]
-//	immunityd -propagation [-procs N] [-sigs N]   # on-device tier only
+//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE]
+//	immunityd -connect ADDR [-phones N] [-procs N] [-threshold N] [-timeout D]
+//	immunityd [-phones N] [-procs N] [-threshold N] [-timeout D] [-transport loopback|tcp]
+//	immunityd -propagation [-procs N] [-sigs N] [-tcp]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 	"github.com/dimmunix/dimmunix/internal/workload"
 )
 
@@ -34,14 +48,31 @@ func run(args []string) error {
 	procs := fs.Int("procs", 3, "live application processes per phone")
 	threshold := fs.Int("threshold", 2, "distinct devices that must confirm a signature before fleet-wide arming")
 	timeout := fs.Duration("timeout", 30*time.Second, "scenario deadline")
-	propagation := fs.Bool("propagation", false, "measure only the on-device publish→all-armed latency")
+	transport := fs.String("transport", "loopback", "simulation transport: loopback or tcp")
+	propagation := fs.Bool("propagation", false, "measure only the publish→all-armed latency")
 	sigs := fs.Int("sigs", 64, "signatures to publish in -propagation mode")
+	tcp := fs.Bool("tcp", false, "with -propagation: measure the cross-device tier over TCP instead of the on-device tier")
+	serve := fs.Bool("serve", false, "run as a long-lived exchange daemon")
+	listen := fs.String("listen", "127.0.0.1:7676", "with -serve: TCP listen address for the exchange wire protocol")
+	httpAddr := fs.String("http", "127.0.0.1:7677", "with -serve: HTTP listen address for /status (empty disables)")
+	provenance := fs.String("provenance", "", "with -serve: provenance store file (empty keeps fleet state in memory only)")
+	connect := fs.String("connect", "", "run the fleet workload in client mode against the exchange daemon at this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *serve {
+		return runServe(*listen, *httpAddr, *threshold, *provenance)
+	}
+
 	if *propagation {
-		res, err := workload.PropagationLatency(*procs, *sigs)
+		var res workload.PropagationResult
+		var err error
+		if *tcp {
+			res, err = workload.PropagationLatencyTCP(*procs, *sigs)
+		} else {
+			res, err = workload.PropagationLatency(*procs, *sigs)
+		}
 		if err != nil {
 			return err
 		}
@@ -54,11 +85,110 @@ func run(args []string) error {
 		ProcsPerPhone:    *procs,
 		ConfirmThreshold: *threshold,
 		Timeout:          *timeout,
+		Transport:        workload.FleetTransport(*transport),
+		Dial:             *connect,
 	}
 	res, err := workload.RunFleetImmunity(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Print(workload.FormatFleetImmunity(res))
+	return nil
+}
+
+// daemon is a running serve-mode instance.
+type daemon struct {
+	hub     *immunity.Exchange
+	srv     *immunity.ExchangeServer
+	httpSrv *http.Server
+	httpLn  net.Listener
+}
+
+// Addr returns the exchange's bound TCP address.
+func (d *daemon) Addr() string { return d.srv.Addr() }
+
+// HTTPAddr returns the bound /status address, or "".
+func (d *daemon) HTTPAddr() string {
+	if d.httpLn == nil {
+		return ""
+	}
+	return d.httpLn.Addr().String()
+}
+
+// Close tears the daemon down.
+func (d *daemon) Close() {
+	if d.httpSrv != nil {
+		d.httpSrv.Close()
+	}
+	d.srv.Close()
+	d.hub.Close()
+}
+
+// startDaemon boots the exchange server and the /status endpoint.
+func startDaemon(listen, httpAddr string, threshold int, provenancePath string) (*daemon, error) {
+	var opts []immunity.ExchangeOption
+	if provenancePath != "" {
+		opts = append(opts, immunity.WithProvenanceStore(immunity.NewFileProvenance(provenancePath)))
+	}
+	hub, err := immunity.NewExchange(threshold, opts...)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := immunity.ServeTCP(hub, listen)
+	if err != nil {
+		hub.Close()
+		return nil, err
+	}
+	d := &daemon{hub: hub, srv: srv}
+	if httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(hub.Status()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("http listen: %w", err)
+		}
+		d.httpLn = ln
+		d.httpSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := d.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "immunityd: http:", err)
+			}
+		}()
+	}
+	return d, nil
+}
+
+// runServe boots the long-running daemon and blocks until
+// SIGINT/SIGTERM.
+func runServe(listen, httpAddr string, threshold int, provenancePath string) error {
+	d, err := startDaemon(listen, httpAddr, threshold, provenancePath)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Printf("immunityd: exchange on %s (threshold %d, protocol v%d", d.Addr(), threshold, wire.Version)
+	if provenancePath != "" {
+		fmt.Printf(", provenance %s", provenancePath)
+	}
+	fmt.Println(")")
+	if st := d.hub.Status(); len(st.Provenance) > 0 {
+		fmt.Printf("immunityd: resumed %d signatures from provenance, fleet epoch %d\n", len(st.Provenance), st.Epoch)
+	}
+	if addr := d.HTTPAddr(); addr != "" {
+		fmt.Printf("immunityd: status on http://%s/status\n", addr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("immunityd: shutting down")
 	return nil
 }

@@ -1,10 +1,25 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+	"github.com/dimmunix/dimmunix/internal/workload"
+)
 
 func TestImmunitydFleetRun(t *testing.T) {
 	if err := run([]string{"-phones", "2", "-procs", "1", "-threshold", "2"}); err != nil {
 		t.Fatalf("fleet run: %v", err)
+	}
+}
+
+func TestImmunitydFleetRunTCP(t *testing.T) {
+	if err := run([]string{"-phones", "2", "-procs", "1", "-threshold", "2", "-transport", "tcp"}); err != nil {
+		t.Fatalf("fleet run over tcp: %v", err)
 	}
 }
 
@@ -14,11 +29,91 @@ func TestImmunitydPropagationRun(t *testing.T) {
 	}
 }
 
+func TestImmunitydPropagationRunTCP(t *testing.T) {
+	if err := run([]string{"-propagation", "-procs", "2", "-sigs", "4", "-tcp"}); err != nil {
+		t.Fatalf("tcp propagation run: %v", err)
+	}
+}
+
 func TestImmunitydBadFlags(t *testing.T) {
 	if err := run([]string{"-phones", "1"}); err == nil {
 		t.Error("one phone must fail validation")
 	}
 	if err := run([]string{"-threshold", "9", "-phones", "2"}); err == nil {
 		t.Error("threshold above phone count must fail")
+	}
+	if err := run([]string{"-transport", "smoke-signals"}); err == nil {
+		t.Error("unknown transport must fail validation")
+	}
+}
+
+// TestImmunitydServeAndClientMode is the daemon loop the CI step runs:
+// boot the daemon (TCP exchange + durable provenance + HTTP /status),
+// run the fleet workload in client mode against it over real sockets,
+// and assert through /status that confirm-before-arm gating held.
+func TestImmunitydServeAndClientMode(t *testing.T) {
+	const threshold = 2
+	prov := filepath.Join(t.TempDir(), "fleet.prov")
+	d, err := startDaemon("127.0.0.1:0", "127.0.0.1:0", threshold, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	cfg := workload.FleetImmunityConfig{
+		Phones:           3,
+		ProcsPerPhone:    2,
+		ConfirmThreshold: threshold,
+		Timeout:          30 * time.Second,
+		Dial:             d.Addr(),
+	}
+	res, err := workload.RunFleetImmunity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteArmedBeforeThreshold != 0 {
+		t.Errorf("%d remote procs armed below threshold", res.RemoteArmedBeforeThreshold)
+	}
+	if len(res.Provenance) != 1 || !res.Provenance[0].Armed {
+		t.Fatalf("client-mode provenance: %+v", res.Provenance)
+	}
+
+	// The HTTP endpoint tells the same story: exactly one armed
+	// signature, with exactly threshold confirmations (the threshold
+	// math CI asserts).
+	resp, err := http.Get("http://" + d.HTTPAddr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st wire.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 1 || st.Threshold != threshold {
+		t.Fatalf("/status = %+v, want epoch 1 at threshold %d", st, threshold)
+	}
+	armed := 0
+	for _, p := range st.Provenance {
+		if p.Armed {
+			armed++
+			if p.Confirmations != threshold {
+				t.Errorf("armed with %d confirmations, want exactly %d: %+v", p.Confirmations, threshold, p)
+			}
+		}
+	}
+	if armed != 1 {
+		t.Fatalf("/status reports %d armed signatures, want 1", armed)
+	}
+
+	// Daemon restart over the same provenance file resumes armed state.
+	d.Close()
+	d2, err := startDaemon("127.0.0.1:0", "", threshold, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if st := d2.hub.Status(); st.Epoch != 1 || len(st.Provenance) != 1 || !st.Provenance[0].Armed {
+		t.Fatalf("restarted daemon status = %+v, want the armed signature back", st)
 	}
 }

@@ -8,7 +8,7 @@
 //	microbench [-threads csv] [-sigs csv] [-duration D] [-work N | -calibrate]
 //	microbench -engines [-threads csv] [-duration D]   # serial vs sharded engine
 //	microbench -fleet N [-duration D] [-engine serial|sharded]  # fleet stress
-//	microbench -propagation [-procs N] [-propsigs N]   # time-to-immunity across live processes
+//	microbench -propagation [-procs N] [-propsigs N] [-tcp]  # time-to-immunity across live processes (or phones, over TCP)
 package main
 
 import (
@@ -44,6 +44,7 @@ func run(args []string) error {
 	propagation := fs.Bool("propagation", false, "measure the immunity service's publish→all-armed latency across live processes")
 	propProcs := fs.Int("procs", 8, "live processes for -propagation")
 	propSigs := fs.Int("propsigs", 64, "signatures to publish for -propagation")
+	propTCP := fs.Bool("tcp", false, "with -propagation: cross-device latency through the TCP exchange (publish on one phone → armed on another)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +54,12 @@ func run(args []string) error {
 	}
 
 	if *propagation {
-		res, err := workload.PropagationLatency(*propProcs, *propSigs)
+		var res workload.PropagationResult
+		if *propTCP {
+			res, err = workload.PropagationLatencyTCP(*propProcs, *propSigs)
+		} else {
+			res, err = workload.PropagationLatency(*propProcs, *propSigs)
+		}
 		if err != nil {
 			return err
 		}

@@ -98,6 +98,14 @@ type (
 )
 
 // Immunity distribution types re-exported for API users.
+//
+// The fleet tier speaks a versioned, transport-agnostic wire protocol
+// (internal/immunity/wire): an Exchange hub holds no references to
+// device services — phones attach through a Transport (the in-process
+// Loopback or the TCP transport) with ConnectExchange, report local
+// detections upward, and receive fleet-armed signatures as delta
+// pushes. Give the hub a ProvenanceStore (NewFileProvenance) and its
+// confirm-before-arm state survives restarts.
 type (
 	// ImmunityService is the on-device hub: single writer of the
 	// persistent history and live signature fan-out to running processes.
@@ -107,8 +115,22 @@ type (
 	// Exchange is the cross-device hub syncing device histories across a
 	// fleet with a confirm-before-arm threshold.
 	Exchange = immunity.Exchange
-	// ExchangeClient bridges one device's ImmunityService to an Exchange.
+	// ExchangeOption configures an Exchange (e.g. WithProvenanceStore).
+	ExchangeOption = immunity.ExchangeOption
+	// ExchangeStats snapshot an Exchange's counters (epoch, devices,
+	// confirmations vs. echoes, delta batching).
+	ExchangeStats = immunity.ExchangeStats
+	// ExchangeClient bridges one device's ImmunityService to an Exchange
+	// over a Transport, with automatic reconnect + resubscribe-from-epoch.
 	ExchangeClient = immunity.ExchangeClient
+	// Transport moves wire messages between a device and an Exchange.
+	Transport = immunity.Transport
+	// ExchangeServer serves an Exchange over TCP (length-prefixed JSON
+	// wire frames).
+	ExchangeServer = immunity.ExchangeServer
+	// ProvenanceStore persists the hub's per-signature fleet state
+	// across restarts.
+	ProvenanceStore = immunity.ProvenanceStore
 	// Provenance is one fleet signature's audit record (first-seen device,
 	// confirmation count, armed state).
 	Provenance = immunity.Provenance
@@ -161,7 +183,43 @@ func NewImmunityService(name string, store HistoryStore) (*ImmunityService, erro
 
 // NewExchange creates a fleet signature exchange that arms a signature
 // fleet-wide once confirmThreshold distinct devices have reported it.
-func NewExchange(confirmThreshold int) *Exchange { return immunity.NewExchange(confirmThreshold) }
+// With WithProvenanceStore the hub reloads its confirm-before-arm state
+// on restart.
+func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error) {
+	return immunity.NewExchange(confirmThreshold, opts...)
+}
+
+// WithProvenanceStore attaches durable fleet provenance to an Exchange.
+func WithProvenanceStore(store ProvenanceStore) ExchangeOption {
+	return immunity.WithProvenanceStore(store)
+}
+
+// NewFileProvenance creates a file-backed provenance store (a JSON-lines
+// last-wins upsert log).
+func NewFileProvenance(path string) ProvenanceStore { return immunity.NewFileProvenance(path) }
+
+// NewLoopback creates the in-process transport for hub: the full wire
+// protocol with no sockets.
+func NewLoopback(hub *Exchange) Transport { return immunity.NewLoopback(hub) }
+
+// NewTCPTransport creates a transport dialing the exchange served at
+// addr (see ServeExchangeTCP and cmd/immunityd -serve).
+func NewTCPTransport(addr string) Transport { return immunity.NewTCPTransport(addr) }
+
+// ServeExchangeTCP serves hub on a TCP listen address ("host:port";
+// ":0" picks a free port — read it back with Addr).
+func ServeExchangeTCP(hub *Exchange, addr string) (*ExchangeServer, error) {
+	return immunity.ServeTCP(hub, addr)
+}
+
+// ConnectExchange attaches a device's ImmunityService to a fleet
+// exchange through a transport. The client keeps itself connected:
+// dropped sessions are redialed and resumed from the last applied fleet
+// epoch, and the hub restores the device's confirmation state by its
+// device id.
+func ConnectExchange(t Transport, deviceID string, svc *ImmunityService) (*ExchangeClient, error) {
+	return immunity.Connect(t, deviceID, svc)
+}
 
 // Core option constructors re-exported for API users.
 var (

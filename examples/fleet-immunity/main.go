@@ -1,9 +1,11 @@
-// Fleet immunity: live cross-process propagation and the fleet exchange.
+// Fleet immunity: live cross-process propagation and the fleet exchange
+// over a real network transport.
 //
 // Three simulated phones run the same buggy app. Each phone has an
 // immunity service — the single writer of its history, hot-installing
 // every new antibody into all running processes — and all three connect
-// to a fleet exchange with a confirm-before-arm threshold of 2:
+// to a fleet exchange served over TCP on a loopback port, with a
+// confirm-before-arm threshold of 2:
 //
 //  1. The deadlock manifests on phone-a. Within milliseconds every live
 //     process on phone-a is armed, no restart. The exchange records the
@@ -12,6 +14,25 @@
 //     confirmation. The exchange arms the signature fleet-wide, and
 //     phone-c's running app is immunized against a deadlock that never
 //     happened on phone-c.
+//
+// # The wire protocol
+//
+// Everything between a phone and the hub is a versioned wire message
+// (internal/immunity/wire), whatever the transport:
+//
+//	hello      phone → hub   subscribe; resume deltas after an epoch
+//	ack        hub → phone   handshake result (version checked here)
+//	report     phone → hub   locally detected signatures
+//	confirm    hub → phone   receipt: confirmations so far, armed?
+//	delta      hub → phone   armed signatures + the new fleet epoch
+//	status-req phone → hub   ask for the hub snapshot
+//	status     hub → phone   provenance, devices, batching counters
+//
+// Swap dimmunix.NewTCPTransport for dimmunix.NewLoopback(hub) and the
+// example runs without sockets — same messages, same arming decisions.
+// A phone that loses its connection redials automatically and resumes
+// from the last delta epoch it applied; give the hub a provenance store
+// (dimmunix.NewFileProvenance) and even a hub restart loses nothing.
 //
 //	go run ./examples/fleet-immunity
 package main
@@ -33,8 +54,20 @@ type phone struct {
 }
 
 func main() {
-	hub := dimmunix.NewExchange(2) // arm fleet-wide after 2 devices confirm
+	hub, err := dimmunix.NewExchange(2) // arm fleet-wide after 2 devices confirm
+	if err != nil {
+		fmt.Println("exchange:", err)
+		return
+	}
 	defer hub.Close()
+	srv, err := dimmunix.ServeExchangeTCP(hub, "127.0.0.1:0")
+	if err != nil {
+		fmt.Println("serve:", err)
+		return
+	}
+	defer srv.Close()
+	fmt.Printf("fleet exchange serving on %s (threshold %d)\n", srv.Addr(), hub.Threshold())
+	transport := dimmunix.NewTCPTransport(srv.Addr())
 
 	var phones []*phone
 	for _, name := range []string{"phone-a", "phone-b", "phone-c"} {
@@ -51,14 +84,16 @@ func main() {
 			fmt.Println("fork:", err)
 			return
 		}
-		if _, err := hub.Connect(name, svc); err != nil {
+		client, err := dimmunix.ConnectExchange(transport, name, svc)
+		if err != nil {
 			fmt.Println("connect:", err)
 			return
 		}
+		defer client.Close()
 		phones = append(phones, &phone{name: name, svc: svc, rt: rt, bystander: bystander})
 	}
 
-	fmt.Println("== deadlock manifests on phone-a ==")
+	fmt.Println("\n== deadlock manifests on phone-a ==")
 	triggerDeadlock(phones[0])
 	waitArmed(phones[0], "phone-a's own live processes")
 	time.Sleep(50 * time.Millisecond) // let any (wrong) fleet push land
@@ -118,7 +153,7 @@ func waitArmed(ph *phone, what string) {
 		}
 		time.Sleep(100 * time.Microsecond)
 	}
-	fmt.Printf("armed %s in %s — live process, no restart\n", what, time.Since(start).Round(100*time.Microsecond))
+	fmt.Printf("armed %s in %s — live process, over TCP, no restart\n", what, time.Since(start).Round(100*time.Microsecond))
 }
 
 // report prints each phone's arming state and the fleet provenance.

@@ -1,0 +1,165 @@
+package immunity
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// TestServiceDeltaBatching: a publish storm against a slow subscriber is
+// coalesced — fewer callbacks than publishes, every signature delivered,
+// epochs strictly increasing (never stale), and the batching counters
+// account for exactly what was delivered.
+func TestServiceDeltaBatching(t *testing.T) {
+	const sigs = 200
+	svc, err := NewService("phone", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var mu sync.Mutex
+	var calls int
+	var got int
+	var epochs []uint64
+	cancel := svc.Subscribe("slow", 0, func(epoch uint64, batch []*core.Signature) {
+		time.Sleep(2 * time.Millisecond) // a slow consumer lets the queue pile up
+		mu.Lock()
+		calls++
+		got += len(batch)
+		epochs = append(epochs, epoch)
+		mu.Unlock()
+	})
+	defer cancel()
+
+	for i := 0; i < sigs; i++ {
+		if _, _, err := svc.Publish("local", testSig(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "all signatures delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got == sigs
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if calls >= sigs {
+		t.Fatalf("no coalescing: %d callbacks for %d publishes", calls, sigs)
+	}
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i] <= epochs[i-1] {
+			t.Fatalf("stale epoch delivered: %d after %d (all: %v)", epochs[i], epochs[i-1], epochs)
+		}
+	}
+	if epochs[len(epochs)-1] != sigs {
+		t.Fatalf("final epoch %d, want %d", epochs[len(epochs)-1], sigs)
+	}
+	stats := svc.Stats()
+	if stats.DeltaBatches != uint64(calls) || stats.DeltaSignatures != uint64(got) {
+		t.Fatalf("batching counters = %d/%d, want %d/%d",
+			stats.DeltaBatches, stats.DeltaSignatures, calls, got)
+	}
+	if stats.DeltaSignatures <= stats.DeltaBatches {
+		t.Fatalf("counters show no batching: %d sigs in %d batches", stats.DeltaSignatures, stats.DeltaBatches)
+	}
+}
+
+// slowSession wraps a loopback session, stalling hub→client deliveries
+// so the hub-side push queue piles up and must coalesce.
+type slowSessionTransport struct {
+	inner Transport
+	delay time.Duration
+	// epochs records every delta epoch the client saw, in order.
+	mu     sync.Mutex
+	epochs []uint64
+	sigs   atomic.Uint64
+}
+
+func (s *slowSessionTransport) Dial(recv func(m wire.Message), down func(err error)) (Session, error) {
+	wrapped := func(m wire.Message) {
+		if m.Type == wire.TypeDelta {
+			time.Sleep(s.delay)
+			s.mu.Lock()
+			s.epochs = append(s.epochs, m.Delta.Epoch)
+			s.mu.Unlock()
+			s.sigs.Add(uint64(len(m.Delta.Sigs)))
+		}
+		recv(m)
+	}
+	return s.inner.Dial(wrapped, down)
+}
+
+// TestExchangeDeltaBatchingUnderStorm: many signatures arming back to
+// back against a slow subscriber device must coalesce into fewer delta
+// pushes, with the epochs the device observes strictly increasing and
+// the last one equal to the hub's final epoch — no subscriber ever
+// receives a stale epoch.
+func TestExchangeDeltaBatchingUnderStorm(t *testing.T) {
+	const storm = 64
+	hub := newTestHub(t, 1)
+	lb := NewLoopback(hub)
+
+	// The observed device: slow deliveries, records what it saw.
+	slowTr := &slowSessionTransport{inner: lb, delay: time.Millisecond}
+	slowSvc, err := NewService("slow-phone", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slowSvc.Close()
+	slowClient, err := Connect(slowTr, "slow-phone", slowSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slowClient.Close()
+
+	// The storm source.
+	pubSvc, err := NewService("pub-phone", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pubSvc.Close()
+	pubClient, err := Connect(lb, "pub-phone", pubSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pubClient.Close()
+
+	for i := 0; i < storm; i++ {
+		if _, _, err := pubSvc.Publish("local", testSig(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "slow device received the storm", func() bool { return slowTr.sigs.Load() == storm })
+
+	slowTr.mu.Lock()
+	epochs := append([]uint64{}, slowTr.epochs...)
+	slowTr.mu.Unlock()
+	if len(epochs) >= storm {
+		t.Fatalf("no exchange-side coalescing: %d delta pushes for %d armings", len(epochs), storm)
+	}
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i] <= epochs[i-1] {
+			t.Fatalf("stale epoch pushed: %d after %d (all: %v)", epochs[i], epochs[i-1], epochs)
+		}
+	}
+	if final := epochs[len(epochs)-1]; final != storm {
+		t.Fatalf("final pushed epoch %d, want %d", final, storm)
+	}
+	stats := hub.Stats()
+	if stats.DeltaBatches == 0 || stats.DeltaSignatures < storm {
+		t.Fatalf("exchange batching counters = %+v, want >=%d signatures", stats, storm)
+	}
+	if stats.DeltaSignatures <= stats.DeltaBatches {
+		t.Fatalf("counters show no batching: %d sigs in %d batches", stats.DeltaSignatures, stats.DeltaBatches)
+	}
+	// The client ends at the hub's epoch.
+	waitFor(t, "slow client at hub epoch", func() bool {
+		return slowClient.FleetEpoch() == uint64(hub.ArmedCount())
+	})
+}

@@ -1,26 +1,36 @@
 package immunity
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 )
 
 // The cross-device tier. An Exchange is the fleet hub a set of phones
-// syncs deadlock histories through: each phone's Service connects via an
-// ExchangeClient, reports locally detected signatures upward, and
-// receives fleet-armed signatures downward, which it publishes into the
-// local Service — immunizing every live process on the phone. The hub
-// keeps per-signature provenance (first-seen device, the set of
-// confirming devices) and arms a signature fleet-wide only after the
-// confirm-before-arm threshold of *distinct* devices has independently
-// reported it: one device's false positive (a mis-detected cycle, a
-// corrupted history) cannot degrade avoidance on the whole fleet.
+// syncs deadlock histories through, and it speaks only the wire protocol
+// (package wire): each phone's Service connects via an ExchangeClient
+// over a Transport — the in-process loopback or real TCP — reports
+// locally detected signatures upward, and receives fleet-armed
+// signatures downward as delta pushes, which it publishes into the local
+// Service, immunizing every live process on the phone. The hub keeps
+// per-signature provenance (first-seen device, the set of confirming
+// devices, the set of devices it pushed to) and arms a signature
+// fleet-wide only after the confirm-before-arm threshold of *distinct*
+// devices has independently reported it: one device's false positive (a
+// mis-detected cycle, a corrupted history) cannot degrade avoidance on
+// the whole fleet.
 //
-// A signature a client receives from the hub is never re-reported as a
-// local confirmation — confirmations count independent observations
-// only, so the threshold is meaningful.
+// A signature the hub has pushed to a device is never counted again as
+// that device's confirmation — whether it comes back through a live
+// client's echo, a reconnect's epoch-0 re-report, or (with a
+// ProvenanceStore) a report replayed after a hub reboot — so the
+// threshold counts independent observations only.
 
 // Provenance is one fleet signature's audit record.
 type Provenance struct {
@@ -39,210 +49,506 @@ type Provenance struct {
 	Armed bool
 }
 
+// ExchangeStats snapshots the hub's counters.
+type ExchangeStats struct {
+	// Epoch is the fleet delta epoch (number of armings so far).
+	Epoch uint64
+	// Devices is the number of currently connected devices.
+	Devices int
+	// Reports counts signatures received in report messages.
+	Reports uint64
+	// Confirmations counts reports accepted as fresh confirmations.
+	Confirmations uint64
+	// Echoes counts reports discarded because the device had already
+	// confirmed the signature or only held it via a hub push.
+	Echoes uint64
+	// DeltaBatches and DeltaSignatures count delta pushes actually sent:
+	// DeltaSignatures/DeltaBatches > 1 means publish storms were
+	// coalesced into fewer wire messages.
+	DeltaBatches, DeltaSignatures uint64
+	// PersistErrors counts failed provenance-store appends (the
+	// in-memory state still gates correctly; only restart durability of
+	// the failed record is lost).
+	PersistErrors uint64
+}
+
 // fleetSig is the hub-side state of one signature.
 type fleetSig struct {
 	sig         *core.Signature
+	seq         int // first-report order, 1-based
 	firstSeen   string
 	confirmedBy map[string]bool
 	// pushedTo records the devices the hub has delivered this signature
 	// to. A report from such a device is not an independent observation —
 	// it is the push coming back (possibly via the device's persistent
 	// store after a reconnect or reboot) — and never counts as a
-	// confirmation. Hub-side state survives client churn, which the
-	// client's own fromFleet map does not.
+	// confirmation. This state survives client churn and, with a
+	// ProvenanceStore, hub restarts.
 	pushedTo map[string]bool
 	armed    bool
+	armEpoch uint64 // fleet epoch assigned at arming; 0 while unarmed
 }
 
-// Exchange is the fleet hub.
+// Exchange is the fleet hub. It holds no references to device Services —
+// devices exist for it only as wire sessions attached with Accept — so
+// any transport that moves wire messages can carry a fleet.
 type Exchange struct {
 	threshold int
+	store     ProvenanceStore
+	// gen identifies this hub incarnation in acks. Fleet epochs are only
+	// meaningful within one incarnation: after a restart (above all one
+	// without a provenance store) the counter may regrow past a
+	// disconnected client's epoch, so clients key their resume point on
+	// (gen, epoch) and start over when gen changes. A full re-catch-up
+	// after a restart is a little redundant traffic — hot-install
+	// dedupes — never a lost antibody.
+	gen string
 
-	mu      sync.Mutex
-	entries map[string]*fleetSig
-	order   []string // keys in first-report order
-	clients map[string]*ExchangeClient
-	armed   uint64 // fleet arm counter (the delta epoch for pushes)
-	closed  bool
+	mu                        sync.Mutex
+	entries                   map[string]*fleetSig
+	order                     []string // keys in first-report order
+	conns                     map[string]*Conn
+	epoch                     uint64 // fleet arm counter (the delta epoch for pushes)
+	closed                    bool
+	reports, confirms, echoes uint64
+
+	// persistMu serializes provenance-store appends in mutation order;
+	// acquired while still holding mu, released after the write (same
+	// handoff as Service.persistMu). Lock order: mu > persistMu.
+	persistMu sync.Mutex
+
+	batchBatches  atomic.Uint64
+	batchSigs     atomic.Uint64
+	persistErrors atomic.Uint64
+}
+
+// ExchangeOption configures an Exchange.
+type ExchangeOption func(*Exchange)
+
+// WithProvenanceStore attaches durable provenance: every confirmation,
+// push, and arming is upserted to the store, and a new Exchange over the
+// same store resumes with the full fleet state — a rebooted hub neither
+// arms below threshold nor loses confirmations.
+func WithProvenanceStore(store ProvenanceStore) ExchangeOption {
+	return func(x *Exchange) { x.store = store }
 }
 
 // NewExchange creates a hub that arms a signature fleet-wide once
 // confirmThreshold distinct devices have reported it (values below 1 are
-// treated as 1: arm on first report).
-func NewExchange(confirmThreshold int) *Exchange {
+// treated as 1: arm on first report). With WithProvenanceStore, prior
+// fleet state is reloaded before the hub accepts its first session.
+func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error) {
 	if confirmThreshold < 1 {
 		confirmThreshold = 1
 	}
-	return &Exchange{
+	var nonce [8]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("exchange: generation nonce: %w", err)
+	}
+	x := &Exchange{
 		threshold: confirmThreshold,
 		entries:   make(map[string]*fleetSig),
-		clients:   make(map[string]*ExchangeClient),
+		conns:     make(map[string]*Conn),
+		gen:       hex.EncodeToString(nonce[:]),
 	}
+	for _, opt := range opts {
+		opt(x)
+	}
+	if x.store != nil {
+		recs, err := x.store.Load()
+		if err != nil {
+			return nil, fmt.Errorf("exchange: load provenance: %w", err)
+		}
+		for _, rec := range recs {
+			sig, err := rec.Sig.ToCore()
+			if err != nil {
+				return nil, fmt.Errorf("exchange: provenance record %q: %w", rec.Key, err)
+			}
+			e := &fleetSig{
+				sig:         sig,
+				seq:         rec.Seq,
+				firstSeen:   rec.FirstSeen,
+				confirmedBy: make(map[string]bool, len(rec.ConfirmedBy)),
+				pushedTo:    make(map[string]bool, len(rec.PushedTo)),
+				armed:       rec.Armed,
+				armEpoch:    rec.ArmEpoch,
+			}
+			for _, d := range rec.ConfirmedBy {
+				e.confirmedBy[d] = true
+			}
+			for _, d := range rec.PushedTo {
+				e.pushedTo[d] = true
+			}
+			x.entries[rec.Key] = e
+			x.order = append(x.order, rec.Key)
+			if rec.ArmEpoch > x.epoch {
+				x.epoch = rec.ArmEpoch
+			}
+		}
+	}
+	return x, nil
 }
 
 // Threshold returns the confirm-before-arm threshold.
 func (x *Exchange) Threshold() int { return x.threshold }
 
-// ExchangeClient bridges one phone's Service to the hub.
-type ExchangeClient struct {
-	id  string
-	hub *Exchange
-	svc *Service
-
-	mu        sync.Mutex
-	fromFleet map[string]bool // keys received from the hub; not re-reported
-	// cancelLocal (the phone → hub subscription) and closed are guarded
-	// by mu: Connect assigns the cancel after the client is already
-	// reachable through the hub, so a concurrent Close must either find
-	// it or leave a note that Connect should cancel immediately.
-	cancelLocal func()
-	closed      bool
-
-	push      *subscriber // hub → phone deliveries
-	closeOnce sync.Once
+// recordLocked snapshots e as a provenance record. Caller holds x.mu.
+func (x *Exchange) recordLocked(key string, e *fleetSig) ProvenanceRecord {
+	return ProvenanceRecord{
+		Seq:         e.seq,
+		Key:         key,
+		Sig:         wire.FromCore(e.sig),
+		FirstSeen:   e.firstSeen,
+		ConfirmedBy: sortedKeys(e.confirmedBy),
+		PushedTo:    sortedKeys(e.pushedTo),
+		Armed:       e.armed,
+		ArmEpoch:    e.armEpoch,
+	}
 }
 
-// Connect attaches a phone's Service to the hub under deviceID. The
-// client immediately receives every already-armed fleet signature
-// (catch-up), then reports the phone's entire local history — including
-// signatures recorded before connecting — and every future local
-// detection upward. Disconnect with Close.
-func (x *Exchange) Connect(deviceID string, svc *Service) (*ExchangeClient, error) {
-	if svc == nil {
-		return nil, fmt.Errorf("exchange connect %s: nil service", deviceID)
+// persistHandoffLocked must be called with x.mu held and the dirty
+// records already snapshotted. It takes persistMu (so writes land in
+// mutation order), and returns the function the caller runs after
+// releasing x.mu to perform the writes.
+func (x *Exchange) persistHandoffLocked(recs []ProvenanceRecord) func() {
+	if x.store == nil || len(recs) == 0 {
+		return func() {}
 	}
-	c := &ExchangeClient{id: deviceID, hub: x, svc: svc, fromFleet: make(map[string]bool)}
-	c.push = newSubscriber("fleet->"+deviceID, c.receive)
+	x.persistMu.Lock()
+	store := x.store
+	return func() {
+		defer x.persistMu.Unlock()
+		// One write per mutation when the store can batch (FileProvenance
+		// does), instead of an open/write/close cycle per record.
+		if ba, ok := store.(interface {
+			AppendBatch([]ProvenanceRecord) error
+		}); ok {
+			if err := ba.AppendBatch(recs); err != nil {
+				x.persistErrors.Add(1)
+			}
+			return
+		}
+		for _, rec := range recs {
+			if err := store.Append(rec); err != nil {
+				x.persistErrors.Add(1)
+			}
+		}
+	}
+}
 
+// Accept attaches one inbound wire session to the hub. send delivers one
+// hub→client message over the session and is only ever called from the
+// connection's dedicated push goroutine; closeSession tears the carrying
+// session down (close the socket, signal the loopback peer) and is
+// called exactly once, after the push queue has drained. The transport
+// feeds client→hub messages to Conn.Handle and must close the Conn when
+// its session dies.
+func (x *Exchange) Accept(send func(wire.Message) error, closeSession func()) (*Conn, error) {
 	x.mu.Lock()
+	defer x.mu.Unlock()
 	if x.closed {
-		x.mu.Unlock()
-		c.push.close()
-		return nil, fmt.Errorf("exchange connect %s: exchange closed", deviceID)
+		return nil, fmt.Errorf("exchange: closed")
 	}
-	if _, dup := x.clients[deviceID]; dup {
-		x.mu.Unlock()
-		c.push.close()
-		return nil, fmt.Errorf("exchange connect %s: device already connected", deviceID)
-	}
-	x.clients[deviceID] = c
-	// Catch-up: a phone joining (or rejoining after a reboot) receives
-	// the armed set before any live pushes.
-	var catchup []*core.Signature
-	for _, key := range x.order {
-		if e := x.entries[key]; e.armed {
-			catchup = append(catchup, e.sig)
-			e.pushedTo[deviceID] = true
-		}
-	}
-	if len(catchup) > 0 {
-		c.push.enqueue(delta{epoch: x.armed, sigs: catchup})
-	}
-	x.mu.Unlock()
-
-	// Subscribe from epoch 0 so pre-existing local history is reported
-	// too; the delivery goroutine calls report with no locks held.
-	cancel := svc.Subscribe("exchange:"+deviceID, 0, func(_ uint64, sigs []*core.Signature) {
-		for _, sig := range sigs {
-			c.reportLocal(sig)
-		}
+	c := &Conn{hub: x, closeSession: closeSession}
+	c.out = newMsgQueue(send, func(batches, sigs uint64) {
+		x.batchBatches.Add(batches)
+		x.batchSigs.Add(sigs)
 	})
-	c.mu.Lock()
-	c.cancelLocal = cancel
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
-		cancel()
-	}
+	// Set before Accept returns: nothing can be enqueued (and thus no
+	// send can fail) until the caller has the Conn.
+	c.out.onDead = c.Close
 	return c, nil
 }
 
-// reportLocal forwards one locally accepted signature to the hub, unless
-// the signature came *from* the hub in the first place.
-func (c *ExchangeClient) reportLocal(sig *core.Signature) {
-	key := sig.Key()
+// Conn is the hub's side of one wire session. Transports create it with
+// Exchange.Accept, feed inbound messages to Handle, and Close it when
+// the session ends.
+type Conn struct {
+	hub          *Exchange
+	out          *msgQueue
+	closeSession func()
+
+	mu        sync.Mutex
+	device    string // set by a successful hello
+	closed    bool
+	closeOnce sync.Once
+}
+
+// Device returns the device id bound by hello, or "".
+func (c *Conn) Device() string {
 	c.mu.Lock()
-	skip := c.fromFleet[key]
+	defer c.mu.Unlock()
+	return c.device
+}
+
+// refuse sends a final failure ack and reports the protocol error.
+func (c *Conn) refuse(format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	c.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeAck, Ack: &wire.Ack{OK: false, Error: msg}})
+	return fmt.Errorf("exchange session: %s", msg)
+}
+
+// Handle processes one client→hub message. A non-nil error means the
+// session violated the protocol (bad version, malformed signature,
+// message before hello): the hub has already queued a failure ack where
+// one applies, and the transport must Close the Conn.
+func (c *Conn) Handle(m wire.Message) error {
+	if err := m.Validate(); err != nil {
+		// The TCP path validates at decode, but Handle is the hub's API
+		// surface for any transport (the loopback hands messages over
+		// directly): a structurally broken envelope — wrong or missing
+		// payload — must refuse, not panic on a nil payload below.
+		return c.refuse("%v", err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("exchange session: closed")
+	}
+	device := c.device
 	c.mu.Unlock()
-	if skip {
-		return
-	}
-	c.hub.report(c.id, sig)
-}
 
-// receive delivers fleet-armed signatures into the phone's Service. The
-// key is marked before publishing so the local delta subscription never
-// echoes it back as a confirmation.
-func (c *ExchangeClient) receive(_ uint64, sigs []*core.Signature) {
-	for _, sig := range sigs {
-		c.mu.Lock()
-		c.fromFleet[sig.Key()] = true
-		c.mu.Unlock()
-		_, _, _ = c.svc.Publish("fleet", sig)
-	}
-}
-
-// DeviceID returns the client's device id.
-func (c *ExchangeClient) DeviceID() string { return c.id }
-
-// Close disconnects the phone from the hub: local reporting stops, the
-// push queue drains, and the device slot is released. Close is
-// idempotent.
-func (c *ExchangeClient) Close() {
-	c.closeOnce.Do(func() {
-		c.mu.Lock()
-		c.closed = true
-		cancel := c.cancelLocal
-		c.mu.Unlock()
-		if cancel != nil {
-			cancel()
+	switch m.Type {
+	case wire.TypeHello:
+		return c.handleHello(m)
+	case wire.TypeStatusReq:
+		// Status is answerable before hello: monitoring probes need no
+		// device identity.
+		c.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeStatus, Status: c.hub.status()})
+		return nil
+	case wire.TypeReport:
+		if device == "" {
+			return c.refuse("report before hello")
 		}
-		c.hub.mu.Lock()
-		delete(c.hub.clients, c.id)
-		c.hub.mu.Unlock()
-		c.push.close()
-	})
+		return c.handleReport(device, m.Report)
+	default:
+		return c.refuse("unexpected client message type %q", m.Type)
+	}
 }
 
-// report records a confirmation of sig by device and arms the signature
-// fleet-wide when the threshold is reached. It is called from client
-// delivery goroutines with no service or core locks held.
-func (x *Exchange) report(device string, sig *core.Signature) {
-	key := sig.Key()
+// handleHello validates the handshake and registers the device: version
+// check, supersede of any stale session with the same device id, an ok
+// ack carrying the hub epoch, then one catch-up delta with every armed
+// signature the device's epoch predates.
+func (c *Conn) handleHello(m wire.Message) error {
+	if m.V != wire.Version {
+		return c.refuse("unsupported protocol version %d (hub speaks %d)", m.V, wire.Version)
+	}
+	h := m.Hello
+	if h.Device == "" {
+		return c.refuse("empty device id")
+	}
+	c.mu.Lock()
+	already := c.device
+	c.mu.Unlock()
+	if already != "" {
+		// A second hello on one session would re-register the Conn under
+		// a new id while x.conns still mapped the old id to it, so pushes
+		// would be recorded against a device that never received them.
+		return c.refuse("duplicate hello (session already bound to device %s)", already)
+	}
+
+	x := c.hub
 	x.mu.Lock()
 	if x.closed {
 		x.mu.Unlock()
-		return
+		return c.refuse("exchange closed")
 	}
-	e, ok := x.entries[key]
-	if !ok {
-		e = &fleetSig{
-			sig:         &core.Signature{Kind: sig.Kind, Pairs: core.ClonePairs(sig.Pairs)},
-			firstSeen:   device,
-			confirmedBy: make(map[string]bool),
-			pushedTo:    make(map[string]bool),
+	// Reconnect-friendly registration: a new hello for a device that
+	// still has a (possibly dead) session supersedes it. TCP clients
+	// redial before the hub notices the old socket died.
+	var stale *Conn
+	if old, ok := x.conns[h.Device]; ok && old != c {
+		stale = old
+	}
+	c.mu.Lock()
+	c.device = h.Device
+	c.mu.Unlock()
+	x.conns[h.Device] = c
+
+	c.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeAck, Ack: &wire.Ack{OK: true, Epoch: x.epoch, Gen: x.gen}})
+
+	// Catch-up: every armed signature the client's epoch predates, as a
+	// single batched delta, oldest arming first.
+	var dirty []ProvenanceRecord
+	var sigs []wire.Signature
+	type armedEntry struct {
+		key string
+		e   *fleetSig
+	}
+	var catchup []armedEntry
+	for _, key := range x.order {
+		if e := x.entries[key]; e.armed && e.armEpoch > h.Epoch {
+			catchup = append(catchup, armedEntry{key, e})
 		}
-		x.entries[key] = e
-		x.order = append(x.order, key)
 	}
-	if e.confirmedBy[device] || e.pushedTo[device] {
-		// Already counted, or the device only has the signature because
-		// the hub pushed it there: not an independent observation.
-		x.mu.Unlock()
-		return
-	}
-	e.confirmedBy[device] = true
-	if !e.armed && len(e.confirmedBy) >= x.threshold {
-		e.armed = true
-		x.armed++
-		d := delta{epoch: x.armed, sigs: []*core.Signature{e.sig}}
-		for id, c := range x.clients {
-			c.push.enqueue(d)
-			e.pushedTo[id] = true
+	sort.Slice(catchup, func(i, j int) bool { return catchup[i].e.armEpoch < catchup[j].e.armEpoch })
+	for _, ae := range catchup {
+		sigs = append(sigs, wire.FromCore(ae.e.sig))
+		if !ae.e.pushedTo[h.Device] {
+			ae.e.pushedTo[h.Device] = true
+			dirty = append(dirty, x.recordLocked(ae.key, ae.e))
 		}
 	}
+	if len(sigs) > 0 {
+		c.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeDelta, Delta: &wire.Delta{Epoch: x.epoch, Sigs: sigs}})
+	}
+	persist := x.persistHandoffLocked(dirty)
 	x.mu.Unlock()
+	persist()
+
+	if stale != nil {
+		// A final failure ack tells the stale session's client to stop
+		// for good instead of redialing into a supersession ping-pong;
+		// Close drains the queue, so the ack goes out first. Close runs
+		// on its own goroutine: it waits out the stale drain, which on a
+		// wedged TCP peer only unblocks at the transport write deadline,
+		// and the new session's handshake must not wait for that.
+		stale.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeAck,
+			Ack: &wire.Ack{OK: false, Error: fmt.Sprintf("superseded by a newer session for device %s", h.Device)}})
+		go stale.Close()
+	}
+	return nil
 }
+
+// handleReport records the batch's signatures as confirmations by
+// device, arming at threshold, and answers each with a confirm receipt.
+// The whole batch is one hub mutation: a reconnect re-reports a
+// device's entire history in one report message, and that must not cost
+// one lock acquisition and one store write per signature.
+func (c *Conn) handleReport(device string, r *wire.Report) error {
+	sigs := make([]*core.Signature, 0, len(r.Sigs))
+	for _, ws := range r.Sigs {
+		sig, err := ws.ToCore()
+		if err != nil {
+			return c.refuse("malformed reported signature: %v", err)
+		}
+		sigs = append(sigs, sig)
+	}
+	for _, confirm := range c.hub.reportAll(device, sigs) {
+		c.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeConfirm, Confirm: confirm})
+	}
+	return nil
+}
+
+// Close detaches the session: the device slot is released (unless a
+// newer session superseded it), the push queue drains, and the transport
+// teardown hook runs. Close is idempotent.
+func (c *Conn) Close() {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		device := c.device
+		c.mu.Unlock()
+		x := c.hub
+		x.mu.Lock()
+		if device != "" && x.conns[device] == c {
+			delete(x.conns, device)
+		}
+		x.mu.Unlock()
+		c.out.close()
+		if c.closeSession != nil {
+			c.closeSession()
+		}
+	})
+}
+
+// report records a single confirmation; tests drive the hub's dedup
+// guards through it directly.
+func (x *Exchange) report(device string, sig *core.Signature) (confirmations int, armed bool) {
+	confirms := x.reportAll(device, []*core.Signature{sig})
+	if len(confirms) == 0 {
+		return 0, false
+	}
+	return confirms[0].Confirmations, confirms[0].Armed
+}
+
+// reportAll records the batch as confirmations by device and arms
+// signatures whose threshold is reached, under one hub lock and one
+// provenance write. It returns a confirm receipt per signature and is
+// called from transport goroutines with no service or core locks held.
+func (x *Exchange) reportAll(device string, sigs []*core.Signature) []*wire.Confirm {
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return nil
+	}
+	confirms := make([]*wire.Confirm, 0, len(sigs))
+	var dirty []ProvenanceRecord
+	for _, sig := range sigs {
+		key := sig.Key()
+		x.reports++
+		e, ok := x.entries[key]
+		if !ok {
+			e = &fleetSig{
+				sig:         &core.Signature{Kind: sig.Kind, Pairs: core.ClonePairs(sig.Pairs)},
+				seq:         len(x.order) + 1,
+				firstSeen:   device,
+				confirmedBy: make(map[string]bool),
+				pushedTo:    make(map[string]bool),
+			}
+			x.entries[key] = e
+			x.order = append(x.order, key)
+		}
+		switch {
+		case e.confirmedBy[device] || e.pushedTo[device]:
+			// Already counted, or the device only has the signature
+			// because the hub pushed it there: not an independent
+			// observation.
+			x.echoes++
+		default:
+			e.confirmedBy[device] = true
+			x.confirms++
+			if !e.armed && len(e.confirmedBy) >= x.threshold {
+				e.armed = true
+				x.epoch++
+				e.armEpoch = x.epoch
+				d := &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{wire.FromCore(e.sig)}}
+				for id, conn := range x.conns {
+					conn.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeDelta, Delta: d})
+					e.pushedTo[id] = true
+				}
+			}
+			dirty = append(dirty, x.recordLocked(key, e))
+		}
+		confirms = append(confirms, &wire.Confirm{Key: key, Confirmations: len(e.confirmedBy), Armed: e.armed})
+	}
+	persist := x.persistHandoffLocked(dirty)
+	x.mu.Unlock()
+	persist()
+	return confirms
+}
+
+// status snapshots the hub as a wire status payload.
+func (x *Exchange) status() *wire.Status {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	st := &wire.Status{
+		Epoch:     x.epoch,
+		Threshold: x.threshold,
+		Batching:  wire.Batching{Batches: x.batchBatches.Load(), Signatures: x.batchSigs.Load()},
+	}
+	for id := range x.conns {
+		st.Devices = append(st.Devices, id)
+	}
+	sort.Strings(st.Devices)
+	for _, key := range x.order {
+		e := x.entries[key]
+		st.Provenance = append(st.Provenance, wire.SigStatus{
+			Key:           key,
+			Kind:          e.sig.Kind.String(),
+			FirstSeen:     e.firstSeen,
+			Confirmations: len(e.confirmedBy),
+			ConfirmedBy:   sortedKeys(e.confirmedBy),
+			Armed:         e.armed,
+		})
+	}
+	return st
+}
+
+// Status returns the hub's observability snapshot — the same payload a
+// status-req receives over the wire and the daemon serves on /status.
+func (x *Exchange) Status() wire.Status { return *x.status() }
 
 // Provenance returns the audit records of every signature the fleet has
 // seen, in first-report order.
@@ -268,11 +574,28 @@ func (x *Exchange) Provenance() []Provenance {
 func (x *Exchange) ArmedCount() int {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	return int(x.armed)
+	return int(x.epoch)
 }
 
-// Close disconnects every client and shuts the hub down. Close is
-// idempotent.
+// Stats snapshots the hub counters.
+func (x *Exchange) Stats() ExchangeStats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return ExchangeStats{
+		Epoch:           x.epoch,
+		Devices:         len(x.conns),
+		Reports:         x.reports,
+		Confirmations:   x.confirms,
+		Echoes:          x.echoes,
+		DeltaBatches:    x.batchBatches.Load(),
+		DeltaSignatures: x.batchSigs.Load(),
+		PersistErrors:   x.persistErrors.Load(),
+	}
+}
+
+// Close disconnects every session and shuts the hub down. Provenance
+// already persisted survives for the next Exchange over the same store.
+// Close is idempotent.
 func (x *Exchange) Close() {
 	x.mu.Lock()
 	if x.closed {
@@ -280,12 +603,130 @@ func (x *Exchange) Close() {
 		return
 	}
 	x.closed = true
-	clients := make([]*ExchangeClient, 0, len(x.clients))
-	for _, c := range x.clients {
-		clients = append(clients, c)
+	conns := make([]*Conn, 0, len(x.conns))
+	for _, c := range x.conns {
+		conns = append(conns, c)
 	}
 	x.mu.Unlock()
-	for _, c := range clients {
-		c.Close()
+	// Concurrently: each Close drains its push queue, and a wedged TCP
+	// peer holds its drain until the transport write deadline — serial
+	// teardown would stack those waits.
+	var wg sync.WaitGroup
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c *Conn) {
+			defer wg.Done()
+			c.Close()
+		}(c)
 	}
+	wg.Wait()
+}
+
+// msgQueue is a connection's ordered hub→client push queue, drained by a
+// dedicated goroutine so the hub never blocks on a slow session, with
+// delta coalescing: consecutive queued deltas collapse into one wire
+// message carrying the newest epoch — under a publish storm a slow
+// subscriber receives one batched push, never a backlog of stale ones.
+type msgQueue struct {
+	send    func(wire.Message) error
+	onBatch func(batches, sigs uint64)
+	// onDead runs (once, on its own goroutine) when a send fails: the
+	// session is unusable and its Conn must be torn down even if the
+	// peer never closes its side of the socket (a reader that went
+	// silent would otherwise stay registered forever).
+	onDead func()
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []wire.Message
+	closed bool
+	done   chan struct{}
+}
+
+func newMsgQueue(send func(wire.Message) error, onBatch func(batches, sigs uint64)) *msgQueue {
+	q := &msgQueue{send: send, onBatch: onBatch, done: make(chan struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	go q.drain()
+	return q
+}
+
+// enqueue appends a message. Never blocks.
+func (q *msgQueue) enqueue(m wire.Message) {
+	q.mu.Lock()
+	if !q.closed {
+		q.queue = append(q.queue, m)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// coalesce collapses consecutive deltas in batch into single messages.
+// Ordering relative to non-delta messages is preserved; a merged delta
+// carries the newest epoch of its run, so no stale epoch is ever sent.
+func coalesce(batch []wire.Message) []wire.Message {
+	out := batch[:0]
+	for _, m := range batch {
+		if m.Type == wire.TypeDelta && len(out) > 0 && out[len(out)-1].Type == wire.TypeDelta {
+			prev := out[len(out)-1].Delta
+			merged := &wire.Delta{Epoch: prev.Epoch, Sigs: append(append([]wire.Signature{}, prev.Sigs...), m.Delta.Sigs...)}
+			if m.Delta.Epoch > merged.Epoch {
+				merged.Epoch = m.Delta.Epoch
+			}
+			out[len(out)-1].Delta = merged
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// drain sends queued messages in order until closed, coalescing pending
+// deltas. A send error ends the queue and fires onDead (on a fresh
+// goroutine — the teardown calls close, which waits for this goroutine
+// to exit).
+func (q *msgQueue) drain() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for len(q.queue) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.queue) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		batch := q.queue
+		q.queue = nil
+		q.mu.Unlock()
+		for _, m := range coalesce(batch) {
+			if err := q.send(m); err != nil {
+				q.mu.Lock()
+				q.closed = true
+				q.queue = nil
+				q.mu.Unlock()
+				if q.onDead != nil {
+					go q.onDead()
+				}
+				return
+			}
+			if m.Type == wire.TypeDelta && q.onBatch != nil {
+				q.onBatch(1, uint64(len(m.Delta.Sigs)))
+			}
+		}
+	}
+}
+
+// close stops the queue after delivering what is already enqueued, and
+// waits for the drain goroutine to exit.
+func (q *msgQueue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		<-q.done
+		return
+	}
+	q.closed = true
+	q.cond.Signal()
+	q.mu.Unlock()
+	<-q.done
 }

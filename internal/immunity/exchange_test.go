@@ -2,11 +2,25 @@ package immunity
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 )
+
+// newTestHub builds a hub that is torn down with the test.
+func newTestHub(t *testing.T, threshold int, opts ...ExchangeOption) *Exchange {
+	t.Helper()
+	hub, err := NewExchange(threshold, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hub.Close)
+	return hub
+}
 
 // phoneSim is one simulated device: a service with a live subscribed core.
 type phoneSim struct {
@@ -15,10 +29,11 @@ type phoneSim struct {
 	client *ExchangeClient
 }
 
-// fleetSim builds n phones connected to a fresh hub with the given
-// threshold.
+// fleetSim builds n phones connected to the hub over its loopback
+// transport.
 func fleetSim(t *testing.T, hub *Exchange, n int) []*phoneSim {
 	t.Helper()
+	lb := NewLoopback(hub)
 	phones := make([]*phoneSim, n)
 	for i := range phones {
 		svc, err := NewService(fmt.Sprintf("phone%d", i), nil)
@@ -26,7 +41,7 @@ func fleetSim(t *testing.T, hub *Exchange, n int) []*phoneSim {
 			t.Fatal(err)
 		}
 		proc, _ := attach(t, svc, "app")
-		client, err := hub.Connect(svc.Name(), svc)
+		client, err := Connect(lb, svc.Name(), svc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,8 +65,7 @@ func (p *phoneSim) armedOn(key string) bool {
 // TestExchangeThresholdGating: with confirm-before-arm = 2, one device's
 // report must NOT arm the fleet; the second distinct device's report must.
 func TestExchangeThresholdGating(t *testing.T) {
-	hub := NewExchange(2)
-	defer hub.Close()
+	hub := newTestHub(t, 2)
 	phones := fleetSim(t, hub, 4)
 	key := testSig(0).Key()
 
@@ -95,13 +109,17 @@ func TestExchangeThresholdGating(t *testing.T) {
 	if got := prov.ConfirmedBy; len(got) != 2 || got[0] != "phone0" || got[1] != "phone1" {
 		t.Fatalf("confirmed-by = %v, want [phone0 phone1]", got)
 	}
+	// The hub's stats agree with the provenance.
+	stats := hub.Stats()
+	if stats.Epoch != 1 || stats.Confirmations != 2 {
+		t.Fatalf("stats = %+v, want epoch 1 with 2 confirmations", stats)
+	}
 }
 
 // TestExchangeNoEchoConfirmation: a signature pushed to a device by the
 // hub must not come back as that device's confirmation.
 func TestExchangeNoEchoConfirmation(t *testing.T) {
-	hub := NewExchange(1)
-	defer hub.Close()
+	hub := newTestHub(t, 1)
 	phones := fleetSim(t, hub, 3)
 	key := testSig(0).Key()
 
@@ -124,8 +142,7 @@ func TestExchangeNoEchoConfirmation(t *testing.T) {
 // armed set immediately; its pre-existing local history is reported
 // upward as a confirmation.
 func TestExchangeCatchupOnConnect(t *testing.T) {
-	hub := NewExchange(1)
-	defer hub.Close()
+	hub := newTestHub(t, 1)
 	phones := fleetSim(t, hub, 2)
 	key := testSig(0).Key()
 	if _, _, err := phones[0].svc.Publish("local", testSig(0)); err != nil {
@@ -143,7 +160,7 @@ func TestExchangeCatchupOnConnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	proc, _ := attach(t, svc, "app")
-	client, err := hub.Connect("phone-late", svc)
+	client, err := Connect(NewLoopback(hub), "phone-late", svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,6 +179,10 @@ func TestExchangeCatchupOnConnect(t *testing.T) {
 			t.Fatalf("late antibody provenance: %+v", prov)
 		}
 	}
+	// Resubscribe-from-epoch: the late client ends at the hub's epoch.
+	waitFor(t, "late client at hub epoch", func() bool {
+		return late.client.FleetEpoch() == uint64(hub.ArmedCount())
+	})
 }
 
 // TestExchangeReconnectDoesNotEchoConfirmation: a device that received a
@@ -170,8 +191,7 @@ func TestExchangeCatchupOnConnect(t *testing.T) {
 // local history — which now contains the pushed signature) must not be
 // counted as a new confirmation: the hub remembers who it pushed to.
 func TestExchangeReconnectDoesNotEchoConfirmation(t *testing.T) {
-	hub := NewExchange(1)
-	defer hub.Close()
+	hub := newTestHub(t, 1)
 	phones := fleetSim(t, hub, 2)
 	key := testSig(0).Key()
 
@@ -183,7 +203,7 @@ func TestExchangeReconnectDoesNotEchoConfirmation(t *testing.T) {
 	// phone1 reconnects: its service history now includes the pushed
 	// signature, and the fresh client re-reports everything from epoch 0.
 	phones[1].client.Close()
-	client, err := hub.Connect("phone1", phones[1].svc)
+	client, err := Connect(NewLoopback(hub), "phone1", phones[1].svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,27 +215,118 @@ func TestExchangeReconnectDoesNotEchoConfirmation(t *testing.T) {
 	}
 }
 
-// TestExchangeDuplicateConnect: one device id can hold only one live
-// connection.
-func TestExchangeDuplicateConnect(t *testing.T) {
-	hub := NewExchange(1)
-	defer hub.Close()
+// TestExchangeDuplicateHelloRefused: a second hello on one session is a
+// protocol violation — accepting it would leave the first device id
+// mapped to this Conn in the hub's registry, recording pushes against a
+// device that never received them.
+func TestExchangeDuplicateHelloRefused(t *testing.T) {
+	hub := newTestHub(t, 1)
+	var mu sync.Mutex
+	var acks []wire.Ack
+	conn, err := hub.Accept(func(m wire.Message) error {
+		if m.Type == wire.TypeAck {
+			mu.Lock()
+			acks = append(acks, *m.Ack)
+			mu.Unlock()
+		}
+		return nil
+	}, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := func(device string) wire.Message {
+		return wire.Message{V: wire.Version, Type: wire.TypeHello, Hello: &wire.Hello{Device: device}}
+	}
+	if err := conn.Handle(hello("phoneA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Handle(hello("phoneB")); err == nil {
+		t.Fatal("duplicate hello accepted")
+	}
+	conn.Close()
+	waitFor(t, "refusal ack delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(acks) == 2 && !acks[1].OK
+	})
+	if hub.Stats().Devices != 0 {
+		t.Fatalf("device registry leaked an entry: %+v", hub.Stats())
+	}
+}
+
+// TestLoopbackRefusalIsPermanent: over loopback a handshake refusal
+// surfaces as a synchronous Send error; it must still classify as a
+// permanent Connect failure (matching TCP), not retry forever.
+func TestLoopbackRefusalIsPermanent(t *testing.T) {
+	hub := newTestHub(t, 1)
+	svc, err := NewService("old-phone", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	start := time.Now()
+	if _, err := Connect(badVersionTransport{NewLoopback(hub)}, "old-phone", svc); err == nil {
+		t.Fatal("version-mismatched loopback Connect succeeded")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("refusal error %q does not carry the hub's reason", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("loopback refusal took a full hello timeout instead of failing on the ack")
+	}
+}
+
+// TestExchangeHandleRejectsMalformedEnvelopes: Handle is the hub's API
+// for any transport; a structurally broken envelope (missing or wrong
+// payload) must come back as a protocol error, never a panic.
+func TestExchangeHandleRejectsMalformedEnvelopes(t *testing.T) {
+	hub := newTestHub(t, 1)
+	conn, err := hub.Accept(func(wire.Message) error { return nil }, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cases := []wire.Message{
+		{V: wire.Version, Type: wire.TypeHello},  // nil payload
+		{V: wire.Version, Type: wire.TypeReport}, // nil payload, pre-hello too
+		{V: wire.Version, Type: wire.TypeHello, Hello: &wire.Hello{Device: "d"}, Ack: &wire.Ack{}},
+		{V: wire.Version, Type: "teleport"},
+	}
+	for i, m := range cases {
+		if err := conn.Handle(m); err == nil {
+			t.Errorf("case %d: malformed envelope %+v accepted", i, m)
+		}
+	}
+}
+
+// TestExchangeSupersedeConnect: a second session for the same device id
+// supersedes the first — over TCP a phone redials before the hub notices
+// the stale socket died, so a duplicate hello must win, not bounce.
+func TestExchangeSupersedeConnect(t *testing.T) {
+	hub := newTestHub(t, 2)
 	svc, err := NewService("phone0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer svc.Close()
-	c1, err := hub.Connect("phone0", svc)
+	c1, err := Connect(NewLoopback(hub), "phone0", svc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := hub.Connect("phone0", svc); err == nil {
-		t.Fatal("duplicate connect must fail")
-	}
-	c1.Close()
-	c2, err := hub.Connect("phone0", svc)
+	defer c1.Close()
+	c2, err := Connect(NewLoopback(hub), "phone0", svc)
 	if err != nil {
-		t.Fatalf("reconnect after close: %v", err)
+		t.Fatalf("superseding connect must succeed: %v", err)
 	}
-	c2.Close()
+	defer c2.Close()
+	waitFor(t, "one device registered", func() bool { return hub.Stats().Devices == 1 })
+
+	// The device's confirmation state accrues to the one identity.
+	if _, _, err := svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "report landed", func() bool { return len(hub.Provenance()) == 1 })
+	if prov := hub.Provenance()[0]; prov.Confirmations != 1 || prov.FirstSeen != "phone0" {
+		t.Fatalf("provenance after supersede: %+v", prov)
+	}
 }

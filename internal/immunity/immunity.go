@@ -28,6 +28,33 @@
 //     devices has confirmed it, so one device's false positive cannot
 //     degrade the whole fleet.
 //
+// # Transports and the wire protocol
+//
+// The Exchange speaks only the versioned wire protocol defined in the
+// wire subpackage (hello/ack handshake, report, confirm receipts,
+// delta pushes, status — see wire's message table). Devices attach
+// through a Transport:
+//
+//   - Loopback (NewLoopback) runs the full protocol in-process with no
+//     sockets — zero-dependency tests and simulations, same messages,
+//     same arming decisions.
+//   - TCPTransport/ServeTCP move length-prefixed JSON frames over real
+//     sockets; ExchangeClient redials dropped sessions with backoff and
+//     resubscribes from the last delta epoch it applied, so a reconnect
+//     receives exactly the armings it missed.
+//
+// Connect(transport, deviceID, service) wires a phone in; the hub holds
+// no references to Services and identifies devices only by their hello
+// device id, which is what makes confirmation state survive reconnects.
+//
+// # Durable provenance
+//
+// With WithProvenanceStore the hub upserts every confirmation, push,
+// and arming to a ProvenanceStore (NewFileProvenance: a JSON-lines
+// last-wins log). A restarted hub reloads that state before accepting
+// sessions: it does not re-arm below threshold, loses no confirmation,
+// and still refuses echoes of its own past pushes.
+//
 // # Epoch/delta protocol
 //
 // The Service's merged history is an append-only sequence; the epoch is
@@ -40,7 +67,15 @@
 // epoch before live deltas — so a process forked while a publish is in
 // flight may receive a signature twice, which is harmless: hot-install
 // deduplicates by signature key. Deliveries to one subscriber are
-// ordered; across subscribers there is no ordering guarantee.
+// ordered; across subscribers there is no ordering guarantee. The
+// fleet tier runs the same scheme one level up: the Exchange's delta
+// epoch counts fleet-wide armings, and a client's hello names the last
+// fleet epoch it applied.
+//
+// Under a publish storm, pending deltas to one subscriber are coalesced
+// into a single delivery carrying the newest epoch (ServiceStats and
+// ExchangeStats count batches vs. signatures) — a slow subscriber
+// receives one batched push, never a backlog of stale epochs.
 //
 // # Lock order relative to the engine lock
 //
@@ -59,14 +94,18 @@
 // and delivery goroutines acquire core.Core.mu with no immunity lock
 // held, so no cycle through the two subsystems is possible. The
 // Exchange obeys the same rule one level up: Exchange.mu is only held
-// to mutate fleet state and enqueue pushes; client deliveries into a
-// phone's Service run on queue goroutines without Exchange.mu.
+// to mutate fleet state and enqueue pushes (Exchange.mu >
+// Exchange.persistMu > provenance-store locks); session deliveries into
+// a phone's Service run on per-connection queue goroutines without
+// Exchange.mu, and transport send callbacks run only on those
+// goroutines.
 package immunity
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dimmunix/dimmunix/internal/core"
 )
@@ -81,10 +120,16 @@ type delta struct {
 
 // subscriber is one live process's (or observer's) ordered delivery
 // queue, drained by a dedicated goroutine so Publish never blocks on a
-// slow consumer and never calls into a core synchronously.
+// slow consumer and never calls into a core synchronously. Pending
+// deltas are coalesced into one delivery carrying the newest epoch, so
+// a subscriber that fell behind a publish storm catches up in a single
+// callback and never observes a stale epoch.
 type subscriber struct {
 	name string
 	fn   func(epoch uint64, sigs []*core.Signature)
+	// onBatch, when set, observes each delivery: one batch of n
+	// signatures (the service's batching counters).
+	onBatch func(n int)
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -93,8 +138,8 @@ type subscriber struct {
 	done   chan struct{}
 }
 
-func newSubscriber(name string, fn func(epoch uint64, sigs []*core.Signature)) *subscriber {
-	s := &subscriber{name: name, fn: fn, done: make(chan struct{})}
+func newSubscriber(name string, fn func(epoch uint64, sigs []*core.Signature), onBatch func(n int)) *subscriber {
+	s := &subscriber{name: name, fn: fn, onBatch: onBatch, done: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	go s.drain()
 	return s
@@ -110,7 +155,8 @@ func (s *subscriber) enqueue(d delta) {
 	s.mu.Unlock()
 }
 
-// drain delivers queued deltas in order until closed. The callback runs
+// drain delivers queued deltas until closed, coalescing everything
+// pending into one callback with the newest epoch. The callback runs
 // with no locks held.
 func (s *subscriber) drain() {
 	defer close(s.done)
@@ -126,9 +172,27 @@ func (s *subscriber) drain() {
 		batch := s.queue
 		s.queue = nil
 		s.mu.Unlock()
-		for _, d := range batch {
-			s.fn(d.epoch, d.sigs)
+		merged := batch[0]
+		if len(batch) > 1 {
+			// Copy before merging: the queued slices are shared with the
+			// other subscribers' queues.
+			total := 0
+			for _, d := range batch {
+				total += len(d.sigs)
+			}
+			sigs := make([]*core.Signature, 0, total)
+			for _, d := range batch {
+				sigs = append(sigs, d.sigs...)
+				if d.epoch > merged.epoch {
+					merged.epoch = d.epoch
+				}
+			}
+			merged.sigs = sigs
 		}
+		if s.onBatch != nil {
+			s.onBatch(len(merged.sigs))
+		}
+		s.fn(merged.epoch, merged.sigs)
 	}
 }
 
@@ -158,6 +222,11 @@ type ServiceStats struct {
 	Duplicates uint64
 	// Deliveries counts delta deliveries enqueued (subscribers × deltas).
 	Deliveries uint64
+	// DeltaBatches and DeltaSignatures count what subscribers actually
+	// received after coalescing: DeltaBatches callbacks carrying
+	// DeltaSignatures signatures. DeltaSignatures/DeltaBatches > 1 means
+	// publish storms were batched.
+	DeltaBatches, DeltaSignatures uint64
 	// Subscribers is the current number of live subscriptions.
 	Subscribers int
 	// PersistErrors counts failed appends to the backing store (the
@@ -188,6 +257,10 @@ type Service struct {
 	// epoch order even under concurrent publishers — NewService re-derives
 	// epochs from file order after a reboot. Lock order: mu > persistMu.
 	persistMu sync.Mutex
+
+	// Batching counters, bumped on subscriber drain goroutines.
+	batchBatches atomic.Uint64
+	batchSigs    atomic.Uint64
 }
 
 var _ core.HistoryStore = (*Service)(nil)
@@ -328,7 +401,10 @@ func (s *Service) Publish(source string, sig *core.Signature) (epoch uint64, fre
 // to exit. Together with Epoch and the HistoryStore methods this
 // implements vm.SignatureBus.
 func (s *Service) Subscribe(name string, from uint64, fn func(epoch uint64, sigs []*core.Signature)) (cancel func()) {
-	sub := newSubscriber(name, fn)
+	sub := newSubscriber(name, fn, func(n int) {
+		s.batchBatches.Add(1)
+		s.batchSigs.Add(uint64(n))
+	})
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -372,6 +448,8 @@ func (s *Service) Stats() ServiceStats {
 	out := s.stats
 	out.Epoch = uint64(len(s.sigs))
 	out.Subscribers = len(s.subs)
+	out.DeltaBatches = s.batchBatches.Load()
+	out.DeltaSignatures = s.batchSigs.Load()
 	return out
 }
 

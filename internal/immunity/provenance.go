@@ -1,0 +1,201 @@
+package immunity
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// Durable fleet provenance. The hub's per-signature state — who saw it
+// first, which devices independently confirmed it, which devices it was
+// pushed to, whether it is armed — must survive hub restarts: a rebooted
+// hub that forgot its confirmations would either re-arm below threshold
+// (if it trusted re-reports it had itself pushed) or lose confirmations
+// (forcing devices to re-observe a deadlock the fleet already paid for).
+// The store is an upsert log keyed by signature key; Load replays it
+// last-wins, so an append-only file implementation recovers its intact
+// prefix after a crash.
+
+// ProvenanceRecord is one signature's persisted fleet state.
+type ProvenanceRecord struct {
+	// Seq is the record's first-report order (1-based); it reconstructs
+	// the hub's deterministic provenance ordering after a restart.
+	Seq int `json:"seq"`
+	// Key is the signature's canonical identity (core.Signature.Key).
+	Key string `json:"key"`
+	// Sig is the canonical wire encoding of the signature itself.
+	Sig wire.Signature `json:"sig"`
+	// FirstSeen is the device that first reported it.
+	FirstSeen string `json:"first_seen"`
+	// ConfirmedBy lists the devices that independently reported it.
+	ConfirmedBy []string `json:"confirmed_by"`
+	// PushedTo lists the devices the hub delivered the signature to; a
+	// report from such a device is an echo, not a confirmation.
+	PushedTo []string `json:"pushed_to"`
+	// Armed reports fleet-wide arming.
+	Armed bool `json:"armed"`
+	// ArmEpoch is the fleet delta epoch assigned when the signature
+	// armed (0 while unarmed). The hub's epoch counter resumes from the
+	// maximum ArmEpoch in the store.
+	ArmEpoch uint64 `json:"arm_epoch,omitempty"`
+}
+
+// ProvenanceStore persists hub provenance across restarts. Append
+// upserts one record (last write per key wins on Load); Load returns the
+// latest record per key. Implementations must be safe for concurrent
+// use.
+type ProvenanceStore interface {
+	Load() ([]ProvenanceRecord, error)
+	Append(rec ProvenanceRecord) error
+}
+
+// FileProvenance is a ProvenanceStore backed by a JSON-lines upsert log:
+// one record per line, replayed last-wins. A line torn by a crash is
+// skipped on load (the previous record for that key still stands), so
+// the hub always reboots with a consistent — at worst slightly stale —
+// view, never a corrupt one.
+type FileProvenance struct {
+	mu   sync.Mutex
+	path string
+}
+
+var _ ProvenanceStore = (*FileProvenance)(nil)
+
+// NewFileProvenance creates a store at path; the file is created on
+// first append and a missing file loads as empty.
+func NewFileProvenance(path string) *FileProvenance {
+	return &FileProvenance{path: path}
+}
+
+// Path returns the backing file path.
+func (f *FileProvenance) Path() string { return f.path }
+
+// Load replays the log, newest record per key winning, returned in
+// first-seen Seq order.
+func (f *FileProvenance) Load() ([]ProvenanceRecord, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	file, err := os.Open(f.path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("load provenance: %w", err)
+	}
+	defer file.Close()
+
+	latest := make(map[string]ProvenanceRecord)
+	sc := bufio.NewScanner(file)
+	sc.Buffer(make([]byte, 0, 64*1024), wire.MaxFrame)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec ProvenanceRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn tail or corrupt line: keep the consistent prefix.
+			continue
+		}
+		if rec.Key == "" {
+			continue
+		}
+		latest[rec.Key] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("load provenance %s: %w", f.path, err)
+	}
+	out := make([]ProvenanceRecord, 0, len(latest))
+	for _, rec := range latest {
+		out = append(out, rec)
+	}
+	sortRecords(out)
+	return out, nil
+}
+
+// Append writes one upsert record and flushes it.
+func (f *FileProvenance) Append(rec ProvenanceRecord) error {
+	return f.AppendBatch([]ProvenanceRecord{rec})
+}
+
+// AppendBatch writes several upsert records in one open/write/close
+// cycle. The hub persists a whole mutation's dirty set (an arming that
+// touched every device's pushedTo, a catch-up spanning many signatures)
+// through this instead of reopening the log per record.
+func (f *FileProvenance) AppendBatch(recs []ProvenanceRecord) error {
+	var buf []byte
+	for _, rec := range recs {
+		if rec.Key == "" {
+			return fmt.Errorf("append provenance: empty key")
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("append provenance: %w", err)
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	file, err := os.OpenFile(f.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("append provenance: %w", err)
+	}
+	defer file.Close()
+	if _, err := file.Write(buf); err != nil {
+		return fmt.Errorf("append provenance: %w", err)
+	}
+	return nil
+}
+
+// sortRecords orders records by Seq (first-report order).
+func sortRecords(recs []ProvenanceRecord) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+}
+
+// MemProvenance is an in-memory ProvenanceStore for tests and
+// simulations that still want restart semantics (a new Exchange over the
+// same MemProvenance models a hub reboot without touching disk).
+type MemProvenance struct {
+	mu   sync.Mutex
+	recs map[string]ProvenanceRecord
+}
+
+var _ ProvenanceStore = (*MemProvenance)(nil)
+
+// NewMemProvenance returns an empty in-memory store.
+func NewMemProvenance() *MemProvenance {
+	return &MemProvenance{recs: make(map[string]ProvenanceRecord)}
+}
+
+// Load returns the latest record per key in Seq order.
+func (m *MemProvenance) Load() ([]ProvenanceRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ProvenanceRecord, 0, len(m.recs))
+	for _, rec := range m.recs {
+		out = append(out, rec)
+	}
+	sortRecords(out)
+	return out, nil
+}
+
+// Append upserts one record.
+func (m *MemProvenance) Append(rec ProvenanceRecord) error {
+	if rec.Key == "" {
+		return fmt.Errorf("append provenance: empty key")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs[rec.Key] = rec
+	return nil
+}

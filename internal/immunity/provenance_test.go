@@ -1,0 +1,273 @@
+package immunity
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// TestFileProvenanceUpsert: the JSON-lines log replays last-wins, in
+// first-seen order, and skips a torn tail without losing the prefix.
+func TestFileProvenanceUpsert(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.prov")
+	store := NewFileProvenance(path)
+	recA := ProvenanceRecord{Seq: 1, Key: "a", Sig: wire.FromCore(testSig(0)),
+		FirstSeen: "phone0", ConfirmedBy: []string{"phone0"}}
+	recB := ProvenanceRecord{Seq: 2, Key: "b", Sig: wire.FromCore(testSig(1)),
+		FirstSeen: "phone1", ConfirmedBy: []string{"phone1"}}
+	for _, rec := range []ProvenanceRecord{recA, recB} {
+		if err := store.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Upsert: "a" arms.
+	recA.ConfirmedBy = []string{"phone0", "phone1"}
+	recA.Armed = true
+	recA.ArmEpoch = 1
+	if err := store.Append(recA); err != nil {
+		t.Fatal(err)
+	}
+	// Torn tail from a crashed write.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"key":"c","first_`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Key != "a" || recs[1].Key != "b" {
+		t.Fatalf("load = %+v, want [a b]", recs)
+	}
+	if !recs[0].Armed || recs[0].ArmEpoch != 1 || len(recs[0].ConfirmedBy) != 2 {
+		t.Fatalf("upsert lost: %+v", recs[0])
+	}
+	// Missing file is an empty store.
+	empty, err := NewFileProvenance(filepath.Join(t.TempDir(), "absent")).Load()
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("missing file: recs=%v err=%v", empty, err)
+	}
+}
+
+// TestExchangeRestartPreservesProvenance is the durable-gating scenario:
+// a hub restart mid-scenario must neither arm below threshold (the
+// restarted hub still refuses echoes of its own pushes and remembers
+// which device already confirmed) nor lose the first confirmation (one
+// more distinct device arms the fleet).
+func TestExchangeRestartPreservesProvenance(t *testing.T) {
+	store := NewFileProvenance(filepath.Join(t.TempDir(), "fleet.prov"))
+	key := testSig(0).Key()
+
+	// Life 1: phone0 confirms; at threshold 2 the signature stays
+	// unarmed, but the confirmation is persisted.
+	hub1, err := NewExchange(2, WithProvenanceStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phones := fleetSim(t, hub1, 2)
+	if _, _, err := phones[0].svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first confirmation persisted", func() bool {
+		recs, err := store.Load()
+		return err == nil && len(recs) == 1 && len(recs[0].ConfirmedBy) == 1
+	})
+	phones[0].client.Close()
+	phones[1].client.Close()
+	hub1.Close()
+
+	// Life 2: the restarted hub reloads provenance before serving.
+	hub2, err := NewExchange(2, WithProvenanceStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub2.Close()
+	prov := hub2.Provenance()
+	if len(prov) != 1 || prov[0].Armed || prov[0].Confirmations != 1 || prov[0].FirstSeen != "phone0" {
+		t.Fatalf("restarted hub provenance = %+v, want phone0's single unarmed confirmation", prov)
+	}
+
+	// The phones reconnect (fresh clients, as after any hub outage);
+	// phone0's epoch-0 re-report of its own detection must not double
+	// count.
+	lb := NewLoopback(hub2)
+	for i, ph := range phones {
+		client, err := Connect(lb, fmt.Sprintf("phone%d", i), ph.svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		ph.client = client
+	}
+	time.Sleep(20 * time.Millisecond) // let a wrong re-arm have its chance
+	if prov := hub2.Provenance()[0]; prov.Armed || prov.Confirmations != 1 {
+		t.Fatalf("restart inflated provenance: %+v", prov)
+	}
+	if phones[1].armedOn(key) {
+		t.Fatal("phone1 armed below threshold after hub restart")
+	}
+
+	// The preserved confirmation still counts: phone1's independent
+	// detection is the second confirmation and arms the fleet.
+	if _, _, err := phones[1].svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "fleet armed after restart", func() bool {
+		prov := hub2.Provenance()[0]
+		return prov.Armed && prov.Confirmations == 2
+	})
+	for i, p := range phones {
+		ph := p
+		waitFor(t, fmt.Sprintf("phone%d armed", i), func() bool { return ph.armedOn(key) })
+	}
+
+	// Life 3: a third boot sees the armed state and catches a new phone
+	// up from it.
+	hub2.Close()
+	hub3, err := NewExchange(2, WithProvenanceStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub3.Close()
+	if got := hub3.ArmedCount(); got != 1 {
+		t.Fatalf("third boot armed count = %d, want 1", got)
+	}
+	svc, err := NewService("phone-new", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	proc, _ := attach(t, svc, "app")
+	client, err := Connect(NewLoopback(hub3), "phone-new", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	newcomer := &phoneSim{svc: svc, proc: proc}
+	waitFor(t, "newcomer caught up from persisted arming", func() bool { return newcomer.armedOn(key) })
+}
+
+// TestCatchupRecordsMatchSignatures: when arming order differs from
+// first-report order, the catch-up path must persist each record with
+// its own signature — a record whose Key names one bug but whose Sig is
+// another would corrupt echo suppression after a restart.
+func TestCatchupRecordsMatchSignatures(t *testing.T) {
+	store := NewMemProvenance()
+	hub := newTestHub(t, 2, WithProvenanceStore(store))
+	phones := fleetSim(t, hub, 2)
+
+	// sig 0 is reported first but arms second; sig 1 arms first.
+	if _, _, err := phones[0].svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "sig0 reported", func() bool { return len(hub.Provenance()) == 1 })
+	for i := range phones {
+		if _, _, err := phones[i].svc.Publish("local", testSig(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "sig1 armed", func() bool { return hub.ArmedCount() == 1 })
+	if _, _, err := phones[1].svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "sig0 armed", func() bool { return hub.ArmedCount() == 2 })
+
+	// A new device's hello takes the catch-up path for both signatures.
+	svc, err := NewService("phone-new", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	client, err := Connect(NewLoopback(hub), "phone-new", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	waitFor(t, "newcomer caught up", func() bool { return svc.Epoch() == 2 })
+
+	recs, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("store has %d records, want 2", len(recs))
+	}
+	for _, rec := range recs {
+		sig, err := rec.Sig.ToCore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.Key() != rec.Key {
+			t.Fatalf("record key %q carries the signature of %q", rec.Key, sig.Key())
+		}
+	}
+}
+
+// TestExchangeRestartOverTCP: the same durability property across the
+// real transport — clients that keep redialing a bounced daemon resume
+// against the reloaded provenance with no state loss.
+func TestExchangeRestartOverTCP(t *testing.T) {
+	store := NewFileProvenance(filepath.Join(t.TempDir(), "fleet.prov"))
+	key := testSig(0).Key()
+
+	hub1, err := NewExchange(2, WithProvenanceStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := ServeTCP(hub1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv1.Addr()
+	phones := tcpFleet(t, hub1, addr, 2)
+
+	if _, _, err := phones[0].svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "confirmation persisted", func() bool {
+		recs, err := store.Load()
+		return err == nil && len(recs) == 1 && len(recs[0].ConfirmedBy) == 1
+	})
+
+	// Hub process "reboots": server and hub die, a new hub over the same
+	// store comes back on the same port; the clients redial on their own.
+	srv1.Close()
+	hub1.Close()
+	hub2, err := NewExchange(2, WithProvenanceStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub2.Close()
+	srv2, err := ServeTCP(hub2, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	waitFor(t, "clients redialed after reboot", func() bool {
+		return phones[0].client.Reconnects() >= 1 && phones[1].client.Reconnects() >= 1
+	})
+	if prov := hub2.Provenance()[0]; prov.Armed || prov.Confirmations != 1 {
+		t.Fatalf("rebooted hub lost or inflated provenance: %+v", prov)
+	}
+
+	if _, _, err := phones[1].svc.Publish("local", testSig(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "fleet armed after reboot", func() bool {
+		prov := hub2.Provenance()[0]
+		return prov.Armed && prov.Confirmations == 2
+	})
+	for i, p := range phones {
+		ph := p
+		waitFor(t, fmt.Sprintf("phone%d armed", i), func() bool { return ph.armedOn(key) })
+	}
+}

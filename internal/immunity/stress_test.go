@@ -19,8 +19,8 @@ func TestStressPublishSubscribeHotInstall(t *testing.T) {
 		sigsEach = 24
 		churners = 2 // processes that subscribe/unsubscribe in a loop
 	)
-	hub := NewExchange(2)
-	defer hub.Close()
+	hub := newTestHub(t, 2)
+	lb := NewLoopback(hub)
 
 	type phone struct {
 		svc   *Service
@@ -37,7 +37,7 @@ func TestStressPublishSubscribeHotInstall(t *testing.T) {
 			c, _ := attach(t, svc, fmt.Sprintf("proc%d", p))
 			ph.cores = append(ph.cores, c)
 		}
-		client, err := hub.Connect(svc.Name(), svc)
+		client, err := Connect(lb, svc.Name(), svc)
 		if err != nil {
 			t.Fatal(err)
 		}

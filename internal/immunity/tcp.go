@@ -1,0 +1,227 @@
+package immunity
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// The real network transport: length-prefixed JSON wire frames over TCP.
+// ServeTCP is the hub side (one goroutine per accepted connection
+// feeding frames into Exchange.Conn.Handle, one push-queue goroutine
+// writing frames back); TCPTransport is the phone side. Reconnect and
+// resubscribe-from-epoch live in ExchangeClient, not here — the
+// transport only reports the session's death.
+
+// writeTimeout bounds every frame write. A peer that stopped reading
+// (wedged phone, half-dead socket) errors the session out instead of
+// parking the writer goroutine forever on a full kernel send buffer.
+const writeTimeout = 30 * time.Second
+
+// TCPTransport dials a fleet exchange served with ServeTCP.
+type TCPTransport struct {
+	addr        string
+	dialTimeout time.Duration
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport creates a transport for the hub at addr
+// (host:port).
+func NewTCPTransport(addr string) *TCPTransport {
+	return &TCPTransport{addr: addr, dialTimeout: 5 * time.Second}
+}
+
+// Dial implements Transport.
+func (t *TCPTransport) Dial(recv func(wire.Message), down func(err error)) (Session, error) {
+	nc, err := net.DialTimeout("tcp", t.addr, t.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcp transport: %w", err)
+	}
+	s := &tcpSession{nc: nc}
+	go s.readLoop(recv, down)
+	return s, nil
+}
+
+// tcpSession is one client-side TCP wire session.
+type tcpSession struct {
+	nc net.Conn
+
+	wmu    sync.Mutex
+	cmu    sync.Mutex
+	closed bool
+}
+
+// Send writes one frame; concurrent senders are serialized.
+func (s *tcpSession) Send(m wire.Message) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return wire.WriteFrame(s.nc, m)
+}
+
+// Close implements Session; the read loop exits without firing down.
+func (s *tcpSession) Close() error {
+	s.cmu.Lock()
+	s.closed = true
+	s.cmu.Unlock()
+	return s.nc.Close()
+}
+
+// readLoop delivers inbound frames until the connection dies; down fires
+// exactly once, and only for remote deaths.
+func (s *tcpSession) readLoop(recv func(wire.Message), down func(err error)) {
+	br := bufio.NewReader(s.nc)
+	for {
+		m, err := wire.ReadFrame(br)
+		if err != nil {
+			s.cmu.Lock()
+			closed := s.closed
+			s.cmu.Unlock()
+			s.nc.Close()
+			if !closed {
+				down(err)
+			}
+			return
+		}
+		recv(m)
+	}
+}
+
+// ExchangeServer serves a fleet exchange over TCP.
+type ExchangeServer struct {
+	hub *Exchange
+	ln  net.Listener
+
+	mu     sync.Mutex
+	socks  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeTCP starts serving hub on addr (use "127.0.0.1:0" for an
+// OS-assigned test port) and returns once the listener is live.
+func ServeTCP(hub *Exchange, addr string) (*ExchangeServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("exchange serve: %w", err)
+	}
+	s := &ExchangeServer{hub: hub, ln: ln, socks: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *ExchangeServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *ExchangeServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.socks[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serve(nc)
+	}
+}
+
+// serve runs the hub side of one connection: frames in → Conn.Handle,
+// pushes out via the Conn's queue writing frames back.
+func (s *ExchangeServer) serve(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.socks, nc)
+		s.mu.Unlock()
+	}()
+	var wmu sync.Mutex
+	conn, err := s.hub.Accept(
+		func(m wire.Message) error {
+			wmu.Lock()
+			defer wmu.Unlock()
+			nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+			return wire.WriteFrame(nc, m)
+		},
+		func() { nc.Close() },
+	)
+	if err != nil {
+		nc.Close()
+		return
+	}
+	defer conn.Close()
+	br := bufio.NewReader(nc)
+	for {
+		m, err := wire.ReadFrame(br)
+		if err != nil {
+			return // dead or misbehaving peer; deferred Close cleans up
+		}
+		if err := conn.Handle(m); err != nil {
+			// Protocol violation: the failure ack is already queued; let
+			// the push queue flush it before the deferred Close tears the
+			// socket down.
+			return
+		}
+	}
+}
+
+// Close stops accepting, drops every live connection, and waits for the
+// per-connection goroutines to exit.
+func (s *ExchangeServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	socks := make([]net.Conn, 0, len(s.socks))
+	for nc := range s.socks {
+		socks = append(socks, nc)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, nc := range socks {
+		nc.Close()
+	}
+	s.wg.Wait()
+}
+
+// FetchStatus asks the hub at addr for its status snapshot over a
+// throwaway TCP session (status-req needs no hello). It is how the fleet
+// workload's client mode and external monitors observe gating.
+func FetchStatus(addr string, timeout time.Duration) (wire.Status, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return wire.Status{}, fmt.Errorf("fetch status: %w", err)
+	}
+	defer nc.Close()
+	if timeout > 0 {
+		nc.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := wire.WriteFrame(nc, wire.Message{V: wire.Version, Type: wire.TypeStatusReq}); err != nil {
+		return wire.Status{}, fmt.Errorf("fetch status: %w", err)
+	}
+	br := bufio.NewReader(nc)
+	for {
+		m, err := wire.ReadFrame(br)
+		if err != nil {
+			return wire.Status{}, fmt.Errorf("fetch status: %w", err)
+		}
+		if m.Type == wire.TypeStatus {
+			return *m.Status, nil
+		}
+	}
+}

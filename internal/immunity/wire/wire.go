@@ -1,0 +1,357 @@
+// Package wire defines the versioned, transport-agnostic message set of
+// the fleet signature exchange. Every conversation between a phone and a
+// fleet hub — whatever carries it: the in-process loopback, the TCP
+// transport, a future QUIC or broker backend — is a sequence of these
+// messages, so the exchange's semantics (confirm-before-arm gating,
+// resubscribe-from-epoch catch-up, provenance) are defined once, here,
+// independent of how bytes move.
+//
+// # Message table
+//
+//	type        direction      payload                  purpose
+//	----        ---------      -------                  -------
+//	hello       client → hub   device, epoch            subscribe; resume deltas after `epoch`
+//	ack         hub → client   ok, error, epoch         handshake result (version/device checks)
+//	report      client → hub   sigs                     locally detected signatures (confirmations)
+//	confirm     hub → client   key, confirmations,      receipt for one reported signature with
+//	                           armed                    its current fleet provenance
+//	delta       hub → client   epoch, sigs              armed signatures; epoch after applying them
+//	status-req  client → hub   —                        ask for the hub status snapshot
+//	status      hub → client   epoch, threshold,        hub observability: provenance, connected
+//	                           devices, provenance,     devices, delta-batching counters
+//	                           batching
+//
+// Deltas to one client are ordered and their epochs strictly increase; a
+// client that reconnects sends the last epoch it applied in hello and
+// receives only what it is missing. A hub may coalesce several pending
+// deltas into one (batching) — the coalesced delta carries the newest
+// epoch, never a stale one.
+//
+// # Versioning
+//
+// Every message envelope carries the protocol version `v`. A hub rejects
+// a hello whose version differs from Version with ack{ok:false} and a
+// human-readable error, then closes the session — an old client fails
+// cleanly instead of hanging on messages it cannot parse.
+//
+// # Canonical signature encoding
+//
+// Signatures travel as their canonical textual form: the kind name plus
+// one (outer, inner) call-stack key pair per thread, using the same
+// ';'-joined frame encoding as the persistent history file
+// (core.CallStack.Key / core.ParseCallStack). Two devices that detect
+// the same bug therefore produce byte-identical wire signatures, which
+// is what lets the hub count independent confirmations by key.
+//
+// # Framing
+//
+// Stream transports carry messages as length-prefixed JSON: a 4-byte
+// big-endian frame length followed by the envelope's JSON encoding.
+// Frames above MaxFrame are rejected before allocation, so a corrupt or
+// hostile peer cannot balloon the hub's memory.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// Version is the protocol version this package speaks. A hub accepts
+// only hellos with exactly this version.
+const Version = 1
+
+// MaxFrame bounds one frame's payload size (4 MiB). A delta carrying
+// thousands of signatures stays far below this; anything larger is a
+// corrupt length prefix or an attack.
+const MaxFrame = 4 << 20
+
+// Type names a wire message.
+type Type string
+
+// The message set.
+const (
+	TypeHello     Type = "hello"
+	TypeAck       Type = "ack"
+	TypeReport    Type = "report"
+	TypeConfirm   Type = "confirm"
+	TypeDelta     Type = "delta"
+	TypeStatusReq Type = "status-req"
+	TypeStatus    Type = "status"
+)
+
+// Message is the envelope: the version, the type, and exactly the one
+// payload field matching the type (status-req has no payload).
+type Message struct {
+	V    int  `json:"v"`
+	Type Type `json:"type"`
+
+	Hello   *Hello   `json:"hello,omitempty"`
+	Ack     *Ack     `json:"ack,omitempty"`
+	Report  *Report  `json:"report,omitempty"`
+	Confirm *Confirm `json:"confirm,omitempty"`
+	Delta   *Delta   `json:"delta,omitempty"`
+	Status  *Status  `json:"status,omitempty"`
+}
+
+// Hello subscribes a device. Epoch is the fleet delta epoch the device
+// has already applied: 0 on first contact, the last delta's epoch on a
+// reconnect, so the hub replays only the missing armed signatures.
+type Hello struct {
+	Device string `json:"device"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// Ack answers a hello. On success Epoch is the hub's current fleet
+// epoch and Gen identifies the hub incarnation — fleet epochs are only
+// comparable within one Gen, so a client that sees a new Gen discards
+// its stored epoch and resubscribes from zero (a restarted hub's epochs
+// may have regrown past the client's, silently shrinking its catch-up).
+// On failure Error says why the session was refused (version mismatch,
+// empty device id) and the hub closes the session.
+type Ack struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Epoch uint64 `json:"epoch"`
+	Gen   string `json:"gen,omitempty"`
+}
+
+// Report carries locally detected signatures upward. Each one counts as
+// the device's independent confirmation unless the hub knows it pushed
+// that signature to the device itself.
+type Report struct {
+	Sigs []Signature `json:"sigs"`
+}
+
+// Confirm is the hub's receipt for one reported signature.
+type Confirm struct {
+	Key           string `json:"key"`
+	Confirmations int    `json:"confirmations"`
+	Armed         bool   `json:"armed"`
+}
+
+// Delta pushes armed signatures downward. Epoch is the fleet epoch after
+// applying Sigs; a client stores it and resumes from it on reconnect.
+type Delta struct {
+	Epoch uint64      `json:"epoch"`
+	Sigs  []Signature `json:"sigs"`
+}
+
+// Status is the hub's observability snapshot.
+type Status struct {
+	Epoch      uint64      `json:"epoch"`
+	Threshold  int         `json:"threshold"`
+	Devices    []string    `json:"devices"`
+	Provenance []SigStatus `json:"provenance"`
+	Batching   Batching    `json:"batching"`
+}
+
+// SigStatus is one signature's fleet provenance as reported by status.
+type SigStatus struct {
+	Key           string   `json:"key"`
+	Kind          string   `json:"kind"`
+	FirstSeen     string   `json:"first_seen"`
+	Confirmations int      `json:"confirmations"`
+	ConfirmedBy   []string `json:"confirmed_by"`
+	Armed         bool     `json:"armed"`
+}
+
+// Batching reports the hub's delta coalescing: Batches delta messages
+// sent carrying Signatures signatures total (Signatures/Batches > 1
+// means publish storms were coalesced).
+type Batching struct {
+	Batches    uint64 `json:"batches"`
+	Signatures uint64 `json:"signatures"`
+}
+
+// Signature is the canonical wire form of one deadlock antibody.
+type Signature struct {
+	Kind  string    `json:"kind"`
+	Pairs []SigPair `json:"pairs"`
+}
+
+// SigPair is one thread's (outer, inner) call-stack pair, each stack in
+// its canonical key form.
+type SigPair struct {
+	Outer string `json:"outer"`
+	Inner string `json:"inner"`
+}
+
+// FromCore encodes a core signature canonically.
+func FromCore(s *core.Signature) Signature {
+	out := Signature{Kind: s.Kind.String(), Pairs: make([]SigPair, len(s.Pairs))}
+	for i, p := range s.Pairs {
+		out.Pairs[i] = SigPair{Outer: p.Outer.Key(), Inner: p.Inner.Key()}
+	}
+	return out
+}
+
+// FromCoreAll encodes a slice of core signatures.
+func FromCoreAll(sigs []*core.Signature) []Signature {
+	out := make([]Signature, len(sigs))
+	for i, s := range sigs {
+		out[i] = FromCore(s)
+	}
+	return out
+}
+
+// ParseKind maps a wire kind name back to the core kind. It is the
+// single inverse of core.SigKind.String() on the wire — status readers
+// and the signature decoder must agree on it.
+func ParseKind(s string) (core.SigKind, error) {
+	switch s {
+	case core.DeadlockSig.String():
+		return core.DeadlockSig, nil
+	case core.StarvationSig.String():
+		return core.StarvationSig, nil
+	default:
+		return 0, fmt.Errorf("unknown signature kind %q", s)
+	}
+}
+
+// ToCore decodes and validates the signature.
+func (s Signature) ToCore() (*core.Signature, error) {
+	kind, err := ParseKind(s.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("wire signature: %w", err)
+	}
+	sig := &core.Signature{Kind: kind, Pairs: make([]core.SigPair, len(s.Pairs))}
+	for i, p := range s.Pairs {
+		outer, err := core.ParseCallStack(p.Outer)
+		if err != nil {
+			return nil, fmt.Errorf("wire signature pair %d outer: %w", i, err)
+		}
+		inner, err := core.ParseCallStack(p.Inner)
+		if err != nil {
+			return nil, fmt.Errorf("wire signature pair %d inner: %w", i, err)
+		}
+		sig.Pairs[i] = core.SigPair{Outer: outer, Inner: inner}
+	}
+	if err := sig.Validate(); err != nil {
+		return nil, fmt.Errorf("wire signature: %w", err)
+	}
+	return sig, nil
+}
+
+// ToCoreAll decodes a slice of wire signatures.
+func ToCoreAll(sigs []Signature) ([]*core.Signature, error) {
+	out := make([]*core.Signature, len(sigs))
+	for i, s := range sigs {
+		sig, err := s.ToCore()
+		if err != nil {
+			return nil, fmt.Errorf("signature %d: %w", i, err)
+		}
+		out[i] = sig
+	}
+	return out, nil
+}
+
+// Validate checks the envelope's structural invariants: a known type and
+// exactly the payload that type requires. It does not check the version
+// — that is a session-level decision made at hello.
+func (m Message) Validate() error {
+	payloads := 0
+	for _, p := range []bool{m.Hello != nil, m.Ack != nil, m.Report != nil,
+		m.Confirm != nil, m.Delta != nil, m.Status != nil} {
+		if p {
+			payloads++
+		}
+	}
+	want := func(p bool) error {
+		if !p {
+			return fmt.Errorf("wire message %s: missing payload", m.Type)
+		}
+		if payloads != 1 {
+			return fmt.Errorf("wire message %s: %d payloads, want 1", m.Type, payloads)
+		}
+		return nil
+	}
+	switch m.Type {
+	case TypeHello:
+		return want(m.Hello != nil)
+	case TypeAck:
+		return want(m.Ack != nil)
+	case TypeReport:
+		return want(m.Report != nil)
+	case TypeConfirm:
+		return want(m.Confirm != nil)
+	case TypeDelta:
+		return want(m.Delta != nil)
+	case TypeStatus:
+		return want(m.Status != nil)
+	case TypeStatusReq:
+		if payloads != 0 {
+			return fmt.Errorf("wire message %s: unexpected payload", m.Type)
+		}
+		return nil
+	default:
+		return fmt.Errorf("wire message: unknown type %q", m.Type)
+	}
+}
+
+// Encode marshals the message to its JSON frame payload.
+func Encode(m Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("wire encode: %w", err)
+	}
+	if len(b) > MaxFrame {
+		return nil, fmt.Errorf("wire encode: frame %d bytes exceeds max %d", len(b), MaxFrame)
+	}
+	return b, nil
+}
+
+// Decode unmarshals and structurally validates one frame payload.
+func Decode(b []byte) (Message, error) {
+	var m Message
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Message{}, fmt.Errorf("wire decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// WriteFrame writes one length-prefixed message to w as a single Write
+// (one packet on an unbuffered socket).
+func WriteFrame(w io.Writer, m Message) error {
+	b, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 4+len(b))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(b)))
+	copy(frame[4:], b)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("wire write: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message from r. Oversized or
+// zero-length frames fail before any payload allocation.
+func ReadFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err // io.EOF passes through for clean close detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Message{}, fmt.Errorf("wire read: zero-length frame")
+	}
+	if n > MaxFrame {
+		return Message{}, fmt.Errorf("wire read: frame %d bytes exceeds max %d", n, MaxFrame)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return Message{}, fmt.Errorf("wire read: %w", err)
+	}
+	return Decode(b)
+}

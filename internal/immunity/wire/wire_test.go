@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+)
+
+// testSig builds a deterministic two-party deadlock signature.
+func testSig() *core.Signature {
+	a := core.Frame{Class: "com.app.Svc1", Method: "methodA", Line: 10}
+	b := core.Frame{Class: "com.app.Svc2", Method: "methodB", Line: 20}
+	return &core.Signature{
+		Kind: core.DeadlockSig,
+		Pairs: []core.SigPair{
+			{Outer: core.CallStack{a}, Inner: core.CallStack{a, b}},
+			{Outer: core.CallStack{b}, Inner: core.CallStack{b, a}},
+		},
+	}
+}
+
+// TestSignatureRoundTrip: the canonical wire encoding preserves the
+// signature key exactly — two devices that detect the same bug produce
+// identical wire signatures.
+func TestSignatureRoundTrip(t *testing.T) {
+	orig := testSig()
+	ws := FromCore(orig)
+	back, err := ws.ToCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != orig.Key() {
+		t.Fatalf("round-trip changed key: %q -> %q", orig.Key(), back.Key())
+	}
+	if !reflect.DeepEqual(back.Pairs, orig.Pairs) {
+		t.Fatalf("round-trip changed pairs: %+v -> %+v", orig.Pairs, back.Pairs)
+	}
+}
+
+// TestSignatureDecodeRejects: malformed wire signatures fail cleanly.
+func TestSignatureDecodeRejects(t *testing.T) {
+	cases := []Signature{
+		{Kind: "gridlock", Pairs: []SigPair{{Outer: "A.m:1", Inner: "A.m:1"}}},
+		{Kind: "deadlock", Pairs: []SigPair{{Outer: "A.m:1", Inner: "A.m:1"}}}, // 1 pair: invalid deadlock
+		{Kind: "deadlock", Pairs: []SigPair{{Outer: "garbage", Inner: "A.m:1"}, {Outer: "B.m:2", Inner: "B.m:2"}}},
+	}
+	for i, ws := range cases {
+		if _, err := ws.ToCore(); err == nil {
+			t.Errorf("case %d: malformed signature %+v decoded without error", i, ws)
+		}
+	}
+}
+
+// messageFixtures is one valid message of every type.
+func messageFixtures() []Message {
+	ws := FromCore(testSig())
+	return []Message{
+		{V: Version, Type: TypeHello, Hello: &Hello{Device: "phone0", Epoch: 7}},
+		{V: Version, Type: TypeAck, Ack: &Ack{OK: true, Epoch: 9, Gen: "f00dfeedf00dfeed"}},
+		{V: Version, Type: TypeReport, Report: &Report{Sigs: []Signature{ws}}},
+		{V: Version, Type: TypeConfirm, Confirm: &Confirm{Key: testSig().Key(), Confirmations: 2, Armed: true}},
+		{V: Version, Type: TypeDelta, Delta: &Delta{Epoch: 3, Sigs: []Signature{ws, ws}}},
+		{V: Version, Type: TypeStatusReq},
+		{V: Version, Type: TypeStatus, Status: &Status{Epoch: 3, Threshold: 2, Devices: []string{"phone0"},
+			Provenance: []SigStatus{{Key: "k", Kind: "deadlock", FirstSeen: "phone0", Confirmations: 2, ConfirmedBy: []string{"phone0", "phone1"}, Armed: true}},
+			Batching:   Batching{Batches: 4, Signatures: 9}}},
+	}
+}
+
+// TestFrameRoundTrip: every message type survives WriteFrame/ReadFrame.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := messageFixtures()
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("write %s: %v", m.Type, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip %s:\n got %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("EOF after last frame, got %v", err)
+	}
+}
+
+// TestValidateRejects: structurally broken envelopes are refused.
+func TestValidateRejects(t *testing.T) {
+	cases := []Message{
+		{V: Version, Type: "teleport"},
+		{V: Version, Type: TypeHello}, // missing payload
+		{V: Version, Type: TypeHello, Hello: &Hello{Device: "d"}, Ack: &Ack{OK: true}}, // two payloads
+		{V: Version, Type: TypeStatusReq, Delta: &Delta{}},                             // payload on payloadless type
+		{V: Version, Type: TypeDelta, Ack: &Ack{}},                                     // wrong payload
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid message %+v passed validation", i, m)
+		}
+	}
+}
+
+// TestReadFrameLimits: zero-length and oversized frames are rejected
+// before any payload allocation.
+func TestReadFrameLimits(t *testing.T) {
+	var zero [4]byte
+	if _, err := ReadFrame(bytes.NewReader(zero[:])); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	var huge [4]byte
+	binary.BigEndian.PutUint32(huge[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(huge[:])); err == nil || !strings.Contains(err.Error(), "exceeds max") {
+		t.Errorf("oversized frame: err = %v, want exceeds-max", err)
+	}
+}
+
+// FuzzWireDecode hammers the frame decoder: arbitrary bytes must never
+// panic, and any frame that decodes must re-encode and decode to the
+// same message (the canonical-form property reports rely on).
+func FuzzWireDecode(f *testing.F) {
+	var buf bytes.Buffer
+	for _, m := range messageFixtures() {
+		buf.Reset()
+		if err := WriteFrame(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, '{'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %+v: %v", m, err)
+		}
+		again, err := Decode(b)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %s: %v", b, err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("decode/encode/decode not stable:\n first %+v\n again %+v", m, again)
+		}
+		// Signatures that arrived in a well-formed frame must also fail
+		// or succeed deterministically on the core decode path.
+		if m.Type == TypeReport {
+			for _, ws := range m.Report.Sigs {
+				sig, err := ws.ToCore()
+				if err != nil {
+					continue
+				}
+				if FromCore(sig).Kind != ws.Kind {
+					t.Fatalf("core round trip changed kind: %+v", ws)
+				}
+			}
+		}
+	})
+}

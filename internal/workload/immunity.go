@@ -5,6 +5,12 @@
 // threshold. The headline number is time-to-fleet-immunity: from the
 // moment the threshold-completing detection is accepted to the moment the
 // last live process on the last phone is armed.
+//
+// The phones reach the exchange through any of its transports: the
+// in-process loopback, an in-process hub served over real TCP sockets,
+// or — in client mode (Dial) — an external immunityd daemon, observed
+// through wire status requests. Arming decisions are identical across
+// transports; only latencies differ.
 package workload
 
 import (
@@ -14,7 +20,20 @@ import (
 
 	"github.com/dimmunix/dimmunix/internal/core"
 	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 	"github.com/dimmunix/dimmunix/internal/vm"
+)
+
+// FleetTransport selects how the workload's phones reach the exchange.
+type FleetTransport string
+
+// Fleet transport modes.
+const (
+	// TransportLoopback runs the wire protocol in-process (no sockets).
+	TransportLoopback FleetTransport = "loopback"
+	// TransportTCP serves an in-process hub on an OS-assigned loopback
+	// TCP port and connects every phone through real sockets.
+	TransportTCP FleetTransport = "tcp"
 )
 
 // FleetImmunityConfig parameterizes one fleet immunity run.
@@ -28,10 +47,21 @@ type FleetImmunityConfig struct {
 	ProcsPerPhone int
 	// ConfirmThreshold is how many distinct devices must independently
 	// detect the deadlock before the exchange arms it fleet-wide. It must
-	// not exceed Phones.
+	// not exceed Phones (ignored in client mode, where the daemon owns
+	// the threshold).
 	ConfirmThreshold int
 	// Timeout bounds every wait in the scenario.
 	Timeout time.Duration
+	// Transport selects loopback (default) or tcp for the in-process
+	// hub. Ignored when Dial is set.
+	Transport FleetTransport
+	// Dial, when non-empty, is the address of an external exchange
+	// daemon (immunityd -serve): the workload runs in client mode — no
+	// in-process hub, phones connect over TCP, and gating/provenance are
+	// observed through wire status requests. The daemon must be running
+	// with a confirm threshold of ConfirmThreshold for the gating check
+	// to be meaningful.
+	Dial string
 }
 
 // DefaultFleetImmunityConfig is the acceptance-scenario shape: 4 phones,
@@ -42,6 +72,7 @@ func DefaultFleetImmunityConfig() FleetImmunityConfig {
 		ProcsPerPhone:    3,
 		ConfirmThreshold: 2,
 		Timeout:          30 * time.Second,
+		Transport:        TransportLoopback,
 	}
 }
 
@@ -58,6 +89,11 @@ func (cfg FleetImmunityConfig) validate() error {
 	}
 	if cfg.Timeout <= 0 {
 		return fmt.Errorf("fleet immunity: non-positive timeout %v", cfg.Timeout)
+	}
+	switch cfg.Transport {
+	case "", TransportLoopback, TransportTCP:
+	default:
+		return fmt.Errorf("fleet immunity: unknown transport %q", cfg.Transport)
 	}
 	return nil
 }
@@ -83,6 +119,12 @@ type FleetImmunityResult struct {
 	FleetImmunity time.Duration
 	// Provenance is the exchange's audit trail after the run.
 	Provenance []immunity.Provenance
+	// Transport describes how phones reached the hub: "loopback", "tcp",
+	// or "client:ADDR" for an external daemon.
+	Transport string
+	// DeltaBatches and DeltaSignatures are the hub's push-coalescing
+	// counters after the run.
+	DeltaBatches, DeltaSignatures uint64
 }
 
 // buggyFrames are the injected deadlock's two outer positions — identical
@@ -168,10 +210,77 @@ type immunityPhone struct {
 	client *immunity.ExchangeClient
 }
 
+// hubView abstracts how the scenario observes fleet state: the
+// in-process hub directly, or wire status requests against an external
+// daemon.
+type hubView interface {
+	armedCount() (int, error)
+	provenance() ([]immunity.Provenance, error)
+	batching() (batches, sigs uint64)
+}
+
+// localView reads an in-process hub.
+type localView struct{ hub *immunity.Exchange }
+
+func (v localView) armedCount() (int, error)                   { return v.hub.ArmedCount(), nil }
+func (v localView) provenance() ([]immunity.Provenance, error) { return v.hub.Provenance(), nil }
+func (v localView) batching() (uint64, uint64) {
+	st := v.hub.Stats()
+	return st.DeltaBatches, st.DeltaSignatures
+}
+
+// statusView polls an external daemon over the wire protocol.
+type statusView struct {
+	addr    string
+	timeout time.Duration
+}
+
+func (v statusView) armedCount() (int, error) {
+	st, err := immunity.FetchStatus(v.addr, v.timeout)
+	if err != nil {
+		return 0, err
+	}
+	return int(st.Epoch), nil
+}
+
+func (v statusView) provenance() ([]immunity.Provenance, error) {
+	st, err := immunity.FetchStatus(v.addr, v.timeout)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]immunity.Provenance, 0, len(st.Provenance))
+	for _, p := range st.Provenance {
+		kind, err := wire.ParseKind(p.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("daemon status (newer protocol?): %w", err)
+		}
+		out = append(out, immunity.Provenance{
+			Key:           p.Key,
+			Kind:          kind,
+			FirstSeen:     p.FirstSeen,
+			Confirmations: p.Confirmations,
+			ConfirmedBy:   p.ConfirmedBy,
+			Armed:         p.Armed,
+		})
+	}
+	return out, nil
+}
+
+func (v statusView) batching() (uint64, uint64) {
+	st, err := immunity.FetchStatus(v.addr, v.timeout)
+	if err != nil {
+		return 0, 0
+	}
+	return st.Batching.Batches, st.Batching.Signatures
+}
+
 // RunFleetImmunity executes the scenario: fork all live processes on all
 // phones, inject the deadlock on ConfirmThreshold phones one at a time,
 // verify the gating after the first detection, and measure the
-// propagation latencies.
+// propagation latencies. The phones reach the exchange through the
+// configured transport; loopback and TCP run the identical wire
+// protocol, so the arming decisions must match across them (the
+// equivalence test in the package asserts it).
 func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 	if err := cfg.validate(); err != nil {
 		return FleetImmunityResult{}, err
@@ -179,8 +288,53 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 	res := FleetImmunityResult{Config: cfg}
 	key := buggyKey()
 
-	hub := immunity.NewExchange(cfg.ConfirmThreshold)
-	defer hub.Close()
+	// Hub and transport per mode.
+	var (
+		transport immunity.Transport
+		view      hubView
+	)
+	switch {
+	case cfg.Dial != "":
+		res.Transport = "client:" + cfg.Dial
+		transport = immunity.NewTCPTransport(cfg.Dial)
+		view = statusView{addr: cfg.Dial, timeout: cfg.Timeout}
+		// An external daemon carries state across runs. If it already
+		// armed this scenario's signature (an earlier -connect run, or a
+		// -provenance store from one), the injected deadlock would be
+		// avoided instead of detected and the run would time out with a
+		// misleading error — fail up front with the real cause.
+		if provs, err := view.provenance(); err == nil {
+			for _, p := range provs {
+				if p.Key == key && p.Armed {
+					return res, fmt.Errorf("fleet immunity: daemon at %s already has this scenario's signature armed (stale state from an earlier run?) — restart it with a fresh provenance store", cfg.Dial)
+				}
+			}
+		}
+	case cfg.Transport == TransportTCP:
+		res.Transport = string(TransportTCP)
+		hub, err := immunity.NewExchange(cfg.ConfirmThreshold)
+		if err != nil {
+			return res, fmt.Errorf("fleet immunity: %w", err)
+		}
+		defer hub.Close()
+		srv, err := immunity.ServeTCP(hub, "127.0.0.1:0")
+		if err != nil {
+			return res, fmt.Errorf("fleet immunity: %w", err)
+		}
+		defer srv.Close()
+		transport = immunity.NewTCPTransport(srv.Addr())
+		view = localView{hub}
+	default:
+		res.Transport = string(TransportLoopback)
+		hub, err := immunity.NewExchange(cfg.ConfirmThreshold)
+		if err != nil {
+			return res, fmt.Errorf("fleet immunity: %w", err)
+		}
+		defer hub.Close()
+		transport = immunity.NewLoopback(hub)
+		view = localView{hub}
+	}
+
 	phones := make([]*immunityPhone, cfg.Phones)
 	for i := range phones {
 		svc, err := immunity.NewService(fmt.Sprintf("phone%d", i), core.NewMemHistory())
@@ -198,7 +352,7 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 			}
 			ph.procs = append(ph.procs, p)
 		}
-		client, err := hub.Connect(svc.Name(), svc)
+		client, err := immunity.Connect(transport, svc.Name(), svc)
 		if err != nil {
 			return res, fmt.Errorf("fleet immunity: %w", err)
 		}
@@ -207,7 +361,15 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 		phones[i] = ph
 	}
 
-	// waitUntil polls cond at microsecond-ish granularity.
+	// waitUntil polls cond at microsecond-ish granularity — except in
+	// client mode, where cond may open a status connection to the daemon
+	// per call: there the poll backs off to milliseconds so a slow (or
+	// hung) daemon sees hundreds of probes, not a hundred-thousand-socket
+	// connection storm.
+	poll := 20 * time.Microsecond
+	if cfg.Dial != "" {
+		poll = 5 * time.Millisecond
+	}
 	waitUntil := func(what string, cond func() bool) (time.Time, error) {
 		deadline := time.Now().Add(cfg.Timeout)
 		for {
@@ -217,7 +379,7 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 			if time.Now().After(deadline) {
 				return time.Time{}, fmt.Errorf("fleet immunity: timed out waiting for %s", what)
 			}
-			time.Sleep(20 * time.Microsecond)
+			time.Sleep(poll)
 		}
 	}
 
@@ -272,8 +434,20 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 		}
 	}
 
-	tArm, err := waitUntil("exchange arming", func() bool { return hub.ArmedCount() >= 1 })
+	var lastStatusErr error
+	tArm, err := waitUntil("exchange arming", func() bool {
+		n, err := view.armedCount()
+		if err != nil {
+			lastStatusErr = err
+			return false
+		}
+		return n >= 1
+	})
 	if err != nil {
+		if lastStatusErr != nil {
+			// A dead daemon must not masquerade as a gating failure.
+			return res, fmt.Errorf("%w (last status error: %v)", err, lastStatusErr)
+		}
 		return res, err
 	}
 	res.FleetArm = tArm.Sub(tDetectLast)
@@ -292,15 +466,18 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 		return res, err
 	}
 	res.FleetImmunity = tAll.Sub(tDetectLast)
-	res.Provenance = hub.Provenance()
+	if res.Provenance, err = view.provenance(); err != nil {
+		return res, fmt.Errorf("fleet immunity: %w", err)
+	}
+	res.DeltaBatches, res.DeltaSignatures = view.batching()
 	return res, nil
 }
 
 // FormatFleetImmunity renders a fleet immunity result for the CLI.
 func FormatFleetImmunity(res FleetImmunityResult) string {
 	cfg := res.Config
-	out := fmt.Sprintf("fleet immunity: %d phones × %d live procs, confirm-before-arm threshold %d\n",
-		cfg.Phones, cfg.ProcsPerPhone, cfg.ConfirmThreshold)
+	out := fmt.Sprintf("fleet immunity: %d phones × %d live procs, confirm-before-arm threshold %d, transport %s\n",
+		cfg.Phones, cfg.ProcsPerPhone, cfg.ConfirmThreshold, res.Transport)
 	out += fmt.Sprintf("  on-device immunity   %12s  (detection → all %d procs on the detecting phone armed, no restart)\n",
 		res.DeviceImmunity.Round(time.Microsecond), cfg.ProcsPerPhone)
 	if cfg.ConfirmThreshold > 1 {
@@ -311,6 +488,9 @@ func FormatFleetImmunity(res FleetImmunityResult) string {
 		res.FleetArm.Round(time.Microsecond))
 	out += fmt.Sprintf("  fleet immunity       %12s  (last confirming detection → last of %d procs on %d phones armed)\n",
 		res.FleetImmunity.Round(time.Microsecond), cfg.Phones*cfg.ProcsPerPhone, cfg.Phones)
+	if res.DeltaBatches > 0 {
+		out += fmt.Sprintf("  delta batching       %6d signatures in %d pushes\n", res.DeltaSignatures, res.DeltaBatches)
+	}
 	out += "provenance:\n"
 	for _, prov := range res.Provenance {
 		out += fmt.Sprintf("  %s first-seen=%s confirms=%d %v armed=%v\n",
@@ -328,6 +508,9 @@ type PropagationResult struct {
 	// Avg and Max are per-signature latencies from Publish returning to
 	// every process armed.
 	Avg, Max time.Duration
+	// TCP marks the cross-device variant (publish on one phone, armed
+	// processes on another, over the TCP exchange).
+	TCP bool
 }
 
 // propagationSig builds the i-th synthetic benchmark signature (hot site
@@ -393,6 +576,12 @@ func PropagationLatency(procs, sigs int) (PropagationResult, error) {
 // process that can never arm (died, delivery failed) returns an error
 // instead of pinning the CPU forever.
 func waitArmedCount(ps []*vm.Process, want int, timeout time.Duration) error {
+	return waitArmedCountWith(ps, want, timeout, runtime.Gosched)
+}
+
+// waitArmedCountWith polls until every process holds want signatures,
+// calling wait between polls.
+func waitArmedCountWith(ps []*vm.Process, want int, timeout time.Duration, wait func()) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		armed := true
@@ -408,12 +597,99 @@ func waitArmedCount(ps []*vm.Process, want int, timeout time.Duration) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("timed out waiting for %d signatures in all %d processes", want, len(ps))
 		}
-		runtime.Gosched()
+		wait()
 	}
+}
+
+// waitArmedCountSleeping is waitArmedCount for the networked tier: it
+// parks between polls instead of spinning with Gosched. A Gosched spin
+// loop on a single-CPU box keeps the P busy, so socket readiness only
+// surfaces on sysmon's ~10ms netpoll sweeps and every wire hop costs
+// tens of milliseconds; sleeping parks the P and lets the netpoller
+// wake the read goroutine immediately.
+func waitArmedCountSleeping(ps []*vm.Process, want int, timeout time.Duration) error {
+	return waitArmedCountWith(ps, want, timeout, func() { time.Sleep(20 * time.Microsecond) })
 }
 
 // FormatPropagation renders a propagation latency result for the CLI.
 func FormatPropagation(res PropagationResult) string {
-	return fmt.Sprintf("propagation: %d live procs, %d signatures: avg %s, max %s publish→all-armed\n",
-		res.Procs, res.Sigs, res.Avg.Round(100*time.Nanosecond), res.Max.Round(100*time.Nanosecond))
+	tier := "on-device"
+	if res.TCP {
+		tier = "cross-device over TCP"
+	}
+	return fmt.Sprintf("propagation (%s): %d live procs, %d signatures: avg %s, max %s publish→all-armed\n",
+		tier, res.Procs, res.Sigs, res.Avg.Round(100*time.Nanosecond), res.Max.Round(100*time.Nanosecond))
+}
+
+// PropagationLatencyTCP measures the cross-device tier over real
+// sockets: a publisher device and a subscriber device (procs live
+// processes) joined by a threshold-1 TCP exchange; each publish is timed
+// from the publisher's Service accepting it to every process on the
+// *other* phone hot-installing it — detection on one phone to immunity
+// on another, through the full wire path.
+func PropagationLatencyTCP(procs, sigs int) (PropagationResult, error) {
+	if procs < 1 || sigs < 1 {
+		return PropagationResult{}, fmt.Errorf("propagation: need >= 1 proc and >= 1 sig, got %d/%d", procs, sigs)
+	}
+	hub, err := immunity.NewExchange(1)
+	if err != nil {
+		return PropagationResult{}, err
+	}
+	defer hub.Close()
+	srv, err := immunity.ServeTCP(hub, "127.0.0.1:0")
+	if err != nil {
+		return PropagationResult{}, err
+	}
+	defer srv.Close()
+	transport := immunity.NewTCPTransport(srv.Addr())
+
+	pubSvc, err := immunity.NewService("publisher", nil)
+	if err != nil {
+		return PropagationResult{}, err
+	}
+	defer pubSvc.Close()
+	pubClient, err := immunity.Connect(transport, "publisher", pubSvc)
+	if err != nil {
+		return PropagationResult{}, err
+	}
+	defer pubClient.Close()
+
+	subSvc, err := immunity.NewService("subscriber", nil)
+	if err != nil {
+		return PropagationResult{}, err
+	}
+	defer subSvc.Close()
+	subClient, err := immunity.Connect(transport, "subscriber", subSvc)
+	if err != nil {
+		return PropagationResult{}, err
+	}
+	defer subClient.Close()
+	z := vm.NewZygote(vm.WithDimmunix(true), vm.WithSignatureBus(subSvc))
+	defer z.KillAll()
+	ps := make([]*vm.Process, procs)
+	for i := range ps {
+		if ps[i], err = z.Fork(fmt.Sprintf("app%d", i)); err != nil {
+			return PropagationResult{}, err
+		}
+	}
+
+	res := PropagationResult{Procs: procs, Sigs: sigs, TCP: true}
+	var total time.Duration
+	for i := 0; i < sigs; i++ {
+		want := i + 1
+		start := time.Now()
+		if _, _, err := pubSvc.Publish("bench", propagationSig(i)); err != nil {
+			return res, err
+		}
+		if err := waitArmedCountSleeping(ps, want, 10*time.Second); err != nil {
+			return res, fmt.Errorf("tcp propagation: signature %d: %w", i, err)
+		}
+		lat := time.Since(start)
+		total += lat
+		if lat > res.Max {
+			res.Max = lat
+		}
+	}
+	res.Avg = total / time.Duration(sigs)
+	return res, nil
 }

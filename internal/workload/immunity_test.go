@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -78,6 +79,7 @@ func TestFleetImmunityConfigValidate(t *testing.T) {
 		{"zero threshold", func(c *FleetImmunityConfig) { c.ConfirmThreshold = 0 }},
 		{"threshold above phones", func(c *FleetImmunityConfig) { c.ConfirmThreshold = c.Phones + 1 }},
 		{"no timeout", func(c *FleetImmunityConfig) { c.Timeout = 0 }},
+		{"bad transport", func(c *FleetImmunityConfig) { c.Transport = "carrier-pigeon" }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -87,6 +89,67 @@ func TestFleetImmunityConfigValidate(t *testing.T) {
 				t.Error("want config error")
 			}
 		})
+	}
+}
+
+// TestFleetImmunityTransportEquivalence is the transport-equivalence
+// acceptance criterion: the identical scenario over the in-process
+// loopback and over real TCP sockets must produce identical arming
+// decisions — same gating (0 remote procs armed below threshold), same
+// provenance (armed flags, confirmation counts, confirming devices,
+// first-seen). Only the latencies may differ.
+func TestFleetImmunityTransportEquivalence(t *testing.T) {
+	type decision struct {
+		remoteArmedBelowThreshold int
+		provenance                []immunity.Provenance
+	}
+	cases := []struct {
+		name string
+		cfg  FleetImmunityConfig
+	}{
+		{"default threshold 2", DefaultFleetImmunityConfig()},
+		{"threshold 1", FleetImmunityConfig{Phones: 2, ProcsPerPhone: 2, ConfirmThreshold: 1, Timeout: 30 * time.Second}},
+		{"threshold 3 of 3", FleetImmunityConfig{Phones: 3, ProcsPerPhone: 1, ConfirmThreshold: 3, Timeout: 30 * time.Second}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results := make(map[FleetTransport]decision)
+			for _, tr := range []FleetTransport{TransportLoopback, TransportTCP} {
+				cfg := tc.cfg
+				cfg.Transport = tr
+				res, err := RunFleetImmunity(cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", tr, err)
+				}
+				results[tr] = decision{
+					remoteArmedBelowThreshold: res.RemoteArmedBeforeThreshold,
+					provenance:                res.Provenance,
+				}
+			}
+			lo, tcp := results[TransportLoopback], results[TransportTCP]
+			if lo.remoteArmedBelowThreshold != 0 || tcp.remoteArmedBelowThreshold != 0 {
+				t.Fatalf("gating broke: loopback %d, tcp %d remote procs armed below threshold",
+					lo.remoteArmedBelowThreshold, tcp.remoteArmedBelowThreshold)
+			}
+			if !reflect.DeepEqual(lo.provenance, tcp.provenance) {
+				t.Fatalf("arming decisions diverge across transports:\nloopback: %+v\ntcp:      %+v",
+					lo.provenance, tcp.provenance)
+			}
+		})
+	}
+}
+
+// TestPropagationLatencyTCP sanity-checks the cross-device TCP probe.
+func TestPropagationLatencyTCP(t *testing.T) {
+	res, err := PropagationLatencyTCP(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Avg <= 0 || res.Max < res.Avg {
+		t.Errorf("latencies avg=%v max=%v, want 0 < avg <= max", res.Avg, res.Max)
+	}
+	if !strings.Contains(FormatPropagation(res), "over TCP") {
+		t.Errorf("format: %q", FormatPropagation(res))
 	}
 }
 

@@ -7,15 +7,29 @@
 // endpoint exposing the fleet epoch, per-signature provenance, connected
 // devices, and delta-batching counters as JSON.
 //
-// In client mode it runs the fleet immunity workload against such a
-// daemon across real sockets. Without either flag it runs the
-// self-contained simulation (in-process hub, loopback or TCP transport).
+// With -hub and -peers, serve mode federates the daemon into a hub
+// cluster (internal/immunity/cluster): each signature is owned by
+// exactly one hub via a rendezvous ring over the member ids, non-owner
+// hubs forward device reports to the owner, and the owner's armings are
+// broadcast cluster-wide. Devices may attach to any hub. A 3-hub
+// cluster on one machine:
+//
+//	immunityd -serve -hub hub0 -listen :7676 -http :7677 -peers hub1=localhost:7686,hub2=localhost:7696
+//	immunityd -serve -hub hub1 -listen :7686 -http :7687 -peers hub0=localhost:7676,hub2=localhost:7696
+//	immunityd -serve -hub hub2 -listen :7696 -http :7697 -peers hub0=localhost:7676,hub1=localhost:7686
+//
+// In client mode it runs the fleet immunity workload against such
+// daemons across real sockets; -connect takes one address — or a
+// comma-separated list, across which the workload's phones attach
+// round-robin to exercise a cluster. Without either flag it runs the
+// self-contained simulation (in-process hub or cluster, loopback or TCP
+// transport).
 //
 // Usage:
 //
-//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE]
-//	immunityd -connect ADDR [-phones N] [-procs N] [-threshold N] [-timeout D]
-//	immunityd [-phones N] [-procs N] [-threshold N] [-timeout D] [-transport loopback|tcp]
+//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE] [-hub ID -peers ID=ADDR,...]
+//	immunityd -connect ADDR[,ADDR...] [-phones N] [-procs N] [-threshold N] [-timeout D]
+//	immunityd [-phones N] [-procs N] [-threshold N] [-timeout D] [-transport loopback|tcp] [-hubs N]
 //	immunityd -propagation [-procs N] [-sigs N] [-tcp]
 package main
 
@@ -27,10 +41,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 	"github.com/dimmunix/dimmunix/internal/workload"
 )
@@ -56,13 +72,26 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7676", "with -serve: TCP listen address for the exchange wire protocol")
 	httpAddr := fs.String("http", "127.0.0.1:7677", "with -serve: HTTP listen address for /status (empty disables)")
 	provenance := fs.String("provenance", "", "with -serve: provenance store file (empty keeps fleet state in memory only)")
-	connect := fs.String("connect", "", "run the fleet workload in client mode against the exchange daemon at this address")
+	hubID := fs.String("hub", "", "with -serve: this hub's cluster id (required with -peers)")
+	peers := fs.String("peers", "", "with -serve: comma-separated id=addr peer hubs to federate with")
+	hubs := fs.Int("hubs", 1, "simulation: federate the in-process exchange into this many hubs")
+	connect := fs.String("connect", "", "run the fleet workload in client mode against the exchange daemon(s) at this comma-separated address list")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *serve {
-		return runServe(*listen, *httpAddr, *threshold, *provenance)
+		members, err := parsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		if len(members) > 0 && *hubID == "" {
+			return fmt.Errorf("-peers requires -hub (this hub's cluster id)")
+		}
+		return runServe(*listen, *httpAddr, *threshold, *provenance, *hubID, members)
+	}
+	if *peers != "" || *hubID != "" {
+		return fmt.Errorf("-hub/-peers only apply to -serve (use -hubs N for the simulation)")
 	}
 
 	if *propagation {
@@ -86,6 +115,7 @@ func run(args []string) error {
 		ConfirmThreshold: *threshold,
 		Timeout:          *timeout,
 		Transport:        workload.FleetTransport(*transport),
+		Hubs:             *hubs,
 		Dial:             *connect,
 	}
 	res, err := workload.RunFleetImmunity(cfg)
@@ -96,9 +126,27 @@ func run(args []string) error {
 	return nil
 }
 
+// parsePeers parses "-peers id=addr,id=addr" into cluster members.
+func parsePeers(s string) ([]cluster.Member, error) {
+	var out []cluster.Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("malformed -peers entry %q (want id=addr)", part)
+		}
+		out = append(out, cluster.Member{ID: id, Transport: immunity.NewTCPTransport(addr)})
+	}
+	return out, nil
+}
+
 // daemon is a running serve-mode instance.
 type daemon struct {
 	hub     *immunity.Exchange
+	node    *cluster.Node
 	srv     *immunity.ExchangeServer
 	httpSrv *http.Server
 	httpLn  net.Listener
@@ -120,12 +168,16 @@ func (d *daemon) Close() {
 	if d.httpSrv != nil {
 		d.httpSrv.Close()
 	}
+	if d.node != nil {
+		d.node.Close()
+	}
 	d.srv.Close()
 	d.hub.Close()
 }
 
-// startDaemon boots the exchange server and the /status endpoint.
-func startDaemon(listen, httpAddr string, threshold int, provenancePath string) (*daemon, error) {
+// startDaemon boots the exchange server, the optional cluster node, and
+// the /status endpoint.
+func startDaemon(listen, httpAddr string, threshold int, provenancePath, hubID string, peers []cluster.Member) (*daemon, error) {
 	var opts []immunity.ExchangeOption
 	if provenancePath != "" {
 		opts = append(opts, immunity.WithProvenanceStore(immunity.NewFileProvenance(provenancePath)))
@@ -134,12 +186,25 @@ func startDaemon(listen, httpAddr string, threshold int, provenancePath string) 
 	if err != nil {
 		return nil, err
 	}
+	var node *cluster.Node
+	if len(peers) > 0 {
+		// Federate before the listener is up: the ring must be bound
+		// before the first device report or inbound peer-hello arrives.
+		node, err = cluster.New(cluster.Config{Self: hubID, Hub: hub, Peers: peers})
+		if err != nil {
+			hub.Close()
+			return nil, err
+		}
+	}
 	srv, err := immunity.ServeTCP(hub, listen)
 	if err != nil {
+		if node != nil {
+			node.Close()
+		}
 		hub.Close()
 		return nil, err
 	}
-	d := &daemon{hub: hub, srv: srv}
+	d := &daemon{hub: hub, node: node, srv: srv}
 	if httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
@@ -168,17 +233,21 @@ func startDaemon(listen, httpAddr string, threshold int, provenancePath string) 
 
 // runServe boots the long-running daemon and blocks until
 // SIGINT/SIGTERM.
-func runServe(listen, httpAddr string, threshold int, provenancePath string) error {
-	d, err := startDaemon(listen, httpAddr, threshold, provenancePath)
+func runServe(listen, httpAddr string, threshold int, provenancePath, hubID string, peers []cluster.Member) error {
+	d, err := startDaemon(listen, httpAddr, threshold, provenancePath, hubID, peers)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	fmt.Printf("immunityd: exchange on %s (threshold %d, protocol v%d", d.Addr(), threshold, wire.Version)
+	fmt.Printf("immunityd: exchange on %s (threshold %d, protocol v%d..%d", d.Addr(), threshold, wire.MinVersion, wire.Version)
 	if provenancePath != "" {
 		fmt.Printf(", provenance %s", provenancePath)
 	}
 	fmt.Println(")")
+	if d.node != nil {
+		fmt.Printf("immunityd: cluster hub %s federating with %d peer(s): %s\n",
+			hubID, len(peers), strings.Join(d.node.Ring().Members(), " "))
+	}
 	if st := d.hub.Status(); len(st.Provenance) > 0 {
 		fmt.Printf("immunityd: resumed %d signatures from provenance, fleet epoch %d\n", len(st.Provenance), st.Epoch)
 	}

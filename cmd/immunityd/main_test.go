@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"net"
 	"net/http"
 	"path/filepath"
 	"testing"
@@ -54,7 +55,7 @@ func TestImmunitydBadFlags(t *testing.T) {
 func TestImmunitydServeAndClientMode(t *testing.T) {
 	const threshold = 2
 	prov := filepath.Join(t.TempDir(), "fleet.prov")
-	d, err := startDaemon("127.0.0.1:0", "127.0.0.1:0", threshold, prov)
+	d, err := startDaemon("127.0.0.1:0", "127.0.0.1:0", threshold, prov, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,12 +109,131 @@ func TestImmunitydServeAndClientMode(t *testing.T) {
 
 	// Daemon restart over the same provenance file resumes armed state.
 	d.Close()
-	d2, err := startDaemon("127.0.0.1:0", "", threshold, prov)
+	d2, err := startDaemon("127.0.0.1:0", "", threshold, prov, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer d2.Close()
 	if st := d2.hub.Status(); st.Epoch != 1 || len(st.Provenance) != 1 || !st.Provenance[0].Armed {
 		t.Fatalf("restarted daemon status = %+v, want the armed signature back", st)
+	}
+}
+
+// freePorts reserves n distinct loopback ports by listening and
+// immediately closing; the tiny reuse race is acceptable in tests.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestImmunitydFederatedCluster boots the 3-daemon topology the CI
+// workflow uses — three serve-mode hubs federated via -peers — runs the
+// client-mode fleet workload against two different hubs, and asserts
+// through each hub's status that arming was gated at the owner and
+// propagated cluster-wide.
+func TestImmunitydFederatedCluster(t *testing.T) {
+	const threshold = 2
+	ids := []string{"hub0", "hub1", "hub2"}
+	addrs := freePorts(t, 3)
+	daemons := make([]*daemon, 3)
+	for i := range daemons {
+		var peerSpec string
+		for j := range addrs {
+			if j != i {
+				if peerSpec != "" {
+					peerSpec += ","
+				}
+				peerSpec += ids[j] + "=" + addrs[j]
+			}
+		}
+		members, err := parsePeers(peerSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := startDaemon(addrs[i], "", threshold, "", ids[i], members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		daemons[i] = d
+	}
+
+	cfg := workload.FleetImmunityConfig{
+		Phones:           4,
+		ProcsPerPhone:    2,
+		ConfirmThreshold: threshold,
+		Timeout:          30 * time.Second,
+		Dial:             addrs[0] + "," + addrs[1], // phones split across two hubs
+	}
+	res, err := workload.RunFleetImmunity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteArmedBeforeThreshold != 0 {
+		t.Errorf("%d remote procs armed below threshold", res.RemoteArmedBeforeThreshold)
+	}
+	if len(res.Provenance) != 1 || !res.Provenance[0].Armed || res.Provenance[0].Confirmations != threshold {
+		t.Fatalf("client-mode cluster provenance: %+v", res.Provenance)
+	}
+
+	// The workload only observes the two dialed hubs; the third hears
+	// about the arming asynchronously over the peer protocol — give the
+	// broadcast a bounded moment to land before asserting.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		all := true
+		for _, d := range daemons {
+			if d.hub.Status().Epoch != 1 {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			break // fall through to the precise per-hub failure below
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Every hub installed the arming; exactly one hub — the owner —
+	// holds the confirmation set, everyone else a replicated record.
+	ownersWithConfirms := 0
+	for i, d := range daemons {
+		st := d.hub.Status()
+		if st.Epoch != 1 {
+			t.Fatalf("%s epoch = %d, want 1 (arming not propagated cluster-wide)", ids[i], st.Epoch)
+		}
+		if st.Hub != ids[i] || st.Cluster == nil || len(st.Cluster.Members) != 3 {
+			t.Fatalf("%s status missing cluster fields: %+v", ids[i], st)
+		}
+		if len(st.Provenance) != 1 || !st.Provenance[0].Armed {
+			t.Fatalf("%s provenance = %+v, want the armed signature", ids[i], st.Provenance)
+		}
+		p := st.Provenance[0]
+		if p.Owner == ids[i] {
+			if len(p.ConfirmedBy) != threshold {
+				t.Fatalf("owner %s confirmation set = %v, want %d devices", ids[i], p.ConfirmedBy, threshold)
+			}
+			ownersWithConfirms++
+		} else if len(p.ConfirmedBy) != 0 {
+			t.Fatalf("non-owner %s replicated the confirmation set: %v", ids[i], p.ConfirmedBy)
+		}
+	}
+	if ownersWithConfirms != 1 {
+		t.Fatalf("%d hubs claim ownership, want exactly 1", ownersWithConfirms)
 	}
 }

@@ -42,6 +42,7 @@ package dimmunix
 import (
 	"github.com/dimmunix/dimmunix/internal/core"
 	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
 	"github.com/dimmunix/dimmunix/internal/vm"
 )
 
@@ -131,9 +132,22 @@ type (
 	// ProvenanceStore persists the hub's per-signature fleet state
 	// across restarts.
 	ProvenanceStore = immunity.ProvenanceStore
+	// FileProvenanceOption configures a file provenance store (e.g.
+	// WithCompactThreshold).
+	FileProvenanceOption = immunity.FileProvenanceOption
 	// Provenance is one fleet signature's audit record (first-seen device,
-	// confirmation count, armed state).
+	// confirmation count, armed state, owning hub in a cluster).
 	Provenance = immunity.Provenance
+	// HubCluster federates several Exchange hubs into one logical fleet
+	// hub: per-signature ownership via a rendezvous ring, hub-to-hub
+	// report forwarding and arm broadcasting (see FederateExchange).
+	HubCluster = cluster.Node
+	// HubClusterConfig assembles one cluster node: the hub, its cluster
+	// id, and the peer members.
+	HubClusterConfig = cluster.Config
+	// HubClusterMember names one remote hub of a cluster and the
+	// transport that reaches it.
+	HubClusterMember = cluster.Member
 )
 
 // Signature kinds.
@@ -195,8 +209,18 @@ func WithProvenanceStore(store ProvenanceStore) ExchangeOption {
 }
 
 // NewFileProvenance creates a file-backed provenance store (a JSON-lines
-// last-wins upsert log).
-func NewFileProvenance(path string) ProvenanceStore { return immunity.NewFileProvenance(path) }
+// last-wins upsert log that compacts itself to a snapshot once dead
+// records pile up; tune with WithCompactThreshold).
+func NewFileProvenance(path string, opts ...FileProvenanceOption) ProvenanceStore {
+	return immunity.NewFileProvenance(path, opts...)
+}
+
+// WithCompactThreshold overrides how many dead upsert lines a file
+// provenance log tolerates before rewriting itself; n <= 0 disables
+// compaction.
+func WithCompactThreshold(n int) FileProvenanceOption {
+	return immunity.WithCompactThreshold(n)
+}
 
 // NewLoopback creates the in-process transport for hub: the full wire
 // protocol with no sockets.
@@ -215,11 +239,25 @@ func ServeExchangeTCP(hub *Exchange, addr string) (*ExchangeServer, error) {
 // ConnectExchange attaches a device's ImmunityService to a fleet
 // exchange through a transport. The client keeps itself connected:
 // dropped sessions are redialed and resumed from the last applied fleet
-// epoch, and the hub restores the device's confirmation state by its
-// device id.
+// epoch (tracked per hub incarnation, so one device can roam between
+// the hubs of a cluster), and the hub restores the device's
+// confirmation state by its device id.
 func ConnectExchange(t Transport, deviceID string, svc *ImmunityService) (*ExchangeClient, error) {
 	return immunity.Connect(t, deviceID, svc)
 }
+
+// NewMultiTransport fans a device out over several hub transports (a
+// cluster's addresses): each dial tries them in rotation, so the device
+// stays attached through any healthy hub.
+func NewMultiTransport(ts ...Transport) Transport { return immunity.NewMultiTransport(ts...) }
+
+// FederateExchange joins a hub into a federated cluster: signatures are
+// owned by exactly one member hub (rendezvous hashing over the member
+// ids), non-owner hubs forward device reports to the owner — the sole
+// arbiter of the confirm threshold — and owned armings broadcast
+// cluster-wide. Devices attach to any hub unchanged. Close the returned
+// node before closing the hub.
+func FederateExchange(cfg HubClusterConfig) (*HubCluster, error) { return cluster.New(cfg) }
 
 // Core option constructors re-exported for API users.
 var (

@@ -34,6 +34,12 @@ type Session interface {
 // helloTimeout bounds how long a dial waits for the hub's ack.
 const helloTimeout = 10 * time.Second
 
+// dialAttempt quarantines one dial's epoch advances until the handshake
+// accepts the session. Guarded by ExchangeClient.mu.
+type dialAttempt struct {
+	maxEpoch uint64 // highest delta epoch received on this attempt's session
+}
+
 // errPermanent wraps session errors that redialing cannot fix (the hub
 // refused the handshake: version mismatch, bad device id).
 type errPermanent struct{ err error }
@@ -54,14 +60,25 @@ type ExchangeClient struct {
 
 	mu        sync.Mutex
 	fromFleet map[string]bool // keys received from the hub; not re-reported
-	// fleetEpoch is the newest delta epoch applied; it is the hello
-	// epoch on the next (re)dial, giving resubscribe-from-epoch. Epochs
-	// are only comparable within one hub incarnation (hubGen, learned
-	// from the ack): when the gen changes, fleetEpoch is meaningless and
-	// resets to zero.
-	fleetEpoch  uint64
+	// fleetEpochs is the client's merged multi-hub view: the newest
+	// delta epoch applied per hub incarnation (gen, learned from the
+	// ack). The whole map travels in every hello, so whichever hub of a
+	// federated cluster answers the dial finds its own resume point —
+	// epochs are only comparable within one incarnation, and a hub the
+	// client never spoke to simply replays from zero (hot-install
+	// dedupes). hubGen is the incarnation currently attached.
+	fleetEpochs map[string]uint64
 	hubGen      string
 	sess        Session
+	// curAtt is the dial attempt whose session passed the handshake;
+	// only its deltas may advance fleetEpochs. A session the handshake
+	// later condemns (foreign flat-epoch filter, epoch regression) still
+	// installs every delta it delivers — an antibody is never refused —
+	// but its epochs are quarantined in the attempt: otherwise a
+	// condemned session's delta racing the redial would fast-forward the
+	// resume point past armings that were filtered out and lose them for
+	// good.
+	curAtt      *dialAttempt
 	ackCh       chan wire.Ack
 	cancelLocal func()
 	closed      bool
@@ -90,12 +107,13 @@ func Connect(t Transport, deviceID string, svc *Service) (*ExchangeClient, error
 		return nil, fmt.Errorf("exchange connect: empty device id")
 	}
 	c := &ExchangeClient{
-		id:        deviceID,
-		t:         t,
-		svc:       svc,
-		fromFleet: make(map[string]bool),
-		downCh:    make(chan struct{}, 1),
-		closeCh:   make(chan struct{}),
+		id:          deviceID,
+		t:           t,
+		svc:         svc,
+		fromFleet:   make(map[string]bool),
+		fleetEpochs: make(map[string]uint64),
+		downCh:      make(chan struct{}, 1),
+		closeCh:     make(chan struct{}),
 	}
 	if err := c.dial(); err != nil {
 		return nil, fmt.Errorf("exchange connect %s: %w", deviceID, err)
@@ -115,7 +133,11 @@ func (c *ExchangeClient) dial() error {
 		return errors.New("client closed")
 	}
 	c.ackCh = ackCh
-	epoch := c.fleetEpoch
+	epoch := c.fleetEpochs[c.hubGen]
+	epochs := make(map[string]uint64, len(c.fleetEpochs))
+	for g, e := range c.fleetEpochs {
+		epochs[g] = e
+	}
 	c.mu.Unlock()
 	clearAck := func() {
 		c.mu.Lock()
@@ -125,13 +147,21 @@ func (c *ExchangeClient) dial() error {
 		c.mu.Unlock()
 	}
 
-	sess, err := c.t.Dial(c.recv, c.down)
+	att := &dialAttempt{}
+	sess, err := c.t.Dial(func(m wire.Message) { c.recv(att, m) }, c.down)
 	if err != nil {
 		clearAck()
 		return err
 	}
-	hello := wire.Message{V: wire.Version, Type: wire.TypeHello,
-		Hello: &wire.Hello{Device: c.id, Epoch: epoch}}
+	// The hello is framed at the floor of the advertised range: a hub
+	// still speaking only v1 (a mid-rollout fleet) understands the
+	// envelope and ignores the range fields it never knew, while a
+	// range-aware hub negotiates up to the highest common version from
+	// min_v/max_v. Framing at wire.Version instead would make an old
+	// hub refuse a client that is perfectly able to speak v1.
+	hello := wire.Message{V: wire.MinVersion, Type: wire.TypeHello,
+		Hello: &wire.Hello{Device: c.id, Epoch: epoch,
+			MinV: wire.MinVersion, MaxV: wire.Version, Epochs: epochs}}
 	ackWait := helloTimeout
 	if err := sess.Send(hello); err != nil {
 		// A refused handshake surfaces differently per transport: over
@@ -162,23 +192,43 @@ func (c *ExchangeClient) dial() error {
 			sess.Close()
 			return errPermanent{fmt.Errorf("hub refused: %s", ack.Error)}
 		}
+		// Compare against the epoch the hello actually carried for this
+		// gen — the value the hub's catch-up filtered against. Reading
+		// the live map here would race the recv goroutine: a delta
+		// applied during the handshake bumps it past ack.Epoch and would
+		// masquerade as a regression, tearing down a healthy session.
+		sent := epochs[ack.Gen]
 		c.mu.Lock()
-		genChanged := c.hubGen != "" && ack.Gen != c.hubGen
 		c.hubGen = ack.Gen
+		c.pruneEpochsLocked()
 		c.mu.Unlock()
-		if genChanged || ack.Epoch < epoch {
-			// The hub is a different incarnation (or its epoch is
-			// outright behind the one we helloed with): our epoch means
-			// nothing there and this session's catch-up was filtered
-			// against it. Resubscribe from scratch; the redial's epoch-0
-			// hello replays the full armed set (hot-install dedupes
-			// whatever we already hold).
+		if ack.V == 0 && epoch > sent {
+			// A pre-negotiation (v1) hub ignores the per-gen map and
+			// filtered this session's catch-up by the flat epoch — which
+			// was keyed to a *different* incarnation and overshoots what
+			// we hold for this one, silently shrinking the replay. hubGen
+			// is now bound to this hub, so the redial's flat epoch is its
+			// own resume point and the catch-up is exact.
+			clearAck()
+			sess.Close()
+			return fmt.Errorf("pre-negotiation hub (gen %q) filtered catch-up by foreign epoch %d (ours for it: %d): redialing",
+				ack.Gen, epoch, sent)
+		}
+		if ack.Epoch < sent {
+			// The hub's epoch is outright behind the one we stored for
+			// this very incarnation (a provenance store rolled back under
+			// it): our resume point is fiction and this session's
+			// catch-up was filtered against it. Resubscribe from scratch;
+			// the redial's epoch-0 entry replays the full armed set
+			// (hot-install dedupes whatever we already hold). A *new*
+			// incarnation needs no such reset — its gen is absent from
+			// our map, so the hub already replayed from zero.
 			c.mu.Lock()
-			c.fleetEpoch = 0
+			c.fleetEpochs[ack.Gen] = 0
 			c.mu.Unlock()
 			clearAck()
 			sess.Close()
-			return fmt.Errorf("hub restarted (gen %q, epoch %d vs our %d): resubscribing from 0", ack.Gen, ack.Epoch, epoch)
+			return fmt.Errorf("hub epoch regressed (gen %q, epoch %d vs our %d): resubscribing from 0", ack.Gen, ack.Epoch, sent)
 		}
 	case <-time.After(ackWait):
 		clearAck()
@@ -199,6 +249,12 @@ func (c *ExchangeClient) dial() error {
 		return errors.New("client closed")
 	}
 	c.sess = sess
+	c.curAtt = att
+	// Merge deltas that arrived before the handshake settled: on an
+	// accepted session they are safe resume-point advances.
+	if att.maxEpoch > c.fleetEpochs[c.hubGen] {
+		c.fleetEpochs[c.hubGen] = att.maxEpoch
+	}
 	c.ackCh = nil // handshake done; later acks are unsolicited
 	c.mu.Unlock()
 	return nil
@@ -253,12 +309,20 @@ func (c *ExchangeClient) reportLocal(sigs []*core.Signature) {
 	}
 }
 
-// recv handles one hub→client message (transport goroutine).
-func (c *ExchangeClient) recv(m wire.Message) {
+// recv handles one hub→client message on behalf of dial attempt att
+// (transport goroutine).
+func (c *ExchangeClient) recv(att *dialAttempt, m wire.Message) {
 	switch m.Type {
 	case wire.TypeAck:
 		c.mu.Lock()
 		ackCh := c.ackCh
+		if m.Ack.OK && ackCh != nil {
+			// Bind the incarnation before handing the ack to dial: the
+			// catch-up delta may arrive on this goroutine before dial's
+			// select runs, and its epoch must be recorded under the gen
+			// that produced it.
+			c.hubGen = m.Ack.Gen
+		}
 		c.mu.Unlock()
 		if ackCh != nil {
 			select {
@@ -274,7 +338,7 @@ func (c *ExchangeClient) recv(m wire.Message) {
 			c.mu.Unlock()
 		}
 	case wire.TypeDelta:
-		c.applyDelta(m.Delta)
+		c.applyDelta(att, m.Delta)
 	case wire.TypeConfirm, wire.TypeStatus:
 		// Receipts and status snapshots are informational.
 	}
@@ -282,8 +346,10 @@ func (c *ExchangeClient) recv(m wire.Message) {
 
 // applyDelta installs fleet-armed signatures into the phone's Service.
 // Each key is marked before publishing so the local delta subscription
-// never echoes it back as a confirmation.
-func (c *ExchangeClient) applyDelta(d *wire.Delta) {
+// never echoes it back as a confirmation. The resume point only
+// advances for the accepted session's deltas — an attempt the
+// handshake condemns keeps its epochs quarantined (see curAtt).
+func (c *ExchangeClient) applyDelta(att *dialAttempt, d *wire.Delta) {
 	applied := true
 	for _, ws := range d.Sigs {
 		sig, err := ws.ToCore()
@@ -303,10 +369,30 @@ func (c *ExchangeClient) applyDelta(d *wire.Delta) {
 		return // next reconnect re-requests this delta's range
 	}
 	c.mu.Lock()
-	if d.Epoch > c.fleetEpoch {
-		c.fleetEpoch = d.Epoch
+	if d.Epoch > att.maxEpoch {
+		att.maxEpoch = d.Epoch
+		if c.curAtt == att && att.maxEpoch > c.fleetEpochs[c.hubGen] {
+			c.fleetEpochs[c.hubGen] = att.maxEpoch
+		}
 	}
 	c.mu.Unlock()
+}
+
+// pruneEpochsLocked bounds the per-gen epoch map: a device that rode
+// out many memory-only hub restarts must not accumulate resume points
+// for incarnations that no longer exist. Dropping one only costs a full
+// replay on a hub that somehow returns under a dropped gen — redundant
+// traffic, never a lost antibody. Caller holds c.mu.
+func (c *ExchangeClient) pruneEpochsLocked() {
+	const maxGens = 16
+	for g := range c.fleetEpochs {
+		if len(c.fleetEpochs) <= maxGens {
+			break
+		}
+		if g != c.hubGen {
+			delete(c.fleetEpochs, g)
+		}
+	}
 }
 
 // down is invoked by the transport when the session dies.
@@ -328,6 +414,7 @@ func (c *ExchangeClient) shutdownSession() {
 	c.cancelLocal = nil
 	sess := c.sess
 	c.sess = nil
+	c.curAtt = nil // a dead session's stragglers must not move the resume point
 	c.mu.Unlock()
 	if cancel != nil {
 		cancel()
@@ -364,6 +451,7 @@ func (c *ExchangeClient) reconnectLoop() {
 			c.sess.Close()
 			c.sess = nil
 		}
+		c.curAtt = nil
 		c.mu.Unlock()
 
 		backoff := backoffMin
@@ -397,11 +485,24 @@ func (c *ExchangeClient) reconnectLoop() {
 // DeviceID returns the client's device id.
 func (c *ExchangeClient) DeviceID() string { return c.id }
 
-// FleetEpoch returns the newest fleet delta epoch the client applied.
+// FleetEpoch returns the newest fleet delta epoch the client applied
+// from the hub incarnation it is currently attached to.
 func (c *ExchangeClient) FleetEpoch() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.fleetEpoch
+	return c.fleetEpochs[c.hubGen]
+}
+
+// FleetEpochs returns the client's merged multi-hub view: the newest
+// applied epoch per hub incarnation it has spoken to.
+func (c *ExchangeClient) FleetEpochs() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.fleetEpochs))
+	for g, e := range c.fleetEpochs {
+		out[g] = e
+	}
+	return out
 }
 
 // Reconnects returns how many times the client redialed after a drop.

@@ -1,0 +1,516 @@
+// Package cluster federates immunity.Exchange hubs into one logical
+// fleet hub, removing the single-hub scaling and availability ceiling
+// on the road to million-device fleets: devices attach to *any* hub
+// unchanged, and the hubs divide the confirm-before-arm bookkeeping
+// among themselves.
+//
+// # Ownership ring
+//
+// Every signature (by canonical call-stack key) is owned by exactly one
+// hub, chosen by a rendezvous hash over the static membership (Ring).
+// The owner is the sole arbiter of the confirm threshold: it holds the
+// signature's full provenance — first-seen device, the deduplicated
+// (device, signature) confirmation set, pushed-to bookkeeping — while
+// every other hub persists only a slim replicated record once the
+// signature arms. Per-hub state therefore shrinks as the cluster grows:
+// each hub carries its 1/n slice of the provenance plus the (shared)
+// armed set.
+//
+// # Peer protocol
+//
+// Hubs connect pairwise over the ordinary wire transports (loopback in
+// process, TCP across machines): every node dials every other member
+// and keeps the link alive with redial + backoff. On one link, the
+// dialer sends peer-hello (its hub id, version range, and the last
+// arming seq it applied from the answering hub) and forward-report
+// (device reports for signatures the answerer owns); the answerer
+// replies with an ack (negotiated version, its incarnation gen, its
+// current arming seq), replays the owned armings the dialer missed, and
+// thereafter pushes arm-broadcast for every owned signature it arms and
+// forward-confirm receipts for forwarded reports. Since every pair has
+// a link in each direction, every arming reaches every hub exactly
+// once, and a report forwarded through any hub reaches the owner in one
+// hop.
+//
+// Reports are forwarded with their original device attribution and the
+// owner deduplicates confirmations by (device, signature), so a
+// forwarding path — including its at-least-once retry outbox — can
+// never double-count. A device report for a foreign signature the local
+// hub itself delivered to that device is answered locally as an echo
+// and never forwarded at all.
+//
+// Arming installs are idempotent (a hub applies a broadcast once and
+// treats replays as cursor advances), each hub assigns its own local,
+// strictly monotonic delta epoch as it installs — devices keep the
+// per-hub epoch contract they already had — and the client's per-gen
+// epoch map in hello lets one device roam between hubs of the cluster
+// without replaying the world.
+//
+// # Partitions and restarts
+//
+// A severed link parks the forward outbox (nothing is dropped),
+// redials with backoff, and resubscribes from the last applied arming
+// seq — the reconnect replays exactly the missed armings. A restarted
+// owner reloads its owned provenance (confirmation counts survive) and
+// its arming seq from the provenance store; a restarted non-owner
+// reloads the replicated armed set and resumes each peer cursor from
+// the highest seq it had applied (Exchange.RemoteSeqs). A memory-only
+// restart changes the hub's gen, which peers detect from the ack and
+// resubscribe from zero — redundant replay, never a lost arming.
+//
+// # Lock order
+//
+// Node and link mutexes are leaves: the node never calls into its
+// Exchange while holding them, and the Exchange calls into the node
+// only via ClusterBinding — Owns (pure, under Exchange.mu) and
+// ForwardReport (after Exchange.mu is released, enqueue-only). All
+// cross-hub calls (InstallRemote, DeliverConfirm, Conn.Handle) run on
+// transport or queue goroutines that hold no lock of the other hub, so
+// the global order is
+//
+//	Exchange.mu (any hub) > {Node.mu, link.mu, queue locks}
+//
+// and no cycle between two hubs' locks is possible.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// helloTimeout bounds how long a peer handshake waits for the ack.
+const helloTimeout = 10 * time.Second
+
+// Member names one remote hub of the cluster and the transport that
+// reaches it (immunity.NewTCPTransport across machines,
+// immunity.NewLoopback in process).
+type Member struct {
+	ID        string
+	Transport immunity.Transport
+}
+
+// Config assembles one cluster node.
+type Config struct {
+	// Self is this hub's cluster id (must be unique in the membership).
+	Self string
+	// Hub is the local exchange this node federates.
+	Hub *immunity.Exchange
+	// Peers are the other members. The ownership ring is Self + Peers
+	// and must be configured identically (same id set) on every node.
+	Peers []Member
+}
+
+// Node federates one Exchange into the cluster: it binds the ownership
+// ring into the hub, dials a peer link to every other member, forwards
+// device reports to their owners, and installs peers' arm-broadcasts.
+type Node struct {
+	self  string
+	hub   *immunity.Exchange
+	ring  *Ring
+	links map[string]*link
+
+	closeOnce sync.Once
+	closeCh   chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ immunity.ClusterBinding = (*Node)(nil)
+
+// New builds the node, binds it to cfg.Hub, and starts the peer links.
+// It returns immediately; links to peers that are not up yet connect in
+// the background with backoff.
+func New(cfg Config) (*Node, error) {
+	if cfg.Hub == nil {
+		return nil, fmt.Errorf("cluster: nil hub")
+	}
+	ids := []string{cfg.Self}
+	for _, p := range cfg.Peers {
+		if p.Transport == nil {
+			return nil, fmt.Errorf("cluster: peer %q has no transport", p.ID)
+		}
+		ids = append(ids, p.ID)
+	}
+	ring, err := NewRing(ids...)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		self:    cfg.Self,
+		hub:     cfg.Hub,
+		ring:    ring,
+		links:   make(map[string]*link, len(cfg.Peers)),
+		closeCh: make(chan struct{}),
+	}
+	// Bind before any link (or device) traffic: the hub must know the
+	// ring before it accepts its first report or peer-hello.
+	cfg.Hub.BindCluster(n)
+	// Resume each peer cursor from what the reloaded provenance already
+	// holds, so a restarted node replays only genuinely missed armings.
+	seqs := cfg.Hub.RemoteSeqs()
+	for _, p := range cfg.Peers {
+		l := newLink(n, p, seqs[p.ID])
+		n.links[p.ID] = l
+		n.wg.Add(1)
+		go n.runLink(l)
+	}
+	return n, nil
+}
+
+// SelfID implements immunity.ClusterBinding.
+func (n *Node) SelfID() string { return n.self }
+
+// Members implements immunity.ClusterBinding.
+func (n *Node) Members() []string { return n.ring.Members() }
+
+// Owns implements immunity.ClusterBinding. Pure: called under
+// Exchange.mu, it only consults the immutable ring.
+func (n *Node) Owns(key string) bool { return n.ring.Owner(key) == n.self }
+
+// Ring returns the ownership ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// ForwardReport implements immunity.ClusterBinding: it groups the
+// signatures by owning hub and enqueues one forward-report per owner on
+// that link's outbox. Enqueue-only — a partitioned owner's outbox holds
+// the report until the link redials (the owner's dedup makes the
+// at-least-once delivery safe).
+func (n *Node) ForwardReport(device string, sigs []wire.Signature, keys []string) {
+	groups := make(map[string][]wire.Signature)
+	for i, ws := range sigs {
+		owner := n.ring.Owner(keys[i])
+		if owner == n.self {
+			continue // ring said foreign moments ago; a membership race, drop to local handling next report
+		}
+		groups[owner] = append(groups[owner], ws)
+	}
+	for owner, group := range groups {
+		if l, ok := n.links[owner]; ok {
+			l.outbox.Enqueue(wire.Message{V: wire.Version, Type: wire.TypeForwardReport,
+				Forward: &wire.ForwardReport{Hub: n.self, Device: device, Sigs: group}})
+		}
+	}
+}
+
+// PeerStatus is one outbound peer link's observability snapshot.
+type PeerStatus struct {
+	// ID is the peer hub's cluster id.
+	ID string
+	// Connected reports a live, handshaken session.
+	Connected bool
+	// LastApplied is the peer's arming seq this node has applied up to.
+	LastApplied uint64
+	// Reconnects counts completed handshakes after the first.
+	Reconnects uint64
+	// Applied and Duplicates count arm-broadcasts that newly armed a
+	// signature here vs. replays that only advanced the cursor.
+	Applied, Duplicates uint64
+	// PendingForwards is the outbox depth (reports waiting for the link).
+	PendingForwards int
+}
+
+// Status snapshots the node's peer links, sorted by peer id.
+func (n *Node) Status() []PeerStatus {
+	out := make([]PeerStatus, 0, len(n.links))
+	for _, id := range n.ring.Members() {
+		l, ok := n.links[id]
+		if !ok {
+			continue // self
+		}
+		l.mu.Lock()
+		out = append(out, PeerStatus{
+			ID:          l.peerID,
+			Connected:   l.sess != nil,
+			LastApplied: l.lastApplied,
+			Reconnects:  l.reconnects,
+			Applied:     l.applied,
+			Duplicates:  l.duplicates,
+			PendingForwards: l.outbox.Pending(),
+		})
+		l.mu.Unlock()
+	}
+	return out
+}
+
+// Close tears the node down: every link's session closes, outboxes
+// drain what a live session can still take, and the link goroutines
+// exit. The hub itself is left to its owner. Idempotent.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.closeCh)
+		for _, l := range n.links {
+			l.close()
+		}
+		n.wg.Wait()
+	})
+}
+
+// link is one outbound peer connection: this node dialing one remote
+// hub. It owns the handshake (peer-hello with the resume seq), the
+// redial loop, and the forward outbox.
+type link struct {
+	node   *Node
+	peerID string
+	t      immunity.Transport
+	outbox *immunity.Queue[wire.Message]
+	downCh chan struct{}
+
+	mu          sync.Mutex
+	closed      bool // set by close(); a handshake that loses the race must not install its session
+	sess        immunity.Session
+	ackCh       chan wire.Ack
+	gen         string // peer hub incarnation, from its ack
+	lastApplied uint64
+	// cur is the dial attempt whose session passed the handshake; only
+	// its broadcasts may advance lastApplied. An attempt the handshake
+	// condemned (gen change, seq rollback) still installs what it
+	// receives — an antibody is never refused — but its seqs are
+	// quarantined in the attempt, not the cursor: otherwise a condemned
+	// replay racing the cursor reset could fast-forward past armings
+	// that were filtered against the stale seq and lose them for good.
+	cur         *dialAttempt
+	reconnects  uint64
+	applied     uint64
+	duplicates  uint64
+	handshakes  uint64
+}
+
+// dialAttempt quarantines one dial's cursor advances until the
+// handshake accepts the session. Guarded by link.mu.
+type dialAttempt struct {
+	maxSeq uint64 // highest owner seq received on this attempt's session
+}
+
+func newLink(n *Node, p Member, resumeSeq uint64) *link {
+	l := &link{node: n, peerID: p.ID, t: p.Transport, lastApplied: resumeSeq,
+		downCh: make(chan struct{}, 1)}
+	l.outbox = immunity.NewQueue(immunity.QueueConfig[wire.Message]{
+		Deliver:      l.deliver,
+		RetryOnError: true,
+	})
+	return l
+}
+
+// deliver sends one outbox message over the current session; with no
+// session (or a dead one) it errors, parking the outbox until the
+// redial calls Resume.
+func (l *link) deliver(m wire.Message) error {
+	l.mu.Lock()
+	sess := l.sess
+	l.mu.Unlock()
+	if sess == nil {
+		return errors.New("peer link down")
+	}
+	if err := sess.Send(m); err != nil {
+		l.down(err)
+		return err
+	}
+	return nil
+}
+
+// down marks the session dead and wakes the redial loop.
+func (l *link) down(error) {
+	select {
+	case l.downCh <- struct{}{}:
+	default:
+	}
+}
+
+// recv handles one hub→dialer message on behalf of dial attempt att
+// (transport goroutine, no link lock held while calling into the local
+// hub).
+func (l *link) recv(att *dialAttempt, m wire.Message) {
+	switch m.Type {
+	case wire.TypeAck:
+		l.mu.Lock()
+		ackCh := l.ackCh
+		l.mu.Unlock()
+		if ackCh != nil {
+			select {
+			case ackCh <- *m.Ack:
+			default:
+			}
+		} else if !m.Ack.OK {
+			// Unsolicited failure ack: the peer superseded or evicted this
+			// session; drop it and let the redial loop sort it out.
+			l.down(errors.New(m.Ack.Error))
+		}
+	case wire.TypeArmBroadcast:
+		applied, err := l.node.hub.InstallRemote(*m.Arm)
+		if err != nil {
+			return // malformed broadcast: never kill the link over one frame
+		}
+		l.mu.Lock()
+		if m.Arm.Owner == l.peerID && m.Arm.Seq > att.maxSeq {
+			att.maxSeq = m.Arm.Seq
+			// Only an accepted session moves the durable cursor; replay
+			// that raced the handshake is merged in when dial accepts.
+			if l.cur == att && att.maxSeq > l.lastApplied {
+				l.lastApplied = att.maxSeq
+			}
+		}
+		if applied {
+			l.applied++
+		} else {
+			l.duplicates++
+		}
+		l.mu.Unlock()
+	case wire.TypeForwardConfirm:
+		l.node.hub.DeliverConfirm(m.FwdConfirm.Device, m.FwdConfirm.Confirm)
+	}
+}
+
+// dial opens one session and completes the peer-hello/ack handshake.
+func (l *link) dial() error {
+	ackCh := make(chan wire.Ack, 1)
+	att := &dialAttempt{}
+	l.mu.Lock()
+	l.ackCh = ackCh
+	seq := l.lastApplied
+	l.mu.Unlock()
+	clearAck := func() {
+		l.mu.Lock()
+		if l.ackCh == ackCh {
+			l.ackCh = nil
+		}
+		l.mu.Unlock()
+	}
+
+	sess, err := l.t.Dial(func(m wire.Message) { l.recv(att, m) }, l.down)
+	if err != nil {
+		clearAck()
+		return err
+	}
+	hello := wire.Message{V: wire.Version, Type: wire.TypePeerHello,
+		PeerHello: &wire.PeerHello{Hub: l.node.self, Seq: seq, MinV: wire.PeerVersion, MaxV: wire.Version}}
+	if err := sess.Send(hello); err != nil {
+		clearAck()
+		sess.Close()
+		return err
+	}
+	select {
+	case ack := <-ackCh:
+		clearAck()
+		if !ack.OK {
+			// Unlike a device client, a peer never gives up for good: the
+			// refusal may be a mid-rollout config gap (the peer not yet
+			// clustered, an old binary) that the next redial outlives.
+			sess.Close()
+			return fmt.Errorf("peer %s refused: %s", l.peerID, ack.Error)
+		}
+		l.mu.Lock()
+		genChanged := l.gen != "" && ack.Gen != l.gen
+		l.gen = ack.Gen
+		if genChanged || ack.Epoch < seq {
+			// The peer is a new incarnation (or its arming seq rolled
+			// back): our cursor is fiction and this session's replay was
+			// filtered against it. Restart the subscription from zero —
+			// InstallRemote dedupes the re-replay. The condemned attempt
+			// is never accepted (l.cur stays off it), so broadcasts it
+			// already delivered cannot fast-forward the fresh cursor past
+			// armings the stale filter skipped.
+			l.lastApplied = 0
+			l.mu.Unlock()
+			sess.Close()
+			return fmt.Errorf("peer %s restarted (gen %q, seq %d vs our %d): resubscribing from 0",
+				l.peerID, ack.Gen, ack.Epoch, seq)
+		}
+		if l.closed {
+			// Node.Close raced the tail of the handshake and already tore
+			// down (nil) l.sess; installing this one now would leak it —
+			// and keep this node registered as a live peer on the remote
+			// hub — forever.
+			l.mu.Unlock()
+			sess.Close()
+			return errors.New("node closed")
+		}
+		l.sess = sess
+		l.cur = att
+		// Merge replay that arrived before the handshake settled: those
+		// broadcasts were filtered against the seq we sent, so on an
+		// accepted session they are safe cursor advances.
+		if att.maxSeq > l.lastApplied {
+			l.lastApplied = att.maxSeq
+		}
+		if l.handshakes++; l.handshakes > 1 {
+			l.reconnects++
+		}
+		l.mu.Unlock()
+		l.outbox.Resume()
+		return nil
+	case <-time.After(helloTimeout):
+		clearAck()
+		sess.Close()
+		return fmt.Errorf("peer %s: timed out waiting for ack", l.peerID)
+	case <-l.node.closeCh:
+		clearAck()
+		sess.Close()
+		return errors.New("node closed")
+	}
+}
+
+// close tears the link down (node Close only).
+func (l *link) close() {
+	l.mu.Lock()
+	l.closed = true
+	sess := l.sess
+	l.sess = nil
+	l.cur = nil
+	l.mu.Unlock()
+	if sess != nil {
+		sess.Close()
+	}
+	l.outbox.Close()
+}
+
+// runLink keeps one peer link alive until the node closes: dial with
+// backoff, then wait for the session to drop and redial. The resume seq
+// in each peer-hello makes every reconnect replay exactly the missed
+// armings.
+func (n *Node) runLink(l *link) {
+	defer n.wg.Done()
+	backoffMin, backoffMax := 5*time.Millisecond, 2*time.Second
+	backoff := backoffMin
+	for {
+		select {
+		case <-n.closeCh:
+			return
+		default:
+		}
+		// No session is live here, so any queued down event is the old
+		// session's corpse twitching — drain it rather than let it tear
+		// down the session we are about to dial.
+		select {
+		case <-l.downCh:
+		default:
+		}
+		if err := l.dial(); err != nil {
+			select {
+			case <-n.closeCh:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+			continue
+		}
+		backoff = backoffMin
+		select {
+		case <-n.closeCh:
+			return
+		case <-l.downCh:
+			l.mu.Lock()
+			if l.sess != nil {
+				l.sess.Close()
+				l.sess = nil
+			}
+			l.cur = nil // a dead session's stragglers must not move the cursor
+			l.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,481 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
+)
+
+// testSig builds a deterministic two-party deadlock signature.
+func testSig(id int) *core.Signature {
+	a := core.Frame{Class: "com.app.Svc1", Method: "methodA", Line: 10 + id*100}
+	b := core.Frame{Class: "com.app.Svc2", Method: "methodB", Line: 20 + id*100}
+	return &core.Signature{
+		Kind: core.DeadlockSig,
+		Pairs: []core.SigPair{
+			{Outer: core.CallStack{a}, Inner: core.CallStack{a}},
+			{Outer: core.CallStack{b}, Inner: core.CallStack{b}},
+		},
+	}
+}
+
+// sigOwnedBy scans signature ids until the ring assigns one to owner —
+// tests that need a known owner pick their signature this way instead
+// of hardcoding hash outcomes.
+func sigOwnedBy(t *testing.T, r *cluster.Ring, owner string) *core.Signature {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		if sig := testSig(i); r.Owner(sig.Key()) == owner {
+			return sig
+		}
+	}
+	t.Fatalf("no test signature owned by %s in 10000 tries", owner)
+	return nil
+}
+
+// waitFor polls until cond or a generous deadline (1-CPU CI with many
+// goroutines converges slowly; the deadline only bounds how long a
+// genuine failure takes to report).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// phone is one simulated device: its service and exchange client.
+type phone struct {
+	svc    *immunity.Service
+	client *immunity.ExchangeClient
+}
+
+// newPhone connects a device through the given transport.
+func newPhone(t *testing.T, name string, tr immunity.Transport) *phone {
+	t.Helper()
+	svc, err := immunity.NewService(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := immunity.Connect(tr, name, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close(); svc.Close() })
+	return &phone{svc: svc, client: client}
+}
+
+// holds reports whether the phone's service holds the signature key.
+func (p *phone) holds(key string) bool {
+	sigs, _, err := p.svc.Snapshot()
+	if err != nil {
+		return false
+	}
+	for _, sig := range sigs {
+		if sig.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// hubNames builds n cluster ids hub0..hub{n-1}.
+func hubNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("hub%d", i)
+	}
+	return out
+}
+
+// loopbackCluster federates n in-process hubs over loopback transports.
+func loopbackCluster(t *testing.T, n, threshold int) ([]*immunity.Exchange, []*cluster.Node) {
+	t.Helper()
+	ids := hubNames(n)
+	hubs := make([]*immunity.Exchange, n)
+	for i := range hubs {
+		hub, err := immunity.NewExchange(threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(hub.Close)
+		hubs[i] = hub
+	}
+	nodes := make([]*cluster.Node, n)
+	for i := range nodes {
+		var peers []cluster.Member
+		for j := range hubs {
+			if j != i {
+				peers = append(peers, cluster.Member{ID: ids[j], Transport: immunity.NewLoopback(hubs[j])})
+			}
+		}
+		node, err := cluster.New(cluster.Config{Self: ids[i], Hub: hubs[i], Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(node.Close)
+		nodes[i] = node
+	}
+	return hubs, nodes
+}
+
+// TestClusterGatesAtOwnerAndPropagates: devices split across a 3-hub
+// loopback cluster confirm the same deadlock; below threshold nothing
+// arms anywhere, at threshold the owner arms and every hub — and every
+// attached device — receives it.
+func TestClusterGatesAtOwnerAndPropagates(t *testing.T) {
+	hubs, nodes := loopbackCluster(t, 3, 2)
+	sig := testSig(0)
+	key := sig.Key()
+	owner := nodes[0].Ring().Owner(key)
+
+	phones := make([]*phone, 3)
+	for i := range phones {
+		phones[i] = newPhone(t, fmt.Sprintf("phone%d", i), immunity.NewLoopback(hubs[i]))
+	}
+
+	// First confirmation, from a phone attached to hub0 (owner or not).
+	if _, _, err := phones[0].svc.Publish("local", sig); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "owner sees first confirmation", func() bool {
+		for _, hub := range hubs {
+			for _, p := range hub.Provenance() {
+				if p.Key == key && p.Confirmations == 1 {
+					return true
+				}
+			}
+		}
+		return false
+	})
+	time.Sleep(20 * time.Millisecond)
+	for i, hub := range hubs {
+		if hub.ArmedCount() != 0 {
+			t.Fatalf("hub%d armed below the confirmation threshold", i)
+		}
+	}
+	for i, p := range phones[1:] {
+		if p.holds(key) {
+			t.Fatalf("phone%d holds the signature below the confirmation threshold", i+1)
+		}
+	}
+
+	// Second confirmation from a different hub completes the threshold.
+	if _, _, err := phones[1].svc.Publish("local", sig); err != nil {
+		t.Fatal(err)
+	}
+	for i, hub := range hubs {
+		h := hub
+		waitFor(t, fmt.Sprintf("hub%d armed", i), func() bool { return h.ArmedCount() == 1 })
+	}
+	for i, p := range phones {
+		ph := p
+		waitFor(t, fmt.Sprintf("phone%d armed", i), func() bool { return ph.holds(key) })
+	}
+
+	// The owner holds the full provenance (2 distinct confirmers); every
+	// other hub holds a replicated armed entry attributed to the owner.
+	for i, hub := range hubs {
+		provs := hub.Provenance()
+		var found *immunity.Provenance
+		for j := range provs {
+			if provs[j].Key == key {
+				found = &provs[j]
+			}
+		}
+		if found == nil || !found.Armed {
+			t.Fatalf("hub%d: signature not armed in provenance: %+v", i, provs)
+		}
+		if found.Owner != owner {
+			t.Fatalf("hub%d: owner = %q, want %q", i, found.Owner, owner)
+		}
+		if hubNames(3)[i] == owner {
+			if found.Confirmations != 2 || len(found.ConfirmedBy) != 2 {
+				t.Fatalf("owner %s: confirmations = %d (%v), want 2 distinct", owner, found.Confirmations, found.ConfirmedBy)
+			}
+		} else if len(found.ConfirmedBy) != 0 {
+			t.Fatalf("non-owner hub%d replicated the confirmation set: %v", i, found.ConfirmedBy)
+		}
+	}
+}
+
+// TestClusterForwardedReportNeverDoubleCounts: a device whose report
+// travels through a non-owner hub counts exactly once at the owner, no
+// matter how many times the device reconnects and re-reports.
+func TestClusterForwardedReportNeverDoubleCounts(t *testing.T) {
+	hubs, nodes := loopbackCluster(t, 2, 3)
+	// A signature owned by hub1, reported by a device attached to hub0:
+	// every report takes the forwarding path.
+	sig := sigOwnedBy(t, nodes[0].Ring(), "hub1")
+	key := sig.Key()
+
+	svc, err := immunity.NewService("roamer", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	client, err := immunity.Connect(immunity.NewLoopback(hubs[0]), "roamer", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.Publish("local", sig); err != nil {
+		t.Fatal(err)
+	}
+	confirmsAtOwner := func() int {
+		for _, p := range hubs[1].Provenance() {
+			if p.Key == key {
+				return p.Confirmations
+			}
+		}
+		return 0
+	}
+	waitFor(t, "owner counts the forwarded confirmation", func() bool { return confirmsAtOwner() == 1 })
+
+	// Reconnect twice: each reconnect re-reports the full local history
+	// through hub0, which forwards again; the owner must still count one.
+	for i := 0; i < 2; i++ {
+		client.Close()
+		client, err = immunity.Connect(immunity.NewLoopback(hubs[0]), "roamer", svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "re-report reaches the owner", func() bool {
+			return hubs[1].Stats().Reports >= uint64(2+i)
+		})
+	}
+	defer client.Close()
+	time.Sleep(20 * time.Millisecond)
+	if got := confirmsAtOwner(); got != 1 {
+		t.Fatalf("confirmations after re-reports = %d, want 1 (double-counted a forwarded report)", got)
+	}
+
+	// And the same device roaming to the owner directly still counts once.
+	client.Close()
+	client, err = immunity.Connect(immunity.NewLoopback(hubs[1]), "roamer", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	time.Sleep(20 * time.Millisecond)
+	if got := confirmsAtOwner(); got != 1 {
+		t.Fatalf("confirmations after roaming to the owner = %d, want 1", got)
+	}
+	if hubs[1].ArmedCount() != 0 {
+		t.Fatal("armed below threshold")
+	}
+}
+
+// tcpHub serves one hub over TCP and returns its address.
+func tcpHub(t *testing.T, hub *immunity.Exchange, addr string) (*immunity.ExchangeServer, string) {
+	t.Helper()
+	srv, err := immunity.ServeTCP(hub, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, srv.Addr()
+}
+
+// TestClusterOwnerRestartPreservesConfirmations: the owner hub dies
+// after two of three confirmations and comes back over the same
+// provenance store; the third confirmation — forwarded through a
+// non-owner — must arm, proving the forwarded counts survived the
+// restart via the owner's provenance log.
+func TestClusterOwnerRestartPreservesConfirmations(t *testing.T) {
+	store := immunity.NewMemProvenance()
+
+	hubA, err := immunity.NewExchange(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubA.Close()
+	srvA, addrA := tcpHub(t, hubA, "127.0.0.1:0")
+	defer srvA.Close()
+
+	hubB, err := immunity.NewExchange(3, immunity.WithProvenanceStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, addrB := tcpHub(t, hubB, "127.0.0.1:0")
+
+	nodeA, err := cluster.New(cluster.Config{Self: "hubA", Hub: hubA,
+		Peers: []cluster.Member{{ID: "hubB", Transport: immunity.NewTCPTransport(addrB)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	nodeB, err := cluster.New(cluster.Config{Self: "hubB", Hub: hubB,
+		Peers: []cluster.Member{{ID: "hubA", Transport: immunity.NewTCPTransport(addrA)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sig := sigOwnedBy(t, nodeA.Ring(), "hubB")
+	key := sig.Key()
+	confirmsAtOwner := func(hub *immunity.Exchange) int {
+		for _, p := range hub.Provenance() {
+			if p.Key == key {
+				return p.Confirmations
+			}
+		}
+		return 0
+	}
+
+	// d1 through the non-owner (forwarded), d2 directly at the owner.
+	d1 := newPhone(t, "d1", immunity.NewTCPTransport(addrA))
+	d2 := newPhone(t, "d2", immunity.NewTCPTransport(addrB))
+	if _, _, err := d1.svc.Publish("local", sig); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d2.svc.Publish("local", sig); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "owner counts two confirmations", func() bool { return confirmsAtOwner(hubB) == 2 })
+
+	// Owner restarts: node, server, hub all die; a new incarnation
+	// resumes from the same store on the same address.
+	nodeB.Close()
+	srvB.Close()
+	hubB.Close()
+	hubB2, err := immunity.NewExchange(3, immunity.WithProvenanceStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubB2.Close()
+	srvB2, err := immunity.ServeTCP(hubB2, addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB2.Close()
+	nodeB2, err := cluster.New(cluster.Config{Self: "hubB", Hub: hubB2,
+		Peers: []cluster.Member{{ID: "hubA", Transport: immunity.NewTCPTransport(addrA)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB2.Close()
+
+	if got := confirmsAtOwner(hubB2); got != 2 {
+		t.Fatalf("restarted owner resumed %d confirmations, want 2", got)
+	}
+
+	// The third, threshold-completing confirmation arrives through the
+	// non-owner hub — whose link redials the restarted owner on its own.
+	d3 := newPhone(t, "d3", immunity.NewTCPTransport(addrA))
+	if _, _, err := d3.svc.Publish("local", sig); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "restarted owner arms at the threshold", func() bool { return hubB2.ArmedCount() == 1 })
+	waitFor(t, "arming reaches the non-owner hub", func() bool { return hubA.ArmedCount() == 1 })
+	for _, p := range []*phone{d1, d2, d3} {
+		ph := p
+		waitFor(t, "devices armed", func() bool { return ph.holds(key) })
+	}
+	if got := confirmsAtOwner(hubB2); got != 3 {
+		t.Fatalf("owner confirmations after arming = %d, want 3", got)
+	}
+}
+
+// TestClusterPartitionResubscribesFromSeq: a peer partitioned away from
+// an owner misses some armings; on reconnect it replays exactly the
+// missed ones — no duplicates, no gaps.
+func TestClusterPartitionResubscribesFromSeq(t *testing.T) {
+	hubA, err := immunity.NewExchange(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubA.Close()
+	srvA, addrA := tcpHub(t, hubA, "127.0.0.1:0")
+	defer srvA.Close()
+	hubB, err := immunity.NewExchange(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubB.Close()
+	srvB, addrB := tcpHub(t, hubB, "127.0.0.1:0")
+
+	nodeA, err := cluster.New(cluster.Config{Self: "hubA", Hub: hubA,
+		Peers: []cluster.Member{{ID: "hubB", Transport: immunity.NewTCPTransport(addrB)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	nodeB, err := cluster.New(cluster.Config{Self: "hubB", Hub: hubB,
+		Peers: []cluster.Member{{ID: "hubA", Transport: immunity.NewTCPTransport(addrA)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+
+	// Three distinct signatures all owned by hubB, armed on first report.
+	var sigs []*core.Signature
+	for i := 0; len(sigs) < 3 && i < 10000; i++ {
+		if sig := testSig(i); nodeA.Ring().Owner(sig.Key()) == "hubB" {
+			sigs = append(sigs, sig)
+		}
+	}
+	if len(sigs) < 3 {
+		t.Fatal("not enough hubB-owned signatures")
+	}
+
+	// The device rides loopback so the TCP bounce below partitions only
+	// the hub-to-hub link, not the device's own session.
+	dB := newPhone(t, "dB", immunity.NewLoopback(hubB))
+	if _, _, err := dB.svc.Publish("local", sigs[0]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first arming replicated to hubA", func() bool { return hubA.ArmedCount() == 1 })
+
+	// Partition: every socket into hubB dies (hubA's link included) and
+	// the listener bounces. While partitioned, hubB arms two more.
+	srvB.Close()
+	for _, sig := range sigs[1:] {
+		if _, _, err := dB.svc.Publish("local", sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "owner armed all three during the partition", func() bool { return hubB.ArmedCount() == 3 })
+	if hubA.ArmedCount() != 1 {
+		t.Fatalf("partitioned hub advanced to %d armings", hubA.ArmedCount())
+	}
+
+	srvB2, err := immunity.ServeTCP(hubB, addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB2.Close()
+
+	waitFor(t, "reconnected peer replayed the missed armings", func() bool { return hubA.ArmedCount() == 3 })
+	peerB := func() PeerStatusOf {
+		for _, ps := range nodeA.Status() {
+			if ps.ID == "hubB" {
+				return PeerStatusOf{ps, true}
+			}
+		}
+		return PeerStatusOf{}
+	}
+	// The cursor merge trails the installs by one handshake step
+	// (replay received mid-handshake is merged when dial accepts the
+	// session), so poll for the settled value rather than sampling.
+	waitFor(t, "peer cursor settled at 3", func() bool {
+		ps := peerB()
+		return ps.ok && ps.LastApplied == 3
+	})
+	ps := peerB()
+	if ps.Applied != 3 || ps.Duplicates != 0 {
+		t.Errorf("replay applied %d broadcasts with %d duplicates, want exactly the 3 missed and 0 duplicates",
+			ps.Applied, ps.Duplicates)
+	}
+}
+
+// PeerStatusOf wraps an optional peer status lookup.
+type PeerStatusOf struct {
+	cluster.PeerStatus
+	ok bool
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is the cluster's ownership function: a rendezvous (highest
+// random weight) hash over the member hub ids. Every hub evaluates the
+// same pure function over the same membership, so ownership needs no
+// coordination, no token ranges, and no state — and when a member is
+// added, only the keys whose highest-weight hub changed move (1/n of
+// the space on average), which is the property that makes growing the
+// cluster cheap.
+type Ring struct {
+	members []string // sorted, unique
+}
+
+// NewRing builds a ring over the given member ids (order-insensitive;
+// at least one, no duplicates, no empties).
+func NewRing(members ...string) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster ring: no members")
+	}
+	sorted := append([]string{}, members...)
+	sort.Strings(sorted)
+	for i, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("cluster ring: empty member id")
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("cluster ring: duplicate member id %q", m)
+		}
+	}
+	return &Ring{members: sorted}, nil
+}
+
+// Members returns the membership, sorted.
+func (r *Ring) Members() []string {
+	return append([]string{}, r.members...)
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// score is the rendezvous weight of (member, key).
+func score(member, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(member))
+	h.Write([]byte{0}) // separator: ("ab","c") must not collide with ("a","bc")
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the member owning key: the highest rendezvous score,
+// ties broken by member id so every hub picks the same winner.
+func (r *Ring) Owner(key string) string {
+	best := r.members[0]
+	bestScore := score(best, key)
+	for _, m := range r.members[1:] {
+		if s := score(m, key); s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}

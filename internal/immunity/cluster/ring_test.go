@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOwnerDeterministic: every node, whatever order it lists the
+// membership in, picks the same owner for the same key — the property
+// that lets ownership need no coordination.
+func TestRingOwnerDeterministic(t *testing.T) {
+	a, err := NewRing("hub-a", "hub-b", "hub-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing("hub-c", "hub-a", "hub-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("sig-key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner differs by member order: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingBalance: rendezvous hashing spreads ownership roughly evenly;
+// a pathological skew would concentrate the cluster's bookkeeping on
+// one hub and defeat the partitioning.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing("hub-a", "hub-b", "hub-c", "hub-d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("com.app.Cls.method:%d;com.app.Other.m:%d", i, i*7))]++
+	}
+	want := keys / r.Size()
+	for _, m := range r.Members() {
+		got := counts[m]
+		if got < want/2 || got > want*2 {
+			t.Errorf("member %s owns %d of %d keys (expected near %d)", m, got, keys, want)
+		}
+	}
+}
+
+// TestRingStabilityUnderGrowth: adding a member moves only the keys the
+// new member wins — existing keys never shuffle between old members.
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	old, err := NewRing("hub-a", "hub-b", "hub-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing("hub-a", "hub-b", "hub-c", "hub-d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("sig-%d", i)
+		was, is := old.Owner(key), grown.Owner(key)
+		if was != is {
+			moved++
+			if is != "hub-d" {
+				t.Fatalf("key %q moved between existing members: %q -> %q", key, was, is)
+			}
+		}
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Errorf("growth moved %d of %d keys (expected near %d)", moved, keys, keys/4)
+	}
+}
+
+// TestRingRejectsBadMembership: empty, duplicate, and blank ids fail.
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing("a", "a"); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := NewRing("a", ""); err == nil {
+		t.Error("blank member accepted")
+	}
+	r, err := NewRing("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Owner("anything") != "only" {
+		t.Error("single-member ring does not own everything")
+	}
+}

@@ -41,12 +41,17 @@ type Provenance struct {
 	// FirstSeen is the device that first reported the signature.
 	FirstSeen string
 	// Confirmations is the number of distinct devices that independently
-	// reported it.
+	// reported it. On a non-owning hub of a cluster this is the count
+	// replicated at arming, not a live view.
 	Confirmations int
-	// ConfirmedBy lists those devices, sorted.
+	// ConfirmedBy lists those devices, sorted. Only the owning hub holds
+	// the authoritative set; a replicated armed entry's is empty.
 	ConfirmedBy []string
 	// Armed reports whether the signature has been armed fleet-wide.
 	Armed bool
+	// Owner is the cluster id of the hub that owns the signature's
+	// confirm-before-arm bookkeeping ("" outside a cluster).
+	Owner string
 }
 
 // ExchangeStats snapshots the hub's counters.
@@ -70,6 +75,12 @@ type ExchangeStats struct {
 	// in-memory state still gates correctly; only restart durability of
 	// the failed record is lost).
 	PersistErrors uint64
+	// Forwards counts device-reported signatures relayed to their owning
+	// hub (cluster mode only).
+	Forwards uint64
+	// RemoteInstalls counts armed signatures installed from peer
+	// arm-broadcasts (cluster mode only).
+	RemoteInstalls uint64
 }
 
 // fleetSig is the hub-side state of one signature.
@@ -87,6 +98,39 @@ type fleetSig struct {
 	pushedTo map[string]bool
 	armed    bool
 	armEpoch uint64 // fleet epoch assigned at arming; 0 while unarmed
+
+	// Cluster fields. owner is the cluster id of the hub owning the
+	// signature's confirm bookkeeping ("" outside a cluster); ownerSeq is
+	// the owner's monotonic arming sequence (0 while unarmed) — for owned
+	// entries it orders peer catch-up replay, for replicated entries it is
+	// the peer resume point. remoteConfirms caches the confirmation count
+	// an arm-broadcast carried, so a non-owner hub can answer echo
+	// reports without a round trip to the owner.
+	owner          string
+	ownerSeq       uint64
+	remoteConfirms int
+}
+
+// ClusterBinding is how a federated cluster node (internal/immunity/
+// cluster) plugs into a hub. The Exchange calls it to decide ownership
+// and to relay device reports for foreign signatures; it never holds
+// Exchange.mu across these calls except Owns, which must therefore be
+// pure (no locking back into the Exchange).
+type ClusterBinding interface {
+	// SelfID is this hub's cluster id.
+	SelfID() string
+	// Members is the full ownership-ring membership, self included.
+	Members() []string
+	// Owns reports whether this hub owns the signature key. It is called
+	// with Exchange.mu held and must not call back into the Exchange.
+	Owns(key string) bool
+	// ForwardReport relays a device's report for foreign signatures
+	// toward their owning hubs, preserving the device attribution; keys
+	// holds each signature's canonical key (parallel to sigs) so the
+	// node can group by owner without re-decoding. It is called without
+	// Exchange.mu held and must not block (the cluster queues per-peer
+	// and redials in the background).
+	ForwardReport(device string, sigs []wire.Signature, keys []string)
 }
 
 // Exchange is the fleet hub. It holds no references to device Services —
@@ -111,6 +155,17 @@ type Exchange struct {
 	epoch                     uint64 // fleet arm counter (the delta epoch for pushes)
 	closed                    bool
 	reports, confirms, echoes uint64
+
+	// Cluster state (nil/zero outside a federation). cluster and selfID
+	// are set once by BindCluster before the hub serves traffic; peers
+	// maps cluster ids of hubs with a live inbound peer session to their
+	// conns; ownerSeq numbers this hub's own armings for peer catch-up.
+	cluster        ClusterBinding
+	selfID         string
+	peers          map[string]*Conn
+	ownerSeq       uint64
+	forwards       uint64
+	remoteInstalls uint64
 
 	// persistMu serializes provenance-store appends in mutation order;
 	// acquired while still holding mu, released after the write (same
@@ -149,6 +204,7 @@ func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error
 		threshold: confirmThreshold,
 		entries:   make(map[string]*fleetSig),
 		conns:     make(map[string]*Conn),
+		peers:     make(map[string]*Conn),
 		gen:       hex.EncodeToString(nonce[:]),
 	}
 	for _, opt := range opts {
@@ -165,13 +221,16 @@ func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error
 				return nil, fmt.Errorf("exchange: provenance record %q: %w", rec.Key, err)
 			}
 			e := &fleetSig{
-				sig:         sig,
-				seq:         rec.Seq,
-				firstSeen:   rec.FirstSeen,
-				confirmedBy: make(map[string]bool, len(rec.ConfirmedBy)),
-				pushedTo:    make(map[string]bool, len(rec.PushedTo)),
-				armed:       rec.Armed,
-				armEpoch:    rec.ArmEpoch,
+				sig:            sig,
+				seq:            rec.Seq,
+				firstSeen:      rec.FirstSeen,
+				confirmedBy:    make(map[string]bool, len(rec.ConfirmedBy)),
+				pushedTo:       make(map[string]bool, len(rec.PushedTo)),
+				armed:          rec.Armed,
+				armEpoch:       rec.ArmEpoch,
+				owner:          rec.Owner,
+				ownerSeq:       rec.OwnerSeq,
+				remoteConfirms: rec.RemoteConfirms,
 			}
 			for _, d := range rec.ConfirmedBy {
 				e.confirmedBy[d] = true
@@ -192,18 +251,70 @@ func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error
 // Threshold returns the confirm-before-arm threshold.
 func (x *Exchange) Threshold() int { return x.threshold }
 
+// BindCluster federates the hub: b decides per-signature ownership and
+// carries forwarded reports; the hub handles inbound peer sessions
+// (peer-hello, forward-report), broadcasts its own armings to them, and
+// installs peers' broadcasts via InstallRemote. Must be called before
+// the hub serves any traffic. Reloaded provenance is reconciled with
+// the ring: entries this hub owns get their owner stamped and — for
+// armed entries a pre-cluster hub never sequenced — an arming seq in
+// armEpoch order, so a freshly clustered or restarted owner replays its
+// full owned armed set to peers.
+func (x *Exchange) BindCluster(b ClusterBinding) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.cluster = b
+	x.selfID = b.SelfID()
+	for _, key := range x.order {
+		if e := x.entries[key]; e.ownerSeq > x.ownerSeq && e.owner == x.selfID {
+			x.ownerSeq = e.ownerSeq
+		}
+	}
+	type unseq struct {
+		key string
+		e   *fleetSig
+	}
+	var missing []unseq
+	for _, key := range x.order {
+		e := x.entries[key]
+		if b.Owns(key) {
+			e.owner = x.selfID
+			if e.armed && e.ownerSeq == 0 {
+				missing = append(missing, unseq{key, e})
+			}
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].e.armEpoch < missing[j].e.armEpoch })
+	for _, u := range missing {
+		x.ownerSeq++
+		u.e.ownerSeq = x.ownerSeq
+	}
+}
+
 // recordLocked snapshots e as a provenance record. Caller holds x.mu.
 func (x *Exchange) recordLocked(key string, e *fleetSig) ProvenanceRecord {
-	return ProvenanceRecord{
-		Seq:         e.seq,
-		Key:         key,
-		Sig:         wire.FromCore(e.sig),
-		FirstSeen:   e.firstSeen,
-		ConfirmedBy: sortedKeys(e.confirmedBy),
-		PushedTo:    sortedKeys(e.pushedTo),
-		Armed:       e.armed,
-		ArmEpoch:    e.armEpoch,
+	rec := ProvenanceRecord{
+		Seq:            e.seq,
+		Key:            key,
+		Sig:            wire.FromCore(e.sig),
+		FirstSeen:      e.firstSeen,
+		ConfirmedBy:    sortedKeys(e.confirmedBy),
+		PushedTo:       sortedKeys(e.pushedTo),
+		Armed:          e.armed,
+		ArmEpoch:       e.armEpoch,
+		Owner:          e.owner,
+		OwnerSeq:       e.ownerSeq,
+		RemoteConfirms: e.remoteConfirms,
 	}
+	if e.owner != "" && e.owner != x.selfID {
+		// Replicated armed entry: persist only the slim record — the
+		// signature, its owner, and the arming — never the confirmation
+		// bookkeeping, which is the owner's alone. pushedTo stays: it is
+		// this hub's own delivery state for its attached devices.
+		rec.ConfirmedBy = nil
+		rec.FirstSeen = ""
+	}
+	return rec
 }
 
 // persistHandoffLocked must be called with x.mu held and the dirty
@@ -250,19 +361,20 @@ func (x *Exchange) Accept(send func(wire.Message) error, closeSession func()) (*
 		return nil, fmt.Errorf("exchange: closed")
 	}
 	c := &Conn{hub: x, closeSession: closeSession}
+	// c.Close as onDead is safe to hand over before c.out is assigned:
+	// nothing can be enqueued (and thus no send can fail) until the
+	// caller has the Conn.
 	c.out = newMsgQueue(send, func(batches, sigs uint64) {
 		x.batchBatches.Add(batches)
 		x.batchSigs.Add(sigs)
-	})
-	// Set before Accept returns: nothing can be enqueued (and thus no
-	// send can fail) until the caller has the Conn.
-	c.out.onDead = c.Close
+	}, c.Close)
 	return c, nil
 }
 
-// Conn is the hub's side of one wire session. Transports create it with
-// Exchange.Accept, feed inbound messages to Handle, and Close it when
-// the session ends.
+// Conn is the hub's side of one wire session — a device session bound
+// by hello, or a peer-hub session bound by peer-hello. Transports
+// create it with Exchange.Accept, feed inbound messages to Handle, and
+// Close it when the session ends.
 type Conn struct {
 	hub          *Exchange
 	out          *msgQueue
@@ -270,6 +382,8 @@ type Conn struct {
 
 	mu        sync.Mutex
 	device    string // set by a successful hello
+	peerHub   string // set by a successful peer-hello
+	ver       int    // negotiated protocol version (0 before handshake)
 	closed    bool
 	closeOnce sync.Once
 }
@@ -281,10 +395,58 @@ func (c *Conn) Device() string {
 	return c.device
 }
 
+// PeerHub returns the cluster id bound by peer-hello, or "".
+func (c *Conn) PeerHub() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peerHub
+}
+
+// negotiate applies the wire version rule to a hello's advertised range
+// (a bare pre-negotiation hello advertises exactly its envelope
+// version) and records the session version. atLeast guards message sets
+// that did not exist below a version (peer messages).
+func (c *Conn) negotiate(envelopeV, minV, maxV, atLeast int) (int, error) {
+	if maxV == 0 {
+		minV, maxV = envelopeV, envelopeV
+	} else if envelopeV < minV || envelopeV > maxV {
+		// A range that does not even cover the hello's own envelope
+		// version is a broken (or lying) client; trusting the range
+		// would negotiate a version the peer demonstrably cannot frame.
+		return 0, fmt.Errorf("inconsistent protocol version %d outside advertised range %d..%d",
+			envelopeV, minV, maxV)
+	}
+	v, ok := wire.Negotiate(minV, maxV)
+	if !ok || v < atLeast {
+		return 0, fmt.Errorf("unsupported protocol version %d..%d (hub speaks %d..%d)",
+			minV, maxV, wire.MinVersion, wire.Version)
+	}
+	c.mu.Lock()
+	c.ver = v
+	c.mu.Unlock()
+	return v, nil
+}
+
+// push enqueues m stamped with the session's negotiated version — a
+// session negotiated at v1 must never receive a v2-framed envelope (the
+// versioning contract says an endpoint drops envelopes it does not
+// speak). Before a handshake settles a version (status probes,
+// refusals) the hub's own version stands.
+func (c *Conn) push(m wire.Message) {
+	c.mu.Lock()
+	if c.ver != 0 {
+		m.V = c.ver
+	} else {
+		m.V = wire.Version
+	}
+	c.mu.Unlock()
+	c.out.Enqueue(m)
+}
+
 // refuse sends a final failure ack and reports the protocol error.
 func (c *Conn) refuse(format string, args ...any) error {
 	msg := fmt.Sprintf(format, args...)
-	c.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeAck, Ack: &wire.Ack{OK: false, Error: msg}})
+	c.out.Enqueue(wire.Message{V: wire.Version, Type: wire.TypeAck, Ack: &wire.Ack{OK: false, Error: msg}})
 	return fmt.Errorf("exchange session: %s", msg)
 }
 
@@ -305,47 +467,68 @@ func (c *Conn) Handle(m wire.Message) error {
 		c.mu.Unlock()
 		return fmt.Errorf("exchange session: closed")
 	}
-	device := c.device
+	device, peerHub := c.device, c.peerHub
 	c.mu.Unlock()
 
 	switch m.Type {
 	case wire.TypeHello:
 		return c.handleHello(m)
+	case wire.TypePeerHello:
+		return c.handlePeerHello(m)
 	case wire.TypeStatusReq:
 		// Status is answerable before hello: monitoring probes need no
 		// device identity.
-		c.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeStatus, Status: c.hub.status()})
+		c.push(wire.Message{Type: wire.TypeStatus, Status: c.hub.status()})
 		return nil
 	case wire.TypeReport:
 		if device == "" {
 			return c.refuse("report before hello")
 		}
 		return c.handleReport(device, m.Report)
+	case wire.TypeForwardReport:
+		if peerHub == "" {
+			return c.refuse("forward-report before peer-hello")
+		}
+		return c.handleForwardReport(m.Forward)
 	default:
 		return c.refuse("unexpected client message type %q", m.Type)
 	}
 }
 
 // handleHello validates the handshake and registers the device: version
-// check, supersede of any stale session with the same device id, an ok
-// ack carrying the hub epoch, then one catch-up delta with every armed
-// signature the device's epoch predates.
+// negotiation, supersede of any stale session with the same device id,
+// an ok ack carrying the hub epoch and the negotiated version, then one
+// catch-up delta with every armed signature the device's epoch
+// predates. A v2 hello's per-gen epoch map takes precedence over the
+// flat epoch: the hub resumes the device from the epoch recorded for
+// *this* incarnation, or from zero when the device never spoke to it —
+// which is what lets one device roam between the hubs of a cluster.
 func (c *Conn) handleHello(m wire.Message) error {
-	if m.V != wire.Version {
-		return c.refuse("unsupported protocol version %d (hub speaks %d)", m.V, wire.Version)
-	}
 	h := m.Hello
+	ver, err := c.negotiate(m.V, h.MinV, h.MaxV, wire.MinVersion)
+	if err != nil {
+		return c.refuse("%v", err)
+	}
 	if h.Device == "" {
 		return c.refuse("empty device id")
 	}
+	epoch := h.Epoch
+	if h.Epochs != nil {
+		epoch = h.Epochs[c.hub.gen]
+	}
 	c.mu.Lock()
-	already := c.device
+	already, alreadyPeer := c.device, c.peerHub
 	c.mu.Unlock()
 	if already != "" {
 		// A second hello on one session would re-register the Conn under
 		// a new id while x.conns still mapped the old id to it, so pushes
 		// would be recorded against a device that never received them.
 		return c.refuse("duplicate hello (session already bound to device %s)", already)
+	}
+	if alreadyPeer != "" {
+		// A peer session moonlighting as a device would receive both
+		// tiers' pushes and pollute the pushedTo bookkeeping.
+		return c.refuse("hello on a session already bound to peer hub %s", alreadyPeer)
 	}
 
 	x := c.hub
@@ -366,7 +549,7 @@ func (c *Conn) handleHello(m wire.Message) error {
 	c.mu.Unlock()
 	x.conns[h.Device] = c
 
-	c.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeAck, Ack: &wire.Ack{OK: true, Epoch: x.epoch, Gen: x.gen}})
+	c.out.Enqueue(wire.Message{V: ver, Type: wire.TypeAck, Ack: &wire.Ack{OK: true, Epoch: x.epoch, Gen: x.gen, V: ver}})
 
 	// Catch-up: every armed signature the client's epoch predates, as a
 	// single batched delta, oldest arming first.
@@ -378,7 +561,7 @@ func (c *Conn) handleHello(m wire.Message) error {
 	}
 	var catchup []armedEntry
 	for _, key := range x.order {
-		if e := x.entries[key]; e.armed && e.armEpoch > h.Epoch {
+		if e := x.entries[key]; e.armed && e.armEpoch > epoch {
 			catchup = append(catchup, armedEntry{key, e})
 		}
 	}
@@ -391,7 +574,7 @@ func (c *Conn) handleHello(m wire.Message) error {
 		}
 	}
 	if len(sigs) > 0 {
-		c.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeDelta, Delta: &wire.Delta{Epoch: x.epoch, Sigs: sigs}})
+		c.push(wire.Message{Type: wire.TypeDelta, Delta: &wire.Delta{Epoch: x.epoch, Sigs: sigs}})
 	}
 	persist := x.persistHandoffLocked(dirty)
 	x.mu.Unlock()
@@ -404,9 +587,108 @@ func (c *Conn) handleHello(m wire.Message) error {
 		// on its own goroutine: it waits out the stale drain, which on a
 		// wedged TCP peer only unblocks at the transport write deadline,
 		// and the new session's handshake must not wait for that.
-		stale.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeAck,
+		stale.push(wire.Message{Type: wire.TypeAck,
 			Ack: &wire.Ack{OK: false, Error: fmt.Sprintf("superseded by a newer session for device %s", h.Device)}})
 		go stale.Close()
+	}
+	return nil
+}
+
+// handlePeerHello registers an inbound hub-to-hub session: version
+// negotiation (the peer set needs wire.PeerVersion), supersede of any
+// stale session from the same hub, an ok ack carrying this hub's
+// owned-arming seq and gen, then a replay of every owned armed
+// signature the peer's seq predates — one arm-broadcast each, oldest
+// first, the hub-to-hub twin of the device catch-up delta.
+func (c *Conn) handlePeerHello(m wire.Message) error {
+	h := m.PeerHello
+	ver, err := c.negotiate(m.V, h.MinV, h.MaxV, wire.PeerVersion)
+	if err != nil {
+		return c.refuse("%v", err)
+	}
+	if h.Hub == "" {
+		return c.refuse("empty peer hub id")
+	}
+	c.mu.Lock()
+	boundDevice, boundPeer := c.device, c.peerHub
+	c.mu.Unlock()
+	if boundDevice != "" || boundPeer != "" {
+		return c.refuse("duplicate hello (session already bound)")
+	}
+
+	x := c.hub
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return c.refuse("exchange closed")
+	}
+	if x.cluster == nil {
+		x.mu.Unlock()
+		return c.refuse("hub is not clustered")
+	}
+	if h.Hub == x.selfID {
+		x.mu.Unlock()
+		return c.refuse("peer hub id %q collides with this hub", h.Hub)
+	}
+	var stale *Conn
+	if old, ok := x.peers[h.Hub]; ok && old != c {
+		stale = old
+	}
+	c.mu.Lock()
+	c.peerHub = h.Hub
+	c.mu.Unlock()
+	x.peers[h.Hub] = c
+
+	c.out.Enqueue(wire.Message{V: ver, Type: wire.TypeAck,
+		Ack: &wire.Ack{OK: true, Epoch: x.ownerSeq, Gen: x.gen, V: ver}})
+
+	// Replay missed owned armings in seq order.
+	type ownedEntry struct {
+		key string
+		e   *fleetSig
+	}
+	var replay []ownedEntry
+	for _, key := range x.order {
+		if e := x.entries[key]; e.armed && e.owner == x.selfID && e.ownerSeq > h.Seq {
+			replay = append(replay, ownedEntry{key, e})
+		}
+	}
+	sort.Slice(replay, func(i, j int) bool { return replay[i].e.ownerSeq < replay[j].e.ownerSeq })
+	for _, oe := range replay {
+		c.out.Enqueue(wire.Message{V: ver, Type: wire.TypeArmBroadcast,
+			Arm: &wire.ArmBroadcast{Owner: x.selfID, Seq: oe.e.ownerSeq,
+				Confirmations: len(oe.e.confirmedBy), Sig: wire.FromCore(oe.e.sig)}})
+	}
+	x.mu.Unlock()
+
+	if stale != nil {
+		stale.push(wire.Message{Type: wire.TypeAck,
+			Ack: &wire.Ack{OK: false, Error: fmt.Sprintf("superseded by a newer session for hub %s", h.Hub)}})
+		go stale.Close()
+	}
+	return nil
+}
+
+// handleForwardReport records a peer-relayed device report against the
+// original device — the owner's (device, signature) dedup therefore
+// counts a confirmation at most once however many hops or retries it
+// took — and sends each receipt back as a forward-confirm for the
+// forwarding hub to relay to the device.
+func (c *Conn) handleForwardReport(f *wire.ForwardReport) error {
+	if f.Device == "" {
+		return c.refuse("forward-report with empty device id")
+	}
+	sigs := make([]*core.Signature, 0, len(f.Sigs))
+	for _, ws := range f.Sigs {
+		sig, err := ws.ToCore()
+		if err != nil {
+			return c.refuse("malformed forwarded signature: %v", err)
+		}
+		sigs = append(sigs, sig)
+	}
+	for _, confirm := range c.hub.reportFrom(f.Device, sigs, true) {
+		c.push(wire.Message{Type: wire.TypeForwardConfirm,
+			FwdConfirm: &wire.ForwardConfirm{Device: f.Device, Confirm: *confirm}})
 	}
 	return nil
 }
@@ -425,8 +707,8 @@ func (c *Conn) handleReport(device string, r *wire.Report) error {
 		}
 		sigs = append(sigs, sig)
 	}
-	for _, confirm := range c.hub.reportAll(device, sigs) {
-		c.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeConfirm, Confirm: confirm})
+	for _, confirm := range c.hub.reportFrom(device, sigs, false) {
+		c.push(wire.Message{Type: wire.TypeConfirm, Confirm: confirm})
 	}
 	return nil
 }
@@ -438,15 +720,18 @@ func (c *Conn) Close() {
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		c.closed = true
-		device := c.device
+		device, peerHub := c.device, c.peerHub
 		c.mu.Unlock()
 		x := c.hub
 		x.mu.Lock()
 		if device != "" && x.conns[device] == c {
 			delete(x.conns, device)
 		}
+		if peerHub != "" && x.peers[peerHub] == c {
+			delete(x.peers, peerHub)
+		}
 		x.mu.Unlock()
-		c.out.close()
+		c.out.Close()
 		if c.closeSession != nil {
 			c.closeSession()
 		}
@@ -456,18 +741,28 @@ func (c *Conn) Close() {
 // report records a single confirmation; tests drive the hub's dedup
 // guards through it directly.
 func (x *Exchange) report(device string, sig *core.Signature) (confirmations int, armed bool) {
-	confirms := x.reportAll(device, []*core.Signature{sig})
+	confirms := x.reportFrom(device, []*core.Signature{sig}, false)
 	if len(confirms) == 0 {
 		return 0, false
 	}
 	return confirms[0].Confirmations, confirms[0].Armed
 }
 
-// reportAll records the batch as confirmations by device and arms
+// reportFrom records the batch as confirmations by device and arms
 // signatures whose threshold is reached, under one hub lock and one
 // provenance write. It returns a confirm receipt per signature and is
 // called from transport goroutines with no service or core locks held.
-func (x *Exchange) reportAll(device string, sigs []*core.Signature) []*wire.Confirm {
+//
+// In a cluster the hub arbitrates only the signatures it owns. A
+// foreign signature's report is relayed to its owner (the receipt
+// arrives later as a forward-confirm and reaches the device through
+// DeliverConfirm) — unless this hub already delivered the signature to
+// that device, in which case the report is the push coming back and is
+// answered locally as an echo. forwarded marks a batch that arrived
+// over a peer link: it is never relayed again, so disagreeing ownership
+// rings (a mid-rollout membership change) degrade to local counting
+// instead of forwarding ping-pong.
+func (x *Exchange) reportFrom(device string, sigs []*core.Signature, forwarded bool) []*wire.Confirm {
 	x.mu.Lock()
 	if x.closed {
 		x.mu.Unlock()
@@ -475,9 +770,26 @@ func (x *Exchange) reportAll(device string, sigs []*core.Signature) []*wire.Conf
 	}
 	confirms := make([]*wire.Confirm, 0, len(sigs))
 	var dirty []ProvenanceRecord
+	var fwd []wire.Signature
+	var fwdKeys []string
+	var broadcasts []*wire.ArmBroadcast
 	for _, sig := range sigs {
 		key := sig.Key()
 		x.reports++
+		if x.cluster != nil && !forwarded && !x.cluster.Owns(key) {
+			if e, ok := x.entries[key]; ok && (e.pushedTo[device] || e.confirmedBy[device]) {
+				// The device only holds the signature because this hub (or
+				// a previous forward) already accounted for it: echo.
+				x.echoes++
+				confirms = append(confirms, &wire.Confirm{Key: key,
+					Confirmations: max(len(e.confirmedBy), e.remoteConfirms), Armed: e.armed})
+				continue
+			}
+			x.forwards++
+			fwd = append(fwd, wire.FromCore(sig))
+			fwdKeys = append(fwdKeys, key)
+			continue
+		}
 		e, ok := x.entries[key]
 		if !ok {
 			e = &fleetSig{
@@ -486,6 +798,7 @@ func (x *Exchange) reportAll(device string, sigs []*core.Signature) []*wire.Conf
 				firstSeen:   device,
 				confirmedBy: make(map[string]bool),
 				pushedTo:    make(map[string]bool),
+				owner:       x.selfID,
 			}
 			x.entries[key] = e
 			x.order = append(x.order, key)
@@ -500,23 +813,132 @@ func (x *Exchange) reportAll(device string, sigs []*core.Signature) []*wire.Conf
 			e.confirmedBy[device] = true
 			x.confirms++
 			if !e.armed && len(e.confirmedBy) >= x.threshold {
-				e.armed = true
-				x.epoch++
-				e.armEpoch = x.epoch
-				d := &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{wire.FromCore(e.sig)}}
-				for id, conn := range x.conns {
-					conn.out.enqueue(wire.Message{V: wire.Version, Type: wire.TypeDelta, Delta: d})
-					e.pushedTo[id] = true
+				x.armLocked(key, e)
+				if x.cluster != nil && e.owner == x.selfID {
+					broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
+						Confirmations: len(e.confirmedBy), Sig: wire.FromCore(e.sig)})
 				}
 			}
 			dirty = append(dirty, x.recordLocked(key, e))
 		}
 		confirms = append(confirms, &wire.Confirm{Key: key, Confirmations: len(e.confirmedBy), Armed: e.armed})
 	}
+	// Owned armings fan out to every live inbound peer session; peers
+	// that are down catch up from their next peer-hello's seq.
+	for _, b := range broadcasts {
+		for _, pc := range x.peers {
+			pc.push(wire.Message{Type: wire.TypeArmBroadcast, Arm: b})
+		}
+	}
+	cluster := x.cluster
 	persist := x.persistHandoffLocked(dirty)
 	x.mu.Unlock()
 	persist()
+	if len(fwd) > 0 {
+		cluster.ForwardReport(device, fwd, fwdKeys)
+	}
 	return confirms
+}
+
+// armLocked arms an owned entry: it assigns the local fleet epoch, the
+// owner arming seq (cluster mode), and pushes the delta to every
+// attached device. Caller holds x.mu and appends the dirty record.
+func (x *Exchange) armLocked(key string, e *fleetSig) {
+	e.armed = true
+	x.epoch++
+	e.armEpoch = x.epoch
+	if x.cluster != nil {
+		x.ownerSeq++
+		e.ownerSeq = x.ownerSeq
+	}
+	d := &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{wire.FromCore(e.sig)}}
+	for id, conn := range x.conns {
+		conn.push(wire.Message{Type: wire.TypeDelta, Delta: d})
+		e.pushedTo[id] = true
+	}
+}
+
+// InstallRemote applies one peer arm-broadcast: the signature is
+// recorded as armed under its owner, assigned this hub's next local
+// fleet epoch, pushed to every attached device, and persisted as a
+// replicated (slim) provenance record. Re-delivered broadcasts — a peer
+// replay after an ownership-ring hiccup, an at-least-once forward
+// outbox — only refresh the replicated metadata. It returns whether the
+// broadcast newly armed the signature here.
+func (x *Exchange) InstallRemote(b wire.ArmBroadcast) (bool, error) {
+	sig, err := b.Sig.ToCore()
+	if err != nil {
+		return false, fmt.Errorf("exchange: remote arm from %s: %w", b.Owner, err)
+	}
+	key := sig.Key()
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return false, fmt.Errorf("exchange: closed")
+	}
+	e, ok := x.entries[key]
+	if !ok {
+		e = &fleetSig{
+			sig:         &core.Signature{Kind: sig.Kind, Pairs: core.ClonePairs(sig.Pairs)},
+			seq:         len(x.order) + 1,
+			confirmedBy: make(map[string]bool),
+			pushedTo:    make(map[string]bool),
+		}
+		x.entries[key] = e
+		x.order = append(x.order, key)
+	}
+	e.owner = b.Owner
+	if b.Seq > e.ownerSeq {
+		e.ownerSeq = b.Seq
+	}
+	if b.Confirmations > e.remoteConfirms {
+		e.remoteConfirms = b.Confirmations
+	}
+	applied := !e.armed
+	if applied {
+		e.armed = true
+		x.epoch++
+		e.armEpoch = x.epoch
+		x.remoteInstalls++
+		d := &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{wire.FromCore(e.sig)}}
+		for id, conn := range x.conns {
+			conn.push(wire.Message{Type: wire.TypeDelta, Delta: d})
+			e.pushedTo[id] = true
+		}
+	}
+	persist := x.persistHandoffLocked([]ProvenanceRecord{x.recordLocked(key, e)})
+	x.mu.Unlock()
+	persist()
+	return applied, nil
+}
+
+// DeliverConfirm relays an owner's forward-confirm receipt to the
+// reporting device's live session; a device that disconnected meanwhile
+// simply misses the receipt (confirms are informational — the arming
+// itself travels by broadcast and delta).
+func (x *Exchange) DeliverConfirm(device string, cf wire.Confirm) {
+	x.mu.Lock()
+	conn, ok := x.conns[device]
+	x.mu.Unlock()
+	if ok {
+		conn.push(wire.Message{Type: wire.TypeConfirm, Confirm: &cf})
+	}
+}
+
+// RemoteSeqs returns, per foreign owner hub, the highest arming seq
+// this hub has applied — the cluster node's resume points after a
+// restart over durable provenance.
+func (x *Exchange) RemoteSeqs() map[string]uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make(map[string]uint64)
+	for _, key := range x.order {
+		e := x.entries[key]
+		if e.owner != "" && e.owner != x.selfID && e.ownerSeq > out[e.owner] {
+			out[e.owner] = e.ownerSeq
+		}
+	}
+	return out
 }
 
 // status snapshots the hub as a wire status payload.
@@ -527,20 +949,41 @@ func (x *Exchange) status() *wire.Status {
 		Epoch:     x.epoch,
 		Threshold: x.threshold,
 		Batching:  wire.Batching{Batches: x.batchBatches.Load(), Signatures: x.batchSigs.Load()},
+		Hub:       x.selfID,
 	}
 	for id := range x.conns {
 		st.Devices = append(st.Devices, id)
 	}
 	sort.Strings(st.Devices)
+	if x.cluster != nil {
+		cs := &wire.ClusterStatus{
+			Members:  x.cluster.Members(),
+			OwnerSeq: x.ownerSeq,
+			Forwards: x.forwards,
+		}
+		for id := range x.peers {
+			cs.Peers = append(cs.Peers, id)
+		}
+		sort.Strings(cs.Peers)
+		for _, key := range x.order {
+			if e := x.entries[key]; e.owner != "" && e.owner != x.selfID {
+				cs.Remote++
+			} else {
+				cs.Owned++
+			}
+		}
+		st.Cluster = cs
+	}
 	for _, key := range x.order {
 		e := x.entries[key]
 		st.Provenance = append(st.Provenance, wire.SigStatus{
 			Key:           key,
 			Kind:          e.sig.Kind.String(),
 			FirstSeen:     e.firstSeen,
-			Confirmations: len(e.confirmedBy),
+			Confirmations: max(len(e.confirmedBy), e.remoteConfirms),
 			ConfirmedBy:   sortedKeys(e.confirmedBy),
 			Armed:         e.armed,
+			Owner:         e.owner,
 		})
 	}
 	return st
@@ -562,9 +1005,10 @@ func (x *Exchange) Provenance() []Provenance {
 			Key:           key,
 			Kind:          e.sig.Kind,
 			FirstSeen:     e.firstSeen,
-			Confirmations: len(e.confirmedBy),
+			Confirmations: max(len(e.confirmedBy), e.remoteConfirms),
 			ConfirmedBy:   sortedKeys(e.confirmedBy),
 			Armed:         e.armed,
+			Owner:         e.owner,
 		})
 	}
 	return out
@@ -590,6 +1034,8 @@ func (x *Exchange) Stats() ExchangeStats {
 		DeltaBatches:    x.batchBatches.Load(),
 		DeltaSignatures: x.batchSigs.Load(),
 		PersistErrors:   x.persistErrors.Load(),
+		Forwards:        x.forwards,
+		RemoteInstalls:  x.remoteInstalls,
 	}
 }
 
@@ -603,8 +1049,11 @@ func (x *Exchange) Close() {
 		return
 	}
 	x.closed = true
-	conns := make([]*Conn, 0, len(x.conns))
+	conns := make([]*Conn, 0, len(x.conns)+len(x.peers))
 	for _, c := range x.conns {
+		conns = append(conns, c)
+	}
+	for _, c := range x.peers {
 		conns = append(conns, c)
 	}
 	x.mu.Unlock()
@@ -622,111 +1071,42 @@ func (x *Exchange) Close() {
 	wg.Wait()
 }
 
-// msgQueue is a connection's ordered hub→client push queue, drained by a
-// dedicated goroutine so the hub never blocks on a slow session, with
-// delta coalescing: consecutive queued deltas collapse into one wire
-// message carrying the newest epoch — under a publish storm a slow
-// subscriber receives one batched push, never a backlog of stale ones.
-type msgQueue struct {
-	send    func(wire.Message) error
-	onBatch func(batches, sigs uint64)
-	// onDead runs (once, on its own goroutine) when a send fails: the
-	// session is unusable and its Conn must be torn down even if the
-	// peer never closes its side of the socket (a reader that went
-	// silent would otherwise stay registered forever).
-	onDead func()
+// msgQueue is a connection's ordered hub→client push queue: a
+// Queue[wire.Message] drained by a dedicated goroutine so the hub never
+// blocks on a slow session, with delta coalescing — consecutive queued
+// deltas collapse into one wire message carrying the newest epoch, so
+// under a publish storm a slow subscriber receives one batched push,
+// never a backlog of stale ones. A send failure kills the queue and
+// fires onDead: the session is unusable and its Conn must be torn down
+// even if the peer never closes its side of the socket.
+type msgQueue = Queue[wire.Message]
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []wire.Message
-	closed bool
-	done   chan struct{}
-}
-
-func newMsgQueue(send func(wire.Message) error, onBatch func(batches, sigs uint64)) *msgQueue {
-	q := &msgQueue{send: send, onBatch: onBatch, done: make(chan struct{})}
-	q.cond = sync.NewCond(&q.mu)
-	go q.drain()
-	return q
-}
-
-// enqueue appends a message. Never blocks.
-func (q *msgQueue) enqueue(m wire.Message) {
-	q.mu.Lock()
-	if !q.closed {
-		q.queue = append(q.queue, m)
-		q.cond.Signal()
+// mergeWireDeltas coalesces two adjacent delta messages, preserving
+// ordering relative to non-delta messages; the merged delta carries the
+// newest epoch of the pair, so no stale epoch is ever sent.
+func mergeWireDeltas(prev, next wire.Message) (wire.Message, bool) {
+	if prev.Type != wire.TypeDelta || next.Type != wire.TypeDelta {
+		return prev, false
 	}
-	q.mu.Unlock()
+	merged := &wire.Delta{Epoch: prev.Delta.Epoch,
+		Sigs: append(append([]wire.Signature{}, prev.Delta.Sigs...), next.Delta.Sigs...)}
+	if next.Delta.Epoch > merged.Epoch {
+		merged.Epoch = next.Delta.Epoch
+	}
+	out := prev
+	out.Delta = merged
+	return out, true
 }
 
-// coalesce collapses consecutive deltas in batch into single messages.
-// Ordering relative to non-delta messages is preserved; a merged delta
-// carries the newest epoch of its run, so no stale epoch is ever sent.
-func coalesce(batch []wire.Message) []wire.Message {
-	out := batch[:0]
-	for _, m := range batch {
-		if m.Type == wire.TypeDelta && len(out) > 0 && out[len(out)-1].Type == wire.TypeDelta {
-			prev := out[len(out)-1].Delta
-			merged := &wire.Delta{Epoch: prev.Epoch, Sigs: append(append([]wire.Signature{}, prev.Sigs...), m.Delta.Sigs...)}
-			if m.Delta.Epoch > merged.Epoch {
-				merged.Epoch = m.Delta.Epoch
+func newMsgQueue(send func(wire.Message) error, onBatch func(batches, sigs uint64), onDead func()) *msgQueue {
+	return NewQueue(QueueConfig[wire.Message]{
+		Deliver: send,
+		Merge:   mergeWireDeltas,
+		OnDeliver: func(m wire.Message) {
+			if m.Type == wire.TypeDelta && onBatch != nil {
+				onBatch(1, uint64(len(m.Delta.Sigs)))
 			}
-			out[len(out)-1].Delta = merged
-			continue
-		}
-		out = append(out, m)
-	}
-	return out
-}
-
-// drain sends queued messages in order until closed, coalescing pending
-// deltas. A send error ends the queue and fires onDead (on a fresh
-// goroutine — the teardown calls close, which waits for this goroutine
-// to exit).
-func (q *msgQueue) drain() {
-	defer close(q.done)
-	for {
-		q.mu.Lock()
-		for len(q.queue) == 0 && !q.closed {
-			q.cond.Wait()
-		}
-		if len(q.queue) == 0 && q.closed {
-			q.mu.Unlock()
-			return
-		}
-		batch := q.queue
-		q.queue = nil
-		q.mu.Unlock()
-		for _, m := range coalesce(batch) {
-			if err := q.send(m); err != nil {
-				q.mu.Lock()
-				q.closed = true
-				q.queue = nil
-				q.mu.Unlock()
-				if q.onDead != nil {
-					go q.onDead()
-				}
-				return
-			}
-			if m.Type == wire.TypeDelta && q.onBatch != nil {
-				q.onBatch(1, uint64(len(m.Delta.Sigs)))
-			}
-		}
-	}
-}
-
-// close stops the queue after delivering what is already enqueued, and
-// waits for the drain goroutine to exit.
-func (q *msgQueue) close() {
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
-		<-q.done
-		return
-	}
-	q.closed = true
-	q.cond.Signal()
-	q.mu.Unlock()
-	<-q.done
+		},
+		OnDead: onDead,
+	})
 }

@@ -28,6 +28,14 @@
 //     devices has confirmed it, so one device's false positive cannot
 //     degrade the whole fleet.
 //
+// For fleets beyond what one hub can carry, the cluster subpackage
+// federates several Exchanges into one logical hub: each signature is
+// owned by exactly one hub (rendezvous hashing), non-owner hubs forward
+// reports to the owner over the wire protocol's peer message set, and
+// owned armings broadcast cluster-wide. Devices attach to any hub
+// unchanged; the ExchangeClient's per-incarnation epoch map even lets
+// one device roam between hubs (see NewMultiTransport).
+//
 // # Transports and the wire protocol
 //
 // The Exchange speaks only the versioned wire protocol defined in the
@@ -119,96 +127,36 @@ type delta struct {
 }
 
 // subscriber is one live process's (or observer's) ordered delivery
-// queue, drained by a dedicated goroutine so Publish never blocks on a
-// slow consumer and never calls into a core synchronously. Pending
-// deltas are coalesced into one delivery carrying the newest epoch, so
-// a subscriber that fell behind a publish storm catches up in a single
-// callback and never observes a stale epoch.
-type subscriber struct {
-	name string
-	fn   func(epoch uint64, sigs []*core.Signature)
-	// onBatch, when set, observes each delivery: one batch of n
-	// signatures (the service's batching counters).
-	onBatch func(n int)
+// queue: a Queue[delta] drained by a dedicated goroutine so Publish
+// never blocks on a slow consumer and never calls into a core
+// synchronously. Pending deltas are coalesced into one delivery
+// carrying the newest epoch, so a subscriber that fell behind a publish
+// storm catches up in a single callback and never observes a stale
+// epoch.
+type subscriber = Queue[delta]
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []delta
-	closed bool
-	done   chan struct{}
-}
-
-func newSubscriber(name string, fn func(epoch uint64, sigs []*core.Signature), onBatch func(n int)) *subscriber {
-	s := &subscriber{name: name, fn: fn, onBatch: onBatch, done: make(chan struct{})}
-	s.cond = sync.NewCond(&s.mu)
-	go s.drain()
-	return s
-}
-
-// enqueue appends a delta to the queue. Never blocks.
-func (s *subscriber) enqueue(d delta) {
-	s.mu.Lock()
-	if !s.closed {
-		s.queue = append(s.queue, d)
-		s.cond.Signal()
+// mergeDeltas coalesces two adjacent deltas into one carrying the
+// newest epoch. It copies prev's signature slice — queued deltas are
+// shared with the other subscribers' queues.
+func mergeDeltas(prev, next delta) (delta, bool) {
+	merged := delta{epoch: prev.epoch,
+		sigs: append(append(make([]*core.Signature, 0, len(prev.sigs)+len(next.sigs)), prev.sigs...), next.sigs...)}
+	if next.epoch > merged.epoch {
+		merged.epoch = next.epoch
 	}
-	s.mu.Unlock()
+	return merged, true
 }
 
-// drain delivers queued deltas until closed, coalescing everything
-// pending into one callback with the newest epoch. The callback runs
-// with no locks held.
-func (s *subscriber) drain() {
-	defer close(s.done)
-	for {
-		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed {
-			s.cond.Wait()
-		}
-		if len(s.queue) == 0 && s.closed {
-			s.mu.Unlock()
-			return
-		}
-		batch := s.queue
-		s.queue = nil
-		s.mu.Unlock()
-		merged := batch[0]
-		if len(batch) > 1 {
-			// Copy before merging: the queued slices are shared with the
-			// other subscribers' queues.
-			total := 0
-			for _, d := range batch {
-				total += len(d.sigs)
+func newSubscriber(fn func(epoch uint64, sigs []*core.Signature), onBatch func(n int)) *subscriber {
+	return NewQueue(QueueConfig[delta]{
+		Deliver: func(d delta) error { fn(d.epoch, d.sigs); return nil },
+		Merge:   mergeDeltas,
+		OnDeliver: func(d delta) {
+			if onBatch != nil {
+				onBatch(len(d.sigs))
 			}
-			sigs := make([]*core.Signature, 0, total)
-			for _, d := range batch {
-				sigs = append(sigs, d.sigs...)
-				if d.epoch > merged.epoch {
-					merged.epoch = d.epoch
-				}
-			}
-			merged.sigs = sigs
-		}
-		if s.onBatch != nil {
-			s.onBatch(len(merged.sigs))
-		}
-		s.fn(merged.epoch, merged.sigs)
-	}
-}
-
-// close stops the queue after delivering what is already enqueued, and
-// waits for the drain goroutine to exit.
-func (s *subscriber) close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		<-s.done
-		return
-	}
-	s.closed = true
-	s.cond.Signal()
-	s.mu.Unlock()
-	<-s.done
+		},
+	})
 }
 
 // ServiceStats snapshots a Service's counters.
@@ -365,7 +313,7 @@ func (s *Service) Publish(source string, sig *core.Signature) (epoch uint64, fre
 	s.stats.Published++
 	d := delta{epoch: epoch, sigs: []*core.Signature{cp}}
 	for _, sub := range s.subs {
-		sub.enqueue(d)
+		sub.Enqueue(d)
 		s.stats.Deliveries++
 	}
 	store := s.store
@@ -401,14 +349,14 @@ func (s *Service) Publish(source string, sig *core.Signature) (epoch uint64, fre
 // to exit. Together with Epoch and the HistoryStore methods this
 // implements vm.SignatureBus.
 func (s *Service) Subscribe(name string, from uint64, fn func(epoch uint64, sigs []*core.Signature)) (cancel func()) {
-	sub := newSubscriber(name, fn, func(n int) {
+	sub := newSubscriber(fn, func(n int) {
 		s.batchBatches.Add(1)
 		s.batchSigs.Add(uint64(n))
 	})
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		sub.close()
+		sub.Close()
 		return func() {}
 	}
 	id := s.nextSub
@@ -417,7 +365,7 @@ func (s *Service) Subscribe(name string, from uint64, fn func(epoch uint64, sigs
 	if cur := uint64(len(s.sigs)); from < cur {
 		catchup := delta{epoch: cur, sigs: make([]*core.Signature, 0, cur-from)}
 		catchup.sigs = append(catchup.sigs, s.sigs[from:cur]...)
-		sub.enqueue(catchup)
+		sub.Enqueue(catchup)
 		s.stats.Deliveries++
 	}
 	s.mu.Unlock()
@@ -428,7 +376,7 @@ func (s *Service) Subscribe(name string, from uint64, fn func(epoch uint64, sigs
 			s.mu.Lock()
 			delete(s.subs, id)
 			s.mu.Unlock()
-			sub.close()
+			sub.Close()
 		})
 	}
 }
@@ -469,7 +417,7 @@ func (s *Service) Close() {
 	s.subs = make(map[int]*subscriber)
 	s.mu.Unlock()
 	for _, sub := range subs {
-		sub.close()
+		sub.Close()
 	}
 }
 

@@ -1,0 +1,154 @@
+package immunity
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// legacyHub simulates a pre-negotiation (v1) hub: it ignores the
+// hello's version range and per-gen epoch map, filters catch-up by the
+// flat epoch alone, and acks without a negotiated version — the
+// mid-rollout peer a freshly upgraded client must still sync with.
+type legacyHub struct {
+	gen  string
+	sigs []wire.Signature // armed, armEpoch == index+1
+
+	mu     sync.Mutex
+	hellos []wire.Hello // observed handshakes
+}
+
+type legacySession struct {
+	hub  *legacyHub
+	recv func(wire.Message)
+}
+
+func (h *legacyHub) Dial(recv func(wire.Message), down func(err error)) (Session, error) {
+	return &legacySession{hub: h, recv: recv}, nil
+}
+
+func (s *legacySession) Send(m wire.Message) error {
+	if m.Type != wire.TypeHello {
+		return nil // reports are irrelevant to this hub
+	}
+	h := s.hub
+	h.mu.Lock()
+	h.hellos = append(h.hellos, *m.Hello)
+	h.mu.Unlock()
+	flat := m.Hello.Epoch // a v1 hub reads nothing else
+	go func() {
+		s.recv(wire.Message{V: 1, Type: wire.TypeAck,
+			Ack: &wire.Ack{OK: true, Epoch: uint64(len(h.sigs)), Gen: h.gen}})
+		var missed []wire.Signature
+		for i, ws := range h.sigs {
+			if uint64(i+1) > flat {
+				missed = append(missed, ws)
+			}
+		}
+		if len(missed) > 0 {
+			s.recv(wire.Message{V: 1, Type: wire.TypeDelta,
+				Delta: &wire.Delta{Epoch: uint64(len(h.sigs)), Sigs: missed}})
+		}
+	}()
+	return nil
+}
+
+func (s *legacySession) Close() error { return nil }
+
+// switchTransport swaps its backend mid-test, modeling a device whose
+// redial lands on a different hub.
+type switchTransport struct {
+	mu    sync.Mutex
+	inner Transport
+}
+
+func (s *switchTransport) Dial(recv func(wire.Message), down func(err error)) (Session, error) {
+	s.mu.Lock()
+	inner := s.inner
+	s.mu.Unlock()
+	if inner == nil {
+		return nil, errors.New("no backend")
+	}
+	return inner.Dial(recv, down)
+}
+
+// TestClientRedialIntoLegacyHub: a client carrying a fleet epoch from
+// one hub incarnation redials into a pre-negotiation hub that filters
+// catch-up by the flat epoch alone. The client must detect the foreign
+// filter (no negotiated version in the ack, flat epoch ahead of its
+// resume point for that gen) and redial so the legacy hub replays its
+// full armed set — losing none of the armings the first, wrongly
+// filtered session skipped.
+func TestClientRedialIntoLegacyHub(t *testing.T) {
+	hub1 := newTestHub(t, 1)
+	sw := &switchTransport{inner: NewLoopback(hub1)}
+
+	svc, err := NewService("roamer", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	client, err := Connect(sw, "roamer", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Arm two signatures on hub1 so the client's resume point for gen1
+	// is 2 — a flat epoch that would wrongly filter a different hub's
+	// catch-up.
+	confirmer, err := NewService("confirmer", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer confirmer.Close()
+	cClient, err := Connect(NewLoopback(hub1), "confirmer", confirmer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cClient.Close()
+	for i := 0; i < 2; i++ {
+		if _, _, err := confirmer.Publish("local", testSig(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "client applied hub1's armings", func() bool { return client.FleetEpoch() == 2 })
+
+	// The redial lands on a legacy hub holding three armed signatures
+	// the client has never seen.
+	legacy := &legacyHub{gen: "legacy-gen",
+		sigs: []wire.Signature{wire.FromCore(testSig(10)), wire.FromCore(testSig(11)), wire.FromCore(testSig(12))}}
+	sw.mu.Lock()
+	sw.inner = legacy
+	sw.mu.Unlock()
+	hub1.Close() // drops the live session; the client redials into legacy
+
+	for i := 10; i <= 12; i++ {
+		key := testSig(i).Key()
+		waitFor(t, "legacy hub's armings all install", func() bool {
+			sigs, _, err := svc.Snapshot()
+			if err != nil {
+				return false
+			}
+			for _, sig := range sigs {
+				if sig.Key() == key {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	// The client detected the foreign flat-epoch filter and re-helloed
+	// with the legacy hub's own resume point (0).
+	legacy.mu.Lock()
+	defer legacy.mu.Unlock()
+	if len(legacy.hellos) < 2 {
+		t.Fatalf("client accepted the wrongly filtered first session (hellos: %+v)", legacy.hellos)
+	}
+	last := legacy.hellos[len(legacy.hellos)-1]
+	if last.Epoch != 0 {
+		t.Fatalf("redial hello carried flat epoch %d, want 0 (the legacy hub's own resume point)", last.Epoch)
+	}
+}

@@ -1,0 +1,61 @@
+package immunity
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// MultiTransport fans a device out over several hub transports — the
+// addresses of a federated hub cluster. Every dial tries the backends
+// in rotation starting after the last one that answered, so a device
+// sticks to a healthy hub while it stays healthy and rolls to the next
+// when it dies; the client's per-gen epoch map (hello `epochs`) makes
+// the roam seamless, because whichever hub answers finds its own resume
+// point in the hello. Combined with the cluster's per-signature
+// ownership this means a device needs no knowledge of which hub owns
+// what: it attaches anywhere, and the hubs route its reports.
+type MultiTransport struct {
+	ts []Transport
+
+	mu   sync.Mutex
+	next int
+}
+
+var _ Transport = (*MultiTransport)(nil)
+
+// NewMultiTransport builds the failover transport over the given
+// backends, tried in rotation.
+func NewMultiTransport(ts ...Transport) *MultiTransport {
+	return &MultiTransport{ts: append([]Transport{}, ts...)}
+}
+
+// Dial implements Transport: the first backend that answers wins. A
+// permanent refusal from one backend is returned as-is (it is the hub
+// telling this device to stop, not a routing failure).
+func (m *MultiTransport) Dial(recv func(wire.Message), down func(err error)) (Session, error) {
+	if len(m.ts) == 0 {
+		return nil, errors.New("multi transport: no backends")
+	}
+	m.mu.Lock()
+	start := m.next
+	m.mu.Unlock()
+	var lastErr error
+	for i := 0; i < len(m.ts); i++ {
+		idx := (start + i) % len(m.ts)
+		sess, err := m.ts[idx].Dial(recv, down)
+		if err == nil {
+			m.mu.Lock()
+			m.next = idx
+			m.mu.Unlock()
+			return sess, nil
+		}
+		lastErr = err
+		var perm errPermanent
+		if errors.As(err, &perm) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}

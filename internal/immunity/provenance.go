@@ -44,6 +44,20 @@ type ProvenanceRecord struct {
 	// armed (0 while unarmed). The hub's epoch counter resumes from the
 	// maximum ArmEpoch in the store.
 	ArmEpoch uint64 `json:"arm_epoch,omitempty"`
+	// Owner is the cluster id of the hub owning this signature's confirm
+	// bookkeeping ("" outside a federation). A record whose Owner is not
+	// the reloading hub is a replicated armed entry: slim by
+	// construction (no ConfirmedBy/FirstSeen), it carries only what a
+	// non-owner needs — the signature, the arming, and the local
+	// delivery state — so per-hub persistent state stays proportional to
+	// the owned slice of the fleet plus the armed set.
+	Owner string `json:"owner,omitempty"`
+	// OwnerSeq is the owner's monotonic arming sequence: the replay
+	// cursor for hub-to-hub resubscription.
+	OwnerSeq uint64 `json:"owner_seq,omitempty"`
+	// RemoteConfirms is the confirmation count replicated at arming for
+	// a non-owned entry.
+	RemoteConfirms int `json:"remote_confirms,omitempty"`
 }
 
 // ProvenanceStore persists hub provenance across restarts. Append
@@ -55,42 +69,90 @@ type ProvenanceStore interface {
 	Append(rec ProvenanceRecord) error
 }
 
+// DefaultCompactThreshold is how many dead (superseded) upsert lines a
+// FileProvenance log tolerates before rewriting itself to a snapshot.
+const DefaultCompactThreshold = 1024
+
 // FileProvenance is a ProvenanceStore backed by a JSON-lines upsert log:
 // one record per line, replayed last-wins. A line torn by a crash is
 // skipped on load (the previous record for that key still stands), so
 // the hub always reboots with a consistent — at worst slightly stale —
 // view, never a corrupt one.
+//
+// The log is append-only, so every upsert of an existing key leaves a
+// dead line behind; once the dead count passes the compaction threshold
+// the store rewrites itself as a snapshot — latest record per key, Seq
+// order — into a temp file that is fsynced and renamed over the log.
+// The rename is atomic: a crash at any point leaves either the old log
+// (intact, possibly with its dead weight) or the new snapshot, never a
+// torn mix, and a stale temp file is simply overwritten next time.
 type FileProvenance struct {
-	mu   sync.Mutex
-	path string
+	mu        sync.Mutex
+	path      string
+	threshold int
+	// lines/keys mirror the log's line count and live key set so the
+	// dead count is known without rescanning per append; -1 lines means
+	// not yet measured (first touch scans once).
+	lines int
+	keys  map[string]struct{}
+	// compactions counts snapshot rewrites; compactErrors counts failed
+	// attempts (the log stays valid, just uncompacted).
+	compactions   uint64
+	compactErrors uint64
 }
 
 var _ ProvenanceStore = (*FileProvenance)(nil)
 
+// FileProvenanceOption configures a FileProvenance.
+type FileProvenanceOption func(*FileProvenance)
+
+// WithCompactThreshold overrides how many dead log lines trigger a
+// snapshot rewrite; n <= 0 disables compaction.
+func WithCompactThreshold(n int) FileProvenanceOption {
+	return func(f *FileProvenance) { f.threshold = n }
+}
+
 // NewFileProvenance creates a store at path; the file is created on
 // first append and a missing file loads as empty.
-func NewFileProvenance(path string) *FileProvenance {
-	return &FileProvenance{path: path}
+func NewFileProvenance(path string, opts ...FileProvenanceOption) *FileProvenance {
+	f := &FileProvenance{path: path, threshold: DefaultCompactThreshold, lines: -1}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
 }
 
 // Path returns the backing file path.
 func (f *FileProvenance) Path() string { return f.path }
 
-// Load replays the log, newest record per key winning, returned in
-// first-seen Seq order.
-func (f *FileProvenance) Load() ([]ProvenanceRecord, error) {
+// Compactions returns how many snapshot rewrites the store has done.
+func (f *FileProvenance) Compactions() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.compactions
+}
+
+// CompactErrors returns how many snapshot rewrites failed (appends
+// themselves were unaffected).
+func (f *FileProvenance) CompactErrors() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.compactErrors
+}
+
+// scanLocked replays the log: the newest record per key, plus the raw
+// line count (for the dead-record accounting). Caller holds f.mu.
+func (f *FileProvenance) scanLocked() (map[string]ProvenanceRecord, int, error) {
+	latest := make(map[string]ProvenanceRecord)
 	file, err := os.Open(f.path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil, nil
+			return latest, 0, nil
 		}
-		return nil, fmt.Errorf("load provenance: %w", err)
+		return nil, 0, fmt.Errorf("load provenance: %w", err)
 	}
 	defer file.Close()
-
-	latest := make(map[string]ProvenanceRecord)
+	lines := 0
 	sc := bufio.NewScanner(file)
 	sc.Buffer(make([]byte, 0, 64*1024), wire.MaxFrame)
 	for sc.Scan() {
@@ -98,6 +160,7 @@ func (f *FileProvenance) Load() ([]ProvenanceRecord, error) {
 		if len(line) == 0 {
 			continue
 		}
+		lines++
 		var rec ProvenanceRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
 			// Torn tail or corrupt line: keep the consistent prefix.
@@ -109,10 +172,49 @@ func (f *FileProvenance) Load() ([]ProvenanceRecord, error) {
 		latest[rec.Key] = rec
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("load provenance %s: %w", f.path, err)
+		return nil, 0, fmt.Errorf("load provenance %s: %w", f.path, err)
 	}
+	return latest, lines, nil
+}
+
+// statLocked lazily measures the log's line count and live key set —
+// purely to drive compaction. A failed scan (e.g. a record line beyond
+// the scanner buffer) must never wedge the append path, which worked
+// without ever reading the log before compaction existed: it disables
+// compaction for this store instead. Caller holds f.mu.
+func (f *FileProvenance) statLocked() {
+	if f.lines >= 0 || f.threshold <= 0 {
+		return
+	}
+	latest, lines, err := f.scanLocked()
+	if err != nil {
+		f.threshold = 0 // appends proceed; the log just stays uncompacted
+		f.compactErrors++
+		f.lines = 0
+		f.keys = make(map[string]struct{})
+		return
+	}
+	f.lines = lines
+	f.keys = make(map[string]struct{}, len(latest))
+	for k := range latest {
+		f.keys[k] = struct{}{}
+	}
+}
+
+// Load replays the log, newest record per key winning, returned in
+// first-seen Seq order.
+func (f *FileProvenance) Load() ([]ProvenanceRecord, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	latest, lines, err := f.scanLocked()
+	if err != nil {
+		return nil, err
+	}
+	f.lines = lines
+	f.keys = make(map[string]struct{}, len(latest))
 	out := make([]ProvenanceRecord, 0, len(latest))
-	for _, rec := range latest {
+	for k, rec := range latest {
+		f.keys[k] = struct{}{}
 		out = append(out, rec)
 	}
 	sortRecords(out)
@@ -127,7 +229,9 @@ func (f *FileProvenance) Append(rec ProvenanceRecord) error {
 // AppendBatch writes several upsert records in one open/write/close
 // cycle. The hub persists a whole mutation's dirty set (an arming that
 // touched every device's pushedTo, a catch-up spanning many signatures)
-// through this instead of reopening the log per record.
+// through this instead of reopening the log per record. When the
+// append pushes the dead-line count past the compaction threshold, the
+// log is rewritten as a snapshot before returning.
 func (f *FileProvenance) AppendBatch(recs []ProvenanceRecord) error {
 	var buf []byte
 	for _, rec := range recs {
@@ -146,14 +250,83 @@ func (f *FileProvenance) AppendBatch(recs []ProvenanceRecord) error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.statLocked()
 	file, err := os.OpenFile(f.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("append provenance: %w", err)
 	}
-	defer file.Close()
 	if _, err := file.Write(buf); err != nil {
+		file.Close()
 		return fmt.Errorf("append provenance: %w", err)
 	}
+	file.Close()
+	if f.keys != nil {
+		f.lines += len(recs)
+		for _, rec := range recs {
+			f.keys[rec.Key] = struct{}{}
+		}
+	}
+	if f.keys != nil && f.threshold > 0 && f.lines-len(f.keys) > f.threshold {
+		// A failed compaction is not an append failure: the records just
+		// written are durably in the log either way. The log stays fat
+		// and the next append retries; only the failure count surfaces.
+		if err := f.compactLocked(); err != nil {
+			f.compactErrors++
+		}
+	}
+	return nil
+}
+
+// compactLocked rewrites the log as a snapshot: the latest record per
+// key in Seq order, written to a temp file, fsynced, and renamed over
+// the log. Caller holds f.mu.
+func (f *FileProvenance) compactLocked() error {
+	latest, _, err := f.scanLocked()
+	if err != nil {
+		return err
+	}
+	recs := make([]ProvenanceRecord, 0, len(latest))
+	for _, rec := range latest {
+		recs = append(recs, rec)
+	}
+	sortRecords(recs)
+	var buf []byte
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	tmp := f.path + ".compact"
+	file, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := file.Write(buf); err != nil {
+		file.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Sync before rename: the rename must never become visible ahead of
+	// the data it points to, or a crash window could surface an empty
+	// snapshot in place of a healthy log.
+	if err := file.Sync(); err != nil {
+		file.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := file.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, f.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	f.lines = len(recs)
+	f.compactions++
 	return nil
 }
 

@@ -271,3 +271,125 @@ func TestExchangeRestartOverTCP(t *testing.T) {
 		waitFor(t, fmt.Sprintf("phone%d armed", i), func() bool { return ph.armedOn(key) })
 	}
 }
+
+// countLines returns the number of newline-terminated records in the log.
+func countLines(t *testing.T, path string) int {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, c := range b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFileProvenanceCompaction: once dead upsert lines exceed the
+// threshold the log rewrites itself to a snapshot — one line per live
+// key — and a store reopened over the snapshot loads the same state.
+func TestFileProvenanceCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.prov")
+	store := NewFileProvenance(path, WithCompactThreshold(10))
+	// 3 keys × 20 upserts each: plenty of dead weight.
+	for round := 0; round < 20; round++ {
+		for k := 0; k < 3; k++ {
+			rec := ProvenanceRecord{Seq: k + 1, Key: fmt.Sprintf("key%d", k),
+				Sig: wire.FromCore(testSig(k)), FirstSeen: "phone0",
+				ConfirmedBy: []string{"phone0"}, RemoteConfirms: round}
+			if err := store.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if store.Compactions() == 0 {
+		t.Fatal("no compaction despite 57 dead lines over threshold 10")
+	}
+	if lines := countLines(t, path); lines > 3+10+1 {
+		t.Fatalf("log still holds %d lines after compaction (3 live keys, threshold 10)", lines)
+	}
+	// A fresh store over the compacted log sees the latest records.
+	recs, err := NewFileProvenance(path).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("loaded %d records, want 3", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.RemoteConfirms != 19 {
+			t.Fatalf("record %s lost its last upsert: %+v", rec.Key, rec)
+		}
+	}
+}
+
+// TestFileProvenanceCompactionCrashSafe: a stale temp file from a
+// crashed compaction is ignored by Load and overwritten by the next
+// one; the log itself is never the torn artifact.
+func TestFileProvenanceCompactionCrashSafe(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.prov")
+	// Simulate a compaction that died before rename.
+	if err := os.WriteFile(path+".compact", []byte("{torn garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store := NewFileProvenance(path, WithCompactThreshold(5))
+	for i := 0; i < 20; i++ {
+		rec := ProvenanceRecord{Seq: 1, Key: "only", Sig: wire.FromCore(testSig(0)), RemoteConfirms: i}
+		if err := store.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.Compactions() == 0 {
+		t.Fatal("no compaction")
+	}
+	recs, err := NewFileProvenance(path).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].RemoteConfirms != 19 {
+		t.Fatalf("post-crash compacted log loads %+v", recs)
+	}
+}
+
+// TestExchangeRestartAfterCompaction: a hub whose provenance log
+// compacted under heavy upserting restarts with confirmations intact —
+// the snapshot is as good as the full log.
+func TestExchangeRestartAfterCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.prov")
+	store := NewFileProvenance(path, WithCompactThreshold(4))
+	hub := newTestHub(t, 4, WithProvenanceStore(store))
+	// Many distinct devices confirm many signatures below threshold:
+	// every report upserts existing keys, breeding dead lines.
+	for round := 0; round < 3; round++ {
+		for s := 0; s < 4; s++ {
+			hub.report(fmt.Sprintf("phone%d", round), testSig(s))
+		}
+	}
+	if store.Compactions() == 0 {
+		t.Fatal("no compaction during the upsert storm")
+	}
+	hub.Close()
+
+	hub2, err := NewExchange(4, WithProvenanceStore(NewFileProvenance(path)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub2.Close()
+	provs := hub2.Provenance()
+	if len(provs) != 4 {
+		t.Fatalf("restarted hub resumed %d signatures, want 4", len(provs))
+	}
+	for _, p := range provs {
+		if p.Confirmations != 3 || p.Armed {
+			t.Fatalf("restarted provenance wrong: %+v", p)
+		}
+	}
+	// The fourth confirmation still arms: nothing was lost to compaction.
+	if confirms, armed := hub2.report("phone9", testSig(0)); confirms != 4 || !armed {
+		t.Fatalf("post-restart report: confirms=%d armed=%v, want 4/true", confirms, armed)
+	}
+}

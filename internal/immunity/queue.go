@@ -1,0 +1,179 @@
+package immunity
+
+import "sync"
+
+// Queue is the one ordered-coalescing delivery queue behind every
+// asynchronous push path in the immunity tier: the Service's
+// per-subscriber delta queues, the Exchange's per-session wire push
+// queues, and the cluster's hub-to-hub forward outboxes. It owns a
+// dedicated drain goroutine, so producers never block on a slow
+// consumer, and it delivers strictly in enqueue order with optional
+// coalescing: adjacent queued items the Merge hook accepts collapse
+// into one delivery, so a consumer that fell behind a publish storm
+// catches up in a single callback instead of chewing through a backlog
+// of stale ones.
+//
+// A Deliver error ends the queue in one of two ways, chosen at
+// construction:
+//
+//   - drop (default): the queue closes, pending items are discarded,
+//     and OnDead fires once on a fresh goroutine — the session is
+//     unusable and its owner must tear it down (the Exchange push
+//     queues: a send failure means the wire session died).
+//   - retry (RetryOnError): the failed item and everything behind it
+//     stay queued and the drain parks until Resume — the cluster's
+//     forward outboxes: a peer link redial replaces the session and
+//     resumes the drain, so a forwarded confirmation is never silently
+//     dropped by a transient partition (the receiving hub deduplicates,
+//     making redelivery safe).
+//
+// Close stops the queue after delivering what is already enqueued (in
+// retry mode: unless parked on a dead session) and waits for the drain
+// goroutine to exit. Enqueue after Close is a no-op.
+type Queue[T any] struct {
+	cfg QueueConfig[T]
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []T
+	closed bool
+	paused bool
+	done   chan struct{}
+}
+
+// QueueConfig configures a Queue.
+type QueueConfig[T any] struct {
+	// Deliver sends one (possibly merged) item, in order, on the drain
+	// goroutine with no queue lock held. Required.
+	Deliver func(T) error
+	// Merge, when set, coalesces two adjacent queued items: it returns
+	// the combined item and true to merge, or false to keep them as
+	// separate deliveries. Merge must not mutate prev or next in place —
+	// queued items may be shared with other queues.
+	Merge func(prev, next T) (T, bool)
+	// OnDeliver, when set, observes each successful delivery (after
+	// coalescing) — batching counters.
+	OnDeliver func(T)
+	// OnDead, when set, fires exactly once, on a fresh goroutine, when a
+	// Deliver error kills a drop-mode queue.
+	OnDead func()
+	// RetryOnError selects retry mode: a Deliver error re-queues the
+	// failed item at the front and parks the drain until Resume.
+	RetryOnError bool
+}
+
+// NewQueue starts a queue and its drain goroutine.
+func NewQueue[T any](cfg QueueConfig[T]) *Queue[T] {
+	q := &Queue[T]{cfg: cfg, done: make(chan struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	go q.drain()
+	return q
+}
+
+// Enqueue appends an item. Never blocks.
+func (q *Queue[T]) Enqueue(v T) {
+	q.mu.Lock()
+	if !q.closed {
+		q.queue = append(q.queue, v)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// Resume un-parks a retry-mode drain after its session was replaced;
+// the failed item is redelivered first. No-op when not parked.
+func (q *Queue[T]) Resume() {
+	q.mu.Lock()
+	if q.paused {
+		q.paused = false
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// Pending returns how many items are queued (after any in-flight batch
+// was taken); parked retry queues report their held-back items.
+func (q *Queue[T]) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queue)
+}
+
+// coalesce folds adjacent mergeable items of batch into single
+// deliveries, preserving order relative to unmergeable ones.
+func (q *Queue[T]) coalesce(batch []T) []T {
+	if q.cfg.Merge == nil {
+		return batch
+	}
+	out := batch[:0]
+	for _, v := range batch {
+		if len(out) > 0 {
+			if merged, ok := q.cfg.Merge(out[len(out)-1], v); ok {
+				out[len(out)-1] = merged
+				continue
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// drain delivers queued items in order until closed.
+func (q *Queue[T]) drain() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for (len(q.queue) == 0 || q.paused) && !q.closed {
+			q.cond.Wait()
+		}
+		if q.closed && (len(q.queue) == 0 || q.paused) {
+			// Parked on a dead session at close: the leftovers cannot be
+			// delivered — the peer-side state (resubscribe-from-seq,
+			// receiver dedup) makes dropping them safe.
+			q.mu.Unlock()
+			return
+		}
+		batch := q.queue
+		q.queue = nil
+		q.mu.Unlock()
+		batch = q.coalesce(batch)
+		for i, v := range batch {
+			if err := q.cfg.Deliver(v); err != nil {
+				q.mu.Lock()
+				if q.cfg.RetryOnError {
+					// Park with the failed item and everything behind it
+					// (including anything enqueued since) intact.
+					q.queue = append(batch[i:], q.queue...)
+					q.paused = true
+					q.mu.Unlock()
+					break
+				}
+				q.closed = true
+				q.queue = nil
+				q.mu.Unlock()
+				if q.cfg.OnDead != nil {
+					go q.cfg.OnDead()
+				}
+				return
+			}
+			if q.cfg.OnDeliver != nil {
+				q.cfg.OnDeliver(v)
+			}
+		}
+	}
+}
+
+// Close stops the queue after delivering what is already enqueued, and
+// waits for the drain goroutine to exit. Idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		<-q.done
+		return
+	}
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	<-q.done
+}

@@ -219,7 +219,7 @@ func TestClientEpochRegressionResync(t *testing.T) {
 	// Simulate A having synced with a pre-restart hub whose epochs ran
 	// far ahead of this one's.
 	clientA.mu.Lock()
-	clientA.fleetEpoch = 99
+	clientA.fleetEpochs[clientA.hubGen] = 99
 	clientA.mu.Unlock()
 
 	// Drop A's socket; while A is disconnected, the fleet arms sig1.

@@ -27,12 +27,41 @@
 // deltas into one (batching) — the coalesced delta carries the newest
 // epoch, never a stale one.
 //
+// # Peer messages (hub federation)
+//
+// A cluster of hubs (internal/immunity/cluster) federates through four
+// additional messages, carried over the same transports and framing:
+//
+//	type            direction       payload                 purpose
+//	----            ---------       -------                 -------
+//	peer-hello      dialer → hub    hub, version range,     subscribe to the answering hub's
+//	                                seq                     owned armings after `seq`
+//	forward-report  dialer → hub    hub, device, sigs       relay a device's report to the
+//	                                                        signature's owning hub, keeping
+//	                                                        the original device attribution
+//	forward-confirm hub → dialer    device, confirm         the owner's receipt, relayed back
+//	                                                        to the reporting device
+//	arm-broadcast   hub → dialer    owner, seq, sig,        an owned signature armed; every
+//	                                confirmations           peer installs it and pushes it to
+//	                                                        its attached devices
+//
+// Each hub numbers its own armings with a per-owner monotonic `seq`; a
+// peer that reconnects names the last seq it applied from the answering
+// hub in peer-hello, and receives only the armings it missed — the
+// hub-to-hub twin of the device tier's resubscribe-from-epoch.
+//
 // # Versioning
 //
-// Every message envelope carries the protocol version `v`. A hub rejects
-// a hello whose version differs from Version with ack{ok:false} and a
-// human-readable error, then closes the session — an old client fails
-// cleanly instead of hanging on messages it cannot parse.
+// Every message envelope carries the protocol version `v`. A v2 hello
+// additionally advertises the supported range [min_v, max_v]; the hub
+// acks the highest version both sides speak (ack `v`), so new message
+// sets ship as negotiated extensions instead of hard breaks. A hello
+// with no common version — including a bare pre-negotiation hello whose
+// envelope version the hub does not speak — is rejected with
+// ack{ok:false} and a human-readable error, then the session closes: an
+// old client fails cleanly instead of hanging on messages it cannot
+// parse. Peer messages require a negotiated version of at least
+// PeerVersion.
 //
 // # Canonical signature encoding
 //
@@ -60,9 +89,32 @@ import (
 	"github.com/dimmunix/dimmunix/internal/core"
 )
 
-// Version is the protocol version this package speaks. A hub accepts
-// only hellos with exactly this version.
-const Version = 1
+// Version is the newest protocol version this package speaks; MinVersion
+// is the oldest it still accepts. A hub negotiates the highest version
+// inside the intersection of its [MinVersion, Version] and the client's
+// advertised range (a bare v1 hello advertises exactly its envelope
+// version).
+const (
+	Version    = 2
+	MinVersion = 1
+	// PeerVersion is the minimum negotiated version for the peer message
+	// set (hub federation).
+	PeerVersion = 2
+)
+
+// Negotiate returns the highest protocol version in the intersection of
+// the hub's supported range and a client range [min, max], and whether
+// one exists. It is the single negotiation rule both ends apply.
+func Negotiate(min, max int) (int, bool) {
+	v := max
+	if v > Version {
+		v = Version
+	}
+	if v < MinVersion || v < min {
+		return 0, false
+	}
+	return v, true
+}
 
 // MaxFrame bounds one frame's payload size (4 MiB). A delta carrying
 // thousands of signatures stays far below this; anything larger is a
@@ -81,6 +133,12 @@ const (
 	TypeDelta     Type = "delta"
 	TypeStatusReq Type = "status-req"
 	TypeStatus    Type = "status"
+
+	// The peer (hub-to-hub) message set; requires PeerVersion.
+	TypePeerHello      Type = "peer-hello"
+	TypeForwardReport  Type = "forward-report"
+	TypeForwardConfirm Type = "forward-confirm"
+	TypeArmBroadcast   Type = "arm-broadcast"
 )
 
 // Message is the envelope: the version, the type, and exactly the one
@@ -95,28 +153,49 @@ type Message struct {
 	Confirm *Confirm `json:"confirm,omitempty"`
 	Delta   *Delta   `json:"delta,omitempty"`
 	Status  *Status  `json:"status,omitempty"`
+
+	PeerHello  *PeerHello      `json:"peer_hello,omitempty"`
+	Forward    *ForwardReport  `json:"forward,omitempty"`
+	FwdConfirm *ForwardConfirm `json:"fwd_confirm,omitempty"`
+	Arm        *ArmBroadcast   `json:"arm,omitempty"`
 }
 
 // Hello subscribes a device. Epoch is the fleet delta epoch the device
 // has already applied: 0 on first contact, the last delta's epoch on a
 // reconnect, so the hub replays only the missing armed signatures.
+//
+// A v2 client also sends MinV/MaxV (its supported version range, see
+// Negotiate) and Epochs, its merged multi-hub view: the last applied
+// epoch per hub incarnation (gen). Epochs are only comparable within
+// one incarnation, so a hub that finds its own gen in the map resumes
+// the device from exactly the right point even when the device last
+// spoke to a different hub of the cluster; a missing gen means replay
+// from zero. Hubs prefer Epochs over the flat Epoch when present.
 type Hello struct {
 	Device string `json:"device"`
 	Epoch  uint64 `json:"epoch"`
+
+	MinV   int               `json:"min_v,omitempty"`
+	MaxV   int               `json:"max_v,omitempty"`
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
 }
 
-// Ack answers a hello. On success Epoch is the hub's current fleet
-// epoch and Gen identifies the hub incarnation — fleet epochs are only
-// comparable within one Gen, so a client that sees a new Gen discards
-// its stored epoch and resubscribes from zero (a restarted hub's epochs
-// may have regrown past the client's, silently shrinking its catch-up).
-// On failure Error says why the session was refused (version mismatch,
-// empty device id) and the hub closes the session.
+// Ack answers a hello or a peer-hello. On success Epoch is the hub's
+// current fleet epoch (for a peer-hello: its owned-arming seq), V is
+// the negotiated protocol version (0 from a pre-negotiation hub means
+// v1), and Gen identifies the hub incarnation — epochs and seqs are
+// only comparable within one Gen, so a subscriber that sees a new Gen
+// discards its stored resume point and resubscribes from zero (a
+// restarted hub's counters may have regrown past the subscriber's,
+// silently shrinking its catch-up). On failure Error says why the
+// session was refused (version mismatch, empty device id) and the hub
+// closes the session.
 type Ack struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 	Epoch uint64 `json:"epoch"`
 	Gen   string `json:"gen,omitempty"`
+	V     int    `json:"nv,omitempty"`
 }
 
 // Report carries locally detected signatures upward. Each one counts as
@@ -140,6 +219,49 @@ type Delta struct {
 	Sigs  []Signature `json:"sigs"`
 }
 
+// PeerHello subscribes one hub to another's owned armings. Hub is the
+// dialing hub's cluster id; Seq is the answering hub's arming seq the
+// dialer has already applied (0 on first contact — or after the
+// answerer's Gen changed — so only missed armings replay). MinV/MaxV is
+// the dialer's version range; the negotiated version must reach
+// PeerVersion or the hub refuses.
+type PeerHello struct {
+	Hub  string `json:"hub"`
+	Seq  uint64 `json:"seq"`
+	MinV int    `json:"min_v,omitempty"`
+	MaxV int    `json:"max_v,omitempty"`
+}
+
+// ForwardReport relays a device's report from the hub it is attached to
+// toward the signature's owning hub, preserving the original device
+// attribution — the owner deduplicates confirmations by (device,
+// signature), so a report that travels through any number of forwarding
+// paths still counts at most once.
+type ForwardReport struct {
+	Hub    string      `json:"hub"`
+	Device string      `json:"device"`
+	Sigs   []Signature `json:"sigs"`
+}
+
+// ForwardConfirm is the owner's receipt for one forwarded signature,
+// addressed to the device that reported it; the forwarding hub relays
+// it to the device's session as a plain confirm.
+type ForwardConfirm struct {
+	Device  string  `json:"device"`
+	Confirm Confirm `json:"confirm"`
+}
+
+// ArmBroadcast announces that the owning hub armed one of its owned
+// signatures. Seq is the owner's monotonic arming sequence (the peer
+// resume point); Confirmations is the count at arming, replicated so
+// non-owner hubs can answer echo reports without a round trip.
+type ArmBroadcast struct {
+	Owner         string    `json:"owner"`
+	Seq           uint64    `json:"seq"`
+	Confirmations int       `json:"confirmations"`
+	Sig           Signature `json:"sig"`
+}
+
 // Status is the hub's observability snapshot.
 type Status struct {
 	Epoch      uint64      `json:"epoch"`
@@ -147,9 +269,31 @@ type Status struct {
 	Devices    []string    `json:"devices"`
 	Provenance []SigStatus `json:"provenance"`
 	Batching   Batching    `json:"batching"`
+
+	// Hub and Cluster are set when the hub is part of a federated
+	// cluster: Hub is its cluster id and Cluster the federation view.
+	Hub     string         `json:"hub,omitempty"`
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
+}
+
+// ClusterStatus is the federation slice of a hub's status.
+type ClusterStatus struct {
+	// Members is the full ownership-ring membership (self included).
+	Members []string `json:"members"`
+	// Peers lists the hubs with a live inbound peer session.
+	Peers []string `json:"peers"`
+	// OwnerSeq is this hub's arming sequence for the signatures it owns.
+	OwnerSeq uint64 `json:"owner_seq"`
+	// Owned and Remote count provenance entries this hub owns vs. armed
+	// entries replicated from peer owners.
+	Owned  int `json:"owned"`
+	Remote int `json:"remote"`
+	// Forwards counts device-reported signatures relayed to their owner.
+	Forwards uint64 `json:"forwards"`
 }
 
 // SigStatus is one signature's fleet provenance as reported by status.
+// Owner is the cluster id of the owning hub ("" outside a cluster).
 type SigStatus struct {
 	Key           string   `json:"key"`
 	Kind          string   `json:"kind"`
@@ -157,6 +301,7 @@ type SigStatus struct {
 	Confirmations int      `json:"confirmations"`
 	ConfirmedBy   []string `json:"confirmed_by"`
 	Armed         bool     `json:"armed"`
+	Owner         string   `json:"owner,omitempty"`
 }
 
 // Batching reports the hub's delta coalescing: Batches delta messages
@@ -255,7 +400,8 @@ func ToCoreAll(sigs []Signature) ([]*core.Signature, error) {
 func (m Message) Validate() error {
 	payloads := 0
 	for _, p := range []bool{m.Hello != nil, m.Ack != nil, m.Report != nil,
-		m.Confirm != nil, m.Delta != nil, m.Status != nil} {
+		m.Confirm != nil, m.Delta != nil, m.Status != nil,
+		m.PeerHello != nil, m.Forward != nil, m.FwdConfirm != nil, m.Arm != nil} {
 		if p {
 			payloads++
 		}
@@ -282,6 +428,14 @@ func (m Message) Validate() error {
 		return want(m.Delta != nil)
 	case TypeStatus:
 		return want(m.Status != nil)
+	case TypePeerHello:
+		return want(m.PeerHello != nil)
+	case TypeForwardReport:
+		return want(m.Forward != nil)
+	case TypeForwardConfirm:
+		return want(m.FwdConfirm != nil)
+	case TypeArmBroadcast:
+		return want(m.Arm != nil)
 	case TypeStatusReq:
 		if payloads != 0 {
 			return fmt.Errorf("wire message %s: unexpected payload", m.Type)

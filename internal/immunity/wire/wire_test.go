@@ -60,15 +60,48 @@ func TestSignatureDecodeRejects(t *testing.T) {
 func messageFixtures() []Message {
 	ws := FromCore(testSig())
 	return []Message{
-		{V: Version, Type: TypeHello, Hello: &Hello{Device: "phone0", Epoch: 7}},
-		{V: Version, Type: TypeAck, Ack: &Ack{OK: true, Epoch: 9, Gen: "f00dfeedf00dfeed"}},
+		{V: Version, Type: TypeHello, Hello: &Hello{Device: "phone0", Epoch: 7,
+			MinV: MinVersion, MaxV: Version, Epochs: map[string]uint64{"f00dfeedf00dfeed": 7}}},
+		{V: Version, Type: TypeAck, Ack: &Ack{OK: true, Epoch: 9, Gen: "f00dfeedf00dfeed", V: Version}},
 		{V: Version, Type: TypeReport, Report: &Report{Sigs: []Signature{ws}}},
 		{V: Version, Type: TypeConfirm, Confirm: &Confirm{Key: testSig().Key(), Confirmations: 2, Armed: true}},
 		{V: Version, Type: TypeDelta, Delta: &Delta{Epoch: 3, Sigs: []Signature{ws, ws}}},
 		{V: Version, Type: TypeStatusReq},
 		{V: Version, Type: TypeStatus, Status: &Status{Epoch: 3, Threshold: 2, Devices: []string{"phone0"},
-			Provenance: []SigStatus{{Key: "k", Kind: "deadlock", FirstSeen: "phone0", Confirmations: 2, ConfirmedBy: []string{"phone0", "phone1"}, Armed: true}},
-			Batching:   Batching{Batches: 4, Signatures: 9}}},
+			Provenance: []SigStatus{{Key: "k", Kind: "deadlock", FirstSeen: "phone0", Confirmations: 2, ConfirmedBy: []string{"phone0", "phone1"}, Armed: true, Owner: "hub-a"}},
+			Batching:   Batching{Batches: 4, Signatures: 9},
+			Hub:        "hub-a",
+			Cluster: &ClusterStatus{Members: []string{"hub-a", "hub-b"}, Peers: []string{"hub-b"},
+				OwnerSeq: 5, Owned: 3, Remote: 2, Forwards: 11}}},
+		{V: Version, Type: TypePeerHello, PeerHello: &PeerHello{Hub: "hub-b", Seq: 4, MinV: MinVersion, MaxV: Version}},
+		{V: Version, Type: TypeForwardReport, Forward: &ForwardReport{Hub: "hub-b", Device: "phone0", Sigs: []Signature{ws}}},
+		{V: Version, Type: TypeForwardConfirm, FwdConfirm: &ForwardConfirm{Device: "phone0",
+			Confirm: Confirm{Key: testSig().Key(), Confirmations: 1}}},
+		{V: Version, Type: TypeArmBroadcast, Arm: &ArmBroadcast{Owner: "hub-a", Seq: 6, Confirmations: 2, Sig: ws}},
+	}
+}
+
+// TestNegotiate: the single negotiation rule picks the highest common
+// version and refuses disjoint ranges on either side.
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		min, max int
+		want     int
+		ok       bool
+	}{
+		{MinVersion, Version, Version, true},
+		{1, 1, 1, true},               // old v1 client
+		{Version, Version + 5, Version, true}, // newer client, common floor
+		{Version + 1, Version + 5, 0, false},  // client too new
+		{0, 0, 0, false},              // nonsense envelope version 0
+		{43, 43, 0, false},            // museum piece far ahead
+		{2, 1, 0, false},              // inverted range
+	}
+	for _, c := range cases {
+		got, ok := Negotiate(c.min, c.max)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Negotiate(%d, %d) = (%d, %v), want (%d, %v)", c.min, c.max, got, ok, c.want, c.ok)
+		}
 	}
 }
 
@@ -103,6 +136,9 @@ func TestValidateRejects(t *testing.T) {
 		{V: Version, Type: TypeHello, Hello: &Hello{Device: "d"}, Ack: &Ack{OK: true}}, // two payloads
 		{V: Version, Type: TypeStatusReq, Delta: &Delta{}},                             // payload on payloadless type
 		{V: Version, Type: TypeDelta, Ack: &Ack{}},                                     // wrong payload
+		{V: Version, Type: TypePeerHello},                                              // missing peer payload
+		{V: Version, Type: TypeArmBroadcast, PeerHello: &PeerHello{Hub: "h"}},          // wrong peer payload
+		{V: Version, Type: TypeForwardReport, Forward: &ForwardReport{Hub: "h"}, Arm: &ArmBroadcast{}}, // two peer payloads
 	}
 	for i, m := range cases {
 		if err := m.Validate(); err == nil {
@@ -167,6 +203,65 @@ func FuzzWireDecode(f *testing.F) {
 				if FromCore(sig).Kind != ws.Kind {
 					t.Fatalf("core round trip changed kind: %+v", ws)
 				}
+			}
+		}
+	})
+}
+
+// FuzzPeerFrameDecode hammers the peer (hub-to-hub) half of the frame
+// decoder the way FuzzWireDecode hammers the device half: arbitrary
+// bytes must never panic, decoded peer envelopes must hold exactly one
+// peer payload, and any peer frame that decodes must survive an
+// encode/decode round trip — a hostile or corrupt peer hub must not be
+// able to wedge a cluster.
+func FuzzPeerFrameDecode(f *testing.F) {
+	ws := FromCore(testSig())
+	peers := []Message{
+		{V: Version, Type: TypePeerHello, PeerHello: &PeerHello{Hub: "hub-b", Seq: 12, MinV: 1, MaxV: Version}},
+		{V: Version, Type: TypeForwardReport, Forward: &ForwardReport{Hub: "hub-b", Device: "phone3", Sigs: []Signature{ws, ws}}},
+		{V: Version, Type: TypeForwardConfirm, FwdConfirm: &ForwardConfirm{Device: "phone3", Confirm: Confirm{Key: "k", Confirmations: 2, Armed: true}}},
+		{V: Version, Type: TypeArmBroadcast, Arm: &ArmBroadcast{Owner: "hub-a", Seq: 9, Confirmations: 3, Sig: ws}},
+	}
+	var buf bytes.Buffer
+	for _, m := range peers {
+		buf.Reset()
+		if err := WriteFrame(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// A torn peer frame and a frame whose JSON mixes peer and device payloads.
+	f.Add([]byte{0, 0, 0, 8, '{', '"', 'v', '"', ':', '2', '}'})
+	f.Add([]byte(`{"v":2,"type":"arm-broadcast","arm":{},"hello":{}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case TypePeerHello, TypeForwardReport, TypeForwardConfirm, TypeArmBroadcast:
+		default:
+			return // device messages are FuzzWireDecode's turf
+		}
+		// Exactly one payload, and it is the peer one: Validate passed.
+		if (m.PeerHello != nil) == (m.Type != TypePeerHello) ||
+			(m.Forward != nil) == (m.Type != TypeForwardReport) ||
+			(m.FwdConfirm != nil) == (m.Type != TypeForwardConfirm) ||
+			(m.Arm != nil) == (m.Type != TypeArmBroadcast) {
+			t.Fatalf("peer envelope with mismatched payload survived decode: %+v", m)
+		}
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded peer frame does not re-encode: %+v: %v", m, err)
+		}
+		again, err := Decode(b)
+		if err != nil || !reflect.DeepEqual(m, again) {
+			t.Fatalf("peer decode/encode/decode not stable: %+v vs %+v (%v)", m, again, err)
+		}
+		// A broadcast signature must decode deterministically.
+		if m.Type == TypeArmBroadcast {
+			if sig, err := m.Arm.Sig.ToCore(); err == nil && FromCore(sig).Kind != m.Arm.Sig.Kind {
+				t.Fatalf("broadcast signature core round trip changed kind: %+v", m.Arm.Sig)
 			}
 		}
 	})

@@ -9,17 +9,24 @@
 // The phones reach the exchange through any of its transports: the
 // in-process loopback, an in-process hub served over real TCP sockets,
 // or — in client mode (Dial) — an external immunityd daemon, observed
-// through wire status requests. Arming decisions are identical across
-// transports; only latencies differ.
+// through wire status requests. With Hubs > 1 (or several Dial
+// addresses) the exchange is a federated cluster: phones attach
+// round-robin across hubs, reports are forwarded to each signature's
+// owning hub, and arming must propagate cluster-wide before the
+// scenario counts it. Arming decisions are identical across transports
+// and topologies; only latencies differ (the federation-equivalence
+// test in this package asserts it).
 package workload
 
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/dimmunix/dimmunix/internal/core"
 	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 	"github.com/dimmunix/dimmunix/internal/vm"
 )
@@ -53,14 +60,21 @@ type FleetImmunityConfig struct {
 	// Timeout bounds every wait in the scenario.
 	Timeout time.Duration
 	// Transport selects loopback (default) or tcp for the in-process
-	// hub. Ignored when Dial is set.
+	// hub(s). Ignored when Dial is set.
 	Transport FleetTransport
-	// Dial, when non-empty, is the address of an external exchange
-	// daemon (immunityd -serve): the workload runs in client mode — no
-	// in-process hub, phones connect over TCP, and gating/provenance are
-	// observed through wire status requests. The daemon must be running
-	// with a confirm threshold of ConfirmThreshold for the gating check
-	// to be meaningful.
+	// Hubs federates the in-process exchange into a cluster of this many
+	// hubs (per-signature ownership, hub-to-hub delta exchange); phones
+	// attach round-robin across them. 0 or 1 keeps the single hub.
+	// Ignored when Dial is set (an external cluster is given by listing
+	// several addresses in Dial instead).
+	Hubs int
+	// Dial, when non-empty, runs the workload in client mode against
+	// external exchange daemons (immunityd -serve): a comma-separated
+	// address list — one address for a single hub, several for a
+	// federated cluster — across which phones attach round-robin over
+	// TCP, with gating/provenance observed through wire status requests.
+	// The daemons must be running with a confirm threshold of
+	// ConfirmThreshold for the gating check to be meaningful.
 	Dial string
 }
 
@@ -94,6 +108,12 @@ func (cfg FleetImmunityConfig) validate() error {
 	case "", TransportLoopback, TransportTCP:
 	default:
 		return fmt.Errorf("fleet immunity: unknown transport %q", cfg.Transport)
+	}
+	if cfg.Hubs < 0 {
+		return fmt.Errorf("fleet immunity: negative hub count %d", cfg.Hubs)
+	}
+	if cfg.Hubs > cfg.Phones {
+		return fmt.Errorf("fleet immunity: %d hubs for %d phones (each hub needs a phone)", cfg.Hubs, cfg.Phones)
 	}
 	return nil
 }
@@ -211,67 +231,145 @@ type immunityPhone struct {
 }
 
 // hubView abstracts how the scenario observes fleet state: the
-// in-process hub directly, or wire status requests against an external
-// daemon.
+// in-process hub(s) directly, or wire status requests against external
+// daemons. Multi-hub views report the cluster-wide floor: armedCount is
+// the minimum across hubs (a signature is only fleet-armed once every
+// hub installed it), provenance merges per key with the owner's full
+// record winning, batching sums.
 type hubView interface {
 	armedCount() (int, error)
 	provenance() ([]immunity.Provenance, error)
 	batching() (batches, sigs uint64)
 }
 
-// localView reads an in-process hub.
-type localView struct{ hub *immunity.Exchange }
-
-func (v localView) armedCount() (int, error)                   { return v.hub.ArmedCount(), nil }
-func (v localView) provenance() ([]immunity.Provenance, error) { return v.hub.Provenance(), nil }
-func (v localView) batching() (uint64, uint64) {
-	st := v.hub.Stats()
-	return st.DeltaBatches, st.DeltaSignatures
+// mergeProvenance folds per-hub provenance into the cluster view: one
+// record per key, the owner's (the one carrying the confirmation set,
+// or failing that the highest confirmation count) winning.
+func mergeProvenance(views ...[]immunity.Provenance) []immunity.Provenance {
+	var order []string
+	best := make(map[string]immunity.Provenance)
+	for _, view := range views {
+		for _, p := range view {
+			old, ok := best[p.Key]
+			if !ok {
+				order = append(order, p.Key)
+				best[p.Key] = p
+				continue
+			}
+			if len(p.ConfirmedBy) > len(old.ConfirmedBy) || p.Confirmations > old.Confirmations {
+				best[p.Key] = p
+			}
+		}
+	}
+	out := make([]immunity.Provenance, 0, len(order))
+	for _, key := range order {
+		out = append(out, best[key])
+	}
+	return out
 }
 
-// statusView polls an external daemon over the wire protocol.
+// localView reads one or more in-process hubs.
+type localView struct{ hubs []*immunity.Exchange }
+
+func (v localView) armedCount() (int, error) {
+	minArmed := v.hubs[0].ArmedCount()
+	for _, hub := range v.hubs[1:] {
+		if n := hub.ArmedCount(); n < minArmed {
+			minArmed = n
+		}
+	}
+	return minArmed, nil
+}
+
+func (v localView) provenance() ([]immunity.Provenance, error) {
+	views := make([][]immunity.Provenance, len(v.hubs))
+	for i, hub := range v.hubs {
+		views[i] = hub.Provenance()
+	}
+	return mergeProvenance(views...), nil
+}
+
+func (v localView) batching() (uint64, uint64) {
+	var batches, sigs uint64
+	for _, hub := range v.hubs {
+		st := hub.Stats()
+		batches += st.DeltaBatches
+		sigs += st.DeltaSignatures
+	}
+	return batches, sigs
+}
+
+// statusView polls external daemons over the wire protocol.
 type statusView struct {
-	addr    string
+	addrs   []string
 	timeout time.Duration
 }
 
-func (v statusView) armedCount() (int, error) {
-	st, err := immunity.FetchStatus(v.addr, v.timeout)
-	if err != nil {
-		return 0, err
-	}
-	return int(st.Epoch), nil
-}
-
-func (v statusView) provenance() ([]immunity.Provenance, error) {
-	st, err := immunity.FetchStatus(v.addr, v.timeout)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]immunity.Provenance, 0, len(st.Provenance))
-	for _, p := range st.Provenance {
-		kind, err := wire.ParseKind(p.Kind)
+func (v statusView) statuses() ([]wire.Status, error) {
+	out := make([]wire.Status, len(v.addrs))
+	for i, addr := range v.addrs {
+		st, err := immunity.FetchStatus(addr, v.timeout)
 		if err != nil {
-			return nil, fmt.Errorf("daemon status (newer protocol?): %w", err)
+			return nil, fmt.Errorf("hub %s: %w", addr, err)
 		}
-		out = append(out, immunity.Provenance{
-			Key:           p.Key,
-			Kind:          kind,
-			FirstSeen:     p.FirstSeen,
-			Confirmations: p.Confirmations,
-			ConfirmedBy:   p.ConfirmedBy,
-			Armed:         p.Armed,
-		})
+		out[i] = st
 	}
 	return out, nil
 }
 
+func (v statusView) armedCount() (int, error) {
+	sts, err := v.statuses()
+	if err != nil {
+		return 0, err
+	}
+	minArmed := int(sts[0].Epoch)
+	for _, st := range sts[1:] {
+		if n := int(st.Epoch); n < minArmed {
+			minArmed = n
+		}
+	}
+	return minArmed, nil
+}
+
+func (v statusView) provenance() ([]immunity.Provenance, error) {
+	sts, err := v.statuses()
+	if err != nil {
+		return nil, err
+	}
+	views := make([][]immunity.Provenance, 0, len(sts))
+	for _, st := range sts {
+		view := make([]immunity.Provenance, 0, len(st.Provenance))
+		for _, p := range st.Provenance {
+			kind, err := wire.ParseKind(p.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("daemon status (newer protocol?): %w", err)
+			}
+			view = append(view, immunity.Provenance{
+				Key:           p.Key,
+				Kind:          kind,
+				FirstSeen:     p.FirstSeen,
+				Confirmations: p.Confirmations,
+				ConfirmedBy:   p.ConfirmedBy,
+				Armed:         p.Armed,
+				Owner:         p.Owner,
+			})
+		}
+		views = append(views, view)
+	}
+	return mergeProvenance(views...), nil
+}
+
 func (v statusView) batching() (uint64, uint64) {
-	st, err := immunity.FetchStatus(v.addr, v.timeout)
+	sts, err := v.statuses()
 	if err != nil {
 		return 0, 0
 	}
-	return st.Batching.Batches, st.Batching.Signatures
+	var batches, sigs uint64
+	for _, st := range sts {
+		batches += st.Batching.Batches
+		sigs += st.Batching.Signatures
+	}
+	return batches, sigs
 }
 
 // RunFleetImmunity executes the scenario: fork all live processes on all
@@ -288,16 +386,29 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 	res := FleetImmunityResult{Config: cfg}
 	key := buggyKey()
 
-	// Hub and transport per mode.
+	// Hub topology and per-phone transports by mode. Phones attach
+	// round-robin across deviceTransports — a single hub is the
+	// degenerate one-element case.
 	var (
-		transport immunity.Transport
-		view      hubView
+		deviceTransports []immunity.Transport
+		view             hubView
 	)
 	switch {
 	case cfg.Dial != "":
-		res.Transport = "client:" + cfg.Dial
-		transport = immunity.NewTCPTransport(cfg.Dial)
-		view = statusView{addr: cfg.Dial, timeout: cfg.Timeout}
+		var addrs []string
+		for _, a := range strings.Split(cfg.Dial, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return res, fmt.Errorf("fleet immunity: no address in dial list %q", cfg.Dial)
+		}
+		res.Transport = "client:" + strings.Join(addrs, ",")
+		for _, addr := range addrs {
+			deviceTransports = append(deviceTransports, immunity.NewTCPTransport(addr))
+		}
+		view = statusView{addrs: addrs, timeout: cfg.Timeout}
 		// An external daemon carries state across runs. If it already
 		// armed this scenario's signature (an earlier -connect run, or a
 		// -provenance store from one), the injected deadlock would be
@@ -310,29 +421,63 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 				}
 			}
 		}
-	case cfg.Transport == TransportTCP:
-		res.Transport = string(TransportTCP)
-		hub, err := immunity.NewExchange(cfg.ConfirmThreshold)
-		if err != nil {
-			return res, fmt.Errorf("fleet immunity: %w", err)
-		}
-		defer hub.Close()
-		srv, err := immunity.ServeTCP(hub, "127.0.0.1:0")
-		if err != nil {
-			return res, fmt.Errorf("fleet immunity: %w", err)
-		}
-		defer srv.Close()
-		transport = immunity.NewTCPTransport(srv.Addr())
-		view = localView{hub}
 	default:
-		res.Transport = string(TransportLoopback)
-		hub, err := immunity.NewExchange(cfg.ConfirmThreshold)
-		if err != nil {
-			return res, fmt.Errorf("fleet immunity: %w", err)
+		hubCount := cfg.Hubs
+		if hubCount < 1 {
+			hubCount = 1
 		}
-		defer hub.Close()
-		transport = immunity.NewLoopback(hub)
-		view = localView{hub}
+		useTCP := cfg.Transport == TransportTCP
+		res.Transport = string(TransportLoopback)
+		if useTCP {
+			res.Transport = string(TransportTCP)
+		}
+		if hubCount > 1 {
+			res.Transport = fmt.Sprintf("cluster(%d)+%s", hubCount, res.Transport)
+		}
+		hubs := make([]*immunity.Exchange, hubCount)
+		addrs := make([]string, hubCount)
+		for i := range hubs {
+			hub, err := immunity.NewExchange(cfg.ConfirmThreshold)
+			if err != nil {
+				return res, fmt.Errorf("fleet immunity: %w", err)
+			}
+			defer hub.Close()
+			hubs[i] = hub
+			if useTCP {
+				srv, err := immunity.ServeTCP(hub, "127.0.0.1:0")
+				if err != nil {
+					return res, fmt.Errorf("fleet immunity: %w", err)
+				}
+				defer srv.Close()
+				addrs[i] = srv.Addr()
+			}
+		}
+		// Transport to hub j, as seen from anywhere in this process.
+		hubTransport := func(j int) immunity.Transport {
+			if useTCP {
+				return immunity.NewTCPTransport(addrs[j])
+			}
+			return immunity.NewLoopback(hubs[j])
+		}
+		if hubCount > 1 {
+			for i := range hubs {
+				var peers []cluster.Member
+				for j := range hubs {
+					if j != i {
+						peers = append(peers, cluster.Member{ID: fmt.Sprintf("hub%d", j), Transport: hubTransport(j)})
+					}
+				}
+				node, err := cluster.New(cluster.Config{Self: fmt.Sprintf("hub%d", i), Hub: hubs[i], Peers: peers})
+				if err != nil {
+					return res, fmt.Errorf("fleet immunity: %w", err)
+				}
+				defer node.Close()
+			}
+		}
+		for i := range hubs {
+			deviceTransports = append(deviceTransports, hubTransport(i))
+		}
+		view = localView{hubs}
 	}
 
 	phones := make([]*immunityPhone, cfg.Phones)
@@ -352,7 +497,7 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 			}
 			ph.procs = append(ph.procs, p)
 		}
-		client, err := immunity.Connect(transport, svc.Name(), svc)
+		client, err := immunity.Connect(deviceTransports[i%len(deviceTransports)], svc.Name(), svc)
 		if err != nil {
 			return res, fmt.Errorf("fleet immunity: %w", err)
 		}

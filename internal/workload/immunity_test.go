@@ -195,3 +195,62 @@ func BenchmarkPropagation(b *testing.B) {
 		}
 	}
 }
+
+// TestFleetImmunityFederationEquivalence is the federation-equivalence
+// acceptance criterion: the identical scenario against a single hub and
+// against a 3-hub federated cluster — devices split across hubs, over
+// both loopback and TCP — must produce identical arming decisions at
+// confirm thresholds 1, 2, and 3: same gating (0 remote procs armed
+// below threshold), same armed signature, same confirmation count and
+// confirming devices (i.e. a confirmation forwarded through a non-owner
+// hub is counted exactly once). Only latencies and the owner
+// attribution may differ.
+func TestFleetImmunityFederationEquivalence(t *testing.T) {
+	type decision struct {
+		remoteArmedBelowThreshold int
+		provenance                []immunity.Provenance
+	}
+	// normalize strips the fields that legitimately differ across
+	// topologies: the owning hub's id.
+	normalize := func(provs []immunity.Provenance) []immunity.Provenance {
+		out := append([]immunity.Provenance{}, provs...)
+		for i := range out {
+			out[i].Owner = ""
+		}
+		return out
+	}
+	for threshold := 1; threshold <= 3; threshold++ {
+		for _, tr := range []FleetTransport{TransportLoopback, TransportTCP} {
+			t.Run(fmt.Sprintf("threshold%d_%s", threshold, tr), func(t *testing.T) {
+				results := make(map[int]decision)
+				for _, hubs := range []int{1, 3} {
+					cfg := FleetImmunityConfig{
+						Phones:           3,
+						ProcsPerPhone:    1,
+						ConfirmThreshold: threshold,
+						Timeout:          30 * time.Second,
+						Transport:        tr,
+						Hubs:             hubs,
+					}
+					res, err := RunFleetImmunity(cfg)
+					if err != nil {
+						t.Fatalf("%d hub(s): %v", hubs, err)
+					}
+					results[hubs] = decision{
+						remoteArmedBelowThreshold: res.RemoteArmedBeforeThreshold,
+						provenance:                normalize(res.Provenance),
+					}
+				}
+				single, clustered := results[1], results[3]
+				if single.remoteArmedBelowThreshold != 0 || clustered.remoteArmedBelowThreshold != 0 {
+					t.Fatalf("gating broke: single %d, cluster %d remote procs armed below threshold",
+						single.remoteArmedBelowThreshold, clustered.remoteArmedBelowThreshold)
+				}
+				if !reflect.DeepEqual(single.provenance, clustered.provenance) {
+					t.Fatalf("arming decisions diverge across topologies:\nsingle:  %+v\ncluster: %+v",
+						single.provenance, clustered.provenance)
+				}
+			})
+		}
+	}
+}

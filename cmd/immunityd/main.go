@@ -74,6 +74,7 @@ func run(args []string) error {
 	provenance := fs.String("provenance", "", "with -serve: provenance store file (empty keeps fleet state in memory only)")
 	hubID := fs.String("hub", "", "with -serve: this hub's cluster id (required with -peers)")
 	peers := fs.String("peers", "", "with -serve: comma-separated id=addr peer hubs to federate with")
+	wirePin := fs.Int("wire-pin", 0, "with -serve: pin the negotiated wire version at this ceiling (0 = newest; 2 keeps the hub and its peer links on the JSON codec during a staged rollout)")
 	hubs := fs.Int("hubs", 1, "simulation: federate the in-process exchange into this many hubs")
 	connect := fs.String("connect", "", "run the fleet workload in client mode against the exchange daemon(s) at this comma-separated address list")
 	if err := fs.Parse(args); err != nil {
@@ -88,10 +89,22 @@ func run(args []string) error {
 		if len(members) > 0 && *hubID == "" {
 			return fmt.Errorf("-peers requires -hub (this hub's cluster id)")
 		}
-		return runServe(*listen, *httpAddr, *threshold, *provenance, *hubID, members)
+		if *wirePin != 0 && (*wirePin < wire.MinVersion || *wirePin > wire.Version) {
+			return fmt.Errorf("-wire-pin %d outside the supported range v%d..v%d", *wirePin, wire.MinVersion, wire.Version)
+		}
+		if len(members) > 0 && *wirePin != 0 && *wirePin < wire.PeerVersion {
+			// A hub pinned below the peer message set would refuse every
+			// inbound peer-hello while its own links kept dialing out —
+			// half-broken federation with no error; refuse up front.
+			return fmt.Errorf("-wire-pin %d is below the peer protocol floor v%d and would break federation (-peers)", *wirePin, wire.PeerVersion)
+		}
+		return runServe(*listen, *httpAddr, *threshold, *provenance, *hubID, members, *wirePin)
 	}
 	if *peers != "" || *hubID != "" {
 		return fmt.Errorf("-hub/-peers only apply to -serve (use -hubs N for the simulation)")
+	}
+	if *wirePin != 0 {
+		return fmt.Errorf("-wire-pin only applies to -serve (the simulation and client mode always speak the newest version)")
 	}
 
 	if *propagation {
@@ -177,10 +190,16 @@ func (d *daemon) Close() {
 
 // startDaemon boots the exchange server, the optional cluster node, and
 // the /status endpoint.
-func startDaemon(listen, httpAddr string, threshold int, provenancePath, hubID string, peers []cluster.Member) (*daemon, error) {
+func startDaemon(listen, httpAddr string, threshold int, provenancePath, hubID string, peers []cluster.Member, wirePin int) (*daemon, error) {
 	var opts []immunity.ExchangeOption
 	if provenancePath != "" {
 		opts = append(opts, immunity.WithProvenanceStore(immunity.NewFileProvenance(provenancePath)))
+	}
+	if wirePin != 0 {
+		// Pin both the hub's inbound negotiation and (below) the
+		// outbound peer links: a -wire-pin 2 daemon speaks JSON
+		// everywhere however new its binary is.
+		opts = append(opts, immunity.WithWireCeiling(wirePin))
 	}
 	hub, err := immunity.NewExchange(threshold, opts...)
 	if err != nil {
@@ -190,7 +209,7 @@ func startDaemon(listen, httpAddr string, threshold int, provenancePath, hubID s
 	if len(peers) > 0 {
 		// Federate before the listener is up: the ring must be bound
 		// before the first device report or inbound peer-hello arrives.
-		node, err = cluster.New(cluster.Config{Self: hubID, Hub: hub, Peers: peers})
+		node, err = cluster.New(cluster.Config{Self: hubID, Hub: hub, Peers: peers, WireCeiling: wirePin})
 		if err != nil {
 			hub.Close()
 			return nil, err
@@ -233,13 +252,17 @@ func startDaemon(listen, httpAddr string, threshold int, provenancePath, hubID s
 
 // runServe boots the long-running daemon and blocks until
 // SIGINT/SIGTERM.
-func runServe(listen, httpAddr string, threshold int, provenancePath, hubID string, peers []cluster.Member) error {
-	d, err := startDaemon(listen, httpAddr, threshold, provenancePath, hubID, peers)
+func runServe(listen, httpAddr string, threshold int, provenancePath, hubID string, peers []cluster.Member, wirePin int) error {
+	d, err := startDaemon(listen, httpAddr, threshold, provenancePath, hubID, peers, wirePin)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	fmt.Printf("immunityd: exchange on %s (threshold %d, protocol v%d..%d", d.Addr(), threshold, wire.MinVersion, wire.Version)
+	maxV := wire.Version
+	if wirePin >= wire.MinVersion && wirePin < maxV {
+		maxV = wirePin
+	}
+	fmt.Printf("immunityd: exchange on %s (threshold %d, protocol v%d..%d", d.Addr(), threshold, wire.MinVersion, maxV)
 	if provenancePath != "" {
 		fmt.Printf(", provenance %s", provenancePath)
 	}

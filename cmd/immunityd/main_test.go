@@ -55,7 +55,7 @@ func TestImmunitydBadFlags(t *testing.T) {
 func TestImmunitydServeAndClientMode(t *testing.T) {
 	const threshold = 2
 	prov := filepath.Join(t.TempDir(), "fleet.prov")
-	d, err := startDaemon("127.0.0.1:0", "127.0.0.1:0", threshold, prov, "", nil)
+	d, err := startDaemon("127.0.0.1:0", "127.0.0.1:0", threshold, prov, "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestImmunitydServeAndClientMode(t *testing.T) {
 
 	// Daemon restart over the same provenance file resumes armed state.
 	d.Close()
-	d2, err := startDaemon("127.0.0.1:0", "", threshold, prov, "", nil)
+	d2, err := startDaemon("127.0.0.1:0", "", threshold, prov, "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestImmunitydFederatedCluster(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		d, err := startDaemon(addrs[i], "", threshold, "", ids[i], members)
+		d, err := startDaemon(addrs[i], "", threshold, "", ids[i], members, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

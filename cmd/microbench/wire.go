@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+	"github.com/dimmunix/dimmunix/internal/workload"
+)
+
+// The -wire mode: the wire-layer microbenchmarks (codec cost, hub
+// broadcast fan-out) plus a short propagation run, emitted as
+// machine-readable JSON — the repo's perf trajectory baseline. CI runs
+// it on every push and uploads BENCH_wire.json as an artifact, so a
+// codec or fan-out regression shows up as a diffable number, not a
+// feeling.
+
+// wireBenchResult is one benchmark's measured point.
+type wireBenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// broadcastReport compares the v2 per-subscriber marshal fan-out with
+// the v3 encode-once path at 64 subscribers (BenchmarkHubBroadcast's
+// CLI twin).
+type broadcastReport struct {
+	Subscribers   int     `json:"subscribers"`
+	V2NsPerOp     float64 `json:"v2_json_ns_per_op"`
+	V3NsPerOp     float64 `json:"v3_encode_once_ns_per_op"`
+	NsSpeedup     float64 `json:"ns_speedup"`
+	V2AllocsPerOp int64   `json:"v2_json_allocs_per_op"`
+	V3AllocsPerOp int64   `json:"v3_encode_once_allocs_per_op"`
+	AllocRatio    float64 `json:"alloc_ratio"`
+}
+
+// propReport is one propagation run's latency profile.
+type propReport struct {
+	Tier  string `json:"tier"`
+	Procs int    `json:"procs"`
+	Sigs  int    `json:"sigs"`
+	AvgNs int64  `json:"avg_ns"`
+	P50Ns int64  `json:"p50_ns"`
+	P90Ns int64  `json:"p90_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	MaxNs int64  `json:"max_ns"`
+}
+
+// wireReport is the BENCH_wire.json schema.
+type wireReport struct {
+	GeneratedUnix int64             `json:"generated_unix"`
+	GoMaxProcs    int               `json:"gomaxprocs"`
+	WireVersion   int               `json:"wire_version"`
+	Benchmarks    []wireBenchResult `json:"benchmarks"`
+	Broadcast     broadcastReport   `json:"broadcast"`
+	Propagation   []propReport      `json:"propagation"`
+}
+
+// wireBenchSubscribers matches BenchmarkHubBroadcast.
+const wireBenchSubscribers = 64
+
+// wireBenchDelta is the representative broadcast: one armed signature.
+func wireBenchDelta() wire.Message {
+	a := core.Frame{Class: "com.bench.Wire", Method: "outer", Line: 11}
+	b := core.Frame{Class: "com.bench.Wire", Method: "inner", Line: 22}
+	sig := &core.Signature{Kind: core.DeadlockSig, Pairs: []core.SigPair{
+		{Outer: core.CallStack{a}, Inner: core.CallStack{a, b}},
+		{Outer: core.CallStack{b}, Inner: core.CallStack{b, a}},
+	}}
+	return wire.Message{Type: wire.TypeDelta,
+		Delta: &wire.Delta{Epoch: 42, Sigs: []wire.Signature{wire.FromCore(sig)}}}
+}
+
+// measure runs one benchmark body and records its point.
+func measure(name string, body func(b *testing.B)) wireBenchResult {
+	r := testing.Benchmark(body)
+	return wireBenchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runWireBench executes the -wire mode and, when out is non-empty,
+// writes BENCH_wire.json there.
+func runWireBench(out string, propProcs, propSigs int) error {
+	rep := wireReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		WireVersion:   wire.Version,
+	}
+
+	// Codec cost, one message each way.
+	encJSON := measure("wire-encode/json", func(b *testing.B) {
+		m := wireBenchDelta()
+		m.V = wire.MaxJSONVersion
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Encode(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	encBin := measure("wire-encode/binary", func(b *testing.B) {
+		m := wireBenchDelta()
+		m.V = wire.BinaryVersion
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.EncodeBinary(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m := wireBenchDelta()
+	m.V = wire.MaxJSONVersion
+	jsonBuf, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	m.V = wire.BinaryVersion
+	binBuf, err := wire.EncodeBinary(m)
+	if err != nil {
+		return err
+	}
+	decJSON := measure("wire-decode/json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Decode(jsonBuf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	decBin := measure("wire-decode/binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.DecodeBinary(binBuf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The fan-out: per-subscriber marshal (the pre-v3 hub) vs one Shared
+	// handed to every session (BenchmarkHubBroadcast's two bodies).
+	v2 := measure("hub-broadcast/v2-json-per-subscriber", func(b *testing.B) {
+		m := wireBenchDelta()
+		m.V = wire.MaxJSONVersion
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < wireBenchSubscribers; s++ {
+				if _, err := wire.AppendFrame(nil, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	v3 := measure("hub-broadcast/v3-encode-once", func(b *testing.B) {
+		dm := wireBenchDelta()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sh := wire.NewShared(dm)
+			for s := 0; s < wireBenchSubscribers; s++ {
+				if _, err := sh.Frame(wire.BinaryVersion); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	rep.Benchmarks = []wireBenchResult{encJSON, encBin, decJSON, decBin, v2, v3}
+	rep.Broadcast = broadcastReport{
+		Subscribers:   wireBenchSubscribers,
+		V2NsPerOp:     v2.NsPerOp,
+		V3NsPerOp:     v3.NsPerOp,
+		V2AllocsPerOp: v2.AllocsPerOp,
+		V3AllocsPerOp: v3.AllocsPerOp,
+	}
+	if v3.NsPerOp > 0 {
+		rep.Broadcast.NsSpeedup = v2.NsPerOp / v3.NsPerOp
+	}
+	if v3.AllocsPerOp > 0 {
+		rep.Broadcast.AllocRatio = float64(v2.AllocsPerOp) / float64(v3.AllocsPerOp)
+	}
+
+	fmt.Printf("wire bench (%d subscribers):\n", wireBenchSubscribers)
+	for _, r := range rep.Benchmarks {
+		fmt.Printf("  %-38s %12.1f ns/op %8d allocs/op %8d B/op\n", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	fmt.Printf("  encode-once speedup: %.1fx ns/op, %.1fx allocs/op\n",
+		rep.Broadcast.NsSpeedup, rep.Broadcast.AllocRatio)
+
+	// Propagation latency percentiles, both tiers, through the live
+	// machinery (the v3 path end to end).
+	for _, tcp := range []bool{false, true} {
+		var res workload.PropagationResult
+		var err error
+		if tcp {
+			res, err = workload.PropagationLatencyTCP(max(propProcs/4, 1), max(propSigs/2, 1))
+		} else {
+			res, err = workload.PropagationLatency(propProcs, propSigs)
+		}
+		if err != nil {
+			return err
+		}
+		tier := "on-device"
+		if tcp {
+			tier = "cross-device-tcp"
+		}
+		rep.Propagation = append(rep.Propagation, propReport{
+			Tier: tier, Procs: res.Procs, Sigs: res.Sigs,
+			AvgNs: res.Avg.Nanoseconds(), P50Ns: res.P50.Nanoseconds(),
+			P90Ns: res.P90.Nanoseconds(), P99Ns: res.P99.Nanoseconds(),
+			MaxNs: res.Max.Nanoseconds(),
+		})
+		fmt.Print("  ", workload.FormatPropagation(res))
+	}
+
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

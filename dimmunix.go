@@ -126,8 +126,8 @@ type (
 	ExchangeClient = immunity.ExchangeClient
 	// Transport moves wire messages between a device and an Exchange.
 	Transport = immunity.Transport
-	// ExchangeServer serves an Exchange over TCP (length-prefixed JSON
-	// wire frames).
+	// ExchangeServer serves an Exchange over TCP (length-prefixed wire
+	// frames: JSON up to wire v2, the v3 binary codec once negotiated).
 	ExchangeServer = immunity.ExchangeServer
 	// ProvenanceStore persists the hub's per-signature fleet state
 	// across restarts.
@@ -208,6 +208,13 @@ func WithProvenanceStore(store ProvenanceStore) ExchangeOption {
 	return immunity.WithProvenanceStore(store)
 }
 
+// WithWireCeiling pins an Exchange's negotiated wire protocol version —
+// e.g. 2 keeps every session on the JSON codec during a staged rollout
+// of the v3 binary codec.
+func WithWireCeiling(v int) ExchangeOption {
+	return immunity.WithWireCeiling(v)
+}
+
 // NewFileProvenance creates a file-backed provenance store (a JSON-lines
 // last-wins upsert log that compacts itself to a snapshot once dead
 // records pile up; tune with WithCompactThreshold).
@@ -236,14 +243,25 @@ func ServeExchangeTCP(hub *Exchange, addr string) (*ExchangeServer, error) {
 	return immunity.ServeTCP(hub, addr)
 }
 
+// ExchangeClientOption configures an exchange client at connect time
+// (e.g. WithClientWireCeiling).
+type ExchangeClientOption = immunity.ClientOption
+
+// WithClientWireCeiling caps the wire version a device client
+// advertises — the client-side twin of WithWireCeiling, so a staged
+// rollout can pin either end of a session to the JSON codec.
+func WithClientWireCeiling(v int) ExchangeClientOption {
+	return immunity.WithClientWireCeiling(v)
+}
+
 // ConnectExchange attaches a device's ImmunityService to a fleet
 // exchange through a transport. The client keeps itself connected:
 // dropped sessions are redialed and resumed from the last applied fleet
 // epoch (tracked per hub incarnation, so one device can roam between
 // the hubs of a cluster), and the hub restores the device's
 // confirmation state by its device id.
-func ConnectExchange(t Transport, deviceID string, svc *ImmunityService) (*ExchangeClient, error) {
-	return immunity.Connect(t, deviceID, svc)
+func ConnectExchange(t Transport, deviceID string, svc *ImmunityService, opts ...ExchangeClientOption) (*ExchangeClient, error) {
+	return immunity.Connect(t, deviceID, svc, opts...)
 }
 
 // NewMultiTransport fans a device out over several hub transports (a

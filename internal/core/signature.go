@@ -94,6 +94,14 @@ type Signature struct {
 	// History() snapshots without it, hence atomic.
 	matches uint64 // instantiations found (yields caused)
 	hits    uint64 // times detection re-encountered this signature
+
+	// key interns the canonical identity after the first Key() call.
+	// Kind and Pairs are fixed once a signature is built, but Key is
+	// asked for on every hop of the distribution tier — dedup maps,
+	// wire encoding, provenance records — so it is derived once, not
+	// once per message. Atomic: first callers may race on different
+	// goroutines (both compute the same string; one wins, harmlessly).
+	key atomic.Pointer[string]
 }
 
 // Validate checks the signature's shape: a known kind and at least two
@@ -126,12 +134,17 @@ func (s *Signature) Validate() error {
 // thread enumeration order, which is how the history deduplicates repeat
 // detections of one bug.
 func (s *Signature) Key() string {
+	if k := s.key.Load(); k != nil {
+		return *k
+	}
 	keys := make([]string, 0, len(s.Pairs)+1)
 	for _, p := range s.Pairs {
 		keys = append(keys, p.Outer.Key())
 	}
 	sort.Strings(keys)
-	return s.Kind.String() + "{" + strings.Join(keys, "|") + "}"
+	k := s.Kind.String() + "{" + strings.Join(keys, "|") + "}"
+	s.key.Store(&k)
+	return k
 }
 
 // ID returns the signature's index in its Core's history, or -1 if the

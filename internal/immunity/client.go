@@ -54,12 +54,18 @@ func (e errPermanent) Unwrap() error { return e.err }
 // installs into the Service, and automatic redial with backoff when the
 // transport session drops.
 type ExchangeClient struct {
-	id  string
-	t   Transport
-	svc *Service
+	id   string
+	t    Transport
+	svc  *Service
+	maxV int // highest wire version to advertise (WithClientWireCeiling)
 
 	mu        sync.Mutex
 	fromFleet map[string]bool // keys received from the hub; not re-reported
+	// ver is the negotiated wire version of the current session (from
+	// the ack; 0 while no session is up). Every client→hub message after
+	// the hello is stamped — and therefore framed — at exactly this
+	// version: a v2 hub never sees a binary frame.
+	ver int
 	// fleetEpochs is the client's merged multi-hub view: the newest
 	// delta epoch applied per hub incarnation (gen, learned from the
 	// ack). The whole map travels in every hello, so whichever hub of a
@@ -91,6 +97,18 @@ type ExchangeClient struct {
 	closeOnce  sync.Once
 }
 
+// ClientOption configures an ExchangeClient.
+type ClientOption func(*ExchangeClient)
+
+// WithClientWireCeiling caps the wire version the client advertises in
+// its hello at v — e.g. 2 keeps the session on the JSON codec against
+// any hub, which is how the version-matrix tests model a not-yet-
+// upgraded device. Values outside [wire.MinVersion, wire.Version] mean
+// no cap.
+func WithClientWireCeiling(v int) ClientOption {
+	return func(c *ExchangeClient) { c.maxV = v }
+}
+
 // Connect attaches a phone's Service to the fleet exchange reachable
 // through t, under deviceID. The initial dial and handshake are
 // synchronous — a refused handshake (e.g. protocol version mismatch) or
@@ -99,7 +117,7 @@ type ExchangeClient struct {
 // carries the last applied fleet epoch, and the device's entire local
 // history is re-reported (the hub discards echoes and duplicates, so
 // re-reporting is idempotent). Disconnect with Close.
-func Connect(t Transport, deviceID string, svc *Service) (*ExchangeClient, error) {
+func Connect(t Transport, deviceID string, svc *Service, opts ...ClientOption) (*ExchangeClient, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("exchange connect %s: nil service", deviceID)
 	}
@@ -114,6 +132,12 @@ func Connect(t Transport, deviceID string, svc *Service) (*ExchangeClient, error
 		fleetEpochs: make(map[string]uint64),
 		downCh:      make(chan struct{}, 1),
 		closeCh:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.maxV < wire.MinVersion || c.maxV > wire.Version {
+		c.maxV = wire.Version
 	}
 	if err := c.dial(); err != nil {
 		return nil, fmt.Errorf("exchange connect %s: %w", deviceID, err)
@@ -161,7 +185,7 @@ func (c *ExchangeClient) dial() error {
 	// hub refuse a client that is perfectly able to speak v1.
 	hello := wire.Message{V: wire.MinVersion, Type: wire.TypeHello,
 		Hello: &wire.Hello{Device: c.id, Epoch: epoch,
-			MinV: wire.MinVersion, MaxV: wire.Version, Epochs: epochs}}
+			MinV: wire.MinVersion, MaxV: c.maxV, Epochs: epochs}}
 	ackWait := helloTimeout
 	if err := sess.Send(hello); err != nil {
 		// A refused handshake surfaces differently per transport: over
@@ -185,12 +209,16 @@ func (c *ExchangeClient) dial() error {
 		}
 		return err
 	}
+	negV := wire.MinVersion // a pre-negotiation hub acks without a version: v1
 	select {
 	case ack := <-ackCh:
 		if !ack.OK {
 			clearAck()
 			sess.Close()
 			return errPermanent{fmt.Errorf("hub refused: %s", ack.Error)}
+		}
+		if ack.V != 0 {
+			negV = ack.V
 		}
 		// Compare against the epoch the hello actually carried for this
 		// gen — the value the hub's catch-up filtered against. Reading
@@ -250,6 +278,7 @@ func (c *ExchangeClient) dial() error {
 	}
 	c.sess = sess
 	c.curAtt = att
+	c.ver = negV
 	// Merge deltas that arrived before the handshake settled: on an
 	// accepted session they are safe resume-point advances.
 	if att.maxEpoch > c.fleetEpochs[c.hubGen] {
@@ -294,6 +323,7 @@ func (c *ExchangeClient) resubscribe() {
 func (c *ExchangeClient) reportLocal(sigs []*core.Signature) {
 	c.mu.Lock()
 	sess := c.sess
+	ver := c.ver
 	out := make([]wire.Signature, 0, len(sigs))
 	for _, sig := range sigs {
 		if !c.fromFleet[sig.Key()] {
@@ -304,7 +334,9 @@ func (c *ExchangeClient) reportLocal(sigs []*core.Signature) {
 	if sess == nil || len(out) == 0 {
 		return
 	}
-	if err := sess.Send(wire.Message{V: wire.Version, Type: wire.TypeReport, Report: &wire.Report{Sigs: out}}); err != nil {
+	// Stamped — and therefore framed — at the session's negotiated
+	// version: binary to a v3 hub, JSON to anything older.
+	if err := sess.Send(wire.Message{V: ver, Type: wire.TypeReport, Report: &wire.Report{Sigs: out}}); err != nil {
 		c.down(err)
 	}
 }
@@ -414,6 +446,7 @@ func (c *ExchangeClient) shutdownSession() {
 	c.cancelLocal = nil
 	sess := c.sess
 	c.sess = nil
+	c.ver = 0
 	c.curAtt = nil // a dead session's stragglers must not move the resume point
 	c.mu.Unlock()
 	if cancel != nil {
@@ -451,6 +484,7 @@ func (c *ExchangeClient) reconnectLoop() {
 			c.sess.Close()
 			c.sess = nil
 		}
+		c.ver = 0
 		c.curAtt = nil
 		c.mu.Unlock()
 
@@ -484,6 +518,14 @@ func (c *ExchangeClient) reconnectLoop() {
 
 // DeviceID returns the client's device id.
 func (c *ExchangeClient) DeviceID() string { return c.id }
+
+// WireVersion returns the negotiated wire protocol version of the
+// current session, or 0 while disconnected.
+func (c *ExchangeClient) WireVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ver
+}
 
 // FleetEpoch returns the newest fleet delta epoch the client applied
 // from the hub incarnation it is currently attached to.

@@ -103,6 +103,11 @@ type Config struct {
 	// Peers are the other members. The ownership ring is Self + Peers
 	// and must be configured identically (same id set) on every node.
 	Peers []Member
+	// WireCeiling caps the wire version this node's outbound peer links
+	// advertise — pair it with immunity.WithWireCeiling on the hub to
+	// pin a whole node during a staged rollout. 0 (or any value outside
+	// [wire.PeerVersion, wire.Version]) means the newest.
+	WireCeiling int
 }
 
 // Node federates one Exchange into the cluster: it binds the ownership
@@ -139,6 +144,10 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	maxV := cfg.WireCeiling
+	if maxV < wire.PeerVersion || maxV > wire.Version {
+		maxV = wire.Version
+	}
 	n := &Node{
 		self:    cfg.Self,
 		hub:     cfg.Hub,
@@ -153,7 +162,7 @@ func New(cfg Config) (*Node, error) {
 	// holds, so a restarted node replays only genuinely missed armings.
 	seqs := cfg.Hub.RemoteSeqs()
 	for _, p := range cfg.Peers {
-		l := newLink(n, p, seqs[p.ID])
+		l := newLink(n, p, seqs[p.ID], maxV)
 		n.links[p.ID] = l
 		n.wg.Add(1)
 		go n.runLink(l)
@@ -190,7 +199,9 @@ func (n *Node) ForwardReport(device string, sigs []wire.Signature, keys []string
 	}
 	for owner, group := range groups {
 		if l, ok := n.links[owner]; ok {
-			l.outbox.Enqueue(wire.Message{V: wire.Version, Type: wire.TypeForwardReport,
+			// The version is stamped at delivery time with the live
+			// session's negotiated version (link.deliver).
+			l.outbox.Enqueue(wire.Message{Type: wire.TypeForwardReport,
 				Forward: &wire.ForwardReport{Hub: n.self, Device: device, Sigs: group}})
 		}
 	}
@@ -258,12 +269,14 @@ type link struct {
 	t      immunity.Transport
 	outbox *immunity.Queue[wire.Message]
 	downCh chan struct{}
+	maxV   int // highest wire version to advertise in peer-hello
 
 	mu          sync.Mutex
 	closed      bool // set by close(); a handshake that loses the race must not install its session
 	sess        immunity.Session
 	ackCh       chan wire.Ack
 	gen         string // peer hub incarnation, from its ack
+	ver         int    // negotiated wire version of the current session (0 while down)
 	lastApplied uint64
 	// cur is the dial attempt whose session passed the handshake; only
 	// its broadcasts may advance lastApplied. An attempt the handshake
@@ -285,9 +298,9 @@ type dialAttempt struct {
 	maxSeq uint64 // highest owner seq received on this attempt's session
 }
 
-func newLink(n *Node, p Member, resumeSeq uint64) *link {
+func newLink(n *Node, p Member, resumeSeq uint64, maxV int) *link {
 	l := &link{node: n, peerID: p.ID, t: p.Transport, lastApplied: resumeSeq,
-		downCh: make(chan struct{}, 1)}
+		maxV: maxV, downCh: make(chan struct{}, 1)}
 	l.outbox = immunity.NewQueue(immunity.QueueConfig[wire.Message]{
 		Deliver:      l.deliver,
 		RetryOnError: true,
@@ -295,16 +308,23 @@ func newLink(n *Node, p Member, resumeSeq uint64) *link {
 	return l
 }
 
-// deliver sends one outbox message over the current session; with no
-// session (or a dead one) it errors, parking the outbox until the
-// redial calls Resume.
+// deliver sends one outbox message over the current session, stamped —
+// and therefore framed — at that session's negotiated version (a
+// redial may land on a peer speaking a different version than the one
+// the message was enqueued under); with no session (or a dead one) it
+// errors, parking the outbox until the redial calls Resume.
 func (l *link) deliver(m wire.Message) error {
 	l.mu.Lock()
 	sess := l.sess
+	ver := l.ver
 	l.mu.Unlock()
 	if sess == nil {
 		return errors.New("peer link down")
 	}
+	if ver == 0 {
+		ver = wire.PeerVersion
+	}
+	m.V = ver
 	if err := sess.Send(m); err != nil {
 		l.down(err)
 		return err
@@ -385,8 +405,11 @@ func (l *link) dial() error {
 		clearAck()
 		return err
 	}
-	hello := wire.Message{V: wire.Version, Type: wire.TypePeerHello,
-		PeerHello: &wire.PeerHello{Hub: l.node.self, Seq: seq, MinV: wire.PeerVersion, MaxV: wire.Version}}
+	// The peer-hello precedes negotiation, so it is framed at the JSON
+	// ceiling — any peer version can parse it — while the advertised
+	// range caps at this node's ceiling.
+	hello := wire.Message{V: wire.MaxJSONVersion, Type: wire.TypePeerHello,
+		PeerHello: &wire.PeerHello{Hub: l.node.self, Seq: seq, MinV: wire.PeerVersion, MaxV: l.maxV}}
 	if err := sess.Send(hello); err != nil {
 		clearAck()
 		sess.Close()
@@ -430,6 +453,9 @@ func (l *link) dial() error {
 		}
 		l.sess = sess
 		l.cur = att
+		if l.ver = ack.V; l.ver == 0 {
+			l.ver = wire.PeerVersion
+		}
 		// Merge replay that arrived before the handshake settled: those
 		// broadcasts were filtered against the seq we sent, so on an
 		// accepted session they are safe cursor advances.
@@ -459,6 +485,7 @@ func (l *link) close() {
 	l.closed = true
 	sess := l.sess
 	l.sess = nil
+	l.ver = 0
 	l.cur = nil
 	l.mu.Unlock()
 	if sess != nil {
@@ -509,6 +536,7 @@ func (n *Node) runLink(l *link) {
 				l.sess.Close()
 				l.sess = nil
 			}
+			l.ver = 0
 			l.cur = nil // a dead session's stragglers must not move the cursor
 			l.mu.Unlock()
 		}

@@ -1,0 +1,72 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// TestClusterMixedVersionPeers models a staged v3 rollout: one hub of a
+// two-hub federation is pinned to the v2 JSON codec (hub ceiling +
+// link ceiling), the other runs the newest version. Forwarding to a
+// v2-pinned owner, its arm-broadcast back over the v2 link, and the
+// v3 hub's own broadcasts toward the pinned peer must all interoperate
+// — the device tiers on both ends see identical armings.
+func TestClusterMixedVersionPeers(t *testing.T) {
+	newHub, err := immunity.NewExchange(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(newHub.Close)
+	oldHub, err := immunity.NewExchange(1, immunity.WithWireCeiling(wire.PeerVersion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(oldHub.Close)
+
+	newNode, err := cluster.New(cluster.Config{Self: "hub-new", Hub: newHub,
+		Peers: []cluster.Member{{ID: "hub-old", Transport: immunity.NewLoopback(oldHub)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(newNode.Close)
+	oldNode, err := cluster.New(cluster.Config{Self: "hub-old", Hub: oldHub,
+		Peers:       []cluster.Member{{ID: "hub-new", Transport: immunity.NewLoopback(newHub)}},
+		WireCeiling: wire.PeerVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(oldNode.Close)
+
+	// A device on the v3 hub reports a signature owned by the pinned
+	// hub: the report forwards over a v2 JSON link, the owner arms, and
+	// the arm-broadcast returns over v2 — then fans out to the v3 hub's
+	// devices on its own (binary-capable) sessions.
+	phoneNew := newPhone(t, "phone-new", immunity.NewLoopback(newHub))
+	phoneOld := newPhone(t, "phone-old", immunity.NewLoopback(oldHub))
+	oldOwned := sigOwnedBy(t, newNode.Ring(), "hub-old")
+	if _, _, err := phoneNew.svc.Publish("local", oldOwned); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "forwarded report armed at the v2-pinned owner", func() bool {
+		return oldHub.ArmedCount() == 1 && newHub.ArmedCount() == 1
+	})
+	waitFor(t, "both device tiers hold the arming", func() bool {
+		return phoneNew.holds(oldOwned.Key()) && phoneOld.holds(oldOwned.Key())
+	})
+
+	// And the reverse: a signature owned by the v3 hub, reported on the
+	// pinned hub, crosses the other way.
+	newOwned := sigOwnedBy(t, newNode.Ring(), "hub-new")
+	if _, _, err := phoneOld.svc.Publish("local", newOwned); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "reverse forwarding armed cluster-wide", func() bool {
+		return oldHub.ArmedCount() == 2 && newHub.ArmedCount() == 2
+	})
+	waitFor(t, "both device tiers hold the second arming", func() bool {
+		return phoneNew.holds(newOwned.Key()) && phoneOld.holds(newOwned.Key())
+	})
+}

@@ -85,7 +85,11 @@ type ExchangeStats struct {
 
 // fleetSig is the hub-side state of one signature.
 type fleetSig struct {
-	sig         *core.Signature
+	sig *core.Signature
+	// ws is the canonical wire form, interned when the record is created:
+	// the catch-up, broadcast, delta, and provenance paths reuse it
+	// instead of re-deriving every call-stack key per message.
+	ws          wire.Signature
 	seq         int // first-report order, 1-based
 	firstSeen   string
 	confirmedBy map[string]bool
@@ -139,6 +143,9 @@ type ClusterBinding interface {
 type Exchange struct {
 	threshold int
 	store     ProvenanceStore
+	// maxVer caps the negotiated wire version (WithWireCeiling); default
+	// wire.Version.
+	maxVer int
 	// gen identifies this hub incarnation in acks. Fleet epochs are only
 	// meaningful within one incarnation: after a restart (above all one
 	// without a provenance store) the counter may regrow past a
@@ -188,6 +195,14 @@ func WithProvenanceStore(store ProvenanceStore) ExchangeOption {
 	return func(x *Exchange) { x.store = store }
 }
 
+// WithWireCeiling pins the hub's negotiated wire version at v — e.g. 2
+// keeps every session on the JSON codec during a staged v3 rollout, and
+// it is how the mixed-version tests hold one hub back. Values outside
+// [wire.MinVersion, wire.Version] mean no pin.
+func WithWireCeiling(v int) ExchangeOption {
+	return func(x *Exchange) { x.maxVer = v }
+}
+
 // NewExchange creates a hub that arms a signature fleet-wide once
 // confirmThreshold distinct devices have reported it (values below 1 are
 // treated as 1: arm on first report). With WithProvenanceStore, prior
@@ -210,6 +225,9 @@ func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error
 	for _, opt := range opts {
 		opt(x)
 	}
+	if x.maxVer < wire.MinVersion || x.maxVer > wire.Version {
+		x.maxVer = wire.Version
+	}
 	if x.store != nil {
 		recs, err := x.store.Load()
 		if err != nil {
@@ -222,6 +240,7 @@ func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error
 			}
 			e := &fleetSig{
 				sig:            sig,
+				ws:             rec.Sig,
 				seq:            rec.Seq,
 				firstSeen:      rec.FirstSeen,
 				confirmedBy:    make(map[string]bool, len(rec.ConfirmedBy)),
@@ -296,7 +315,7 @@ func (x *Exchange) recordLocked(key string, e *fleetSig) ProvenanceRecord {
 	rec := ProvenanceRecord{
 		Seq:            e.seq,
 		Key:            key,
-		Sig:            wire.FromCore(e.sig),
+		Sig:            e.ws,
 		FirstSeen:      e.firstSeen,
 		ConfirmedBy:    sortedKeys(e.confirmedBy),
 		PushedTo:       sortedKeys(e.pushedTo),
@@ -355,20 +374,85 @@ func (x *Exchange) persistHandoffLocked(recs []ProvenanceRecord) func() {
 // feeds client→hub messages to Conn.Handle and must close the Conn when
 // its session dies.
 func (x *Exchange) Accept(send func(wire.Message) error, closeSession func()) (*Conn, error) {
+	return x.accept(send, nil, closeSession)
+}
+
+// AcceptStream attaches an inbound stream session whose write side
+// takes already-encoded frames: writeFrames receives every frame of one
+// queue drain in a single call, so the transport can push them to the
+// kernel in one syscall (writev), and encode-once broadcast frames
+// reach it as the same shared bytes every other session at that version
+// gets — no per-subscriber marshal. Frames are immutable: the transport
+// must not modify their contents (reslicing its own [][]byte during a
+// partial write is fine).
+func (x *Exchange) AcceptStream(writeFrames func(frames [][]byte) error, closeSession func()) (*Conn, error) {
+	return x.accept(nil, writeFrames, closeSession)
+}
+
+func (x *Exchange) accept(send func(wire.Message) error, writeFrames func([][]byte) error, closeSession func()) (*Conn, error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.closed {
 		return nil, fmt.Errorf("exchange: closed")
 	}
 	c := &Conn{hub: x, closeSession: closeSession}
-	// c.Close as onDead is safe to hand over before c.out is assigned:
-	// nothing can be enqueued (and thus no send can fail) until the
-	// caller has the Conn.
-	c.out = newMsgQueue(send, func(batches, sigs uint64) {
-		x.batchBatches.Add(batches)
-		x.batchSigs.Add(sigs)
-	}, c.Close)
+	cfg := QueueConfig[outMsg]{
+		Merge: mergeOutMsgs,
+		OnDeliver: func(o outMsg) {
+			if m := o.message(); m.Type == wire.TypeDelta {
+				x.batchBatches.Add(1)
+				x.batchSigs.Add(uint64(len(m.Delta.Sigs)))
+			}
+		},
+		// c.Close as OnDead is safe to hand over before c.out is assigned:
+		// nothing can be enqueued (and thus no delivery can fail) until
+		// the caller has the Conn.
+		OnDead: c.Close,
+	}
+	if writeFrames != nil {
+		cfg.DeliverBatch = func(batch []outMsg) error { return c.encodeBatch(batch, writeFrames) }
+	} else {
+		cfg.Deliver = func(o outMsg) error { return send(c.stamp(o.message())) }
+	}
+	c.out = NewQueue(cfg)
 	return c, nil
+}
+
+// outMsg is one queued hub→client delivery: either a per-session
+// message (acks, confirms, catch-up deltas, status) or a handle on an
+// encode-once broadcast frame shared with every other session.
+type outMsg struct {
+	m      wire.Message
+	shared *wire.Shared
+}
+
+// message returns the delivery's decoded form, version unstamped.
+func (o outMsg) message() wire.Message {
+	if o.shared != nil {
+		return o.shared.Msg()
+	}
+	return o.m
+}
+
+// mergeOutMsgs coalesces two adjacent delta deliveries, preserving
+// ordering relative to non-delta messages; the merged delta carries the
+// newest epoch of the pair, so no stale epoch is ever sent. The merge
+// always builds a fresh message — a Shared handed off to other queues
+// is immutable and must never be appended into.
+func mergeOutMsgs(prev, next outMsg) (outMsg, bool) {
+	pm, nm := prev.message(), next.message()
+	if pm.Type != wire.TypeDelta || nm.Type != wire.TypeDelta {
+		return prev, false
+	}
+	merged := &wire.Delta{Epoch: pm.Delta.Epoch,
+		Sigs: append(append(make([]wire.Signature, 0, len(pm.Delta.Sigs)+len(nm.Delta.Sigs)),
+			pm.Delta.Sigs...), nm.Delta.Sigs...)}
+	if nm.Delta.Epoch > merged.Epoch {
+		merged.Epoch = nm.Delta.Epoch
+	}
+	out := pm
+	out.Delta = merged
+	return outMsg{m: out}, true
 }
 
 // Conn is the hub's side of one wire session — a device session bound
@@ -379,6 +463,9 @@ type Conn struct {
 	hub          *Exchange
 	out          *msgQueue
 	closeSession func()
+	// scratch is the reusable per-session frame-encode buffer; touched
+	// only by encodeBatch on the queue's drain goroutine.
+	scratch []byte
 
 	mu        sync.Mutex
 	device    string // set by a successful hello
@@ -416,10 +503,10 @@ func (c *Conn) negotiate(envelopeV, minV, maxV, atLeast int) (int, error) {
 		return 0, fmt.Errorf("inconsistent protocol version %d outside advertised range %d..%d",
 			envelopeV, minV, maxV)
 	}
-	v, ok := wire.Negotiate(minV, maxV)
+	v, ok := wire.NegotiateMax(minV, maxV, c.hub.maxVer)
 	if !ok || v < atLeast {
 		return 0, fmt.Errorf("unsupported protocol version %d..%d (hub speaks %d..%d)",
-			minV, maxV, wire.MinVersion, wire.Version)
+			minV, maxV, wire.MinVersion, c.hub.maxVer)
 	}
 	c.mu.Lock()
 	c.ver = v
@@ -427,26 +514,89 @@ func (c *Conn) negotiate(envelopeV, minV, maxV, atLeast int) (int, error) {
 	return v, nil
 }
 
-// push enqueues m stamped with the session's negotiated version — a
-// session negotiated at v1 must never receive a v2-framed envelope (the
-// versioning contract says an endpoint drops envelopes it does not
-// speak). Before a handshake settles a version (status probes,
-// refusals) the hub's own version stands.
-func (c *Conn) push(m wire.Message) {
+// sessionVersion is the version every delivery on this session is
+// stamped and framed at: the negotiated version once the handshake
+// settled it — a session negotiated at v1 must never receive a v2
+// envelope, and only a v3+ session may receive a binary frame — or,
+// before negotiation (status probes, refusals), the newest JSON
+// version, which every endpoint ever shipped can parse.
+func (c *Conn) sessionVersion() int {
 	c.mu.Lock()
-	if c.ver != 0 {
-		m.V = c.ver
-	} else {
-		m.V = wire.Version
-	}
+	v := c.ver
 	c.mu.Unlock()
-	c.out.Enqueue(m)
+	if v == 0 {
+		return wire.MaxJSONVersion
+	}
+	return v
 }
+
+// stamp sets the delivery version on one decoded message.
+func (c *Conn) stamp(m wire.Message) wire.Message {
+	m.V = c.sessionVersion()
+	return m
+}
+
+// maxConnScratch caps the per-session encode buffer a Conn keeps
+// between drains (the Reader-side twin of wire's read scratch cap).
+const maxConnScratch = 64 << 10
+
+// encodeBatch resolves one queue drain into encoded frames — shared
+// broadcast frames are reused byte-for-byte across sessions, per-session
+// messages are encoded into the Conn's reusable scratch — and hands all
+// of them to the transport in a single call. It runs only on the
+// queue's drain goroutine, and writeFrames is synchronous, so the
+// scratch is free again when it returns.
+func (c *Conn) encodeBatch(batch []outMsg, writeFrames func([][]byte) error) error {
+	v := c.sessionVersion()
+	frames := make([][]byte, len(batch))
+	// Appending may move the scratch's backing array, so per-session
+	// frames are recorded as offsets and re-sliced only after the last
+	// append.
+	scratch := c.scratch[:0]
+	type span struct{ idx, start, end int }
+	var spans []span
+	for i, o := range batch {
+		if o.shared != nil {
+			b, err := o.shared.Frame(v)
+			if err != nil {
+				return err
+			}
+			frames[i] = b
+			continue
+		}
+		m := o.m
+		m.V = v
+		start := len(scratch)
+		var err error
+		scratch, err = wire.AppendFrame(scratch, m)
+		if err != nil {
+			return err
+		}
+		spans = append(spans, span{i, start, len(scratch)})
+	}
+	for _, s := range spans {
+		frames[s.idx] = scratch[s.start:s.end]
+	}
+	if cap(scratch) <= maxConnScratch {
+		c.scratch = scratch[:0]
+	} else {
+		c.scratch = nil
+	}
+	return writeFrames(frames)
+}
+
+// push enqueues one per-session message; the delivery version is
+// stamped at write time (sessionVersion).
+func (c *Conn) push(m wire.Message) { c.out.Enqueue(outMsg{m: m}) }
+
+// pushShared enqueues an encode-once broadcast frame; every session at
+// the same negotiated version shares its encoded bytes.
+func (c *Conn) pushShared(s *wire.Shared) { c.out.Enqueue(outMsg{shared: s}) }
 
 // refuse sends a final failure ack and reports the protocol error.
 func (c *Conn) refuse(format string, args ...any) error {
 	msg := fmt.Sprintf(format, args...)
-	c.out.Enqueue(wire.Message{V: wire.Version, Type: wire.TypeAck, Ack: &wire.Ack{OK: false, Error: msg}})
+	c.push(wire.Message{Type: wire.TypeAck, Ack: &wire.Ack{OK: false, Error: msg}})
 	return fmt.Errorf("exchange session: %s", msg)
 }
 
@@ -549,7 +699,7 @@ func (c *Conn) handleHello(m wire.Message) error {
 	c.mu.Unlock()
 	x.conns[h.Device] = c
 
-	c.out.Enqueue(wire.Message{V: ver, Type: wire.TypeAck, Ack: &wire.Ack{OK: true, Epoch: x.epoch, Gen: x.gen, V: ver}})
+	c.push(wire.Message{Type: wire.TypeAck, Ack: &wire.Ack{OK: true, Epoch: x.epoch, Gen: x.gen, V: ver}})
 
 	// Catch-up: every armed signature the client's epoch predates, as a
 	// single batched delta, oldest arming first.
@@ -567,7 +717,7 @@ func (c *Conn) handleHello(m wire.Message) error {
 	}
 	sort.Slice(catchup, func(i, j int) bool { return catchup[i].e.armEpoch < catchup[j].e.armEpoch })
 	for _, ae := range catchup {
-		sigs = append(sigs, wire.FromCore(ae.e.sig))
+		sigs = append(sigs, ae.e.ws)
 		if !ae.e.pushedTo[h.Device] {
 			ae.e.pushedTo[h.Device] = true
 			dirty = append(dirty, x.recordLocked(ae.key, ae.e))
@@ -639,7 +789,7 @@ func (c *Conn) handlePeerHello(m wire.Message) error {
 	c.mu.Unlock()
 	x.peers[h.Hub] = c
 
-	c.out.Enqueue(wire.Message{V: ver, Type: wire.TypeAck,
+	c.push(wire.Message{Type: wire.TypeAck,
 		Ack: &wire.Ack{OK: true, Epoch: x.ownerSeq, Gen: x.gen, V: ver}})
 
 	// Replay missed owned armings in seq order.
@@ -655,9 +805,9 @@ func (c *Conn) handlePeerHello(m wire.Message) error {
 	}
 	sort.Slice(replay, func(i, j int) bool { return replay[i].e.ownerSeq < replay[j].e.ownerSeq })
 	for _, oe := range replay {
-		c.out.Enqueue(wire.Message{V: ver, Type: wire.TypeArmBroadcast,
+		c.push(wire.Message{Type: wire.TypeArmBroadcast,
 			Arm: &wire.ArmBroadcast{Owner: x.selfID, Seq: oe.e.ownerSeq,
-				Confirmations: len(oe.e.confirmedBy), Sig: wire.FromCore(oe.e.sig)}})
+				Confirmations: len(oe.e.confirmedBy), Sig: oe.e.ws}})
 	}
 	x.mu.Unlock()
 
@@ -794,6 +944,7 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, forwarded b
 		if !ok {
 			e = &fleetSig{
 				sig:         &core.Signature{Kind: sig.Kind, Pairs: core.ClonePairs(sig.Pairs)},
+				ws:          wire.FromCore(sig),
 				seq:         len(x.order) + 1,
 				firstSeen:   device,
 				confirmedBy: make(map[string]bool),
@@ -816,18 +967,20 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, forwarded b
 				x.armLocked(key, e)
 				if x.cluster != nil && e.owner == x.selfID {
 					broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
-						Confirmations: len(e.confirmedBy), Sig: wire.FromCore(e.sig)})
+						Confirmations: len(e.confirmedBy), Sig: e.ws})
 				}
 			}
 			dirty = append(dirty, x.recordLocked(key, e))
 		}
 		confirms = append(confirms, &wire.Confirm{Key: key, Confirmations: len(e.confirmedBy), Armed: e.armed})
 	}
-	// Owned armings fan out to every live inbound peer session; peers
-	// that are down catch up from their next peer-hello's seq.
+	// Owned armings fan out to every live inbound peer session as one
+	// encode-once frame each; peers that are down catch up from their
+	// next peer-hello's seq.
 	for _, b := range broadcasts {
+		sh := wire.NewShared(wire.Message{Type: wire.TypeArmBroadcast, Arm: b})
 		for _, pc := range x.peers {
-			pc.push(wire.Message{Type: wire.TypeArmBroadcast, Arm: b})
+			pc.pushShared(sh)
 		}
 	}
 	cluster := x.cluster
@@ -842,7 +995,9 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, forwarded b
 
 // armLocked arms an owned entry: it assigns the local fleet epoch, the
 // owner arming seq (cluster mode), and pushes the delta to every
-// attached device. Caller holds x.mu and appends the dirty record.
+// attached device as one encode-once frame — the broadcast is encoded
+// at most once per negotiated wire version, however many devices are
+// attached. Caller holds x.mu and appends the dirty record.
 func (x *Exchange) armLocked(key string, e *fleetSig) {
 	e.armed = true
 	x.epoch++
@@ -851,9 +1006,10 @@ func (x *Exchange) armLocked(key string, e *fleetSig) {
 		x.ownerSeq++
 		e.ownerSeq = x.ownerSeq
 	}
-	d := &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{wire.FromCore(e.sig)}}
+	d := wire.NewShared(wire.Message{Type: wire.TypeDelta,
+		Delta: &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{e.ws}}})
 	for id, conn := range x.conns {
-		conn.push(wire.Message{Type: wire.TypeDelta, Delta: d})
+		conn.pushShared(d)
 		e.pushedTo[id] = true
 	}
 }
@@ -880,6 +1036,7 @@ func (x *Exchange) InstallRemote(b wire.ArmBroadcast) (bool, error) {
 	if !ok {
 		e = &fleetSig{
 			sig:         &core.Signature{Kind: sig.Kind, Pairs: core.ClonePairs(sig.Pairs)},
+			ws:          b.Sig,
 			seq:         len(x.order) + 1,
 			confirmedBy: make(map[string]bool),
 			pushedTo:    make(map[string]bool),
@@ -900,9 +1057,10 @@ func (x *Exchange) InstallRemote(b wire.ArmBroadcast) (bool, error) {
 		x.epoch++
 		e.armEpoch = x.epoch
 		x.remoteInstalls++
-		d := &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{wire.FromCore(e.sig)}}
+		d := wire.NewShared(wire.Message{Type: wire.TypeDelta,
+			Delta: &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{e.ws}}})
 		for id, conn := range x.conns {
-			conn.push(wire.Message{Type: wire.TypeDelta, Delta: d})
+			conn.pushShared(d)
 			e.pushedTo[id] = true
 		}
 	}
@@ -1072,41 +1230,14 @@ func (x *Exchange) Close() {
 }
 
 // msgQueue is a connection's ordered hub→client push queue: a
-// Queue[wire.Message] drained by a dedicated goroutine so the hub never
+// Queue[outMsg] drained by a dedicated goroutine so the hub never
 // blocks on a slow session, with delta coalescing — consecutive queued
 // deltas collapse into one wire message carrying the newest epoch, so
 // under a publish storm a slow subscriber receives one batched push,
-// never a backlog of stale ones. A send failure kills the queue and
-// fires onDead: the session is unusable and its Conn must be torn down
-// even if the peer never closes its side of the socket.
-type msgQueue = Queue[wire.Message]
-
-// mergeWireDeltas coalesces two adjacent delta messages, preserving
-// ordering relative to non-delta messages; the merged delta carries the
-// newest epoch of the pair, so no stale epoch is ever sent.
-func mergeWireDeltas(prev, next wire.Message) (wire.Message, bool) {
-	if prev.Type != wire.TypeDelta || next.Type != wire.TypeDelta {
-		return prev, false
-	}
-	merged := &wire.Delta{Epoch: prev.Delta.Epoch,
-		Sigs: append(append([]wire.Signature{}, prev.Delta.Sigs...), next.Delta.Sigs...)}
-	if next.Delta.Epoch > merged.Epoch {
-		merged.Epoch = next.Delta.Epoch
-	}
-	out := prev
-	out.Delta = merged
-	return out, true
-}
-
-func newMsgQueue(send func(wire.Message) error, onBatch func(batches, sigs uint64), onDead func()) *msgQueue {
-	return NewQueue(QueueConfig[wire.Message]{
-		Deliver: send,
-		Merge:   mergeWireDeltas,
-		OnDeliver: func(m wire.Message) {
-			if m.Type == wire.TypeDelta && onBatch != nil {
-				onBatch(1, uint64(len(m.Delta.Sigs)))
-			}
-		},
-		OnDead: onDead,
-	})
-}
+// never a backlog of stale ones. Queued items are either per-session
+// messages or handles on encode-once Shared broadcast frames; stream
+// sessions (AcceptStream) receive each drain's frames in a single
+// writeFrames call. A delivery failure kills the queue and fires
+// OnDead: the session is unusable and its Conn must be torn down even
+// if the peer never closes its side of the socket.
+type msgQueue = Queue[outMsg]

@@ -46,10 +46,15 @@
 //   - Loopback (NewLoopback) runs the full protocol in-process with no
 //     sockets — zero-dependency tests and simulations, same messages,
 //     same arming decisions.
-//   - TCPTransport/ServeTCP move length-prefixed JSON frames over real
-//     sockets; ExchangeClient redials dropped sessions with backoff and
+//   - TCPTransport/ServeTCP move length-prefixed wire frames over real
+//     sockets (JSON below wire v3, the binary codec at v3 — negotiated
+//     per session, chosen per frame by the header's codec bit);
+//     ExchangeClient redials dropped sessions with backoff and
 //     resubscribes from the last delta epoch it applied, so a reconnect
-//     receives exactly the armings it missed.
+//     receives exactly the armings it missed. The hub's write side is
+//     encode-once: a broadcast delta or arm-broadcast is marshaled at
+//     most once per negotiated version (wire.Shared) and each session's
+//     drain hands every pending frame to the kernel in one writev.
 //
 // Connect(transport, deviceID, service) wires a phone in; the hub holds
 // no references to Services and identifies devices only by their hello

@@ -44,8 +44,16 @@ type Queue[T any] struct {
 // QueueConfig configures a Queue.
 type QueueConfig[T any] struct {
 	// Deliver sends one (possibly merged) item, in order, on the drain
-	// goroutine with no queue lock held. Required.
+	// goroutine with no queue lock held. Required unless DeliverBatch is
+	// set.
 	Deliver func(T) error
+	// DeliverBatch, when set, replaces Deliver: each drained (coalesced)
+	// batch is handed over in one call, letting a stream transport write
+	// every queued frame in a single syscall. An error applies to the
+	// whole batch — drop mode kills the queue, retry mode re-queues the
+	// entire batch and parks (redelivery of its already-sent prefix must
+	// be safe for the receiver, as it is for every wire message).
+	DeliverBatch func([]T) error
 	// Merge, when set, coalesces two adjacent queued items: it returns
 	// the combined item and true to merge, or false to keep them as
 	// separate deliveries. Merge must not mutate prev or next in place —
@@ -137,6 +145,30 @@ func (q *Queue[T]) drain() {
 		q.queue = nil
 		q.mu.Unlock()
 		batch = q.coalesce(batch)
+		if q.cfg.DeliverBatch != nil {
+			if err := q.cfg.DeliverBatch(batch); err != nil {
+				q.mu.Lock()
+				if q.cfg.RetryOnError {
+					q.queue = append(batch, q.queue...)
+					q.paused = true
+					q.mu.Unlock()
+					continue
+				}
+				q.closed = true
+				q.queue = nil
+				q.mu.Unlock()
+				if q.cfg.OnDead != nil {
+					go q.cfg.OnDead()
+				}
+				return
+			}
+			if q.cfg.OnDeliver != nil {
+				for _, v := range batch {
+					q.cfg.OnDeliver(v)
+				}
+			}
+			continue
+		}
 		for i, v := range batch {
 			if err := q.cfg.Deliver(v); err != nil {
 				q.mu.Lock()

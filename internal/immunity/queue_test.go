@@ -1,0 +1,114 @@
+package immunity
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestQueueDeliverBatch: batch mode hands each drain's (coalesced)
+// items over in one call, in order, and still fires OnDeliver per item.
+func TestQueueDeliverBatch(t *testing.T) {
+	var mu sync.Mutex
+	var batches [][]int
+	var delivered []int
+	ready := make(chan struct{}, 16)
+	q := NewQueue(QueueConfig[int]{
+		DeliverBatch: func(b []int) error {
+			mu.Lock()
+			batches = append(batches, append([]int(nil), b...))
+			mu.Unlock()
+			return nil
+		},
+		OnDeliver: func(v int) {
+			mu.Lock()
+			delivered = append(delivered, v)
+			mu.Unlock()
+			ready <- struct{}{}
+		},
+	})
+	for i := 1; i <= 5; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 5; i++ {
+		<-ready
+	}
+	q.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	var flat []int
+	for _, b := range batches {
+		flat = append(flat, b...)
+	}
+	for i, v := range flat {
+		if v != i+1 {
+			t.Fatalf("out-of-order batch delivery: %v", batches)
+		}
+	}
+	if len(delivered) != 5 {
+		t.Fatalf("OnDeliver fired %d times, want 5", len(delivered))
+	}
+}
+
+// TestQueueDeliverBatchDropOnError: a batch error in drop mode kills
+// the queue, discards pending items, and fires OnDead exactly once —
+// the same contract the per-item path has.
+func TestQueueDeliverBatchDropOnError(t *testing.T) {
+	dead := make(chan struct{})
+	q := NewQueue(QueueConfig[int]{
+		DeliverBatch: func([]int) error { return errors.New("session died") },
+		OnDead:       func() { close(dead) },
+	})
+	q.Enqueue(1)
+	<-dead
+	q.Enqueue(2) // no-op after death
+	if n := q.Pending(); n != 0 {
+		t.Fatalf("dead queue holds %d items", n)
+	}
+	q.Close()
+}
+
+// TestQueueDeliverBatchRetryParks: in retry mode a failed batch is
+// re-queued whole and the drain parks until Resume, after which the
+// entire batch (plus anything enqueued meanwhile) is redelivered — the
+// at-least-once contract the peer outboxes rely on.
+func TestQueueDeliverBatchRetryParks(t *testing.T) {
+	var mu sync.Mutex
+	fail := true
+	var got []int
+	done := make(chan struct{}, 16)
+	q := NewQueue(QueueConfig[int]{
+		DeliverBatch: func(b []int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if fail {
+				return errors.New("link down")
+			}
+			got = append(got, b...)
+			for range b {
+				done <- struct{}{}
+			}
+			return nil
+		},
+		RetryOnError: true,
+	})
+	q.Enqueue(1)
+	q.Enqueue(2)
+	waitFor(t, "failed batch parked, items held", func() bool { return q.Pending() == 2 })
+	q.Enqueue(3) // lands behind the parked batch
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	q.Resume()
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	q.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("retry redelivered out of order: %v", got)
+		}
+	}
+}

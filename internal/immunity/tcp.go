@@ -1,7 +1,6 @@
 package immunity
 
 import (
-	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -10,7 +9,8 @@ import (
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 )
 
-// The real network transport: length-prefixed JSON wire frames over TCP.
+// The real network transport: length-prefixed wire frames over TCP
+// (JSON at v1/v2, binary at v3 — the frame header names the codec).
 // ServeTCP is the hub side (one goroutine per accepted connection
 // feeding frames into Exchange.Conn.Handle, one push-queue goroutine
 // writing frames back); TCPTransport is the phone side. Reconnect and
@@ -73,11 +73,14 @@ func (s *tcpSession) Close() error {
 }
 
 // readLoop delivers inbound frames until the connection dies; down fires
-// exactly once, and only for remote deaths.
+// exactly once, and only for remote deaths. The Reader's reused scratch
+// makes the steady-state frame read one buffered read and no
+// allocation; its codec dispatch handles the JSON→binary switch when
+// the handshake negotiates v3.
 func (s *tcpSession) readLoop(recv func(wire.Message), down func(err error)) {
-	br := bufio.NewReader(s.nc)
+	fr := wire.NewReader(s.nc)
 	for {
-		m, err := wire.ReadFrame(br)
+		m, err := fr.ReadFrame()
 		if err != nil {
 			s.cmu.Lock()
 			closed := s.closed
@@ -140,7 +143,10 @@ func (s *ExchangeServer) acceptLoop() {
 }
 
 // serve runs the hub side of one connection: frames in → Conn.Handle,
-// pushes out via the Conn's queue writing frames back.
+// pushes out via the Conn's queue writing frames back. The write side
+// is a stream session (AcceptStream): each queue drain hands over every
+// pending frame — shared broadcast frames byte-identical across
+// sessions — and writev pushes them to the kernel in one syscall.
 func (s *ExchangeServer) serve(nc net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -149,12 +155,16 @@ func (s *ExchangeServer) serve(nc net.Conn) {
 		s.mu.Unlock()
 	}()
 	var wmu sync.Mutex
-	conn, err := s.hub.Accept(
-		func(m wire.Message) error {
+	conn, err := s.hub.AcceptStream(
+		func(frames [][]byte) error {
 			wmu.Lock()
 			defer wmu.Unlock()
 			nc.SetWriteDeadline(time.Now().Add(writeTimeout))
-			return wire.WriteFrame(nc, m)
+			// net.Buffers advances through our local slice on partial
+			// writes; the shared frame bytes themselves are never touched.
+			bufs := net.Buffers(frames)
+			_, err := bufs.WriteTo(nc)
+			return err
 		},
 		func() { nc.Close() },
 	)
@@ -163,9 +173,9 @@ func (s *ExchangeServer) serve(nc net.Conn) {
 		return
 	}
 	defer conn.Close()
-	br := bufio.NewReader(nc)
+	fr := wire.NewReader(nc)
 	for {
-		m, err := wire.ReadFrame(br)
+		m, err := fr.ReadFrame()
 		if err != nil {
 			return // dead or misbehaving peer; deferred Close cleans up
 		}
@@ -211,12 +221,14 @@ func FetchStatus(addr string, timeout time.Duration) (wire.Status, error) {
 	if timeout > 0 {
 		nc.SetDeadline(time.Now().Add(timeout))
 	}
-	if err := wire.WriteFrame(nc, wire.Message{V: wire.Version, Type: wire.TypeStatusReq}); err != nil {
+	// Framed at the JSON ceiling: a status probe precedes any
+	// negotiation, and an old (pre-v3) daemon must still parse it.
+	if err := wire.WriteFrame(nc, wire.Message{V: wire.MaxJSONVersion, Type: wire.TypeStatusReq}); err != nil {
 		return wire.Status{}, fmt.Errorf("fetch status: %w", err)
 	}
-	br := bufio.NewReader(nc)
+	fr := wire.NewReader(nc)
 	for {
-		m, err := wire.ReadFrame(br)
+		m, err := fr.ReadFrame()
 		if err != nil {
 			return wire.Status{}, fmt.Errorf("fetch status: %w", err)
 		}

@@ -1,0 +1,559 @@
+// The v3 binary codec: a hand-rolled varint + length-delimited encoding
+// of the wire message set. No reflection, no field names on the wire,
+// no intermediate allocations beyond the output buffer — encoding a
+// delta is an append loop, decoding is a cursor walk. The JSON codec
+// (v1/v2) and this one carry exactly the same message set; the
+// differential fuzz target (FuzzWireV3Differential) holds the two to
+// byte-identical round-trip behavior.
+//
+// Layout after the frame header (see the package comment's diagram):
+//
+//	varint  envelope version V
+//	byte    message type code (binHello..binArmBroadcast)
+//	...     payload fields, in struct order
+//
+// Field encodings:
+//
+//	u64     unsigned varint
+//	int     zigzag varint (JSON permits negatives; round-trip keeps them)
+//	bool    one byte, 0 or 1
+//	string  u64 length + bytes
+//	slice   u64 n: 0 = nil, else n-1 elements (nil and empty stay
+//	map             distinct, as they are under the JSON codec)
+//	ptr     one presence byte, then the value
+//
+// Map keys are encoded sorted so equal messages encode to equal bytes —
+// the property that lets Shared hand one frame to every session.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"unicode/utf8"
+)
+
+// Message type codes. Append-only: a code, once shipped, is never
+// reused or renumbered.
+const (
+	binHello byte = iota + 1
+	binAck
+	binReport
+	binConfirm
+	binDelta
+	binStatusReq
+	binStatus
+	binPeerHello
+	binForwardReport
+	binForwardConfirm
+	binArmBroadcast
+)
+
+// typeCode maps a message type to its binary code.
+func typeCode(t Type) (byte, bool) {
+	switch t {
+	case TypeHello:
+		return binHello, true
+	case TypeAck:
+		return binAck, true
+	case TypeReport:
+		return binReport, true
+	case TypeConfirm:
+		return binConfirm, true
+	case TypeDelta:
+		return binDelta, true
+	case TypeStatusReq:
+		return binStatusReq, true
+	case TypeStatus:
+		return binStatus, true
+	case TypePeerHello:
+		return binPeerHello, true
+	case TypeForwardReport:
+		return binForwardReport, true
+	case TypeForwardConfirm:
+		return binForwardConfirm, true
+	case TypeArmBroadcast:
+		return binArmBroadcast, true
+	}
+	return 0, false
+}
+
+// codeType is typeCode's inverse.
+func codeType(c byte) (Type, bool) {
+	switch c {
+	case binHello:
+		return TypeHello, true
+	case binAck:
+		return TypeAck, true
+	case binReport:
+		return TypeReport, true
+	case binConfirm:
+		return TypeConfirm, true
+	case binDelta:
+		return TypeDelta, true
+	case binStatusReq:
+		return TypeStatusReq, true
+	case binStatus:
+		return TypeStatus, true
+	case binPeerHello:
+		return TypePeerHello, true
+	case binForwardReport:
+		return TypeForwardReport, true
+	case binForwardConfirm:
+		return TypeForwardConfirm, true
+	case binArmBroadcast:
+		return TypeArmBroadcast, true
+	}
+	return "", false
+}
+
+// --- encoding ---
+
+func appendU64(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendInt(b []byte, v int) []byte { return binary.AppendVarint(b, int64(v)) }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendStr(b []byte, s string) []byte {
+	if !utf8.ValidString(s) {
+		// The JSON codec coerces invalid UTF-8 on marshal — one U+FFFD
+		// per invalid byte; do byte-for-byte the same, so a string that
+		// would have gone through (mangled identically) under v2 never
+		// turns a v3 session into a decode-refusal redial loop, and the
+		// canonical signature key a mixed-version fleet derives from it
+		// is the same whichever codec carried it.
+		s = coerceUTF8(s)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// coerceUTF8 mirrors encoding/json's marshal behavior exactly: every
+// individually invalid byte becomes its own U+FFFD (strings.ToValidUTF8
+// would collapse a run into one, deriving a different string than the
+// JSON codec for the same message).
+func coerceUTF8(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b.WriteRune(utf8.RuneError)
+			i++
+			continue
+		}
+		b.WriteString(s[i : i+size])
+		i += size
+	}
+	return b.String()
+}
+
+// appendLen encodes a slice/map length with the nil/empty distinction:
+// 0 means nil, n+1 means length n.
+func appendLen(b []byte, n int, isNil bool) []byte {
+	if isNil {
+		return binary.AppendUvarint(b, 0)
+	}
+	return binary.AppendUvarint(b, uint64(n)+1)
+}
+
+func appendStrs(b []byte, ss []string) []byte {
+	b = appendLen(b, len(ss), ss == nil)
+	for _, s := range ss {
+		b = appendStr(b, s)
+	}
+	return b
+}
+
+func appendSig(b []byte, s Signature) []byte {
+	b = appendStr(b, s.Kind)
+	b = appendLen(b, len(s.Pairs), s.Pairs == nil)
+	for _, p := range s.Pairs {
+		b = appendStr(b, p.Outer)
+		b = appendStr(b, p.Inner)
+	}
+	return b
+}
+
+func appendSigs(b []byte, sigs []Signature) []byte {
+	b = appendLen(b, len(sigs), sigs == nil)
+	for _, s := range sigs {
+		b = appendSig(b, s)
+	}
+	return b
+}
+
+func appendConfirm(b []byte, c Confirm) []byte {
+	b = appendStr(b, c.Key)
+	b = appendInt(b, c.Confirmations)
+	return appendBool(b, c.Armed)
+}
+
+// appendBinary appends m's binary envelope (no frame header) to dst.
+// It validates exactly as the JSON Encode does.
+func appendBinary(dst []byte, m Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return dst, err
+	}
+	code, ok := typeCode(m.Type)
+	if !ok {
+		return dst, fmt.Errorf("wire encode: unknown type %q", m.Type)
+	}
+	b := appendInt(dst, m.V)
+	b = append(b, code)
+	switch m.Type {
+	case TypeHello:
+		h := m.Hello
+		b = appendStr(b, h.Device)
+		b = appendU64(b, h.Epoch)
+		b = appendInt(b, h.MinV)
+		b = appendInt(b, h.MaxV)
+		// Epochs is the one collection the JSON codec marshals with
+		// omitempty, collapsing empty to absent — encode the same way, or
+		// the two codecs would disagree about one message (both decoders
+		// normalize, see decodeNorm).
+		b = appendLen(b, len(h.Epochs), len(h.Epochs) == 0)
+		gens := make([]string, 0, len(h.Epochs))
+		for g := range h.Epochs {
+			gens = append(gens, g)
+		}
+		sort.Strings(gens)
+		for _, g := range gens {
+			b = appendStr(b, g)
+			b = appendU64(b, h.Epochs[g])
+		}
+	case TypeAck:
+		a := m.Ack
+		b = appendBool(b, a.OK)
+		b = appendStr(b, a.Error)
+		b = appendU64(b, a.Epoch)
+		b = appendStr(b, a.Gen)
+		b = appendInt(b, a.V)
+	case TypeReport:
+		b = appendSigs(b, m.Report.Sigs)
+	case TypeConfirm:
+		b = appendConfirm(b, *m.Confirm)
+	case TypeDelta:
+		b = appendU64(b, m.Delta.Epoch)
+		b = appendSigs(b, m.Delta.Sigs)
+	case TypeStatusReq:
+		// no payload
+	case TypeStatus:
+		st := m.Status
+		b = appendU64(b, st.Epoch)
+		b = appendInt(b, st.Threshold)
+		b = appendStrs(b, st.Devices)
+		b = appendLen(b, len(st.Provenance), st.Provenance == nil)
+		for _, p := range st.Provenance {
+			b = appendStr(b, p.Key)
+			b = appendStr(b, p.Kind)
+			b = appendStr(b, p.FirstSeen)
+			b = appendInt(b, p.Confirmations)
+			b = appendStrs(b, p.ConfirmedBy)
+			b = appendBool(b, p.Armed)
+			b = appendStr(b, p.Owner)
+		}
+		b = appendU64(b, st.Batching.Batches)
+		b = appendU64(b, st.Batching.Signatures)
+		b = appendStr(b, st.Hub)
+		if st.Cluster == nil {
+			b = append(b, 0)
+		} else {
+			cs := st.Cluster
+			b = append(b, 1)
+			b = appendStrs(b, cs.Members)
+			b = appendStrs(b, cs.Peers)
+			b = appendU64(b, cs.OwnerSeq)
+			b = appendInt(b, cs.Owned)
+			b = appendInt(b, cs.Remote)
+			b = appendU64(b, cs.Forwards)
+		}
+	case TypePeerHello:
+		h := m.PeerHello
+		b = appendStr(b, h.Hub)
+		b = appendU64(b, h.Seq)
+		b = appendInt(b, h.MinV)
+		b = appendInt(b, h.MaxV)
+	case TypeForwardReport:
+		f := m.Forward
+		b = appendStr(b, f.Hub)
+		b = appendStr(b, f.Device)
+		b = appendSigs(b, f.Sigs)
+	case TypeForwardConfirm:
+		b = appendStr(b, m.FwdConfirm.Device)
+		b = appendConfirm(b, m.FwdConfirm.Confirm)
+	case TypeArmBroadcast:
+		a := m.Arm
+		b = appendStr(b, a.Owner)
+		b = appendU64(b, a.Seq)
+		b = appendInt(b, a.Confirmations)
+		b = appendSig(b, a.Sig)
+	}
+	return b, nil
+}
+
+// EncodeBinary marshals the message with the v3 binary codec (envelope
+// only, no frame header) — the binary twin of Encode.
+func EncodeBinary(m Message) ([]byte, error) {
+	b, err := appendBinary(nil, m)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > MaxFrame {
+		return nil, fmt.Errorf("wire encode: frame %d bytes exceeds max %d", len(b), MaxFrame)
+	}
+	return b, nil
+}
+
+// --- decoding ---
+
+// bdec is a cursor over one binary envelope. The first malformed field
+// latches err; every subsequent read is a cheap no-op, so decode paths
+// need a single error check at the end.
+type bdec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *bdec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire binary decode: "+format, args...)
+	}
+}
+
+func (d *bdec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *bdec) int() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return int(v)
+}
+
+func (d *bdec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated bool")
+		return false
+	}
+	c := d.b[d.off]
+	d.off++
+	if c > 1 {
+		d.fail("bad bool byte %d", c)
+		return false
+	}
+	return c == 1
+}
+
+func (d *bdec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated byte")
+		return 0
+	}
+	c := d.b[d.off]
+	d.off++
+	return c
+}
+
+func (d *bdec) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("string length %d exceeds remaining %d bytes", n, len(d.b)-d.off)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)]) // copies: decoded messages never alias the read buffer
+	d.off += int(n)
+	if !utf8.ValidString(s) {
+		// The JSON codec cannot represent invalid UTF-8 (it would be
+		// coerced to U+FFFD), so accepting it here would let the two
+		// codecs disagree about one message. Same domain, both codecs.
+		d.fail("string %q is not valid UTF-8", s)
+		return ""
+	}
+	return s
+}
+
+// length decodes a slice/map length: (-1) for nil, else the length.
+// Lengths are sanity-capped by the remaining payload (every element
+// costs at least one byte), so an element count a frame cannot possibly
+// back fails immediately.
+func (d *bdec) length() int {
+	n := d.u64()
+	if d.err != nil || n == 0 {
+		return -1
+	}
+	n--
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("collection length %d exceeds remaining %d bytes", n, len(d.b)-d.off)
+		return -1
+	}
+	return int(n)
+}
+
+// maxPrealloc caps a collection's up-front allocation: the byte-count
+// sanity check above bounds the element *count*, not count × element
+// size, so a hostile frame could otherwise claim millions of elements
+// and cost a multi-hundred-MB make before the first element fails to
+// decode. Beyond the cap the slice grows by append, paying only for
+// elements the payload actually contains.
+const maxPrealloc = 1024
+
+func prealloc(n int) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
+func (d *bdec) strs() []string {
+	n := d.length()
+	if n < 0 {
+		return nil
+	}
+	out := make([]string, 0, prealloc(n))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, d.str())
+	}
+	return out
+}
+
+func (d *bdec) sig() Signature {
+	s := Signature{Kind: d.str()}
+	n := d.length()
+	if n < 0 {
+		return s
+	}
+	s.Pairs = make([]SigPair, 0, prealloc(n))
+	for i := 0; i < n && d.err == nil; i++ {
+		s.Pairs = append(s.Pairs, SigPair{Outer: d.str(), Inner: d.str()})
+	}
+	return s
+}
+
+func (d *bdec) sigs() []Signature {
+	n := d.length()
+	if n < 0 {
+		return nil
+	}
+	out := make([]Signature, 0, prealloc(n))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, d.sig())
+	}
+	return out
+}
+
+func (d *bdec) confirm() Confirm {
+	return Confirm{Key: d.str(), Confirmations: d.int(), Armed: d.bool()}
+}
+
+// DecodeBinary unmarshals and structurally validates one binary
+// envelope — the binary twin of Decode. Trailing bytes are an error: a
+// frame is exactly one message.
+func DecodeBinary(b []byte) (Message, error) {
+	d := &bdec{b: b}
+	var m Message
+	m.V = d.int()
+	code := d.byte()
+	t, ok := codeType(code)
+	if d.err == nil && !ok {
+		d.fail("unknown type code %d", code)
+	}
+	if d.err != nil {
+		return Message{}, d.err
+	}
+	m.Type = t
+	switch t {
+	case TypeHello:
+		h := &Hello{Device: d.str(), Epoch: d.u64(), MinV: d.int(), MaxV: d.int()}
+		if n := d.length(); n > 0 {
+			h.Epochs = make(map[string]uint64, prealloc(n))
+			for i := 0; i < n && d.err == nil; i++ {
+				g := d.str()
+				h.Epochs[g] = d.u64()
+			}
+		}
+		m.Hello = h
+	case TypeAck:
+		m.Ack = &Ack{OK: d.bool(), Error: d.str(), Epoch: d.u64(), Gen: d.str(), V: d.int()}
+	case TypeReport:
+		m.Report = &Report{Sigs: d.sigs()}
+	case TypeConfirm:
+		c := d.confirm()
+		m.Confirm = &c
+	case TypeDelta:
+		m.Delta = &Delta{Epoch: d.u64(), Sigs: d.sigs()}
+	case TypeStatusReq:
+		// no payload
+	case TypeStatus:
+		st := &Status{Epoch: d.u64(), Threshold: d.int(), Devices: d.strs()}
+		if n := d.length(); n >= 0 {
+			st.Provenance = make([]SigStatus, 0, prealloc(n))
+			for i := 0; i < n && d.err == nil; i++ {
+				st.Provenance = append(st.Provenance, SigStatus{Key: d.str(), Kind: d.str(), FirstSeen: d.str(),
+					Confirmations: d.int(), ConfirmedBy: d.strs(), Armed: d.bool(), Owner: d.str()})
+			}
+		}
+		st.Batching = Batching{Batches: d.u64(), Signatures: d.u64()}
+		st.Hub = d.str()
+		switch present := d.byte(); present {
+		case 0:
+		case 1:
+			st.Cluster = &ClusterStatus{Members: d.strs(), Peers: d.strs(),
+				OwnerSeq: d.u64(), Owned: d.int(), Remote: d.int(), Forwards: d.u64()}
+		default:
+			d.fail("bad presence byte %d", present)
+		}
+		m.Status = st
+	case TypePeerHello:
+		m.PeerHello = &PeerHello{Hub: d.str(), Seq: d.u64(), MinV: d.int(), MaxV: d.int()}
+	case TypeForwardReport:
+		m.Forward = &ForwardReport{Hub: d.str(), Device: d.str(), Sigs: d.sigs()}
+	case TypeForwardConfirm:
+		m.FwdConfirm = &ForwardConfirm{Device: d.str(), Confirm: d.confirm()}
+	case TypeArmBroadcast:
+		m.Arm = &ArmBroadcast{Owner: d.str(), Seq: d.u64(), Confirmations: d.int(), Sig: d.sig()}
+	}
+	if d.err != nil {
+		return Message{}, d.err
+	}
+	if d.off != len(d.b) {
+		return Message{}, fmt.Errorf("wire binary decode: %d trailing bytes after %s", len(d.b)-d.off, t)
+	}
+	if err := m.Validate(); err != nil {
+		return Message{}, err
+	}
+	return decodeNorm(m), nil
+}

@@ -50,18 +50,41 @@
 // hub in peer-hello, and receives only the armings it missed — the
 // hub-to-hub twin of the device tier's resubscribe-from-epoch.
 //
-// # Versioning
+// # Versioning and the version matrix
 //
-// Every message envelope carries the protocol version `v`. A v2 hello
+// Every message envelope carries the protocol version `v`. A v2+ hello
 // additionally advertises the supported range [min_v, max_v]; the hub
 // acks the highest version both sides speak (ack `v`), so new message
-// sets ship as negotiated extensions instead of hard breaks. A hello
-// with no common version — including a bare pre-negotiation hello whose
-// envelope version the hub does not speak — is rejected with
-// ack{ok:false} and a human-readable error, then the session closes: an
-// old client fails cleanly instead of hanging on messages it cannot
-// parse. Peer messages require a negotiated version of at least
-// PeerVersion.
+// sets — and new codecs — ship as negotiated extensions instead of
+// hard breaks. A hello with no common version — including a bare
+// pre-negotiation hello whose envelope version the hub does not speak —
+// is rejected with ack{ok:false} and a human-readable error, then the
+// session closes: an old client fails cleanly instead of hanging on
+// messages it cannot parse. Peer messages require a negotiated version
+// of at least PeerVersion.
+//
+//	v   codec    introduced
+//	-   -----    ----------
+//	1   JSON     hello/ack/report/confirm/delta/status, flat epoch resume
+//	2   JSON     range negotiation, per-gen epoch map, hub gen in ack,
+//	             peer message set (federation)
+//	3   binary   hand-rolled varint codec (binary.go): same message set
+//	             and semantics as v2, different bytes on the wire
+//
+// The negotiation rules, applied by both ends:
+//
+//  1. A hello (or peer-hello) advertising [min_v, max_v] negotiates
+//     the highest version in the intersection with the receiver's own
+//     range (Negotiate / NegotiateMax); no intersection refuses the
+//     session. A bare hello with no range advertises exactly its
+//     envelope version.
+//  2. Everything before the ack settles the version — hellos, refusal
+//     acks, bare status probes — is framed as JSON at or below
+//     MaxJSONVersion, which every version ever shipped can parse.
+//  3. After the ack, every frame on the session is framed at exactly
+//     the negotiated version: a v1 session never sees a v2 envelope,
+//     and only a session negotiated at >= BinaryVersion ever sees a
+//     binary frame.
 //
 // # Canonical signature encoding
 //
@@ -74,17 +97,38 @@
 //
 // # Framing
 //
-// Stream transports carry messages as length-prefixed JSON: a 4-byte
-// big-endian frame length followed by the envelope's JSON encoding.
-// Frames above MaxFrame are rejected before allocation, so a corrupt or
-// hostile peer cannot balloon the hub's memory.
+// Stream transports carry messages as length-prefixed frames. The
+// 4-byte big-endian prefix packs the payload codec and length:
+//
+//	 0               1               2               3
+//	+-+-------------+---------------+---------------+--------------+
+//	|B|          payload length (31 bits, <= MaxFrame)             |
+//	+-+-------------+---------------+---------------+--------------+
+//	|  payload: JSON envelope (B=0) or binary v3 envelope (B=1)    |
+//	|  ...                                                         |
+//	+--------------------------------------------------------------+
+//
+// The B bit selects the codec, so one Reader decodes mixed-version
+// traffic and the pre-negotiation handshake needs no out-of-band codec
+// agreement. MaxFrame (4 MiB) fits in 31 bits with room to spare, and a
+// pre-v3 endpoint that is wrongly handed a binary frame reads an
+// impossible length and rejects it instead of mis-parsing: frames above
+// MaxFrame fail before any payload allocation, so a corrupt or hostile
+// peer cannot balloon the hub's memory either.
+//
+// The fan-out hot path never encodes per receiver: a broadcast is
+// wrapped in a Shared, which encodes the message at most once per
+// negotiated version and hands every session at that version the same
+// immutable []byte (see Shared).
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/dimmunix/dimmunix/internal/core"
 )
@@ -95,20 +139,38 @@ import (
 // advertised range (a bare v1 hello advertises exactly its envelope
 // version).
 const (
-	Version    = 2
+	Version    = 3
 	MinVersion = 1
 	// PeerVersion is the minimum negotiated version for the peer message
 	// set (hub federation).
 	PeerVersion = 2
+	// BinaryVersion is the first version framed with the binary codec;
+	// sessions negotiated below it stay on JSON.
+	BinaryVersion = 3
+	// MaxJSONVersion is the newest JSON-framed version — the envelope
+	// version for everything sent before negotiation settles a session's
+	// version (hellos, refusal acks, bare status probes), since every
+	// endpoint ever shipped can parse it.
+	MaxJSONVersion = 2
 )
 
 // Negotiate returns the highest protocol version in the intersection of
 // the hub's supported range and a client range [min, max], and whether
 // one exists. It is the single negotiation rule both ends apply.
 func Negotiate(min, max int) (int, bool) {
+	return NegotiateMax(min, max, Version)
+}
+
+// NegotiateMax is Negotiate with the receiver's ceiling lowered to
+// `ceiling` — how an operator pins a hub to an older version during a
+// staged rollout (a ceiling outside [MinVersion, Version] means no pin).
+func NegotiateMax(min, max, ceiling int) (int, bool) {
+	if ceiling < MinVersion || ceiling > Version {
+		ceiling = Version
+	}
 	v := max
-	if v > Version {
-		v = Version
+	if v > ceiling {
+		v = ceiling
 	}
 	if v < MinVersion || v < min {
 		return 0, false
@@ -461,6 +523,18 @@ func Encode(m Message) ([]byte, error) {
 	return b, nil
 }
 
+// decodeNorm canonicalizes a freshly decoded message. Hello.Epochs is
+// marshaled with omitempty, so the JSON codec cannot re-encode an
+// empty-but-present map; both decoders collapse it to nil, keeping
+// decode→encode→decode a fixed point under either codec (the property
+// the decode and differential fuzz targets assert).
+func decodeNorm(m Message) Message {
+	if m.Hello != nil && m.Hello.Epochs != nil && len(m.Hello.Epochs) == 0 {
+		m.Hello.Epochs = nil
+	}
+	return m
+}
+
 // Decode unmarshals and structurally validates one frame payload.
 func Decode(b []byte) (Message, error) {
 	var m Message
@@ -470,42 +544,213 @@ func Decode(b []byte) (Message, error) {
 	if err := m.Validate(); err != nil {
 		return Message{}, err
 	}
-	return m, nil
+	return decodeNorm(m), nil
 }
 
-// WriteFrame writes one length-prefixed message to w as a single Write
-// (one packet on an unbuffered socket).
-func WriteFrame(w io.Writer, m Message) error {
-	b, err := Encode(m)
+// binaryFlag marks a frame header whose payload uses the binary codec.
+// MaxFrame needs 23 bits, so the top bit of the length prefix is free.
+const binaryFlag = 1 << 31
+
+// AppendFrame appends one framed message to dst and returns the
+// extended slice. The codec follows the envelope version: m.V >=
+// BinaryVersion frames binary (flag bit set), anything lower frames
+// JSON — which is exactly the session-version stamping rule, so callers
+// only ever pick a version, never a codec.
+func AppendFrame(dst []byte, m Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	var err error
+	hdr := uint32(0)
+	if m.V >= BinaryVersion {
+		hdr = binaryFlag
+		dst, err = appendBinary(dst, m)
+	} else {
+		var b []byte
+		b, err = Encode(m)
+		dst = append(dst, b...)
+	}
 	if err != nil {
-		return err
+		return dst[:start], err
 	}
-	frame := make([]byte, 4+len(b))
-	binary.BigEndian.PutUint32(frame[:4], uint32(len(b)))
-	copy(frame[4:], b)
-	if _, err := w.Write(frame); err != nil {
-		return fmt.Errorf("wire write: %w", err)
+	n := len(dst) - start - 4
+	if n > MaxFrame {
+		return dst[:start], fmt.Errorf("wire frame: %d bytes exceeds max %d", n, MaxFrame)
 	}
-	return nil
+	binary.BigEndian.PutUint32(dst[start:start+4], hdr|uint32(n))
+	return dst, nil
 }
 
-// ReadFrame reads one length-prefixed message from r. Oversized or
-// zero-length frames fail before any payload allocation.
+// framePool recycles WriteFrame's encode buffers; buffers that grew
+// past maxPooled are dropped rather than pinned in the pool.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+const maxPooled = 64 << 10
+
+// WriteFrame writes one framed message to w as a single Write (one
+// packet on an unbuffered socket), choosing the codec from m.V as
+// AppendFrame does.
+func WriteFrame(w io.Writer, m Message) error {
+	bp := framePool.Get().(*[]byte)
+	b, err := AppendFrame((*bp)[:0], m)
+	if err == nil {
+		if _, werr := w.Write(b); werr != nil {
+			err = fmt.Errorf("wire write: %w", werr)
+		}
+	}
+	if cap(b) <= maxPooled {
+		*bp = b[:0]
+	}
+	framePool.Put(bp)
+	return err
+}
+
+// decodeFrame dispatches a frame payload to the codec named by the
+// header flag.
+func decodeFrame(payload []byte, binaryCodec bool) (Message, error) {
+	if binaryCodec {
+		return DecodeBinary(payload)
+	}
+	return Decode(payload)
+}
+
+// parseHeader unpacks and validates a frame header: the payload length
+// and the codec flag. It is the single reading of the header layout —
+// the buffered and unbuffered read paths must never disagree about
+// frame validity.
+func parseHeader(hdr [4]byte) (n uint32, isBin bool, err error) {
+	n = binary.BigEndian.Uint32(hdr[:])
+	isBin = n&binaryFlag != 0
+	n &^= binaryFlag
+	if n == 0 {
+		return 0, false, fmt.Errorf("wire read: zero-length frame")
+	}
+	if n > MaxFrame {
+		return 0, false, fmt.Errorf("wire read: frame %d bytes exceeds max %d", n, MaxFrame)
+	}
+	return n, isBin, nil
+}
+
+// ReadFrame reads one framed message from r without reading ahead —
+// callers that own the stream should use Reader, which buffers and
+// reuses its payload scratch. Oversized or zero-length frames fail
+// before any payload allocation.
 func ReadFrame(r io.Reader) (Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err // io.EOF passes through for clean close detection
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 {
-		return Message{}, fmt.Errorf("wire read: zero-length frame")
-	}
-	if n > MaxFrame {
-		return Message{}, fmt.Errorf("wire read: frame %d bytes exceeds max %d", n, MaxFrame)
+	n, isBin, err := parseHeader(hdr)
+	if err != nil {
+		return Message{}, err
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(r, b); err != nil {
 		return Message{}, fmt.Errorf("wire read: %w", err)
 	}
-	return Decode(b)
+	return decodeFrame(b, isBin)
+}
+
+// maxScratch caps the payload buffer a Reader keeps between frames: the
+// common frame reuses it allocation-free, a rare jumbo frame gets a
+// transient buffer that is not retained.
+const maxScratch = 64 << 10
+
+// Reader reads frames from one stream. It owns a buffered reader — the
+// header and body of a small frame cost one read from the kernel, not
+// two — and a reused, size-capped scratch buffer, so steady-state frame
+// reads allocate only what the decoded message itself needs. Decoded
+// messages never alias the scratch (both codecs copy what they keep),
+// which is what makes the reuse safe.
+type Reader struct {
+	br      *bufio.Reader
+	scratch []byte
+}
+
+// NewReader wraps r; an existing *bufio.Reader is used as-is.
+func NewReader(r io.Reader) *Reader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 32<<10)
+	}
+	return &Reader{br: br}
+}
+
+// ReadFrame reads and decodes the next frame.
+func (r *Reader) ReadFrame() (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return Message{}, err // io.EOF passes through for clean close detection
+	}
+	n, isBin, err := parseHeader(hdr)
+	if err != nil {
+		return Message{}, err
+	}
+	buf := r.scratch
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+		if n <= maxScratch {
+			r.scratch = buf
+		}
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return Message{}, fmt.Errorf("wire read: %w", err)
+	}
+	return decodeFrame(buf, isBin)
+}
+
+// Shared is an encode-once broadcast frame: one immutable message,
+// encoded at most once per negotiated session version, with every
+// session at that version handed the same []byte. It is what turns a
+// hub fan-out from O(subscribers) marshals into O(distinct versions):
+// the exchange wraps each delta and arm-broadcast in a Shared and
+// enqueues the handle, and each session's drain resolves it against its
+// own negotiated version at write time.
+//
+// The wrapped message and every returned frame are immutable: callers
+// must never modify the bytes (they are concurrently written to other
+// sessions) and must not mutate the message after wrapping it.
+type Shared struct {
+	msg Message
+
+	mu    sync.Mutex
+	byVer map[int][]byte
+}
+
+// NewShared wraps m (payload pointers included) as an immutable
+// broadcast. m.V is ignored — the version is chosen per session when a
+// frame is requested.
+func NewShared(m Message) *Shared { return &Shared{msg: m} }
+
+// Msg returns the wrapped message with its version unstamped. The
+// payload is shared: read-only.
+func (s *Shared) Msg() Message { return s.msg }
+
+// Message returns the wrapped message stamped at version v — the
+// decoded-delivery twin of Frame for in-process transports.
+func (s *Shared) Message(v int) Message {
+	m := s.msg
+	m.V = v
+	return m
+}
+
+// Frame returns the full encoded frame (header included) for sessions
+// negotiated at version v, encoding at most once per version however
+// many sessions share it. The returned bytes are immutable.
+func (s *Shared) Frame(v int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.byVer[v]; ok {
+		return b, nil
+	}
+	b, err := AppendFrame(nil, s.Message(v))
+	if err != nil {
+		return nil, err
+	}
+	if s.byVer == nil {
+		s.byVer = make(map[int][]byte, 2)
+	}
+	s.byVer[v] = b
+	return b, nil
 }

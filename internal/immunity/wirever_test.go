@@ -1,0 +1,250 @@
+package immunity
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// TestWireVersionMatrix: every (hub ceiling, client ceiling) pairing of
+// the shipped versions negotiates the expected version over real TCP
+// and still moves antibodies in both directions — a v2-pinned client
+// interoperates with a v3 hub, a v3 client with a v2-pinned hub, and
+// two unpinned ends land on the binary codec.
+func TestWireVersionMatrix(t *testing.T) {
+	cases := []struct {
+		name                 string
+		hubPin, clientPin    int // 0 = newest
+		want                 int
+	}{
+		{"v3-hub_v3-client", 0, 0, 3},
+		{"v3-hub_v2-client", 0, 2, 2},
+		{"v3-hub_v1-client", 0, 1, 1},
+		{"v2-hub_v3-client", 2, 0, 2},
+		{"v2-hub_v2-client", 2, 2, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var hubOpts []ExchangeOption
+			if tc.hubPin != 0 {
+				hubOpts = append(hubOpts, WithWireCeiling(tc.hubPin))
+			}
+			hub := newTestHub(t, 1, hubOpts...)
+			srv, err := ServeTCP(hub, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			svc, err := NewService("matrix-phone", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer svc.Close()
+			proc, _ := attach(t, svc, "app")
+			var clientOpts []ClientOption
+			if tc.clientPin != 0 {
+				clientOpts = append(clientOpts, WithClientWireCeiling(tc.clientPin))
+			}
+			client, err := Connect(NewTCPTransport(srv.Addr()), "matrix-phone", svc, clientOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			if got := client.WireVersion(); got != tc.want {
+				t.Fatalf("negotiated v%d, want v%d", got, tc.want)
+			}
+
+			// Upward: the report arms at threshold 1 (framed at the
+			// negotiated version — binary only on an unpinned pairing).
+			if _, _, err := svc.Publish("local", testSig(7)); err != nil {
+				t.Fatal(err)
+			}
+			waitFor(t, "report armed the hub", func() bool { return hub.ArmedCount() == 1 })
+
+			// Downward: a second device's arming must reach this one.
+			svc2, err := NewService("matrix-phone2", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer svc2.Close()
+			client2, err := Connect(NewTCPTransport(srv.Addr()), "matrix-phone2", svc2, clientOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client2.Close()
+			if _, _, err := svc2.Publish("local", testSig(8)); err != nil {
+				t.Fatal(err)
+			}
+			key := testSig(8).Key()
+			waitFor(t, "delta reached the first phone's live process", func() bool {
+				return (&phoneSim{svc: svc, proc: proc}).armedOn(key)
+			})
+		})
+	}
+}
+
+// TestWireVersionMatrixRefusals: pairings with no common version still
+// refuse cleanly under the v3 ceiling plumbing.
+func TestWireVersionMatrixRefusals(t *testing.T) {
+	hub := newTestHub(t, 1)
+	lb := NewLoopback(hub)
+	svc, err := NewService("beyond", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// A "client" advertising only versions the hub does not speak.
+	if _, err := Connect(futureVersionTransport{lb}, "beyond", svc); err == nil {
+		t.Fatal("future-only version range accepted")
+	}
+}
+
+// futureVersionTransport rewrites hellos to advertise only versions
+// beyond the hub's ceiling.
+type futureVersionTransport struct{ inner Transport }
+
+func (f futureVersionTransport) Dial(recv func(wire.Message), down func(err error)) (Session, error) {
+	s, err := f.inner.Dial(recv, down)
+	if err != nil {
+		return nil, err
+	}
+	return futureVersionSession{s}, nil
+}
+
+type futureVersionSession struct{ Session }
+
+func (s futureVersionSession) Send(m wire.Message) error {
+	if m.Type == wire.TypeHello {
+		m.V = wire.Version + 1
+		m.Hello.MinV = wire.Version + 1
+		m.Hello.MaxV = wire.Version + 9
+	}
+	return s.Session.Send(m)
+}
+
+// TestMergeNeverMutatesSharedFrame: coalescing a queued broadcast with
+// a later delta must build a fresh message — the Shared's message and
+// its cached frames are concurrently handed to other sessions, and an
+// in-place append would corrupt a frame already queued elsewhere.
+func TestMergeNeverMutatesSharedFrame(t *testing.T) {
+	sigA, sigB := wire.FromCore(testSig(1)), wire.FromCore(testSig(2))
+	sh := wire.NewShared(wire.Message{Type: wire.TypeDelta,
+		Delta: &wire.Delta{Epoch: 1, Sigs: []wire.Signature{sigA}}})
+	frame, err := sh.Frame(wire.BinaryVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]byte(nil), frame...)
+
+	next := outMsg{m: wire.Message{Type: wire.TypeDelta,
+		Delta: &wire.Delta{Epoch: 2, Sigs: []wire.Signature{sigB}}}}
+	merged, ok := mergeOutMsgs(outMsg{shared: sh}, next)
+	if !ok {
+		t.Fatal("adjacent deltas did not merge")
+	}
+	if merged.shared != nil {
+		t.Fatal("merged delivery still points at the shared frame")
+	}
+	if merged.m.Delta.Epoch != 2 || len(merged.m.Delta.Sigs) != 2 {
+		t.Fatalf("bad merge: %+v", merged.m.Delta)
+	}
+	// The shared message and its cached frame are untouched.
+	if got := sh.Msg(); len(got.Delta.Sigs) != 1 || got.Delta.Epoch != 1 {
+		t.Fatalf("merge mutated the shared message: %+v", got.Delta)
+	}
+	after, err := sh.Frame(wire.BinaryVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("merge mutated the shared frame bytes")
+	}
+}
+
+// TestBroadcastSupersedeRaceKeepsFramesIntact (-race gated like the
+// whole package): encode-once frames are handed to every session's
+// queue; a device redialing in a tight loop — superseding its own
+// sessions while armings broadcast — must never corrupt a frame already
+// queued to a stable session. The stable observer decodes every frame
+// it receives and must end up with every armed signature, bit-exact.
+func TestBroadcastSupersedeRaceKeepsFramesIntact(t *testing.T) {
+	hub := newTestHub(t, 1)
+	srv, err := ServeTCP(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Stable observer phone over real TCP (stream sessions share frames).
+	obsSvc, err := NewService("observer", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obsSvc.Close()
+	obsProc, _ := attach(t, obsSvc, "app")
+	obsClient, err := Connect(NewTCPTransport(srv.Addr()), "observer", obsSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obsClient.Close()
+
+	// Flapper: redials under one device id as fast as it can, tearing
+	// down the superseded sessions while broadcasts are in flight.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tr := NewTCPTransport(srv.Addr())
+		for !stop.Load() {
+			sess, err := tr.Dial(func(wire.Message) {}, func(error) {})
+			if err != nil {
+				continue
+			}
+			sess.Send(wire.Message{V: wire.MinVersion, Type: wire.TypeHello,
+				Hello: &wire.Hello{Device: "flapper", MinV: wire.MinVersion, MaxV: wire.Version}})
+			time.Sleep(200 * time.Microsecond)
+			sess.Close()
+		}
+	}()
+
+	// Publisher: arms a stream of signatures (threshold 1), each one an
+	// encode-once broadcast to every live session.
+	pubSvc, err := NewService("publisher", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pubSvc.Close()
+	pubClient, err := Connect(NewTCPTransport(srv.Addr()), "publisher", pubSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pubClient.Close()
+
+	const arms = 40
+	for i := 0; i < arms; i++ {
+		if _, _, err := pubSvc.Publish("local", testSig(100+i)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	// Every armed signature must reach the stable observer uncorrupted:
+	// a mutated shared frame would fail decode (killing the session) or
+	// deliver a wrong signature key.
+	obs := &phoneSim{svc: obsSvc, proc: obsProc}
+	for i := 0; i < arms; i++ {
+		key := testSig(100 + i).Key()
+		waitFor(t, fmt.Sprintf("observer armed on sig %d", i), func() bool { return obs.armedOn(key) })
+	}
+	if got := obsClient.Reconnects(); got != 0 {
+		t.Fatalf("stable observer had to reconnect %d times (corrupt frame killed its session?)", got)
+	}
+	stop.Store(true)
+	wg.Wait()
+}

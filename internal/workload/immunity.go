@@ -21,6 +21,7 @@ package workload
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -653,9 +654,29 @@ type PropagationResult struct {
 	// Avg and Max are per-signature latencies from Publish returning to
 	// every process armed.
 	Avg, Max time.Duration
+	// P50, P90, and P99 are percentiles over the same per-signature
+	// latencies — the machine-readable trajectory BENCH_wire.json tracks.
+	P50, P90, P99 time.Duration
 	// TCP marks the cross-device variant (publish on one phone, armed
 	// processes on another, over the TCP exchange).
 	TCP bool
+}
+
+// fillPercentiles computes P50/P90/P99 from the per-signature latency
+// samples (lats is sorted in place).
+func (res *PropagationResult) fillPercentiles(lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	res.P50, res.P90, res.P99 = at(0.50), at(0.90), at(0.99)
 }
 
 // propagationSig builds the i-th synthetic benchmark signature (hot site
@@ -696,6 +717,7 @@ func PropagationLatency(procs, sigs int) (PropagationResult, error) {
 
 	res := PropagationResult{Procs: procs, Sigs: sigs}
 	var total time.Duration
+	lats := make([]time.Duration, 0, sigs)
 	for i := 0; i < sigs; i++ {
 		want := i + 1
 		start := time.Now()
@@ -707,11 +729,13 @@ func PropagationLatency(procs, sigs int) (PropagationResult, error) {
 		}
 		lat := time.Since(start)
 		total += lat
+		lats = append(lats, lat)
 		if lat > res.Max {
 			res.Max = lat
 		}
 	}
 	res.Avg = total / time.Duration(sigs)
+	res.fillPercentiles(lats)
 	return res, nil
 }
 
@@ -762,8 +786,9 @@ func FormatPropagation(res PropagationResult) string {
 	if res.TCP {
 		tier = "cross-device over TCP"
 	}
-	return fmt.Sprintf("propagation (%s): %d live procs, %d signatures: avg %s, max %s publish→all-armed\n",
-		tier, res.Procs, res.Sigs, res.Avg.Round(100*time.Nanosecond), res.Max.Round(100*time.Nanosecond))
+	return fmt.Sprintf("propagation (%s): %d live procs, %d signatures: avg %s, p50 %s, p99 %s, max %s publish→all-armed\n",
+		tier, res.Procs, res.Sigs, res.Avg.Round(100*time.Nanosecond), res.P50.Round(100*time.Nanosecond),
+		res.P99.Round(100*time.Nanosecond), res.Max.Round(100*time.Nanosecond))
 }
 
 // PropagationLatencyTCP measures the cross-device tier over real
@@ -820,6 +845,7 @@ func PropagationLatencyTCP(procs, sigs int) (PropagationResult, error) {
 
 	res := PropagationResult{Procs: procs, Sigs: sigs, TCP: true}
 	var total time.Duration
+	lats := make([]time.Duration, 0, sigs)
 	for i := 0; i < sigs; i++ {
 		want := i + 1
 		start := time.Now()
@@ -831,10 +857,12 @@ func PropagationLatencyTCP(procs, sigs int) (PropagationResult, error) {
 		}
 		lat := time.Since(start)
 		total += lat
+		lats = append(lats, lat)
 		if lat > res.Max {
 			res.Max = lat
 		}
 	}
 	res.Avg = total / time.Duration(sigs)
+	res.fillPercentiles(lats)
 	return res, nil
 }

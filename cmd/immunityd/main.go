@@ -3,9 +3,25 @@
 // In serve mode it is a long-running hub: the signature exchange served
 // over TCP (the versioned wire protocol of internal/immunity/wire),
 // durable provenance in a file store so a daemon restart loses no
-// confirmation and never re-arms below threshold, and an HTTP /status
-// endpoint exposing the fleet epoch, per-signature provenance, connected
-// devices, and delta-batching counters as JSON.
+// confirmation and never re-arms below threshold, and an HTTP server
+// with two endpoints: /status exposing the fleet epoch, per-signature
+// provenance, connected devices, and delta-batching counters as JSON,
+// and /metrics exposing the hub's full instrument registry
+// (internal/immunity/metrics) in Prometheus text format — session
+// gauges, push-queue depth/in-flight, drain batch-size and
+// coalesce-ratio histograms, report-handling latency, per-peer forward
+// outbox lag and redial counters, persist/compaction errors, and the
+// admission verdicts.
+//
+// Report-path admission control is enabled with -admit N: at most N
+// report messages (device reports and peer forward-reports) are
+// processed concurrently, an over-capacity message waits up to
+// -admit-wait (the device sees a slow ack; TCP sees backpressure), and
+// a message still waiting at the deadline is shed — dropped without
+// killing the session, recovered by the client's full-history re-report
+// on its next reconnect. A report storm therefore degrades to bounded
+// delay instead of unbounded hub memory; watch it live in the
+// immunity_hub_admission_* series on /metrics.
 //
 // With -hub and -peers, serve mode federates the daemon into a hub
 // cluster (internal/immunity/cluster): each signature is owned by
@@ -25,10 +41,18 @@
 // self-contained simulation (in-process hub or cluster, loopback or TCP
 // transport).
 //
+// -storm floods the exchange with per-signature report messages from
+// -phones concurrent devices (against the daemons in -connect, or an
+// in-process hub/cluster otherwise) and verifies every signature still
+// arms cluster-wide — the admission-control acceptance drive. In the
+// in-process form the admission counters are printed; against external
+// daemons they are scraped from /metrics.
+//
 // Usage:
 //
-//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE] [-hub ID -peers ID=ADDR,...]
+//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE] [-admit N -admit-wait D] [-hub ID -peers ID=ADDR,...]
 //	immunityd -connect ADDR[,ADDR...] [-phones N] [-procs N] [-threshold N] [-timeout D]
+//	immunityd -storm [-connect ADDR[,ADDR...]] [-phones N] [-sigs N] [-threshold N] [-hubs N] [-admit N -admit-wait D] [-timeout D]
 //	immunityd [-phones N] [-procs N] [-threshold N] [-timeout D] [-transport loopback|tcp] [-hubs N]
 //	immunityd -propagation [-procs N] [-sigs N] [-tcp]
 package main
@@ -47,6 +71,7 @@ import (
 
 	"github.com/dimmunix/dimmunix/internal/immunity"
 	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 	"github.com/dimmunix/dimmunix/internal/workload"
 )
@@ -77,6 +102,9 @@ func run(args []string) error {
 	wirePin := fs.Int("wire-pin", 0, "with -serve: pin the negotiated wire version at this ceiling (0 = newest; 2 keeps the hub and its peer links on the JSON codec during a staged rollout)")
 	hubs := fs.Int("hubs", 1, "simulation: federate the in-process exchange into this many hubs")
 	connect := fs.String("connect", "", "run the fleet workload in client mode against the exchange daemon(s) at this comma-separated address list")
+	admit := fs.Int("admit", 0, "report-path admission pool capacity (0 disables; applies to -serve and the in-process -storm)")
+	admitWait := fs.Duration("admit-wait", 5*time.Second, "bounded wait before an over-capacity report is shed (keep well below the 30s wire write timeout)")
+	storm := fs.Bool("storm", false, "flood the exchange with per-signature reports from -phones devices and verify arming still completes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,13 +126,39 @@ func run(args []string) error {
 			// half-broken federation with no error; refuse up front.
 			return fmt.Errorf("-wire-pin %d is below the peer protocol floor v%d and would break federation (-peers)", *wirePin, wire.PeerVersion)
 		}
-		return runServe(*listen, *httpAddr, *threshold, *provenance, *hubID, members, *wirePin)
+		return runServe(serveConfig{
+			listen: *listen, httpAddr: *httpAddr, threshold: *threshold,
+			provenance: *provenance, hubID: *hubID, peers: members,
+			wirePin: *wirePin, admit: *admit, admitWait: *admitWait,
+		})
 	}
 	if *peers != "" || *hubID != "" {
 		return fmt.Errorf("-hub/-peers only apply to -serve (use -hubs N for the simulation)")
 	}
 	if *wirePin != 0 {
 		return fmt.Errorf("-wire-pin only applies to -serve (the simulation and client mode always speak the newest version)")
+	}
+
+	if *storm {
+		cfg := workload.StormConfig{
+			Devices:          *phones,
+			Sigs:             *sigs,
+			ConfirmThreshold: *threshold,
+			Hubs:             *hubs,
+			AdmitCapacity:    *admit,
+			AdmitWait:        *admitWait,
+			Timeout:          *timeout,
+			Dial:             *connect,
+		}
+		res, err := workload.RunReportStorm(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(workload.FormatStorm(res))
+		return nil
+	}
+	if *admit != 0 {
+		return fmt.Errorf("-admit only applies to -serve and the in-process -storm")
 	}
 
 	if *propagation {
@@ -188,34 +242,56 @@ func (d *daemon) Close() {
 	d.hub.Close()
 }
 
+// serveConfig carries everything serve mode needs.
+type serveConfig struct {
+	listen, httpAddr string
+	threshold        int
+	provenance       string
+	hubID            string
+	peers            []cluster.Member
+	wirePin          int
+	admit            int
+	admitWait        time.Duration
+}
+
 // startDaemon boots the exchange server, the optional cluster node, and
-// the /status endpoint.
-func startDaemon(listen, httpAddr string, threshold int, provenancePath, hubID string, peers []cluster.Member, wirePin int) (*daemon, error) {
-	var opts []immunity.ExchangeOption
-	if provenancePath != "" {
-		opts = append(opts, immunity.WithProvenanceStore(immunity.NewFileProvenance(provenancePath)))
+// the /status + /metrics endpoints. One registry is shared by the hub,
+// the cluster links, and the provenance store, so /metrics is the whole
+// daemon on one page.
+func startDaemon(sc serveConfig) (*daemon, error) {
+	reg := metrics.NewRegistry()
+	opts := []immunity.ExchangeOption{immunity.WithMetricsRegistry(reg)}
+	if sc.provenance != "" {
+		opts = append(opts, immunity.WithProvenanceStore(immunity.NewFileProvenance(sc.provenance,
+			immunity.WithCompactionCounters(
+				reg.Counter("immunity_provenance_compactions_total", "Provenance log compactions."),
+				reg.Counter("immunity_provenance_compact_errors_total", "Failed provenance log compactions.")))))
 	}
-	if wirePin != 0 {
+	if sc.wirePin != 0 {
 		// Pin both the hub's inbound negotiation and (below) the
 		// outbound peer links: a -wire-pin 2 daemon speaks JSON
 		// everywhere however new its binary is.
-		opts = append(opts, immunity.WithWireCeiling(wirePin))
+		opts = append(opts, immunity.WithWireCeiling(sc.wirePin))
 	}
-	hub, err := immunity.NewExchange(threshold, opts...)
+	if sc.admit > 0 {
+		opts = append(opts, immunity.WithAdmission(sc.admit, sc.admitWait))
+	}
+	hub, err := immunity.NewExchange(sc.threshold, opts...)
 	if err != nil {
 		return nil, err
 	}
 	var node *cluster.Node
-	if len(peers) > 0 {
+	if len(sc.peers) > 0 {
 		// Federate before the listener is up: the ring must be bound
 		// before the first device report or inbound peer-hello arrives.
-		node, err = cluster.New(cluster.Config{Self: hubID, Hub: hub, Peers: peers, WireCeiling: wirePin})
+		node, err = cluster.New(cluster.Config{Self: sc.hubID, Hub: hub, Peers: sc.peers,
+			WireCeiling: sc.wirePin, Metrics: reg})
 		if err != nil {
 			hub.Close()
 			return nil, err
 		}
 	}
-	srv, err := immunity.ServeTCP(hub, listen)
+	srv, err := immunity.ServeTCP(hub, sc.listen)
 	if err != nil {
 		if node != nil {
 			node.Close()
@@ -224,7 +300,7 @@ func startDaemon(listen, httpAddr string, threshold int, provenancePath, hubID s
 		return nil, err
 	}
 	d := &daemon{hub: hub, node: node, srv: srv}
-	if httpAddr != "" {
+	if sc.httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
@@ -234,7 +310,13 @@ func startDaemon(listen, httpAddr string, threshold int, provenancePath, hubID s
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
-		ln, err := net.Listen("tcp", httpAddr)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		ln, err := net.Listen("tcp", sc.httpAddr)
 		if err != nil {
 			d.Close()
 			return nil, fmt.Errorf("http listen: %w", err)
@@ -252,30 +334,33 @@ func startDaemon(listen, httpAddr string, threshold int, provenancePath, hubID s
 
 // runServe boots the long-running daemon and blocks until
 // SIGINT/SIGTERM.
-func runServe(listen, httpAddr string, threshold int, provenancePath, hubID string, peers []cluster.Member, wirePin int) error {
-	d, err := startDaemon(listen, httpAddr, threshold, provenancePath, hubID, peers, wirePin)
+func runServe(sc serveConfig) error {
+	d, err := startDaemon(sc)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
 	maxV := wire.Version
-	if wirePin >= wire.MinVersion && wirePin < maxV {
-		maxV = wirePin
+	if sc.wirePin >= wire.MinVersion && sc.wirePin < maxV {
+		maxV = sc.wirePin
 	}
-	fmt.Printf("immunityd: exchange on %s (threshold %d, protocol v%d..%d", d.Addr(), threshold, wire.MinVersion, maxV)
-	if provenancePath != "" {
-		fmt.Printf(", provenance %s", provenancePath)
+	fmt.Printf("immunityd: exchange on %s (threshold %d, protocol v%d..%d", d.Addr(), sc.threshold, wire.MinVersion, maxV)
+	if sc.provenance != "" {
+		fmt.Printf(", provenance %s", sc.provenance)
+	}
+	if sc.admit > 0 {
+		fmt.Printf(", admission %d/%s", sc.admit, sc.admitWait)
 	}
 	fmt.Println(")")
 	if d.node != nil {
 		fmt.Printf("immunityd: cluster hub %s federating with %d peer(s): %s\n",
-			hubID, len(peers), strings.Join(d.node.Ring().Members(), " "))
+			sc.hubID, len(sc.peers), strings.Join(d.node.Ring().Members(), " "))
 	}
 	if st := d.hub.Status(); len(st.Provenance) > 0 {
 		fmt.Printf("immunityd: resumed %d signatures from provenance, fleet epoch %d\n", len(st.Provenance), st.Epoch)
 	}
 	if addr := d.HTTPAddr(); addr != "" {
-		fmt.Printf("immunityd: status on http://%s/status\n", addr)
+		fmt.Printf("immunityd: status on http://%s/status, metrics on http://%s/metrics\n", addr, addr)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -40,9 +40,12 @@
 package dimmunix
 
 import (
+	"time"
+
 	"github.com/dimmunix/dimmunix/internal/core"
 	"github.com/dimmunix/dimmunix/internal/immunity"
 	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/vm"
 )
 
@@ -148,6 +151,12 @@ type (
 	// HubClusterMember names one remote hub of a cluster and the
 	// transport that reaches it.
 	HubClusterMember = cluster.Member
+	// MetricsRegistry is a dependency-free instrument registry (counters,
+	// gauges, histograms) rendered in Prometheus text format. Share one
+	// across an Exchange (WithMetricsRegistry), a HubCluster
+	// (HubClusterConfig.Metrics), and device clients (WithClientMetrics)
+	// to observe a whole fleet topology on one page.
+	MetricsRegistry = metrics.Registry
 )
 
 // Signature kinds.
@@ -215,6 +224,27 @@ func WithWireCeiling(v int) ExchangeOption {
 	return immunity.WithWireCeiling(v)
 }
 
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// WithMetricsRegistry shares reg with an Exchange: the hub's counters,
+// session gauges, push-queue depth, and latency histograms land on it
+// (instead of a private registry) for scraping alongside other hubs'.
+func WithMetricsRegistry(reg *MetricsRegistry) ExchangeOption {
+	return immunity.WithMetricsRegistry(reg)
+}
+
+// WithAdmission bounds an Exchange's report ingest with a permit pool:
+// at most capacity report messages are processed concurrently, an
+// over-capacity message waits up to maxWait (the device sees a slow
+// ack), and a message still waiting at the deadline is shed — dropped
+// without killing the session, recovered by the client's full-history
+// re-report on its next reconnect. A report storm then degrades to
+// bounded delay instead of unbounded hub memory.
+func WithAdmission(capacity int, maxWait time.Duration) ExchangeOption {
+	return immunity.WithAdmission(capacity, maxWait)
+}
+
 // NewFileProvenance creates a file-backed provenance store (a JSON-lines
 // last-wins upsert log that compacts itself to a snapshot once dead
 // records pile up; tune with WithCompactThreshold).
@@ -227,6 +257,13 @@ func NewFileProvenance(path string, opts ...FileProvenanceOption) ProvenanceStor
 // compaction.
 func WithCompactThreshold(n int) FileProvenanceOption {
 	return immunity.WithCompactThreshold(n)
+}
+
+// WithCompactionCounters mirrors a file provenance store's compaction
+// activity onto registry counters (register them on the hub's shared
+// MetricsRegistry to watch the log's health on /metrics).
+func WithCompactionCounters(compactions, compactErrors *metrics.Counter) FileProvenanceOption {
+	return immunity.WithCompactionCounters(compactions, compactErrors)
 }
 
 // NewLoopback creates the in-process transport for hub: the full wire
@@ -252,6 +289,13 @@ type ExchangeClientOption = immunity.ClientOption
 // rollout can pin either end of a session to the JSON codec.
 func WithClientWireCeiling(v int) ExchangeClientOption {
 	return immunity.WithClientWireCeiling(v)
+}
+
+// WithClientMetrics mirrors a device client's session health
+// (reconnects, reports sent, fleet installs) onto reg, labelled by
+// device id.
+func WithClientMetrics(reg *MetricsRegistry) ExchangeClientOption {
+	return immunity.WithClientMetrics(reg)
 }
 
 // ConnectExchange attaches a device's ImmunityService to a fleet

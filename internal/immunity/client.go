@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 )
 
@@ -95,6 +96,12 @@ type ExchangeClient struct {
 	wg         sync.WaitGroup
 	reconnects atomic.Uint64
 	closeOnce  sync.Once
+
+	// Optional mirrors onto a shared registry (WithClientMetrics). All
+	// nil — and therefore no-ops — unless the option was given.
+	metReconnects *metrics.Counter
+	metReports    *metrics.Counter
+	metInstalls   *metrics.Counter
 }
 
 // ClientOption configures an ExchangeClient.
@@ -107,6 +114,23 @@ type ClientOption func(*ExchangeClient)
 // no cap.
 func WithClientWireCeiling(v int) ClientOption {
 	return func(c *ExchangeClient) { c.maxV = v }
+}
+
+// WithClientMetrics mirrors the client's session health onto reg,
+// labelled by device id: immunity_client_reconnects_total (redials
+// after a drop), immunity_client_reports_total (report messages sent
+// upward), immunity_client_installs_total (fleet signatures installed
+// from deltas). The registry's instruments are lock-free, so the hooks
+// are safe on the transport goroutine.
+func WithClientMetrics(reg *metrics.Registry) ClientOption {
+	return func(c *ExchangeClient) {
+		c.metReconnects = reg.CounterVec("immunity_client_reconnects_total",
+			"Redials after a dropped hub session, per device.", "device").With(c.id)
+		c.metReports = reg.CounterVec("immunity_client_reports_total",
+			"Report messages sent to the hub, per device.", "device").With(c.id)
+		c.metInstalls = reg.CounterVec("immunity_client_installs_total",
+			"Fleet signatures installed from hub deltas, per device.", "device").With(c.id)
+	}
 }
 
 // Connect attaches a phone's Service to the fleet exchange reachable
@@ -338,7 +362,9 @@ func (c *ExchangeClient) reportLocal(sigs []*core.Signature) {
 	// version: binary to a v3 hub, JSON to anything older.
 	if err := sess.Send(wire.Message{V: ver, Type: wire.TypeReport, Report: &wire.Report{Sigs: out}}); err != nil {
 		c.down(err)
+		return
 	}
+	c.metReports.Inc()
 }
 
 // recv handles one hub→client message on behalf of dial attempt att
@@ -396,6 +422,7 @@ func (c *ExchangeClient) applyDelta(att *dialAttempt, d *wire.Delta) {
 		c.fromFleet[sig.Key()] = true
 		c.mu.Unlock()
 		_, _, _ = c.svc.Publish("fleet", sig)
+		c.metInstalls.Inc()
 	}
 	if !applied {
 		return // next reconnect re-requests this delta's range
@@ -493,6 +520,7 @@ func (c *ExchangeClient) reconnectLoop() {
 			err := c.dial()
 			if err == nil {
 				c.reconnects.Add(1)
+				c.metReconnects.Inc()
 				c.resubscribe()
 				break
 			}

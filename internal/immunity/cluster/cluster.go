@@ -70,7 +70,11 @@
 //
 //	Exchange.mu (any hub) > {Node.mu, link.mu, queue locks}
 //
-// and no cycle between two hubs' locks is possible.
+// and no cycle between two hubs' locks is possible. The metrics
+// registry (Config.Metrics) sits below all of these: its instruments
+// are lock-free atomics and its own locks are leaves that never call
+// out (see package immunity/metrics), so links update their counters
+// under link.mu freely.
 package cluster
 
 import (
@@ -80,11 +84,20 @@ import (
 	"time"
 
 	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 )
 
 // helloTimeout bounds how long a peer handshake waits for the ack.
 const helloTimeout = 10 * time.Second
+
+// linkMinUptime is how long a handshaken peer session must survive
+// before the redial backoff resets. A peer that completes the
+// hello/ack handshake and then drops the session immediately (a
+// flapping hub, a proxy that accepts and kills, a crash loop) would
+// otherwise be redialed at the minimum backoff forever — dial success
+// alone proves nothing about session health.
+const linkMinUptime = time.Second
 
 // Member names one remote hub of the cluster and the transport that
 // reaches it (immunity.NewTCPTransport across machines,
@@ -108,6 +121,12 @@ type Config struct {
 	// pin a whole node during a staged rollout. 0 (or any value outside
 	// [wire.PeerVersion, wire.Version]) means the newest.
 	WireCeiling int
+	// Metrics, when set, registers per-peer link instruments (dials,
+	// reconnects, connected, applied/duplicate broadcasts, forward
+	// outbox depth + in-flight) labeled by peer id. Typically the same
+	// registry the hub got via immunity.WithMetricsRegistry, so one
+	// /metrics render covers both tiers. Nil disables link metrics.
+	Metrics *metrics.Registry
 }
 
 // Node federates one Exchange into the cluster: it binds the ownership
@@ -162,7 +181,7 @@ func New(cfg Config) (*Node, error) {
 	// holds, so a restarted node replays only genuinely missed armings.
 	seqs := cfg.Hub.RemoteSeqs()
 	for _, p := range cfg.Peers {
-		l := newLink(n, p, seqs[p.ID], maxV)
+		l := newLink(n, p, seqs[p.ID], maxV, cfg.Metrics)
 		n.links[p.ID] = l
 		n.wg.Add(1)
 		go n.runLink(l)
@@ -215,6 +234,10 @@ type PeerStatus struct {
 	Connected bool
 	// LastApplied is the peer's arming seq this node has applied up to.
 	LastApplied uint64
+	// Dials counts dial attempts (successful or not) on this link; a
+	// count growing much faster than Reconnects means the peer is being
+	// hammered or is unreachable.
+	Dials uint64
 	// Reconnects counts completed handshakes after the first.
 	Reconnects uint64
 	// Applied and Duplicates count arm-broadcasts that newly armed a
@@ -234,12 +257,13 @@ func (n *Node) Status() []PeerStatus {
 		}
 		l.mu.Lock()
 		out = append(out, PeerStatus{
-			ID:          l.peerID,
-			Connected:   l.sess != nil,
-			LastApplied: l.lastApplied,
-			Reconnects:  l.reconnects,
-			Applied:     l.applied,
-			Duplicates:  l.duplicates,
+			ID:              l.peerID,
+			Connected:       l.sess != nil,
+			LastApplied:     l.lastApplied,
+			Dials:           l.dials,
+			Reconnects:      l.reconnects,
+			Applied:         l.applied,
+			Duplicates:      l.duplicates,
 			PendingForwards: l.outbox.Pending(),
 		})
 		l.mu.Unlock()
@@ -285,11 +309,20 @@ type link struct {
 	// quarantined in the attempt, not the cursor: otherwise a condemned
 	// replay racing the cursor reset could fast-forward past armings
 	// that were filtered against the stale seq and lose them for good.
-	cur         *dialAttempt
-	reconnects  uint64
-	applied     uint64
-	duplicates  uint64
-	handshakes  uint64
+	cur        *dialAttempt
+	dials      uint64
+	reconnects uint64
+	applied    uint64
+	duplicates uint64
+	handshakes uint64
+
+	// Per-peer registry instruments (nil without Config.Metrics; nil
+	// instruments are no-ops). Updated under l.mu — lock-free atomics.
+	metDials      *metrics.Counter
+	metReconnects *metrics.Counter
+	metConnected  *metrics.Gauge
+	metApplied    *metrics.Counter
+	metDuplicates *metrics.Counter
 }
 
 // dialAttempt quarantines one dial's cursor advances until the
@@ -298,12 +331,28 @@ type dialAttempt struct {
 	maxSeq uint64 // highest owner seq received on this attempt's session
 }
 
-func newLink(n *Node, p Member, resumeSeq uint64, maxV int) *link {
+func newLink(n *Node, p Member, resumeSeq uint64, maxV int, reg *metrics.Registry) *link {
 	l := &link{node: n, peerID: p.ID, t: p.Transport, lastApplied: resumeSeq,
 		maxV: maxV, downCh: make(chan struct{}, 1)}
+	l.metDials = reg.CounterVec("immunity_cluster_peer_dials_total",
+		"Dial attempts per peer link (first dial included).", "peer").With(p.ID)
+	l.metReconnects = reg.CounterVec("immunity_cluster_peer_reconnects_total",
+		"Completed peer handshakes after the first.", "peer").With(p.ID)
+	l.metConnected = reg.GaugeVec("immunity_cluster_peer_connected",
+		"Live handshaken outbound sessions to the peer.", "peer").With(p.ID)
+	l.metApplied = reg.CounterVec("immunity_cluster_applied_total",
+		"Arm-broadcasts from the peer that newly armed a signature here.", "peer").With(p.ID)
+	l.metDuplicates = reg.CounterVec("immunity_cluster_duplicates_total",
+		"Arm-broadcast replays from the peer (cursor advances only).", "peer").With(p.ID)
 	l.outbox = immunity.NewQueue(immunity.QueueConfig[wire.Message]{
 		Deliver:      l.deliver,
 		RetryOnError: true,
+		// Per-peer forward-outbox lag: depth is what a partition is
+		// holding back, in-flight what the drain has taken.
+		Depth: reg.GaugeVec("immunity_cluster_forward_pending",
+			"Forward-outbox items pending (queued + in flight) per peer.", "peer").With(p.ID),
+		InFlight: reg.GaugeVec("immunity_cluster_forward_inflight",
+			"Forward-outbox items taken by the drain, not yet delivered.", "peer").With(p.ID),
 	})
 	return l
 }
@@ -375,8 +424,10 @@ func (l *link) recv(att *dialAttempt, m wire.Message) {
 		}
 		if applied {
 			l.applied++
+			l.metApplied.Inc()
 		} else {
 			l.duplicates++
+			l.metDuplicates.Inc()
 		}
 		l.mu.Unlock()
 	case wire.TypeForwardConfirm:
@@ -464,6 +515,7 @@ func (l *link) dial() error {
 		}
 		if l.handshakes++; l.handshakes > 1 {
 			l.reconnects++
+			l.metReconnects.Inc()
 		}
 		l.mu.Unlock()
 		l.outbox.Resume()
@@ -497,11 +549,25 @@ func (l *link) close() {
 // runLink keeps one peer link alive until the node closes: dial with
 // backoff, then wait for the session to drop and redial. The resume seq
 // in each peer-hello makes every reconnect replay exactly the missed
-// armings.
+// armings. Backoff resets only after a session survives linkMinUptime —
+// a handshake completing proves nothing by itself, and resetting on
+// dial success let a peer that acks and instantly drops be redialed in
+// a tight 5ms loop forever.
 func (n *Node) runLink(l *link) {
 	defer n.wg.Done()
 	backoffMin, backoffMax := 5*time.Millisecond, 2*time.Second
 	backoff := backoffMin
+	sleep := func() bool {
+		select {
+		case <-n.closeCh:
+			return false
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+		return true
+	}
 	for {
 		select {
 		case <-n.closeCh:
@@ -515,20 +581,21 @@ func (n *Node) runLink(l *link) {
 		case <-l.downCh:
 		default:
 		}
+		l.mu.Lock()
+		l.dials++
+		l.mu.Unlock()
+		l.metDials.Inc()
 		if err := l.dial(); err != nil {
-			select {
-			case <-n.closeCh:
+			if !sleep() {
 				return
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > backoffMax {
-				backoff = backoffMax
 			}
 			continue
 		}
-		backoff = backoffMin
+		connectedAt := time.Now()
+		l.metConnected.Add(1)
 		select {
 		case <-n.closeCh:
+			l.metConnected.Add(-1)
 			return
 		case <-l.downCh:
 			l.mu.Lock()
@@ -539,6 +606,14 @@ func (n *Node) runLink(l *link) {
 			l.ver = 0
 			l.cur = nil // a dead session's stragglers must not move the cursor
 			l.mu.Unlock()
+			l.metConnected.Add(-1)
+		}
+		if time.Since(connectedAt) >= linkMinUptime {
+			backoff = backoffMin
+		} else if !sleep() {
+			// A session that died young counts as a failed attempt: keep
+			// backing off before the redial.
+			return
 		}
 	}
 }

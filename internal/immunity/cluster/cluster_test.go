@@ -1,13 +1,17 @@
 package cluster_test
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/dimmunix/dimmunix/internal/core"
 	"github.com/dimmunix/dimmunix/internal/immunity"
 	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 )
 
 // testSig builds a deterministic two-party deadlock signature.
@@ -478,4 +482,86 @@ func TestClusterPartitionResubscribesFromSeq(t *testing.T) {
 type PeerStatusOf struct {
 	cluster.PeerStatus
 	ok bool
+}
+
+// flappyTransport accepts every dial and completes the peer handshake
+// with an OK ack — then immediately drops the session. The worst kind
+// of peer for the redial loop: dial() keeps succeeding, so a backoff
+// reset on dial success (the old behavior) redials at the 5ms floor
+// forever.
+type flappyTransport struct {
+	dials atomic.Uint64
+}
+
+type flappySession struct {
+	t    *flappyTransport
+	recv func(wire.Message)
+	down func(error)
+}
+
+func (f *flappyTransport) Dial(recv func(wire.Message), down func(err error)) (immunity.Session, error) {
+	f.dials.Add(1)
+	return &flappySession{t: f, recv: recv, down: down}, nil
+}
+
+func (s *flappySession) Send(m wire.Message) error {
+	if m.Type == wire.TypePeerHello {
+		s.recv(wire.Message{V: m.V, Type: wire.TypeAck,
+			Ack: &wire.Ack{OK: true, Epoch: 0, Gen: "flap-gen", V: wire.PeerVersion}})
+		s.down(errors.New("peer dropped the session right after the handshake"))
+	}
+	return nil
+}
+
+func (s *flappySession) Close() error { return nil }
+
+// TestClusterFlappingPeerBacksOff: a peer that acks the handshake and
+// instantly drops must be redialed with growing backoff, not hammered
+// at the 5ms floor; the dial counter in the metrics registry is how
+// both this test and an operator see the hammer is gone.
+func TestClusterFlappingPeerBacksOff(t *testing.T) {
+	hub, err := immunity.NewExchange(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hub.Close)
+	reg := metrics.NewRegistry()
+	flappy := &flappyTransport{}
+	node, err := cluster.New(cluster.Config{
+		Self:    "hub0",
+		Hub:     hub,
+		Peers:   []cluster.Member{{ID: "flappy", Transport: flappy}},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+
+	const window = 500 * time.Millisecond
+	time.Sleep(window)
+	dials := flappy.dials.Load()
+	// With backoff doubling from 5ms after every short-lived session,
+	// ~7 attempts fit in the window; without the fix the loop redials
+	// back-to-back and racks up hundreds.
+	if dials > 12 {
+		t.Fatalf("flapping peer dialed %d times in %v — the redial hammer is back", dials, window)
+	}
+	if dials == 0 {
+		t.Fatal("link never dialed the peer")
+	}
+	metDials := reg.CounterVec("immunity_cluster_peer_dials_total",
+		"Dial attempts per peer link (first dial included).", "peer").With("flappy").Value()
+	if metDials != dials {
+		t.Fatalf("registry counted %d dials, transport saw %d", metDials, dials)
+	}
+	var st cluster.PeerStatus
+	for _, ps := range node.Status() {
+		if ps.ID == "flappy" {
+			st = ps
+		}
+	}
+	if st.Dials != dials {
+		t.Fatalf("PeerStatus.Dials = %d, transport saw %d", st.Dials, dials)
+	}
 }

@@ -7,8 +7,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 )
 
@@ -81,6 +83,49 @@ type ExchangeStats struct {
 	// RemoteInstalls counts armed signatures installed from peer
 	// arm-broadcasts (cluster mode only).
 	RemoteInstalls uint64
+	// AdmissionAdmitted/Delayed/Shed snapshot the report admission pool
+	// (all zero when admission is disabled): reports admitted without
+	// waiting, admitted after a bounded wait, and dropped at max wait.
+	AdmissionAdmitted, AdmissionDelayed, AdmissionShed uint64
+}
+
+// hubMetrics bundles the registry instruments the Exchange hot paths
+// touch. Every field is created once at construction; all operations
+// are lock-free atomics, safe under x.mu and the push-queue locks.
+type hubMetrics struct {
+	reports        *metrics.Counter
+	confirms       *metrics.Counter
+	echoes         *metrics.Counter
+	armed          *metrics.Counter
+	forwards       *metrics.Counter
+	remoteInstalls *metrics.Counter
+	persistErrors  *metrics.Counter
+	deviceSessions *metrics.Gauge
+	peerSessions   *metrics.Gauge
+	pushDepth      *metrics.Gauge
+	pushInFlight   *metrics.Gauge
+	pushBatchSizes *metrics.Histogram
+	pushCoalesce   *metrics.Histogram
+	reportSeconds  *metrics.Histogram
+}
+
+func newHubMetrics(reg *metrics.Registry) hubMetrics {
+	return hubMetrics{
+		reports:        reg.Counter("immunity_hub_reports_total", "Signatures received in report messages."),
+		confirms:       reg.Counter("immunity_hub_confirmations_total", "Reports accepted as fresh confirmations."),
+		echoes:         reg.Counter("immunity_hub_echoes_total", "Reports discarded as echoes of hub pushes or duplicates."),
+		armed:          reg.Counter("immunity_hub_armed_total", "Signatures armed fleet-wide on this hub (local + remote installs)."),
+		forwards:       reg.Counter("immunity_hub_forwards_total", "Device-reported signatures relayed to their owning hub."),
+		remoteInstalls: reg.Counter("immunity_hub_remote_installs_total", "Armed signatures installed from peer arm-broadcasts."),
+		persistErrors:  reg.Counter("immunity_hub_persist_errors_total", "Failed provenance-store appends."),
+		deviceSessions: reg.Gauge("immunity_hub_device_sessions", "Devices currently attached by hello."),
+		peerSessions:   reg.Gauge("immunity_hub_peer_sessions", "Peer hubs currently attached by peer-hello."),
+		pushDepth:      reg.Gauge("immunity_hub_push_pending", "Items pending (queued + in flight) across all session push queues."),
+		pushInFlight:   reg.Gauge("immunity_hub_push_inflight", "Items taken by push-queue drains and not yet delivered."),
+		pushBatchSizes: reg.Histogram("immunity_hub_push_batch_size", "Messages per push-queue drain after coalescing.", metrics.SizeBuckets()),
+		pushCoalesce:   reg.Histogram("immunity_hub_push_coalesce_ratio", "Raw queued messages per delivered message, per drain.", metrics.RatioBuckets()),
+		reportSeconds:  reg.Histogram("immunity_hub_report_seconds", "Report-batch handling time, admission wait included.", metrics.DurationBuckets()),
+	}
 }
 
 // fleetSig is the hub-side state of one signature.
@@ -182,6 +227,19 @@ type Exchange struct {
 	batchBatches  atomic.Uint64
 	batchSigs     atomic.Uint64
 	persistErrors atomic.Uint64
+
+	// Observability + admission (tentpole of the metrics PR). reg is the
+	// hub's metric registry (always non-nil after NewExchange; shareable
+	// across hubs via WithMetricsRegistry), met its pre-created
+	// instruments, admit the optional report-ingest permit pool (nil =
+	// admission disabled; see WithAdmission). The registry locks are
+	// leaves — see package metrics — so met's atomics are touched under
+	// x.mu and queue locks freely.
+	reg       *metrics.Registry
+	met       hubMetrics
+	admit     *metrics.Pool
+	admitCap  int
+	admitWait time.Duration
 }
 
 // ExchangeOption configures an Exchange.
@@ -201,6 +259,36 @@ func WithProvenanceStore(store ProvenanceStore) ExchangeOption {
 // [wire.MinVersion, wire.Version] mean no pin.
 func WithWireCeiling(v int) ExchangeOption {
 	return func(x *Exchange) { x.maxVer = v }
+}
+
+// WithMetricsRegistry makes the hub register its instruments on reg
+// instead of a private registry — the daemon shares one registry
+// between the hub, the cluster node, and the /metrics endpoint, and
+// several in-process hubs sharing one registry aggregate into the same
+// series. Without this option the hub still meters itself on a private
+// registry, reachable via Metrics().
+func WithMetricsRegistry(reg *metrics.Registry) ExchangeOption {
+	return func(x *Exchange) { x.reg = reg }
+}
+
+// WithAdmission puts a bounded permit pool in front of report ingest
+// (device reports and peer forward-reports): at most capacity report
+// batches are processed concurrently, an over-capacity batch waits up
+// to maxWait — blocking its session's transport read goroutine, which
+// the device experiences as a slow ack and TCP turns into backpressure
+// — and a batch still waiting at maxWait is shed (dropped without
+// killing the session; the client's full-history re-report on its next
+// reconnect redelivers it, so shedding trades latency for bounded hub
+// memory, never a permanently lost report). Keep maxWait well below
+// the transport write timeout (30s for TCP) or slow-acked clients
+// start redialing. Verdicts are counted on the registry
+// (immunity_hub_admission_*) and in ExchangeStats. capacity <= 0
+// disables admission (the default).
+func WithAdmission(capacity int, maxWait time.Duration) ExchangeOption {
+	return func(x *Exchange) {
+		x.admitCap = capacity
+		x.admitWait = maxWait
+	}
 }
 
 // NewExchange creates a hub that arms a signature fleet-wide once
@@ -228,6 +316,11 @@ func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error
 	if x.maxVer < wire.MinVersion || x.maxVer > wire.Version {
 		x.maxVer = wire.Version
 	}
+	if x.reg == nil {
+		x.reg = metrics.NewRegistry()
+	}
+	x.met = newHubMetrics(x.reg)
+	x.admit = metrics.NewPool(x.reg, "immunity_hub_admission", x.admitCap, x.admitWait)
 	if x.store != nil {
 		recs, err := x.store.Load()
 		if err != nil {
@@ -269,6 +362,11 @@ func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error
 
 // Threshold returns the confirm-before-arm threshold.
 func (x *Exchange) Threshold() int { return x.threshold }
+
+// Metrics returns the hub's metric registry — the one passed via
+// WithMetricsRegistry, or the hub's private registry otherwise. The
+// daemon renders it on /metrics.
+func (x *Exchange) Metrics() *metrics.Registry { return x.reg }
 
 // BindCluster federates the hub: b decides per-signature ownership and
 // carries forwarded reports; the hub handles inbound peer sessions
@@ -355,12 +453,14 @@ func (x *Exchange) persistHandoffLocked(recs []ProvenanceRecord) func() {
 		}); ok {
 			if err := ba.AppendBatch(recs); err != nil {
 				x.persistErrors.Add(1)
+				x.met.persistErrors.Inc()
 			}
 			return
 		}
 		for _, rec := range recs {
 			if err := store.Append(rec); err != nil {
 				x.persistErrors.Add(1)
+				x.met.persistErrors.Inc()
 			}
 		}
 	}
@@ -408,6 +508,12 @@ func (x *Exchange) accept(send func(wire.Message) error, writeFrames func([][]by
 		// nothing can be enqueued (and thus no delivery can fail) until
 		// the caller has the Conn.
 		OnDead: c.Close,
+		// Shared instruments: one gauge/histogram aggregates every
+		// session's push queue.
+		Depth:         x.met.pushDepth,
+		InFlight:      x.met.pushInFlight,
+		BatchSizes:    x.met.pushBatchSizes,
+		CoalesceRatio: x.met.pushCoalesce,
 	}
 	if writeFrames != nil {
 		cfg.DeliverBatch = func(batch []outMsg) error { return c.encodeBatch(batch, writeFrames) }
@@ -634,12 +740,12 @@ func (c *Conn) Handle(m wire.Message) error {
 		if device == "" {
 			return c.refuse("report before hello")
 		}
-		return c.handleReport(device, m.Report)
+		return c.hub.admitReport(func() error { return c.handleReport(device, m.Report) })
 	case wire.TypeForwardReport:
 		if peerHub == "" {
 			return c.refuse("forward-report before peer-hello")
 		}
-		return c.handleForwardReport(m.Forward)
+		return c.hub.admitReport(func() error { return c.handleForwardReport(m.Forward) })
 	default:
 		return c.refuse("unexpected client message type %q", m.Type)
 	}
@@ -693,6 +799,8 @@ func (c *Conn) handleHello(m wire.Message) error {
 	var stale *Conn
 	if old, ok := x.conns[h.Device]; ok && old != c {
 		stale = old
+	} else if !ok {
+		x.met.deviceSessions.Add(1)
 	}
 	c.mu.Lock()
 	c.device = h.Device
@@ -783,6 +891,8 @@ func (c *Conn) handlePeerHello(m wire.Message) error {
 	var stale *Conn
 	if old, ok := x.peers[h.Hub]; ok && old != c {
 		stale = old
+	} else if !ok {
+		x.met.peerSessions.Add(1)
 	}
 	c.mu.Lock()
 	c.peerHub = h.Hub
@@ -843,6 +953,27 @@ func (c *Conn) handleForwardReport(f *wire.ForwardReport) error {
 	return nil
 }
 
+// admitReport gates one report-path message (device report or peer
+// forward-report) through the admission pool and observes the full
+// handling duration, wait included. It runs on the session's transport
+// read goroutine with no locks held, so an over-capacity wait is
+// exactly the device-visible slow ack admission promises: the session
+// stops reading, TCP stops acking, the storm backs up on the senders
+// instead of in hub memory. A shed batch is dropped without error —
+// the session stays up, and the client's full-history re-report on its
+// next reconnect redelivers the signatures (at-least-once).
+func (x *Exchange) admitReport(fn func() error) error {
+	start := time.Now()
+	release, ok := x.admit.Acquire()
+	if !ok {
+		return nil
+	}
+	defer release()
+	err := fn()
+	x.met.reportSeconds.ObserveDuration(time.Since(start))
+	return err
+}
+
 // handleReport records the batch's signatures as confirmations by
 // device, arming at threshold, and answers each with a confirm receipt.
 // The whole batch is one hub mutation: a reconnect re-reports a
@@ -876,9 +1007,11 @@ func (c *Conn) Close() {
 		x.mu.Lock()
 		if device != "" && x.conns[device] == c {
 			delete(x.conns, device)
+			x.met.deviceSessions.Add(-1)
 		}
 		if peerHub != "" && x.peers[peerHub] == c {
 			delete(x.peers, peerHub)
+			x.met.peerSessions.Add(-1)
 		}
 		x.mu.Unlock()
 		c.out.Close()
@@ -926,16 +1059,19 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, forwarded b
 	for _, sig := range sigs {
 		key := sig.Key()
 		x.reports++
+		x.met.reports.Inc()
 		if x.cluster != nil && !forwarded && !x.cluster.Owns(key) {
 			if e, ok := x.entries[key]; ok && (e.pushedTo[device] || e.confirmedBy[device]) {
 				// The device only holds the signature because this hub (or
 				// a previous forward) already accounted for it: echo.
 				x.echoes++
+				x.met.echoes.Inc()
 				confirms = append(confirms, &wire.Confirm{Key: key,
 					Confirmations: max(len(e.confirmedBy), e.remoteConfirms), Armed: e.armed})
 				continue
 			}
 			x.forwards++
+			x.met.forwards.Inc()
 			fwd = append(fwd, wire.FromCore(sig))
 			fwdKeys = append(fwdKeys, key)
 			continue
@@ -960,9 +1096,11 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, forwarded b
 			// because the hub pushed it there: not an independent
 			// observation.
 			x.echoes++
+			x.met.echoes.Inc()
 		default:
 			e.confirmedBy[device] = true
 			x.confirms++
+			x.met.confirms.Inc()
 			if !e.armed && len(e.confirmedBy) >= x.threshold {
 				x.armLocked(key, e)
 				if x.cluster != nil && e.owner == x.selfID {
@@ -1002,6 +1140,7 @@ func (x *Exchange) armLocked(key string, e *fleetSig) {
 	e.armed = true
 	x.epoch++
 	e.armEpoch = x.epoch
+	x.met.armed.Inc()
 	if x.cluster != nil {
 		x.ownerSeq++
 		e.ownerSeq = x.ownerSeq
@@ -1056,7 +1195,9 @@ func (x *Exchange) InstallRemote(b wire.ArmBroadcast) (bool, error) {
 		e.armed = true
 		x.epoch++
 		e.armEpoch = x.epoch
+		x.met.armed.Inc()
 		x.remoteInstalls++
+		x.met.remoteInstalls.Inc()
 		d := wire.NewShared(wire.Message{Type: wire.TypeDelta,
 			Delta: &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{e.ws}}})
 		for id, conn := range x.conns {
@@ -1184,16 +1325,19 @@ func (x *Exchange) Stats() ExchangeStats {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	return ExchangeStats{
-		Epoch:           x.epoch,
-		Devices:         len(x.conns),
-		Reports:         x.reports,
-		Confirmations:   x.confirms,
-		Echoes:          x.echoes,
-		DeltaBatches:    x.batchBatches.Load(),
-		DeltaSignatures: x.batchSigs.Load(),
-		PersistErrors:   x.persistErrors.Load(),
-		Forwards:        x.forwards,
-		RemoteInstalls:  x.remoteInstalls,
+		Epoch:             x.epoch,
+		Devices:           len(x.conns),
+		Reports:           x.reports,
+		Confirmations:     x.confirms,
+		Echoes:            x.echoes,
+		DeltaBatches:      x.batchBatches.Load(),
+		DeltaSignatures:   x.batchSigs.Load(),
+		PersistErrors:     x.persistErrors.Load(),
+		Forwards:          x.forwards,
+		RemoteInstalls:    x.remoteInstalls,
+		AdmissionAdmitted: x.admit.Admitted(),
+		AdmissionDelayed:  x.admit.Delayed(),
+		AdmissionShed:     x.admit.Shed(),
 	}
 }
 

@@ -90,6 +90,37 @@
 // ExchangeStats count batches vs. signatures) — a slow subscriber
 // receives one batched push, never a backlog of stale epochs.
 //
+// # Observability and admission control
+//
+// Every Exchange owns a metrics.Registry (share one across hubs with
+// WithMetricsRegistry; read it with Exchange.Metrics): report/
+// confirmation/echo/arming/forward counters, device and peer session
+// gauges, push-queue depth and in-flight gauges with drain batch-size
+// and coalesce-ratio histograms, report-handling latency, and persist
+// error counters — rendered in Prometheus text format by
+// Registry.WritePrometheus (immunityd serves it at /metrics). The
+// cluster subpackage adds per-peer dial/reconnect/forward-outbox
+// series on the same registry, and WithClientMetrics mirrors a device
+// client's session health.
+//
+// WithAdmission(capacity, maxWait) puts a bounded permit pool in front
+// of report ingest (device reports and peer forward-reports): at most
+// capacity report messages are processed concurrently, an
+// over-capacity message waits — on the session's transport read
+// goroutine, so the device sees a slow ack and TCP applies
+// backpressure — and a message still waiting after maxWait is shed:
+// dropped without killing the session, recovered by the client's
+// full-history re-report on its next reconnect (at-least-once). A
+// report storm therefore degrades to bounded delay instead of
+// unbounded hub memory. Keep maxWait well below the transport's 30s
+// write timeout, or a delayed session's unread pushes can kill it
+// before the verdict.
+//
+// The registry's instruments are lock-free and its own mutexes are
+// leaves that never call out, so metric updates are safe under any
+// hub, queue, or link lock; see the metrics package comment for the
+// exact ordering contract.
+//
 // # Lock order relative to the engine lock
 //
 // Publish is called from inside the engine's critical section: a core

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"runtime"
+	"time"
+)
+
+// Pool is a bounded permit pool: the admission-control primitive the
+// Exchange puts in front of report ingest. A caller must Acquire a
+// permit before doing admitted work and release it after; when all
+// permits are taken the caller waits up to the pool's max wait (bounded
+// delay — on the hub this blocks the session's transport read
+// goroutine, which the device sees as a slow ack and TCP sees as
+// backpressure), and is shed if the wait expires. Every verdict is
+// counted on the pool's registry instruments:
+//
+//	<name>_admitted_total   permits granted without waiting
+//	<name>_delayed_total    permits granted after a bounded wait
+//	<name>_shed_total       acquisitions abandoned at max wait
+//	<name>_in_use           permits currently held
+//	<name>_capacity         the pool size
+//
+// A nil *Pool admits everything immediately (admission disabled).
+type Pool struct {
+	sem     chan struct{}
+	maxWait time.Duration
+
+	admitted *Counter
+	delayed  *Counter
+	shed     *Counter
+	inUse    *Gauge
+}
+
+// NewPool creates a pool of capacity permits with the given bounded
+// wait, registering its instruments under the name prefix. A capacity
+// <= 0 returns nil (admission disabled).
+func NewPool(reg *Registry, name string, capacity int, maxWait time.Duration) *Pool {
+	if capacity <= 0 {
+		return nil
+	}
+	p := &Pool{
+		sem:      make(chan struct{}, capacity),
+		maxWait:  maxWait,
+		admitted: reg.Counter(name+"_admitted_total", "Permits granted without waiting."),
+		delayed:  reg.Counter(name+"_delayed_total", "Permits granted after a bounded wait."),
+		shed:     reg.Counter(name+"_shed_total", "Acquisitions abandoned at the max wait."),
+		inUse:    reg.Gauge(name+"_in_use", "Permits currently held."),
+	}
+	reg.Gauge(name+"_capacity", "Size of the permit pool.").Set(int64(capacity))
+	return p
+}
+
+// Acquire obtains a permit, waiting up to the pool's max wait. It
+// returns a release func and true on admission, or nil and false when
+// the acquisition was shed. The release func must be called exactly
+// once; it is never nil when ok is true.
+//
+// A successful acquire yields the processor once before returning, with
+// the permit held. The pool serializes its callers, and a caller that
+// re-acquires in a tight loop — one hot session flooding reports —
+// would otherwise monopolize the permits for a whole preemption slice
+// on a saturated box, starving every other session: the yield is the
+// fairness point that lets concurrent callers reach the pool and queue
+// behind the holder.
+func (p *Pool) Acquire() (release func(), ok bool) {
+	if p == nil {
+		return func() {}, true
+	}
+	select {
+	case p.sem <- struct{}{}:
+		p.admitted.Inc()
+		p.inUse.Add(1)
+		runtime.Gosched()
+		return p.release, true
+	default:
+	}
+	t := time.NewTimer(p.maxWait)
+	defer t.Stop()
+	select {
+	case p.sem <- struct{}{}:
+		p.delayed.Inc()
+		p.inUse.Add(1)
+		runtime.Gosched()
+		return p.release, true
+	case <-t.C:
+		p.shed.Inc()
+		return nil, false
+	}
+}
+
+func (p *Pool) release() {
+	<-p.sem
+	p.inUse.Add(-1)
+}
+
+// Admitted returns the admitted-without-wait count.
+func (p *Pool) Admitted() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.admitted.Value()
+}
+
+// Delayed returns the admitted-after-wait count.
+func (p *Pool) Delayed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.delayed.Value()
+}
+
+// Shed returns the shed count.
+func (p *Pool) Shed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.shed.Value()
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 )
 
@@ -96,9 +97,13 @@ type FileProvenance struct {
 	lines int
 	keys  map[string]struct{}
 	// compactions counts snapshot rewrites; compactErrors counts failed
-	// attempts (the log stays valid, just uncompacted).
-	compactions   uint64
-	compactErrors uint64
+	// attempts (the log stays valid, just uncompacted). metCompactions/
+	// metCompactErrors mirror them onto registry counters when the store
+	// was built with WithCompactionCounters (nil instruments are no-ops).
+	compactions      uint64
+	compactErrors    uint64
+	metCompactions   *metrics.Counter
+	metCompactErrors *metrics.Counter
 }
 
 var _ ProvenanceStore = (*FileProvenance)(nil)
@@ -110,6 +115,17 @@ type FileProvenanceOption func(*FileProvenance)
 // snapshot rewrite; n <= 0 disables compaction.
 func WithCompactThreshold(n int) FileProvenanceOption {
 	return func(f *FileProvenance) { f.threshold = n }
+}
+
+// WithCompactionCounters mirrors the store's compaction and
+// compaction-error counts onto registry counters, so a daemon surfaces
+// them on /metrics next to the hub's persist errors. Either counter
+// may be nil.
+func WithCompactionCounters(compactions, compactErrors *metrics.Counter) FileProvenanceOption {
+	return func(f *FileProvenance) {
+		f.metCompactions = compactions
+		f.metCompactErrors = compactErrors
+	}
 }
 
 // NewFileProvenance creates a store at path; the file is created on
@@ -190,6 +206,7 @@ func (f *FileProvenance) statLocked() {
 	if err != nil {
 		f.threshold = 0 // appends proceed; the log just stays uncompacted
 		f.compactErrors++
+		f.metCompactErrors.Inc()
 		f.lines = 0
 		f.keys = make(map[string]struct{})
 		return
@@ -272,6 +289,7 @@ func (f *FileProvenance) AppendBatch(recs []ProvenanceRecord) error {
 		// and the next append retries; only the failure count surfaces.
 		if err := f.compactLocked(); err != nil {
 			f.compactErrors++
+			f.metCompactErrors.Inc()
 		}
 	}
 	return nil
@@ -327,6 +345,7 @@ func (f *FileProvenance) compactLocked() error {
 	}
 	f.lines = len(recs)
 	f.compactions++
+	f.metCompactions.Inc()
 	return nil
 }
 

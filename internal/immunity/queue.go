@@ -1,6 +1,10 @@
 package immunity
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
+)
 
 // Queue is the one ordered-coalescing delivery queue behind every
 // asynchronous push path in the immunity tier: the Service's
@@ -33,12 +37,18 @@ import "sync"
 type Queue[T any] struct {
 	cfg QueueConfig[T]
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []T
-	closed bool
-	paused bool
-	done   chan struct{}
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []T
+	inFlight int // items taken by the drain, not yet delivered or re-queued
+	closed   bool
+	paused   bool
+	done     chan struct{}
+
+	// Last values pushed to the shared Depth/InFlight gauges, so gauge
+	// updates are deltas and several queues can share one instrument.
+	repDepth    int
+	repInFlight int
 }
 
 // QueueConfig configures a Queue.
@@ -63,11 +73,28 @@ type QueueConfig[T any] struct {
 	// coalescing) — batching counters.
 	OnDeliver func(T)
 	// OnDead, when set, fires exactly once, on a fresh goroutine, when a
-	// Deliver error kills a drop-mode queue.
+	// Deliver error kills a drop-mode queue — unless Close already
+	// initiated teardown, in which case the error is the expected
+	// consequence of the owner's shutdown and OnDead is suppressed (the
+	// owner must not be told to tear down a session it is already
+	// tearing down).
 	OnDead func()
 	// RetryOnError selects retry mode: a Deliver error re-queues the
 	// failed item at the front and parks the drain until Resume.
 	RetryOnError bool
+
+	// Depth and InFlight, when set, track this queue's item counts live
+	// as gauge deltas: Depth counts queued + in-flight items (what
+	// Pending reports), InFlight counts only the batch the drain has
+	// taken. Both instruments may be shared across queues — the gauge
+	// then aggregates the fleet of sessions.
+	Depth    *metrics.Gauge
+	InFlight *metrics.Gauge
+	// BatchSizes, when set, observes the length of every drained batch
+	// after coalescing; CoalesceRatio observes raw/coalesced items per
+	// drain (1 = nothing merged).
+	BatchSizes    *metrics.Histogram
+	CoalesceRatio *metrics.Histogram
 }
 
 // NewQueue starts a queue and its drain goroutine.
@@ -83,6 +110,7 @@ func (q *Queue[T]) Enqueue(v T) {
 	q.mu.Lock()
 	if !q.closed {
 		q.queue = append(q.queue, v)
+		q.syncGaugesLocked()
 		q.cond.Signal()
 	}
 	q.mu.Unlock()
@@ -99,12 +127,28 @@ func (q *Queue[T]) Resume() {
 	q.mu.Unlock()
 }
 
-// Pending returns how many items are queued (after any in-flight batch
-// was taken); parked retry queues report their held-back items.
+// Pending returns how many items are queued plus how many the drain
+// has taken but not yet delivered, so depth never under-reports by an
+// in-flight batch; parked retry queues report their held-back items.
 func (q *Queue[T]) Pending() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.queue)
+	return len(q.queue) + q.inFlight
+}
+
+// syncGaugesLocked pushes the current depth/in-flight counts to the
+// shared gauges as deltas. Callers hold q.mu; the gauge ops are
+// atomics, so this is safe under the queue lock.
+func (q *Queue[T]) syncGaugesLocked() {
+	if q.cfg.Depth != nil {
+		d := len(q.queue) + q.inFlight
+		q.cfg.Depth.Add(int64(d - q.repDepth))
+		q.repDepth = d
+	}
+	if q.cfg.InFlight != nil {
+		q.cfg.InFlight.Add(int64(q.inFlight - q.repInFlight))
+		q.repInFlight = q.inFlight
+	}
 }
 
 // coalesce folds adjacent mergeable items of batch into single
@@ -126,6 +170,25 @@ func (q *Queue[T]) coalesce(batch []T) []T {
 	return out
 }
 
+// kill ends the queue after a drop-mode delivery error. It fires
+// OnDead only when the owner had not already initiated teardown via
+// Close — a delivery error racing Close is the expected consequence of
+// the owner's own shutdown, and firing OnDead then would run the
+// owner's teardown path a second time, concurrently.
+func (q *Queue[T]) kill() {
+	q.mu.Lock()
+	ownerClosed := q.closed
+	q.closed = true
+	q.queue = nil
+	q.inFlight = 0
+	q.syncGaugesLocked()
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	if !ownerClosed && q.cfg.OnDead != nil {
+		go q.cfg.OnDead()
+	}
+}
+
 // drain delivers queued items in order until closed.
 func (q *Queue[T]) drain() {
 	defer close(q.done)
@@ -138,30 +201,47 @@ func (q *Queue[T]) drain() {
 			// Parked on a dead session at close: the leftovers cannot be
 			// delivered — the peer-side state (resubscribe-from-seq,
 			// receiver dedup) makes dropping them safe.
+			q.queue = nil
+			q.syncGaugesLocked()
 			q.mu.Unlock()
 			return
 		}
 		batch := q.queue
+		raw := len(batch)
 		q.queue = nil
+		q.inFlight = raw
+		q.syncGaugesLocked()
 		q.mu.Unlock()
 		batch = q.coalesce(batch)
+		if len(batch) != raw {
+			// Coalescing collapsed items: the in-flight count tracks what
+			// remains to be delivered.
+			q.mu.Lock()
+			q.inFlight = len(batch)
+			q.syncGaugesLocked()
+			q.mu.Unlock()
+		}
+		if q.cfg.BatchSizes != nil {
+			q.cfg.BatchSizes.Observe(float64(len(batch)))
+		}
+		if q.cfg.CoalesceRatio != nil && len(batch) > 0 {
+			q.cfg.CoalesceRatio.Observe(float64(raw) / float64(len(batch)))
+		}
 		if q.cfg.DeliverBatch != nil {
 			if err := q.cfg.DeliverBatch(batch); err != nil {
+				if !q.cfg.RetryOnError {
+					q.kill()
+					return
+				}
 				q.mu.Lock()
-				if q.cfg.RetryOnError {
-					q.queue = append(batch, q.queue...)
-					q.paused = true
-					q.mu.Unlock()
-					continue
-				}
-				q.closed = true
-				q.queue = nil
+				q.queue = append(batch, q.queue...)
+				q.inFlight = 0
+				q.paused = true
+				q.syncGaugesLocked()
 				q.mu.Unlock()
-				if q.cfg.OnDead != nil {
-					go q.cfg.OnDead()
-				}
-				return
+				continue
 			}
+			q.settleBatch(len(batch))
 			if q.cfg.OnDeliver != nil {
 				for _, v := range batch {
 					q.cfg.OnDeliver(v)
@@ -171,28 +251,38 @@ func (q *Queue[T]) drain() {
 		}
 		for i, v := range batch {
 			if err := q.cfg.Deliver(v); err != nil {
+				if !q.cfg.RetryOnError {
+					q.kill()
+					return
+				}
 				q.mu.Lock()
-				if q.cfg.RetryOnError {
-					// Park with the failed item and everything behind it
-					// (including anything enqueued since) intact.
-					q.queue = append(batch[i:], q.queue...)
-					q.paused = true
-					q.mu.Unlock()
-					break
-				}
-				q.closed = true
-				q.queue = nil
+				// Park with the failed item and everything behind it
+				// (including anything enqueued since) intact.
+				q.queue = append(batch[i:], q.queue...)
+				q.inFlight = 0
+				q.paused = true
+				q.syncGaugesLocked()
 				q.mu.Unlock()
-				if q.cfg.OnDead != nil {
-					go q.cfg.OnDead()
-				}
-				return
+				break
 			}
+			q.settleBatch(1)
 			if q.cfg.OnDeliver != nil {
 				q.cfg.OnDeliver(v)
 			}
 		}
 	}
+}
+
+// settleBatch retires n delivered (coalesced) items from the in-flight
+// count.
+func (q *Queue[T]) settleBatch(n int) {
+	q.mu.Lock()
+	q.inFlight -= n
+	if q.inFlight < 0 {
+		q.inFlight = 0
+	}
+	q.syncGaugesLocked()
+	q.mu.Unlock()
 }
 
 // Close stops the queue after delivering what is already enqueued, and

@@ -28,6 +28,7 @@ import (
 	"github.com/dimmunix/dimmunix/internal/core"
 	"github.com/dimmunix/dimmunix/internal/immunity"
 	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 	"github.com/dimmunix/dimmunix/internal/vm"
 )
@@ -77,6 +78,13 @@ type FleetImmunityConfig struct {
 	// The daemons must be running with a confirm threshold of
 	// ConfirmThreshold for the gating check to be meaningful.
 	Dial string
+	// Metrics, when non-nil, is shared with every in-process hub (the
+	// hub-side counters/gauges land on it) and receives the run's
+	// propagation latencies as immunity_propagation_device_seconds and
+	// immunity_propagation_fleet_seconds histogram observations, so the
+	// percentiles the CLI prints are also scrapeable live. Ignored in
+	// client mode (external daemons own their registries).
+	Metrics *metrics.Registry
 }
 
 // DefaultFleetImmunityConfig is the acceptance-scenario shape: 4 phones,
@@ -435,10 +443,14 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 		if hubCount > 1 {
 			res.Transport = fmt.Sprintf("cluster(%d)+%s", hubCount, res.Transport)
 		}
+		var hubOpts []immunity.ExchangeOption
+		if cfg.Metrics != nil {
+			hubOpts = append(hubOpts, immunity.WithMetricsRegistry(cfg.Metrics))
+		}
 		hubs := make([]*immunity.Exchange, hubCount)
 		addrs := make([]string, hubCount)
 		for i := range hubs {
-			hub, err := immunity.NewExchange(cfg.ConfirmThreshold)
+			hub, err := immunity.NewExchange(cfg.ConfirmThreshold, hubOpts...)
 			if err != nil {
 				return res, fmt.Errorf("fleet immunity: %w", err)
 			}
@@ -612,6 +624,12 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 		return res, err
 	}
 	res.FleetImmunity = tAll.Sub(tDetectLast)
+	cfg.Metrics.Histogram("immunity_propagation_device_seconds",
+		"First detection to every live process on the detecting phone armed.",
+		metrics.DurationBuckets()).ObserveDuration(res.DeviceImmunity)
+	cfg.Metrics.Histogram("immunity_propagation_fleet_seconds",
+		"Threshold-completing detection to the last process on the last phone armed.",
+		metrics.DurationBuckets()).ObserveDuration(res.FleetImmunity)
 	if res.Provenance, err = view.provenance(); err != nil {
 		return res, fmt.Errorf("fleet immunity: %w", err)
 	}

@@ -1,0 +1,351 @@
+// Report storm workload: drives a burst of device reports at the
+// exchange far faster than the confirm pipeline wants to absorb them,
+// to exercise the hub's admission control. With a bounded permit pool
+// the storm degrades to bounded delay — publishers feel slow-ack
+// backpressure, the delayed counter climbs, hub memory stays bounded —
+// and every signature that reaches the threshold still arms fleet-wide.
+// Without admission the same burst just races through (the counters
+// stay zero); the CI storm step asserts the difference.
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// StormConfig parameterizes one report storm.
+type StormConfig struct {
+	// Devices is how many simulated phones report concurrently (>= 2).
+	Devices int
+	// Sigs is how many distinct signatures each device reports; every
+	// device reports the same set, so each signature collects Devices
+	// confirmations and must arm.
+	Sigs int
+	// ConfirmThreshold gates arming on the in-process hubs (must not
+	// exceed Devices; ignored in client mode, where the daemons own it —
+	// there it must still not exceed Devices for arming to complete).
+	ConfirmThreshold int
+	// Hubs federates the in-process exchange (0 or 1 = single hub).
+	// Ignored when Dial is set.
+	Hubs int
+	// AdmitCapacity and AdmitWait configure the in-process hubs'
+	// admission pool (immunity.WithAdmission). Zero capacity disables
+	// admission. Ignored when Dial is set — external daemons get their
+	// pool from the -admit / -admit-wait flags.
+	AdmitCapacity int
+	AdmitWait     time.Duration
+	// Timeout bounds every wait.
+	Timeout time.Duration
+	// Dial, when non-empty, storms external daemons instead: a
+	// comma-separated address list across which the devices attach
+	// round-robin over TCP. Arming completion is observed through wire
+	// status requests; the admission counters then live on the daemons'
+	// /metrics endpoints, not in the returned result.
+	Dial string
+	// Metrics, when non-nil, is shared with the in-process hubs.
+	Metrics *metrics.Registry
+}
+
+// DefaultStormConfig is the CI storm shape: 8 devices hammering 32
+// shared signatures through a 2-permit pool with a generous wait, so
+// the burst is delayed (bounded, backpressured) but never shed and
+// arming still completes.
+func DefaultStormConfig() StormConfig {
+	return StormConfig{
+		Devices:          8,
+		Sigs:             32,
+		ConfirmThreshold: 2,
+		AdmitCapacity:    2,
+		AdmitWait:        10 * time.Second,
+		Timeout:          60 * time.Second,
+	}
+}
+
+// StormResult is the outcome of one report storm.
+type StormResult struct {
+	Config StormConfig
+	// Armed is the cluster-wide armed count after the storm (the minimum
+	// across hubs; in client mode the minimum status epoch delta).
+	Armed int
+	// Elapsed is storm start to every hub armed.
+	Elapsed time.Duration
+	// Admitted, Delayed, and Shed are the summed admission verdicts
+	// across the in-process hubs (zero in client mode — scrape the
+	// daemons' /metrics for them).
+	Admitted, Delayed, Shed uint64
+	// Transport describes how the devices reached the hubs.
+	Transport string
+}
+
+func (cfg StormConfig) validate() error {
+	if cfg.Devices < 2 {
+		return fmt.Errorf("storm: need >= 2 devices, got %d", cfg.Devices)
+	}
+	if cfg.Sigs < 1 {
+		return fmt.Errorf("storm: need >= 1 signature, got %d", cfg.Sigs)
+	}
+	if cfg.Timeout <= 0 {
+		return fmt.Errorf("storm: non-positive timeout %v", cfg.Timeout)
+	}
+	if cfg.Dial == "" {
+		if cfg.ConfirmThreshold < 1 || cfg.ConfirmThreshold > cfg.Devices {
+			return fmt.Errorf("storm: confirm threshold %d outside [1,%d]", cfg.ConfirmThreshold, cfg.Devices)
+		}
+		if cfg.Hubs < 0 {
+			return fmt.Errorf("storm: negative hub count %d", cfg.Hubs)
+		}
+	}
+	return nil
+}
+
+// RunReportStorm executes the storm: every device publishes the same
+// Sigs signatures through its own exchange session as fast as the hub
+// admits them, then the run waits for the whole set to arm cluster-wide.
+// The admission pool never sheds under the default config — AdmitWait
+// is far above the confirm pipeline's per-report cost — so "delayed
+// grows, arming completes" is the bounded-degradation proof.
+func RunReportStorm(cfg StormConfig) (StormResult, error) {
+	if err := cfg.validate(); err != nil {
+		return StormResult{}, err
+	}
+	res := StormResult{Config: cfg}
+
+	var (
+		deviceTransports []immunity.Transport
+		hubs             []*immunity.Exchange
+		armedTarget      func() (bool, int, error)
+	)
+	switch {
+	case cfg.Dial != "":
+		var addrs []string
+		for _, a := range strings.Split(cfg.Dial, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return res, fmt.Errorf("storm: no address in dial list %q", cfg.Dial)
+		}
+		res.Transport = "client:" + strings.Join(addrs, ",")
+		for _, addr := range addrs {
+			deviceTransports = append(deviceTransports, immunity.NewTCPTransport(addr))
+		}
+		// External daemons carry state across runs: arming completion is
+		// "every hub's armed count grew by Sigs over its own baseline".
+		baselines := make([]uint64, len(addrs))
+		for i, addr := range addrs {
+			st, err := immunity.FetchStatus(addr, cfg.Timeout)
+			if err != nil {
+				return res, fmt.Errorf("storm: baseline status from %s: %w", addr, err)
+			}
+			baselines[i] = st.Epoch
+		}
+		armedTarget = func() (bool, int, error) {
+			minGrown := cfg.Sigs
+			for i, addr := range addrs {
+				st, err := immunity.FetchStatus(addr, cfg.Timeout)
+				if err != nil {
+					return false, 0, err
+				}
+				grown := 0 // a daemon restart mid-storm reads as no progress
+				if st.Epoch >= baselines[i] {
+					grown = int(st.Epoch - baselines[i])
+				}
+				if grown < minGrown {
+					minGrown = grown
+				}
+			}
+			return minGrown >= cfg.Sigs, minGrown, nil
+		}
+	default:
+		hubCount := cfg.Hubs
+		if hubCount < 1 {
+			hubCount = 1
+		}
+		res.Transport = "loopback"
+		if hubCount > 1 {
+			res.Transport = fmt.Sprintf("cluster(%d)+loopback", hubCount)
+		}
+		var hubOpts []immunity.ExchangeOption
+		if cfg.Metrics != nil {
+			hubOpts = append(hubOpts, immunity.WithMetricsRegistry(cfg.Metrics))
+		}
+		if cfg.AdmitCapacity > 0 {
+			hubOpts = append(hubOpts, immunity.WithAdmission(cfg.AdmitCapacity, cfg.AdmitWait))
+		}
+		hubs = make([]*immunity.Exchange, hubCount)
+		for i := range hubs {
+			hub, err := immunity.NewExchange(cfg.ConfirmThreshold, hubOpts...)
+			if err != nil {
+				return res, fmt.Errorf("storm: %w", err)
+			}
+			defer hub.Close()
+			hubs[i] = hub
+		}
+		if hubCount > 1 {
+			for i := range hubs {
+				var peers []cluster.Member
+				for j := range hubs {
+					if j != i {
+						peers = append(peers, cluster.Member{ID: fmt.Sprintf("hub%d", j), Transport: immunity.NewLoopback(hubs[j])})
+					}
+				}
+				node, err := cluster.New(cluster.Config{Self: fmt.Sprintf("hub%d", i), Hub: hubs[i], Peers: peers, Metrics: cfg.Metrics})
+				if err != nil {
+					return res, fmt.Errorf("storm: %w", err)
+				}
+				defer node.Close()
+			}
+		}
+		for i := range hubs {
+			deviceTransports = append(deviceTransports, immunity.NewLoopback(hubs[i]))
+		}
+		armedTarget = func() (bool, int, error) {
+			minArmed := hubs[0].ArmedCount()
+			for _, hub := range hubs[1:] {
+				if n := hub.ArmedCount(); n < minArmed {
+					minArmed = n
+				}
+			}
+			return minArmed >= cfg.Sigs, minArmed, nil
+		}
+	}
+
+	// One raw wire session per device. The full ExchangeClient coalesces
+	// its whole backlog into one report message per drain — exactly the
+	// behaviour that makes a healthy device cheap — so a storm driven
+	// through it collapses to one message per device before the hub ever
+	// sees it. The storm's whole point is the opposite shape: a fleet of
+	// devices each hammering the ingest path with a message per
+	// signature, which is what an unbatched or misbehaving client does.
+	devices := make([]*stormSession, cfg.Devices)
+	for i := range devices {
+		dev, err := dialStorm(deviceTransports[i%len(deviceTransports)], fmt.Sprintf("storm%d", i), cfg.Timeout)
+		if err != nil {
+			return res, fmt.Errorf("storm: %w", err)
+		}
+		defer dev.close()
+		devices[i] = dev
+	}
+
+	start := time.Now()
+	errCh := make(chan error, cfg.Devices)
+	for _, dev := range devices {
+		dev := dev
+		go func() {
+			for s := 0; s < cfg.Sigs; s++ {
+				sig := wire.FromCore(propagationSig(s))
+				m := wire.Message{V: dev.ver, Type: wire.TypeReport,
+					Report: &wire.Report{Sigs: []wire.Signature{sig}}}
+				if err := dev.sess.Send(m); err != nil {
+					errCh <- fmt.Errorf("storm: %s report %d: %w", dev.id, s, err)
+					return
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	for range devices {
+		if err := <-errCh; err != nil {
+			return res, err
+		}
+	}
+
+	deadline := time.Now().Add(cfg.Timeout)
+	poll := 200 * time.Microsecond
+	if cfg.Dial != "" {
+		poll = 10 * time.Millisecond
+	}
+	for {
+		done, armed, err := armedTarget()
+		res.Armed = armed
+		if err != nil {
+			return res, fmt.Errorf("storm: %w", err)
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("storm: timed out with %d/%d signatures armed cluster-wide", armed, cfg.Sigs)
+		}
+		time.Sleep(poll)
+	}
+	res.Elapsed = time.Since(start)
+	for _, hub := range hubs {
+		st := hub.Stats()
+		res.Admitted += st.AdmissionAdmitted
+		res.Delayed += st.AdmissionDelayed
+		res.Shed += st.AdmissionShed
+	}
+	return res, nil
+}
+
+// stormSession is one device's raw wire session: hello/ack done, ready
+// to flood reports at the negotiated version.
+type stormSession struct {
+	id   string
+	sess immunity.Session
+	ver  int
+}
+
+func (d *stormSession) close() { d.sess.Close() }
+
+// dialStorm opens one device session and completes the handshake. The
+// hub's pushes (catch-up delta, confirms, storm deltas) are drained and
+// discarded — the storm measures ingest, not install.
+func dialStorm(tr immunity.Transport, id string, timeout time.Duration) (*stormSession, error) {
+	ackCh := make(chan wire.Ack, 1)
+	sess, err := tr.Dial(func(m wire.Message) {
+		if m.Type == wire.TypeAck && m.Ack != nil {
+			select {
+			case ackCh <- *m.Ack:
+			default:
+			}
+		}
+	}, func(error) {})
+	if err != nil {
+		return nil, fmt.Errorf("%s dial: %w", id, err)
+	}
+	hello := wire.Message{V: wire.MinVersion, Type: wire.TypeHello,
+		Hello: &wire.Hello{Device: id, MinV: wire.MinVersion, MaxV: wire.Version}}
+	if err := sess.Send(hello); err != nil {
+		sess.Close()
+		return nil, fmt.Errorf("%s hello: %w", id, err)
+	}
+	select {
+	case ack := <-ackCh:
+		if !ack.OK {
+			sess.Close()
+			return nil, fmt.Errorf("%s refused: %s", id, ack.Error)
+		}
+		ver := wire.MinVersion
+		if ack.V != 0 {
+			ver = ack.V
+		}
+		return &stormSession{id: id, sess: sess, ver: ver}, nil
+	case <-time.After(timeout):
+		sess.Close()
+		return nil, fmt.Errorf("%s: timed out waiting for hello ack", id)
+	}
+}
+
+// FormatStorm renders a storm result for the CLI.
+func FormatStorm(res StormResult) string {
+	cfg := res.Config
+	out := fmt.Sprintf("report storm: %d devices × %d shared signatures, transport %s\n",
+		cfg.Devices, cfg.Sigs, res.Transport)
+	out += fmt.Sprintf("  armed cluster-wide   %6d/%d in %s\n", res.Armed, cfg.Sigs, res.Elapsed.Round(time.Millisecond))
+	if cfg.Dial == "" {
+		out += fmt.Sprintf("  admission            admitted=%d delayed=%d shed=%d (pool capacity %d, max wait %s)\n",
+			res.Admitted, res.Delayed, res.Shed, cfg.AdmitCapacity, cfg.AdmitWait)
+	} else {
+		out += "  admission            counters live on the daemons' /metrics endpoints\n"
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
+)
+
+// TestRunReportStorm is the bounded-degradation proof: a burst far
+// wider than the permit pool is delayed (backpressure visible in the
+// counters) but never shed under the generous default wait, and every
+// signature still arms.
+func TestRunReportStorm(t *testing.T) {
+	cfg := DefaultStormConfig()
+	cfg.AdmitCapacity = 1 // maximize contention so delay is deterministic
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	res, err := RunReportStorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Armed < cfg.Sigs {
+		t.Fatalf("armed %d/%d — the storm lost signatures", res.Armed, cfg.Sigs)
+	}
+	if res.Admitted == 0 {
+		t.Fatal("no report was admitted")
+	}
+	if res.Delayed == 0 {
+		t.Fatal("a 1-permit pool under an 8-device burst delayed nothing — admission is not engaging")
+	}
+	if res.Shed != 0 {
+		t.Fatalf("shed %d reports under a %s wait — arming completeness was luck", res.Shed, cfg.AdmitWait)
+	}
+	// The verdicts are also live on the shared registry.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "immunity_hub_admission_delayed_total") {
+		t.Fatalf("registry render missing admission series:\n%s", b.String())
+	}
+	out := FormatStorm(res)
+	if !strings.Contains(out, "delayed=") {
+		t.Fatalf("FormatStorm missing admission line:\n%s", out)
+	}
+}
+
+// TestRunReportStormFederated runs the same burst against a 2-hub
+// cluster without admission: arming must still complete cluster-wide
+// and the counters must stay zero (the control for the CI assertion).
+func TestRunReportStormFederated(t *testing.T) {
+	cfg := DefaultStormConfig()
+	cfg.Devices = 4
+	cfg.Sigs = 8
+	cfg.Hubs = 2
+	cfg.AdmitCapacity = 0 // disabled
+	res, err := RunReportStorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Armed < cfg.Sigs {
+		t.Fatalf("armed %d/%d cluster-wide", res.Armed, cfg.Sigs)
+	}
+	if res.Admitted != 0 || res.Delayed != 0 || res.Shed != 0 {
+		t.Fatalf("admission counters moved while disabled: %+v", res)
+	}
+	if !strings.Contains(res.Transport, "cluster(2)") {
+		t.Fatalf("transport = %q, want cluster(2)", res.Transport)
+	}
+}
+
+func TestStormConfigValidate(t *testing.T) {
+	cfg := DefaultStormConfig()
+	cfg.Devices = 1
+	if _, err := RunReportStorm(cfg); err == nil {
+		t.Fatal("1-device storm must be rejected")
+	}
+	cfg = DefaultStormConfig()
+	cfg.ConfirmThreshold = cfg.Devices + 1
+	if _, err := RunReportStorm(cfg); err == nil {
+		t.Fatal("threshold above device count must be rejected")
+	}
+	cfg = DefaultStormConfig()
+	cfg.Timeout = -time.Second
+	if _, err := RunReportStorm(cfg); err == nil {
+		t.Fatal("negative timeout must be rejected")
+	}
+}

@@ -4,14 +4,17 @@
 // over TCP (the versioned wire protocol of internal/immunity/wire),
 // durable provenance in a file store so a daemon restart loses no
 // confirmation and never re-arms below threshold, and an HTTP server
-// with two endpoints: /status exposing the fleet epoch, per-signature
-// provenance, connected devices, and delta-batching counters as JSON,
-// and /metrics exposing the hub's full instrument registry
-// (internal/immunity/metrics) in Prometheus text format — session
-// gauges, push-queue depth/in-flight, drain batch-size and
-// coalesce-ratio histograms, report-handling latency, per-peer forward
-// outbox lag and redial counters, persist/compaction errors, and the
-// admission verdicts.
+// with three endpoints: /status exposing the fleet epoch, per-signature
+// provenance, connected devices, delta-batching counters, and the live
+// per-second rate windows as JSON; /metrics exposing the hub's full
+// instrument registry (internal/immunity/metrics) in Prometheus text
+// format — session gauges, push-queue depth/in-flight, drain batch-size
+// and coalesce-ratio histograms, report-handling latency (wait-included
+// and wait-excluded), per-peer forward outbox lag and redial counters,
+// persist/compaction errors, admission verdicts, build info, uptime,
+// windowed rate gauges (immunity_hub_reports_per_second{window="1m"}
+// and friends), and SLO state; and /slo exposing each objective's
+// ok/warn/breach verdict, breach count, and last transition as JSON.
 //
 // Report-path admission control is enabled with -admit N: at most N
 // report messages (device reports and peer forward-reports) are
@@ -22,6 +25,16 @@
 // on its next reconnect. A report storm therefore degrades to bounded
 // delay instead of unbounded hub memory; watch it live in the
 // immunity_hub_admission_* series on /metrics.
+//
+// -admit auto replaces the fixed capacity with an AIMD controller: the
+// daemon samples its own counters every -slo-interval, evaluates the
+// report-latency objective (p99 wait-included report handling ≤
+// -slo-target over sliding windows) and the shed-zero objective, and
+// resizes the admission pool on each verdict — additive increase while
+// latency is ok and sessions were queueing, multiplicative decrease on
+// breach or shed. Capacity converges to the widest value the latency
+// target tolerates; the immunity_hub_admission_aimd_* counters on
+// /metrics trace every step of the controller.
 //
 // With -hub and -peers, serve mode federates the daemon into a hub
 // cluster (internal/immunity/cluster): each signature is owned by
@@ -46,13 +59,18 @@
 // in-process hub/cluster otherwise) and verifies every signature still
 // arms cluster-wide — the admission-control acceptance drive. In the
 // in-process form the admission counters are printed; against external
-// daemons they are scraped from /metrics.
+// daemons they are scraped from /metrics. With -ramp-warmup/-ramp-flood
+// the storm is shaped instead of flat: a paced single-signature warmup
+// at -ramp-rate reports/s (the demand signal that lets an AIMD
+// controller grow), then a full-batch flood (the overload that makes it
+// retreat) — pair it with in-process -admit auto, or aim it at daemons
+// serving with -admit auto, to watch capacity adapt end to end.
 //
 // Usage:
 //
-//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE] [-admit N -admit-wait D] [-hub ID -peers ID=ADDR,...]
+//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE] [-admit N|auto -admit-wait D] [-slo-target D -slo-interval D] [-hub ID -peers ID=ADDR,...]
 //	immunityd -connect ADDR[,ADDR...] [-phones N] [-procs N] [-threshold N] [-timeout D]
-//	immunityd -storm [-connect ADDR[,ADDR...]] [-phones N] [-sigs N] [-threshold N] [-hubs N] [-admit N -admit-wait D] [-timeout D]
+//	immunityd -storm [-connect ADDR[,ADDR...]] [-phones N] [-sigs N] [-threshold N] [-hubs N] [-admit N|auto -admit-wait D] [-ramp-warmup D -ramp-flood D -ramp-rate N] [-timeout D]
 //	immunityd [-phones N] [-procs N] [-threshold N] [-timeout D] [-transport loopback|tcp] [-hubs N]
 //	immunityd -propagation [-procs N] [-sigs N] [-tcp]
 package main
@@ -65,6 +83,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -102,10 +121,19 @@ func run(args []string) error {
 	wirePin := fs.Int("wire-pin", 0, "with -serve: pin the negotiated wire version at this ceiling (0 = newest; 2 keeps the hub and its peer links on the JSON codec during a staged rollout)")
 	hubs := fs.Int("hubs", 1, "simulation: federate the in-process exchange into this many hubs")
 	connect := fs.String("connect", "", "run the fleet workload in client mode against the exchange daemon(s) at this comma-separated address list")
-	admit := fs.Int("admit", 0, "report-path admission pool capacity (0 disables; applies to -serve and the in-process -storm)")
+	admit := fs.String("admit", "", "report-path admission: a pool capacity, or 'auto' for AIMD adaptive capacity driven by the latency SLO (empty disables; applies to -serve and the in-process -storm)")
 	admitWait := fs.Duration("admit-wait", 5*time.Second, "bounded wait before an over-capacity report is shed (keep well below the 30s wire write timeout)")
+	sloTarget := fs.Duration("slo-target", 25*time.Millisecond, "latency SLO: p99 report-handling time (admission wait included) must stay at or under this")
+	sloInterval := fs.Duration("slo-interval", time.Second, "SLO evaluation and rate-sampling tick")
 	storm := fs.Bool("storm", false, "flood the exchange with per-signature reports from -phones devices and verify arming still completes")
+	rampWarmup := fs.Duration("ramp-warmup", 0, "with -storm: paced single-signature warmup phase before the flood")
+	rampFlood := fs.Duration("ramp-flood", 0, "with -storm: continuous full-batch flood phase after the warmup")
+	rampRate := fs.Int("ramp-rate", 20, "with -storm: warmup reports per second per device")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	admitCap, admitAuto, err := parseAdmit(*admit)
+	if err != nil {
 		return err
 	}
 
@@ -129,7 +157,8 @@ func run(args []string) error {
 		return runServe(serveConfig{
 			listen: *listen, httpAddr: *httpAddr, threshold: *threshold,
 			provenance: *provenance, hubID: *hubID, peers: members,
-			wirePin: *wirePin, admit: *admit, admitWait: *admitWait,
+			wirePin: *wirePin, admit: admitCap, admitAuto: admitAuto,
+			admitWait: *admitWait, sloTarget: *sloTarget, sloInterval: *sloInterval,
 		})
 	}
 	if *peers != "" || *hubID != "" {
@@ -145,10 +174,18 @@ func run(args []string) error {
 			Sigs:             *sigs,
 			ConfirmThreshold: *threshold,
 			Hubs:             *hubs,
-			AdmitCapacity:    *admit,
+			AdmitCapacity:    admitCap,
+			AdmitAuto:        admitAuto,
 			AdmitWait:        *admitWait,
+			SLOTarget:        *sloTarget,
+			SLOInterval:      *sloInterval,
 			Timeout:          *timeout,
 			Dial:             *connect,
+		}
+		if *rampWarmup > 0 || *rampFlood > 0 {
+			cfg.Ramp = &workload.StormRamp{
+				Warmup: *rampWarmup, WarmupRate: *rampRate, Flood: *rampFlood,
+			}
 		}
 		res, err := workload.RunReportStorm(cfg)
 		if err != nil {
@@ -157,8 +194,11 @@ func run(args []string) error {
 		fmt.Print(workload.FormatStorm(res))
 		return nil
 	}
-	if *admit != 0 {
+	if *admit != "" {
 		return fmt.Errorf("-admit only applies to -serve and the in-process -storm")
+	}
+	if *rampWarmup != 0 || *rampFlood != 0 {
+		return fmt.Errorf("-ramp-warmup/-ramp-flood only apply to -storm")
 	}
 
 	if *propagation {
@@ -193,6 +233,22 @@ func run(args []string) error {
 	return nil
 }
 
+// parseAdmit parses the -admit flag: "" disables, "auto" selects the
+// AIMD adaptive pool, anything else is a fixed capacity.
+func parseAdmit(s string) (capacity int, auto bool, err error) {
+	switch s {
+	case "":
+		return 0, false, nil
+	case "auto":
+		return 0, true, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, false, fmt.Errorf("-admit %q: want a capacity or 'auto'", s)
+	}
+	return n, false, nil
+}
+
 // parsePeers parses "-peers id=addr,id=addr" into cluster members.
 func parsePeers(s string) ([]cluster.Member, error) {
 	var out []cluster.Member
@@ -212,11 +268,14 @@ func parsePeers(s string) ([]cluster.Member, error) {
 
 // daemon is a running serve-mode instance.
 type daemon struct {
-	hub     *immunity.Exchange
-	node    *cluster.Node
-	srv     *immunity.ExchangeServer
-	httpSrv *http.Server
-	httpLn  net.Listener
+	hub      *immunity.Exchange
+	node     *cluster.Node
+	srv      *immunity.ExchangeServer
+	httpSrv  *http.Server
+	httpLn   net.Listener
+	rates    *metrics.Rates
+	eval     *metrics.Evaluator
+	adaptive *metrics.AdaptivePool
 }
 
 // Addr returns the exchange's bound TCP address.
@@ -240,9 +299,12 @@ func (d *daemon) Close() {
 	}
 	d.srv.Close()
 	d.hub.Close()
+	d.rates.Stop()
 }
 
-// serveConfig carries everything serve mode needs.
+// serveConfig carries everything serve mode needs. Zero sloTarget and
+// sloInterval re-default in startDaemon (25ms / 1s), so tests building
+// the struct directly get working objectives.
 type serveConfig struct {
 	listen, httpAddr string
 	threshold        int
@@ -251,15 +313,62 @@ type serveConfig struct {
 	peers            []cluster.Member
 	wirePin          int
 	admit            int
+	admitAuto        bool
 	admitWait        time.Duration
+	sloTarget        time.Duration
+	sloInterval      time.Duration
 }
 
+// buildVersion stamps the immunity_build_info gauge; bump it with the
+// roadmap's PR sequence.
+const buildVersion = "0.7.0"
+
 // startDaemon boots the exchange server, the optional cluster node, and
-// the /status + /metrics endpoints. One registry is shared by the hub,
-// the cluster links, and the provenance store, so /metrics is the whole
-// daemon on one page.
+// the /status + /metrics + /slo endpoints. One registry is shared by
+// the hub, the cluster links, the provenance store, and the rate/SLO
+// control plane, so /metrics is the whole daemon on one page.
 func startDaemon(sc serveConfig) (*daemon, error) {
+	if sc.sloTarget <= 0 {
+		sc.sloTarget = 25 * time.Millisecond
+	}
+	if sc.sloInterval <= 0 {
+		sc.sloInterval = time.Second
+	}
 	reg := metrics.NewRegistry()
+	reg.Info("immunity_build_info", "Build and protocol metadata (value is always 1).",
+		[2]string{"version", buildVersion},
+		[2]string{"wire_min", strconv.Itoa(wire.MinVersion)},
+		[2]string{"wire_max", strconv.Itoa(wire.Version)})
+
+	// The rate sampler turns the registry's counters into windowed
+	// per-second gauges and feeds the SLO evaluator; both tick on
+	// sloInterval. Families are resolved lazily, so tracking before the
+	// hub registers them is fine, and per-peer series appear as peers do.
+	rates := metrics.NewRates(reg, metrics.RatesConfig{Interval: sc.sloInterval})
+	for _, name := range []string{
+		"immunity_hub_reports_total",
+		"immunity_hub_confirmations_total",
+		"immunity_hub_armed_total",
+		"immunity_hub_echoes_total",
+		"immunity_hub_forwards_total",
+		"immunity_hub_remote_installs_total",
+		"immunity_hub_admission_shed_total",
+		"immunity_cluster_peer_forwards_total",
+		"immunity_cluster_applied_total",
+	} {
+		rates.TrackCounter(name)
+	}
+	rates.TrackHistogram("immunity_hub_report_seconds")
+	rates.TrackHistogram("immunity_hub_report_handle_seconds")
+	eval := metrics.NewEvaluator(reg, rates, []metrics.SLO{
+		{Name: "report-latency", QuantileOf: "immunity_hub_report_seconds",
+			Target: sc.sloTarget.Seconds()},
+		{Name: "shed-zero", RateOf: "immunity_hub_admission_shed_total", Target: 0},
+	})
+	uptime := reg.FloatGauge("immunity_hub_uptime_seconds", "Seconds since daemon start.")
+	started := time.Now()
+	rates.OnTick(func() { uptime.Set(time.Since(started).Seconds()) })
+
 	opts := []immunity.ExchangeOption{immunity.WithMetricsRegistry(reg)}
 	if sc.provenance != "" {
 		opts = append(opts, immunity.WithProvenanceStore(immunity.NewFileProvenance(sc.provenance,
@@ -273,7 +382,13 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 		// everywhere however new its binary is.
 		opts = append(opts, immunity.WithWireCeiling(sc.wirePin))
 	}
-	if sc.admit > 0 {
+	var adaptive *metrics.AdaptivePool
+	if sc.admitAuto {
+		adaptive = metrics.NewAdaptivePool(reg, "immunity_hub_admission", sc.admitWait,
+			metrics.AIMDConfig{SLO: "report-latency"})
+		adaptive.Bind(eval)
+		opts = append(opts, immunity.WithAdmissionPool(adaptive.Pool))
+	} else if sc.admit > 0 {
 		opts = append(opts, immunity.WithAdmission(sc.admit, sc.admitWait))
 	}
 	hub, err := immunity.NewExchange(sc.threshold, opts...)
@@ -299,16 +414,23 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 		hub.Close()
 		return nil, err
 	}
-	d := &daemon{hub: hub, node: node, srv: srv}
+	d := &daemon{hub: hub, node: node, srv: srv,
+		rates: rates, eval: eval, adaptive: adaptive}
 	if sc.httpAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON := func(w http.ResponseWriter, v any) {
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
-			if err := enc.Encode(hub.Status()); err != nil {
+			if err := enc.Encode(v); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, statusPayload{Status: hub.Status(), Rates: rates.Snapshot()})
+		})
+		mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, eval.Snapshot())
 		})
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -329,7 +451,15 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 			}
 		}()
 	}
+	rates.Start()
 	return d, nil
+}
+
+// statusPayload is the /status document: the wire status plus the
+// windowed per-second rates of every tracked counter series.
+type statusPayload struct {
+	wire.Status
+	Rates map[string]map[string]float64 `json:"rates,omitempty"`
 }
 
 // runServe boots the long-running daemon and blocks until
@@ -348,10 +478,17 @@ func runServe(sc serveConfig) error {
 	if sc.provenance != "" {
 		fmt.Printf(", provenance %s", sc.provenance)
 	}
-	if sc.admit > 0 {
+	switch {
+	case sc.admitAuto:
+		cfg := d.adaptive.Config()
+		fmt.Printf(", admission auto (AIMD %d..%d from %d, max wait %s)",
+			cfg.Min, cfg.Max, cfg.Initial, sc.admitWait)
+	case sc.admit > 0:
 		fmt.Printf(", admission %d/%s", sc.admit, sc.admitWait)
 	}
 	fmt.Println(")")
+	fmt.Printf("immunityd: slo report-latency p99<=%s, shed-zero; evaluated every %s (see /slo)\n",
+		sc.sloTarget, sc.sloInterval)
 	if d.node != nil {
 		fmt.Printf("immunityd: cluster hub %s federating with %d peer(s): %s\n",
 			sc.hubID, len(sc.peers), strings.Join(d.node.Ring().Members(), " "))

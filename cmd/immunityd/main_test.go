@@ -242,6 +242,161 @@ func TestImmunitydFederatedCluster(t *testing.T) {
 	}
 }
 
+func TestImmunitydParseAdmit(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		cap  int
+		auto bool
+		bad  bool
+	}{
+		{in: "", cap: 0},
+		{in: "auto", auto: true},
+		{in: "4", cap: 4},
+		{in: "0", cap: 0},
+		{in: "-1", bad: true},
+		{in: "many", bad: true},
+	} {
+		capN, auto, err := parseAdmit(tc.in)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("parseAdmit(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil || capN != tc.cap || auto != tc.auto {
+			t.Errorf("parseAdmit(%q) = (%d, %v, %v), want (%d, %v)", tc.in, capN, auto, err, tc.cap, tc.auto)
+		}
+	}
+	if err := run([]string{"-phones", "2", "-procs", "1", "-admit", "auto"}); err == nil {
+		t.Error("-admit outside -serve/-storm must fail")
+	}
+	if err := run([]string{"-phones", "2", "-procs", "1", "-ramp-flood", "1s"}); err == nil {
+		t.Error("-ramp-flood outside -storm must fail")
+	}
+}
+
+// TestImmunitydAdaptiveAdmission boots a daemon with -admit auto
+// semantics and drives the ramped storm against it over TCP: the AIMD
+// controller must grow during the paced warmup, collapse capacity when
+// the full-batch flood breaches the latency SLO, shed nothing, and the
+// whole loop must be observable — AIMD trace counters and live capacity
+// on /metrics, breach counts and state on /slo, per-second rate gauges
+// on /status.
+func TestImmunitydAdaptiveAdmission(t *testing.T) {
+	d, err := startDaemon(serveConfig{
+		listen: "127.0.0.1:0", httpAddr: "127.0.0.1:0",
+		threshold: 2, admitAuto: true, admitWait: 10 * time.Second,
+		sloTarget: 500 * time.Microsecond, sloInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	res, err := workload.RunReportStorm(workload.StormConfig{
+		Devices: 16,
+		Sigs:    64,
+		Timeout: 60 * time.Second,
+		Dial:    d.Addr(),
+		Ramp:    &workload.StormRamp{Warmup: 700 * time.Millisecond, Flood: 900 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Armed < 64 {
+		t.Fatalf("armed %d/64 — the ramped storm lost signatures", res.Armed)
+	}
+
+	scrape := func(path string) string {
+		resp, err := http.Get("http://" + d.HTTPAddr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	page := scrape("/metrics")
+	sample := func(name string) float64 {
+		re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([0-9.e+-]+)$`)
+		m := re.FindStringSubmatch(page)
+		if m == nil {
+			t.Fatalf("/metrics missing sample %s:\n%s", name, page)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("sample %s = %q: %v", name, m[1], err)
+		}
+		return v
+	}
+	if n := sample("immunity_hub_admission_aimd_increases_total"); n == 0 {
+		t.Error("warmup produced no AIMD increase")
+	}
+	if n := sample("immunity_hub_admission_aimd_decreases_total"); n == 0 {
+		t.Error("flood produced no AIMD decrease")
+	}
+	if n := sample("immunity_hub_admission_capacity"); n >= 8 {
+		t.Errorf("capacity = %v after the flood, want converged below the initial 8", n)
+	}
+	if n := sample("immunity_hub_admission_shed_total"); n != 0 {
+		t.Errorf("shed = %v under a generous wait", n)
+	}
+	if n := sample("immunity_hub_uptime_seconds"); n <= 0 {
+		t.Errorf("uptime gauge = %v, want > 0", n)
+	}
+	if !strings.Contains(page, `immunity_build_info{version=`) {
+		t.Error("/metrics missing immunity_build_info")
+	}
+	if !strings.Contains(page, `immunity_hub_reports_per_second{window="10s"}`) {
+		t.Error("/metrics missing windowed rate gauges")
+	}
+
+	// /slo: the flood must have escalated the latency objective to
+	// breach at least once; shed-zero must never have.
+	var slos []struct {
+		Name     string  `json:"name"`
+		State    string  `json:"state"`
+		Breaches uint64  `json:"breaches_total"`
+		Target   float64 `json:"target"`
+	}
+	if err := json.Unmarshal([]byte(scrape("/slo")), &slos); err != nil {
+		t.Fatalf("/slo decode: %v", err)
+	}
+	byName := map[string]int{}
+	for i, s := range slos {
+		byName[s.Name] = i
+	}
+	lat, ok := byName["report-latency"]
+	if !ok {
+		t.Fatalf("/slo missing report-latency: %+v", slos)
+	}
+	if slos[lat].Breaches == 0 {
+		t.Errorf("report-latency breaches = 0, want >= 1 after the flood: %+v", slos[lat])
+	}
+	shed, ok := byName["shed-zero"]
+	if !ok {
+		t.Fatalf("/slo missing shed-zero: %+v", slos)
+	}
+	if slos[shed].Breaches != 0 {
+		t.Errorf("shed-zero breached: %+v", slos[shed])
+	}
+
+	// /status: the storm is inside the 10s window, so the report rate
+	// gauge must still be nonzero.
+	var st struct {
+		Rates map[string]map[string]float64 `json:"rates"`
+	}
+	if err := json.Unmarshal([]byte(scrape("/status")), &st); err != nil {
+		t.Fatalf("/status decode: %v", err)
+	}
+	if st.Rates["immunity_hub_reports_per_second"]["10s"] <= 0 {
+		t.Errorf("/status rates missing a live report rate: %+v", st.Rates)
+	}
+}
+
 // TestImmunitydMetricsAndStorm is the admission acceptance drive the CI
 // storm step mirrors: a daemon with a 1-permit admission pool absorbs a
 // multi-device report storm — every signature still arms, and /metrics

@@ -323,6 +323,7 @@ type link struct {
 	metConnected  *metrics.Gauge
 	metApplied    *metrics.Counter
 	metDuplicates *metrics.Counter
+	metForwards   *metrics.Counter
 }
 
 // dialAttempt quarantines one dial's cursor advances until the
@@ -344,6 +345,8 @@ func newLink(n *Node, p Member, resumeSeq uint64, maxV int, reg *metrics.Registr
 		"Arm-broadcasts from the peer that newly armed a signature here.", "peer").With(p.ID)
 	l.metDuplicates = reg.CounterVec("immunity_cluster_duplicates_total",
 		"Arm-broadcast replays from the peer (cursor advances only).", "peer").With(p.ID)
+	l.metForwards = reg.CounterVec("immunity_cluster_peer_forwards_total",
+		"Forward-report messages delivered to the peer.", "peer").With(p.ID)
 	l.outbox = immunity.NewQueue(immunity.QueueConfig[wire.Message]{
 		Deliver:      l.deliver,
 		RetryOnError: true,
@@ -377,6 +380,12 @@ func (l *link) deliver(m wire.Message) error {
 	if err := sess.Send(m); err != nil {
 		l.down(err)
 		return err
+	}
+	if m.Type == wire.TypeForwardReport {
+		// Counted on delivery, not enqueue: the per-peer forward rate on
+		// /metrics then reflects traffic that actually left, and a parked
+		// outbox reads as the rate dropping to zero.
+		l.metForwards.Inc()
 	}
 	return nil
 }

@@ -107,6 +107,7 @@ type hubMetrics struct {
 	pushBatchSizes *metrics.Histogram
 	pushCoalesce   *metrics.Histogram
 	reportSeconds  *metrics.Histogram
+	handleSeconds  *metrics.Histogram
 }
 
 func newHubMetrics(reg *metrics.Registry) hubMetrics {
@@ -125,6 +126,7 @@ func newHubMetrics(reg *metrics.Registry) hubMetrics {
 		pushBatchSizes: reg.Histogram("immunity_hub_push_batch_size", "Messages per push-queue drain after coalescing.", metrics.SizeBuckets()),
 		pushCoalesce:   reg.Histogram("immunity_hub_push_coalesce_ratio", "Raw queued messages per delivered message, per drain.", metrics.RatioBuckets()),
 		reportSeconds:  reg.Histogram("immunity_hub_report_seconds", "Report-batch handling time, admission wait included.", metrics.DurationBuckets()),
+		handleSeconds:  reg.Histogram("immunity_hub_report_handle_seconds", "Report-batch processing time, admission wait excluded.", metrics.DurationBuckets()),
 	}
 }
 
@@ -238,6 +240,7 @@ type Exchange struct {
 	reg       *metrics.Registry
 	met       hubMetrics
 	admit     *metrics.Pool
+	admitPool *metrics.Pool
 	admitCap  int
 	admitWait time.Duration
 }
@@ -291,6 +294,17 @@ func WithAdmission(capacity int, maxWait time.Duration) ExchangeOption {
 	}
 }
 
+// WithAdmissionPool puts a caller-built permit pool in front of report
+// ingest instead of a fixed-capacity one — the seam the AIMD adaptive
+// admission controller plugs into (pass an AdaptivePool's embedded
+// Pool; its capacity then tracks the SLO evaluator's verdicts live).
+// The pool must be registered on the same registry the hub uses, or
+// its verdicts won't appear on /metrics. Takes precedence over
+// WithAdmission; nil means no injection.
+func WithAdmissionPool(p *metrics.Pool) ExchangeOption {
+	return func(x *Exchange) { x.admitPool = p }
+}
+
 // NewExchange creates a hub that arms a signature fleet-wide once
 // confirmThreshold distinct devices have reported it (values below 1 are
 // treated as 1: arm on first report). With WithProvenanceStore, prior
@@ -320,7 +334,11 @@ func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error
 		x.reg = metrics.NewRegistry()
 	}
 	x.met = newHubMetrics(x.reg)
-	x.admit = metrics.NewPool(x.reg, "immunity_hub_admission", x.admitCap, x.admitWait)
+	if x.admitPool != nil {
+		x.admit = x.admitPool
+	} else {
+		x.admit = metrics.NewPool(x.reg, "immunity_hub_admission", x.admitCap, x.admitWait)
+	}
 	if x.store != nil {
 		recs, err := x.store.Load()
 		if err != nil {
@@ -969,8 +987,15 @@ func (x *Exchange) admitReport(fn func() error) error {
 		return nil
 	}
 	defer release()
+	admitted := time.Now()
 	err := fn()
-	x.met.reportSeconds.ObserveDuration(time.Since(start))
+	end := time.Now()
+	// Two latency series: report_seconds is what a device experiences
+	// (wait included — the signal the latency SLO and the AIMD
+	// controller react to), handle_seconds is what the hub itself costs
+	// (wait excluded — separates "hub is slow" from "hub is queueing").
+	x.met.reportSeconds.ObserveDuration(end.Sub(start))
+	x.met.handleSeconds.ObserveDuration(end.Sub(admitted))
 	return err
 }
 

@@ -114,7 +114,36 @@
 // report storm therefore degrades to bounded delay instead of
 // unbounded hub memory. Keep maxWait well below the transport's 30s
 // write timeout, or a delayed session's unread pushes can kill it
-// before the verdict.
+// before the verdict. WithAdmissionPool substitutes a caller-owned
+// pool for the fixed-capacity one — the seam the adaptive controller
+// plugs into.
+//
+// Three layers in the metrics package turn those raw series into a
+// control loop. metrics.Rates samples tracked counters and histograms
+// on a fixed interval into ring buffers and derives per-second rate
+// gauges over sliding windows (immunity_hub_reports_per_second
+// {window="1m"}, per-peer forward rates) plus windowed histogram
+// quantiles — a burst is visible while it happens and the rate decays
+// to zero when it stops, without any scrape-side PromQL.
+// metrics.Evaluator re-checks declarative SLOs (a latency quantile or
+// a rate against a target, e.g. "p99 report handling ≤ 25ms",
+// "shed rate = 0") on every tick and runs an ok→warn→breach state
+// machine per objective, exported as immunity_slo_state and served as
+// JSON by immunityd's /slo. metrics.AdaptivePool closes the loop:
+// bound to the evaluator, it resizes the admission pool by AIMD —
+// additive increase while its SLO is ok and waiters were delayed,
+// multiplicative decrease on breach or shed — so hub admission
+// converges to the widest capacity the latency objective tolerates
+// (immunityd -serve -admit auto). The report latency histogram has a
+// wait-excluded twin (immunity_hub_report_handle_seconds) so a breach
+// attributable to queueing is distinguishable from a slow hub.
+//
+// Two latency regimes matter when picking the SLO target: the
+// wait-included p99 under admission contention is roughly
+// sessions × per-batch handle time (the pool serializes batch
+// handling), so a target between the paced-load and flood-load
+// quantile buckets gives the state machine an unambiguous signal in
+// both directions.
 //
 // The registry's instruments are lock-free and its own mutexes are
 // leaves that never call out, so metric updates are safe under any

@@ -1,0 +1,158 @@
+package metrics
+
+import "time"
+
+// AIMDConfig shapes the additive-increase/multiplicative-decrease
+// admission controller. Zero values take the defaults noted per field.
+type AIMDConfig struct {
+	// SLO names the latency objective (on the bound Evaluator) whose
+	// verdicts drive the controller.
+	SLO string
+	// Initial is the starting capacity (default 8, clamped to
+	// [Min, Max]).
+	Initial int
+	// Min and Max bound the capacity (defaults 1 and 64).
+	Min, Max int
+	// Step is the additive increase per holding tick (default 1).
+	Step int
+	// Backoff is the multiplicative decrease factor on breach or shed
+	// (default 0.5; must be in (0,1)).
+	Backoff float64
+}
+
+// AdaptivePool is a Pool whose capacity is an AIMD control loop over
+// the SLO evaluator's verdicts instead of a hand-picked flag:
+//
+//   - latency SLO ok and the pool saw demand since the last tick →
+//     capacity += Step (additive probe for headroom; no demand, no
+//     probe — an idle pool must not creep up);
+//   - latency SLO breached, or any acquisition was shed → capacity =
+//     max(Min, capacity*Backoff) (multiplicative retreat).
+//
+// The latency objective is measured with the admission wait included,
+// so sustained overload reads as a breach and the pool retreats toward
+// Min — brownout semantics: protect the hub's processing latency and
+// push the queueing onto TCP backpressure, where the senders feel it.
+// When the storm drains, the windowed quantile recovers, the SLO
+// transitions breach→ok, and the next demand grows the pool back one
+// step per tick. Warn holds capacity (hysteresis, no flapping).
+//
+// Every decision is visible: <name>_capacity follows Resize live, and
+// the controller's moves are counted on
+//
+//	<name>_aimd_increases_total
+//	<name>_aimd_decreases_total
+type AdaptivePool struct {
+	*Pool
+	cfg       AIMDConfig
+	increases *Counter
+	decreases *Counter
+
+	// Verdict deltas since the last tick; only touched from the
+	// evaluator's tick goroutine (Bind documents the single-driver
+	// contract).
+	lastVerdicts uint64
+	lastShed     uint64
+}
+
+// NewAdaptivePool builds the pool at cfg.Initial capacity with the
+// usual Pool instruments under name, plus the AIMD trace counters. The
+// controller is inert until Bind.
+func NewAdaptivePool(reg *Registry, name string, maxWait time.Duration, cfg AIMDConfig) *AdaptivePool {
+	if cfg.Min < 1 {
+		cfg.Min = 1
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 64
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.Initial <= 0 {
+		cfg.Initial = 8
+	}
+	if cfg.Initial < cfg.Min {
+		cfg.Initial = cfg.Min
+	}
+	if cfg.Initial > cfg.Max {
+		cfg.Initial = cfg.Max
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 1
+	}
+	if cfg.Backoff <= 0 || cfg.Backoff >= 1 {
+		cfg.Backoff = 0.5
+	}
+	return &AdaptivePool{
+		Pool: NewPool(reg, name, cfg.Initial, maxWait),
+		cfg:  cfg,
+		increases: reg.Counter(name+"_aimd_increases_total",
+			"Additive capacity increases by the AIMD admission controller."),
+		decreases: reg.Counter(name+"_aimd_decreases_total",
+			"Multiplicative capacity decreases by the AIMD admission controller."),
+	}
+}
+
+// Config returns the controller shape after defaulting.
+func (a *AdaptivePool) Config() AIMDConfig {
+	if a == nil {
+		return AIMDConfig{}
+	}
+	return a.cfg
+}
+
+// Bind attaches the controller to the evaluator: one AIMD step per
+// evaluation tick. Bind once — the step's verdict bookkeeping assumes a
+// single driving tick loop.
+func (a *AdaptivePool) Bind(e *Evaluator) {
+	if a == nil || e == nil {
+		return
+	}
+	e.OnVerdict(func() { a.step(e) })
+}
+
+// Increases and Decreases return the AIMD trace counts.
+func (a *AdaptivePool) Increases() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.increases.Value()
+}
+
+func (a *AdaptivePool) Decreases() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.decreases.Value()
+}
+
+func (a *AdaptivePool) step(e *Evaluator) {
+	shedNow := a.Shed()
+	verdicts := a.Admitted() + a.Delayed() + shedNow
+	demand := verdicts > a.lastVerdicts
+	shed := shedNow > a.lastShed
+	a.lastVerdicts, a.lastShed = verdicts, shedNow
+
+	state, known := e.State(a.cfg.SLO)
+	capNow := a.Capacity()
+	switch {
+	case shed || (known && state == SLOBreach):
+		next := int(float64(capNow) * a.cfg.Backoff)
+		if next < a.cfg.Min {
+			next = a.cfg.Min
+		}
+		if next < capNow {
+			a.Resize(next)
+			a.decreases.Inc()
+		}
+	case known && state == SLOOK && demand:
+		next := capNow + a.cfg.Step
+		if next > a.cfg.Max {
+			next = a.cfg.Max
+		}
+		if next > capNow {
+			a.Resize(next)
+			a.increases.Inc()
+		}
+	}
+}

@@ -97,6 +97,29 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is a float-valued instantaneous value (per-second rates,
+// uptime seconds). It only supports whole-owner Set: the writers are
+// single-owner samplers, never shared hot paths.
+type FloatGauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram counts observations into fixed cumulative buckets.
 type Histogram struct {
 	upper  []float64 // ascending bucket upper bounds; +Inf is implicit
@@ -153,7 +176,27 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.Count()
+	return quantileFromCounts(h.upper, h.bucketCounts(), q)
+}
+
+// bucketCounts snapshots the per-bucket (non-cumulative) counts; the
+// last slot is the +Inf bucket.
+func (h *Histogram) bucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// quantileFromCounts is Quantile's engine over an explicit per-bucket
+// count snapshot (len(upper)+1 slots, +Inf last), shared with the
+// windowed quantiles of the Rates sampler.
+func quantileFromCounts(upper []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
 	if total == 0 {
 		return 0
 	}
@@ -162,14 +205,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 		rank = 1
 	}
 	var cum uint64
-	for i := range h.counts {
-		cum += h.counts[i].Load()
+	for i, c := range counts {
+		cum += c
 		if cum >= rank {
-			if i < len(h.upper) {
-				return h.upper[i]
+			if i < len(upper) {
+				return upper[i]
 			}
-			if len(h.upper) > 0 {
-				return h.upper[len(h.upper)-1]
+			if len(upper) > 0 {
+				return upper[len(upper)-1]
 			}
 			return math.Inf(1)
 		}
@@ -208,10 +251,11 @@ type family struct {
 	help     string
 	typ      string
 	labelKey string // "" for unlabeled families
+	raw      bool   // series keys are pre-rendered label blocks ({a="x",b="y"})
 	buckets  []float64
 
 	mu     sync.Mutex
-	series map[string]any // label value -> *Counter/*Gauge/*Histogram
+	series map[string]any // label value -> *Counter/*Gauge/*FloatGauge/*Histogram
 	order  []string       // label values in first-seen order
 }
 
@@ -240,20 +284,37 @@ func NewRegistry() *Registry {
 }
 
 func (r *Registry) family(name, help, typ, labelKey string, buckets []float64) *family {
+	return r.familyRaw(name, help, typ, labelKey, buckets, false)
+}
+
+func (r *Registry) familyRaw(name, help, typ, labelKey string, buckets []float64, raw bool) *family {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.byName[name]; ok {
-		if f.typ != typ || f.labelKey != labelKey {
+		if f.typ != typ || f.labelKey != labelKey || f.raw != raw {
 			panic(fmt.Sprintf("metrics: %q re-registered as %s/%q (was %s/%q)",
 				name, typ, labelKey, f.typ, f.labelKey))
 		}
 		return f
 	}
-	f := &family{name: name, help: help, typ: typ, labelKey: labelKey,
+	f := &family{name: name, help: help, typ: typ, labelKey: labelKey, raw: raw,
 		buckets: buckets, series: make(map[string]any)}
 	r.families = append(r.families, f)
 	r.byName[name] = f
 	return f
+}
+
+// lookupFamily returns the family registered under name, or nil. Used
+// by the Rates sampler to resolve tracked families lazily, so series
+// that first appear after tracking starts (a peer link's labeled
+// counters, say) are still picked up.
+func (r *Registry) lookupFamily(name string) *family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byName[name]
 }
 
 // Counter returns the counter registered under name, creating it on
@@ -283,6 +344,27 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	}
 	f := r.family(name, help, typeHistogram, "", buckets)
 	return f.get("", func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// FloatGauge returns the float gauge registered under name.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, typeGauge, "", nil)
+	return f.get("", func() any { return new(FloatGauge) }).(*FloatGauge)
+}
+
+// Info registers the Prometheus info-metric idiom: a constant 1-valued
+// gauge whose label pairs carry identity (build version, wire range) a
+// plain sample can't — scrapes join it against counters to tell a
+// restart from a counter reset. Pairs render in the given order.
+func (r *Registry) Info(name, help string, pairs ...[2]string) {
+	if r == nil {
+		return
+	}
+	f := r.familyRaw(name, help, typeGauge, "", nil, true)
+	f.get(renderLabels(pairs), func() any { return new(Gauge) }).(*Gauge).Set(1)
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -369,11 +451,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 func writeSeries(b *strings.Builder, f *family, label string, m any) {
 	suffix := labelSuffix(f.labelKey, label)
+	if f.raw {
+		suffix = label // the series key is the rendered label block
+	}
 	switch inst := m.(type) {
 	case *Counter:
 		fmt.Fprintf(b, "%s%s %d\n", f.name, suffix, inst.Value())
 	case *Gauge:
 		fmt.Fprintf(b, "%s%s %d\n", f.name, suffix, inst.Value())
+	case *FloatGauge:
+		fmt.Fprintf(b, "%s%s %s\n", f.name, suffix, formatFloat(inst.Value()))
 	case *Histogram:
 		var cum uint64
 		for i, upper := range inst.upper {
@@ -396,6 +483,24 @@ func labelSuffix(key, value string) string {
 		return ""
 	}
 	return fmt.Sprintf("{%s=%q}", key, value)
+}
+
+// renderLabels renders ordered label pairs as one {k="v",...} block —
+// the series key of a raw family (Info, the rate gauges).
+func renderLabels(pairs [][2]string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[0], kv[1])
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 func bucketSuffix(key, value, le string) string {

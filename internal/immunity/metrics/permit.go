@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -11,24 +12,46 @@ import (
 // permits are taken the caller waits up to the pool's max wait (bounded
 // delay — on the hub this blocks the session's transport read
 // goroutine, which the device sees as a slow ack and TCP sees as
-// backpressure), and is shed if the wait expires. Every verdict is
-// counted on the pool's registry instruments:
+// backpressure), and is shed if the wait expires. A max wait <= 0 sheds
+// immediately on a full pool — no waiter is queued and no timer is
+// allocated. Every verdict is counted on the pool's registry
+// instruments:
 //
 //	<name>_admitted_total   permits granted without waiting
 //	<name>_delayed_total    permits granted after a bounded wait
 //	<name>_shed_total       acquisitions abandoned at max wait
 //	<name>_in_use           permits currently held
-//	<name>_capacity         the pool size
+//	<name>_capacity         the pool size (live: Resize updates it)
+//
+// The capacity is dynamic: Resize grows or shrinks the pool at runtime
+// (the seam AdaptivePool's AIMD controller drives). Waiters queue FIFO;
+// a released permit is handed to the oldest waiter directly, so a
+// resize down never strands an already-queued caller and a resize up
+// admits queued waiters immediately.
 //
 // A nil *Pool admits everything immediately (admission disabled).
 type Pool struct {
-	sem     chan struct{}
 	maxWait time.Duration
 
 	admitted *Counter
 	delayed  *Counter
 	shed     *Counter
 	inUse    *Gauge
+	capGauge *Gauge
+
+	mu       sync.Mutex
+	capacity int
+	held     int // permits out (granted or being handed to a waiter)
+	waiters  []*permitWaiter
+}
+
+// permitWaiter is one blocked Acquire. The grantor sets granted and
+// closes ch under Pool.mu; the timeout path re-checks granted under the
+// same lock, so a permit handed over concurrently with the deadline is
+// always either accepted or still countable — never leaked.
+type permitWaiter struct {
+	ch      chan struct{}
+	granted bool
 }
 
 // NewPool creates a pool of capacity permits with the given bounded
@@ -39,14 +62,15 @@ func NewPool(reg *Registry, name string, capacity int, maxWait time.Duration) *P
 		return nil
 	}
 	p := &Pool{
-		sem:      make(chan struct{}, capacity),
 		maxWait:  maxWait,
+		capacity: capacity,
 		admitted: reg.Counter(name+"_admitted_total", "Permits granted without waiting."),
 		delayed:  reg.Counter(name+"_delayed_total", "Permits granted after a bounded wait."),
 		shed:     reg.Counter(name+"_shed_total", "Acquisitions abandoned at the max wait."),
 		inUse:    reg.Gauge(name+"_in_use", "Permits currently held."),
+		capGauge: reg.Gauge(name+"_capacity", "Size of the permit pool."),
 	}
-	reg.Gauge(name+"_capacity", "Size of the permit pool.").Set(int64(capacity))
+	p.capGauge.Set(int64(capacity))
 	return p
 }
 
@@ -66,31 +90,99 @@ func (p *Pool) Acquire() (release func(), ok bool) {
 	if p == nil {
 		return func() {}, true
 	}
-	select {
-	case p.sem <- struct{}{}:
+	p.mu.Lock()
+	if p.held < p.capacity {
+		p.held++
+		p.mu.Unlock()
 		p.admitted.Inc()
 		p.inUse.Add(1)
 		runtime.Gosched()
 		return p.release, true
-	default:
 	}
-	t := time.NewTimer(p.maxWait)
-	defer t.Stop()
-	select {
-	case p.sem <- struct{}{}:
-		p.delayed.Inc()
-		p.inUse.Add(1)
-		runtime.Gosched()
-		return p.release, true
-	case <-t.C:
+	if p.maxWait <= 0 {
+		p.mu.Unlock()
 		p.shed.Inc()
 		return nil, false
 	}
+	w := &permitWaiter{ch: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+
+	t := time.NewTimer(p.maxWait)
+	defer t.Stop()
+	select {
+	case <-w.ch:
+	case <-t.C:
+		p.mu.Lock()
+		if !w.granted {
+			for i, q := range p.waiters {
+				if q == w {
+					p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+					break
+				}
+			}
+			p.mu.Unlock()
+			p.shed.Inc()
+			return nil, false
+		}
+		// A grant raced the deadline: the permit is already ours.
+		p.mu.Unlock()
+	}
+	p.delayed.Inc()
+	p.inUse.Add(1)
+	runtime.Gosched()
+	return p.release, true
 }
 
 func (p *Pool) release() {
-	<-p.sem
 	p.inUse.Add(-1)
+	p.mu.Lock()
+	// Hand the permit straight to the oldest waiter — unless a resize
+	// shrank the pool below what is out, in which case the permit
+	// retires instead.
+	if len(p.waiters) > 0 && p.held <= p.capacity {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		w.granted = true
+		close(w.ch)
+	} else {
+		p.held--
+	}
+	p.mu.Unlock()
+}
+
+// Resize sets the pool capacity (clamped to >= 1) and immediately
+// grants queued waiters any new headroom. Permits already out are never
+// revoked: a resize below the in-use count just stops back-filling
+// until enough holders release.
+func (p *Pool) Resize(capacity int) {
+	if p == nil {
+		return
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	p.mu.Lock()
+	p.capacity = capacity
+	for p.held < p.capacity && len(p.waiters) > 0 {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.held++
+		w.granted = true
+		close(w.ch)
+	}
+	p.mu.Unlock()
+	p.capGauge.Set(int64(capacity))
+}
+
+// Capacity returns the current pool size (0 for a nil pool).
+func (p *Pool) Capacity() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity
 }
 
 // Admitted returns the admitted-without-wait count.

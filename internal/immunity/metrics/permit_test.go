@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPoolZeroWaitShedsImmediately(t *testing.T) {
+	reg := NewRegistry()
+	p := NewPool(reg, "adm", 1, 0)
+	release, ok := p.Acquire()
+	if !ok {
+		t.Fatal("first acquire should admit")
+	}
+	start := time.Now()
+	if _, ok := p.Acquire(); ok {
+		t.Fatal("over-capacity acquire with zero wait must shed")
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("zero-wait shed took %v, want immediate", d)
+	}
+	if p.Shed() != 1 || p.Delayed() != 0 {
+		t.Fatalf("shed=%d delayed=%d, want 1/0", p.Shed(), p.Delayed())
+	}
+	release()
+}
+
+func TestPoolResizeGrantsWaiters(t *testing.T) {
+	reg := NewRegistry()
+	p := NewPool(reg, "adm", 1, 5*time.Second)
+	release, ok := p.Acquire()
+	if !ok {
+		t.Fatal("first acquire should admit")
+	}
+	got := make(chan func(), 1)
+	go func() {
+		r, ok := p.Acquire()
+		if !ok {
+			t.Error("queued acquire should be granted by Resize")
+			got <- nil
+			return
+		}
+		got <- r
+	}()
+	// Wait for the waiter to queue, then grow the pool: the headroom
+	// must reach the queued caller without any release.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p.mu.Lock()
+		queued := len(p.waiters)
+		p.mu.Unlock()
+		if queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Resize(2)
+	select {
+	case r := <-got:
+		if r != nil {
+			r()
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Resize(2) did not grant the queued waiter")
+	}
+	if p.Capacity() != 2 {
+		t.Fatalf("capacity = %d, want 2", p.Capacity())
+	}
+	if p.Delayed() != 1 {
+		t.Fatalf("delayed = %d, want 1 (the resize-granted waiter)", p.Delayed())
+	}
+	release()
+}
+
+func TestPoolResizeDownNeverRevokes(t *testing.T) {
+	reg := NewRegistry()
+	p := NewPool(reg, "adm", 2, 0)
+	r1, ok1 := p.Acquire()
+	r2, ok2 := p.Acquire()
+	if !ok1 || !ok2 {
+		t.Fatal("both permits should admit at capacity 2")
+	}
+	p.Resize(1)
+	if p.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want 1", p.Capacity())
+	}
+	// Outstanding permits survive the shrink; new demand sheds.
+	if _, ok := p.Acquire(); ok {
+		t.Fatal("acquire above the shrunk capacity must shed")
+	}
+	r1()
+	r2()
+	// After both release, the pool backfills to exactly the new size.
+	r3, ok := p.Acquire()
+	if !ok {
+		t.Fatal("acquire after releases should admit")
+	}
+	if _, ok := p.Acquire(); ok {
+		t.Fatal("second acquire must shed at capacity 1")
+	}
+	r3()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "adm_capacity 1") {
+		t.Fatalf("capacity gauge should follow Resize:\n%s", b.String())
+	}
+}
+
+func TestPoolResizeClampsToOne(t *testing.T) {
+	p := NewPool(NewRegistry(), "adm", 4, 0)
+	p.Resize(-3)
+	if p.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want clamp to 1", p.Capacity())
+	}
+	var nilPool *Pool
+	nilPool.Resize(5) // no-op, no panic
+	if nilPool.Capacity() != 0 {
+		t.Fatal("nil pool capacity should be 0")
+	}
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileAllInFirstBucket(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	for _, q := range []float64{0.001, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0.01 {
+			t.Fatalf("Quantile(%v) = %v, want first bound 0.01", q, got)
+		}
+	}
+}
+
+func TestQuantileBeyondLastFiniteBucket(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	// Every observation overflows the finite ladder into +Inf; the
+	// estimate clamps to the largest finite bound rather than inventing
+	// an infinite latency.
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got := h.Quantile(q); got != 1 {
+			t.Fatalf("Quantile(%v) = %v, want largest finite bound 1", q, got)
+		}
+	}
+	// A histogram with no finite buckets at all has only +Inf to offer.
+	inf := newHistogram(nil)
+	inf.Observe(3)
+	if got := inf.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Fatalf("bucketless Quantile = %v, want +Inf", got)
+	}
+}
+
+// TestQuantileMatchesExportedBuckets cross-checks Quantile against the
+// rendered _bucket cumulative counts: an independent reimplementation
+// over the text exposition must agree with the in-memory answer.
+func TestQuantileMatchesExportedBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("xcheck_seconds", "Cross-check.", DurationBuckets())
+	for i := 0; i < 500; i++ {
+		h.Observe(float64(i%97) * 0.001) // 0..96ms spread over several buckets
+	}
+	h.Observe(1e6) // one +Inf-bucket overflow
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^xcheck_seconds_bucket\{le="([^"]+)"\} (\d+)$`)
+	var bounds []float64
+	var cums []uint64
+	for _, m := range re.FindAllStringSubmatch(b.String(), -1) {
+		bound, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable le %q", m[1])
+		}
+		cum, err := strconv.ParseUint(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, bound)
+		cums = append(cums, cum)
+	}
+	if len(bounds) != len(DurationBuckets())+1 {
+		t.Fatalf("rendered %d buckets, want %d", len(bounds), len(DurationBuckets())+1)
+	}
+	total := cums[len(cums)-1]
+	if total != h.Count() {
+		t.Fatalf("+Inf cumulative %d != Count %d", total, h.Count())
+	}
+	quantileFromText := func(q float64) float64 {
+		rank := uint64(math.Ceil(q * float64(total)))
+		if rank < 1 {
+			rank = 1
+		}
+		for i, cum := range cums {
+			if cum >= rank {
+				if !math.IsInf(bounds[i], 1) {
+					return bounds[i]
+				}
+				return bounds[len(bounds)-2] // largest finite bound
+			}
+		}
+		return math.Inf(1)
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		want := quantileFromText(q)
+		if got := h.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %v, exported buckets say %v", q, got, want)
+		}
+	}
+}

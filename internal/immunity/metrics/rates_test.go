@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRatesCounterWindows(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reports_total", "Reports.")
+	r := NewRates(reg, RatesConfig{Interval: time.Second, Windows: []time.Duration{2 * time.Second, 10 * time.Second}})
+	r.TrackCounter("reports_total")
+
+	r.Tick() // baseline sample
+	c.Add(10)
+	r.Tick() // 10 in 1 tick
+
+	if rate, ok := r.Rate("reports_total", "", 2*time.Second); !ok || rate != 10 {
+		t.Fatalf("rate = %v ok=%v, want 10 true (one 1s step)", rate, ok)
+	}
+	c.Add(2)
+	r.Tick() // 12 over 2 ticks
+	if rate, ok := r.Rate("reports_total", "", 2*time.Second); !ok || rate != 6 {
+		t.Fatalf("rate = %v, want (10+2)/2s = 6", rate)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE reports_per_second gauge",
+		`reports_per_second{window="2s"} 6`,
+		`reports_per_second{window="10s"} 6`, // clamped to available history
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// Decay: with the source quiet, enough ticks push the activity out
+	// of every window and the gauges return to zero.
+	for i := 0; i < 11; i++ {
+		r.Tick()
+	}
+	if rate, ok := r.Rate("reports_total", "", 10*time.Second); !ok || rate != 0 {
+		t.Fatalf("post-quiet rate = %v, want 0", rate)
+	}
+	b.Reset()
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `reports_per_second{window="10s"} 0`) {
+		t.Fatalf("quiet gauge should decay to 0:\n%s", b.String())
+	}
+}
+
+func TestRatesLabeledCounterAndLateSeries(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("peer_forwards_total", "Forwards per peer.", "peer")
+	r := NewRates(reg, RatesConfig{Interval: time.Second, Windows: []time.Duration{5 * time.Second}})
+	// Tracking precedes registration of any series — and even of use.
+	r.TrackCounter("peer_forwards_total")
+	r.Tick()
+
+	v.With("hub1").Add(4)
+	r.Tick() // hub1's baseline sample
+	v.With("hub1").Add(2)
+	v.With("hub2").Add(3) // a series appearing after tracking started
+	r.Tick()
+	v.With("hub2").Add(3)
+	r.Tick()
+
+	if rate, ok := r.Rate("peer_forwards_total", "hub1", 5*time.Second); !ok || rate <= 0 {
+		t.Fatalf("hub1 rate = %v ok=%v, want > 0", rate, ok)
+	}
+	if rate, ok := r.Rate("peer_forwards_total", "hub2", 5*time.Second); !ok || rate != 3 {
+		t.Fatalf("hub2 rate = %v ok=%v, want 3 (one step past its baseline)", rate, ok)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`peer_forwards_per_second{peer="hub1",window="5s"}`,
+		`peer_forwards_per_second{peer="hub2",window="5s"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d series, want 2: %v", len(snap), snap)
+	}
+	if _, ok := snap[`peer_forwards_per_second{peer="hub2"}`]["5s"]; !ok {
+		t.Fatalf("snapshot missing hub2 window entry: %v", snap)
+	}
+}
+
+func TestRatesWindowQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	r := NewRates(reg, RatesConfig{Interval: time.Second, Windows: []time.Duration{2 * time.Second}})
+	r.TrackHistogram("lat_seconds")
+
+	if _, ok := r.WindowQuantile("lat_seconds", "", 0.99, 2*time.Second); ok {
+		t.Fatal("quantile before any tick should report no data")
+	}
+	r.Tick()
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // lands in the (0.1, 1] bucket
+	}
+	r.Tick()
+	if q, ok := r.WindowQuantile("lat_seconds", "", 0.99, 2*time.Second); !ok || q != 1 {
+		t.Fatalf("window p99 = %v ok=%v, want 1", q, ok)
+	}
+
+	// The cumulative histogram remembers the burst forever; the window
+	// forgets it once enough quiet ticks pass — the property that lets
+	// a latency SLO recover after a storm.
+	r.Tick()
+	r.Tick()
+	r.Tick()
+	if _, ok := r.WindowQuantile("lat_seconds", "", 0.99, 2*time.Second); ok {
+		t.Fatal("drained window should report no data")
+	}
+	if q := h.Quantile(0.99); q != 1 {
+		t.Fatalf("cumulative p99 = %v, still 1 by design", q)
+	}
+}
+
+func TestRatesNilSafety(t *testing.T) {
+	var r *Rates
+	r.TrackCounter("x")
+	r.TrackHistogram("y")
+	r.OnTick(func() {})
+	r.Tick()
+	r.Start()
+	r.Stop()
+	if _, ok := r.Rate("x", "", time.Second); ok {
+		t.Fatal("nil rates should report no data")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil rates snapshot should be nil")
+	}
+	if NewRates(nil, RatesConfig{}) != nil {
+		t.Fatal("nil registry should disable the sampler")
+	}
+}
+
+func TestRatesStartStop(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ticks_total", "")
+	r := NewRates(reg, RatesConfig{Interval: 5 * time.Millisecond, Windows: []time.Duration{50 * time.Millisecond}})
+	r.TrackCounter("ticks_total")
+	fired := make(chan struct{}, 1)
+	r.OnTick(func() {
+		select {
+		case fired <- struct{}{}:
+		default:
+		}
+	})
+	r.Start()
+	r.Start() // idempotent
+	c.Add(100)
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ticker never fired")
+	}
+	r.Stop()
+	r.Stop() // idempotent
+}

@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOState is an objective's position in the ok/warn/breach machine.
+type SLOState int
+
+const (
+	// SLOOK: the objective holds.
+	SLOOK SLOState = iota
+	// SLOWarn: violating, but not for long enough to page.
+	SLOWarn
+	// SLOBreach: violated for BreachAfter consecutive ticks.
+	SLOBreach
+)
+
+func (s SLOState) String() string {
+	switch s {
+	case SLOWarn:
+		return "warn"
+	case SLOBreach:
+		return "breach"
+	default:
+		return "ok"
+	}
+}
+
+// SLO declares one objective over the Rates sampler: either a windowed
+// histogram quantile (p99 report latency < target seconds) or a
+// windowed counter rate (shed rate == 0). The objective holds while the
+// observed value is <= Target; a window with no data holds trivially —
+// an idle system breaches nothing.
+type SLO struct {
+	// Name identifies the objective (the slo label of its state gauge
+	// and its entry on /slo).
+	Name string
+
+	// QuantileOf names a histogram family; the observed value is its
+	// Quantile (default 0.99) over the trailing Window. Takes precedence
+	// over RateOf.
+	QuantileOf string
+	Quantile   float64
+
+	// RateOf names a counter family; the observed value is its
+	// per-second rate over the trailing Window.
+	RateOf string
+
+	// Label selects one series of a labeled source family ("" for the
+	// unlabeled instrument).
+	Label string
+
+	// Window is the trailing evaluation window (default: the sampler's
+	// shortest window).
+	Window time.Duration
+
+	// Target is the inclusive ceiling the observed value must stay at
+	// or under (seconds for quantile objectives, per-second for rates).
+	Target float64
+
+	// BreachAfter is how many consecutive violating ticks escalate to
+	// breach (default 2; 1 skips warn entirely). ClearAfter is how many
+	// consecutive holding ticks return any violation state to ok
+	// (default 3).
+	BreachAfter int
+	ClearAfter  int
+}
+
+// SLOTransition records one state change.
+type SLOTransition struct {
+	From string    `json:"from"`
+	To   string    `json:"to"`
+	At   time.Time `json:"at"`
+}
+
+// SLOStatus is one objective's evaluation snapshot (the /slo payload).
+type SLOStatus struct {
+	Name     string  `json:"name"`
+	State    string  `json:"state"`
+	Observed float64 `json:"observed"`
+	Target   float64 `json:"target"`
+	Window   string  `json:"window"`
+	// HasData reports whether the window held any observation at the
+	// last tick; Observed is 0, not meaningful, without it.
+	HasData bool `json:"has_data"`
+	// Breaches counts ok/warn→breach escalations since start.
+	Breaches       uint64         `json:"breaches_total"`
+	LastTransition *SLOTransition `json:"last_transition,omitempty"`
+}
+
+// Evaluator drives declared SLOs off the Rates ticker: every tick it
+// computes each objective's observed value, advances the ok/warn/breach
+// machine, and exports the verdicts as
+//
+//	immunity_slo_state{slo="report-latency"}    0 ok / 1 warn / 2 breach
+//	immunity_slo_breaches_total{slo="..."}      escalations to breach
+//
+// The hysteresis is deliberate: one bad tick is warn (noise-tolerant),
+// BreachAfter consecutive bad ticks breach (pageable), ClearAfter
+// consecutive good ticks recover — so the breach→ok transition after a
+// storm is a real drain signal, not a flap. Controllers registered with
+// OnVerdict (the AIMD admission pool) run after every evaluation tick,
+// outside the evaluator lock.
+type Evaluator struct {
+	rates *Rates
+
+	mu       sync.Mutex
+	slos     []*sloEval
+	verdicts []func()
+}
+
+type sloEval struct {
+	cfg        SLO
+	state      SLOState
+	badStreak  int
+	goodStreak int
+	observed   float64
+	hasData    bool
+	breaches   uint64
+	last       *SLOTransition
+	stateGauge *Gauge
+	breachCtr  *Counter
+}
+
+// NewEvaluator declares the objectives and registers the evaluator on
+// the sampler's tick. Source families are auto-tracked on rates. A nil
+// registry or sampler returns nil (evaluation disabled; nil-safe).
+func NewEvaluator(reg *Registry, rates *Rates, slos []SLO) *Evaluator {
+	if reg == nil || rates == nil {
+		return nil
+	}
+	e := &Evaluator{rates: rates}
+	stateVec := reg.GaugeVec("immunity_slo_state",
+		"SLO state machine position per objective: 0 ok, 1 warn, 2 breach.", "slo")
+	breachVec := reg.CounterVec("immunity_slo_breaches_total",
+		"Escalations to breach per objective.", "slo")
+	for _, cfg := range slos {
+		if cfg.QuantileOf != "" {
+			if cfg.Quantile <= 0 || cfg.Quantile >= 1 {
+				cfg.Quantile = 0.99
+			}
+			rates.TrackHistogram(cfg.QuantileOf)
+		} else if cfg.RateOf != "" {
+			rates.TrackCounter(cfg.RateOf)
+		}
+		if cfg.Window <= 0 {
+			cfg.Window = rates.windows[0]
+		}
+		if cfg.BreachAfter <= 0 {
+			cfg.BreachAfter = 2
+		}
+		if cfg.ClearAfter <= 0 {
+			cfg.ClearAfter = 3
+		}
+		s := &sloEval{cfg: cfg,
+			stateGauge: stateVec.With(cfg.Name),
+			breachCtr:  breachVec.With(cfg.Name)}
+		s.stateGauge.Set(int64(SLOOK))
+		e.slos = append(e.slos, s)
+	}
+	rates.OnTick(e.tick)
+	return e
+}
+
+// OnVerdict registers fn to run after every evaluation tick, outside
+// the evaluator lock (fn may call State/Snapshot freely).
+func (e *Evaluator) OnVerdict(fn func()) {
+	if e == nil || fn == nil {
+		return
+	}
+	e.mu.Lock()
+	e.verdicts = append(e.verdicts, fn)
+	e.mu.Unlock()
+}
+
+func (e *Evaluator) tick() {
+	e.mu.Lock()
+	now := time.Now()
+	for _, s := range e.slos {
+		s.observed, s.hasData = e.observe(s.cfg)
+		bad := s.hasData && s.observed > s.cfg.Target
+		prev := s.state
+		if bad {
+			s.badStreak++
+			s.goodStreak = 0
+			if s.badStreak >= s.cfg.BreachAfter {
+				s.state = SLOBreach
+			} else if s.state == SLOOK {
+				s.state = SLOWarn
+			}
+		} else {
+			s.goodStreak++
+			s.badStreak = 0
+			if s.state != SLOOK && s.goodStreak >= s.cfg.ClearAfter {
+				s.state = SLOOK
+			}
+		}
+		if s.state != prev {
+			s.last = &SLOTransition{From: prev.String(), To: s.state.String(), At: now}
+			if s.state == SLOBreach {
+				s.breaches++
+				s.breachCtr.Inc()
+			}
+		}
+		s.stateGauge.Set(int64(s.state))
+	}
+	fns := append([]func(){}, e.verdicts...)
+	e.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+func (e *Evaluator) observe(cfg SLO) (float64, bool) {
+	if cfg.QuantileOf != "" {
+		return e.rates.WindowQuantile(cfg.QuantileOf, cfg.Label, cfg.Quantile, cfg.Window)
+	}
+	if cfg.RateOf != "" {
+		return e.rates.Rate(cfg.RateOf, cfg.Label, cfg.Window)
+	}
+	return 0, false
+}
+
+// State returns the named objective's current state.
+func (e *Evaluator) State(name string) (SLOState, bool) {
+	if e == nil {
+		return SLOOK, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.slos {
+		if s.cfg.Name == name {
+			return s.state, true
+		}
+	}
+	return SLOOK, false
+}
+
+// Snapshot returns every objective's status in declaration order.
+func (e *Evaluator) Snapshot() []SLOStatus {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SLOStatus, 0, len(e.slos))
+	for _, s := range e.slos {
+		st := SLOStatus{
+			Name:     s.cfg.Name,
+			State:    s.state.String(),
+			Observed: s.observed,
+			Target:   s.cfg.Target,
+			Window:   windowLabel(s.cfg.Window),
+			HasData:  s.hasData,
+			Breaches: s.breaches,
+		}
+		if s.last != nil {
+			t := *s.last
+			st.LastTransition = &t
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloFixture wires a histogram-backed latency SLO onto a manually ticked
+// sampler: drive h.Observe between Tick calls to steer the verdict.
+func sloFixture(t *testing.T, slo SLO) (*Registry, *Histogram, *Rates, *Evaluator) {
+	t.Helper()
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{0.001, 0.01, 0.1, 1})
+	r := NewRates(reg, RatesConfig{Interval: time.Second, Windows: []time.Duration{2 * time.Second}})
+	e := NewEvaluator(reg, r, []SLO{slo})
+	if e == nil {
+		t.Fatal("evaluator should construct")
+	}
+	return reg, h, r, e
+}
+
+func TestSLOStateMachine(t *testing.T) {
+	reg, h, r, e := sloFixture(t, SLO{
+		Name:       "report-latency",
+		QuantileOf: "lat_seconds",
+		Target:     0.01, // breached by observations above 10ms
+		// defaults: BreachAfter 2, ClearAfter 3, Window = shortest (2s)
+	})
+
+	mustState := func(want SLOState) {
+		t.Helper()
+		got, ok := e.State("report-latency")
+		if !ok || got != want {
+			t.Fatalf("state = %v ok=%v, want %v", got, ok, want)
+		}
+	}
+
+	r.Tick() // empty window holds trivially
+	mustState(SLOOK)
+
+	h.Observe(0.5) // p99 → bucket bound 1 > 0.01
+	r.Tick()
+	mustState(SLOWarn) // one bad tick: warn, not breach
+
+	h.Observe(0.5)
+	r.Tick()
+	mustState(SLOBreach) // second consecutive bad tick escalates
+
+	// Quiet ticks drain the window; ClearAfter(3) good ticks recover.
+	r.Tick() // breach-era observations still inside the 2s window: bad
+	r.Tick()
+	r.Tick()
+	mustState(SLOBreach) // hysteresis: two good ticks are not enough
+	r.Tick()
+	mustState(SLOOK)
+
+	snap := e.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d objectives, want 1", len(snap))
+	}
+	s := snap[0]
+	if s.Name != "report-latency" || s.State != "ok" || s.Breaches != 1 {
+		t.Fatalf("snapshot = %+v, want ok with 1 breach", s)
+	}
+	if s.LastTransition == nil || s.LastTransition.From != "breach" || s.LastTransition.To != "ok" {
+		t.Fatalf("last transition = %+v, want breach→ok", s.LastTransition)
+	}
+	if s.Window != "2s" || s.Target != 0.01 {
+		t.Fatalf("snapshot carries window %q target %v, want 2s / 0.01", s.Window, s.Target)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`immunity_slo_state{slo="report-latency"} 0`,
+		`immunity_slo_breaches_total{slo="report-latency"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSLOWarnRecoversWithoutBreach(t *testing.T) {
+	// A 1s window over a 1s tick forgets each tick's observations on the
+	// next one — a single bad tick can then clear without breaching.
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{0.001, 0.01, 0.1, 1})
+	r := NewRates(reg, RatesConfig{Interval: time.Second, Windows: []time.Duration{time.Second}})
+	e := NewEvaluator(reg, r, []SLO{{
+		Name:       "lat",
+		QuantileOf: "lat_seconds",
+		Target:     0.01,
+		ClearAfter: 1,
+	}})
+	r.Tick() // baseline
+	h.Observe(0.5)
+	r.Tick() // warn
+	if st, _ := e.State("lat"); st != SLOWarn {
+		t.Fatalf("state = %v, want warn after one bad tick", st)
+	}
+	r.Tick() // good tick with ClearAfter 1 → straight back to ok
+	if st, _ := e.State("lat"); st != SLOOK {
+		t.Fatalf("state = %v, want ok (warn cleared without breaching)", st)
+	}
+	if e.Snapshot()[0].Breaches != 0 {
+		t.Fatal("a cleared warn must not count as a breach")
+	}
+}
+
+func TestSLORateObjective(t *testing.T) {
+	reg := NewRegistry()
+	shed := reg.Counter("shed_total", "Sheds.")
+	r := NewRates(reg, RatesConfig{Interval: time.Second, Windows: []time.Duration{2 * time.Second}})
+	e := NewEvaluator(reg, r, []SLO{{
+		Name:        "shed-zero",
+		RateOf:      "shed_total",
+		Target:      0, // any shedding at all violates
+		BreachAfter: 1,
+	}})
+	r.Tick()
+	r.Tick()
+	if st, _ := e.State("shed-zero"); st != SLOOK {
+		t.Fatalf("state = %v, want ok while nothing sheds", st)
+	}
+	shed.Inc()
+	r.Tick()
+	if st, _ := e.State("shed-zero"); st != SLOBreach {
+		t.Fatalf("state = %v, want breach with BreachAfter 1", st)
+	}
+}
+
+func TestEvaluatorNilSafety(t *testing.T) {
+	var e *Evaluator
+	e.OnVerdict(func() {})
+	if _, ok := e.State("x"); ok {
+		t.Fatal("nil evaluator should know no SLOs")
+	}
+	if e.Snapshot() != nil {
+		t.Fatal("nil evaluator snapshot should be nil")
+	}
+	if NewEvaluator(nil, nil, nil) != nil {
+		t.Fatal("nil registry/rates should disable evaluation")
+	}
+}
+
+// adaptiveFixture binds an AdaptivePool to a latency SLO over a manually
+// ticked sampler. maxWait 0 makes over-capacity acquires shed instantly,
+// which is what the decrease-on-shed test needs.
+func adaptiveFixture(t *testing.T, cfg AIMDConfig) (*Histogram, *Rates, *AdaptivePool) {
+	t.Helper()
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{0.001, 0.01, 0.1, 1})
+	r := NewRates(reg, RatesConfig{Interval: time.Second, Windows: []time.Duration{2 * time.Second}})
+	e := NewEvaluator(reg, r, []SLO{{
+		Name:       "lat",
+		QuantileOf: "lat_seconds",
+		Target:     0.01,
+	}})
+	cfg.SLO = "lat"
+	a := NewAdaptivePool(reg, "adm", 0, cfg)
+	a.Bind(e)
+	return h, r, a
+}
+
+func TestAdaptivePoolIncreasesOnDemand(t *testing.T) {
+	h, r, a := adaptiveFixture(t, AIMDConfig{Initial: 2, Max: 4})
+	r.Tick()
+	if a.Capacity() != 2 {
+		t.Fatalf("capacity = %d, want initial 2", a.Capacity())
+	}
+
+	// Idle ok ticks must not grow the pool.
+	r.Tick()
+	r.Tick()
+	if a.Capacity() != 2 || a.Increases() != 0 {
+		t.Fatalf("idle pool crept: capacity=%d increases=%d", a.Capacity(), a.Increases())
+	}
+
+	// Demand + fast latency → additive growth, one step per tick.
+	admit := func() {
+		release, ok := a.Acquire()
+		if !ok {
+			t.Fatal("acquire under capacity should admit")
+		}
+		h.Observe(0.0005) // under target
+		release()
+	}
+	admit()
+	r.Tick()
+	if a.Capacity() != 3 || a.Increases() != 1 {
+		t.Fatalf("capacity=%d increases=%d, want 3/1", a.Capacity(), a.Increases())
+	}
+	admit()
+	r.Tick()
+	if a.Capacity() != 4 {
+		t.Fatalf("capacity = %d, want 4", a.Capacity())
+	}
+	admit()
+	r.Tick() // already at Max: hold
+	if a.Capacity() != 4 || a.Increases() != 2 {
+		t.Fatalf("capacity=%d increases=%d, want clamp at Max 4", a.Capacity(), a.Increases())
+	}
+}
+
+func TestAdaptivePoolBacksOffOnBreach(t *testing.T) {
+	h, r, a := adaptiveFixture(t, AIMDConfig{Initial: 8})
+	slow := func() {
+		release, ok := a.Acquire()
+		if !ok {
+			t.Fatal("acquire under capacity should admit")
+		}
+		h.Observe(0.5) // way over target
+		release()
+	}
+	r.Tick()
+	slow()
+	r.Tick() // warn: hold
+	if a.Capacity() != 8 {
+		t.Fatalf("warn must hold capacity, got %d", a.Capacity())
+	}
+	slow()
+	r.Tick() // breach: 8 → 4
+	if a.Capacity() != 4 || a.Decreases() != 1 {
+		t.Fatalf("capacity=%d decreases=%d, want 4/1", a.Capacity(), a.Decreases())
+	}
+	slow()
+	r.Tick() // still breached: 4 → 2
+	slow()
+	r.Tick() // 2 → 1
+	slow()
+	r.Tick() // clamped at Min: capacity holds, no phantom decrease
+	if a.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want convergence to Min 1", a.Capacity())
+	}
+	if a.Decreases() != 3 {
+		t.Fatalf("decreases = %d, want 3 (no count when already at Min)", a.Decreases())
+	}
+}
+
+func TestAdaptivePoolBacksOffOnShed(t *testing.T) {
+	_, r, a := adaptiveFixture(t, AIMDConfig{Initial: 2})
+	r.Tick()
+	// Saturate and shed without any latency signal: the shed alone must
+	// trigger the multiplicative retreat.
+	r1, _ := a.Acquire()
+	r2, _ := a.Acquire()
+	if _, ok := a.Acquire(); ok {
+		t.Fatal("third acquire at capacity 2 with zero wait must shed")
+	}
+	r.Tick()
+	if a.Capacity() != 1 || a.Decreases() != 1 {
+		t.Fatalf("capacity=%d decreases=%d, want 1/1 after shed", a.Capacity(), a.Decreases())
+	}
+	r1()
+	r2()
+}
+
+func TestAdaptivePoolDefaults(t *testing.T) {
+	a := NewAdaptivePool(NewRegistry(), "adm", 0, AIMDConfig{})
+	cfg := a.Config()
+	if cfg.Initial != 8 || cfg.Min != 1 || cfg.Max != 64 || cfg.Step != 1 || cfg.Backoff != 0.5 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if a.Capacity() != 8 {
+		t.Fatalf("capacity = %d, want default initial 8", a.Capacity())
+	}
+	var nilA *AdaptivePool
+	nilA.Bind(nil)
+	if nilA.Increases() != 0 || nilA.Decreases() != 0 {
+		t.Fatal("nil adaptive pool counters should read 0")
+	}
+	if nilA.Config() != (AIMDConfig{}) {
+		t.Fatal("nil adaptive pool config should be zero")
+	}
+}

@@ -40,6 +40,29 @@ type StormConfig struct {
 	// pool from the -admit / -admit-wait flags.
 	AdmitCapacity int
 	AdmitWait     time.Duration
+	// AdmitAuto replaces the fixed AdmitCapacity with an AIMD adaptive
+	// admission pool per in-process hub: a Rates sampler and SLO
+	// evaluator run beside each hub, and the pool's capacity follows
+	// their verdicts (metrics.AdaptivePool). The run then reports the
+	// controller's trace in the result. In-process only — in client
+	// mode start the daemons with -admit auto instead. AdmitWait 0
+	// defaults to 10s here (an adaptive pool that sheds instantly
+	// would only ever back off).
+	AdmitAuto bool
+	// SLOTarget and SLOInterval shape the adaptive run's latency
+	// objective: p99 of immunity_hub_report_seconds (admission wait
+	// included) must stay at or under SLOTarget, evaluated every
+	// SLOInterval (defaults 25ms / 250ms).
+	SLOTarget   time.Duration
+	SLOInterval time.Duration
+	// Ramp, when non-nil, replaces the one-burst send pattern with two
+	// phases: a paced warmup (each device trickles single-signature
+	// reports, giving an adaptive pool ok-ticks to grow on) and then a
+	// continuous full-batch flood (driving the latency SLO into breach
+	// so the pool must back off). Afterwards each device sends one
+	// final full batch, so every signature is reported regardless of
+	// phase lengths.
+	Ramp *StormRamp
 	// Timeout bounds every wait.
 	Timeout time.Duration
 	// Dial, when non-empty, storms external daemons instead: a
@@ -49,7 +72,21 @@ type StormConfig struct {
 	// /metrics endpoints, not in the returned result.
 	Dial string
 	// Metrics, when non-nil, is shared with the in-process hubs.
+	// Incompatible with AdmitAuto over multiple hubs: each adaptive hub
+	// needs its own registry (the capacity gauge and SLO state series
+	// are per-controller).
 	Metrics *metrics.Registry
+}
+
+// StormRamp shapes a two-phase (warmup, then flood) storm.
+type StormRamp struct {
+	// Warmup is how long each device paces single-signature reports at
+	// WarmupRate per second (default 20/s), cycling through the set.
+	Warmup     time.Duration
+	WarmupRate int
+	// Flood is how long each device then sends full-set report batches
+	// back to back.
+	Flood time.Duration
 }
 
 // DefaultStormConfig is the CI storm shape: 8 devices hammering 32
@@ -81,6 +118,19 @@ type StormResult struct {
 	Admitted, Delayed, Shed uint64
 	// Transport describes how the devices reached the hubs.
 	Transport string
+
+	// Adaptive-admission outcome (AdmitAuto in-process runs only).
+	// InitialCapacity is every pool's starting capacity,
+	// FinalCapacity the minimum capacity across hubs after the run,
+	// AIMDIncreases/AIMDDecreases the summed controller moves, and SLO
+	// the first hub's objective statuses at the end (after waiting for
+	// the latency SLO to recover, so a flood's breach→ok transition is
+	// captured in SLO[i].LastTransition).
+	InitialCapacity int
+	FinalCapacity   int
+	AIMDIncreases   uint64
+	AIMDDecreases   uint64
+	SLO             []metrics.SLOStatus
 }
 
 func (cfg StormConfig) validate() error {
@@ -99,6 +149,22 @@ func (cfg StormConfig) validate() error {
 		}
 		if cfg.Hubs < 0 {
 			return fmt.Errorf("storm: negative hub count %d", cfg.Hubs)
+		}
+		if cfg.AdmitAuto && cfg.AdmitCapacity > 0 {
+			return fmt.Errorf("storm: AdmitAuto and a fixed AdmitCapacity are mutually exclusive")
+		}
+		if cfg.AdmitAuto && cfg.Metrics != nil && cfg.Hubs > 1 {
+			return fmt.Errorf("storm: AdmitAuto over %d hubs needs per-hub registries, not a shared Metrics", cfg.Hubs)
+		}
+	} else if cfg.AdmitAuto {
+		return fmt.Errorf("storm: AdmitAuto is in-process only (start external daemons with -admit auto)")
+	}
+	if r := cfg.Ramp; r != nil {
+		if r.Warmup < 0 || r.Flood < 0 {
+			return fmt.Errorf("storm: negative ramp phase (warmup %v, flood %v)", r.Warmup, r.Flood)
+		}
+		if r.Warmup == 0 && r.Flood == 0 {
+			return fmt.Errorf("storm: ramp with no warmup and no flood")
 		}
 	}
 	return nil
@@ -119,6 +185,7 @@ func RunReportStorm(cfg StormConfig) (StormResult, error) {
 	var (
 		deviceTransports []immunity.Transport
 		hubs             []*immunity.Exchange
+		monitors         []*stormMonitor
 		armedTarget      func() (bool, int, error)
 	)
 	switch {
@@ -172,21 +239,38 @@ func RunReportStorm(cfg StormConfig) (StormResult, error) {
 		if hubCount > 1 {
 			res.Transport = fmt.Sprintf("cluster(%d)+loopback", hubCount)
 		}
-		var hubOpts []immunity.ExchangeOption
-		if cfg.Metrics != nil {
-			hubOpts = append(hubOpts, immunity.WithMetricsRegistry(cfg.Metrics))
-		}
-		if cfg.AdmitCapacity > 0 {
-			hubOpts = append(hubOpts, immunity.WithAdmission(cfg.AdmitCapacity, cfg.AdmitWait))
-		}
 		hubs = make([]*immunity.Exchange, hubCount)
 		for i := range hubs {
+			var hubOpts []immunity.ExchangeOption
+			if cfg.AdmitAuto {
+				// Each adaptive hub gets its own controller: registry,
+				// sampler, evaluator, and AIMD pool (the capacity gauge and
+				// SLO state are per-controller series). The monitor picks
+				// cfg.Metrics when shareable (single hub), so hubOpts must
+				// not add WithMetricsRegistry on top.
+				mon := newStormMonitor(cfg)
+				monitors = append(monitors, mon)
+				hubOpts = append(hubOpts,
+					immunity.WithMetricsRegistry(mon.reg),
+					immunity.WithAdmissionPool(mon.pool.Pool))
+				defer mon.rates.Stop()
+			} else {
+				if cfg.Metrics != nil {
+					hubOpts = append(hubOpts, immunity.WithMetricsRegistry(cfg.Metrics))
+				}
+				if cfg.AdmitCapacity > 0 {
+					hubOpts = append(hubOpts, immunity.WithAdmission(cfg.AdmitCapacity, cfg.AdmitWait))
+				}
+			}
 			hub, err := immunity.NewExchange(cfg.ConfirmThreshold, hubOpts...)
 			if err != nil {
 				return res, fmt.Errorf("storm: %w", err)
 			}
 			defer hub.Close()
 			hubs[i] = hub
+		}
+		for _, mon := range monitors {
+			mon.rates.Start()
 		}
 		if hubCount > 1 {
 			for i := range hubs {
@@ -236,20 +320,13 @@ func RunReportStorm(cfg StormConfig) (StormResult, error) {
 
 	start := time.Now()
 	errCh := make(chan error, cfg.Devices)
+	fullSet := make([]wire.Signature, cfg.Sigs)
+	for s := range fullSet {
+		fullSet[s] = wire.FromCore(propagationSig(s))
+	}
 	for _, dev := range devices {
 		dev := dev
-		go func() {
-			for s := 0; s < cfg.Sigs; s++ {
-				sig := wire.FromCore(propagationSig(s))
-				m := wire.Message{V: dev.ver, Type: wire.TypeReport,
-					Report: &wire.Report{Sigs: []wire.Signature{sig}}}
-				if err := dev.sess.Send(m); err != nil {
-					errCh <- fmt.Errorf("storm: %s report %d: %w", dev.id, s, err)
-					return
-				}
-			}
-			errCh <- nil
-		}()
+		go func() { errCh <- dev.drive(cfg, fullSet) }()
 	}
 	for range devices {
 		if err := <-errCh; err != nil {
@@ -283,7 +360,128 @@ func RunReportStorm(cfg StormConfig) (StormResult, error) {
 		res.Delayed += st.AdmissionDelayed
 		res.Shed += st.AdmissionShed
 	}
+	if len(monitors) > 0 {
+		// Let the latency SLO recover before snapshotting: the flood's
+		// observations drain out of the evaluation window and the state
+		// machine walks breach→ok, which is the convergence the adaptive
+		// storm exists to prove.
+		for {
+			recovered := true
+			for _, mon := range monitors {
+				if st, ok := mon.eval.State(stormLatencySLO); !ok || st != metrics.SLOOK {
+					recovered = false
+				}
+			}
+			if recovered {
+				break
+			}
+			if time.Now().After(deadline) {
+				return res, fmt.Errorf("storm: latency SLO did not recover to ok before the deadline")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		res.InitialCapacity = monitors[0].pool.Config().Initial
+		res.FinalCapacity = monitors[0].pool.Capacity()
+		for _, mon := range monitors {
+			if c := mon.pool.Capacity(); c < res.FinalCapacity {
+				res.FinalCapacity = c
+			}
+			res.AIMDIncreases += mon.pool.Increases()
+			res.AIMDDecreases += mon.pool.Decreases()
+		}
+		res.SLO = monitors[0].eval.Snapshot()
+	}
 	return res, nil
+}
+
+// stormLatencySLO names the adaptive storm's latency objective.
+const stormLatencySLO = "report-latency"
+
+// stormMonitor is one in-process hub's adaptive-admission control
+// plane: its registry, rate sampler, SLO evaluator, and AIMD pool.
+type stormMonitor struct {
+	reg   *metrics.Registry
+	rates *metrics.Rates
+	eval  *metrics.Evaluator
+	pool  *metrics.AdaptivePool
+}
+
+// newStormMonitor builds the control plane for one adaptive hub. The
+// windows are compressed (2s shortest) so a seconds-long storm test
+// sees the full breach→recover cycle.
+func newStormMonitor(cfg StormConfig) *stormMonitor {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	interval := cfg.SLOInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	target := cfg.SLOTarget
+	if target <= 0 {
+		target = 25 * time.Millisecond
+	}
+	maxWait := cfg.AdmitWait
+	if maxWait <= 0 {
+		maxWait = 10 * time.Second
+	}
+	rates := metrics.NewRates(reg, metrics.RatesConfig{
+		Interval: interval,
+		Windows:  []time.Duration{2 * time.Second, 10 * time.Second, time.Minute},
+	})
+	rates.TrackCounter("immunity_hub_reports_total")
+	rates.TrackCounter("immunity_hub_armed_total")
+	eval := metrics.NewEvaluator(reg, rates, []metrics.SLO{
+		{Name: stormLatencySLO, QuantileOf: "immunity_hub_report_seconds", Target: target.Seconds()},
+		{Name: "shed-zero", RateOf: "immunity_hub_admission_shed_total", Target: 0},
+	})
+	pool := metrics.NewAdaptivePool(reg, "immunity_hub_admission", maxWait,
+		metrics.AIMDConfig{SLO: stormLatencySLO})
+	pool.Bind(eval)
+	return &stormMonitor{reg: reg, rates: rates, eval: eval, pool: pool}
+}
+
+// drive sends one device's share of the storm: either the classic
+// one-message-per-signature burst, or the two-phase ramp (paced warmup,
+// continuous full-batch flood, and a final coverage batch).
+func (d *stormSession) drive(cfg StormConfig, fullSet []wire.Signature) error {
+	send := func(sigs []wire.Signature) error {
+		m := wire.Message{V: d.ver, Type: wire.TypeReport,
+			Report: &wire.Report{Sigs: sigs}}
+		if err := d.sess.Send(m); err != nil {
+			return fmt.Errorf("storm: %s report: %w", d.id, err)
+		}
+		return nil
+	}
+	if cfg.Ramp == nil {
+		for s := range fullSet {
+			if err := send(fullSet[s : s+1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rate := cfg.Ramp.WarmupRate
+	if rate <= 0 {
+		rate = 20
+	}
+	pace := time.Second / time.Duration(rate)
+	for s, end := 0, time.Now().Add(cfg.Ramp.Warmup); time.Now().Before(end); s++ {
+		i := s % len(fullSet)
+		if err := send(fullSet[i : i+1]); err != nil {
+			return err
+		}
+		time.Sleep(pace)
+	}
+	for end := time.Now().Add(cfg.Ramp.Flood); time.Now().Before(end); {
+		if err := send(fullSet); err != nil {
+			return err
+		}
+	}
+	// Coverage batch: every signature reported at least once no matter
+	// how short the phases were.
+	return send(fullSet)
 }
 
 // stormSession is one device's raw wire session: hello/ack done, ready
@@ -340,12 +538,33 @@ func FormatStorm(res StormResult) string {
 	cfg := res.Config
 	out := fmt.Sprintf("report storm: %d devices × %d shared signatures, transport %s\n",
 		cfg.Devices, cfg.Sigs, res.Transport)
+	if r := cfg.Ramp; r != nil {
+		rate := r.WarmupRate
+		if rate <= 0 {
+			rate = 20
+		}
+		out += fmt.Sprintf("  ramp                 warmup %s (%d single-sig reports/s/device), flood %s (full batches)\n",
+			r.Warmup, rate, r.Flood)
+	}
 	out += fmt.Sprintf("  armed cluster-wide   %6d/%d in %s\n", res.Armed, cfg.Sigs, res.Elapsed.Round(time.Millisecond))
-	if cfg.Dial == "" {
+	switch {
+	case cfg.Dial != "":
+		out += "  admission            counters live on the daemons' /metrics endpoints\n"
+	case cfg.AdmitAuto:
+		out += fmt.Sprintf("  admission            admitted=%d delayed=%d shed=%d (adaptive, max wait %s)\n",
+			res.Admitted, res.Delayed, res.Shed, cfg.AdmitWait)
+		out += fmt.Sprintf("  adaptive capacity    %d → %d (aimd increases=%d decreases=%d)\n",
+			res.InitialCapacity, res.FinalCapacity, res.AIMDIncreases, res.AIMDDecreases)
+		for _, s := range res.SLO {
+			line := fmt.Sprintf("  slo %-16s %s", s.Name, s.State)
+			if s.LastTransition != nil {
+				line += fmt.Sprintf(" (last %s→%s)", s.LastTransition.From, s.LastTransition.To)
+			}
+			out += line + "\n"
+		}
+	default:
 		out += fmt.Sprintf("  admission            admitted=%d delayed=%d shed=%d (pool capacity %d, max wait %s)\n",
 			res.Admitted, res.Delayed, res.Shed, cfg.AdmitCapacity, cfg.AdmitWait)
-	} else {
-		out += "  admission            counters live on the daemons' /metrics endpoints\n"
 	}
 	return out
 }

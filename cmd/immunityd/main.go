@@ -47,6 +47,29 @@
 //	immunityd -serve -hub hub1 -listen :7686 -http :7687 -peers hub0=localhost:7676,hub2=localhost:7696
 //	immunityd -serve -hub hub2 -listen :7696 -http :7697 -peers hub0=localhost:7676,hub1=localhost:7686
 //
+// Membership is elastic: -peers (or its alias -join) is a seed, not the
+// final roster — a joining hub may name a single existing member and
+// learns the rest from membership snapshots, and every hub dials
+// members it discovers at the address they advertise with -advertise
+// (defaults to -listen; set it explicitly when -listen is a wildcard).
+// With -failover-after D each hub runs a failure detector: a member
+// whose peer link stays down past D is declared dead, its keys fail
+// over to their deputies (which already hold replicas of the pending
+// confirmation sets), and a returning stale owner's replayed
+// arm-broadcasts are fenced by the membership epoch. -leave makes
+// shutdown graceful: the hub down-marks itself, hands its owned slice
+// off, and drains its outboxes before exiting. The /status document
+// shows the membership ring (members, liveness, epoch) and the peer
+// links; /status?owner=KEY answers which hub owns — and which hub is
+// deputy for — a signature key.
+//
+// -chaos runs the kill/restart acceptance drive in-process: a
+// federation of -hubs hubs storms -sigs signatures from -phones
+// devices while the owner of an in-flight slice is killed
+// mid-confirmation and restarted (-kills cycles), then asserts
+// federation equivalence — every hub converges to the single-hub
+// reference's armed set with zero double-arms.
+//
 // In client mode it runs the fleet immunity workload against such
 // daemons across real sockets; -connect takes one address — or a
 // comma-separated list, across which the workload's phones attach
@@ -68,9 +91,10 @@
 //
 // Usage:
 //
-//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE] [-admit N|auto -admit-wait D] [-slo-target D -slo-interval D] [-hub ID -peers ID=ADDR,...]
+//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE] [-admit N|auto -admit-wait D] [-slo-target D -slo-interval D] [-hub ID -peers ID=ADDR,... [-advertise ADDR] [-failover-after D] [-leave]]
 //	immunityd -connect ADDR[,ADDR...] [-phones N] [-procs N] [-threshold N] [-timeout D]
 //	immunityd -storm [-connect ADDR[,ADDR...]] [-phones N] [-sigs N] [-threshold N] [-hubs N] [-admit N|auto -admit-wait D] [-ramp-warmup D -ramp-flood D -ramp-rate N] [-timeout D]
+//	immunityd -chaos [-phones N] [-sigs N] [-threshold N] [-hubs N] [-kills N] [-failover-after D] [-timeout D]
 //	immunityd [-phones N] [-procs N] [-threshold N] [-timeout D] [-transport loopback|tcp] [-hubs N]
 //	immunityd -propagation [-procs N] [-sigs N] [-tcp]
 package main
@@ -117,7 +141,11 @@ func run(args []string) error {
 	httpAddr := fs.String("http", "127.0.0.1:7677", "with -serve: HTTP listen address for /status (empty disables)")
 	provenance := fs.String("provenance", "", "with -serve: provenance store file (empty keeps fleet state in memory only)")
 	hubID := fs.String("hub", "", "with -serve: this hub's cluster id (required with -peers)")
-	peers := fs.String("peers", "", "with -serve: comma-separated id=addr peer hubs to federate with")
+	peers := fs.String("peers", "", "with -serve: comma-separated id=addr peer hubs to federate with (a seed — the rest of the membership is learned)")
+	join := fs.String("join", "", "with -serve: alias of -peers (a joining hub may name a single existing member)")
+	advertise := fs.String("advertise", "", "with -serve and federation: the address other members dial this hub at (default: the -listen address)")
+	failoverAfter := fs.Duration("failover-after", 0, "with -serve and federation (or -chaos): declare a member dead after its peer link is down this long and fail its keys over to deputies (0 disables)")
+	leave := fs.Bool("leave", false, "with -serve and federation: leave the membership gracefully on shutdown (hand off owned keys, drain outboxes)")
 	wirePin := fs.Int("wire-pin", 0, "with -serve: pin the negotiated wire version at this ceiling (0 = newest; 2 keeps the hub and its peer links on the JSON codec during a staged rollout)")
 	hubs := fs.Int("hubs", 1, "simulation: federate the in-process exchange into this many hubs")
 	connect := fs.String("connect", "", "run the fleet workload in client mode against the exchange daemon(s) at this comma-separated address list")
@@ -126,6 +154,8 @@ func run(args []string) error {
 	sloTarget := fs.Duration("slo-target", 25*time.Millisecond, "latency SLO: p99 report-handling time (admission wait included) must stay at or under this")
 	sloInterval := fs.Duration("slo-interval", time.Second, "SLO evaluation and rate-sampling tick")
 	storm := fs.Bool("storm", false, "flood the exchange with per-signature reports from -phones devices and verify arming still completes")
+	chaos := fs.Bool("chaos", false, "in-process kill/restart drive: storm a federation while killing and restarting an owner hub, then assert federation equivalence")
+	kills := fs.Int("kills", 1, "with -chaos: kill/restart cycles")
 	rampWarmup := fs.Duration("ramp-warmup", 0, "with -storm: paced single-signature warmup phase before the flood")
 	rampFlood := fs.Duration("ramp-flood", 0, "with -storm: continuous full-batch flood phase after the warmup")
 	rampRate := fs.Int("ramp-rate", 20, "with -storm: warmup reports per second per device")
@@ -138,12 +168,25 @@ func run(args []string) error {
 	}
 
 	if *serve {
-		members, err := parsePeers(*peers)
+		if *chaos {
+			return fmt.Errorf("-chaos is an in-process drive, not a serve mode")
+		}
+		seed := *peers
+		if *join != "" {
+			if seed != "" {
+				seed += ","
+			}
+			seed += *join
+		}
+		members, err := parsePeers(seed)
 		if err != nil {
 			return err
 		}
 		if len(members) > 0 && *hubID == "" {
-			return fmt.Errorf("-peers requires -hub (this hub's cluster id)")
+			return fmt.Errorf("-peers/-join requires -hub (this hub's cluster id)")
+		}
+		if len(members) == 0 && (*advertise != "" || *failoverAfter != 0 || *leave) {
+			return fmt.Errorf("-advertise/-failover-after/-leave apply to a federated hub (-peers/-join)")
 		}
 		if *wirePin != 0 && (*wirePin < wire.MinVersion || *wirePin > wire.Version) {
 			return fmt.Errorf("-wire-pin %d outside the supported range v%d..v%d", *wirePin, wire.MinVersion, wire.Version)
@@ -154,18 +197,56 @@ func run(args []string) error {
 			// half-broken federation with no error; refuse up front.
 			return fmt.Errorf("-wire-pin %d is below the peer protocol floor v%d and would break federation (-peers)", *wirePin, wire.PeerVersion)
 		}
+		adv := *advertise
+		if adv == "" {
+			adv = *listen
+		}
 		return runServe(serveConfig{
 			listen: *listen, httpAddr: *httpAddr, threshold: *threshold,
 			provenance: *provenance, hubID: *hubID, peers: members,
+			advertise: adv, failoverAfter: *failoverAfter, leave: *leave,
 			wirePin: *wirePin, admit: admitCap, admitAuto: admitAuto,
 			admitWait: *admitWait, sloTarget: *sloTarget, sloInterval: *sloInterval,
 		})
 	}
-	if *peers != "" || *hubID != "" {
-		return fmt.Errorf("-hub/-peers only apply to -serve (use -hubs N for the simulation)")
+	if *peers != "" || *join != "" || *hubID != "" {
+		return fmt.Errorf("-hub/-peers/-join only apply to -serve (use -hubs N for the simulation)")
+	}
+	if (*advertise != "" || *leave) && !*serve {
+		return fmt.Errorf("-advertise/-leave only apply to -serve")
 	}
 	if *wirePin != 0 {
 		return fmt.Errorf("-wire-pin only applies to -serve (the simulation and client mode always speak the newest version)")
+	}
+
+	if *chaos {
+		if *connect != "" {
+			return fmt.Errorf("-chaos is in-process only (point -storm at external daemons and SIGKILL one instead)")
+		}
+		cfg := workload.DefaultChaosConfig()
+		cfg.Devices = *phones
+		cfg.Sigs = *sigs
+		cfg.ConfirmThreshold = *threshold
+		if *hubs > 1 {
+			cfg.Hubs = *hubs
+		}
+		cfg.Kills = *kills
+		if *failoverAfter > 0 {
+			cfg.FailoverAfter = *failoverAfter
+		}
+		cfg.Timeout = *timeout
+		res, err := workload.RunChaosStorm(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(workload.FormatChaos(res))
+		return nil
+	}
+	if *failoverAfter != 0 {
+		return fmt.Errorf("-failover-after only applies to -serve federation and -chaos")
+	}
+	if *kills != 1 {
+		return fmt.Errorf("-kills only applies to -chaos")
 	}
 
 	if *storm {
@@ -311,6 +392,9 @@ type serveConfig struct {
 	provenance       string
 	hubID            string
 	peers            []cluster.Member
+	advertise        string
+	failoverAfter    time.Duration
+	leave            bool
 	wirePin          int
 	admit            int
 	admitAuto        bool
@@ -321,7 +405,7 @@ type serveConfig struct {
 
 // buildVersion stamps the immunity_build_info gauge; bump it with the
 // roadmap's PR sequence.
-const buildVersion = "0.7.0"
+const buildVersion = "0.8.0"
 
 // startDaemon boots the exchange server, the optional cluster node, and
 // the /status + /metrics + /slo endpoints. One registry is shared by
@@ -399,8 +483,20 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 	if len(sc.peers) > 0 {
 		// Federate before the listener is up: the ring must be bound
 		// before the first device report or inbound peer-hello arrives.
-		node, err = cluster.New(cluster.Config{Self: sc.hubID, Hub: hub, Peers: sc.peers,
-			WireCeiling: sc.wirePin, Metrics: reg})
+		// Resolve lets the node dial members it did not start with — a
+		// joiner admitted from its peer-hello, a member learned from a
+		// membership snapshot — at the address they advertise.
+		node, err = cluster.New(cluster.Config{
+			Self: sc.hubID, SelfAddr: sc.advertise, Hub: hub, Peers: sc.peers,
+			Resolve: func(m wire.MemberInfo) immunity.Transport {
+				if m.Addr == "" {
+					return nil
+				}
+				return immunity.NewTCPTransport(m.Addr)
+			},
+			FailoverAfter: sc.failoverAfter,
+			WireCeiling:   sc.wirePin, Metrics: reg,
+		})
 		if err != nil {
 			hub.Close()
 			return nil, err
@@ -427,7 +523,20 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, statusPayload{Status: hub.Status(), Rates: rates.Snapshot()})
+			if key := r.URL.Query().Get("owner"); key != "" {
+				if node == nil {
+					http.Error(w, "not a federated hub", http.StatusNotFound)
+					return
+				}
+				owner, deputy := node.OwnerDeputy(key)
+				writeJSON(w, ownerPayload{Key: key, Owner: owner, Deputy: deputy})
+				return
+			}
+			p := statusPayload{Status: hub.Status(), Rates: rates.Snapshot()}
+			if node != nil {
+				p.Links = node.Status()
+			}
+			writeJSON(w, p)
 		})
 		mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, eval.Snapshot())
@@ -455,11 +564,23 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 	return d, nil
 }
 
-// statusPayload is the /status document: the wire status plus the
-// windowed per-second rates of every tracked counter series.
+// statusPayload is the /status document: the wire status (whose cluster
+// section carries the membership ring with liveness and epoch) plus the
+// node's peer-link states and the windowed per-second rates of every
+// tracked counter series.
 type statusPayload struct {
 	wire.Status
+	Links []cluster.PeerStatus          `json:"links,omitempty"`
 	Rates map[string]map[string]float64 `json:"rates,omitempty"`
+}
+
+// ownerPayload answers /status?owner=KEY: which hub owns the signature
+// key under the current ring, and which hub is its deputy (the failover
+// target holding the replicated pending set).
+type ownerPayload struct {
+	Key    string `json:"key"`
+	Owner  string `json:"owner"`
+	Deputy string `json:"deputy,omitempty"`
 }
 
 // runServe boots the long-running daemon and blocks until
@@ -490,8 +611,13 @@ func runServe(sc serveConfig) error {
 	fmt.Printf("immunityd: slo report-latency p99<=%s, shed-zero; evaluated every %s (see /slo)\n",
 		sc.sloTarget, sc.sloInterval)
 	if d.node != nil {
-		fmt.Printf("immunityd: cluster hub %s federating with %d peer(s): %s\n",
+		fmt.Printf("immunityd: cluster hub %s federating with %d seed peer(s): %s\n",
 			sc.hubID, len(sc.peers), strings.Join(d.node.Ring().Members(), " "))
+		fmt.Printf("immunityd: membership epoch %d, advertising %s", d.node.Epoch(), sc.advertise)
+		if sc.failoverAfter > 0 {
+			fmt.Printf(", failover after %s", sc.failoverAfter)
+		}
+		fmt.Println()
 	}
 	if st := d.hub.Status(); len(st.Provenance) > 0 {
 		fmt.Printf("immunityd: resumed %d signatures from provenance, fleet epoch %d\n", len(st.Provenance), st.Epoch)
@@ -503,6 +629,10 @@ func runServe(sc serveConfig) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	if sc.leave && d.node != nil {
+		fmt.Println("immunityd: leaving the membership (handing off owned keys)")
+		d.node.Leave()
+	}
 	fmt.Println("immunityd: shutting down")
 	return nil
 }

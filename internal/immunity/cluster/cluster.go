@@ -7,30 +7,34 @@
 // # Ownership ring
 //
 // Every signature (by canonical call-stack key) is owned by exactly one
-// hub, chosen by a rendezvous hash over the static membership (Ring).
+// hub, chosen by a rendezvous hash over the live membership (Ring).
 // The owner is the sole arbiter of the confirm threshold: it holds the
 // signature's full provenance — first-seen device, the deduplicated
 // (device, signature) confirmation set, pushed-to bookkeeping — while
 // every other hub persists only a slim replicated record once the
-// signature arms. Per-hub state therefore shrinks as the cluster grows:
-// each hub carries its 1/n slice of the provenance plus the (shared)
-// armed set.
+// signature arms (plus, on the key's deputy, a shadow copy of the
+// pending confirmation set; see failover below). Per-hub state
+// therefore shrinks as the cluster grows: each hub carries its 1/n
+// slice of the provenance plus the (shared) armed set.
 //
 // # Peer protocol
 //
 // Hubs connect pairwise over the ordinary wire transports (loopback in
-// process, TCP across machines): every node dials every other member
+// process, TCP across machines): every node dials every live member
 // and keeps the link alive with redial + backoff. On one link, the
-// dialer sends peer-hello (its hub id, version range, and the last
-// arming seq it applied from the answering hub) and forward-report
-// (device reports for signatures the answerer owns); the answerer
-// replies with an ack (negotiated version, its incarnation gen, its
-// current arming seq), replays the owned armings the dialer missed, and
-// thereafter pushes arm-broadcast for every owned signature it arms and
-// forward-confirm receipts for forwarded reports. Since every pair has
-// a link in each direction, every arming reaches every hub exactly
-// once, and a report forwarded through any hub reaches the owner in one
-// hop.
+// dialer sends peer-hello (its hub id, advertised address, version
+// range, and the last arming seq it applied from the answering hub),
+// forward-report (device reports for signatures the answerer owns),
+// member-update (membership snapshots), handoff (ownership transfers),
+// and replicate (deputy shadow copies); the answerer replies with an
+// ack (negotiated version, its incarnation gen, its current arming
+// seq), replays the owned armings the dialer missed, pushes its own
+// membership snapshot, and thereafter pushes arm-broadcast for every
+// owned signature it arms and forward-confirm receipts for forwarded
+// reports. Since every pair has a link in each direction, every arming
+// reaches every hub exactly once, and a report forwarded through any
+// hub reaches the owner in one hop (re-forwarding after an ownership
+// move is hop-bounded by wire.ForwardReport.Hops).
 //
 // Reports are forwarded with their original device attribution and the
 // owner deduplicates confirmations by (device, signature), so a
@@ -46,6 +50,62 @@
 // epoch map in hello lets one device roam between hubs of the cluster
 // without replaying the world.
 //
+// # Elastic membership
+//
+// The membership is no longer static config: it is a convergent state
+// machine (Membership) replicated as member-update snapshots at a
+// monotonically increasing epoch. A hub joins by dialing any existing
+// member — the answerer admits it from the peer-hello's advertised
+// address, bumps the epoch, dials back, and broadcasts; the joiner
+// learns the full membership (and every other member's address) from
+// the snapshots pushed back, and dials the rest. A hub leaves by
+// down-marking itself at a bumped epoch (Node.Leave) and handing off
+// its owned slices before it disconnects. Snapshots merge as a
+// join-semilattice — higher epoch adopted wholesale, equal epochs take
+// the deterministic field-wise union and bump — so no consensus round
+// is needed; membership disagreement windows are rendered harmless one
+// layer up by set-union confirmation merges, idempotent arming, and
+// the fencing rule. Rendezvous hashing bounds the churn: adding or
+// removing one member moves only the keys that member wins or held.
+//
+// Every membership change funnels through one strictly ordered
+// pipeline (applyMembership): publish the new live ring, dial links to
+// new members, broadcast the snapshot, re-bind ownership in the hub
+// (promote gained keys, arming any deputy shadow already at
+// threshold), and finally enqueue the demoted slices as handoff
+// messages to their new owners. A handoff migrates the full owned
+// record — confirmation set, first-seen, arm state, owner seq — and
+// the importer merges by set union, so a handoff racing fresh reports
+// or a crossed re-ownership converges instead of double-counting.
+//
+// # Failover: deputies and fencing
+//
+// Each key's deputy is its second-highest rendezvous scorer — by the
+// rendezvous property, exactly the hub the ring promotes if the owner
+// vanishes. An owner replicates every pending (unarmed) confirmation
+// set to the key's deputy as it grows, piggybacked on the existing
+// peer link, so the would-be successor already holds the set when the
+// owner dies. The failure detector (Config.FailoverAfter) marks a
+// member down once its link has been continuously unreachable past the
+// threshold; the pipeline then promotes this hub for every key it was
+// deputy of, arming on the spot any shadow set at threshold — arming
+// availability survives the owner crash. A completed handshake in
+// either direction revives a down-marked member (and hands its keys
+// back).
+//
+// The membership epoch doubles as the fencing token: every
+// arm-broadcast carries the sender's epoch (wire.ArmBroadcast.Fence),
+// and a receiver refuses a broadcast whose fence is older than its own
+// epoch when the sender no longer owns the key under the receiver's
+// ring (immunity.ErrFenced). A stale owner returning from a partition
+// can therefore never double-arm against the promoted deputy or
+// regress the owner seq — its replayed broadcasts are fenced until it
+// re-merges the membership, is revived, and receives its slice back by
+// handoff; a fenced broadcast never advances the link cursor. Note the
+// rule fences *stale owners*, not symmetric split-brain: two live
+// partitions may each arm the same signature for their own devices,
+// which is the same arming decision twice, never a conflicting one.
+//
 // # Partitions and restarts
 //
 // A severed link parks the forward outbox (nothing is dropped),
@@ -53,34 +113,42 @@
 // seq — the reconnect replays exactly the missed armings. A restarted
 // owner reloads its owned provenance (confirmation counts survive) and
 // its arming seq from the provenance store; a restarted non-owner
-// reloads the replicated armed set and resumes each peer cursor from
-// the highest seq it had applied (Exchange.RemoteSeqs). A memory-only
-// restart changes the hub's gen, which peers detect from the ack and
+// reloads the replicated armed set — and, on a deputy, the shadow
+// confirmation sets — and resumes each peer cursor from the highest
+// seq it had applied (Exchange.RemoteSeqs). A memory-only restart
+// changes the hub's gen, which peers detect from the ack and
 // resubscribe from zero — redundant replay, never a lost arming.
 //
 // # Lock order
 //
-// Node and link mutexes are leaves: the node never calls into its
-// Exchange while holding them, and the Exchange calls into the node
-// only via ClusterBinding — Owns (pure, under Exchange.mu) and
-// ForwardReport (after Exchange.mu is released, enqueue-only). All
-// cross-hub calls (InstallRemote, DeliverConfirm, Conn.Handle) run on
-// transport or queue goroutines that hold no lock of the other hub, so
-// the global order is
+// The pipeline mutex is the top of the order: applyMembership holds
+// applyMu across ring publish, link creation, and the hub re-bind, so
 //
-//	Exchange.mu (any hub) > {Node.mu, link.mu, queue locks}
+//	applyMu > Exchange.mu (any hub) > Membership.mu
+//	applyMu > Node.linksMu > link.mu
 //
-// and no cycle between two hubs' locks is possible. The metrics
-// registry (Config.Metrics) sits below all of these: its instruments
-// are lock-free atomics and its own locks are leaves that never call
-// out (see package immunity/metrics), so links update their counters
-// under link.mu freely.
+// Membership.mu is a leaf (the pure binding reads Epoch and
+// MemberSnapshot take it under Exchange.mu and call nothing);
+// Node.linksMu and link.mu are never held while calling into the hub,
+// and the hub calls into the node under Exchange.mu only via the pure
+// ring/membership reads (Owns, OwnerOf, Epoch, MemberSnapshot). The
+// mutating binding calls (ForwardReport, Replicate, ApplyMemberUpdate,
+// PeerSeen) run after Exchange.mu is released. All cross-hub calls
+// (InstallRemote, InstallReplica, ImportOwned, DeliverConfirm,
+// Conn.Handle) run on transport or queue goroutines that hold no lock
+// of the other hub, so no cycle between two hubs' locks is possible.
+// The metrics registry (Config.Metrics) sits below all of these: its
+// instruments are lock-free atomics and its own locks are leaves that
+// never call out (see package immunity/metrics), so links update their
+// counters under link.mu freely.
 package cluster
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dimmunix/dimmunix/internal/immunity"
@@ -99,23 +167,42 @@ const helloTimeout = 10 * time.Second
 // alone proves nothing about session health.
 const linkMinUptime = time.Second
 
-// Member names one remote hub of the cluster and the transport that
-// reaches it (immunity.NewTCPTransport across machines,
-// immunity.NewLoopback in process).
+// Member names one remote hub of the cluster seed and how to reach it:
+// a ready transport (immunity.NewTCPTransport across machines,
+// immunity.NewLoopback in process), an address for Config.Resolve to
+// dial, or both (the transport wins; the address is still advertised
+// to peers so *they* can dial the member).
 type Member struct {
 	ID        string
 	Transport immunity.Transport
+	Addr      string
 }
 
 // Config assembles one cluster node.
 type Config struct {
 	// Self is this hub's cluster id (must be unique in the membership).
 	Self string
+	// SelfAddr is the address this node advertises in its peer-hellos
+	// and membership snapshots — what other members hand to
+	// Config.Resolve to dial us. Empty on a node that is only ever
+	// dialed out from (tests, loopback).
+	SelfAddr string
 	// Hub is the local exchange this node federates.
 	Hub *immunity.Exchange
-	// Peers are the other members. The ownership ring is Self + Peers
-	// and must be configured identically (same id set) on every node.
+	// Peers seed the membership. Unlike the pre-elastic static ring
+	// this need not be the complete member set on every node: a joining
+	// node may list a single existing member and learns the rest from
+	// its membership snapshots.
 	Peers []Member
+	// Resolve builds a transport for a member discovered at runtime (a
+	// joiner admitted from its peer-hello, a member learned from a
+	// snapshot). Nil restricts outbound links to the configured Peers.
+	Resolve func(m wire.MemberInfo) immunity.Transport
+	// FailoverAfter is how long a member's link must be continuously
+	// down before the failure detector marks it dead and this node
+	// assumes ownership of the keys it is deputy for. 0 disables
+	// failover (a dead owner parks its slice until it returns).
+	FailoverAfter time.Duration
 	// WireCeiling caps the wire version this node's outbound peer links
 	// advertise — pair it with immunity.WithWireCeiling on the hub to
 	// pin a whole node during a staged rollout. 0 (or any value outside
@@ -123,20 +210,45 @@ type Config struct {
 	WireCeiling int
 	// Metrics, when set, registers per-peer link instruments (dials,
 	// reconnects, connected, applied/duplicate broadcasts, forward
-	// outbox depth + in-flight) labeled by peer id. Typically the same
+	// outbox depth + in-flight) plus node-level membership gauges and
+	// handoff/failover/replication counters. Typically the same
 	// registry the hub got via immunity.WithMetricsRegistry, so one
 	// /metrics render covers both tiers. Nil disables link metrics.
 	Metrics *metrics.Registry
 }
 
 // Node federates one Exchange into the cluster: it binds the ownership
-// ring into the hub, dials a peer link to every other member, forwards
-// device reports to their owners, and installs peers' arm-broadcasts.
+// ring into the hub, dials a peer link to every live member, forwards
+// device reports to their owners, replicates owned pending sets to
+// their deputies, installs peers' arm-broadcasts, and runs the
+// membership/failover machinery.
 type Node struct {
-	self  string
-	hub   *immunity.Exchange
-	ring  *Ring
-	links map[string]*link
+	self     string
+	selfAddr string
+	hub      *immunity.Exchange
+	maxV     int
+	reg      *metrics.Registry
+	resolve  func(m wire.MemberInfo) immunity.Transport
+
+	membership    *Membership
+	ring          atomic.Pointer[Ring]
+	failoverAfter time.Duration
+
+	// applyMu serializes the membership pipeline (applyMembership) so
+	// two triggers cannot interleave their re-bind and handoff phases.
+	applyMu sync.Mutex
+
+	linksMu sync.Mutex
+	closed  bool
+	links   map[string]*link
+	// transports holds the seed peers' preconfigured transports;
+	// members beyond the seed go through resolve.
+	transports map[string]immunity.Transport
+
+	metFailovers *metrics.Counter
+	metHandoffs  *metrics.Counter
+	metReplicas  *metrics.Counter
+	metEpoch     *metrics.Gauge
 
 	closeOnce sync.Once
 	closeCh   chan struct{}
@@ -153,12 +265,20 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("cluster: nil hub")
 	}
 	ids := []string{cfg.Self}
+	seed := make([]wire.MemberInfo, 0, len(cfg.Peers))
+	transports := make(map[string]immunity.Transport, len(cfg.Peers))
 	for _, p := range cfg.Peers {
-		if p.Transport == nil {
-			return nil, fmt.Errorf("cluster: peer %q has no transport", p.ID)
+		if p.Transport == nil && (cfg.Resolve == nil || p.Addr == "") {
+			return nil, fmt.Errorf("cluster: peer %q has no transport and no resolvable address", p.ID)
 		}
 		ids = append(ids, p.ID)
+		seed = append(seed, wire.MemberInfo{ID: p.ID, Addr: p.Addr})
+		if p.Transport != nil {
+			transports[p.ID] = p.Transport
+		}
 	}
+	// NewRing validates the seed (unique, non-empty ids) besides
+	// building the initial ring.
 	ring, err := NewRing(ids...)
 	if err != nil {
 		return nil, err
@@ -168,23 +288,35 @@ func New(cfg Config) (*Node, error) {
 		maxV = wire.Version
 	}
 	n := &Node{
-		self:    cfg.Self,
-		hub:     cfg.Hub,
-		ring:    ring,
-		links:   make(map[string]*link, len(cfg.Peers)),
-		closeCh: make(chan struct{}),
+		self:          cfg.Self,
+		selfAddr:      cfg.SelfAddr,
+		hub:           cfg.Hub,
+		maxV:          maxV,
+		reg:           cfg.Metrics,
+		resolve:       cfg.Resolve,
+		membership:    newMembership(cfg.Self, cfg.SelfAddr, seed),
+		failoverAfter: cfg.FailoverAfter,
+		links:         make(map[string]*link, len(cfg.Peers)),
+		transports:    transports,
+		closeCh:       make(chan struct{}),
 	}
+	n.ring.Store(ring)
+	n.metFailovers = cfg.Metrics.Counter("immunity_cluster_failovers_total",
+		"Members marked down by the failure detector (deputy promotions).")
+	n.metHandoffs = cfg.Metrics.Counter("immunity_cluster_handoff_sent_total",
+		"Owned records handed off to new owners after membership changes.")
+	n.metReplicas = cfg.Metrics.Counter("immunity_cluster_replicated_total",
+		"Pending confirmation-set records replicated to deputies.")
+	n.metEpoch = cfg.Metrics.Gauge("immunity_cluster_membership_epoch",
+		"Current membership epoch (the arm-broadcast fencing token).")
+	n.metEpoch.Set(1)
 	// Bind before any link (or device) traffic: the hub must know the
 	// ring before it accepts its first report or peer-hello.
 	cfg.Hub.BindCluster(n)
-	// Resume each peer cursor from what the reloaded provenance already
-	// holds, so a restarted node replays only genuinely missed armings.
-	seqs := cfg.Hub.RemoteSeqs()
-	for _, p := range cfg.Peers {
-		l := newLink(n, p, seqs[p.ID], maxV, cfg.Metrics)
-		n.links[p.ID] = l
+	n.ensureLinks(n.membership.live())
+	if cfg.FailoverAfter > 0 {
 		n.wg.Add(1)
-		go n.runLink(l)
+		go n.runFailureDetector()
 	}
 	return n, nil
 }
@@ -192,73 +324,198 @@ func New(cfg Config) (*Node, error) {
 // SelfID implements immunity.ClusterBinding.
 func (n *Node) SelfID() string { return n.self }
 
-// Members implements immunity.ClusterBinding.
-func (n *Node) Members() []string { return n.ring.Members() }
+// Members implements immunity.ClusterBinding: the live ring members.
+func (n *Node) Members() []string { return n.ring.Load().Members() }
 
 // Owns implements immunity.ClusterBinding. Pure: called under
-// Exchange.mu, it only consults the immutable ring.
-func (n *Node) Owns(key string) bool { return n.ring.Owner(key) == n.self }
+// Exchange.mu, it only consults the atomically published ring.
+func (n *Node) Owns(key string) bool { return n.ring.Load().Owner(key) == n.self }
 
-// Ring returns the ownership ring.
-func (n *Node) Ring() *Ring { return n.ring }
+// OwnerOf implements immunity.ClusterBinding. Pure, like Owns.
+func (n *Node) OwnerOf(key string) string { return n.ring.Load().Owner(key) }
+
+// Epoch implements immunity.ClusterBinding: the membership epoch, the
+// fencing token stamped on outgoing arm-broadcasts. Pure (leaf lock).
+func (n *Node) Epoch() uint64 { return n.membership.epochNow() }
+
+// MemberSnapshot implements immunity.ClusterBinding: the full
+// membership at its epoch, pushed to freshly handshaken peers. Pure
+// (leaf lock).
+func (n *Node) MemberSnapshot() wire.MemberUpdate { return n.membership.snapshot() }
+
+// Ring returns the current ownership ring.
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// OwnerDeputy answers "who owns this signature key, and who takes over
+// if that owner dies" under the current ring — the /status
+// ?owner=<sig-key> lookup.
+func (n *Node) OwnerDeputy(key string) (owner, deputy string) {
+	r := n.ring.Load()
+	return r.Owner(key), r.Deputy(key)
+}
 
 // ForwardReport implements immunity.ClusterBinding: it groups the
 // signatures by owning hub and enqueues one forward-report per owner on
-// that link's outbox. Enqueue-only — a partitioned owner's outbox holds
-// the report until the link redials (the owner's dedup makes the
-// at-least-once delivery safe).
-func (n *Node) ForwardReport(device string, sigs []wire.Signature, keys []string) {
+// that link's outbox, carrying the hop count so a report bouncing
+// between hubs with disagreeing rings dies out instead of looping.
+// Enqueue-only — a partitioned owner's outbox holds the report until
+// the link redials (the owner's dedup makes the at-least-once delivery
+// safe).
+func (n *Node) ForwardReport(device string, sigs []wire.Signature, keys []string, hops int) {
+	r := n.ring.Load()
 	groups := make(map[string][]wire.Signature)
 	for i, ws := range sigs {
-		owner := n.ring.Owner(keys[i])
+		owner := r.Owner(keys[i])
 		if owner == n.self {
 			continue // ring said foreign moments ago; a membership race, drop to local handling next report
 		}
 		groups[owner] = append(groups[owner], ws)
 	}
 	for owner, group := range groups {
-		if l, ok := n.links[owner]; ok {
+		if l := n.linkFor(owner); l != nil {
 			// The version is stamped at delivery time with the live
 			// session's negotiated version (link.deliver).
 			l.outbox.Enqueue(wire.Message{Type: wire.TypeForwardReport,
-				Forward: &wire.ForwardReport{Hub: n.self, Device: device, Sigs: group}})
+				Forward: &wire.ForwardReport{Hub: n.self, Device: device, Sigs: group, Hops: hops}})
 		}
 	}
 }
 
-// PeerStatus is one outbound peer link's observability snapshot.
+// Replicate implements immunity.ClusterBinding: it enqueues one owned
+// pending record for the key's deputy, so the hub the ring would
+// promote on this node's death already holds the confirmation set.
+// Enqueue-only, at-least-once; the deputy merges by set union.
+func (n *Node) Replicate(key string, rec wire.OwnedRecord) {
+	dep := n.ring.Load().Deputy(key)
+	if dep == "" || dep == n.self {
+		return
+	}
+	l := n.linkFor(dep)
+	if l == nil {
+		return
+	}
+	n.metReplicas.Inc()
+	l.outbox.Enqueue(wire.Message{Type: wire.TypeReplicate,
+		Replicate: &wire.Replicate{Owner: n.self, Records: []wire.OwnedRecord{rec}}})
+}
+
+// ApplyMemberUpdate implements immunity.ClusterBinding: it merges a
+// peer's membership snapshot and, if the map changed, runs the
+// pipeline. Called without Exchange.mu held.
+func (n *Node) ApplyMemberUpdate(u wire.MemberUpdate) {
+	if n.membership.apply(u) {
+		n.applyMembership()
+	}
+}
+
+// PeerSeen implements immunity.ClusterBinding: a completed peer
+// handshake admits an unknown hub (using the address it advertised) or
+// revives a down-marked one. Called without Exchange.mu held.
+func (n *Node) PeerSeen(hub, addr string) {
+	if n.membership.seen(hub, addr) {
+		n.applyMembership()
+	}
+}
+
+// ensureLinks starts an outbound link to every live member that does
+// not have one yet, resolving transports from the configured seed
+// first and Config.Resolve second. Members it cannot reach (no
+// transport, no resolver) are skipped — they may still dial us.
+func (n *Node) ensureLinks(live []wire.MemberInfo) {
+	seqs := n.hub.RemoteSeqs()
+	var started []*link
+	n.linksMu.Lock()
+	if n.closed {
+		n.linksMu.Unlock()
+		return
+	}
+	for _, m := range live {
+		if m.ID == n.self {
+			continue
+		}
+		if _, ok := n.links[m.ID]; ok {
+			continue
+		}
+		t := n.transports[m.ID]
+		if t == nil && n.resolve != nil {
+			t = n.resolve(m)
+		}
+		if t == nil {
+			continue
+		}
+		l := newLink(n, m.ID, t, seqs[m.ID], n.maxV, n.reg)
+		n.links[m.ID] = l
+		started = append(started, l)
+	}
+	n.linksMu.Unlock()
+	for _, l := range started {
+		n.wg.Add(1)
+		go n.runLink(l)
+	}
+}
+
+// linkFor returns the outbound link to id, nil if none exists.
+func (n *Node) linkFor(id string) *link {
+	n.linksMu.Lock()
+	defer n.linksMu.Unlock()
+	return n.links[id]
+}
+
+// broadcast enqueues m on every peer link's outbox.
+func (n *Node) broadcast(m wire.Message) {
+	n.linksMu.Lock()
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.linksMu.Unlock()
+	for _, l := range links {
+		l.outbox.Enqueue(m)
+	}
+}
+
+// PeerStatus is one outbound peer link's observability snapshot (JSON
+// tags serve the daemon's /status links section).
 type PeerStatus struct {
 	// ID is the peer hub's cluster id.
-	ID string
+	ID string `json:"id"`
 	// Connected reports a live, handshaken session.
-	Connected bool
+	Connected bool `json:"connected"`
+	// Down reports the membership's view: true once the failure
+	// detector (or a merged snapshot) declared the member dead.
+	Down bool `json:"down,omitempty"`
 	// LastApplied is the peer's arming seq this node has applied up to.
-	LastApplied uint64
+	LastApplied uint64 `json:"last_applied"`
 	// Dials counts dial attempts (successful or not) on this link; a
 	// count growing much faster than Reconnects means the peer is being
 	// hammered or is unreachable.
-	Dials uint64
+	Dials uint64 `json:"dials"`
 	// Reconnects counts completed handshakes after the first.
-	Reconnects uint64
+	Reconnects uint64 `json:"reconnects"`
 	// Applied and Duplicates count arm-broadcasts that newly armed a
 	// signature here vs. replays that only advanced the cursor.
-	Applied, Duplicates uint64
+	Applied    uint64 `json:"applied"`
+	Duplicates uint64 `json:"duplicates"`
 	// PendingForwards is the outbox depth (reports waiting for the link).
-	PendingForwards int
+	PendingForwards int `json:"pending_forwards"`
 }
 
 // Status snapshots the node's peer links, sorted by peer id.
 func (n *Node) Status() []PeerStatus {
-	out := make([]PeerStatus, 0, len(n.links))
-	for _, id := range n.ring.Members() {
-		l, ok := n.links[id]
-		if !ok {
-			continue // self
-		}
+	n.linksMu.Lock()
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.linksMu.Unlock()
+	sort.Slice(links, func(i, j int) bool { return links[i].peerID < links[j].peerID })
+	out := make([]PeerStatus, 0, len(links))
+	for _, l := range links {
 		l.mu.Lock()
 		out = append(out, PeerStatus{
 			ID:              l.peerID,
 			Connected:       l.sess != nil,
+			Down:            !n.membership.isUp(l.peerID),
 			LastApplied:     l.lastApplied,
 			Dials:           l.dials,
 			Reconnects:      l.reconnects,
@@ -277,7 +534,14 @@ func (n *Node) Status() []PeerStatus {
 func (n *Node) Close() {
 	n.closeOnce.Do(func() {
 		close(n.closeCh)
+		n.linksMu.Lock()
+		n.closed = true
+		links := make([]*link, 0, len(n.links))
 		for _, l := range n.links {
+			links = append(links, l)
+		}
+		n.linksMu.Unlock()
+		for _, l := range links {
 			l.close()
 		}
 		n.wg.Wait()
@@ -302,6 +566,11 @@ type link struct {
 	gen         string // peer hub incarnation, from its ack
 	ver         int    // negotiated wire version of the current session (0 while down)
 	lastApplied uint64
+	// lastUp is when the link last had a live session (creation time
+	// before the first handshake) — the failure detector's clock: a
+	// member is declared dead once sess has been nil for
+	// FailoverAfter past lastUp.
+	lastUp time.Time
 	// cur is the dial attempt whose session passed the handshake; only
 	// its broadcasts may advance lastApplied. An attempt the handshake
 	// condemned (gen change, seq rollback) still installs what it
@@ -332,30 +601,30 @@ type dialAttempt struct {
 	maxSeq uint64 // highest owner seq received on this attempt's session
 }
 
-func newLink(n *Node, p Member, resumeSeq uint64, maxV int, reg *metrics.Registry) *link {
-	l := &link{node: n, peerID: p.ID, t: p.Transport, lastApplied: resumeSeq,
-		maxV: maxV, downCh: make(chan struct{}, 1)}
+func newLink(n *Node, peerID string, t immunity.Transport, resumeSeq uint64, maxV int, reg *metrics.Registry) *link {
+	l := &link{node: n, peerID: peerID, t: t, lastApplied: resumeSeq,
+		lastUp: time.Now(), maxV: maxV, downCh: make(chan struct{}, 1)}
 	l.metDials = reg.CounterVec("immunity_cluster_peer_dials_total",
-		"Dial attempts per peer link (first dial included).", "peer").With(p.ID)
+		"Dial attempts per peer link (first dial included).", "peer").With(peerID)
 	l.metReconnects = reg.CounterVec("immunity_cluster_peer_reconnects_total",
-		"Completed peer handshakes after the first.", "peer").With(p.ID)
+		"Completed peer handshakes after the first.", "peer").With(peerID)
 	l.metConnected = reg.GaugeVec("immunity_cluster_peer_connected",
-		"Live handshaken outbound sessions to the peer.", "peer").With(p.ID)
+		"Live handshaken outbound sessions to the peer.", "peer").With(peerID)
 	l.metApplied = reg.CounterVec("immunity_cluster_applied_total",
-		"Arm-broadcasts from the peer that newly armed a signature here.", "peer").With(p.ID)
+		"Arm-broadcasts from the peer that newly armed a signature here.", "peer").With(peerID)
 	l.metDuplicates = reg.CounterVec("immunity_cluster_duplicates_total",
-		"Arm-broadcast replays from the peer (cursor advances only).", "peer").With(p.ID)
+		"Arm-broadcast replays from the peer (cursor advances only).", "peer").With(peerID)
 	l.metForwards = reg.CounterVec("immunity_cluster_peer_forwards_total",
-		"Forward-report messages delivered to the peer.", "peer").With(p.ID)
+		"Forward-report messages delivered to the peer.", "peer").With(peerID)
 	l.outbox = immunity.NewQueue(immunity.QueueConfig[wire.Message]{
 		Deliver:      l.deliver,
 		RetryOnError: true,
 		// Per-peer forward-outbox lag: depth is what a partition is
 		// holding back, in-flight what the drain has taken.
 		Depth: reg.GaugeVec("immunity_cluster_forward_pending",
-			"Forward-outbox items pending (queued + in flight) per peer.", "peer").With(p.ID),
+			"Forward-outbox items pending (queued + in flight) per peer.", "peer").With(peerID),
 		InFlight: reg.GaugeVec("immunity_cluster_forward_inflight",
-			"Forward-outbox items taken by the drain, not yet delivered.", "peer").With(p.ID),
+			"Forward-outbox items taken by the drain, not yet delivered.", "peer").With(peerID),
 	})
 	return l
 }
@@ -364,7 +633,10 @@ func newLink(n *Node, p Member, resumeSeq uint64, maxV int, reg *metrics.Registr
 // and therefore framed — at that session's negotiated version (a
 // redial may land on a peer speaking a different version than the one
 // the message was enqueued under); with no session (or a dead one) it
-// errors, parking the outbox until the redial calls Resume.
+// errors, parking the outbox until the redial calls Resume. Membership
+// messages to a peer negotiated below wire.MembershipVersion are
+// dropped (dequeued) here — an old peer runs its static ring and has
+// nothing to do with them.
 func (l *link) deliver(m wire.Message) error {
 	l.mu.Lock()
 	sess := l.sess
@@ -375,6 +647,12 @@ func (l *link) deliver(m wire.Message) error {
 	}
 	if ver == 0 {
 		ver = wire.PeerVersion
+	}
+	switch m.Type {
+	case wire.TypeMemberUpdate, wire.TypeHandoff, wire.TypeReplicate:
+		if ver < wire.MembershipVersion {
+			return nil
+		}
 	}
 	m.V = ver
 	if err := sess.Send(m); err != nil {
@@ -420,7 +698,11 @@ func (l *link) recv(att *dialAttempt, m wire.Message) {
 	case wire.TypeArmBroadcast:
 		applied, err := l.node.hub.InstallRemote(*m.Arm)
 		if err != nil {
-			return // malformed broadcast: never kill the link over one frame
+			// Malformed or fenced: never kill the link over one frame,
+			// and never advance the cursor — a fenced stale owner's seq
+			// must not mask the armings the promoted owner will send
+			// under the same numbers.
+			return
 		}
 		l.mu.Lock()
 		if m.Arm.Owner == l.peerID && m.Arm.Seq > att.maxSeq {
@@ -441,6 +723,11 @@ func (l *link) recv(att *dialAttempt, m wire.Message) {
 		l.mu.Unlock()
 	case wire.TypeForwardConfirm:
 		l.node.hub.DeliverConfirm(m.FwdConfirm.Device, m.FwdConfirm.Confirm)
+	case wire.TypeMemberUpdate:
+		// The answerer's membership snapshot (pushed at handshake and
+		// relayed on changes): merge, and run the pipeline if it moved
+		// us.
+		l.node.ApplyMemberUpdate(*m.Member)
 	}
 }
 
@@ -467,9 +754,11 @@ func (l *link) dial() error {
 	}
 	// The peer-hello precedes negotiation, so it is framed at the JSON
 	// ceiling — any peer version can parse it — while the advertised
-	// range caps at this node's ceiling.
+	// range caps at this node's ceiling. The advertised address lets
+	// the answerer admit us into its membership and dial back.
 	hello := wire.Message{V: wire.MaxJSONVersion, Type: wire.TypePeerHello,
-		PeerHello: &wire.PeerHello{Hub: l.node.self, Seq: seq, MinV: wire.PeerVersion, MaxV: l.maxV}}
+		PeerHello: &wire.PeerHello{Hub: l.node.self, Addr: l.node.selfAddr,
+			Seq: seq, MinV: wire.PeerVersion, MaxV: l.maxV}}
 	if err := sess.Send(hello); err != nil {
 		clearAck()
 		sess.Close()
@@ -516,6 +805,7 @@ func (l *link) dial() error {
 		if l.ver = ack.V; l.ver == 0 {
 			l.ver = wire.PeerVersion
 		}
+		l.lastUp = time.Now()
 		// Merge replay that arrived before the handshake settled: those
 		// broadcasts were filtered against the seq we sent, so on an
 		// accepted session they are safe cursor advances.
@@ -600,6 +890,10 @@ func (n *Node) runLink(l *link) {
 			}
 			continue
 		}
+		// A completed outbound handshake is a liveness proof: revive the
+		// member if the failure detector had declared it dead (it gets
+		// its keys back by handoff from the pipeline).
+		n.PeerSeen(l.peerID, "")
 		connectedAt := time.Now()
 		l.metConnected.Add(1)
 		select {
@@ -614,6 +908,7 @@ func (n *Node) runLink(l *link) {
 			}
 			l.ver = 0
 			l.cur = nil // a dead session's stragglers must not move the cursor
+			l.lastUp = time.Now()
 			l.mu.Unlock()
 			l.metConnected.Add(-1)
 		}

@@ -41,6 +41,21 @@ func sigOwnedBy(t *testing.T, r *cluster.Ring, owner string) *core.Signature {
 	return nil
 }
 
+// sigOwnedDeputy finds a test signature with a specific owner AND a
+// specific deputy — for tests that must steer a device's reports
+// through a hub that holds no replica of the confirmation set.
+func sigOwnedDeputy(t *testing.T, r *cluster.Ring, owner, deputy string) *core.Signature {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		sig := testSig(i)
+		if r.Owner(sig.Key()) == owner && r.Deputy(sig.Key()) == deputy {
+			return sig
+		}
+	}
+	t.Fatalf("no test signature owned by %s with deputy %s in 10000 tries", owner, deputy)
+	return nil
+}
+
 // waitFor polls until cond or a generous deadline (1-CPU CI with many
 // goroutines converges slowly; the deadline only bounds how long a
 // genuine failure takes to report).
@@ -215,10 +230,11 @@ func TestClusterGatesAtOwnerAndPropagates(t *testing.T) {
 // travels through a non-owner hub counts exactly once at the owner, no
 // matter how many times the device reconnects and re-reports.
 func TestClusterForwardedReportNeverDoubleCounts(t *testing.T) {
-	hubs, nodes := loopbackCluster(t, 2, 3)
-	// A signature owned by hub1, reported by a device attached to hub0:
-	// every report takes the forwarding path.
-	sig := sigOwnedBy(t, nodes[0].Ring(), "hub1")
+	hubs, nodes := loopbackCluster(t, 3, 3)
+	// A signature owned by hub1 with deputy hub2, reported by a device
+	// attached to hub0: every report takes the forwarding path (hub0,
+	// holding no deputy replica of the set, can never echo it locally).
+	sig := sigOwnedDeputy(t, nodes[0].Ring(), "hub1", "hub2")
 	key := sig.Key()
 
 	svc, err := immunity.NewService("roamer", nil)

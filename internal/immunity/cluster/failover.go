@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// runFailureDetector watches the outbound peer links and marks a
+// member down once its link has been continuously disconnected for
+// Config.FailoverAfter — the deputy-promotion trigger. It only runs
+// when FailoverAfter > 0; a zero config keeps the pre-elastic
+// behavior (a dead owner parks its slice until it returns).
+func (n *Node) runFailureDetector() {
+	defer n.wg.Done()
+	tick := n.failoverAfter / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.closeCh:
+			return
+		case <-t.C:
+		}
+		n.checkPeers()
+	}
+}
+
+// checkPeers is one failure-detector sweep: every up-marked member
+// whose link has been down past the threshold is marked down, and one
+// membership pipeline run re-rings, re-binds ownership (promoting
+// this hub for every key it is deputy of), and spreads the death
+// observation to the surviving peers.
+func (n *Node) checkPeers() {
+	now := time.Now()
+	var dead []string
+	n.linksMu.Lock()
+	for id, l := range n.links {
+		l.mu.Lock()
+		downFor := time.Duration(0)
+		if l.sess == nil {
+			downFor = now.Sub(l.lastUp)
+		}
+		l.mu.Unlock()
+		if downFor > n.failoverAfter && n.membership.isUp(id) {
+			dead = append(dead, id)
+		}
+	}
+	n.linksMu.Unlock()
+	changed := false
+	for _, id := range dead {
+		if n.membership.markDown(id) {
+			n.metFailovers.Inc()
+			changed = true
+		}
+	}
+	if changed {
+		n.applyMembership()
+	}
+}
+
+// applyMembership is the single pipeline behind every membership
+// change (merge, admit, revive, mark-down, leave). Strictly ordered:
+//
+//  1. rebuild the live ring and publish it atomically — from here on
+//     Owns/OwnerOf answer under the new membership;
+//  2. ensure an outbound link to every live member we can reach (a
+//     joiner learned from a handshake or a member-update gets dialed
+//     here);
+//  3. broadcast the membership snapshot on every link (dropped at
+//     delivery for peers below wire.MembershipVersion);
+//  4. re-bind ownership in the hub — promote this hub's gained keys
+//     (arming any replica already at threshold), demote its lost ones;
+//  5. enqueue the demoted slices as handoff messages to their new
+//     owners.
+//
+// Membership first, local promotion second, handoff enqueue last:
+// a report racing the pipeline is either forwarded under the old ring
+// (the old owner demotes and hands the confirmation off) or the new
+// one (the new owner merges it by set union) — both converge.
+// Serialized by applyMu so two triggers cannot interleave their
+// re-bind and handoff phases.
+func (n *Node) applyMembership() {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+
+	live := n.membership.live()
+	ids := make([]string, 0, len(live))
+	for _, m := range live {
+		ids = append(ids, m.ID)
+	}
+	if len(ids) == 0 {
+		// A leaving sole member: nothing to hand off to, keep self so
+		// the ring stays total.
+		ids = []string{n.self}
+	}
+	ring, err := NewRing(ids...)
+	if err != nil {
+		return // unreachable: live() yields unique non-empty ids
+	}
+	n.ring.Store(ring)
+	snap := n.membership.snapshot()
+	n.metEpoch.Set(int64(snap.Epoch))
+
+	n.ensureLinks(live)
+	n.broadcast(wire.Message{Type: wire.TypeMemberUpdate, Member: &snap})
+
+	handoffs := n.hub.RebindOwnership()
+	for owner, recs := range handoffs {
+		l := n.linkFor(owner)
+		if l == nil {
+			continue // unreachable new owner: the records stay local as shadow replicas
+		}
+		n.metHandoffs.Add(uint64(len(recs)))
+		l.outbox.Enqueue(wire.Message{Type: wire.TypeHandoff,
+			Handoff: &wire.Handoff{From: n.self, Records: recs}})
+	}
+}
+
+// Leave removes this hub from the cluster gracefully: it marks itself
+// down at a bumped epoch, broadcasts the new membership, demotes every
+// owned signature, hands the slices off to their new owners, and
+// waits (bounded) for the outboxes to drain. The node is still
+// running afterwards — typically Close follows.
+func (n *Node) Leave() {
+	if !n.membership.leave() {
+		return
+	}
+	n.applyMembership()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.pendingOutbox() == 0 {
+			return
+		}
+		select {
+		case <-n.closeCh:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// pendingOutbox sums the queued messages across all peer links.
+func (n *Node) pendingOutbox() int {
+	n.linksMu.Lock()
+	defer n.linksMu.Unlock()
+	total := 0
+	for _, l := range n.links {
+		total += l.outbox.Pending()
+	}
+	return total
+}

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// Membership is the cluster's convergent membership state machine: a
+// map of member infos (id, advertised address, down flag) plus an
+// epoch, replicated between hubs as wire.MemberUpdate snapshots on the
+// ordinary peer links. There is no consensus round and none is needed:
+// the snapshots form a join-semilattice (adopt the higher epoch
+// wholesale; at equal epochs take the field-wise deterministic union —
+// member union by id, Down wins, the greater non-empty address wins —
+// and bump), so any two hubs that keep exchanging snapshots converge
+// on the same membership at the same epoch. Membership mistakes are
+// safe by construction one layer up: confirmation sets merge by set
+// union, arming is idempotent, and a hub arming under a stale view is
+// fenced by the epoch (see the package comment's fencing rule).
+//
+// The epoch doubles as the fencing token: it increases on every local
+// mutation (admit, mark-down, revive, leave) and on every merge that
+// changed the map, so "my epoch is newer than your fence" is exactly
+// "the membership has moved since you armed".
+//
+// Locking: Membership.mu is a leaf. Every method takes it and calls
+// nothing outside this struct, so the pure binding reads
+// (Epoch, MemberSnapshot) are safe under Exchange.mu.
+type Membership struct {
+	self     string
+	selfAddr string
+
+	mu      sync.Mutex
+	leaving bool
+	epoch   uint64
+	members map[string]wire.MemberInfo
+}
+
+func newMembership(self, selfAddr string, seed []wire.MemberInfo) *Membership {
+	ms := &Membership{
+		self:     self,
+		selfAddr: selfAddr,
+		epoch:    1,
+		members:  make(map[string]wire.MemberInfo, len(seed)+1),
+	}
+	for _, m := range seed {
+		if m.ID != "" && m.ID != self {
+			ms.members[m.ID] = m
+		}
+	}
+	ms.members[self] = wire.MemberInfo{ID: self, Addr: selfAddr}
+	return ms
+}
+
+// mergeInfo resolves one member present in both of two equal-epoch
+// snapshots. Down wins (a death observation is never un-observed by a
+// merge — only an explicit revive does that, at a higher epoch), and
+// the greater non-empty address wins so both sides pick the same one.
+func mergeInfo(a, b wire.MemberInfo) wire.MemberInfo {
+	out := a
+	if b.Down {
+		out.Down = true
+	}
+	if betterAddr(b.Addr, out.Addr) {
+		out.Addr = b.Addr
+	}
+	return out
+}
+
+// betterAddr reports whether address a should replace b in a merge:
+// any address beats none, ties broken lexically (greater wins).
+func betterAddr(a, b string) bool {
+	if a == "" {
+		return false
+	}
+	if b == "" {
+		return true
+	}
+	return a > b
+}
+
+// apply merges a peer's snapshot and reports whether the member map
+// changed (the caller re-rings, re-binds ownership, and rebroadcasts
+// iff it did). A higher epoch is adopted wholesale; an equal epoch
+// with a differing map takes the deterministic union and bumps; a
+// lower epoch is ignored (the peer learns our state from our next
+// broadcast or its next handshake). Whatever the peer claimed, this
+// hub reasserts itself as up — a peer can never speak for us — unless
+// it is deliberately leaving.
+func (ms *Membership) apply(u wire.MemberUpdate) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	changed := false
+	switch {
+	case u.Epoch > ms.epoch:
+		fresh := make(map[string]wire.MemberInfo, len(u.Members))
+		for _, m := range u.Members {
+			if m.ID != "" {
+				fresh[m.ID] = m
+			}
+		}
+		if !sameMembers(ms.members, fresh) {
+			changed = true
+		}
+		ms.members = fresh
+		ms.epoch = u.Epoch
+	case u.Epoch == ms.epoch:
+		for _, m := range u.Members {
+			if m.ID == "" {
+				continue
+			}
+			cur, ok := ms.members[m.ID]
+			if !ok {
+				ms.members[m.ID] = m
+				changed = true
+				continue
+			}
+			if merged := mergeInfo(cur, m); merged != cur {
+				ms.members[m.ID] = merged
+				changed = true
+			}
+		}
+		if changed {
+			ms.epoch++
+		}
+	}
+	if ms.reassertSelfLocked() {
+		changed = true
+	}
+	return changed
+}
+
+// reassertSelfLocked forces this hub into the map, up, at its own
+// advertised address, bumping the epoch if anything had to change so
+// the correction outranks the view that dropped or down-marked us.
+func (ms *Membership) reassertSelfLocked() bool {
+	if ms.leaving {
+		return false
+	}
+	cur, ok := ms.members[ms.self]
+	want := cur
+	want.ID = ms.self
+	want.Down = false
+	if ms.selfAddr != "" {
+		want.Addr = ms.selfAddr
+	}
+	if ok && want == cur {
+		return false
+	}
+	ms.members[ms.self] = want
+	ms.epoch++
+	return true
+}
+
+func sameMembers(a, b map[string]wire.MemberInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, m := range a {
+		if b[id] != m {
+			return false
+		}
+	}
+	return true
+}
+
+// bump applies one local mutation; if mutate reports a change, the
+// epoch advances and bump returns true (the caller runs the
+// re-ring/re-bind/rebroadcast pipeline).
+func (ms *Membership) bump(mutate func(members map[string]wire.MemberInfo) bool) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if !mutate(ms.members) {
+		return false
+	}
+	ms.epoch++
+	return true
+}
+
+// markDown records a peer death observed by the failure detector.
+// Self is never marked down this way (leave does that deliberately).
+func (ms *Membership) markDown(id string) bool {
+	if id == ms.self {
+		return false
+	}
+	return ms.bump(func(members map[string]wire.MemberInfo) bool {
+		cur, ok := members[id]
+		if !ok || cur.Down {
+			return false
+		}
+		cur.Down = true
+		members[id] = cur
+		return true
+	})
+}
+
+// seen records a completed peer handshake: an unknown hub joins the
+// membership, a down-marked hub is revived, and a newly learned
+// address is kept. addr may be empty (an outbound handshake proves
+// liveness without teaching us a new address).
+func (ms *Membership) seen(id, addr string) bool {
+	if id == "" || id == ms.self {
+		return false
+	}
+	return ms.bump(func(members map[string]wire.MemberInfo) bool {
+		cur, ok := members[id]
+		if !ok {
+			members[id] = wire.MemberInfo{ID: id, Addr: addr}
+			return true
+		}
+		next := cur
+		next.Down = false
+		if betterAddr(addr, next.Addr) {
+			next.Addr = addr
+		}
+		if next == cur {
+			return false
+		}
+		members[id] = next
+		return true
+	})
+}
+
+// leave marks this hub down in its own snapshot so the survivors'
+// rings exclude it; the caller's pipeline then demotes every owned
+// signature and hands the slices off before the node shuts down.
+func (ms *Membership) leave() bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ms.leaving {
+		return false
+	}
+	ms.leaving = true
+	cur := ms.members[ms.self]
+	cur.ID = ms.self
+	cur.Down = true
+	ms.members[ms.self] = cur
+	ms.epoch++
+	return true
+}
+
+// isUp reports whether id is a known, not-down member.
+func (ms *Membership) isUp(id string) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	cur, ok := ms.members[id]
+	return ok && !cur.Down
+}
+
+// epochNow returns the current membership epoch (the fencing token).
+func (ms *Membership) epochNow() uint64 {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.epoch
+}
+
+// snapshot returns the full membership at its epoch, members sorted by
+// id — the wire form broadcast to peers and shown on /status.
+func (ms *Membership) snapshot() wire.MemberUpdate {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := wire.MemberUpdate{Epoch: ms.epoch, Members: make([]wire.MemberInfo, 0, len(ms.members))}
+	for _, m := range ms.members {
+		out.Members = append(out.Members, m)
+	}
+	sort.Slice(out.Members, func(i, j int) bool { return out.Members[i].ID < out.Members[j].ID })
+	return out
+}
+
+// live returns the not-down members (the ownership ring's domain),
+// sorted by id.
+func (ms *Membership) live() []wire.MemberInfo {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make([]wire.MemberInfo, 0, len(ms.members))
+	for _, m := range ms.members {
+		if !m.Down {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// TestMembershipMergeConverges: two members that exchange snapshots in
+// both directions — whatever the interleaving — end with identical
+// member maps, because the equal-epoch merge is a deterministic union.
+func TestMembershipMergeConverges(t *testing.T) {
+	a := newMembership("a", "addr-a", []wire.MemberInfo{{ID: "b", Addr: "addr-b"}})
+	b := newMembership("b", "addr-b", []wire.MemberInfo{{ID: "a", Addr: "addr-a"}})
+
+	// Diverge: a admits c, b marks d... b admits d.
+	a.seen("c", "addr-c")
+	b.seen("d", "addr-d")
+
+	// Exchange until quiescent (bounded — convergence must not need
+	// more than a few rounds).
+	for i := 0; i < 10; i++ {
+		ca := a.apply(b.snapshot())
+		cb := b.apply(a.snapshot())
+		if !ca && !cb {
+			break
+		}
+	}
+	sa, sb := a.snapshot(), b.snapshot()
+	if len(sa.Members) != 4 || len(sb.Members) != 4 {
+		t.Fatalf("merged sizes: a=%d b=%d, want 4 each (%v / %v)", len(sa.Members), len(sb.Members), sa, sb)
+	}
+	for i := range sa.Members {
+		if sa.Members[i] != sb.Members[i] {
+			t.Fatalf("diverged after merge:\n  a: %v\n  b: %v", sa.Members, sb.Members)
+		}
+	}
+}
+
+// TestMembershipHigherEpochAdoptedWholesale: a snapshot at a higher
+// epoch replaces the local map (including down flags), and a lower
+// epoch is ignored.
+func TestMembershipHigherEpochAdoptedWholesale(t *testing.T) {
+	m := newMembership("a", "", []wire.MemberInfo{{ID: "b"}, {ID: "c"}})
+	if !m.apply(wire.MemberUpdate{Epoch: 9, Members: []wire.MemberInfo{
+		{ID: "a"}, {ID: "b", Down: true}, {ID: "c"},
+	}}) {
+		t.Fatal("higher-epoch snapshot reported no change")
+	}
+	if m.isUp("b") {
+		t.Fatal("down flag not adopted from higher epoch")
+	}
+	if m.epochNow() != 9 {
+		t.Fatalf("epoch = %d, want 9", m.epochNow())
+	}
+	if m.apply(wire.MemberUpdate{Epoch: 3, Members: []wire.MemberInfo{{ID: "b"}}}) {
+		t.Fatal("stale snapshot applied")
+	}
+	if !m.isUp("a") || m.epochNow() != 9 {
+		t.Fatal("stale snapshot mutated state")
+	}
+}
+
+// TestMembershipReassertsSelf: no snapshot can down-mark or evict the
+// local hub — the correction bumps the epoch so it outranks the view
+// that dropped us. (A peer's failure detector may genuinely have seen
+// us partitioned; when the partition heals, our reassertion plus the
+// handshake revival win.)
+func TestMembershipReassertsSelf(t *testing.T) {
+	m := newMembership("a", "addr-a", nil)
+	if !m.apply(wire.MemberUpdate{Epoch: 5, Members: []wire.MemberInfo{
+		{ID: "a", Addr: "addr-a", Down: true}, {ID: "b"},
+	}}) {
+		t.Fatal("no change reported")
+	}
+	if !m.isUp("a") {
+		t.Fatal("self stayed down-marked")
+	}
+	if m.epochNow() <= 5 {
+		t.Fatalf("epoch = %d, want > 5 (reassertion must outrank the down-mark)", m.epochNow())
+	}
+
+	// But a leaving hub stays down: leave is deliberate.
+	if !m.leave() {
+		t.Fatal("leave reported no change")
+	}
+	m.apply(wire.MemberUpdate{Epoch: m.epochNow(), Members: []wire.MemberInfo{{ID: "a"}}})
+	for _, mi := range m.snapshot().Members {
+		if mi.ID == "a" && !mi.Down {
+			t.Fatal("leaving hub reasserted itself up")
+		}
+	}
+}
+
+// TestMembershipDownWinsAtEqualEpoch: merging equal-epoch snapshots, a
+// death observation survives the union (only an explicit revive at a
+// later epoch undoes it), and the merge bumps the epoch so the merged
+// view outranks both inputs.
+func TestMembershipDownWinsAtEqualEpoch(t *testing.T) {
+	m := newMembership("a", "", []wire.MemberInfo{{ID: "b"}, {ID: "c"}})
+	e := m.epochNow()
+	if !m.apply(wire.MemberUpdate{Epoch: e, Members: []wire.MemberInfo{{ID: "c", Down: true}}}) {
+		t.Fatal("no change reported")
+	}
+	if m.isUp("c") {
+		t.Fatal("down did not win the merge")
+	}
+	if m.epochNow() != e+1 {
+		t.Fatalf("epoch = %d, want %d", m.epochNow(), e+1)
+	}
+
+	// seen revives at a fresh epoch and keeps the better address.
+	if !m.seen("c", "addr-c") {
+		t.Fatal("revive reported no change")
+	}
+	if !m.isUp("c") {
+		t.Fatal("handshake did not revive the member")
+	}
+	for _, mi := range m.snapshot().Members {
+		if mi.ID == "c" && mi.Addr != "addr-c" {
+			t.Fatalf("revive lost the learned address: %+v", mi)
+		}
+	}
+}
+
+// TestMembershipLiveExcludesDown: the ring's domain is the not-down
+// members only.
+func TestMembershipLiveExcludesDown(t *testing.T) {
+	m := newMembership("a", "", []wire.MemberInfo{{ID: "b"}, {ID: "c"}})
+	if !m.markDown("b") {
+		t.Fatal("markDown reported no change")
+	}
+	if m.markDown("b") {
+		t.Fatal("second markDown reported a change")
+	}
+	if m.markDown("a") {
+		t.Fatal("markDown downed self")
+	}
+	live := m.live()
+	if len(live) != 2 || live[0].ID != "a" || live[1].ID != "c" {
+		t.Fatalf("live = %v, want [a c]", live)
+	}
+}

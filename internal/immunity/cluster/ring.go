@@ -65,3 +65,32 @@ func (r *Ring) Owner(key string) string {
 	}
 	return best
 }
+
+// Deputy returns the second-highest scorer for key ("" on a one-member
+// ring), with the same tie-break as Owner. The deputy is the key's
+// failover target: by the rendezvous property, removing the owner from
+// the membership promotes exactly the deputy —
+// NewRing(members − owner).Owner(key) == Deputy(key) — so the hub that
+// holds the replicated confirmation set is precisely the hub the ring
+// elects when the owner dies.
+func (r *Ring) Deputy(key string) string {
+	if len(r.members) < 2 {
+		return ""
+	}
+	better := func(m string, s uint64, thanM string, thanS uint64) bool {
+		return s > thanS || (s == thanS && m < thanM)
+	}
+	var best, second string
+	var bestScore, secondScore uint64
+	for _, m := range r.members {
+		s := score(m, key)
+		switch {
+		case best == "" || better(m, s, best, bestScore):
+			second, secondScore = best, bestScore
+			best, bestScore = m, s
+		case second == "" || better(m, s, second, secondScore):
+			second, secondScore = m, s
+		}
+	}
+	return second
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -92,5 +93,105 @@ func TestRingRejectsBadMembership(t *testing.T) {
 	}
 	if r.Owner("anything") != "only" {
 		t.Error("single-member ring does not own everything")
+	}
+}
+
+// TestRingDeputyPromotion: the deputy is exactly the member the ring
+// elects when the owner is removed — the rendezvous property the whole
+// failover design rests on (the hub holding the replicated
+// confirmation set is the hub that takes over).
+func TestRingDeputyPromotion(t *testing.T) {
+	members := []string{"hub-a", "hub-b", "hub-c", "hub-d", "hub-e"}
+	r, err := NewRing(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("sig-%d", i)
+		owner, deputy := r.Owner(key), r.Deputy(key)
+		if deputy == owner || deputy == "" {
+			t.Fatalf("key %q: deputy %q invalid (owner %q)", key, deputy, owner)
+		}
+		var survivors []string
+		for _, m := range members {
+			if m != owner {
+				survivors = append(survivors, m)
+			}
+		}
+		shrunk, err := NewRing(survivors...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := shrunk.Owner(key); got != deputy {
+			t.Fatalf("key %q: removing owner %q promotes %q, but deputy was %q", key, owner, got, deputy)
+		}
+	}
+	one, err := NewRing("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Deputy("anything") != "" {
+		t.Error("single-member ring has a deputy")
+	}
+}
+
+// TestRingChurnBounds is the property test behind "membership changes
+// are cheap": over random member sets, removing one member reassigns
+// only that member's keys (every one of them to its deputy), and
+// adding one member moves only the keys the newcomer wins. Seeded
+// generator — the cases are random but reproducible.
+func TestRingChurnBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("hub-%d-%d", trial, rng.Intn(1_000_000))
+		}
+		r, err := NewRing(members...)
+		if err != nil {
+			trial-- // random collision on ids: redraw
+			continue
+		}
+		members = r.Members()
+
+		// Leave: drop a random member; its keys go to its deputy, every
+		// other key keeps its owner.
+		leaver := members[rng.Intn(len(members))]
+		var rest []string
+		for _, m := range members {
+			if m != leaver {
+				rest = append(rest, m)
+			}
+		}
+		shrunk, err := NewRing(rest...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 200; k++ {
+			key := fmt.Sprintf("key-%d-%d", trial, k)
+			was, is := r.Owner(key), shrunk.Owner(key)
+			if was == leaver {
+				if dep := r.Deputy(key); is != dep {
+					t.Fatalf("trial %d: leaver %q's key %q went to %q, want deputy %q", trial, leaver, key, is, dep)
+				}
+			} else if was != is {
+				t.Fatalf("trial %d: key %q not owned by leaver moved %q -> %q", trial, key, was, is)
+			}
+		}
+
+		// Join: add a fresh member; only keys the newcomer wins move.
+		joiner := fmt.Sprintf("hub-join-%d", trial)
+		grown, err := NewRing(append(append([]string{}, members...), joiner)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 200; k++ {
+			key := fmt.Sprintf("key-%d-%d", trial, k)
+			was, is := r.Owner(key), grown.Owner(key)
+			if was != is && is != joiner {
+				t.Fatalf("trial %d: join of %q moved key %q between old members %q -> %q", trial, joiner, key, was, is)
+			}
+		}
 	}
 }

@@ -3,6 +3,7 @@ package immunity
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -33,6 +34,12 @@ import (
 // client's echo, a reconnect's epoch-0 re-report, or (with a
 // ProvenanceStore) a report replayed after a hub reboot — so the
 // threshold counts independent observations only.
+
+// ErrFenced reports that a peer arm-broadcast was refused by the
+// membership fencing rule: its fence epoch was stale and its sender no
+// longer owns the signature. The link layer treats it as a refusal —
+// counted, cursor not advanced — not a session error.
+var ErrFenced = errors.New("exchange: stale owner arm-broadcast fenced")
 
 // Provenance is one fleet signature's audit record.
 type Provenance struct {
@@ -83,6 +90,9 @@ type ExchangeStats struct {
 	// RemoteInstalls counts armed signatures installed from peer
 	// arm-broadcasts (cluster mode only).
 	RemoteInstalls uint64
+	// Fenced counts stale peer arm-broadcasts refused by the membership
+	// fencing rule (cluster mode only).
+	Fenced uint64
 	// AdmissionAdmitted/Delayed/Shed snapshot the report admission pool
 	// (all zero when admission is disabled): reports admitted without
 	// waiting, admitted after a bounded wait, and dropped at max wait.
@@ -100,6 +110,9 @@ type hubMetrics struct {
 	forwards       *metrics.Counter
 	remoteInstalls *metrics.Counter
 	persistErrors  *metrics.Counter
+	fenced         *metrics.Counter
+	replicaRecords *metrics.Counter
+	handoffRecords *metrics.Counter
 	deviceSessions *metrics.Gauge
 	peerSessions   *metrics.Gauge
 	pushDepth      *metrics.Gauge
@@ -119,6 +132,9 @@ func newHubMetrics(reg *metrics.Registry) hubMetrics {
 		forwards:       reg.Counter("immunity_hub_forwards_total", "Device-reported signatures relayed to their owning hub."),
 		remoteInstalls: reg.Counter("immunity_hub_remote_installs_total", "Armed signatures installed from peer arm-broadcasts."),
 		persistErrors:  reg.Counter("immunity_hub_persist_errors_total", "Failed provenance-store appends."),
+		fenced:         reg.Counter("immunity_hub_fenced_total", "Stale peer arm-broadcasts refused by the membership fencing rule."),
+		replicaRecords: reg.Counter("immunity_hub_replica_records_total", "Deputy-replicated pending confirmation sets installed."),
+		handoffRecords: reg.Counter("immunity_hub_handoff_records_total", "Owned provenance records imported via ownership handoff."),
 		deviceSessions: reg.Gauge("immunity_hub_device_sessions", "Devices currently attached by hello."),
 		peerSessions:   reg.Gauge("immunity_hub_peer_sessions", "Peer hubs currently attached by peer-hello."),
 		pushDepth:      reg.Gauge("immunity_hub_push_pending", "Items pending (queued + in flight) across all session push queues."),
@@ -165,8 +181,9 @@ type fleetSig struct {
 // ClusterBinding is how a federated cluster node (internal/immunity/
 // cluster) plugs into a hub. The Exchange calls it to decide ownership
 // and to relay device reports for foreign signatures; it never holds
-// Exchange.mu across these calls except Owns, which must therefore be
-// pure (no locking back into the Exchange).
+// Exchange.mu across these calls except the pure ones (Owns, OwnerOf,
+// Epoch, MemberSnapshot), which must not call back into the Exchange —
+// the node answers them from its own leaf-locked membership state.
 type ClusterBinding interface {
 	// SelfID is this hub's cluster id.
 	SelfID() string
@@ -175,13 +192,37 @@ type ClusterBinding interface {
 	// Owns reports whether this hub owns the signature key. It is called
 	// with Exchange.mu held and must not call back into the Exchange.
 	Owns(key string) bool
+	// OwnerOf names the hub currently owning key under the live ring.
+	// Pure: called with Exchange.mu held.
+	OwnerOf(key string) string
+	// Epoch is the membership epoch — the fencing token stamped on
+	// arm-broadcasts and checked on receipt. Pure: called with
+	// Exchange.mu held.
+	Epoch() uint64
+	// MemberSnapshot is the full membership state at its current epoch,
+	// pushed to freshly handshaken peers. Pure: called with Exchange.mu
+	// held.
+	MemberSnapshot() wire.MemberUpdate
 	// ForwardReport relays a device's report for foreign signatures
 	// toward their owning hubs, preserving the device attribution; keys
 	// holds each signature's canonical key (parallel to sigs) so the
-	// node can group by owner without re-decoding. It is called without
-	// Exchange.mu held and must not block (the cluster queues per-peer
-	// and redials in the background).
-	ForwardReport(device string, sigs []wire.Signature, keys []string)
+	// node can group by owner without re-decoding, and hops the number
+	// of forwarding legs already taken. It is called without Exchange.mu
+	// held and must not block (the cluster queues per-peer and redials
+	// in the background).
+	ForwardReport(device string, sigs []wire.Signature, keys []string, hops int)
+	// Replicate copies one owned, unarmed confirmation set to the key's
+	// deputy so arming survives an owner crash. Called without
+	// Exchange.mu held; must not block.
+	Replicate(key string, rec wire.OwnedRecord)
+	// ApplyMemberUpdate merges a peer's membership snapshot (adopt if
+	// newer, deterministic merge at equal epochs). Called without
+	// Exchange.mu held — it re-binds ownership, which locks the hub.
+	ApplyMemberUpdate(u wire.MemberUpdate)
+	// PeerSeen records a completed inbound peer handshake: an unknown
+	// hub with an address is admitted into the membership, a down-marked
+	// hub is revived. Called without Exchange.mu held.
+	PeerSeen(hub, addr string)
 }
 
 // Exchange is the fleet hub. It holds no references to device Services —
@@ -220,6 +261,7 @@ type Exchange struct {
 	ownerSeq       uint64
 	forwards       uint64
 	remoteInstalls uint64
+	fenced         uint64
 
 	// persistMu serializes provenance-store appends in mutation order;
 	// acquired while still holding mu, released after the write (same
@@ -441,11 +483,14 @@ func (x *Exchange) recordLocked(key string, e *fleetSig) ProvenanceRecord {
 		OwnerSeq:       e.ownerSeq,
 		RemoteConfirms: e.remoteConfirms,
 	}
-	if e.owner != "" && e.owner != x.selfID {
+	if e.owner != "" && e.owner != x.selfID && e.armed {
 		// Replicated armed entry: persist only the slim record — the
 		// signature, its owner, and the arming — never the confirmation
 		// bookkeeping, which is the owner's alone. pushedTo stays: it is
-		// this hub's own delivery state for its attached devices.
+		// this hub's own delivery state for its attached devices. An
+		// *unarmed* foreign entry keeps its set: that is the deputy's
+		// shadow copy, and it must survive a deputy restart to keep the
+		// failover promise.
 		rec.ConfirmedBy = nil
 		rec.FirstSeen = ""
 	}
@@ -764,6 +809,28 @@ func (c *Conn) Handle(m wire.Message) error {
 			return c.refuse("forward-report before peer-hello")
 		}
 		return c.hub.admitReport(func() error { return c.handleForwardReport(m.Forward) })
+	case wire.TypeReplicate:
+		if peerHub == "" {
+			return c.refuse("replicate before peer-hello")
+		}
+		if err := c.hub.InstallReplica(m.Replicate.Owner, m.Replicate.Records); err != nil {
+			return c.refuse("%v", err)
+		}
+		return nil
+	case wire.TypeHandoff:
+		if peerHub == "" {
+			return c.refuse("handoff before peer-hello")
+		}
+		if err := c.hub.ImportOwned(m.Handoff.From, m.Handoff.Records); err != nil {
+			return c.refuse("%v", err)
+		}
+		return nil
+	case wire.TypeMemberUpdate:
+		if peerHub == "" {
+			return c.refuse("member-update before peer-hello")
+		}
+		c.hub.applyMemberUpdate(*m.Member)
+		return nil
 	default:
 		return c.refuse("unexpected client message type %q", m.Type)
 	}
@@ -932,11 +999,20 @@ func (c *Conn) handlePeerHello(m wire.Message) error {
 		}
 	}
 	sort.Slice(replay, func(i, j int) bool { return replay[i].e.ownerSeq < replay[j].e.ownerSeq })
+	fence := x.cluster.Epoch()
 	for _, oe := range replay {
 		c.push(wire.Message{Type: wire.TypeArmBroadcast,
 			Arm: &wire.ArmBroadcast{Owner: x.selfID, Seq: oe.e.ownerSeq,
-				Confirmations: len(oe.e.confirmedBy), Sig: oe.e.ws}})
+				Confirmations: len(oe.e.confirmedBy), Sig: oe.e.ws, Fence: fence}})
 	}
+	if ver >= wire.MembershipVersion {
+		// Seed the dialer's membership view: the snapshot predates any
+		// admission this handshake itself triggers (PeerSeen below), whose
+		// higher-epoch update follows over the regular links.
+		snap := x.cluster.MemberSnapshot()
+		c.push(wire.Message{Type: wire.TypeMemberUpdate, Member: &snap})
+	}
+	cluster := x.cluster
 	x.mu.Unlock()
 
 	if stale != nil {
@@ -944,6 +1020,10 @@ func (c *Conn) handlePeerHello(m wire.Message) error {
 			Ack: &wire.Ack{OK: false, Error: fmt.Sprintf("superseded by a newer session for hub %s", h.Hub)}})
 		go stale.Close()
 	}
+	// A completed inbound handshake is liveness (and, with an address, a
+	// join request): revive or admit the dialer. Runs without x.mu — it
+	// can re-bind ownership, which locks the hub.
+	cluster.PeerSeen(h.Hub, h.Addr)
 	return nil
 }
 
@@ -964,7 +1044,11 @@ func (c *Conn) handleForwardReport(f *wire.ForwardReport) error {
 		}
 		sigs = append(sigs, sig)
 	}
-	for _, confirm := range c.hub.reportFrom(f.Device, sigs, true) {
+	hops := f.Hops
+	if hops < 1 {
+		hops = 1 // pre-v4 peers don't count legs; one was taken to get here
+	}
+	for _, confirm := range c.hub.reportFrom(f.Device, sigs, hops) {
 		c.push(wire.Message{Type: wire.TypeForwardConfirm,
 			FwdConfirm: &wire.ForwardConfirm{Device: f.Device, Confirm: *confirm}})
 	}
@@ -1013,7 +1097,7 @@ func (c *Conn) handleReport(device string, r *wire.Report) error {
 		}
 		sigs = append(sigs, sig)
 	}
-	for _, confirm := range c.hub.reportFrom(device, sigs, false) {
+	for _, confirm := range c.hub.reportFrom(device, sigs, 0) {
 		c.push(wire.Message{Type: wire.TypeConfirm, Confirm: confirm})
 	}
 	return nil
@@ -1049,7 +1133,7 @@ func (c *Conn) Close() {
 // report records a single confirmation; tests drive the hub's dedup
 // guards through it directly.
 func (x *Exchange) report(device string, sig *core.Signature) (confirmations int, armed bool) {
-	confirms := x.reportFrom(device, []*core.Signature{sig}, false)
+	confirms := x.reportFrom(device, []*core.Signature{sig}, 0)
 	if len(confirms) == 0 {
 		return 0, false
 	}
@@ -1066,11 +1150,15 @@ func (x *Exchange) report(device string, sig *core.Signature) (confirmations int
 // arrives later as a forward-confirm and reaches the device through
 // DeliverConfirm) — unless this hub already delivered the signature to
 // that device, in which case the report is the push coming back and is
-// answered locally as an echo. forwarded marks a batch that arrived
-// over a peer link: it is never relayed again, so disagreeing ownership
-// rings (a mid-rollout membership change) degrade to local counting
-// instead of forwarding ping-pong.
-func (x *Exchange) reportFrom(device string, sigs []*core.Signature, forwarded bool) []*wire.Confirm {
+// answered locally as an echo. hops counts forwarding legs already
+// taken: ownership can move while a forward sits in a retry outbox, so
+// a forwarded report for a signature this hub no longer owns is
+// re-forwarded to the current owner while hops < maxForwardHops, then
+// counted locally — churn degrades to one extra hop, never a
+// forwarding loop. Every fresh confirmation of an owned, still-unarmed
+// signature is replicated to the key's deputy so arming survives an
+// owner crash.
+func (x *Exchange) reportFrom(device string, sigs []*core.Signature, hops int) []*wire.Confirm {
 	x.mu.Lock()
 	if x.closed {
 		x.mu.Unlock()
@@ -1081,11 +1169,13 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, forwarded b
 	var fwd []wire.Signature
 	var fwdKeys []string
 	var broadcasts []*wire.ArmBroadcast
+	var replKeys []string
+	var replRecs []wire.OwnedRecord
 	for _, sig := range sigs {
 		key := sig.Key()
 		x.reports++
 		x.met.reports.Inc()
-		if x.cluster != nil && !forwarded && !x.cluster.Owns(key) {
+		if x.cluster != nil && hops < maxForwardHops && !x.cluster.Owns(key) {
 			if e, ok := x.entries[key]; ok && (e.pushedTo[device] || e.confirmedBy[device]) {
 				// The device only holds the signature because this hub (or
 				// a previous forward) already accounted for it: echo.
@@ -1127,11 +1217,18 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, forwarded b
 			x.confirms++
 			x.met.confirms.Inc()
 			if !e.armed && len(e.confirmedBy) >= x.threshold {
-				x.armLocked(key, e)
+				x.armLocked(e)
 				if x.cluster != nil && e.owner == x.selfID {
 					broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
-						Confirmations: len(e.confirmedBy), Sig: e.ws})
+						Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch()})
 				}
+			} else if x.cluster != nil && !e.armed && e.owner == x.selfID {
+				// Pending owned confirmation: copy the full set to the
+				// deputy. Each replicate carries the whole confirmedBy
+				// union, so a lost or reordered copy is repaired by the
+				// next one.
+				replKeys = append(replKeys, key)
+				replRecs = append(replRecs, ownedRecordLocked(e))
 			}
 			dirty = append(dirty, x.recordLocked(key, e))
 		}
@@ -1151,30 +1248,61 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, forwarded b
 	x.mu.Unlock()
 	persist()
 	if len(fwd) > 0 {
-		cluster.ForwardReport(device, fwd, fwdKeys)
+		cluster.ForwardReport(device, fwd, fwdKeys, hops+1)
+	}
+	for i, key := range replKeys {
+		cluster.Replicate(key, replRecs[i])
 	}
 	return confirms
 }
 
-// armLocked arms an owned entry: it assigns the local fleet epoch, the
-// owner arming seq (cluster mode), and pushes the delta to every
-// attached device as one encode-once frame — the broadcast is encoded
-// at most once per negotiated wire version, however many devices are
-// attached. Caller holds x.mu and appends the dirty record.
-func (x *Exchange) armLocked(key string, e *fleetSig) {
+// maxForwardHops bounds forwarding legs for one report: the device's
+// own hub plus one re-forward after an ownership move. A report still
+// not home after that is counted where it stands — with set-union
+// confirmations and idempotent arming that costs at worst a slightly
+// split count, never a loop.
+const maxForwardHops = 2
+
+// ownedRecordLocked snapshots an owned entry's provenance slice in its
+// wire form (handoff / deputy replication). Caller holds x.mu.
+func ownedRecordLocked(e *fleetSig) wire.OwnedRecord {
+	return wire.OwnedRecord{
+		Sig:         e.ws,
+		FirstSeen:   e.firstSeen,
+		ConfirmedBy: sortedKeys(e.confirmedBy),
+		Armed:       e.armed,
+		OwnerSeq:    e.ownerSeq,
+	}
+}
+
+// pushArmedLocked marks e armed, assigns the next local fleet epoch,
+// and pushes the delta to every attached device as one encode-once
+// frame — the arming's device-facing half, shared by local armings,
+// remote installs, and handoff imports. Caller holds x.mu. The fleet
+// epoch therefore counts arm events exactly once per signature per
+// hub: epoch == armed-signature count is the no-double-arm invariant
+// the chaos tests assert.
+func (x *Exchange) pushArmedLocked(e *fleetSig) {
 	e.armed = true
 	x.epoch++
 	e.armEpoch = x.epoch
 	x.met.armed.Inc()
-	if x.cluster != nil {
-		x.ownerSeq++
-		e.ownerSeq = x.ownerSeq
-	}
 	d := wire.NewShared(wire.Message{Type: wire.TypeDelta,
 		Delta: &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{e.ws}}})
 	for id, conn := range x.conns {
 		conn.pushShared(d)
 		e.pushedTo[id] = true
+	}
+}
+
+// armLocked arms an owned entry: the device-facing push plus the owner
+// arming seq (cluster mode). Caller holds x.mu and appends the dirty
+// record.
+func (x *Exchange) armLocked(e *fleetSig) {
+	x.pushArmedLocked(e)
+	if x.cluster != nil {
+		x.ownerSeq++
+		e.ownerSeq = x.ownerSeq
 	}
 }
 
@@ -1185,6 +1313,16 @@ func (x *Exchange) armLocked(key string, e *fleetSig) {
 // replay after an ownership-ring hiccup, an at-least-once forward
 // outbox — only refresh the replicated metadata. It returns whether the
 // broadcast newly armed the signature here.
+//
+// The fencing rule: a broadcast whose Fence (the sender's membership
+// epoch) is older than this hub's membership epoch is refused with
+// ErrFenced — unless the sender still owns the signature under this
+// hub's ring, in which case the sender is merely behind on membership
+// gossip, not deposed. A returning stale owner therefore cannot arm a
+// signature the cluster re-owned while it was dead, and — because an
+// owner change resets the entry into the new owner's seq namespace
+// instead of taking a cross-owner max — it cannot regress or inflate
+// the owner seq either.
 func (x *Exchange) InstallRemote(b wire.ArmBroadcast) (bool, error) {
 	sig, err := b.Sig.ToCore()
 	if err != nil {
@@ -1195,6 +1333,12 @@ func (x *Exchange) InstallRemote(b wire.ArmBroadcast) (bool, error) {
 	if x.closed {
 		x.mu.Unlock()
 		return false, fmt.Errorf("exchange: closed")
+	}
+	if x.cluster != nil && b.Fence < x.cluster.Epoch() && x.cluster.OwnerOf(key) != b.Owner {
+		x.fenced++
+		x.met.fenced.Inc()
+		x.mu.Unlock()
+		return false, ErrFenced
 	}
 	e, ok := x.entries[key]
 	if !ok {
@@ -1208,8 +1352,12 @@ func (x *Exchange) InstallRemote(b wire.ArmBroadcast) (bool, error) {
 		x.entries[key] = e
 		x.order = append(x.order, key)
 	}
-	e.owner = b.Owner
-	if b.Seq > e.ownerSeq {
+	if e.owner != b.Owner {
+		// Ownership moved: enter the new owner's seq namespace at its
+		// seq, never max across namespaces.
+		e.owner = b.Owner
+		e.ownerSeq = b.Seq
+	} else if b.Seq > e.ownerSeq {
 		e.ownerSeq = b.Seq
 	}
 	if b.Confirmations > e.remoteConfirms {
@@ -1217,23 +1365,245 @@ func (x *Exchange) InstallRemote(b wire.ArmBroadcast) (bool, error) {
 	}
 	applied := !e.armed
 	if applied {
-		e.armed = true
-		x.epoch++
-		e.armEpoch = x.epoch
-		x.met.armed.Inc()
+		x.pushArmedLocked(e)
 		x.remoteInstalls++
 		x.met.remoteInstalls.Inc()
-		d := wire.NewShared(wire.Message{Type: wire.TypeDelta,
-			Delta: &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{e.ws}}})
-		for id, conn := range x.conns {
-			conn.pushShared(d)
-			e.pushedTo[id] = true
-		}
 	}
 	persist := x.persistHandoffLocked([]ProvenanceRecord{x.recordLocked(key, e)})
 	x.mu.Unlock()
 	persist()
 	return applied, nil
+}
+
+// decodedRecord is one owned provenance record with its signature
+// decoded and keyed — replica and handoff batches decode before taking
+// the hub lock.
+type decodedRecord struct {
+	key string
+	sig *core.Signature
+	rec wire.OwnedRecord
+}
+
+func decodeOwnedRecords(from string, recs []wire.OwnedRecord) ([]decodedRecord, error) {
+	out := make([]decodedRecord, 0, len(recs))
+	for _, rec := range recs {
+		sig, err := rec.Sig.ToCore()
+		if err != nil {
+			return nil, fmt.Errorf("exchange: owned record from %s: %w", from, err)
+		}
+		out = append(out, decodedRecord{sig.Key(), sig, rec})
+	}
+	return out, nil
+}
+
+// ensureEntryLocked returns the entry for key, creating an empty one
+// (no owner, no firstSeen) if the hub has never seen the signature.
+// Caller holds x.mu.
+func (x *Exchange) ensureEntryLocked(key string, sig *core.Signature, ws wire.Signature) *fleetSig {
+	e, ok := x.entries[key]
+	if !ok {
+		e = &fleetSig{
+			sig:         &core.Signature{Kind: sig.Kind, Pairs: core.ClonePairs(sig.Pairs)},
+			ws:          ws,
+			seq:         len(x.order) + 1,
+			confirmedBy: make(map[string]bool),
+			pushedTo:    make(map[string]bool),
+		}
+		x.entries[key] = e
+		x.order = append(x.order, key)
+	}
+	return e
+}
+
+// broadcastArmsLocked fans freshly built arm-broadcasts out to every
+// live inbound peer session, one encode-once frame each. Caller holds
+// x.mu.
+func (x *Exchange) broadcastArmsLocked(broadcasts []*wire.ArmBroadcast) {
+	for _, b := range broadcasts {
+		sh := wire.NewShared(wire.Message{Type: wire.TypeArmBroadcast, Arm: b})
+		for _, pc := range x.peers {
+			pc.pushShared(sh)
+		}
+	}
+}
+
+// InstallReplica applies an owner→deputy replicate batch: each record's
+// pending confirmation set is merged (set union — at-least-once
+// delivery and reordering are harmless) into the local shadow entry
+// under the sender's ownership. A replica normally just sits until the
+// owner either arms the signature (broadcast) or dies (the membership
+// change re-owns the key and RebindOwnership promotes the shadow); a
+// replica arriving after this hub already took ownership counts
+// immediately and can arm at threshold.
+func (x *Exchange) InstallReplica(owner string, recs []wire.OwnedRecord) error {
+	ds, err := decodeOwnedRecords(owner, recs)
+	if err != nil {
+		return err
+	}
+	x.mu.Lock()
+	if x.closed || x.cluster == nil {
+		x.mu.Unlock()
+		return fmt.Errorf("exchange: closed or not clustered")
+	}
+	var dirty []ProvenanceRecord
+	var broadcasts []*wire.ArmBroadcast
+	for _, d := range ds {
+		e := x.ensureEntryLocked(d.key, d.sig, d.rec.Sig)
+		if e.firstSeen == "" {
+			e.firstSeen = d.rec.FirstSeen
+		}
+		for _, dev := range d.rec.ConfirmedBy {
+			e.confirmedBy[dev] = true
+		}
+		if e.owner != x.selfID {
+			e.owner = owner
+		}
+		x.met.replicaRecords.Inc()
+		if e.owner == x.selfID && !e.armed && len(e.confirmedBy) >= x.threshold {
+			x.armLocked(e)
+			broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
+				Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch()})
+		}
+		dirty = append(dirty, x.recordLocked(d.key, e))
+	}
+	x.broadcastArmsLocked(broadcasts)
+	persist := x.persistHandoffLocked(dirty)
+	x.mu.Unlock()
+	persist()
+	return nil
+}
+
+// ImportOwned applies a handoff batch: provenance slices for keys whose
+// ownership moved to this hub. Confirmation sets merge by union and
+// arm state by or — a record already armed by the previous owner is
+// installed (and re-sequenced into this owner's namespace), a pending
+// record past threshold arms now, and everything else resumes counting
+// exactly where the previous owner stopped. A record this hub does not
+// own under its current ring (the sender's membership was behind) is
+// kept as a shadow replica of the true owner instead of being dropped.
+func (x *Exchange) ImportOwned(from string, recs []wire.OwnedRecord) error {
+	ds, err := decodeOwnedRecords(from, recs)
+	if err != nil {
+		return err
+	}
+	x.mu.Lock()
+	if x.closed || x.cluster == nil {
+		x.mu.Unlock()
+		return fmt.Errorf("exchange: closed or not clustered")
+	}
+	var dirty []ProvenanceRecord
+	var broadcasts []*wire.ArmBroadcast
+	for _, d := range ds {
+		e := x.ensureEntryLocked(d.key, d.sig, d.rec.Sig)
+		if e.firstSeen == "" {
+			e.firstSeen = d.rec.FirstSeen
+		}
+		for _, dev := range d.rec.ConfirmedBy {
+			e.confirmedBy[dev] = true
+		}
+		x.met.handoffRecords.Inc()
+		if x.cluster.Owns(d.key) {
+			prevOwner := e.owner
+			e.owner = x.selfID
+			switch {
+			case !e.armed && (d.rec.Armed || len(e.confirmedBy) >= x.threshold):
+				// Either the previous owner armed it and died before every
+				// peer saw the broadcast, or the merged set crosses the
+				// threshold here: arm under this owner's seq and tell the
+				// cluster.
+				x.armLocked(e)
+				broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
+					Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch()})
+			case e.armed && prevOwner != x.selfID:
+				// Already armed here as a replica; adopting ownership moves
+				// the arming into this owner's seq namespace so peer
+				// catch-up replays stay coherent.
+				x.ownerSeq++
+				e.ownerSeq = x.ownerSeq
+			}
+		} else {
+			if e.owner != x.selfID {
+				e.owner = x.cluster.OwnerOf(d.key)
+			}
+			if d.rec.Armed && !e.armed {
+				x.pushArmedLocked(e)
+				x.remoteInstalls++
+				x.met.remoteInstalls.Inc()
+			}
+		}
+		dirty = append(dirty, x.recordLocked(d.key, e))
+	}
+	x.broadcastArmsLocked(broadcasts)
+	persist := x.persistHandoffLocked(dirty)
+	x.mu.Unlock()
+	persist()
+	return nil
+}
+
+// RebindOwnership re-evaluates every entry against the current live
+// ring after a membership change. Keys this hub gained are promoted —
+// an armed replica is re-sequenced into this owner's namespace, a
+// pending shadow set past threshold arms immediately (the deputy
+// assuming a dead owner's keys is exactly this path) — and keys it
+// lost are demoted, with their provenance slices returned grouped by
+// new owner for the cluster node to hand off. The handoff ordering is
+// therefore: membership applied first (so Owns answers move), local
+// promotion/demotion second, handoff enqueue third — a report arriving
+// in between is forwarded to the new owner, whose set-union merge makes
+// the race harmless.
+func (x *Exchange) RebindOwnership() map[string][]wire.OwnedRecord {
+	x.mu.Lock()
+	if x.closed || x.cluster == nil {
+		x.mu.Unlock()
+		return nil
+	}
+	handoffs := make(map[string][]wire.OwnedRecord)
+	var dirty []ProvenanceRecord
+	var broadcasts []*wire.ArmBroadcast
+	for _, key := range x.order {
+		e := x.entries[key]
+		newOwner := x.cluster.OwnerOf(key)
+		switch {
+		case newOwner == x.selfID && e.owner != x.selfID:
+			e.owner = x.selfID
+			if e.armed {
+				x.ownerSeq++
+				e.ownerSeq = x.ownerSeq
+			} else {
+				e.ownerSeq = 0
+				if len(e.confirmedBy) >= x.threshold {
+					x.armLocked(e)
+					broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
+						Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch()})
+				}
+			}
+			dirty = append(dirty, x.recordLocked(key, e))
+		case newOwner != x.selfID && e.owner == x.selfID:
+			handoffs[newOwner] = append(handoffs[newOwner], ownedRecordLocked(e))
+			e.owner = newOwner
+			// The demoted entry leaves this owner's seq namespace; the new
+			// owner re-sequences on import and its broadcasts re-stamp it.
+			e.ownerSeq = 0
+			dirty = append(dirty, x.recordLocked(key, e))
+		}
+	}
+	x.broadcastArmsLocked(broadcasts)
+	persist := x.persistHandoffLocked(dirty)
+	x.mu.Unlock()
+	persist()
+	return handoffs
+}
+
+// applyMemberUpdate forwards a peer's membership snapshot to the
+// cluster binding. Runs without x.mu held across the apply — merging
+// can re-bind ownership, which locks the hub.
+func (x *Exchange) applyMemberUpdate(u wire.MemberUpdate) {
+	x.mu.Lock()
+	cluster := x.cluster
+	x.mu.Unlock()
+	if cluster != nil {
+		cluster.ApplyMemberUpdate(u)
+	}
 }
 
 // DeliverConfirm relays an owner's forward-confirm receipt to the
@@ -1280,10 +1650,14 @@ func (x *Exchange) status() *wire.Status {
 	}
 	sort.Strings(st.Devices)
 	if x.cluster != nil {
+		snap := x.cluster.MemberSnapshot()
 		cs := &wire.ClusterStatus{
-			Members:  x.cluster.Members(),
-			OwnerSeq: x.ownerSeq,
-			Forwards: x.forwards,
+			Members:         x.cluster.Members(),
+			OwnerSeq:        x.ownerSeq,
+			Forwards:        x.forwards,
+			MembershipEpoch: snap.Epoch,
+			Ring:            snap.Members,
+			Fenced:          x.fenced,
 		}
 		for id := range x.peers {
 			cs.Peers = append(cs.Peers, id)
@@ -1305,12 +1679,23 @@ func (x *Exchange) status() *wire.Status {
 			Kind:          e.sig.Kind.String(),
 			FirstSeen:     e.firstSeen,
 			Confirmations: max(len(e.confirmedBy), e.remoteConfirms),
-			ConfirmedBy:   sortedKeys(e.confirmedBy),
+			ConfirmedBy:   x.confirmedByView(e),
 			Armed:         e.armed,
 			Owner:         e.owner,
 		})
 	}
 	return st
+}
+
+// confirmedByView is the externally visible confirmation set: only the
+// owning hub exposes it — a deputy's shadow copy is an implementation
+// detail of failover, and showing it would break the operator contract
+// that exactly one hub holds the authoritative set.
+func (x *Exchange) confirmedByView(e *fleetSig) []string {
+	if e.owner != "" && e.owner != x.selfID {
+		return nil
+	}
+	return sortedKeys(e.confirmedBy)
 }
 
 // Status returns the hub's observability snapshot — the same payload a
@@ -1330,7 +1715,7 @@ func (x *Exchange) Provenance() []Provenance {
 			Kind:          e.sig.Kind,
 			FirstSeen:     e.firstSeen,
 			Confirmations: max(len(e.confirmedBy), e.remoteConfirms),
-			ConfirmedBy:   sortedKeys(e.confirmedBy),
+			ConfirmedBy:   x.confirmedByView(e),
 			Armed:         e.armed,
 			Owner:         e.owner,
 		})
@@ -1360,6 +1745,7 @@ func (x *Exchange) Stats() ExchangeStats {
 		PersistErrors:     x.persistErrors.Load(),
 		Forwards:          x.forwards,
 		RemoteInstalls:    x.remoteInstalls,
+		Fenced:            x.fenced,
 		AdmissionAdmitted: x.admit.Admitted(),
 		AdmissionDelayed:  x.admit.Delayed(),
 		AdmissionShed:     x.admit.Shed(),

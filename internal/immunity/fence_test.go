@@ -1,0 +1,145 @@
+package immunity
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity/wire"
+)
+
+// stubBinding is a scriptable ClusterBinding: tests control the
+// membership epoch and the per-key owner directly to replay exactly
+// the stale-owner scenarios the fencing rule exists for.
+type stubBinding struct {
+	self   string
+	epoch  uint64
+	owners map[string]string // key -> owner; missing keys default to self
+}
+
+func (s *stubBinding) SelfID() string    { return s.self }
+func (s *stubBinding) Members() []string { return []string{s.self} }
+func (s *stubBinding) Owns(key string) bool {
+	return s.OwnerOf(key) == s.self
+}
+func (s *stubBinding) OwnerOf(key string) string {
+	if o, ok := s.owners[key]; ok {
+		return o
+	}
+	return s.self
+}
+func (s *stubBinding) Epoch() uint64 { return s.epoch }
+func (s *stubBinding) MemberSnapshot() wire.MemberUpdate {
+	return wire.MemberUpdate{Epoch: s.epoch, Members: []wire.MemberInfo{{ID: s.self}}}
+}
+func (s *stubBinding) ForwardReport(string, []wire.Signature, []string, int) {}
+func (s *stubBinding) Replicate(string, wire.OwnedRecord)                    {}
+func (s *stubBinding) ApplyMemberUpdate(wire.MemberUpdate)                   {}
+func (s *stubBinding) PeerSeen(string, string)                               {}
+
+func fenceSig(id int) wire.Signature {
+	a := core.Frame{Class: "com.app.Fence", Method: "lockA", Line: 10 + id*100}
+	b := core.Frame{Class: "com.app.Fence", Method: "lockB", Line: 20 + id*100}
+	return wire.FromCore(&core.Signature{
+		Kind: core.DeadlockSig,
+		Pairs: []core.SigPair{
+			{Outer: core.CallStack{a}, Inner: core.CallStack{a}},
+			{Outer: core.CallStack{b}, Inner: core.CallStack{b}},
+		},
+	})
+}
+
+// TestFencingRefusesStaleOwner is the fencing regression test: a
+// deposed owner replaying arm-broadcasts stamped with a pre-failover
+// membership epoch must be refused (ErrFenced, no arming, counted),
+// while the *current* owner's broadcasts — and a behind-on-gossip
+// sender that still owns the key — stay installable.
+func TestFencingRefusesStaleOwner(t *testing.T) {
+	hub := newTestHub(t, 2)
+	ws := fenceSig(0)
+	sig, err := ws.ToCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sig.Key()
+
+	// Membership at epoch 3; the key was re-owned by hub-b after its
+	// original owner hub-a was failed over.
+	bind := &stubBinding{self: "local", epoch: 3, owners: map[string]string{key: "hub-b"}}
+	hub.BindCluster(bind)
+
+	// The stale owner hub-a replays its old broadcast, fenced at the
+	// epoch it armed under (1 < 3) — refused, nothing armed, counted.
+	applied, err := hub.InstallRemote(wire.ArmBroadcast{Owner: "hub-a", Seq: 7, Confirmations: 2, Sig: ws, Fence: 1})
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale owner's broadcast: applied=%v err=%v, want ErrFenced", applied, err)
+	}
+	if hub.ArmedCount() != 0 {
+		t.Fatal("fenced broadcast armed the signature")
+	}
+	if got := hub.Stats().Fenced; got != 1 {
+		t.Fatalf("fenced count = %d, want 1", got)
+	}
+	// A fenced broadcast must not have created a phantom entry either:
+	// provenance stays empty.
+	if got := len(hub.Provenance()); got != 0 {
+		t.Fatalf("fenced broadcast left %d provenance entries", got)
+	}
+
+	// The current owner, even one tick behind on membership gossip
+	// (fence 2 < epoch 3), is merely behind — not deposed: installable.
+	applied, err = hub.InstallRemote(wire.ArmBroadcast{Owner: "hub-b", Seq: 1, Confirmations: 2, Sig: ws, Fence: 2})
+	if err != nil || !applied {
+		t.Fatalf("current owner's broadcast: applied=%v err=%v, want applied", applied, err)
+	}
+
+	// Replays from the deposed owner stay fenced after the install too.
+	if _, err = hub.InstallRemote(wire.ArmBroadcast{Owner: "hub-a", Seq: 8, Confirmations: 2, Sig: ws, Fence: 1}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale replay after install: err=%v, want ErrFenced", err)
+	}
+	if got := hub.Stats().Fenced; got != 2 {
+		t.Fatalf("fenced count = %d, want 2", got)
+	}
+
+	// The stale owner catches up on membership (fence == epoch): its
+	// broadcast for a key it genuinely owns again is accepted.
+	ws2 := fenceSig(1)
+	applied, err = hub.InstallRemote(wire.ArmBroadcast{Owner: "hub-a", Seq: 9, Confirmations: 2, Sig: ws2, Fence: 3})
+	if err != nil || !applied {
+		t.Fatalf("caught-up owner's broadcast: applied=%v err=%v, want applied", applied, err)
+	}
+}
+
+// TestFencingOwnerChangeResetsSeqNamespace: when ownership of an armed
+// signature moves, the entry enters the new owner's seq namespace at
+// the new owner's seq — never a max across namespaces, so a new owner
+// starting from seq 1 is not masked by the old owner's higher numbers.
+func TestFencingOwnerChangeResetsSeqNamespace(t *testing.T) {
+	hub := newTestHub(t, 2)
+	ws := fenceSig(2)
+	sig, err := ws.ToCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sig.Key()
+	bind := &stubBinding{self: "local", epoch: 1, owners: map[string]string{key: "hub-a"}}
+	hub.BindCluster(bind)
+
+	if _, err := hub.InstallRemote(wire.ArmBroadcast{Owner: "hub-a", Seq: 41, Confirmations: 2, Sig: ws, Fence: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Failover: hub-b owns the key at epoch 2 and rebroadcasts from its
+	// own namespace.
+	bind.epoch = 2
+	bind.owners[key] = "hub-b"
+	if _, err := hub.InstallRemote(wire.ArmBroadcast{Owner: "hub-b", Seq: 1, Confirmations: 2, Sig: ws, Fence: 2}); err != nil {
+		t.Fatal(err)
+	}
+	seqs := hub.RemoteSeqs()
+	if got := seqs["hub-b"]; got != 1 {
+		t.Fatalf("new owner's resume seq = %d, want 1 (namespace not reset: %v)", got, seqs)
+	}
+	if got := seqs["hub-a"]; got != 0 {
+		t.Fatalf("deposed owner still claims resume seq %d, want 0 (%v)", got, seqs)
+	}
+}

@@ -34,8 +34,14 @@ type AIMDConfig struct {
 // Min — brownout semantics: protect the hub's processing latency and
 // push the queueing onto TCP backpressure, where the senders feel it.
 // When the storm drains, the windowed quantile recovers, the SLO
-// transitions breach→ok, and the next demand grows the pool back one
-// step per tick. Warn holds capacity (hysteresis, no flapping).
+// transitions breach→ok, and demand grows the pool back — in
+// slow-start below the last-known-good capacity (the capacity held
+// just before the breach forced a decrease): each tick doubles, capped
+// at that level, because +Step per tick takes most of a minute to
+// reclaim a deep multiplicative cut the hub already proved it can
+// serve. At and above last-known-good the controller is back in
+// untested territory and probes additively as before. Warn holds
+// capacity (hysteresis, no flapping).
 //
 // Every decision is visible: <name>_capacity follows Resize live, and
 // the controller's moves are counted on
@@ -53,6 +59,10 @@ type AdaptivePool struct {
 	// contract).
 	lastVerdicts uint64
 	lastShed     uint64
+	// lastGood is the capacity held just before the most recent
+	// decrease — the slow-start ceiling: recovery doubles per tick up
+	// to it, then probes additively. 0 until the first decrease.
+	lastGood int
 }
 
 // NewAdaptivePool builds the pool at cfg.Initial capacity with the
@@ -134,6 +144,13 @@ func (a *AdaptivePool) step(e *Evaluator) {
 	a.lastVerdicts, a.lastShed = verdicts, shedNow
 
 	state, known := e.State(a.cfg.SLO)
+	a.stepVerdict(shed, demand, state, known)
+}
+
+// stepVerdict applies one control decision to the capacity — split
+// from step so tests can drive the recovery slope without an evaluator
+// and real clock behind it.
+func (a *AdaptivePool) stepVerdict(shed, demand bool, state SLOState, known bool) {
 	capNow := a.Capacity()
 	switch {
 	case shed || (known && state == SLOBreach):
@@ -142,11 +159,22 @@ func (a *AdaptivePool) step(e *Evaluator) {
 			next = a.cfg.Min
 		}
 		if next < capNow {
+			a.lastGood = capNow
 			a.Resize(next)
 			a.decreases.Inc()
 		}
 	case known && state == SLOOK && demand:
-		next := capNow + a.cfg.Step
+		var next int
+		if capNow < a.lastGood {
+			// Slow-start: double back toward the capacity that held
+			// before the breach rather than crawl +Step per tick.
+			next = capNow * 2
+			if next > a.lastGood {
+				next = a.lastGood
+			}
+		} else {
+			next = capNow + a.cfg.Step
+		}
 		if next > a.cfg.Max {
 			next = a.cfg.Max
 		}

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAIMDSlowStartRecoverySlope: after a breach cuts capacity, the
+// recovery under an ok SLO with demand doubles per tick up to the
+// last-known-good capacity, then falls back to additive +Step probing
+// — the slope is 1→2→4→8→16→32, then 33, 34, ... instead of six
+// minutes of +1 ticks.
+func TestAIMDSlowStartRecoverySlope(t *testing.T) {
+	reg := NewRegistry()
+	a := NewAdaptivePool(reg, "test_pool", time.Second, AIMDConfig{
+		SLO: "lat", Initial: 32, Min: 1, Max: 64, Step: 1, Backoff: 0.03,
+	})
+
+	// Breach at capacity 32: the multiplicative cut floors at Min and
+	// records 32 as last-known-good.
+	a.stepVerdict(false, true, SLOBreach, true)
+	if got := a.Capacity(); got != 1 {
+		t.Fatalf("capacity after breach = %d, want 1", got)
+	}
+	if a.Decreases() != 1 {
+		t.Fatalf("decreases = %d, want 1", a.Decreases())
+	}
+
+	// Recovery: each ok-with-demand tick doubles toward 32, then +1.
+	want := []int{2, 4, 8, 16, 32, 33, 34}
+	for i, w := range want {
+		a.stepVerdict(false, true, SLOOK, true)
+		if got := a.Capacity(); got != w {
+			t.Fatalf("recovery tick %d: capacity = %d, want %d (slope %v)", i+1, got, w, want)
+		}
+	}
+	if got := a.Increases(); got != uint64(len(want)) {
+		t.Fatalf("increases = %d, want %d", got, len(want))
+	}
+
+	// No demand, no probe — slow-start must not creep an idle pool up.
+	a.stepVerdict(false, true, SLOBreach, true) // re-cut from 34
+	if got := a.Capacity(); got != 1 {
+		t.Fatalf("capacity after second breach = %d, want 1", got)
+	}
+	a.stepVerdict(false, false, SLOOK, true)
+	if got := a.Capacity(); got != 1 {
+		t.Fatalf("capacity grew without demand: %d", got)
+	}
+	// Warn holds capacity even with demand (hysteresis).
+	a.stepVerdict(false, true, SLOWarn, true)
+	if got := a.Capacity(); got != 1 {
+		t.Fatalf("capacity moved on warn: %d", got)
+	}
+	// And the new last-known-good is 34: doubling caps there.
+	for i := 0; i < 10; i++ {
+		a.stepVerdict(false, true, SLOOK, true)
+	}
+	// 1→2→4→8→16→32→34 (capped), then +1 per tick: 10 ticks land on 38.
+	if got := a.Capacity(); got != 38 {
+		t.Fatalf("capacity after 10 recovery ticks = %d, want 38", got)
+	}
+}

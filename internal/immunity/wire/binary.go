@@ -48,6 +48,9 @@ const (
 	binForwardReport
 	binForwardConfirm
 	binArmBroadcast
+	binMemberUpdate
+	binHandoff
+	binReplicate
 )
 
 // typeCode maps a message type to its binary code.
@@ -75,6 +78,12 @@ func typeCode(t Type) (byte, bool) {
 		return binForwardConfirm, true
 	case TypeArmBroadcast:
 		return binArmBroadcast, true
+	case TypeMemberUpdate:
+		return binMemberUpdate, true
+	case TypeHandoff:
+		return binHandoff, true
+	case TypeReplicate:
+		return binReplicate, true
 	}
 	return 0, false
 }
@@ -104,6 +113,12 @@ func codeType(c byte) (Type, bool) {
 		return TypeForwardConfirm, true
 	case binArmBroadcast:
 		return TypeArmBroadcast, true
+	case binMemberUpdate:
+		return TypeMemberUpdate, true
+	case binHandoff:
+		return TypeHandoff, true
+	case binReplicate:
+		return TypeReplicate, true
 	}
 	return "", false
 }
@@ -196,6 +211,28 @@ func appendConfirm(b []byte, c Confirm) []byte {
 	return appendBool(b, c.Armed)
 }
 
+func appendMembers(b []byte, ms []MemberInfo) []byte {
+	b = appendLen(b, len(ms), ms == nil)
+	for _, m := range ms {
+		b = appendStr(b, m.ID)
+		b = appendStr(b, m.Addr)
+		b = appendBool(b, m.Down)
+	}
+	return b
+}
+
+func appendOwnedRecords(b []byte, recs []OwnedRecord) []byte {
+	b = appendLen(b, len(recs), recs == nil)
+	for _, r := range recs {
+		b = appendSig(b, r.Sig)
+		b = appendStr(b, r.FirstSeen)
+		b = appendStrs(b, r.ConfirmedBy)
+		b = appendBool(b, r.Armed)
+		b = appendU64(b, r.OwnerSeq)
+	}
+	return b
+}
+
 // appendBinary appends m's binary envelope (no frame header) to dst.
 // It validates exactly as the JSON Encode does.
 func appendBinary(dst []byte, m Message) ([]byte, error) {
@@ -274,6 +311,9 @@ func appendBinary(dst []byte, m Message) ([]byte, error) {
 			b = appendInt(b, cs.Owned)
 			b = appendInt(b, cs.Remote)
 			b = appendU64(b, cs.Forwards)
+			b = appendU64(b, cs.MembershipEpoch)
+			b = appendMembers(b, cs.Ring)
+			b = appendU64(b, cs.Fenced)
 		}
 	case TypePeerHello:
 		h := m.PeerHello
@@ -281,11 +321,13 @@ func appendBinary(dst []byte, m Message) ([]byte, error) {
 		b = appendU64(b, h.Seq)
 		b = appendInt(b, h.MinV)
 		b = appendInt(b, h.MaxV)
+		b = appendStr(b, h.Addr)
 	case TypeForwardReport:
 		f := m.Forward
 		b = appendStr(b, f.Hub)
 		b = appendStr(b, f.Device)
 		b = appendSigs(b, f.Sigs)
+		b = appendInt(b, f.Hops)
 	case TypeForwardConfirm:
 		b = appendStr(b, m.FwdConfirm.Device)
 		b = appendConfirm(b, m.FwdConfirm.Confirm)
@@ -295,6 +337,17 @@ func appendBinary(dst []byte, m Message) ([]byte, error) {
 		b = appendU64(b, a.Seq)
 		b = appendInt(b, a.Confirmations)
 		b = appendSig(b, a.Sig)
+		b = appendU64(b, a.Fence)
+	case TypeMemberUpdate:
+		u := m.Member
+		b = appendU64(b, u.Epoch)
+		b = appendMembers(b, u.Members)
+	case TypeHandoff:
+		b = appendStr(b, m.Handoff.From)
+		b = appendOwnedRecords(b, m.Handoff.Records)
+	case TypeReplicate:
+		b = appendStr(b, m.Replicate.Owner)
+		b = appendOwnedRecords(b, m.Replicate.Records)
 	}
 	return b, nil
 }
@@ -479,6 +532,31 @@ func (d *bdec) confirm() Confirm {
 	return Confirm{Key: d.str(), Confirmations: d.int(), Armed: d.bool()}
 }
 
+func (d *bdec) members() []MemberInfo {
+	n := d.length()
+	if n < 0 {
+		return nil
+	}
+	out := make([]MemberInfo, 0, prealloc(n))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, MemberInfo{ID: d.str(), Addr: d.str(), Down: d.bool()})
+	}
+	return out
+}
+
+func (d *bdec) ownedRecords() []OwnedRecord {
+	n := d.length()
+	if n < 0 {
+		return nil
+	}
+	out := make([]OwnedRecord, 0, prealloc(n))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, OwnedRecord{Sig: d.sig(), FirstSeen: d.str(),
+			ConfirmedBy: d.strs(), Armed: d.bool(), OwnerSeq: d.u64()})
+	}
+	return out
+}
+
 // DecodeBinary unmarshals and structurally validates one binary
 // envelope — the binary twin of Decode. Trailing bytes are an error: a
 // frame is exactly one message.
@@ -532,19 +610,26 @@ func DecodeBinary(b []byte) (Message, error) {
 		case 0:
 		case 1:
 			st.Cluster = &ClusterStatus{Members: d.strs(), Peers: d.strs(),
-				OwnerSeq: d.u64(), Owned: d.int(), Remote: d.int(), Forwards: d.u64()}
+				OwnerSeq: d.u64(), Owned: d.int(), Remote: d.int(), Forwards: d.u64(),
+				MembershipEpoch: d.u64(), Ring: d.members(), Fenced: d.u64()}
 		default:
 			d.fail("bad presence byte %d", present)
 		}
 		m.Status = st
 	case TypePeerHello:
-		m.PeerHello = &PeerHello{Hub: d.str(), Seq: d.u64(), MinV: d.int(), MaxV: d.int()}
+		m.PeerHello = &PeerHello{Hub: d.str(), Seq: d.u64(), MinV: d.int(), MaxV: d.int(), Addr: d.str()}
 	case TypeForwardReport:
-		m.Forward = &ForwardReport{Hub: d.str(), Device: d.str(), Sigs: d.sigs()}
+		m.Forward = &ForwardReport{Hub: d.str(), Device: d.str(), Sigs: d.sigs(), Hops: d.int()}
 	case TypeForwardConfirm:
 		m.FwdConfirm = &ForwardConfirm{Device: d.str(), Confirm: d.confirm()}
 	case TypeArmBroadcast:
-		m.Arm = &ArmBroadcast{Owner: d.str(), Seq: d.u64(), Confirmations: d.int(), Sig: d.sig()}
+		m.Arm = &ArmBroadcast{Owner: d.str(), Seq: d.u64(), Confirmations: d.int(), Sig: d.sig(), Fence: d.u64()}
+	case TypeMemberUpdate:
+		m.Member = &MemberUpdate{Epoch: d.u64(), Members: d.members()}
+	case TypeHandoff:
+		m.Handoff = &Handoff{From: d.str(), Records: d.ownedRecords()}
+	case TypeReplicate:
+		m.Replicate = &Replicate{Owner: d.str(), Records: d.ownedRecords()}
 	}
 	if d.err != nil {
 		return Message{}, d.err

@@ -50,6 +50,38 @@
 // hub in peer-hello, and receives only the armings it missed — the
 // hub-to-hub twin of the device tier's resubscribe-from-epoch.
 //
+// # Membership messages (elastic clusters, v4)
+//
+// A v4 cluster is elastic: hubs join, leave, crash, and return, and the
+// ownership ring follows the live membership. Three more peer messages
+// carry that (all require a negotiated version >= MembershipVersion;
+// a v2/v3-pinned peer link simply never sends them and behaves as a
+// static ring):
+//
+//	type            direction       payload                 purpose
+//	----            ---------       -------                 -------
+//	member-update   both            epoch, members          full membership snapshot: adopt
+//	                                [{id, addr, down}]      if newer epoch, merge equal
+//	                                                        epochs deterministically
+//	handoff         dialer → hub    from, owned records     migrate an owned provenance
+//	                                                        slice (confirmation sets, arm
+//	                                                        state, owner seq) to the key's
+//	                                                        new owner after a ring change
+//	replicate       dialer → hub    owner, owned records    owner → deputy replication of a
+//	                                                        pending (unarmed) confirmation
+//	                                                        set, so arming survives an
+//	                                                        owner crash
+//
+// Fencing: every arm-broadcast carries the sender's membership epoch
+// (`fence`). A receiver refuses a broadcast whose fence is older than
+// its own membership epoch unless the sender still owns the signature
+// under the receiver's ring — which is what makes a returning stale
+// owner's replayed armings refusable (no double-arm, no owner-seq
+// regression) while same-epoch traffic flows untouched. peer-hello
+// additionally advertises the dialer's reachable address (`addr`) so an
+// answering hub can admit an unknown dialer into the membership and
+// third parties learn where to dial it.
+//
 // # Versioning and the version matrix
 //
 // Every message envelope carries the protocol version `v`. A v2+ hello
@@ -70,6 +102,9 @@
 //	             peer message set (federation)
 //	3   binary   hand-rolled varint codec (binary.go): same message set
 //	             and semantics as v2, different bytes on the wire
+//	4   binary   elastic membership: member-update/handoff/replicate
+//	             peer messages, arm-broadcast fencing epoch, peer-hello
+//	             advertised address
 //
 // The negotiation rules, applied by both ends:
 //
@@ -139,11 +174,15 @@ import (
 // advertised range (a bare v1 hello advertises exactly its envelope
 // version).
 const (
-	Version    = 3
+	Version    = 4
 	MinVersion = 1
 	// PeerVersion is the minimum negotiated version for the peer message
 	// set (hub federation).
 	PeerVersion = 2
+	// MembershipVersion is the minimum negotiated version for the
+	// elastic-membership peer messages (member-update, handoff,
+	// replicate); links negotiated lower behave as a static ring.
+	MembershipVersion = 4
 	// BinaryVersion is the first version framed with the binary codec;
 	// sessions negotiated below it stay on JSON.
 	BinaryVersion = 3
@@ -201,6 +240,11 @@ const (
 	TypeForwardReport  Type = "forward-report"
 	TypeForwardConfirm Type = "forward-confirm"
 	TypeArmBroadcast   Type = "arm-broadcast"
+
+	// The elastic-membership message set; requires MembershipVersion.
+	TypeMemberUpdate Type = "member-update"
+	TypeHandoff      Type = "handoff"
+	TypeReplicate    Type = "replicate"
 )
 
 // Message is the envelope: the version, the type, and exactly the one
@@ -220,6 +264,10 @@ type Message struct {
 	Forward    *ForwardReport  `json:"forward,omitempty"`
 	FwdConfirm *ForwardConfirm `json:"fwd_confirm,omitempty"`
 	Arm        *ArmBroadcast   `json:"arm,omitempty"`
+
+	Member    *MemberUpdate `json:"member,omitempty"`
+	Handoff   *Handoff      `json:"handoff,omitempty"`
+	Replicate *Replicate    `json:"replicate,omitempty"`
 }
 
 // Hello subscribes a device. Epoch is the fleet delta epoch the device
@@ -292,6 +340,12 @@ type PeerHello struct {
 	Seq  uint64 `json:"seq"`
 	MinV int    `json:"min_v,omitempty"`
 	MaxV int    `json:"max_v,omitempty"`
+
+	// Addr (v4) is the dialing hub's advertised wire address. An
+	// answering hub that does not know the dialer admits it into the
+	// membership under this address; empty means the dialer is not
+	// joinable (static config or no reachable address).
+	Addr string `json:"addr,omitempty"`
 }
 
 // ForwardReport relays a device's report from the hub it is attached to
@@ -303,6 +357,13 @@ type ForwardReport struct {
 	Hub    string      `json:"hub"`
 	Device string      `json:"device"`
 	Sigs   []Signature `json:"sigs"`
+
+	// Hops (v4) counts forwarding legs. Ownership can move while a
+	// forward sits in a retry outbox; a receiver that no longer owns a
+	// forwarded signature re-forwards it to the current owner as long as
+	// Hops stays below a small bound, then counts it locally — churn
+	// degrades to one extra hop, never a forwarding loop.
+	Hops int `json:"hops,omitempty"`
 }
 
 // ForwardConfirm is the owner's receipt for one forwarded signature,
@@ -322,6 +383,65 @@ type ArmBroadcast struct {
 	Seq           uint64    `json:"seq"`
 	Confirmations int       `json:"confirmations"`
 	Sig           Signature `json:"sig"`
+
+	// Fence (v4) is the sender's membership epoch at broadcast time. A
+	// receiver whose membership epoch is newer refuses the broadcast
+	// unless the sender still owns the signature under the receiver's
+	// ring — the rule that fences a returning stale owner's replays.
+	Fence uint64 `json:"fence,omitempty"`
+}
+
+// MemberInfo is one hub's entry in the membership: its cluster id, its
+// advertised wire address (empty if not dialable), and whether the
+// failure detector has marked it down. Down members stay listed — the
+// ownership ring is computed over live members only, and a completed
+// handshake with a down member revives it.
+type MemberInfo struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+	Down bool   `json:"down,omitempty"`
+}
+
+// MemberUpdate is a full membership snapshot at a membership epoch.
+// Receivers adopt a strictly newer epoch wholesale; two snapshots at
+// the same epoch that differ are merged deterministically (union of
+// members, down wins, longest address wins) and the merge bumps the
+// epoch — a join-semilattice, so concurrent membership changes converge
+// without consensus. Ownership mistakes during convergence are safe by
+// construction: confirmations are per-device unions, arming is
+// idempotent, and stale owners are fenced.
+type MemberUpdate struct {
+	Epoch   uint64       `json:"epoch"`
+	Members []MemberInfo `json:"members"`
+}
+
+// OwnedRecord is one signature's owned provenance slice as it travels
+// in a handoff or a replicate: the pending confirmation set, the arm
+// state, and the owner seq it was armed at (0 if unarmed).
+type OwnedRecord struct {
+	Sig         Signature `json:"sig"`
+	FirstSeen   string    `json:"first_seen,omitempty"`
+	ConfirmedBy []string  `json:"confirmed_by,omitempty"`
+	Armed       bool      `json:"armed,omitempty"`
+	OwnerSeq    uint64    `json:"owner_seq,omitempty"`
+}
+
+// Handoff migrates owned provenance records from a hub that stopped
+// owning them (membership changed under it) to their new owner. The
+// receiver merges by union, so at-least-once delivery and out-of-order
+// arrival are harmless; a record already past threshold arms at the
+// receiver on import.
+type Handoff struct {
+	From    string        `json:"from"`
+	Records []OwnedRecord `json:"records"`
+}
+
+// Replicate is the owner → deputy copy of a pending (unarmed) owned
+// confirmation set, sent on every fresh confirmation so the deputy can
+// resume counting — and arm at threshold — if the owner dies.
+type Replicate struct {
+	Owner   string        `json:"owner"`
+	Records []OwnedRecord `json:"records"`
 }
 
 // Status is the hub's observability snapshot.
@@ -352,6 +472,14 @@ type ClusterStatus struct {
 	Remote int `json:"remote"`
 	// Forwards counts device-reported signatures relayed to their owner.
 	Forwards uint64 `json:"forwards"`
+
+	// MembershipEpoch (v4) is the hub's membership epoch and Ring the
+	// full membership with liveness — the /status view an operator reads
+	// to answer "who is in the cluster and who is alive".
+	MembershipEpoch uint64       `json:"membership_epoch,omitempty"`
+	Ring            []MemberInfo `json:"ring,omitempty"`
+	// Fenced counts stale arm-broadcasts refused by the fencing rule.
+	Fenced uint64 `json:"fenced,omitempty"`
 }
 
 // SigStatus is one signature's fleet provenance as reported by status.
@@ -463,7 +591,8 @@ func (m Message) Validate() error {
 	payloads := 0
 	for _, p := range []bool{m.Hello != nil, m.Ack != nil, m.Report != nil,
 		m.Confirm != nil, m.Delta != nil, m.Status != nil,
-		m.PeerHello != nil, m.Forward != nil, m.FwdConfirm != nil, m.Arm != nil} {
+		m.PeerHello != nil, m.Forward != nil, m.FwdConfirm != nil, m.Arm != nil,
+		m.Member != nil, m.Handoff != nil, m.Replicate != nil} {
 		if p {
 			payloads++
 		}
@@ -498,6 +627,12 @@ func (m Message) Validate() error {
 		return want(m.FwdConfirm != nil)
 	case TypeArmBroadcast:
 		return want(m.Arm != nil)
+	case TypeMemberUpdate:
+		return want(m.Member != nil)
+	case TypeHandoff:
+		return want(m.Handoff != nil)
+	case TypeReplicate:
+		return want(m.Replicate != nil)
 	case TypeStatusReq:
 		if payloads != 0 {
 			return fmt.Errorf("wire message %s: unexpected payload", m.Type)

@@ -22,7 +22,7 @@ func TestWireVersionMatrix(t *testing.T) {
 		hubPin, clientPin    int // 0 = newest
 		want                 int
 	}{
-		{"v3-hub_v3-client", 0, 0, 3},
+		{"v4-hub_v4-client", 0, 0, 4},
 		{"v3-hub_v2-client", 0, 2, 2},
 		{"v3-hub_v1-client", 0, 1, 1},
 		{"v2-hub_v3-client", 2, 0, 2},

@@ -63,6 +63,36 @@
 // links; /status?owner=KEY answers which hub owns — and which hub is
 // deputy for — a signature key.
 //
+// The trust fabric is opt-in per daemon. -tls-cert/-tls-key serve the
+// exchange listener under TLS; adding -tls-ca turns the cluster mutual:
+// outbound peer links dial with the hub's own certificate, inbound
+// peer-hellos must present a fleet-CA client certificate whose common
+// name matches the claimed hub id, and a wrong-CA or misclaimed peer is
+// refused and counted (immunity_hub_auth_failures_total{reason=
+// "peer-identity"}). -auth-key (or -auth-keyring, a kid:key rotation
+// file) requires every device hello to carry a bearer token minted
+// under that key; the token's tenant claim scopes the session into an
+// isolated tenant fleet — per-tenant signature keys, provenance,
+// thresholds (-tenant-threshold tenant=N,...), pushes, and /status
+// views. Two utilities mint the material and exit:
+//
+//	immunityd -gen-ca DIR                          # fleet CA → DIR/ca.pem + DIR/ca-key.pem
+//	immunityd -gen-cert NAME -ca DIR [-hosts ...]  # leaf → DIR/NAME.pem + DIR/NAME-key.pem
+//	immunityd -mint-token -auth-key K [-tenant T] [-device D] [-ttl D]
+//
+// Client and storm modes take -tls-ca (verify the daemons' server
+// certificates) and -token (the bearer token every device hello
+// carries) to drive authenticated daemons.
+//
+// On SLO breach/clear transitions serve mode can page: -alert-url POSTs
+// the alert as JSON to a webhook, -alert-exec runs a shell command with
+// the alert in IMMUNITY_ALERT_* env vars; a cooldown dedup guard keeps
+// a flapping objective from paging repeatedly, and deliveries are
+// counted in immunity_slo_alerts_total. Backlog objectives (-slo-backlog)
+// watch the push-queue depth and summed forward-outbox lag; with -admit
+// auto the AIMD controller retreats on backlog breaches too, not just
+// report latency.
+//
 // -chaos runs the kill/restart acceptance drive in-process: a
 // federation of -hubs hubs storms -sigs signatures from -phones
 // devices while the owner of an in-flight slice is killed
@@ -91,15 +121,18 @@
 //
 // Usage:
 //
-//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE] [-admit N|auto -admit-wait D] [-slo-target D -slo-interval D] [-hub ID -peers ID=ADDR,... [-advertise ADDR] [-failover-after D] [-leave]]
-//	immunityd -connect ADDR[,ADDR...] [-phones N] [-procs N] [-threshold N] [-timeout D]
-//	immunityd -storm [-connect ADDR[,ADDR...]] [-phones N] [-sigs N] [-threshold N] [-hubs N] [-admit N|auto -admit-wait D] [-ramp-warmup D -ramp-flood D -ramp-rate N] [-timeout D]
+//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE] [-admit N|auto -admit-wait D] [-slo-target D -slo-interval D -slo-backlog N] [-alert-url URL] [-alert-exec CMD] [-tls-cert F -tls-key F [-tls-ca F]] [-auth-key K | -auth-keyring F] [-tenant-threshold T=N,...] [-hub ID -peers ID=ADDR,... [-advertise ADDR] [-failover-after D] [-leave]]
+//	immunityd -connect ADDR[,ADDR...] [-phones N] [-procs N] [-threshold N] [-timeout D] [-tls-ca F] [-token T]
+//	immunityd -storm [-connect ADDR[,ADDR...]] [-phones N] [-sigs N] [-threshold N] [-hubs N] [-admit N|auto -admit-wait D] [-ramp-warmup D -ramp-flood D -ramp-rate N] [-timeout D] [-tls-ca F] [-token T]
+//	immunityd -gen-ca DIR | -gen-cert NAME -ca DIR [-hosts H,...] | -mint-token -auth-key K [-tenant T] [-device D] [-ttl D]
 //	immunityd -chaos [-phones N] [-sigs N] [-threshold N] [-hubs N] [-kills N] [-failover-after D] [-timeout D]
 //	immunityd [-phones N] [-procs N] [-threshold N] [-timeout D] [-transport loopback|tcp] [-hubs N]
 //	immunityd -propagation [-procs N] [-sigs N] [-tcp]
 package main
 
 import (
+	"crypto/tls"
+	"crypto/x509"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -107,12 +140,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/auth"
 	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
 	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
@@ -159,8 +195,32 @@ func run(args []string) error {
 	rampWarmup := fs.Duration("ramp-warmup", 0, "with -storm: paced single-signature warmup phase before the flood")
 	rampFlood := fs.Duration("ramp-flood", 0, "with -storm: continuous full-batch flood phase after the warmup")
 	rampRate := fs.Int("ramp-rate", 20, "with -storm: warmup reports per second per device")
+	genCA := fs.String("gen-ca", "", "utility: mint a dev fleet CA into this directory (ca.pem + ca-key.pem) and exit")
+	genCert := fs.String("gen-cert", "", "utility: issue a leaf certificate with this name (the mutual-TLS peer identity) under the CA in -ca, writing NAME.pem + NAME-key.pem beside it, and exit")
+	caDir := fs.String("ca", "", "with -gen-cert: directory holding ca.pem + ca-key.pem (as written by -gen-ca; defaults to the -gen-ca directory when both are given)")
+	hostsFlag := fs.String("hosts", "", "with -gen-cert: comma-separated SAN hosts/IPs (default 127.0.0.1,::1,localhost)")
+	mintToken := fs.Bool("mint-token", false, "utility: mint a device bearer token signed by -auth-key and exit (claims from -tenant, -device, -ttl)")
+	tenantFlag := fs.String("tenant", "", "with -mint-token: the token's tenant claim (empty = the default tenant)")
+	deviceFlag := fs.String("device", "*", "with -mint-token: the token's device claim ('*' = any device in the tenant)")
+	ttl := fs.Duration("ttl", 0, "with -mint-token: token lifetime (0 = never expires)")
+	tlsCert := fs.String("tls-cert", "", "with -serve: serve the exchange listener under TLS with this certificate (PEM; requires -tls-key)")
+	tlsKey := fs.String("tls-key", "", "with -serve: the TLS certificate's private key (PEM)")
+	tlsCA := fs.String("tls-ca", "", "trust anchors (PEM): with -serve, verifies peer-hub client certificates and outbound peer dials (mutual TLS); with -connect, verifies the daemons' server certificates")
+	authKey := fs.String("auth-key", "", "with -serve: require token-authenticated hellos, verified under this static HMAC key (also the signing key for -mint-token)")
+	authKeyring := fs.String("auth-keyring", "", "with -serve: require token-authenticated hellos, verified against this kid:key keyring file")
+	tenantThresholdsFlag := fs.String("tenant-threshold", "", "with -serve: per-tenant confirm thresholds as tenant=N[,tenant=N...] (unlisted tenants use -threshold)")
+	alertURL := fs.String("alert-url", "", "with -serve: POST SLO breach/clear alerts to this webhook URL as JSON")
+	alertExec := fs.String("alert-exec", "", "with -serve: run this shell command on SLO breach/clear (alert in IMMUNITY_ALERT_* env)")
+	tokenFlag := fs.String("token", "", "with -connect: bearer token each device's hello carries (for daemons serving with -auth-key/-auth-keyring)")
+	backlogTarget := fs.Int("slo-backlog", 1024, "with -serve: backlog SLO target — the push-queue depth and the summed forward-outbox lag must each stay at or under this many frames")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *genCA != "" || *genCert != "" {
+		return runGenTLS(*genCA, *genCert, *caDir, *hostsFlag)
+	}
+	if *mintToken {
+		return runMintToken(*authKey, *tenantFlag, *deviceFlag, *ttl)
 	}
 	admitCap, admitAuto, err := parseAdmit(*admit)
 	if err != nil {
@@ -178,7 +238,51 @@ func run(args []string) error {
 			}
 			seed += *join
 		}
-		members, err := parsePeers(seed)
+		// Auth and TLS material come first: peer transports are built
+		// from the seed below and must dial with the hub's certificate
+		// when the cluster runs mutual TLS.
+		var verifier auth.Verifier
+		switch {
+		case *authKey != "" && *authKeyring != "":
+			return fmt.Errorf("-auth-key and -auth-keyring are mutually exclusive")
+		case *authKey != "":
+			verifier = auth.NewStatic([]byte(*authKey))
+		case *authKeyring != "":
+			var err error
+			if verifier, err = auth.LoadKeyring(*authKeyring); err != nil {
+				return err
+			}
+		}
+		var serveTLS *tls.Config
+		var peerDial []immunity.TCPOption
+		peerAuth := false
+		if *tlsCert != "" || *tlsKey != "" {
+			if *tlsCert == "" || *tlsKey == "" {
+				return fmt.Errorf("-tls-cert and -tls-key go together")
+			}
+			cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+			if err != nil {
+				return fmt.Errorf("tls keypair: %w", err)
+			}
+			var pool *x509.CertPool
+			if *tlsCA != "" {
+				if pool, err = loadCertPool(*tlsCA); err != nil {
+					return err
+				}
+			}
+			serveTLS = auth.ServerConfig(cert, pool)
+			if pool != nil {
+				// Mutual TLS material is complete: outbound peer links
+				// dial with the hub's own certificate, and inbound
+				// peer-hellos must carry a fleet-CA certificate naming
+				// the claimed hub.
+				peerDial = []immunity.TCPOption{immunity.WithDialTLS(auth.PeerConfig(cert, pool, ""))}
+				peerAuth = true
+			}
+		} else if *tlsCA != "" {
+			return fmt.Errorf("-tls-ca with -serve requires -tls-cert/-tls-key (the hub's own certificate)")
+		}
+		members, err := parsePeers(seed, peerDial...)
 		if err != nil {
 			return err
 		}
@@ -201,13 +305,19 @@ func run(args []string) error {
 		if adv == "" {
 			adv = *listen
 		}
-		return runServe(serveConfig{
+		sc := serveConfig{
 			listen: *listen, httpAddr: *httpAddr, threshold: *threshold,
 			provenance: *provenance, hubID: *hubID, peers: members,
 			advertise: adv, failoverAfter: *failoverAfter, leave: *leave,
 			wirePin: *wirePin, admit: admitCap, admitAuto: admitAuto,
 			admitWait: *admitWait, sloTarget: *sloTarget, sloInterval: *sloInterval,
-		})
+			backlogTarget: *backlogTarget, alertURL: *alertURL, alertExec: *alertExec,
+			verifier: verifier, serveTLS: serveTLS, peerDial: peerDial, peerAuth: peerAuth,
+		}
+		if sc.tenantThresholds, err = parseTenantThresholds(*tenantThresholdsFlag); err != nil {
+			return err
+		}
+		return runServe(sc)
 	}
 	if *peers != "" || *join != "" || *hubID != "" {
 		return fmt.Errorf("-hub/-peers/-join only apply to -serve (use -hubs N for the simulation)")
@@ -217,6 +327,21 @@ func run(args []string) error {
 	}
 	if *wirePin != 0 {
 		return fmt.Errorf("-wire-pin only applies to -serve (the simulation and client mode always speak the newest version)")
+	}
+	if *tlsCert != "" || *tlsKey != "" || *authKey != "" || *authKeyring != "" ||
+		*tenantThresholdsFlag != "" || *alertURL != "" || *alertExec != "" {
+		return fmt.Errorf("-tls-cert/-tls-key/-auth-key/-auth-keyring/-tenant-threshold/-alert-url/-alert-exec only apply to -serve (or the -gen-ca/-gen-cert/-mint-token utilities)")
+	}
+	if (*tokenFlag != "" || *tlsCA != "") && *connect == "" {
+		return fmt.Errorf("-token/-tls-ca outside -serve require -connect (client mode against authenticated daemons)")
+	}
+	var clientTLS *tls.Config
+	if *tlsCA != "" {
+		pool, err := loadCertPool(*tlsCA)
+		if err != nil {
+			return err
+		}
+		clientTLS = auth.ClientConfig(pool, "")
 	}
 
 	if *chaos {
@@ -262,6 +387,8 @@ func run(args []string) error {
 			SLOInterval:      *sloInterval,
 			Timeout:          *timeout,
 			Dial:             *connect,
+			Token:            *tokenFlag,
+			TLS:              clientTLS,
 		}
 		if *rampWarmup > 0 || *rampFlood > 0 {
 			cfg.Ramp = &workload.StormRamp{
@@ -305,12 +432,97 @@ func run(args []string) error {
 		Transport:        workload.FleetTransport(*transport),
 		Hubs:             *hubs,
 		Dial:             *connect,
+		Token:            *tokenFlag,
+		TLS:              clientTLS,
 	}
 	res, err := workload.RunFleetImmunity(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Print(workload.FormatFleetImmunity(res))
+	return nil
+}
+
+// runGenTLS is the -gen-ca / -gen-cert utility: mint a dev fleet CA
+// and issue leaf certificates under it. Both may be given at once
+// (mint the CA, then issue a first leaf under it).
+func runGenTLS(genCADir, certName, caDir, hosts string) error {
+	if genCADir != "" {
+		if err := os.MkdirAll(genCADir, 0o755); err != nil {
+			return err
+		}
+		// Name the CA after its directory so two fleets' CAs get
+		// distinct subjects: a peer dialing with a foreign-CA leaf then
+		// withholds it (no acceptable issuer) and is refused at the
+		// hello identity gate instead of failing mid-handshake.
+		name := filepath.Base(filepath.Clean(genCADir))
+		if name == "." || name == string(filepath.Separator) {
+			name = "immunity-fleet-ca"
+		}
+		ca, err := auth.NewCA(name)
+		if err != nil {
+			return err
+		}
+		certFile := filepath.Join(genCADir, "ca.pem")
+		keyFile := filepath.Join(genCADir, "ca-key.pem")
+		if err := ca.Save(certFile, keyFile); err != nil {
+			return err
+		}
+		fmt.Printf("immunityd: fleet CA written to %s (key %s)\n", certFile, keyFile)
+		if caDir == "" {
+			caDir = genCADir
+		}
+	}
+	if certName == "" {
+		return nil
+	}
+	if caDir == "" {
+		return fmt.Errorf("-gen-cert requires -ca DIR (or a -gen-ca in the same run)")
+	}
+	ca, err := auth.LoadCA(filepath.Join(caDir, "ca.pem"), filepath.Join(caDir, "ca-key.pem"))
+	if err != nil {
+		return err
+	}
+	var sans []string
+	for _, h := range strings.Split(hosts, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			sans = append(sans, h)
+		}
+	}
+	if len(sans) == 0 {
+		sans = []string{"127.0.0.1", "::1", "localhost"}
+	}
+	certPEM, keyPEM, err := ca.Issue(certName, sans)
+	if err != nil {
+		return err
+	}
+	certFile := filepath.Join(caDir, certName+".pem")
+	keyFile := filepath.Join(caDir, certName+"-key.pem")
+	if err := os.WriteFile(certFile, certPEM, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(keyFile, keyPEM, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("immunityd: certificate %q written to %s (key %s)\n", certName, certFile, keyFile)
+	return nil
+}
+
+// runMintToken is the -mint-token utility: sign a bearer token for a
+// device (or a tenant-wide wildcard) under the -auth-key and print it.
+func runMintToken(key, tenant, device string, ttl time.Duration) error {
+	if key == "" {
+		return fmt.Errorf("-mint-token requires -auth-key (the signing key the hubs verify with)")
+	}
+	c := auth.Claims{Tenant: tenant, Device: device}
+	if ttl > 0 {
+		c.Exp = time.Now().Add(ttl).Unix()
+	}
+	token, err := auth.Mint([]byte(key), c)
+	if err != nil {
+		return err
+	}
+	fmt.Println(token)
 	return nil
 }
 
@@ -330,8 +542,10 @@ func parseAdmit(s string) (capacity int, auto bool, err error) {
 	return n, false, nil
 }
 
-// parsePeers parses "-peers id=addr,id=addr" into cluster members.
-func parsePeers(s string) ([]cluster.Member, error) {
+// parsePeers parses "-peers id=addr,id=addr" into cluster members whose
+// transports dial with the given options (mutual-TLS material when the
+// cluster is authenticated).
+func parsePeers(s string, dial ...immunity.TCPOption) ([]cluster.Member, error) {
 	var out []cluster.Member
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -342,9 +556,50 @@ func parsePeers(s string) ([]cluster.Member, error) {
 		if !ok || id == "" || addr == "" {
 			return nil, fmt.Errorf("malformed -peers entry %q (want id=addr)", part)
 		}
-		out = append(out, cluster.Member{ID: id, Transport: immunity.NewTCPTransport(addr)})
+		out = append(out, cluster.Member{ID: id, Transport: immunity.NewTCPTransport(addr, dial...)})
 	}
 	return out, nil
+}
+
+// parseTenantThresholds parses "-tenant-threshold tenant=N[,tenant=N]"
+// into the per-tenant confirm-threshold map.
+func parseTenantThresholds(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tenant, val, ok := strings.Cut(part, "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("malformed -tenant-threshold entry %q (want tenant=N)", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-tenant-threshold %q: want a positive count", part)
+		}
+		out[tenant] = n
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// loadCertPool reads a PEM bundle of trust anchors.
+func loadCertPool(path string) (*x509.CertPool, error) {
+	pem, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tls ca: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("tls ca: no certificates in %s", path)
+	}
+	return pool, nil
 }
 
 // daemon is a running serve-mode instance.
@@ -357,6 +612,7 @@ type daemon struct {
 	rates    *metrics.Rates
 	eval     *metrics.Evaluator
 	adaptive *metrics.AdaptivePool
+	alerter  *metrics.Alerter
 }
 
 // Addr returns the exchange's bound TCP address.
@@ -381,6 +637,9 @@ func (d *daemon) Close() {
 	d.srv.Close()
 	d.hub.Close()
 	d.rates.Stop()
+	if d.alerter != nil {
+		d.alerter.Close()
+	}
 }
 
 // serveConfig carries everything serve mode needs. Zero sloTarget and
@@ -401,11 +660,19 @@ type serveConfig struct {
 	admitWait        time.Duration
 	sloTarget        time.Duration
 	sloInterval      time.Duration
+	backlogTarget    int
+	alertURL         string
+	alertExec        string
+	serveTLS         *tls.Config
+	peerDial         []immunity.TCPOption
+	peerAuth         bool
+	verifier         auth.Verifier
+	tenantThresholds map[string]int
 }
 
 // buildVersion stamps the immunity_build_info gauge; bump it with the
 // roadmap's PR sequence.
-const buildVersion = "0.8.0"
+const buildVersion = "0.9.0"
 
 // startDaemon boots the exchange server, the optional cluster node, and
 // the /status + /metrics + /slo endpoints. One registry is shared by
@@ -417,6 +684,9 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 	}
 	if sc.sloInterval <= 0 {
 		sc.sloInterval = time.Second
+	}
+	if sc.backlogTarget <= 0 {
+		sc.backlogTarget = 1024
 	}
 	reg := metrics.NewRegistry()
 	reg.Info("immunity_build_info", "Build and protocol metadata (value is always 1).",
@@ -448,6 +718,14 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 		{Name: "report-latency", QuantileOf: "immunity_hub_report_seconds",
 			Target: sc.sloTarget.Seconds()},
 		{Name: "shed-zero", RateOf: "immunity_hub_admission_shed_total", Target: 0},
+		// Backlog objectives read the queue-depth gauges directly: the
+		// push queue serving devices and the summed per-peer forward
+		// outboxes. Either one growing past the target means the hub is
+		// falling behind even if report latency still looks fine.
+		{Name: "push-backlog", GaugeOf: "immunity_hub_push_pending",
+			Target: float64(sc.backlogTarget)},
+		{Name: "forward-backlog", GaugeOf: "immunity_cluster_forward_pending",
+			Target: float64(sc.backlogTarget)},
 	})
 	uptime := reg.FloatGauge("immunity_hub_uptime_seconds", "Seconds since daemon start.")
 	started := time.Now()
@@ -469,11 +747,21 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 	var adaptive *metrics.AdaptivePool
 	if sc.admitAuto {
 		adaptive = metrics.NewAdaptivePool(reg, "immunity_hub_admission", sc.admitWait,
-			metrics.AIMDConfig{SLO: "report-latency"})
+			metrics.AIMDConfig{SLO: "report-latency",
+				SLOs: []string{"push-backlog", "forward-backlog"}})
 		adaptive.Bind(eval)
 		opts = append(opts, immunity.WithAdmissionPool(adaptive.Pool))
 	} else if sc.admit > 0 {
 		opts = append(opts, immunity.WithAdmission(sc.admit, sc.admitWait))
+	}
+	if sc.verifier != nil {
+		opts = append(opts, immunity.WithAuthVerifier(sc.verifier))
+	}
+	if sc.peerAuth {
+		opts = append(opts, immunity.WithPeerAuth())
+	}
+	for tenant, threshold := range sc.tenantThresholds {
+		opts = append(opts, immunity.WithTenantThreshold(tenant, threshold))
 	}
 	hub, err := immunity.NewExchange(sc.threshold, opts...)
 	if err != nil {
@@ -492,7 +780,7 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 				if m.Addr == "" {
 					return nil
 				}
-				return immunity.NewTCPTransport(m.Addr)
+				return immunity.NewTCPTransport(m.Addr, sc.peerDial...)
 			},
 			FailoverAfter: sc.failoverAfter,
 			WireCeiling:   sc.wirePin, Metrics: reg,
@@ -502,7 +790,11 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 			return nil, err
 		}
 	}
-	srv, err := immunity.ServeTCP(hub, sc.listen)
+	var serveOpts []immunity.ServeOption
+	if sc.serveTLS != nil {
+		serveOpts = append(serveOpts, immunity.WithServeTLS(sc.serveTLS))
+	}
+	srv, err := immunity.ServeTCP(hub, sc.listen, serveOpts...)
 	if err != nil {
 		if node != nil {
 			node.Close()
@@ -512,6 +804,11 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 	}
 	d := &daemon{hub: hub, node: node, srv: srv,
 		rates: rates, eval: eval, adaptive: adaptive}
+	if sc.alertURL != "" || sc.alertExec != "" {
+		d.alerter = metrics.NewAlerter(reg, metrics.AlertConfig{
+			URL: sc.alertURL, Exec: sc.alertExec})
+		d.alerter.Watch(eval)
+	}
 	if sc.httpAddr != "" {
 		writeJSON := func(w http.ResponseWriter, v any) {
 			w.Header().Set("Content-Type", "application/json")
@@ -608,8 +905,33 @@ func runServe(sc serveConfig) error {
 		fmt.Printf(", admission %d/%s", sc.admit, sc.admitWait)
 	}
 	fmt.Println(")")
-	fmt.Printf("immunityd: slo report-latency p99<=%s, shed-zero; evaluated every %s (see /slo)\n",
-		sc.sloTarget, sc.sloInterval)
+	backlog := sc.backlogTarget
+	if backlog <= 0 {
+		backlog = 1024
+	}
+	fmt.Printf("immunityd: slo report-latency p99<=%s, shed-zero, push/forward backlog<=%d; evaluated every %s (see /slo)\n",
+		sc.sloTarget, backlog, sc.sloInterval)
+	if sc.serveTLS != nil {
+		if sc.peerAuth {
+			fmt.Println("immunityd: mutual TLS on (devices verify the hub; peer hubs present fleet-CA certificates)")
+		} else {
+			fmt.Println("immunityd: TLS on (devices verify the hub's certificate)")
+		}
+	}
+	if sc.verifier != nil {
+		fmt.Println("immunityd: token auth required (hellos must carry a bearer token)")
+	}
+	if len(sc.tenantThresholds) > 0 {
+		parts := make([]string, 0, len(sc.tenantThresholds))
+		for tenant, n := range sc.tenantThresholds {
+			parts = append(parts, fmt.Sprintf("%s=%d", tenant, n))
+		}
+		sort.Strings(parts)
+		fmt.Printf("immunityd: per-tenant thresholds %s (others %d)\n", strings.Join(parts, " "), sc.threshold)
+	}
+	if sc.alertURL != "" || sc.alertExec != "" {
+		fmt.Println("immunityd: slo alerting armed (breach/clear transitions page)")
+	}
 	if d.node != nil {
 		fmt.Printf("immunityd: cluster hub %s federating with %d seed peer(s): %s\n",
 			sc.hubID, len(sc.peers), strings.Join(d.node.Ring().Members(), " "))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"crypto/tls"
 	"encoding/json"
 	"io"
 	"net"
@@ -12,6 +13,8 @@ import (
 	"testing"
 	"time"
 
+	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/auth"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 	"github.com/dimmunix/dimmunix/internal/workload"
 )
@@ -120,6 +123,117 @@ func TestImmunitydServeAndClientMode(t *testing.T) {
 	defer d2.Close()
 	if st := d2.hub.Status(); st.Epoch != 1 || len(st.Provenance) != 1 || !st.Provenance[0].Armed {
 		t.Fatalf("restarted daemon status = %+v, want the armed signature back", st)
+	}
+}
+
+// TestImmunitydTLSAuthServe: the authenticated daemon end to end using
+// the CLI's own material — a -gen-ca/-gen-cert dev CA on disk, the hub
+// serving TLS with token auth and a per-tenant threshold, the fleet
+// workload connecting over TLS with a minted token, a token-less client
+// refused, and the tenant view visible in a TLS status probe.
+func TestImmunitydTLSAuthServe(t *testing.T) {
+	dir := t.TempDir()
+	if err := runGenTLS(dir, "hub0", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	cert, err := tls.LoadX509KeyPair(filepath.Join(dir, "hub0.pem"), filepath.Join(dir, "hub0-key.pem"))
+	if err != nil {
+		t.Fatalf("generated keypair unusable: %v", err)
+	}
+	pool, err := loadCertPool(filepath.Join(dir, "ca.pem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("daemon-test-key")
+	d, err := startDaemon(serveConfig{
+		listen: "127.0.0.1:0", httpAddr: "127.0.0.1:0", threshold: 2,
+		verifier: auth.NewStatic(key), serveTLS: auth.ServerConfig(cert, pool),
+		tenantThresholds: map[string]int{"beta": 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	clientTLS := auth.ClientConfig(pool, "")
+	token, err := auth.Mint(key, auth.Claims{Tenant: "alpha", Device: auth.WildcardDevice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.FleetImmunityConfig{
+		Phones: 3, ProcsPerPhone: 2, ConfirmThreshold: 2,
+		Timeout: 30 * time.Second, Dial: d.Addr(),
+		Token: token, TLS: clientTLS,
+	}
+	res, err := workload.RunFleetImmunity(cfg)
+	if err != nil {
+		t.Fatalf("authenticated client workload: %v", err)
+	}
+	if res.RemoteArmedBeforeThreshold != 0 {
+		t.Errorf("%d remote procs armed below threshold", res.RemoteArmedBeforeThreshold)
+	}
+	if len(res.Provenance) != 1 || !res.Provenance[0].Armed {
+		t.Fatalf("authenticated provenance: %+v", res.Provenance)
+	}
+
+	// A token-less client is refused before it can report anything.
+	noToken := cfg
+	noToken.Token = ""
+	noToken.Timeout = 10 * time.Second
+	if _, err := workload.RunFleetImmunity(noToken); err == nil {
+		t.Fatal("token-less client completed against an auth-required daemon")
+	}
+
+	// The status probe over TLS shows the tenant view: alpha's armed
+	// signature under the default threshold, nothing leaked elsewhere.
+	st, err := immunity.FetchStatus(d.Addr(), 5*time.Second, immunity.WithDialTLS(clientTLS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alphaSeen bool
+	for _, ts := range st.Tenants {
+		if ts.Tenant != "alpha" {
+			continue
+		}
+		alphaSeen = true
+		if ts.Armed != 1 || ts.Threshold != 2 {
+			t.Fatalf("alpha tenant status = %+v, want 1 armed at threshold 2", ts)
+		}
+	}
+	if !alphaSeen {
+		t.Fatalf("tenant view missing alpha: %+v", st.Tenants)
+	}
+}
+
+// TestImmunitydAuthFlagValidation: the auth flag surface fails closed.
+func TestImmunitydAuthFlagValidation(t *testing.T) {
+	if err := run([]string{"-mint-token"}); err == nil {
+		t.Error("-mint-token without -auth-key must fail")
+	}
+	if err := run([]string{"-token", "x", "-phones", "2"}); err == nil {
+		t.Error("-token without -connect must fail")
+	}
+	if err := run([]string{"-tls-ca", "nope.pem", "-phones", "2"}); err == nil {
+		t.Error("-tls-ca without -connect or -serve must fail")
+	}
+	if err := run([]string{"-serve", "-tls-cert", "c.pem"}); err == nil {
+		t.Error("-tls-cert without -tls-key must fail")
+	}
+	if err := run([]string{"-serve", "-auth-key", "k", "-auth-keyring", "f"}); err == nil {
+		t.Error("-auth-key with -auth-keyring must fail")
+	}
+	if err := run([]string{"-auth-key", "k", "-phones", "2"}); err == nil {
+		t.Error("-auth-key outside -serve must fail")
+	}
+	if _, err := parseTenantThresholds("beta=0"); err == nil {
+		t.Error("zero tenant threshold must fail")
+	}
+	if _, err := parseTenantThresholds("=2"); err == nil {
+		t.Error("empty tenant name must fail")
+	}
+	m, err := parseTenantThresholds("alpha=2, beta=3")
+	if err != nil || m["alpha"] != 2 || m["beta"] != 3 {
+		t.Errorf("parseTenantThresholds = %v, %v", m, err)
 	}
 }
 

@@ -195,22 +195,22 @@ func runWireBench(out string, propProcs, propSigs int) error {
 	fmt.Printf("  encode-once speedup: %.1fx ns/op, %.1fx allocs/op\n",
 		rep.Broadcast.NsSpeedup, rep.Broadcast.AllocRatio)
 
-	// Propagation latency percentiles, both tiers, through the live
-	// machinery (the v3 path end to end).
-	for _, tcp := range []bool{false, true} {
+	// Propagation latency percentiles, all three tiers, through the live
+	// machinery (the v3 path end to end; the auth tier adds TLS and
+	// token verification on the same path).
+	for _, tier := range []string{"on-device", "cross-device-tcp", "cross-device-tcp-auth"} {
 		var res workload.PropagationResult
 		var err error
-		if tcp {
+		switch tier {
+		case "cross-device-tcp":
 			res, err = workload.PropagationLatencyTCP(max(propProcs/4, 1), max(propSigs/2, 1))
-		} else {
+		case "cross-device-tcp-auth":
+			res, err = workload.PropagationLatencyTCPAuth(max(propProcs/4, 1), max(propSigs/2, 1))
+		default:
 			res, err = workload.PropagationLatency(propProcs, propSigs)
 		}
 		if err != nil {
 			return err
-		}
-		tier := "on-device"
-		if tcp {
-			tier = "cross-device-tcp"
 		}
 		rep.Propagation = append(rep.Propagation, propReport{
 			Tier: tier, Procs: res.Procs, Sigs: res.Sigs,

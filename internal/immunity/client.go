@@ -55,10 +55,11 @@ func (e errPermanent) Unwrap() error { return e.err }
 // installs into the Service, and automatic redial with backoff when the
 // transport session drops.
 type ExchangeClient struct {
-	id   string
-	t    Transport
-	svc  *Service
-	maxV int // highest wire version to advertise (WithClientWireCeiling)
+	id    string
+	t     Transport
+	svc   *Service
+	maxV  int    // highest wire version to advertise (WithClientWireCeiling)
+	token string // bearer token carried in every hello (WithClientToken)
 
 	mu        sync.Mutex
 	fromFleet map[string]bool // keys received from the hub; not re-reported
@@ -114,6 +115,16 @@ type ClientOption func(*ExchangeClient)
 // no cap.
 func WithClientWireCeiling(v int) ClientOption {
 	return func(c *ExchangeClient) { c.maxV = v }
+}
+
+// WithClientToken attaches a bearer token (see immunity/auth) to every
+// hello the client sends — required against an auth-enabled hub, whose
+// verifier must accept the token and find this device id in its device
+// claim. The token rides in the pre-negotiation hello (ignored by
+// auth-disabled hubs of any version), so the same client works against
+// both. An empty token leaves the hello bare.
+func WithClientToken(token string) ClientOption {
+	return func(c *ExchangeClient) { c.token = token }
 }
 
 // WithClientMetrics mirrors the client's session health onto reg,
@@ -209,7 +220,7 @@ func (c *ExchangeClient) dial() error {
 	// hub refuse a client that is perfectly able to speak v1.
 	hello := wire.Message{V: wire.MinVersion, Type: wire.TypeHello,
 		Hello: &wire.Hello{Device: c.id, Epoch: epoch,
-			MinV: wire.MinVersion, MaxV: c.maxV, Epochs: epochs}}
+			MinV: wire.MinVersion, MaxV: c.maxV, Epochs: epochs, Token: c.token}}
 	ackWait := helloTimeout
 	if err := sess.Send(hello); err != nil {
 		// A refused handshake surfaces differently per transport: over

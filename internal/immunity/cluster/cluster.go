@@ -361,7 +361,7 @@ func (n *Node) OwnerDeputy(key string) (owner, deputy string) {
 // Enqueue-only — a partitioned owner's outbox holds the report until
 // the link redials (the owner's dedup makes the at-least-once delivery
 // safe).
-func (n *Node) ForwardReport(device string, sigs []wire.Signature, keys []string, hops int) {
+func (n *Node) ForwardReport(tenant, device string, sigs []wire.Signature, keys []string, hops int) {
 	r := n.ring.Load()
 	groups := make(map[string][]wire.Signature)
 	for i, ws := range sigs {
@@ -374,9 +374,13 @@ func (n *Node) ForwardReport(device string, sigs []wire.Signature, keys []string
 	for owner, group := range groups {
 		if l := n.linkFor(owner); l != nil {
 			// The version is stamped at delivery time with the live
-			// session's negotiated version (link.deliver).
+			// session's negotiated version (link.deliver). The tenant
+			// travels with the report so the owner counts it in the right
+			// namespace (all sigs of one call share one tenant: reports
+			// arrive per session, sessions are tenant-bound).
 			l.outbox.Enqueue(wire.Message{Type: wire.TypeForwardReport,
-				Forward: &wire.ForwardReport{Hub: n.self, Device: device, Sigs: group, Hops: hops}})
+				Forward: &wire.ForwardReport{Hub: n.self, Device: device, Tenant: tenant,
+					Sigs: group, Hops: hops}})
 		}
 	}
 }
@@ -722,7 +726,7 @@ func (l *link) recv(att *dialAttempt, m wire.Message) {
 		}
 		l.mu.Unlock()
 	case wire.TypeForwardConfirm:
-		l.node.hub.DeliverConfirm(m.FwdConfirm.Device, m.FwdConfirm.Confirm)
+		l.node.hub.DeliverConfirm(m.FwdConfirm.Tenant, m.FwdConfirm.Device, m.FwdConfirm.Confirm)
 	case wire.TypeMemberUpdate:
 		// The answerer's membership snapshot (pushed at handshake and
 		// relayed on changes): merge, and run the pipeline if it moved

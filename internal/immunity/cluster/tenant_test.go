@@ -1,0 +1,173 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/auth"
+	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
+)
+
+// tenantCluster federates n hubs that all require token auth under one
+// fleet key and apply the given per-tenant confirm thresholds.
+func tenantCluster(t *testing.T, n, threshold int, key []byte, tenantThresholds map[string]int) ([]*immunity.Exchange, []*cluster.Node) {
+	t.Helper()
+	ids := hubNames(n)
+	hubs := make([]*immunity.Exchange, n)
+	for i := range hubs {
+		opts := []immunity.ExchangeOption{immunity.WithAuthVerifier(auth.NewStatic(key))}
+		for tenant, th := range tenantThresholds {
+			opts = append(opts, immunity.WithTenantThreshold(tenant, th))
+		}
+		hub, err := immunity.NewExchange(threshold, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(hub.Close)
+		hubs[i] = hub
+	}
+	nodes := make([]*cluster.Node, n)
+	for i := range nodes {
+		var peers []cluster.Member
+		for j := range hubs {
+			if j != i {
+				peers = append(peers, cluster.Member{ID: ids[j], Transport: immunity.NewLoopback(hubs[j])})
+			}
+		}
+		node, err := cluster.New(cluster.Config{Self: ids[i], Hub: hubs[i], Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(node.Close)
+		nodes[i] = node
+	}
+	return hubs, nodes
+}
+
+// tenantPhone connects a device whose token scopes it into a tenant.
+func tenantPhone(t *testing.T, name, tenant string, key []byte, tr immunity.Transport) *phone {
+	t.Helper()
+	token, err := auth.Mint(key, auth.Claims{Tenant: tenant, Device: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := immunity.NewService(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := immunity.Connect(tr, name, svc, immunity.WithClientToken(token))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close(); svc.Close() })
+	return &phone{svc: svc, client: client}
+}
+
+// TestClusterTenantIsolation: two tenants share a 3-hub cluster. Each
+// tenant's confirmations only count toward its own threshold (alpha at
+// the default 2, beta raised to 3), an arming only reaches the tenant
+// that earned it, and every hub's provenance keeps the tenants' records
+// disjoint — the same signature armed by alpha stays invisible to beta.
+func TestClusterTenantIsolation(t *testing.T) {
+	key := []byte("tenant-cluster-key")
+	hubs, _ := tenantCluster(t, 3, 2, key, map[string]int{"beta": 3})
+
+	// Three alpha phones and four beta phones, spread across the hubs so
+	// confirmations route through owner-forwarding with tenant-prefixed
+	// keys. The last phone of each tenant never publishes: a publisher's
+	// own service holds the signature locally, so only a pure observer
+	// proves an arming was (or was not) pushed to it.
+	alpha := make([]*phone, 3)
+	for i := range alpha {
+		alpha[i] = tenantPhone(t, fmt.Sprintf("alpha-phone%d", i), "alpha", key,
+			immunity.NewLoopback(hubs[i%len(hubs)]))
+	}
+	beta := make([]*phone, 4)
+	for i := range beta {
+		beta[i] = tenantPhone(t, fmt.Sprintf("beta-phone%d", i), "beta", key,
+			immunity.NewLoopback(hubs[i%len(hubs)]))
+	}
+	alphaObserver, betaObserver := alpha[2], beta[3]
+	sig := testSig(0)
+	sigKey := sig.Key()
+
+	// Alpha reaches its threshold of 2: alpha arms, beta must not see it.
+	for _, p := range alpha[:2] {
+		if _, _, err := p.svc.Publish("local", sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "alpha observer armed", func() bool { return alphaObserver.holds(sigKey) })
+	time.Sleep(20 * time.Millisecond)
+	if betaObserver.holds(sigKey) || beta[2].holds(sigKey) {
+		t.Fatal("beta devices received alpha's arming")
+	}
+
+	// Two beta confirmations sit below beta's raised threshold of 3 even
+	// though the same signature is already armed for alpha.
+	for _, p := range beta[:2] {
+		if _, _, err := p.svc.Publish("local", sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "beta confirmations recorded", func() bool {
+		for _, hub := range hubs {
+			for _, ts := range hub.Status().Tenants {
+				if ts.Tenant == "beta" && ts.Sigs == 1 {
+					return true
+				}
+			}
+		}
+		return false
+	})
+	time.Sleep(20 * time.Millisecond)
+	if beta[2].holds(sigKey) || betaObserver.holds(sigKey) {
+		t.Fatal("beta armed below beta's threshold of 3")
+	}
+
+	// The third beta confirmation arms beta — for beta's phones only.
+	if _, _, err := beta[2].svc.Publish("local", sig); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "beta observer armed at threshold 3", func() bool { return betaObserver.holds(sigKey) })
+
+	// Provenance stays disjoint per tenant on every hub that holds the
+	// owned records: the alpha record was confirmed only by alpha
+	// devices, the beta record only by beta devices, and the per-tenant
+	// status views carry each tenant's own threshold.
+	waitFor(t, "both tenants' records armed", func() bool {
+		armed := map[string]bool{}
+		for _, hub := range hubs {
+			for _, rec := range hub.Provenance() {
+				if rec.Armed {
+					armed[rec.Tenant] = true
+				}
+			}
+		}
+		return armed["alpha"] && armed["beta"]
+	})
+	for hi, hub := range hubs {
+		for _, rec := range hub.Provenance() {
+			want := rec.Tenant + "-phone"
+			for _, dev := range rec.ConfirmedBy {
+				if len(dev) < len(want) || dev[:len(want)] != want {
+					t.Fatalf("hub%d: tenant %q record confirmed by %q", hi, rec.Tenant, dev)
+				}
+			}
+		}
+		for _, ts := range hub.Status().Tenants {
+			switch ts.Tenant {
+			case "alpha":
+				if ts.Threshold != 2 {
+					t.Fatalf("hub%d: alpha threshold = %d, want the default 2", hi, ts.Threshold)
+				}
+			case "beta":
+				if ts.Threshold != 3 {
+					t.Fatalf("hub%d: beta threshold = %d, want the per-tenant 3", hi, ts.Threshold)
+				}
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/dimmunix/dimmunix/internal/core"
+	"github.com/dimmunix/dimmunix/internal/immunity/auth"
 	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 )
@@ -61,6 +62,10 @@ type Provenance struct {
 	// Owner is the cluster id of the hub that owns the signature's
 	// confirm-before-arm bookkeeping ("" outside a cluster).
 	Owner string
+	// Tenant scopes the record to one tenant's fleet ("" for the
+	// default tenant). Tenants' records never mix: confirmations,
+	// arming, and pushes all stay within the record's tenant.
+	Tenant string
 }
 
 // ExchangeStats snapshots the hub's counters.
@@ -113,6 +118,7 @@ type hubMetrics struct {
 	fenced         *metrics.Counter
 	replicaRecords *metrics.Counter
 	handoffRecords *metrics.Counter
+	authFailures   *metrics.CounterVec
 	deviceSessions *metrics.Gauge
 	peerSessions   *metrics.Gauge
 	pushDepth      *metrics.Gauge
@@ -135,6 +141,7 @@ func newHubMetrics(reg *metrics.Registry) hubMetrics {
 		fenced:         reg.Counter("immunity_hub_fenced_total", "Stale peer arm-broadcasts refused by the membership fencing rule."),
 		replicaRecords: reg.Counter("immunity_hub_replica_records_total", "Deputy-replicated pending confirmation sets installed."),
 		handoffRecords: reg.Counter("immunity_hub_handoff_records_total", "Owned provenance records imported via ownership handoff."),
+		authFailures:   reg.CounterVec("immunity_hub_auth_failures_total", "Sessions refused by authentication, by reason.", "reason"),
 		deviceSessions: reg.Gauge("immunity_hub_device_sessions", "Devices currently attached by hello."),
 		peerSessions:   reg.Gauge("immunity_hub_peer_sessions", "Peer hubs currently attached by peer-hello."),
 		pushDepth:      reg.Gauge("immunity_hub_push_pending", "Items pending (queued + in flight) across all session push queues."),
@@ -176,6 +183,48 @@ type fleetSig struct {
 	owner          string
 	ownerSeq       uint64
 	remoteConfirms int
+
+	// tenant is the fleet the signature belongs to ("" = default). The
+	// entry's map key is tenantKey(tenant, sig.Key()), so two tenants
+	// reporting the byte-identical signature hold two independent
+	// entries — confirmations, thresholds, and armings never cross.
+	tenant string
+}
+
+// tenantKey derives a signature's canonical hub key: the plain
+// signature key for the default tenant (every pre-v5 key is unchanged),
+// a tenant-prefixed key otherwise. The prefix rides through the
+// ownership ring hash, forwarding, replication, and handoff untouched —
+// tenancy is a property of the key, so every cluster path is
+// tenant-aware for free.
+func tenantKey(tenant, key string) string {
+	if tenant == "" {
+		return key
+	}
+	return "t=" + tenant + "|" + key
+}
+
+// sessKey is the conns-map key for one device session: device ids are
+// only unique within a tenant.
+func sessKey(tenant, device string) string {
+	if tenant == "" {
+		return device
+	}
+	return tenant + "/" + device
+}
+
+// authReason maps a verifier error to its failure-counter label.
+func authReason(err error) string {
+	switch {
+	case errors.Is(err, auth.ErrExpired):
+		return "expired"
+	case errors.Is(err, auth.ErrBadSignature):
+		return "bad-signature"
+	case errors.Is(err, auth.ErrUnknownKey):
+		return "unknown-key"
+	default:
+		return "malformed"
+	}
 }
 
 // ClusterBinding is how a federated cluster node (internal/immunity/
@@ -204,13 +253,13 @@ type ClusterBinding interface {
 	// held.
 	MemberSnapshot() wire.MemberUpdate
 	// ForwardReport relays a device's report for foreign signatures
-	// toward their owning hubs, preserving the device attribution; keys
-	// holds each signature's canonical key (parallel to sigs) so the
-	// node can group by owner without re-decoding, and hops the number
-	// of forwarding legs already taken. It is called without Exchange.mu
-	// held and must not block (the cluster queues per-peer and redials
-	// in the background).
-	ForwardReport(device string, sigs []wire.Signature, keys []string, hops int)
+	// toward their owning hubs, preserving the tenant and device
+	// attribution; keys holds each signature's canonical (tenant-
+	// prefixed) key (parallel to sigs) so the node can group by owner
+	// without re-decoding, and hops the number of forwarding legs
+	// already taken. It is called without Exchange.mu held and must not
+	// block (the cluster queues per-peer and redials in the background).
+	ForwardReport(tenant, device string, sigs []wire.Signature, keys []string, hops int)
 	// Replicate copies one owned, unarmed confirmation set to the key's
 	// deputy so arming survives an owner crash. Called without
 	// Exchange.mu held; must not block.
@@ -230,7 +279,17 @@ type ClusterBinding interface {
 // any transport that moves wire messages can carry a fleet.
 type Exchange struct {
 	threshold int
-	store     ProvenanceStore
+	// tenantThresholds overrides the confirm-before-arm threshold per
+	// tenant (WithTenantThreshold); tenants not listed use threshold.
+	tenantThresholds map[string]int
+	// verifier authenticates device hellos (nil = auth disabled: any
+	// socket may claim any device id, tokens are ignored — the pre-v5
+	// behavior). peerAuth additionally requires every peer-hello to
+	// arrive on a session whose transport identity (mutual-TLS client
+	// certificate) matches the claimed hub id.
+	verifier auth.Verifier
+	peerAuth bool
+	store    ProvenanceStore
 	// maxVer caps the negotiated wire version (WithWireCeiling); default
 	// wire.Version.
 	maxVer int
@@ -347,6 +406,52 @@ func WithAdmissionPool(p *metrics.Pool) ExchangeOption {
 	return func(x *Exchange) { x.admitPool = p }
 }
 
+// WithAuthVerifier turns on device authentication: every hello must
+// carry a bearer token the verifier accepts, whose device claim matches
+// the hello's device id; the token's tenant claim scopes the session,
+// so the device's signatures, confirmations, pushes, and thresholds
+// live in its tenant's namespace. Refusals are counted per reason on
+// immunity_hub_auth_failures_total. nil keeps auth disabled (the
+// default): tokens are ignored and every session lives in the default
+// "" tenant.
+func WithAuthVerifier(v auth.Verifier) ExchangeOption {
+	return func(x *Exchange) { x.verifier = v }
+}
+
+// WithPeerAuth requires every peer-hello to arrive on a session whose
+// transport identity — the mutual-TLS client-certificate common name
+// the transport recorded via Conn.SetTransportIdentity — matches the
+// claimed hub id. A rogue hub without a fleet-CA certificate (no
+// identity) or with another hub's name therefore cannot join the mesh
+// or replay arm-broadcasts.
+func WithPeerAuth() ExchangeOption {
+	return func(x *Exchange) { x.peerAuth = true }
+}
+
+// WithTenantThreshold overrides the confirm-before-arm threshold for
+// one tenant — tenants run fleets of very different sizes, so "distinct
+// devices before arming" is a per-tenant policy. Unlisted tenants use
+// the exchange-wide threshold.
+func WithTenantThreshold(tenant string, threshold int) ExchangeOption {
+	return func(x *Exchange) {
+		if threshold < 1 {
+			threshold = 1
+		}
+		if x.tenantThresholds == nil {
+			x.tenantThresholds = make(map[string]int)
+		}
+		x.tenantThresholds[tenant] = threshold
+	}
+}
+
+// thresholdFor is the confirm-before-arm threshold for one tenant.
+func (x *Exchange) thresholdFor(tenant string) int {
+	if t, ok := x.tenantThresholds[tenant]; ok {
+		return t
+	}
+	return x.threshold
+}
+
 // NewExchange creates a hub that arms a signature fleet-wide once
 // confirmThreshold distinct devices have reported it (values below 1 are
 // treated as 1: arm on first report). With WithProvenanceStore, prior
@@ -403,6 +508,7 @@ func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error
 				owner:          rec.Owner,
 				ownerSeq:       rec.OwnerSeq,
 				remoteConfirms: rec.RemoteConfirms,
+				tenant:         rec.Tenant,
 			}
 			for _, d := range rec.ConfirmedBy {
 				e.confirmedBy[d] = true
@@ -482,6 +588,7 @@ func (x *Exchange) recordLocked(key string, e *fleetSig) ProvenanceRecord {
 		Owner:          e.owner,
 		OwnerSeq:       e.ownerSeq,
 		RemoteConfirms: e.remoteConfirms,
+		Tenant:         e.tenant,
 	}
 	if e.owner != "" && e.owner != x.selfID && e.armed {
 		// Replicated armed entry: persist only the slim record — the
@@ -636,12 +743,36 @@ type Conn struct {
 	// only by encodeBatch on the queue's drain goroutine.
 	scratch []byte
 
-	mu        sync.Mutex
-	device    string // set by a successful hello
-	peerHub   string // set by a successful peer-hello
-	ver       int    // negotiated protocol version (0 before handshake)
-	closed    bool
-	closeOnce sync.Once
+	mu      sync.Mutex
+	device  string // set by a successful hello
+	tenant  string // the device's tenant, resolved from its token claims
+	peerHub string // set by a successful peer-hello
+	// transportIdentity is the authenticated identity the transport
+	// attached to the session — the mutual-TLS client-certificate
+	// common name — or "" for an unauthenticated transport. With
+	// WithPeerAuth, a peer-hello must claim exactly this identity.
+	transportIdentity string
+	ver               int // negotiated protocol version (0 before handshake)
+	closed            bool
+	closeOnce         sync.Once
+}
+
+// SetTransportIdentity records the transport-level authenticated
+// identity (mutual-TLS client-certificate common name) for this
+// session. Transports call it once, before feeding any message to
+// Handle.
+func (c *Conn) SetTransportIdentity(id string) {
+	c.mu.Lock()
+	c.transportIdentity = id
+	c.mu.Unlock()
+}
+
+// Tenant returns the tenant the session was scoped to by its token
+// claims ("" for the default tenant or before hello).
+func (c *Conn) Tenant() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tenant
 }
 
 // Device returns the device id bound by hello, or "".
@@ -786,7 +917,7 @@ func (c *Conn) Handle(m wire.Message) error {
 		c.mu.Unlock()
 		return fmt.Errorf("exchange session: closed")
 	}
-	device, peerHub := c.device, c.peerHub
+	device, tenant, peerHub := c.device, c.tenant, c.peerHub
 	c.mu.Unlock()
 
 	switch m.Type {
@@ -803,7 +934,7 @@ func (c *Conn) Handle(m wire.Message) error {
 		if device == "" {
 			return c.refuse("report before hello")
 		}
-		return c.hub.admitReport(func() error { return c.handleReport(device, m.Report) })
+		return c.hub.admitReport(func() error { return c.handleReport(tenant, device, m.Report) })
 	case wire.TypeForwardReport:
 		if peerHub == "" {
 			return c.refuse("forward-report before peer-hello")
@@ -853,9 +984,33 @@ func (c *Conn) handleHello(m wire.Message) error {
 	if h.Device == "" {
 		return c.refuse("empty device id")
 	}
+	x := c.hub
+	tenant := ""
+	if x.verifier != nil {
+		// Authentication happens before any registration: a refused hello
+		// leaves no trace in the conns map. Each refusal is counted by
+		// reason so a fleet operator can tell a key rollout gone wrong
+		// (bad-signature storm) from clock skew (expired) at a glance.
+		if h.Token == "" {
+			x.met.authFailures.With("missing-token").Inc()
+			return c.refuse("authentication required: hello carries no token")
+		}
+		claims, err := x.verifier.Verify(h.Token, time.Now())
+		if err != nil {
+			x.met.authFailures.With(authReason(err)).Inc()
+			return c.refuse("authentication failed: %v", err)
+		}
+		if claims.Device != auth.WildcardDevice && claims.Device != h.Device {
+			// A valid token presented with a hello claiming a different
+			// device id is a spoof attempt, not a config slip.
+			x.met.authFailures.With("device-mismatch").Inc()
+			return c.refuse("token not issued for device %q", h.Device)
+		}
+		tenant = claims.Tenant
+	}
 	epoch := h.Epoch
 	if h.Epochs != nil {
-		epoch = h.Epochs[c.hub.gen]
+		epoch = h.Epochs[x.gen]
 	}
 	c.mu.Lock()
 	already, alreadyPeer := c.device, c.peerHub
@@ -872,7 +1027,7 @@ func (c *Conn) handleHello(m wire.Message) error {
 		return c.refuse("hello on a session already bound to peer hub %s", alreadyPeer)
 	}
 
-	x := c.hub
+	sk := sessKey(tenant, h.Device)
 	x.mu.Lock()
 	if x.closed {
 		x.mu.Unlock()
@@ -880,17 +1035,20 @@ func (c *Conn) handleHello(m wire.Message) error {
 	}
 	// Reconnect-friendly registration: a new hello for a device that
 	// still has a (possibly dead) session supersedes it. TCP clients
-	// redial before the hub notices the old socket died.
+	// redial before the hub notices the old socket died. Sessions are
+	// keyed by (tenant, device): the same device id in two tenants is
+	// two devices.
 	var stale *Conn
-	if old, ok := x.conns[h.Device]; ok && old != c {
+	if old, ok := x.conns[sk]; ok && old != c {
 		stale = old
 	} else if !ok {
 		x.met.deviceSessions.Add(1)
 	}
 	c.mu.Lock()
 	c.device = h.Device
+	c.tenant = tenant
 	c.mu.Unlock()
-	x.conns[h.Device] = c
+	x.conns[sk] = c
 
 	c.push(wire.Message{Type: wire.TypeAck, Ack: &wire.Ack{OK: true, Epoch: x.epoch, Gen: x.gen, V: ver}})
 
@@ -904,7 +1062,11 @@ func (c *Conn) handleHello(m wire.Message) error {
 	}
 	var catchup []armedEntry
 	for _, key := range x.order {
-		if e := x.entries[key]; e.armed && e.armEpoch > epoch {
+		// Catch-up is tenant-scoped: a session only ever receives its own
+		// tenant's armed signatures. The fleet epoch counter is global, so
+		// a tenant's client may see epoch gaps — harmless, resume is
+		// strictly "armEpoch greater than mine".
+		if e := x.entries[key]; e.armed && e.tenant == tenant && e.armEpoch > epoch {
 			catchup = append(catchup, armedEntry{key, e})
 		}
 	}
@@ -953,8 +1115,16 @@ func (c *Conn) handlePeerHello(m wire.Message) error {
 		return c.refuse("empty peer hub id")
 	}
 	c.mu.Lock()
-	boundDevice, boundPeer := c.device, c.peerHub
+	boundDevice, boundPeer, tid := c.device, c.peerHub, c.transportIdentity
 	c.mu.Unlock()
+	if c.hub.peerAuth && tid != h.Hub {
+		// The claimed hub id must be backed by the session's mutual-TLS
+		// certificate identity. A wrong-CA peer has no identity at all
+		// (Go withholds — or the handshake rejects — an unverifiable
+		// client cert), so it lands here with tid "" and is refused.
+		c.hub.met.authFailures.With("peer-identity").Inc()
+		return c.refuse("peer hub %q does not match transport identity %q", h.Hub, tid)
+	}
 	if boundDevice != "" || boundPeer != "" {
 		return c.refuse("duplicate hello (session already bound)")
 	}
@@ -1003,7 +1173,8 @@ func (c *Conn) handlePeerHello(m wire.Message) error {
 	for _, oe := range replay {
 		c.push(wire.Message{Type: wire.TypeArmBroadcast,
 			Arm: &wire.ArmBroadcast{Owner: x.selfID, Seq: oe.e.ownerSeq,
-				Confirmations: len(oe.e.confirmedBy), Sig: oe.e.ws, Fence: fence}})
+				Confirmations: len(oe.e.confirmedBy), Sig: oe.e.ws, Fence: fence,
+				Tenant: oe.e.tenant}})
 	}
 	if ver >= wire.MembershipVersion {
 		// Seed the dialer's membership view: the snapshot predates any
@@ -1048,9 +1219,9 @@ func (c *Conn) handleForwardReport(f *wire.ForwardReport) error {
 	if hops < 1 {
 		hops = 1 // pre-v4 peers don't count legs; one was taken to get here
 	}
-	for _, confirm := range c.hub.reportFrom(f.Device, sigs, hops) {
+	for _, confirm := range c.hub.reportFrom(f.Tenant, f.Device, sigs, hops) {
 		c.push(wire.Message{Type: wire.TypeForwardConfirm,
-			FwdConfirm: &wire.ForwardConfirm{Device: f.Device, Confirm: *confirm}})
+			FwdConfirm: &wire.ForwardConfirm{Device: f.Device, Tenant: f.Tenant, Confirm: *confirm}})
 	}
 	return nil
 }
@@ -1088,7 +1259,7 @@ func (x *Exchange) admitReport(fn func() error) error {
 // The whole batch is one hub mutation: a reconnect re-reports a
 // device's entire history in one report message, and that must not cost
 // one lock acquisition and one store write per signature.
-func (c *Conn) handleReport(device string, r *wire.Report) error {
+func (c *Conn) handleReport(tenant, device string, r *wire.Report) error {
 	sigs := make([]*core.Signature, 0, len(r.Sigs))
 	for _, ws := range r.Sigs {
 		sig, err := ws.ToCore()
@@ -1097,7 +1268,7 @@ func (c *Conn) handleReport(device string, r *wire.Report) error {
 		}
 		sigs = append(sigs, sig)
 	}
-	for _, confirm := range c.hub.reportFrom(device, sigs, 0) {
+	for _, confirm := range c.hub.reportFrom(tenant, device, sigs, 0) {
 		c.push(wire.Message{Type: wire.TypeConfirm, Confirm: confirm})
 	}
 	return nil
@@ -1110,12 +1281,12 @@ func (c *Conn) Close() {
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		c.closed = true
-		device, peerHub := c.device, c.peerHub
+		device, tenant, peerHub := c.device, c.tenant, c.peerHub
 		c.mu.Unlock()
 		x := c.hub
 		x.mu.Lock()
-		if device != "" && x.conns[device] == c {
-			delete(x.conns, device)
+		if sk := sessKey(tenant, device); device != "" && x.conns[sk] == c {
+			delete(x.conns, sk)
 			x.met.deviceSessions.Add(-1)
 		}
 		if peerHub != "" && x.peers[peerHub] == c {
@@ -1133,7 +1304,7 @@ func (c *Conn) Close() {
 // report records a single confirmation; tests drive the hub's dedup
 // guards through it directly.
 func (x *Exchange) report(device string, sig *core.Signature) (confirmations int, armed bool) {
-	confirms := x.reportFrom(device, []*core.Signature{sig}, 0)
+	confirms := x.reportFrom("", device, []*core.Signature{sig}, 0)
 	if len(confirms) == 0 {
 		return 0, false
 	}
@@ -1158,12 +1329,13 @@ func (x *Exchange) report(device string, sig *core.Signature) (confirmations int
 // forwarding loop. Every fresh confirmation of an owned, still-unarmed
 // signature is replicated to the key's deputy so arming survives an
 // owner crash.
-func (x *Exchange) reportFrom(device string, sigs []*core.Signature, hops int) []*wire.Confirm {
+func (x *Exchange) reportFrom(tenant, device string, sigs []*core.Signature, hops int) []*wire.Confirm {
 	x.mu.Lock()
 	if x.closed {
 		x.mu.Unlock()
 		return nil
 	}
+	threshold := x.thresholdFor(tenant)
 	confirms := make([]*wire.Confirm, 0, len(sigs))
 	var dirty []ProvenanceRecord
 	var fwd []wire.Signature
@@ -1172,7 +1344,11 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, hops int) [
 	var replKeys []string
 	var replRecs []wire.OwnedRecord
 	for _, sig := range sigs {
-		key := sig.Key()
+		// The hub key carries the tenant prefix; the device-facing
+		// confirm carries the plain signature key the device reported —
+		// tenancy never leaks into the device protocol.
+		plainKey := sig.Key()
+		key := tenantKey(tenant, plainKey)
 		x.reports++
 		x.met.reports.Inc()
 		if x.cluster != nil && hops < maxForwardHops && !x.cluster.Owns(key) {
@@ -1181,7 +1357,7 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, hops int) [
 				// a previous forward) already accounted for it: echo.
 				x.echoes++
 				x.met.echoes.Inc()
-				confirms = append(confirms, &wire.Confirm{Key: key,
+				confirms = append(confirms, &wire.Confirm{Key: plainKey,
 					Confirmations: max(len(e.confirmedBy), e.remoteConfirms), Armed: e.armed})
 				continue
 			}
@@ -1201,6 +1377,7 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, hops int) [
 				confirmedBy: make(map[string]bool),
 				pushedTo:    make(map[string]bool),
 				owner:       x.selfID,
+				tenant:      tenant,
 			}
 			x.entries[key] = e
 			x.order = append(x.order, key)
@@ -1216,11 +1393,12 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, hops int) [
 			e.confirmedBy[device] = true
 			x.confirms++
 			x.met.confirms.Inc()
-			if !e.armed && len(e.confirmedBy) >= x.threshold {
+			if !e.armed && len(e.confirmedBy) >= threshold {
 				x.armLocked(e)
 				if x.cluster != nil && e.owner == x.selfID {
 					broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
-						Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch()})
+						Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
+						Tenant: e.tenant})
 				}
 			} else if x.cluster != nil && !e.armed && e.owner == x.selfID {
 				// Pending owned confirmation: copy the full set to the
@@ -1232,7 +1410,7 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, hops int) [
 			}
 			dirty = append(dirty, x.recordLocked(key, e))
 		}
-		confirms = append(confirms, &wire.Confirm{Key: key, Confirmations: len(e.confirmedBy), Armed: e.armed})
+		confirms = append(confirms, &wire.Confirm{Key: plainKey, Confirmations: len(e.confirmedBy), Armed: e.armed})
 	}
 	// Owned armings fan out to every live inbound peer session as one
 	// encode-once frame each; peers that are down catch up from their
@@ -1248,7 +1426,7 @@ func (x *Exchange) reportFrom(device string, sigs []*core.Signature, hops int) [
 	x.mu.Unlock()
 	persist()
 	if len(fwd) > 0 {
-		cluster.ForwardReport(device, fwd, fwdKeys, hops+1)
+		cluster.ForwardReport(tenant, device, fwd, fwdKeys, hops+1)
 	}
 	for i, key := range replKeys {
 		cluster.Replicate(key, replRecs[i])
@@ -1272,6 +1450,7 @@ func ownedRecordLocked(e *fleetSig) wire.OwnedRecord {
 		ConfirmedBy: sortedKeys(e.confirmedBy),
 		Armed:       e.armed,
 		OwnerSeq:    e.ownerSeq,
+		Tenant:      e.tenant,
 	}
 }
 
@@ -1289,9 +1468,19 @@ func (x *Exchange) pushArmedLocked(e *fleetSig) {
 	x.met.armed.Inc()
 	d := wire.NewShared(wire.Message{Type: wire.TypeDelta,
 		Delta: &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{e.ws}}})
-	for id, conn := range x.conns {
+	for _, conn := range x.conns {
+		// Deltas go only to the signature's own tenant: arming in tenant
+		// A must be invisible to tenant B's devices. Lock order mu >
+		// Conn.mu holds throughout the hub (handleHello binds the device
+		// under both), so reading the session binding here is safe.
+		conn.mu.Lock()
+		dev, ten := conn.device, conn.tenant
+		conn.mu.Unlock()
+		if ten != e.tenant {
+			continue
+		}
 		conn.pushShared(d)
-		e.pushedTo[id] = true
+		e.pushedTo[dev] = true
 	}
 }
 
@@ -1328,7 +1517,7 @@ func (x *Exchange) InstallRemote(b wire.ArmBroadcast) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("exchange: remote arm from %s: %w", b.Owner, err)
 	}
-	key := sig.Key()
+	key := tenantKey(b.Tenant, sig.Key())
 	x.mu.Lock()
 	if x.closed {
 		x.mu.Unlock()
@@ -1348,6 +1537,7 @@ func (x *Exchange) InstallRemote(b wire.ArmBroadcast) (bool, error) {
 			seq:         len(x.order) + 1,
 			confirmedBy: make(map[string]bool),
 			pushedTo:    make(map[string]bool),
+			tenant:      b.Tenant,
 		}
 		x.entries[key] = e
 		x.order = append(x.order, key)
@@ -1391,7 +1581,7 @@ func decodeOwnedRecords(from string, recs []wire.OwnedRecord) ([]decodedRecord, 
 		if err != nil {
 			return nil, fmt.Errorf("exchange: owned record from %s: %w", from, err)
 		}
-		out = append(out, decodedRecord{sig.Key(), sig, rec})
+		out = append(out, decodedRecord{tenantKey(rec.Tenant, sig.Key()), sig, rec})
 	}
 	return out, nil
 }
@@ -1399,7 +1589,7 @@ func decodeOwnedRecords(from string, recs []wire.OwnedRecord) ([]decodedRecord, 
 // ensureEntryLocked returns the entry for key, creating an empty one
 // (no owner, no firstSeen) if the hub has never seen the signature.
 // Caller holds x.mu.
-func (x *Exchange) ensureEntryLocked(key string, sig *core.Signature, ws wire.Signature) *fleetSig {
+func (x *Exchange) ensureEntryLocked(key, tenant string, sig *core.Signature, ws wire.Signature) *fleetSig {
 	e, ok := x.entries[key]
 	if !ok {
 		e = &fleetSig{
@@ -1408,6 +1598,7 @@ func (x *Exchange) ensureEntryLocked(key string, sig *core.Signature, ws wire.Si
 			seq:         len(x.order) + 1,
 			confirmedBy: make(map[string]bool),
 			pushedTo:    make(map[string]bool),
+			tenant:      tenant,
 		}
 		x.entries[key] = e
 		x.order = append(x.order, key)
@@ -1448,7 +1639,7 @@ func (x *Exchange) InstallReplica(owner string, recs []wire.OwnedRecord) error {
 	var dirty []ProvenanceRecord
 	var broadcasts []*wire.ArmBroadcast
 	for _, d := range ds {
-		e := x.ensureEntryLocked(d.key, d.sig, d.rec.Sig)
+		e := x.ensureEntryLocked(d.key, d.rec.Tenant, d.sig, d.rec.Sig)
 		if e.firstSeen == "" {
 			e.firstSeen = d.rec.FirstSeen
 		}
@@ -1459,10 +1650,11 @@ func (x *Exchange) InstallReplica(owner string, recs []wire.OwnedRecord) error {
 			e.owner = owner
 		}
 		x.met.replicaRecords.Inc()
-		if e.owner == x.selfID && !e.armed && len(e.confirmedBy) >= x.threshold {
+		if e.owner == x.selfID && !e.armed && len(e.confirmedBy) >= x.thresholdFor(e.tenant) {
 			x.armLocked(e)
 			broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
-				Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch()})
+				Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
+				Tenant: e.tenant})
 		}
 		dirty = append(dirty, x.recordLocked(d.key, e))
 	}
@@ -1494,7 +1686,7 @@ func (x *Exchange) ImportOwned(from string, recs []wire.OwnedRecord) error {
 	var dirty []ProvenanceRecord
 	var broadcasts []*wire.ArmBroadcast
 	for _, d := range ds {
-		e := x.ensureEntryLocked(d.key, d.sig, d.rec.Sig)
+		e := x.ensureEntryLocked(d.key, d.rec.Tenant, d.sig, d.rec.Sig)
 		if e.firstSeen == "" {
 			e.firstSeen = d.rec.FirstSeen
 		}
@@ -1506,14 +1698,15 @@ func (x *Exchange) ImportOwned(from string, recs []wire.OwnedRecord) error {
 			prevOwner := e.owner
 			e.owner = x.selfID
 			switch {
-			case !e.armed && (d.rec.Armed || len(e.confirmedBy) >= x.threshold):
+			case !e.armed && (d.rec.Armed || len(e.confirmedBy) >= x.thresholdFor(e.tenant)):
 				// Either the previous owner armed it and died before every
 				// peer saw the broadcast, or the merged set crosses the
 				// threshold here: arm under this owner's seq and tell the
 				// cluster.
 				x.armLocked(e)
 				broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
-					Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch()})
+					Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
+					Tenant: e.tenant})
 			case e.armed && prevOwner != x.selfID:
 				// Already armed here as a replica; adopting ownership moves
 				// the arming into this owner's seq namespace so peer
@@ -1571,10 +1764,11 @@ func (x *Exchange) RebindOwnership() map[string][]wire.OwnedRecord {
 				e.ownerSeq = x.ownerSeq
 			} else {
 				e.ownerSeq = 0
-				if len(e.confirmedBy) >= x.threshold {
+				if len(e.confirmedBy) >= x.thresholdFor(e.tenant) {
 					x.armLocked(e)
 					broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
-						Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch()})
+						Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
+						Tenant: e.tenant})
 				}
 			}
 			dirty = append(dirty, x.recordLocked(key, e))
@@ -1610,9 +1804,9 @@ func (x *Exchange) applyMemberUpdate(u wire.MemberUpdate) {
 // reporting device's live session; a device that disconnected meanwhile
 // simply misses the receipt (confirms are informational — the arming
 // itself travels by broadcast and delta).
-func (x *Exchange) DeliverConfirm(device string, cf wire.Confirm) {
+func (x *Exchange) DeliverConfirm(tenant, device string, cf wire.Confirm) {
 	x.mu.Lock()
-	conn, ok := x.conns[device]
+	conn, ok := x.conns[sessKey(tenant, device)]
 	x.mu.Unlock()
 	if ok {
 		conn.push(wire.Message{Type: wire.TypeConfirm, Confirm: &cf})
@@ -1682,9 +1876,58 @@ func (x *Exchange) status() *wire.Status {
 			ConfirmedBy:   x.confirmedByView(e),
 			Armed:         e.armed,
 			Owner:         e.owner,
+			Tenant:        e.tenant,
 		})
 	}
+	st.Tenants = x.tenantViewLocked()
 	return st
+}
+
+// tenantViewLocked summarizes the non-default tenants: signatures,
+// armings, effective threshold, and attached devices, per tenant. The
+// default "" tenant is the status payload's top level itself. Caller
+// holds x.mu.
+func (x *Exchange) tenantViewLocked() []wire.TenantStatus {
+	acc := make(map[string]*wire.TenantStatus)
+	get := func(t string) *wire.TenantStatus {
+		ts, ok := acc[t]
+		if !ok {
+			ts = &wire.TenantStatus{Tenant: t, Threshold: x.thresholdFor(t)}
+			acc[t] = ts
+		}
+		return ts
+	}
+	for t := range x.tenantThresholds {
+		if t != "" {
+			get(t)
+		}
+	}
+	for _, key := range x.order {
+		if e := x.entries[key]; e.tenant != "" {
+			ts := get(e.tenant)
+			ts.Sigs++
+			if e.armed {
+				ts.Armed++
+			}
+		}
+	}
+	for _, conn := range x.conns {
+		conn.mu.Lock()
+		t := conn.tenant
+		conn.mu.Unlock()
+		if t != "" {
+			get(t).Devices++
+		}
+	}
+	if len(acc) == 0 {
+		return nil
+	}
+	out := make([]wire.TenantStatus, 0, len(acc))
+	for _, ts := range acc {
+		out = append(out, *ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // confirmedByView is the externally visible confirmation set: only the
@@ -1718,6 +1961,7 @@ func (x *Exchange) Provenance() []Provenance {
 			ConfirmedBy:   x.confirmedByView(e),
 			Armed:         e.armed,
 			Owner:         e.owner,
+			Tenant:        e.tenant,
 		})
 	}
 	return out

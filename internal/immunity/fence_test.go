@@ -32,10 +32,10 @@ func (s *stubBinding) Epoch() uint64 { return s.epoch }
 func (s *stubBinding) MemberSnapshot() wire.MemberUpdate {
 	return wire.MemberUpdate{Epoch: s.epoch, Members: []wire.MemberInfo{{ID: s.self}}}
 }
-func (s *stubBinding) ForwardReport(string, []wire.Signature, []string, int) {}
-func (s *stubBinding) Replicate(string, wire.OwnedRecord)                    {}
-func (s *stubBinding) ApplyMemberUpdate(wire.MemberUpdate)                   {}
-func (s *stubBinding) PeerSeen(string, string)                               {}
+func (s *stubBinding) ForwardReport(string, string, []wire.Signature, []string, int) {}
+func (s *stubBinding) Replicate(string, wire.OwnedRecord)                            {}
+func (s *stubBinding) ApplyMemberUpdate(wire.MemberUpdate)                           {}
+func (s *stubBinding) PeerSeen(string, string)                                       {}
 
 func fenceSig(id int) wire.Signature {
 	a := core.Frame{Class: "com.app.Fence", Method: "lockA", Line: 10 + id*100}

@@ -60,6 +60,50 @@
 // no references to Services and identifies devices only by their hello
 // device id, which is what makes confirmation state survive reconnects.
 //
+// # Trust model and multi-tenancy
+//
+// A hosted exchange cannot take a socket's word for who it is: the
+// confirm-before-arm threshold is meaningless if one attacker hellos as
+// N devices. The auth subpackage supplies the trust fabric, and this
+// package threads it through every connection path:
+//
+//   - Devices authenticate with bearer tokens (wire v5 hello): the
+//     operator mints HMAC-signed tokens (auth.Mint, immunityd
+//     -mint-token) carrying tenant/device/expiry claims, and a hub
+//     built WithAuthVerifier refuses any hello whose token is missing,
+//     malformed, forged, expired, or issued for a different device id —
+//     each refusal counted by reason in
+//     immunity_hub_auth_failures_total. The device claim must match the
+//     hello's device id (auth.WildcardDevice opts a token out,
+//     tenant-wide), so a stolen token cannot impersonate other devices.
+//   - Hubs authenticate to devices with TLS server certificates
+//     (WithServeTLS on the listener, WithDialTLS on the client's
+//     transport): devices need no per-device PKI, just the fleet CA
+//     (auth.NewCA, immunityd -gen-ca) as a trust root.
+//   - Hubs authenticate to each other with mutual TLS: peer links dial
+//     with the hub's own fleet-CA certificate, and a hub built
+//     WithPeerAuth refuses any peer-hello whose claimed cluster id is
+//     not backed by the session's verified certificate identity
+//     (auth.PeerIdentity) — a rogue hub can neither join the mesh nor
+//     replay arm-broadcasts.
+//
+// The verifier's tenant claim partitions one hub (or cluster) into
+// isolated fleets: signature keys are canonicalized per tenant,
+// provenance records carry the tenant, confirm thresholds can differ
+// per tenant (WithTenantThreshold), and pushes, catch-up deltas, and
+// cluster forwarding all stay within a record's tenant — tenant A's
+// confirmations can never arm tenant B's fleet, and Status grows a
+// per-tenant view. The fleet epoch counter stays global (a tenant's
+// client may see epoch gaps; resume is strictly "armEpoch greater than
+// mine", so gaps are harmless).
+//
+// Auth-disabled mode — no verifier, no TLS — keeps the pre-v5 behavior
+// byte for byte: any socket may claim any identity and all traffic is
+// one implicit tenant. That is the correct posture on a trusted network
+// and is exactly what every wire v≤4 deployment already assumed; v≤4
+// clients still interop against such a hub through the ordinary
+// [min_v,max_v] version negotiation.
+//
 // # Durable provenance
 //
 // With WithProvenanceStore the hub upserts every confirmation, push,

@@ -8,6 +8,12 @@ type AIMDConfig struct {
 	// SLO names the latency objective (on the bound Evaluator) whose
 	// verdicts drive the controller.
 	SLO string
+	// SLOs lists additional objectives the controller also watches; the
+	// step reacts to the worst state across SLO and SLOs, so a backlog
+	// objective (push-queue depth, forward-outbox lag) forces the same
+	// multiplicative retreat as the latency one even while latency still
+	// reads healthy.
+	SLOs []string
 	// Initial is the starting capacity (default 8, clamped to
 	// [Min, Max]).
 	Initial int
@@ -144,6 +150,16 @@ func (a *AdaptivePool) step(e *Evaluator) {
 	a.lastVerdicts, a.lastShed = verdicts, shedNow
 
 	state, known := e.State(a.cfg.SLO)
+	for _, name := range a.cfg.SLOs {
+		st, ok := e.State(name)
+		if !ok {
+			continue
+		}
+		if !known || st > state {
+			state = st
+		}
+		known = true
+	}
 	a.stepVerdict(shed, demand, state, known)
 }
 

@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// Alert is one breach/clear notification as delivered to the sinks:
+// the JSON body of the webhook POST, and the IMMUNITY_ALERT_* env of
+// the exec hook.
+type Alert struct {
+	// SLO is the objective's name; Kind is "breach" or "clear".
+	SLO  string `json:"slo"`
+	Kind string `json:"kind"`
+	// Observed/Target/Window are the objective's reading at the
+	// transition tick.
+	Observed float64 `json:"observed"`
+	Target   float64 `json:"target"`
+	Window   string  `json:"window"`
+	// Breaches is the objective's lifetime escalation count.
+	Breaches uint64    `json:"breaches_total"`
+	At       time.Time `json:"at"`
+}
+
+// AlertConfig shapes the egress sinks. Both may be set; both may be
+// empty (the alerter still tracks transitions and counts, useful for
+// tests and dry runs).
+type AlertConfig struct {
+	// URL receives one HTTP POST per alert with the Alert JSON body.
+	URL string
+	// Exec is a shell command run per alert ("sh -c"), with the alert
+	// in IMMUNITY_ALERT_SLO, _KIND, _OBSERVED, _TARGET, _WINDOW env.
+	Exec string
+	// Cooldown suppresses a repeat of the same (slo, kind) alert within
+	// the window — a flapping objective pages once, not per flap
+	// (default 1m; negative disables the guard).
+	Cooldown time.Duration
+	// Timeout bounds one webhook POST or exec run (default 5s).
+	Timeout time.Duration
+}
+
+// Alerter turns SLO state transitions into egress: breach and
+// breach→ok clear transitions (warn is hysteresis, not pageable) fire
+// a webhook POST and/or an exec hook, deduplicated by a per-(slo,kind)
+// cooldown, counted on
+//
+//	immunity_slo_alerts_total{slo="..."}          alerts emitted
+//	immunity_slo_alert_failures_total             deliveries that failed
+//
+// Delivery runs on its own goroutines — a slow webhook never stalls
+// the evaluation tick. Watch registers on the evaluator's verdict
+// hook; Close waits for in-flight deliveries.
+type Alerter struct {
+	cfg    AlertConfig
+	sent   *CounterVec
+	failed *Counter
+
+	client *http.Client
+	now    func() time.Time // test seam
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	states   map[string]string    // last seen state per objective
+	lastSent map[string]time.Time // (slo|kind) -> last emission
+}
+
+// NewAlerter builds the alerter and registers its counters. A nil
+// registry disables counting but not delivery.
+func NewAlerter(reg *Registry, cfg AlertConfig) *Alerter {
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = time.Minute
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	return &Alerter{
+		cfg: cfg,
+		sent: reg.CounterVec("immunity_slo_alerts_total",
+			"SLO breach/clear alerts emitted to the configured sinks.", "slo"),
+		failed: reg.Counter("immunity_slo_alert_failures_total",
+			"Alert deliveries that failed (webhook non-2xx/error, exec failure)."),
+		client:   &http.Client{Timeout: cfg.Timeout},
+		now:      time.Now,
+		states:   make(map[string]string),
+		lastSent: make(map[string]time.Time),
+	}
+}
+
+// Watch registers the alerter on the evaluator's verdict hook: after
+// every evaluation tick it diffs each objective's state against the
+// last tick and emits on pageable transitions.
+func (a *Alerter) Watch(e *Evaluator) {
+	if a == nil || e == nil {
+		return
+	}
+	e.OnVerdict(func() { a.check(e.Snapshot()) })
+}
+
+// check diffs one snapshot against the remembered states and fires the
+// alerts the transitions warrant. Exported to the package's tests via
+// Watch; callable directly with a hand-built snapshot.
+func (a *Alerter) check(snap []SLOStatus) {
+	for _, st := range snap {
+		a.mu.Lock()
+		prev, seen := a.states[st.Name]
+		a.states[st.Name] = st.State
+		a.mu.Unlock()
+		switch {
+		case st.State == "breach" && prev != "breach":
+			a.emit("breach", st)
+		case seen && prev == "breach" && st.State == "ok":
+			a.emit("clear", st)
+		}
+	}
+}
+
+// emit applies the cooldown guard, counts the alert, and hands it to
+// the sinks asynchronously.
+func (a *Alerter) emit(kind string, st SLOStatus) {
+	now := a.now()
+	dedupKey := st.Name + "|" + kind
+	a.mu.Lock()
+	if a.cfg.Cooldown > 0 {
+		if last, ok := a.lastSent[dedupKey]; ok && now.Sub(last) < a.cfg.Cooldown {
+			a.mu.Unlock()
+			return
+		}
+	}
+	a.lastSent[dedupKey] = now
+	a.mu.Unlock()
+
+	a.sent.With(st.Name).Inc()
+	alert := Alert{SLO: st.Name, Kind: kind, Observed: st.Observed,
+		Target: st.Target, Window: st.Window, Breaches: st.Breaches, At: now}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		a.deliver(alert)
+	}()
+}
+
+func (a *Alerter) deliver(alert Alert) {
+	if a.cfg.URL != "" {
+		if err := a.post(alert); err != nil {
+			a.failed.Inc()
+		}
+	}
+	if a.cfg.Exec != "" {
+		if err := a.run(alert); err != nil {
+			a.failed.Inc()
+		}
+	}
+}
+
+func (a *Alerter) post(alert Alert) error {
+	body, err := json.Marshal(alert)
+	if err != nil {
+		return err
+	}
+	resp, err := a.client.Post(a.cfg.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("alert webhook: %s", resp.Status)
+	}
+	return nil
+}
+
+func (a *Alerter) run(alert Alert) error {
+	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.Timeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "sh", "-c", a.cfg.Exec)
+	cmd.Env = append(cmd.Environ(),
+		"IMMUNITY_ALERT_SLO="+alert.SLO,
+		"IMMUNITY_ALERT_KIND="+alert.Kind,
+		fmt.Sprintf("IMMUNITY_ALERT_OBSERVED=%g", alert.Observed),
+		fmt.Sprintf("IMMUNITY_ALERT_TARGET=%g", alert.Target),
+		"IMMUNITY_ALERT_WINDOW="+alert.Window,
+	)
+	return cmd.Run()
+}
+
+// Close waits for in-flight deliveries to finish.
+func (a *Alerter) Close() {
+	if a == nil {
+		return
+	}
+	a.wg.Wait()
+}

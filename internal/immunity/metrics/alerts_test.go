@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSLOGaugeObjective: a GaugeOf objective reads the instantaneous
+// sum across a labeled gauge family — the forward-outbox shape, one
+// series per peer — and breaches when the backlog exceeds the target.
+func TestSLOGaugeObjective(t *testing.T) {
+	reg := NewRegistry()
+	depth := reg.GaugeVec("outbox_pending", "Backlog.", "peer")
+	r := NewRates(reg, RatesConfig{Interval: time.Second, Windows: []time.Duration{2 * time.Second}})
+	e := NewEvaluator(reg, r, []SLO{{
+		Name:        "outbox-backlog",
+		GaugeOf:     "outbox_pending",
+		Target:      10,
+		BreachAfter: 1,
+	}})
+
+	r.Tick() // family empty: no data, holds trivially
+	if st, ok := e.State("outbox-backlog"); !ok || st != SLOOK {
+		t.Fatalf("empty gauge family: state=%v ok=%v, want ok/SLOOK", st, ok)
+	}
+
+	depth.With("hub-b").Set(6)
+	depth.With("hub-c").Set(3)
+	r.Tick() // sum 9 <= 10 holds
+	if st, _ := e.State("outbox-backlog"); st != SLOOK {
+		t.Fatalf("backlog 9: state=%v, want SLOOK", st)
+	}
+
+	depth.With("hub-c").Set(7)
+	r.Tick() // sum 13 > 10, BreachAfter 1 escalates immediately
+	if st, _ := e.State("outbox-backlog"); st != SLOBreach {
+		t.Fatalf("backlog 13: state=%v, want SLOBreach", st)
+	}
+	snap := e.Snapshot()
+	if len(snap) != 1 || !snap[0].HasData || snap[0].Observed != 13 {
+		t.Fatalf("snapshot = %+v, want observed 13 with data", snap)
+	}
+}
+
+// TestGaugeValueLabelAndMissing: label selection, missing families, and
+// wrong-typed families.
+func TestGaugeValueLabelAndMissing(t *testing.T) {
+	reg := NewRegistry()
+	depth := reg.GaugeVec("pending", "Backlog.", "peer")
+	depth.With("a").Set(4)
+	depth.With("b").Set(5)
+	reg.Counter("hits_total", "Hits.").Inc()
+
+	if v, ok := reg.GaugeValue("pending", "a"); !ok || v != 4 {
+		t.Fatalf("labeled read = %v/%v, want 4/true", v, ok)
+	}
+	if v, ok := reg.GaugeValue("pending", ""); !ok || v != 9 {
+		t.Fatalf("summed read = %v/%v, want 9/true", v, ok)
+	}
+	if _, ok := reg.GaugeValue("pending", "zzz"); ok {
+		t.Fatal("unknown label reported data")
+	}
+	if _, ok := reg.GaugeValue("absent", ""); ok {
+		t.Fatal("missing family reported data")
+	}
+	if _, ok := reg.GaugeValue("hits_total", ""); ok {
+		t.Fatal("counter family reported as gauge")
+	}
+	var nilReg *Registry
+	if _, ok := nilReg.GaugeValue("pending", ""); ok {
+		t.Fatal("nil registry reported data")
+	}
+}
+
+// TestAIMDWorstOfMultipleSLOs: a breach on a secondary (backlog)
+// objective must force the multiplicative retreat even while the
+// primary latency objective reads ok.
+func TestAIMDWorstOfMultipleSLOs(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRates(reg, RatesConfig{Interval: time.Second, Windows: []time.Duration{2 * time.Second}})
+	reg.Histogram("lat_seconds", "Latency.", []float64{0.001, 0.01, 0.1, 1})
+	e := NewEvaluator(reg, r, []SLO{
+		{Name: "report-latency", QuantileOf: "lat_seconds", Target: 0.01},
+		{Name: "push-backlog", GaugeOf: "immunity_hub_push_pending", Target: 100, BreachAfter: 1},
+	})
+
+	pool := NewAdaptivePool(reg, "adm", time.Millisecond, AIMDConfig{
+		SLO: "report-latency", SLOs: []string{"push-backlog"}, Initial: 16})
+	pool.Bind(e)
+
+	backlog := reg.Gauge("immunity_hub_push_pending", "Backlog.")
+	r.Tick() // both ok
+	if got := pool.Capacity(); got != 16 {
+		t.Fatalf("capacity after healthy tick = %d, want 16 (no demand, no probe)", got)
+	}
+
+	backlog.Set(500) // secondary objective breaches; latency stays ok
+	r.Tick()
+	if got := pool.Capacity(); got != 8 {
+		t.Fatalf("capacity after backlog breach = %d, want 8 (backoff 0.5)", got)
+	}
+	if pool.Decreases() != 1 {
+		t.Fatalf("decreases = %d, want 1", pool.Decreases())
+	}
+}
+
+// TestAlerterTransitionsAndDedup: breach fires once (cooldown eats the
+// flap), clear fires on breach→ok, warn transitions never page, and
+// the webhook receives well-formed JSON.
+func TestAlerterTransitionsAndDedup(t *testing.T) {
+	var mu sync.Mutex
+	var got []Alert
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		var a Alert
+		if err := json.Unmarshal(body, &a); err != nil {
+			t.Errorf("bad alert body %q: %v", body, err)
+		}
+		mu.Lock()
+		got = append(got, a)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	reg := NewRegistry()
+	al := NewAlerter(reg, AlertConfig{URL: srv.URL, Cooldown: time.Hour})
+	clock := time.Unix(1000, 0)
+	al.now = func() time.Time { return clock }
+
+	st := func(state string) []SLOStatus {
+		return []SLOStatus{{Name: "report-latency", State: state, Observed: 0.5,
+			Target: 0.01, Window: "2s", Breaches: 1}}
+	}
+	al.check(st("ok"))     // baseline
+	al.check(st("warn"))   // not pageable
+	al.check(st("breach")) // pages
+	al.check(st("ok"))     // clears
+	al.check(st("breach")) // re-breach inside cooldown: deduplicated
+	al.check(st("ok"))     // re-clear inside cooldown: deduplicated
+	al.Close()
+
+	mu.Lock()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d alerts, want 2 (breach + clear): %+v", len(got), got)
+	}
+	kinds := map[string]bool{}
+	for _, a := range got {
+		kinds[a.Kind] = true
+		if a.SLO != "report-latency" || a.Target != 0.01 || a.Window != "2s" {
+			t.Fatalf("malformed alert %+v", a)
+		}
+	}
+	mu.Unlock()
+	if !kinds["breach"] || !kinds["clear"] {
+		t.Fatalf("kinds = %v, want breach and clear", kinds)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `immunity_slo_alerts_total{slo="report-latency"} 2`) {
+		t.Fatalf("render missing alert count:\n%s", b.String())
+	}
+
+	// Past the cooldown the same transition pages again.
+	clock = clock.Add(2 * time.Hour)
+	al.check(st("breach"))
+	al.Close()
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 3 {
+		t.Fatalf("delivered %d alerts after cooldown, want 3", n)
+	}
+}
+
+// TestAlerterExecHookAndFailureCount: the exec sink sees the alert in
+// its environment; a failing webhook is counted, not fatal.
+func TestAlerterExecHookAndFailureCount(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "alert.txt")
+	reg := NewRegistry()
+	al := NewAlerter(reg, AlertConfig{
+		Exec: `printf '%s %s' "$IMMUNITY_ALERT_SLO" "$IMMUNITY_ALERT_KIND" > ` + out,
+		URL:  "http://127.0.0.1:1/unroutable", // fails fast, counted
+	})
+	al.check([]SLOStatus{{Name: "shed-zero", State: "breach"}})
+	al.Close()
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("exec hook did not run: %v", err)
+	}
+	if string(data) != "shed-zero breach" {
+		t.Fatalf("exec hook env = %q, want %q", data, "shed-zero breach")
+	}
+	if got := reg.Counter("immunity_slo_alert_failures_total", "").Value(); got != 1 {
+		t.Fatalf("failure count = %d, want 1", got)
+	}
+}
+
+// TestAlerterWatch: wired through the evaluator's verdict hook, a real
+// SLO breach emits without any manual snapshot plumbing.
+func TestAlerterWatch(t *testing.T) {
+	reg := NewRegistry()
+	backlog := reg.Gauge("backlog_depth", "Backlog.")
+	r := NewRates(reg, RatesConfig{Interval: time.Second, Windows: []time.Duration{2 * time.Second}})
+	e := NewEvaluator(reg, r, []SLO{{
+		Name: "backlog", GaugeOf: "backlog_depth", Target: 5, BreachAfter: 1}})
+	al := NewAlerter(reg, AlertConfig{}) // no sinks: counting only
+	al.Watch(e)
+
+	r.Tick()
+	backlog.Set(50)
+	r.Tick()
+	al.Close()
+	if got := reg.CounterVec("immunity_slo_alerts_total", "", "slo").With("backlog").Value(); got != 1 {
+		t.Fatalf("alerts counted = %d, want 1", got)
+	}
+}

@@ -416,6 +416,35 @@ func (v *GaugeVec) With(label string) *Gauge {
 	return v.f.get(label, func() any { return new(Gauge) }).(*Gauge)
 }
 
+// GaugeValue reads a gauge family's instantaneous value: the series
+// selected by label, or — when label is "" — the sum across every
+// series in the family (a queue-depth family summed across peers).
+// The second return reports whether the family exists and a matching
+// gauge series was found. Nil-safe.
+func (r *Registry) GaugeValue(name, label string) (float64, bool) {
+	f := r.lookupFamily(name)
+	if f == nil || f.typ != typeGauge {
+		return 0, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sum, found := 0.0, false
+	for l, m := range f.series {
+		if label != "" && l != label {
+			continue
+		}
+		switch inst := m.(type) {
+		case *Gauge:
+			sum += float64(inst.Value())
+			found = true
+		case *FloatGauge:
+			sum += inst.Value()
+			found = true
+		}
+	}
+	return sum, found
+}
+
 // WritePrometheus renders every family in the Prometheus text
 // exposition format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) error {

@@ -28,9 +28,10 @@ func (s SLOState) String() string {
 	}
 }
 
-// SLO declares one objective over the Rates sampler: either a windowed
-// histogram quantile (p99 report latency < target seconds) or a
-// windowed counter rate (shed rate == 0). The objective holds while the
+// SLO declares one objective over the Rates sampler: a windowed
+// histogram quantile (p99 report latency < target seconds), a windowed
+// counter rate (shed rate == 0), or an instantaneous gauge reading
+// (push backlog < target frames). The objective holds while the
 // observed value is <= Target; a window with no data holds trivially —
 // an idle system breaches nothing.
 type SLO struct {
@@ -48,8 +49,15 @@ type SLO struct {
 	// per-second rate over the trailing Window.
 	RateOf string
 
+	// GaugeOf names a gauge family; the observed value is the
+	// instantaneous reading at tick time — no windowing — of the
+	// Label-selected series, or the sum across every series when Label
+	// is "" (a backlog family summed across peers). Evaluated only when
+	// QuantileOf and RateOf are empty.
+	GaugeOf string
+
 	// Label selects one series of a labeled source family ("" for the
-	// unlabeled instrument).
+	// unlabeled instrument; for GaugeOf, "" sums the family).
 	Label string
 
 	// Window is the trailing evaluation window (default: the sampler's
@@ -104,6 +112,7 @@ type SLOStatus struct {
 // OnVerdict (the AIMD admission pool) run after every evaluation tick,
 // outside the evaluator lock.
 type Evaluator struct {
+	reg   *Registry
 	rates *Rates
 
 	mu       sync.Mutex
@@ -131,7 +140,7 @@ func NewEvaluator(reg *Registry, rates *Rates, slos []SLO) *Evaluator {
 	if reg == nil || rates == nil {
 		return nil
 	}
-	e := &Evaluator{rates: rates}
+	e := &Evaluator{reg: reg, rates: rates}
 	stateVec := reg.GaugeVec("immunity_slo_state",
 		"SLO state machine position per objective: 0 ok, 1 warn, 2 breach.", "slo")
 	breachVec := reg.CounterVec("immunity_slo_breaches_total",
@@ -219,6 +228,9 @@ func (e *Evaluator) observe(cfg SLO) (float64, bool) {
 	}
 	if cfg.RateOf != "" {
 		return e.rates.Rate(cfg.RateOf, cfg.Label, cfg.Window)
+	}
+	if cfg.GaugeOf != "" {
+		return e.reg.GaugeValue(cfg.GaugeOf, cfg.Label)
 	}
 	return 0, false
 }

@@ -274,7 +274,7 @@ func TestAdaptivePoolDefaults(t *testing.T) {
 	if nilA.Increases() != 0 || nilA.Decreases() != 0 {
 		t.Fatal("nil adaptive pool counters should read 0")
 	}
-	if nilA.Config() != (AIMDConfig{}) {
+	if zc := nilA.Config(); zc.SLO != "" || zc.SLOs != nil || zc.Initial != 0 || zc.Max != 0 {
 		t.Fatal("nil adaptive pool config should be zero")
 	}
 }

@@ -59,6 +59,11 @@ type ProvenanceRecord struct {
 	// RemoteConfirms is the confirmation count replicated at arming for
 	// a non-owned entry.
 	RemoteConfirms int `json:"remote_confirms,omitempty"`
+	// Tenant scopes the record to one tenant's fleet ("" for the
+	// default tenant). Key already carries the tenant prefix; the field
+	// is stored explicitly so reloads and replicas recover the scope
+	// without parsing keys.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ProvenanceStore persists hub provenance across restarts. Append

@@ -1,46 +1,88 @@
 package immunity
 
 import (
+	"crypto/tls"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"github.com/dimmunix/dimmunix/internal/immunity/auth"
+	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 )
 
 // The real network transport: length-prefixed wire frames over TCP
-// (JSON at v1/v2, binary at v3 — the frame header names the codec).
-// ServeTCP is the hub side (one goroutine per accepted connection
-// feeding frames into Exchange.Conn.Handle, one push-queue goroutine
-// writing frames back); TCPTransport is the phone side. Reconnect and
-// resubscribe-from-epoch live in ExchangeClient, not here — the
-// transport only reports the session's death.
+// (JSON at v1/v2, binary at v3 — the frame header names the codec),
+// optionally under TLS (see auth.ServerConfig and friends for the
+// config shapes). ServeTCP is the hub side (one goroutine per accepted
+// connection feeding frames into Exchange.Conn.Handle, one push-queue
+// goroutine writing frames back); TCPTransport is the phone side.
+// Reconnect and resubscribe-from-epoch live in ExchangeClient, not
+// here — the transport only reports the session's death.
 
 // writeTimeout bounds every frame write. A peer that stopped reading
 // (wedged phone, half-dead socket) errors the session out instead of
 // parking the writer goroutine forever on a full kernel send buffer.
 const writeTimeout = 30 * time.Second
 
+// handshakeTimeout bounds a server-side TLS handshake: a port scanner
+// or plaintext client connecting to a TLS listener must fail fast (and
+// be counted), not park an accept goroutine.
+const handshakeTimeout = 10 * time.Second
+
 // TCPTransport dials a fleet exchange served with ServeTCP.
 type TCPTransport struct {
 	addr        string
 	dialTimeout time.Duration
+	tlsCfg      *tls.Config
 }
 
 var _ Transport = (*TCPTransport)(nil)
 
+// TCPOption configures a TCPTransport (and the dial side of
+// FetchStatus).
+type TCPOption func(*TCPTransport)
+
+// WithDialTLS makes the transport dial TLS with cfg — auth.ClientConfig
+// for a device (server-cert verification only), auth.PeerConfig for a
+// hub's outbound peer link (mutual). Nil keeps plaintext.
+func WithDialTLS(cfg *tls.Config) TCPOption {
+	return func(t *TCPTransport) { t.tlsCfg = cfg }
+}
+
 // NewTCPTransport creates a transport for the hub at addr
 // (host:port).
-func NewTCPTransport(addr string) *TCPTransport {
-	return &TCPTransport{addr: addr, dialTimeout: 5 * time.Second}
+func NewTCPTransport(addr string, opts ...TCPOption) *TCPTransport {
+	t := &TCPTransport{addr: addr, dialTimeout: 5 * time.Second}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// dialConn opens (and, under TLS, handshakes) one connection.
+func (t *TCPTransport) dialConn() (net.Conn, error) {
+	if t.tlsCfg != nil {
+		d := &net.Dialer{Timeout: t.dialTimeout}
+		nc, err := tls.DialWithDialer(d, "tcp", t.addr, t.tlsCfg)
+		if err != nil {
+			return nil, fmt.Errorf("tcp transport: %w", err)
+		}
+		return nc, nil
+	}
+	nc, err := net.DialTimeout("tcp", t.addr, t.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcp transport: %w", err)
+	}
+	return nc, nil
 }
 
 // Dial implements Transport.
 func (t *TCPTransport) Dial(recv func(wire.Message), down func(err error)) (Session, error) {
-	nc, err := net.DialTimeout("tcp", t.addr, t.dialTimeout)
+	nc, err := t.dialConn()
 	if err != nil {
-		return nil, fmt.Errorf("tcp transport: %w", err)
+		return nil, err
 	}
 	s := &tcpSession{nc: nc}
 	go s.readLoop(recv, down)
@@ -97,8 +139,12 @@ func (s *tcpSession) readLoop(recv func(wire.Message), down func(err error)) {
 
 // ExchangeServer serves a fleet exchange over TCP.
 type ExchangeServer struct {
-	hub *Exchange
-	ln  net.Listener
+	hub    *Exchange
+	ln     net.Listener
+	tlsCfg *tls.Config
+	// tlsFailures counts server-side handshake failures (nil-safe no-op
+	// without TLS): plaintext clients, wrong-CA forced certs, scanners.
+	tlsFailures *metrics.Counter
 
 	mu     sync.Mutex
 	socks  map[net.Conn]struct{}
@@ -106,14 +152,33 @@ type ExchangeServer struct {
 	wg     sync.WaitGroup
 }
 
+// ServeOption configures an ExchangeServer.
+type ServeOption func(*ExchangeServer)
+
+// WithServeTLS serves the listener under TLS with cfg (typically
+// auth.ServerConfig: hub cert, and the fleet CA as the client pool so
+// peer sessions carry a verified certificate identity into the hub's
+// peer-auth check). Handshake failures are counted on the hub registry
+// as immunity_hub_tls_handshake_failures_total. Nil keeps plaintext.
+func WithServeTLS(cfg *tls.Config) ServeOption {
+	return func(s *ExchangeServer) { s.tlsCfg = cfg }
+}
+
 // ServeTCP starts serving hub on addr (use "127.0.0.1:0" for an
 // OS-assigned test port) and returns once the listener is live.
-func ServeTCP(hub *Exchange, addr string) (*ExchangeServer, error) {
+func ServeTCP(hub *Exchange, addr string, opts ...ServeOption) (*ExchangeServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("exchange serve: %w", err)
 	}
 	s := &ExchangeServer{hub: hub, ln: ln, socks: make(map[net.Conn]struct{})}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.tlsCfg != nil {
+		s.tlsFailures = hub.Metrics().Counter("immunity_hub_tls_handshake_failures_total",
+			"Server-side TLS handshakes that failed (plaintext probes, bad certs).")
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -147,13 +212,31 @@ func (s *ExchangeServer) acceptLoop() {
 // is a stream session (AcceptStream): each queue drain hands over every
 // pending frame — shared broadcast frames byte-identical across
 // sessions — and writev pushes them to the kernel in one syscall.
-func (s *ExchangeServer) serve(nc net.Conn) {
+func (s *ExchangeServer) serve(raw net.Conn) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
-		delete(s.socks, nc)
+		delete(s.socks, raw)
 		s.mu.Unlock()
 	}()
+	nc := raw
+	transportIdentity := ""
+	if s.tlsCfg != nil {
+		// Handshake explicitly (instead of letting the first read drive
+		// it) so a failure is counted and the session's certificate
+		// identity — the peer-auth input — is extracted before any frame
+		// is handled.
+		tc := tls.Server(nc, s.tlsCfg)
+		tc.SetDeadline(time.Now().Add(handshakeTimeout))
+		if err := tc.Handshake(); err != nil {
+			s.tlsFailures.Inc()
+			nc.Close()
+			return
+		}
+		tc.SetDeadline(time.Time{})
+		transportIdentity = auth.PeerIdentity(tc.ConnectionState())
+		nc = tc
+	}
 	var wmu sync.Mutex
 	conn, err := s.hub.AcceptStream(
 		func(frames [][]byte) error {
@@ -171,6 +254,9 @@ func (s *ExchangeServer) serve(nc net.Conn) {
 	if err != nil {
 		nc.Close()
 		return
+	}
+	if transportIdentity != "" {
+		conn.SetTransportIdentity(transportIdentity)
 	}
 	defer conn.Close()
 	fr := wire.NewReader(nc)
@@ -211,9 +297,14 @@ func (s *ExchangeServer) Close() {
 
 // FetchStatus asks the hub at addr for its status snapshot over a
 // throwaway TCP session (status-req needs no hello). It is how the fleet
-// workload's client mode and external monitors observe gating.
-func FetchStatus(addr string, timeout time.Duration) (wire.Status, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+// workload's client mode and external monitors observe gating. Pass
+// WithDialTLS to probe a TLS-served hub.
+func FetchStatus(addr string, timeout time.Duration, opts ...TCPOption) (wire.Status, error) {
+	t := NewTCPTransport(addr, opts...)
+	if timeout > 0 {
+		t.dialTimeout = timeout
+	}
+	nc, err := t.dialConn()
 	if err != nil {
 		return wire.Status{}, fmt.Errorf("fetch status: %w", err)
 	}

@@ -229,6 +229,7 @@ func appendOwnedRecords(b []byte, recs []OwnedRecord) []byte {
 		b = appendStrs(b, r.ConfirmedBy)
 		b = appendBool(b, r.Armed)
 		b = appendU64(b, r.OwnerSeq)
+		b = appendStr(b, r.Tenant)
 	}
 	return b
 }
@@ -266,6 +267,7 @@ func appendBinary(dst []byte, m Message) ([]byte, error) {
 			b = appendStr(b, g)
 			b = appendU64(b, h.Epochs[g])
 		}
+		b = appendStr(b, h.Token)
 	case TypeAck:
 		a := m.Ack
 		b = appendBool(b, a.OK)
@@ -296,6 +298,7 @@ func appendBinary(dst []byte, m Message) ([]byte, error) {
 			b = appendStrs(b, p.ConfirmedBy)
 			b = appendBool(b, p.Armed)
 			b = appendStr(b, p.Owner)
+			b = appendStr(b, p.Tenant)
 		}
 		b = appendU64(b, st.Batching.Batches)
 		b = appendU64(b, st.Batching.Signatures)
@@ -315,6 +318,16 @@ func appendBinary(dst []byte, m Message) ([]byte, error) {
 			b = appendMembers(b, cs.Ring)
 			b = appendU64(b, cs.Fenced)
 		}
+		// Tenants follows the JSON omitempty rule: empty encodes as
+		// absent (see decodeNorm).
+		b = appendLen(b, len(st.Tenants), len(st.Tenants) == 0)
+		for _, ts := range st.Tenants {
+			b = appendStr(b, ts.Tenant)
+			b = appendInt(b, ts.Sigs)
+			b = appendInt(b, ts.Armed)
+			b = appendInt(b, ts.Threshold)
+			b = appendInt(b, ts.Devices)
+		}
 	case TypePeerHello:
 		h := m.PeerHello
 		b = appendStr(b, h.Hub)
@@ -328,9 +341,11 @@ func appendBinary(dst []byte, m Message) ([]byte, error) {
 		b = appendStr(b, f.Device)
 		b = appendSigs(b, f.Sigs)
 		b = appendInt(b, f.Hops)
+		b = appendStr(b, f.Tenant)
 	case TypeForwardConfirm:
 		b = appendStr(b, m.FwdConfirm.Device)
 		b = appendConfirm(b, m.FwdConfirm.Confirm)
+		b = appendStr(b, m.FwdConfirm.Tenant)
 	case TypeArmBroadcast:
 		a := m.Arm
 		b = appendStr(b, a.Owner)
@@ -338,6 +353,7 @@ func appendBinary(dst []byte, m Message) ([]byte, error) {
 		b = appendInt(b, a.Confirmations)
 		b = appendSig(b, a.Sig)
 		b = appendU64(b, a.Fence)
+		b = appendStr(b, a.Tenant)
 	case TypeMemberUpdate:
 		u := m.Member
 		b = appendU64(b, u.Epoch)
@@ -552,7 +568,7 @@ func (d *bdec) ownedRecords() []OwnedRecord {
 	out := make([]OwnedRecord, 0, prealloc(n))
 	for i := 0; i < n && d.err == nil; i++ {
 		out = append(out, OwnedRecord{Sig: d.sig(), FirstSeen: d.str(),
-			ConfirmedBy: d.strs(), Armed: d.bool(), OwnerSeq: d.u64()})
+			ConfirmedBy: d.strs(), Armed: d.bool(), OwnerSeq: d.u64(), Tenant: d.str()})
 	}
 	return out
 }
@@ -583,6 +599,7 @@ func DecodeBinary(b []byte) (Message, error) {
 				h.Epochs[g] = d.u64()
 			}
 		}
+		h.Token = d.str()
 		m.Hello = h
 	case TypeAck:
 		m.Ack = &Ack{OK: d.bool(), Error: d.str(), Epoch: d.u64(), Gen: d.str(), V: d.int()}
@@ -601,7 +618,7 @@ func DecodeBinary(b []byte) (Message, error) {
 			st.Provenance = make([]SigStatus, 0, prealloc(n))
 			for i := 0; i < n && d.err == nil; i++ {
 				st.Provenance = append(st.Provenance, SigStatus{Key: d.str(), Kind: d.str(), FirstSeen: d.str(),
-					Confirmations: d.int(), ConfirmedBy: d.strs(), Armed: d.bool(), Owner: d.str()})
+					Confirmations: d.int(), ConfirmedBy: d.strs(), Armed: d.bool(), Owner: d.str(), Tenant: d.str()})
 			}
 		}
 		st.Batching = Batching{Batches: d.u64(), Signatures: d.u64()}
@@ -615,15 +632,22 @@ func DecodeBinary(b []byte) (Message, error) {
 		default:
 			d.fail("bad presence byte %d", present)
 		}
+		if n := d.length(); n > 0 {
+			st.Tenants = make([]TenantStatus, 0, prealloc(n))
+			for i := 0; i < n && d.err == nil; i++ {
+				st.Tenants = append(st.Tenants, TenantStatus{Tenant: d.str(),
+					Sigs: d.int(), Armed: d.int(), Threshold: d.int(), Devices: d.int()})
+			}
+		}
 		m.Status = st
 	case TypePeerHello:
 		m.PeerHello = &PeerHello{Hub: d.str(), Seq: d.u64(), MinV: d.int(), MaxV: d.int(), Addr: d.str()}
 	case TypeForwardReport:
-		m.Forward = &ForwardReport{Hub: d.str(), Device: d.str(), Sigs: d.sigs(), Hops: d.int()}
+		m.Forward = &ForwardReport{Hub: d.str(), Device: d.str(), Sigs: d.sigs(), Hops: d.int(), Tenant: d.str()}
 	case TypeForwardConfirm:
-		m.FwdConfirm = &ForwardConfirm{Device: d.str(), Confirm: d.confirm()}
+		m.FwdConfirm = &ForwardConfirm{Device: d.str(), Confirm: d.confirm(), Tenant: d.str()}
 	case TypeArmBroadcast:
-		m.Arm = &ArmBroadcast{Owner: d.str(), Seq: d.u64(), Confirmations: d.int(), Sig: d.sig(), Fence: d.u64()}
+		m.Arm = &ArmBroadcast{Owner: d.str(), Seq: d.u64(), Confirmations: d.int(), Sig: d.sig(), Fence: d.u64(), Tenant: d.str()}
 	case TypeMemberUpdate:
 		m.Member = &MemberUpdate{Epoch: d.u64(), Members: d.members()}
 	case TypeHandoff:

@@ -105,6 +105,12 @@
 //	4   binary   elastic membership: member-update/handoff/replicate
 //	             peer messages, arm-broadcast fencing epoch, peer-hello
 //	             advertised address
+//	5   binary   authenticated multi-tenant fabric: hello bearer token
+//	             (resolved to a (tenant, device) principal by the hub's
+//	             auth verifier), tenant scoping on the peer messages and
+//	             provenance records, per-tenant status view. A hub with
+//	             auth disabled ignores the token, so v≤4 interop is
+//	             unchanged wherever auth is off
 //
 // The negotiation rules, applied by both ends:
 //
@@ -174,11 +180,17 @@ import (
 // advertised range (a bare v1 hello advertises exactly its envelope
 // version).
 const (
-	Version    = 4
+	Version    = 5
 	MinVersion = 1
 	// PeerVersion is the minimum negotiated version for the peer message
 	// set (hub federation).
 	PeerVersion = 2
+	// AuthVersion is the version that introduced the authenticated
+	// multi-tenant fabric (hello token, tenant-scoped peer messages).
+	// The hello token itself travels in the pre-negotiation JSON hello,
+	// so auth does not require negotiating this high — the constant
+	// documents the protocol generation.
+	AuthVersion = 5
 	// MembershipVersion is the minimum negotiated version for the
 	// elastic-membership peer messages (member-update, handoff,
 	// replicate); links negotiated lower behave as a static ring.
@@ -288,6 +300,12 @@ type Hello struct {
 	MinV   int               `json:"min_v,omitempty"`
 	MaxV   int               `json:"max_v,omitempty"`
 	Epochs map[string]uint64 `json:"epochs,omitempty"`
+
+	// Token (v5) is the device's bearer credential. A hub with an auth
+	// verifier resolves it to a (tenant, device) principal and refuses
+	// the hello when it is missing, invalid, or its device claim does
+	// not match Device; a hub with auth disabled ignores it.
+	Token string `json:"token,omitempty"`
 }
 
 // Ack answers a hello or a peer-hello. On success Epoch is the hub's
@@ -364,6 +382,10 @@ type ForwardReport struct {
 	// Hops stays below a small bound, then counts it locally — churn
 	// degrades to one extra hop, never a forwarding loop.
 	Hops int `json:"hops,omitempty"`
+
+	// Tenant (v5) scopes the forwarded confirmations: the owner books
+	// them under the tenant's entry, never another tenant's.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ForwardConfirm is the owner's receipt for one forwarded signature,
@@ -372,6 +394,11 @@ type ForwardReport struct {
 type ForwardConfirm struct {
 	Device  string  `json:"device"`
 	Confirm Confirm `json:"confirm"`
+
+	// Tenant (v5) addresses the receipt: device ids are only unique
+	// within a tenant, so the relaying hub looks the session up under
+	// (tenant, device).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ArmBroadcast announces that the owning hub armed one of its owned
@@ -389,6 +416,10 @@ type ArmBroadcast struct {
 	// unless the sender still owns the signature under the receiver's
 	// ring — the rule that fences a returning stale owner's replays.
 	Fence uint64 `json:"fence,omitempty"`
+
+	// Tenant (v5) scopes the arming: receivers install it under the
+	// tenant's canonical key and push it only to that tenant's devices.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // MemberInfo is one hub's entry in the membership: its cluster id, its
@@ -424,6 +455,12 @@ type OwnedRecord struct {
 	ConfirmedBy []string  `json:"confirmed_by,omitempty"`
 	Armed       bool      `json:"armed,omitempty"`
 	OwnerSeq    uint64    `json:"owner_seq,omitempty"`
+
+	// Tenant (v5) keeps a migrated or replicated record in its tenant's
+	// namespace — the receiver re-derives the canonical key from
+	// (Tenant, Sig), so handoff and failover never leak state across
+	// tenants.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Handoff migrates owned provenance records from a hub that stopped
@@ -456,6 +493,21 @@ type Status struct {
 	// cluster: Hub is its cluster id and Cluster the federation view.
 	Hub     string         `json:"hub,omitempty"`
 	Cluster *ClusterStatus `json:"cluster,omitempty"`
+
+	// Tenants (v5) is the per-tenant view: one summary per non-default
+	// tenant with provenance on this hub. A single-tenant fleet (every
+	// session under the default "" tenant) has none, keeping the
+	// pre-v5 status JSON byte-identical.
+	Tenants []TenantStatus `json:"tenants,omitempty"`
+}
+
+// TenantStatus is one tenant's slice of the hub status.
+type TenantStatus struct {
+	Tenant    string `json:"tenant"`
+	Sigs      int    `json:"sigs"`
+	Armed     int    `json:"armed"`
+	Threshold int    `json:"threshold"`
+	Devices   int    `json:"devices"`
 }
 
 // ClusterStatus is the federation slice of a hub's status.
@@ -492,6 +544,9 @@ type SigStatus struct {
 	ConfirmedBy   []string `json:"confirmed_by"`
 	Armed         bool     `json:"armed"`
 	Owner         string   `json:"owner,omitempty"`
+
+	// Tenant (v5) is the fleet the signature belongs to ("" = default).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Batching reports the hub's delta coalescing: Batches delta messages
@@ -658,14 +713,17 @@ func Encode(m Message) ([]byte, error) {
 	return b, nil
 }
 
-// decodeNorm canonicalizes a freshly decoded message. Hello.Epochs is
-// marshaled with omitempty, so the JSON codec cannot re-encode an
-// empty-but-present map; both decoders collapse it to nil, keeping
-// decode→encode→decode a fixed point under either codec (the property
-// the decode and differential fuzz targets assert).
+// decodeNorm canonicalizes a freshly decoded message. Hello.Epochs and
+// Status.Tenants are marshaled with omitempty, so the JSON codec cannot
+// re-encode an empty-but-present collection; both decoders collapse
+// them to nil, keeping decode→encode→decode a fixed point under either
+// codec (the property the decode and differential fuzz targets assert).
 func decodeNorm(m Message) Message {
 	if m.Hello != nil && m.Hello.Epochs != nil && len(m.Hello.Epochs) == 0 {
 		m.Hello.Epochs = nil
+	}
+	if m.Status != nil && m.Status.Tenants != nil && len(m.Status.Tenants) == 0 {
+		m.Status.Tenants = nil
 	}
 	return m
 }

@@ -22,7 +22,8 @@ func TestWireVersionMatrix(t *testing.T) {
 		hubPin, clientPin    int // 0 = newest
 		want                 int
 	}{
-		{"v4-hub_v4-client", 0, 0, 4},
+		{"v5-hub_v5-client", 0, 0, 5},
+		{"v4-hub_v4-client", 4, 4, 4},
 		{"v3-hub_v2-client", 0, 2, 2},
 		{"v3-hub_v1-client", 0, 1, 1},
 		{"v2-hub_v3-client", 2, 0, 2},

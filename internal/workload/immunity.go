@@ -19,6 +19,7 @@
 package workload
 
 import (
+	"crypto/tls"
 	"fmt"
 	"runtime"
 	"sort"
@@ -27,6 +28,7 @@ import (
 
 	"github.com/dimmunix/dimmunix/internal/core"
 	"github.com/dimmunix/dimmunix/internal/immunity"
+	"github.com/dimmunix/dimmunix/internal/immunity/auth"
 	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
 	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
@@ -78,6 +80,14 @@ type FleetImmunityConfig struct {
 	// The daemons must be running with a confirm threshold of
 	// ConfirmThreshold for the gating check to be meaningful.
 	Dial string
+	// Token, in client mode, rides every phone's hello as the bearer
+	// credential — required against daemons serving with -auth-key or
+	// -auth-keyring, ignored by auth-disabled daemons.
+	Token string
+	// TLS, in client mode, dials every daemon connection (device
+	// sessions and status probes) under this config — typically
+	// auth.ClientConfig over the fleet CA. Nil dials plaintext.
+	TLS *tls.Config
 	// Metrics, when non-nil, is shared with every in-process hub (the
 	// hub-side counters/gauges land on it) and receives the run's
 	// propagation latencies as immunity_propagation_device_seconds and
@@ -310,14 +320,15 @@ func (v localView) batching() (uint64, uint64) {
 
 // statusView polls external daemons over the wire protocol.
 type statusView struct {
-	addrs   []string
-	timeout time.Duration
+	addrs    []string
+	timeout  time.Duration
+	dialOpts []immunity.TCPOption
 }
 
 func (v statusView) statuses() ([]wire.Status, error) {
 	out := make([]wire.Status, len(v.addrs))
 	for i, addr := range v.addrs {
-		st, err := immunity.FetchStatus(addr, v.timeout)
+		st, err := immunity.FetchStatus(addr, v.timeout, v.dialOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("hub %s: %w", addr, err)
 		}
@@ -414,10 +425,15 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 			return res, fmt.Errorf("fleet immunity: no address in dial list %q", cfg.Dial)
 		}
 		res.Transport = "client:" + strings.Join(addrs, ",")
-		for _, addr := range addrs {
-			deviceTransports = append(deviceTransports, immunity.NewTCPTransport(addr))
+		var dialOpts []immunity.TCPOption
+		if cfg.TLS != nil {
+			res.Transport = "client+tls:" + strings.Join(addrs, ",")
+			dialOpts = append(dialOpts, immunity.WithDialTLS(cfg.TLS))
 		}
-		view = statusView{addrs: addrs, timeout: cfg.Timeout}
+		for _, addr := range addrs {
+			deviceTransports = append(deviceTransports, immunity.NewTCPTransport(addr, dialOpts...))
+		}
+		view = statusView{addrs: addrs, timeout: cfg.Timeout, dialOpts: dialOpts}
 		// An external daemon carries state across runs. If it already
 		// armed this scenario's signature (an earlier -connect run, or a
 		// -provenance store from one), the injected deadlock would be
@@ -510,7 +526,11 @@ func RunFleetImmunity(cfg FleetImmunityConfig) (FleetImmunityResult, error) {
 			}
 			ph.procs = append(ph.procs, p)
 		}
-		client, err := immunity.Connect(deviceTransports[i%len(deviceTransports)], svc.Name(), svc)
+		var connOpts []immunity.ClientOption
+		if cfg.Token != "" {
+			connOpts = append(connOpts, immunity.WithClientToken(cfg.Token))
+		}
+		client, err := immunity.Connect(deviceTransports[i%len(deviceTransports)], svc.Name(), svc, connOpts...)
 		if err != nil {
 			return res, fmt.Errorf("fleet immunity: %w", err)
 		}
@@ -678,6 +698,9 @@ type PropagationResult struct {
 	// TCP marks the cross-device variant (publish on one phone, armed
 	// processes on another, over the TCP exchange).
 	TCP bool
+	// Auth marks the authenticated cross-device variant: the same wire
+	// path under TLS with token-authenticated hellos.
+	Auth bool
 }
 
 // fillPercentiles computes P50/P90/P99 from the per-signature latency
@@ -804,6 +827,9 @@ func FormatPropagation(res PropagationResult) string {
 	if res.TCP {
 		tier = "cross-device over TCP"
 	}
+	if res.Auth {
+		tier = "cross-device over TLS+token auth"
+	}
 	return fmt.Sprintf("propagation (%s): %d live procs, %d signatures: avg %s, p50 %s, p99 %s, max %s publish→all-armed\n",
 		tier, res.Procs, res.Sigs, res.Avg.Round(100*time.Nanosecond), res.P50.Round(100*time.Nanosecond),
 		res.P99.Round(100*time.Nanosecond), res.Max.Round(100*time.Nanosecond))
@@ -816,27 +842,65 @@ func FormatPropagation(res PropagationResult) string {
 // *other* phone hot-installing it — detection on one phone to immunity
 // on another, through the full wire path.
 func PropagationLatencyTCP(procs, sigs int) (PropagationResult, error) {
+	return propagationTCP(procs, sigs, false)
+}
+
+// PropagationLatencyTCPAuth is PropagationLatencyTCP with the full
+// trust fabric turned on: TLS on the wire (an in-memory dev CA, server
+// cert verified by the devices) and token-authenticated hellos. It is
+// the bench guard's authenticated tier — the handshake plus
+// record-layer cost must stay within the same order as plaintext.
+func PropagationLatencyTCPAuth(procs, sigs int) (PropagationResult, error) {
+	return propagationTCP(procs, sigs, true)
+}
+
+func propagationTCP(procs, sigs int, authOn bool) (PropagationResult, error) {
 	if procs < 1 || sigs < 1 {
 		return PropagationResult{}, fmt.Errorf("propagation: need >= 1 proc and >= 1 sig, got %d/%d", procs, sigs)
 	}
-	hub, err := immunity.NewExchange(1)
+	var (
+		hubOpts    []immunity.ExchangeOption
+		serveOpts  []immunity.ServeOption
+		dialOpts   []immunity.TCPOption
+		clientOpts []immunity.ClientOption
+	)
+	if authOn {
+		ca, err := auth.NewCA("bench-ca")
+		if err != nil {
+			return PropagationResult{}, err
+		}
+		cert, err := ca.IssueTLS("bench-hub", nil)
+		if err != nil {
+			return PropagationResult{}, err
+		}
+		key := []byte("bench-token-key")
+		token, err := auth.Mint(key, auth.Claims{Device: auth.WildcardDevice})
+		if err != nil {
+			return PropagationResult{}, err
+		}
+		hubOpts = append(hubOpts, immunity.WithAuthVerifier(auth.NewStatic(key)))
+		serveOpts = append(serveOpts, immunity.WithServeTLS(auth.ServerConfig(cert, nil)))
+		dialOpts = append(dialOpts, immunity.WithDialTLS(auth.ClientConfig(ca.Pool(), "")))
+		clientOpts = append(clientOpts, immunity.WithClientToken(token))
+	}
+	hub, err := immunity.NewExchange(1, hubOpts...)
 	if err != nil {
 		return PropagationResult{}, err
 	}
 	defer hub.Close()
-	srv, err := immunity.ServeTCP(hub, "127.0.0.1:0")
+	srv, err := immunity.ServeTCP(hub, "127.0.0.1:0", serveOpts...)
 	if err != nil {
 		return PropagationResult{}, err
 	}
 	defer srv.Close()
-	transport := immunity.NewTCPTransport(srv.Addr())
+	transport := immunity.NewTCPTransport(srv.Addr(), dialOpts...)
 
 	pubSvc, err := immunity.NewService("publisher", nil)
 	if err != nil {
 		return PropagationResult{}, err
 	}
 	defer pubSvc.Close()
-	pubClient, err := immunity.Connect(transport, "publisher", pubSvc)
+	pubClient, err := immunity.Connect(transport, "publisher", pubSvc, clientOpts...)
 	if err != nil {
 		return PropagationResult{}, err
 	}
@@ -847,7 +911,7 @@ func PropagationLatencyTCP(procs, sigs int) (PropagationResult, error) {
 		return PropagationResult{}, err
 	}
 	defer subSvc.Close()
-	subClient, err := immunity.Connect(transport, "subscriber", subSvc)
+	subClient, err := immunity.Connect(transport, "subscriber", subSvc, clientOpts...)
 	if err != nil {
 		return PropagationResult{}, err
 	}
@@ -861,7 +925,7 @@ func PropagationLatencyTCP(procs, sigs int) (PropagationResult, error) {
 		}
 	}
 
-	res := PropagationResult{Procs: procs, Sigs: sigs, TCP: true}
+	res := PropagationResult{Procs: procs, Sigs: sigs, TCP: true, Auth: authOn}
 	var total time.Duration
 	lats := make([]time.Duration, 0, sigs)
 	for i := 0; i < sigs; i++ {

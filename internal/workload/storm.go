@@ -9,6 +9,7 @@
 package workload
 
 import (
+	"crypto/tls"
 	"fmt"
 	"strings"
 	"time"
@@ -71,6 +72,12 @@ type StormConfig struct {
 	// status requests; the admission counters then live on the daemons'
 	// /metrics endpoints, not in the returned result.
 	Dial string
+	// Token, in client mode, rides every storm device's hello as the
+	// bearer credential for auth-enabled daemons.
+	Token string
+	// TLS, in client mode, dials every daemon connection under this
+	// config. Nil dials plaintext.
+	TLS *tls.Config
 	// Metrics, when non-nil, is shared with the in-process hubs.
 	// Incompatible with AdmitAuto over multiple hubs: each adaptive hub
 	// needs its own registry (the capacity gauge and SLO state series
@@ -200,14 +207,19 @@ func RunReportStorm(cfg StormConfig) (StormResult, error) {
 			return res, fmt.Errorf("storm: no address in dial list %q", cfg.Dial)
 		}
 		res.Transport = "client:" + strings.Join(addrs, ",")
+		var dialOpts []immunity.TCPOption
+		if cfg.TLS != nil {
+			res.Transport = "client+tls:" + strings.Join(addrs, ",")
+			dialOpts = append(dialOpts, immunity.WithDialTLS(cfg.TLS))
+		}
 		for _, addr := range addrs {
-			deviceTransports = append(deviceTransports, immunity.NewTCPTransport(addr))
+			deviceTransports = append(deviceTransports, immunity.NewTCPTransport(addr, dialOpts...))
 		}
 		// External daemons carry state across runs: arming completion is
 		// "every hub's armed count grew by Sigs over its own baseline".
 		baselines := make([]uint64, len(addrs))
 		for i, addr := range addrs {
-			st, err := immunity.FetchStatus(addr, cfg.Timeout)
+			st, err := immunity.FetchStatus(addr, cfg.Timeout, dialOpts...)
 			if err != nil {
 				return res, fmt.Errorf("storm: baseline status from %s: %w", addr, err)
 			}
@@ -216,7 +228,7 @@ func RunReportStorm(cfg StormConfig) (StormResult, error) {
 		armedTarget = func() (bool, int, error) {
 			minGrown := cfg.Sigs
 			for i, addr := range addrs {
-				st, err := immunity.FetchStatus(addr, cfg.Timeout)
+				st, err := immunity.FetchStatus(addr, cfg.Timeout, dialOpts...)
 				if err != nil {
 					return false, 0, err
 				}
@@ -310,7 +322,7 @@ func RunReportStorm(cfg StormConfig) (StormResult, error) {
 	// signature, which is what an unbatched or misbehaving client does.
 	devices := make([]*stormSession, cfg.Devices)
 	for i := range devices {
-		dev, err := dialStorm(deviceTransports[i%len(deviceTransports)], fmt.Sprintf("storm%d", i), cfg.Timeout)
+		dev, err := dialStorm(deviceTransports[i%len(deviceTransports)], fmt.Sprintf("storm%d", i), cfg.Token, cfg.Timeout)
 		if err != nil {
 			return res, fmt.Errorf("storm: %w", err)
 		}
@@ -497,7 +509,7 @@ func (d *stormSession) close() { d.sess.Close() }
 // dialStorm opens one device session and completes the handshake. The
 // hub's pushes (catch-up delta, confirms, storm deltas) are drained and
 // discarded — the storm measures ingest, not install.
-func dialStorm(tr immunity.Transport, id string, timeout time.Duration) (*stormSession, error) {
+func dialStorm(tr immunity.Transport, id, token string, timeout time.Duration) (*stormSession, error) {
 	ackCh := make(chan wire.Ack, 1)
 	sess, err := tr.Dial(func(m wire.Message) {
 		if m.Type == wire.TypeAck && m.Ack != nil {
@@ -511,7 +523,7 @@ func dialStorm(tr immunity.Transport, id string, timeout time.Duration) (*stormS
 		return nil, fmt.Errorf("%s dial: %w", id, err)
 	}
 	hello := wire.Message{V: wire.MinVersion, Type: wire.TypeHello,
-		Hello: &wire.Hello{Device: id, MinV: wire.MinVersion, MaxV: wire.Version}}
+		Hello: &wire.Hello{Device: id, MinV: wire.MinVersion, MaxV: wire.Version, Token: token}}
 	if err := sess.Send(hello); err != nil {
 		sess.Close()
 		return nil, fmt.Errorf("%s hello: %w", id, err)

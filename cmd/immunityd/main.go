@@ -52,16 +52,32 @@
 // learns the rest from membership snapshots, and every hub dials
 // members it discovers at the address they advertise with -advertise
 // (defaults to -listen; set it explicitly when -listen is a wildcard).
-// With -failover-after D each hub runs a failure detector: a member
-// whose peer link stays down past D is declared dead, its keys fail
-// over to their deputies (which already hold replicas of the pending
-// confirmation sets), and a returning stale owner's replayed
-// arm-broadcasts are fenced by the membership epoch. -leave makes
-// shutdown graceful: the hub down-marks itself, hands its owned slice
-// off, and drains its outboxes before exiting. The /status document
-// shows the membership ring (members, liveness, epoch) and the peer
-// links; /status?owner=KEY answers which hub owns — and which hub is
-// deputy for — a signature key.
+// With -failover-after D each hub runs a SWIM-style failure detector
+// over its peer links: members are probed round-robin with direct
+// pings, a missed ack triggers indirect ping-reqs relayed through
+// other members, and only a member that answers nobody through the
+// suspicion window is condemned — a slow or flapping link alone
+// convicts no one. A condemned member's keys fail over to their
+// deputies (which already hold replicas of the pending confirmation
+// sets). Arming authority is a quorum lease: a hub arms and hands off
+// only while a majority of the membership has acked its lease, so the
+// minority side of a partition parks its threshold crossings (instead
+// of arming a double) until the heal, when the parked decisions drain
+// against the majority's arms; epoch fencing of a stale owner's
+// replayed broadcasts remains as the backstop, and -no-lease restores
+// the fencing-only merge semantics. -probe-interval/-probe-timeout/
+// -probe-suspect/-probe-indirect and -lease-ttl override the windows
+// derived from -failover-after. -leave makes shutdown graceful: the
+// hub down-marks itself, hands its owned slice off, and drains its
+// outboxes before exiting. The /status document shows the membership
+// ring (members, liveness, epoch) and the peer links; /status?owner=
+// KEY answers which hub owns — and which hub is deputy for — a
+// signature key. -fault-isolate AFTER:DUR scripts a deterministic
+// outage into a live hub (internal/immunity/fault): AFTER into the
+// run its outbound peer links are cut — the asymmetric partition, it
+// hears its peers while its acks, lease renewals, and broadcasts
+// vanish — and DUR later the links heal; acceptance drives watch the
+// log markers and the immunity_cluster_lease_* counters.
 //
 // The trust fabric is opt-in per daemon. -tls-cert/-tls-key serve the
 // exchange listener under TLS; adding -tls-ca turns the cluster mutual:
@@ -98,7 +114,17 @@
 // devices while the owner of an in-flight slice is killed
 // mid-confirmation and restarted (-kills cycles), then asserts
 // federation equivalence — every hub converges to the single-hub
-// reference's armed set with zero double-arms.
+// reference's armed set with zero double-arms. -chaos -partition S
+// swaps the kill for a network partition driven by the deterministic
+// fault layer: S is symmetric (the minority hub is cut off entirely,
+// loses its lease, and parks every crossing), asymmetric (only its
+// outbound word is cut — it still hears the majority while its lease
+// quietly dies), or flap (the link blinks faster than the suspicion
+// window and nobody may be condemned). Each scenario asserts zero
+// double-arms during the split and convergence to the single-hub
+// reference after the heal; add -no-lease for the fencing-only
+// regression baseline in which both sides arm and the union merge
+// must still converge.
 //
 // In client mode it runs the fleet immunity workload against such
 // daemons across real sockets; -connect takes one address — or a
@@ -121,11 +147,12 @@
 //
 // Usage:
 //
-//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE] [-admit N|auto -admit-wait D] [-slo-target D -slo-interval D -slo-backlog N] [-alert-url URL] [-alert-exec CMD] [-tls-cert F -tls-key F [-tls-ca F]] [-auth-key K | -auth-keyring F] [-tenant-threshold T=N,...] [-hub ID -peers ID=ADDR,... [-advertise ADDR] [-failover-after D] [-leave]]
+//	immunityd -serve [-listen ADDR] [-http ADDR] [-threshold N] [-provenance FILE] [-admit N|auto -admit-wait D] [-slo-target D -slo-interval D -slo-backlog N] [-alert-url URL] [-alert-exec CMD] [-tls-cert F -tls-key F [-tls-ca F]] [-auth-key K | -auth-keyring F] [-tenant-threshold T=N,...] [-hub ID -peers ID=ADDR,... [-advertise ADDR] [-failover-after D] [-probe-interval D -probe-timeout D -probe-suspect D -probe-indirect N] [-lease-ttl D] [-no-lease] [-fault-isolate AFTER:DUR] [-leave]]
 //	immunityd -connect ADDR[,ADDR...] [-phones N] [-procs N] [-threshold N] [-timeout D] [-tls-ca F] [-token T]
 //	immunityd -storm [-connect ADDR[,ADDR...]] [-phones N] [-sigs N] [-threshold N] [-hubs N] [-admit N|auto -admit-wait D] [-ramp-warmup D -ramp-flood D -ramp-rate N] [-timeout D] [-tls-ca F] [-token T]
 //	immunityd -gen-ca DIR | -gen-cert NAME -ca DIR [-hosts H,...] | -mint-token -auth-key K [-tenant T] [-device D] [-ttl D]
 //	immunityd -chaos [-phones N] [-sigs N] [-threshold N] [-hubs N] [-kills N] [-failover-after D] [-timeout D]
+//	immunityd -chaos -partition symmetric|asymmetric|flap [-no-lease] [-phones N] [-sigs N] [-threshold N] [-hubs N] [-failover-after D] [-timeout D]
 //	immunityd [-phones N] [-procs N] [-threshold N] [-timeout D] [-transport loopback|tcp] [-hubs N]
 //	immunityd -propagation [-procs N] [-sigs N] [-tcp]
 package main
@@ -150,6 +177,7 @@ import (
 	"github.com/dimmunix/dimmunix/internal/immunity"
 	"github.com/dimmunix/dimmunix/internal/immunity/auth"
 	"github.com/dimmunix/dimmunix/internal/immunity/cluster"
+	"github.com/dimmunix/dimmunix/internal/immunity/fault"
 	"github.com/dimmunix/dimmunix/internal/immunity/metrics"
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 	"github.com/dimmunix/dimmunix/internal/workload"
@@ -192,6 +220,14 @@ func run(args []string) error {
 	storm := fs.Bool("storm", false, "flood the exchange with per-signature reports from -phones devices and verify arming still completes")
 	chaos := fs.Bool("chaos", false, "in-process kill/restart drive: storm a federation while killing and restarting an owner hub, then assert federation equivalence")
 	kills := fs.Int("kills", 1, "with -chaos: kill/restart cycles")
+	partition := fs.String("partition", "", "with -chaos: run a network-partition scenario (symmetric, asymmetric, or flap) instead of kill/restart — split the federation mid-storm, assert the minority parks under its lost lease, heal, assert convergence")
+	probeInterval := fs.Duration("probe-interval", 0, "with federation failure detection: round-robin probe period (0 derives from -failover-after)")
+	probeTimeout := fs.Duration("probe-timeout", 0, "with federation failure detection: direct ping-ack deadline before indirect probing (0 derives from -failover-after)")
+	probeSuspect := fs.Duration("probe-suspect", 0, "with federation failure detection: suspicion hold before a silent member is condemned (0 derives from -failover-after)")
+	probeIndirect := fs.Int("probe-indirect", 0, "with federation failure detection: proxy members asked to relay indirect ping-reqs per suspicion (0 = default 2)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "with federation failure detection: quorum-lease lifetime (0 derives from the probe windows; always clamped to probe-timeout+probe-suspect)")
+	noLease := fs.Bool("no-lease", false, "with federation failure detection: disable the quorum lease and fall back to epoch fencing alone (both partition sides keep arming)")
+	faultIsolate := fs.String("fault-isolate", "", "with -serve federation: AFTER:DUR — cut this hub's outbound peer links AFTER into the run and heal them DUR later (deterministic fault injection for acceptance drives)")
 	rampWarmup := fs.Duration("ramp-warmup", 0, "with -storm: paced single-signature warmup phase before the flood")
 	rampFlood := fs.Duration("ramp-flood", 0, "with -storm: continuous full-batch flood phase after the warmup")
 	rampRate := fs.Int("ramp-rate", 20, "with -storm: warmup reports per second per device")
@@ -292,6 +328,20 @@ func run(args []string) error {
 		if len(members) == 0 && (*advertise != "" || *failoverAfter != 0 || *leave) {
 			return fmt.Errorf("-advertise/-failover-after/-leave apply to a federated hub (-peers/-join)")
 		}
+		if len(members) == 0 && (*probeInterval != 0 || *probeTimeout != 0 || *probeSuspect != 0 ||
+			*probeIndirect != 0 || *leaseTTL != 0 || *noLease || *faultIsolate != "") {
+			return fmt.Errorf("-probe-*/-lease-ttl/-no-lease/-fault-isolate apply to a federated hub (-peers/-join)")
+		}
+		if *partition != "" {
+			return fmt.Errorf("-partition is an in-process -chaos scenario, not a serve mode")
+		}
+		faultAfter, faultDur, err := parseFaultIsolate(*faultIsolate)
+		if err != nil {
+			return err
+		}
+		if faultAfter > 0 && *failoverAfter == 0 {
+			return fmt.Errorf("-fault-isolate needs -failover-after (without detection the isolation is just a stalled outbox)")
+		}
 		if *wirePin != 0 && (*wirePin < wire.MinVersion || *wirePin > wire.Version) {
 			return fmt.Errorf("-wire-pin %d outside the supported range v%d..v%d", *wirePin, wire.MinVersion, wire.Version)
 		}
@@ -309,6 +359,10 @@ func run(args []string) error {
 			listen: *listen, httpAddr: *httpAddr, threshold: *threshold,
 			provenance: *provenance, hubID: *hubID, peers: members,
 			advertise: adv, failoverAfter: *failoverAfter, leave: *leave,
+			probeInterval: *probeInterval, probeTimeout: *probeTimeout,
+			probeSuspect: *probeSuspect, probeIndirect: *probeIndirect,
+			leaseTTL: *leaseTTL, noLease: *noLease,
+			faultAfter: faultAfter, faultDur: faultDur,
 			wirePin: *wirePin, admit: admitCap, admitAuto: admitAuto,
 			admitWait: *admitWait, sloTarget: *sloTarget, sloInterval: *sloInterval,
 			backlogTarget: *backlogTarget, alertURL: *alertURL, alertExec: *alertExec,
@@ -348,6 +402,27 @@ func run(args []string) error {
 		if *connect != "" {
 			return fmt.Errorf("-chaos is in-process only (point -storm at external daemons and SIGKILL one instead)")
 		}
+		if *partition != "" {
+			pcfg := workload.DefaultPartitionConfig()
+			pcfg.Devices = *phones
+			pcfg.Sigs = *sigs
+			pcfg.ConfirmThreshold = *threshold
+			if *hubs > 1 {
+				pcfg.Hubs = *hubs
+			}
+			pcfg.Scenario = *partition
+			pcfg.NoLease = *noLease
+			if *failoverAfter > 0 {
+				pcfg.FailoverAfter = *failoverAfter
+			}
+			pcfg.Timeout = *timeout
+			res, err := workload.RunPartitionStorm(pcfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(workload.FormatPartition(res))
+			return nil
+		}
 		cfg := workload.DefaultChaosConfig()
 		cfg.Devices = *phones
 		cfg.Sigs = *sigs
@@ -372,6 +447,15 @@ func run(args []string) error {
 	}
 	if *kills != 1 {
 		return fmt.Errorf("-kills only applies to -chaos")
+	}
+	if *partition != "" || *noLease {
+		return fmt.Errorf("-partition/-no-lease only apply to -chaos (or, for -no-lease, -serve federation)")
+	}
+	if *probeInterval != 0 || *probeTimeout != 0 || *probeSuspect != 0 || *probeIndirect != 0 || *leaseTTL != 0 {
+		return fmt.Errorf("-probe-*/-lease-ttl only apply to -serve federation")
+	}
+	if *faultIsolate != "" {
+		return fmt.Errorf("-fault-isolate only applies to -serve federation")
 	}
 
 	if *storm {
@@ -613,6 +697,8 @@ type daemon struct {
 	eval     *metrics.Evaluator
 	adaptive *metrics.AdaptivePool
 	alerter  *metrics.Alerter
+	// faultStop cancels a pending -fault-isolate script on shutdown.
+	faultStop chan struct{}
 }
 
 // Addr returns the exchange's bound TCP address.
@@ -628,6 +714,9 @@ func (d *daemon) HTTPAddr() string {
 
 // Close tears the daemon down.
 func (d *daemon) Close() {
+	if d.faultStop != nil {
+		close(d.faultStop)
+	}
 	if d.httpSrv != nil {
 		d.httpSrv.Close()
 	}
@@ -653,6 +742,14 @@ type serveConfig struct {
 	peers            []cluster.Member
 	advertise        string
 	failoverAfter    time.Duration
+	probeInterval    time.Duration
+	probeTimeout     time.Duration
+	probeSuspect     time.Duration
+	probeIndirect    int
+	leaseTTL         time.Duration
+	noLease          bool
+	faultAfter       time.Duration
+	faultDur         time.Duration
 	leave            bool
 	wirePin          int
 	admit            int
@@ -672,7 +769,30 @@ type serveConfig struct {
 
 // buildVersion stamps the immunity_build_info gauge; bump it with the
 // roadmap's PR sequence.
-const buildVersion = "0.9.0"
+const buildVersion = "0.10.0"
+
+// parseFaultIsolate parses the -fault-isolate AFTER:DUR script: block
+// the hub's outbound peer links AFTER into the run, heal them DUR
+// later. Empty input means no script.
+func parseFaultIsolate(s string) (after, dur time.Duration, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("-fault-isolate wants AFTER:DUR (e.g. 5s:3s), got %q", s)
+	}
+	if after, err = time.ParseDuration(s[:i]); err != nil {
+		return 0, 0, fmt.Errorf("-fault-isolate AFTER: %w", err)
+	}
+	if dur, err = time.ParseDuration(s[i+1:]); err != nil {
+		return 0, 0, fmt.Errorf("-fault-isolate DUR: %w", err)
+	}
+	if after <= 0 || dur <= 0 {
+		return 0, 0, fmt.Errorf("-fault-isolate AFTER and DUR must both be positive, got %s:%s", after, dur)
+	}
+	return after, dur, nil
+}
 
 // startDaemon boots the exchange server, the optional cluster node, and
 // the /status + /metrics + /slo endpoints. One registry is shared by
@@ -768,22 +888,44 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 		return nil, err
 	}
 	var node *cluster.Node
+	var fnet *fault.Network
 	if len(sc.peers) > 0 {
 		// Federate before the listener is up: the ring must be bound
 		// before the first device report or inbound peer-hello arrives.
 		// Resolve lets the node dial members it did not start with — a
 		// joiner admitted from its peer-hello, a member learned from a
 		// membership snapshot — at the address they advertise.
+		peers := sc.peers
+		if sc.faultAfter > 0 {
+			// -fault-isolate: thread every outbound peer transport through
+			// a fault network so the script below can cut this hub's
+			// outbound word (the asymmetric-partition shape: it still
+			// hears its peers, but its acks, lease renewals, and
+			// broadcasts vanish) and later heal it.
+			fnet = fault.NewNetwork()
+			peers = make([]cluster.Member, len(sc.peers))
+			for i, m := range sc.peers {
+				m.Transport = fnet.Wrap(sc.hubID, m.ID, m.Transport)
+				peers[i] = m
+			}
+		}
 		node, err = cluster.New(cluster.Config{
-			Self: sc.hubID, SelfAddr: sc.advertise, Hub: hub, Peers: sc.peers,
+			Self: sc.hubID, SelfAddr: sc.advertise, Hub: hub, Peers: peers,
 			Resolve: func(m wire.MemberInfo) immunity.Transport {
 				if m.Addr == "" {
 					return nil
 				}
-				return immunity.NewTCPTransport(m.Addr, sc.peerDial...)
+				t := immunity.NewTCPTransport(m.Addr, sc.peerDial...)
+				if fnet != nil {
+					return fnet.Wrap(sc.hubID, m.ID, t)
+				}
+				return t
 			},
 			FailoverAfter: sc.failoverAfter,
-			WireCeiling:   sc.wirePin, Metrics: reg,
+			ProbeInterval: sc.probeInterval, ProbeTimeout: sc.probeTimeout,
+			ProbeSuspect: sc.probeSuspect, ProbeIndirect: sc.probeIndirect,
+			LeaseTTL: sc.leaseTTL, NoLease: sc.noLease,
+			WireCeiling: sc.wirePin, Metrics: reg,
 		})
 		if err != nil {
 			hub.Close()
@@ -804,6 +946,37 @@ func startDaemon(sc serveConfig) (*daemon, error) {
 	}
 	d := &daemon{hub: hub, node: node, srv: srv,
 		rates: rates, eval: eval, adaptive: adaptive}
+	if fnet != nil {
+		// The -fault-isolate script: AFTER into the run, cut this hub's
+		// outbound word to every member it knows (the asymmetric
+		// partition — inbound sessions its peers dialed still deliver);
+		// DUR later, heal, severing every session the block touched so
+		// fresh handshakes resume from their cursors. The log lines are
+		// the acceptance drive's timing markers.
+		d.faultStop = make(chan struct{})
+		go func(stop chan struct{}, n *cluster.Node) {
+			select {
+			case <-time.After(sc.faultAfter):
+			case <-stop:
+				return
+			}
+			members := n.Ring().Members()
+			for _, m := range members {
+				if m != sc.hubID {
+					fnet.Block(sc.hubID, m)
+				}
+			}
+			fmt.Printf("immunityd: fault-isolate: outbound peer links cut (%d members, heal in %s)\n",
+				len(members)-1, sc.faultDur)
+			select {
+			case <-time.After(sc.faultDur):
+			case <-stop:
+				return
+			}
+			fnet.Heal()
+			fmt.Println("immunityd: fault-isolate: healed")
+		}(d.faultStop, node)
+	}
 	if sc.alertURL != "" || sc.alertExec != "" {
 		d.alerter = metrics.NewAlerter(reg, metrics.AlertConfig{
 			URL: sc.alertURL, Exec: sc.alertExec})
@@ -938,8 +1111,17 @@ func runServe(sc serveConfig) error {
 		fmt.Printf("immunityd: membership epoch %d, advertising %s", d.node.Epoch(), sc.advertise)
 		if sc.failoverAfter > 0 {
 			fmt.Printf(", failover after %s", sc.failoverAfter)
+			if sc.noLease {
+				fmt.Printf(", probe detection on, quorum lease OFF (epoch fencing only)")
+			} else {
+				fmt.Printf(", probe detection + quorum lease on")
+			}
 		}
 		fmt.Println()
+		if sc.faultAfter > 0 {
+			fmt.Printf("immunityd: fault-isolate armed: outbound cut at +%s, heal %s later\n",
+				sc.faultAfter, sc.faultDur)
+		}
 	}
 	if st := d.hub.Status(); len(st.Provenance) > 0 {
 		fmt.Printf("immunityd: resumed %d signatures from provenance, fleet epoch %d\n", len(st.Provenance), st.Epoch)

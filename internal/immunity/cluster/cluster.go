@@ -78,20 +78,59 @@
 // the importer merges by set union, so a handoff racing fresh reports
 // or a crossed re-ownership converges instead of double-counting.
 //
-// # Failover: deputies and fencing
+// # Failover: deputies, probes, and fencing
 //
 // Each key's deputy is its second-highest rendezvous scorer — by the
 // rendezvous property, exactly the hub the ring promotes if the owner
 // vanishes. An owner replicates every pending (unarmed) confirmation
 // set to the key's deputy as it grows, piggybacked on the existing
 // peer link, so the would-be successor already holds the set when the
-// owner dies. The failure detector (Config.FailoverAfter) marks a
-// member down once its link has been continuously unreachable past the
-// threshold; the pipeline then promotes this hub for every key it was
-// deputy of, arming on the spot any shadow set at threshold — arming
-// availability survives the owner crash. A completed handshake in
-// either direction revives a down-marked member (and hands its keys
-// back).
+// owner dies. Failure detection (enabled by Config.FailoverAfter or
+// any Probe* override) is SWIM-style probing over the peer links, not
+// a per-link timer: the prober direct-pings one live member per
+// interval, escalates an unanswered ping to indirect ping-reqs relayed
+// through k proxy members — so a single stalled or half-open link can
+// no longer declare a live owner dead by itself — and marks a member
+// down only after it stays unreachable through the whole suspicion
+// window. The membership pipeline then promotes this hub for every key
+// it was deputy of, arming on the spot any shadow set at threshold —
+// arming availability survives the owner crash. A completed handshake
+// in either direction revives a down-marked member (and hands its keys
+// back); peers below wire.ProbeVersion cannot answer probes and are
+// judged by link-session liveness instead.
+//
+// # Quorum leases: why both partition sides cannot arm
+//
+// Fencing (below) reconciles a split after heal; the quorum lease
+// prevents split-brain arming from happening at all. Whenever failure
+// detection is on (and Config.NoLease is unset), the hub may take a
+// *fresh* arming decision — a confirmation set crossing its threshold,
+// a promoted shadow set arming — only while it holds a lease
+// acknowledged by a strict majority of every member it has ever known,
+// down members included (see immunity.ClusterBinding.MayArm). The
+// trust chain is:
+//
+//	probe suspicion → membership mark-down → ring promotion
+//	quorum lease    → the (promoted) owner's right to arm
+//	epoch fencing   → backstop against stale replay after heal
+//
+// The lease renews in rounds over the peer links (wire.Lease /
+// wire.LeaseAck, one TTL per granted round). Because the quorum
+// denominator counts down members and each side's member universe only
+// ever grows, two disjoint partition fragments can never both assemble
+// a majority: the minority side's lease expires within one TTL
+// (immunity_cluster_lease_lost_total), its pending arming decisions
+// park inside the hub (it degrades to read-only forwarding and
+// confirmation counting), and the parked set is re-scanned when the
+// healed cluster grants its lease back. A granter acks only a
+// requester whose membership epoch is at least its own, so a returning
+// stale owner stays parked until it has merged the partition-era
+// membership. Promotion is safe against the deposed owner's residual
+// lease because the suspicion window is never shorter than the lease
+// TTL — by the time a member is marked down, the last lease it could
+// hold has expired. Legacy peers below wire.ProbeVersion cannot ack a
+// lease; they count as granting while their link session is live,
+// trading the guarantee for availability during a staged rollout.
 //
 // The membership epoch doubles as the fencing token: every
 // arm-broadcast carries the sender's epoch (wire.ArmBroadcast.Fence),
@@ -101,16 +140,23 @@
 // can therefore never double-arm against the promoted deputy or
 // regress the owner seq — its replayed broadcasts are fenced until it
 // re-merges the membership, is revived, and receives its slice back by
-// handoff; a fenced broadcast never advances the link cursor. Note the
-// rule fences *stale owners*, not symmetric split-brain: two live
-// partitions may each arm the same signature for their own devices,
-// which is the same arming decision twice, never a conflicting one.
+// handoff; a fenced broadcast never advances the link cursor. With
+// leases on, fencing is the second line of defense; with NoLease it is
+// the only one, and two live partitions may each arm the same
+// signature for their own devices — the same arming decision twice,
+// never a conflicting one.
 //
 // # Partitions and restarts
 //
-// A severed link parks the forward outbox (nothing is dropped),
-// redials with backoff, and resubscribes from the last applied arming
-// seq — the reconnect replays exactly the missed armings. A restarted
+// A severed link parks the forward outbox, redials with jittered
+// backoff — so the fleet does not thunder-herd the healed side of a
+// partition at one instant — and resubscribes from the last applied
+// arming seq: the reconnect replays exactly the missed armings. The
+// outbox is bounded (Config.ForwardOutboxCap): a partition outlasting
+// the cap spills the oldest messages, counted in
+// immunity_cluster_forward_dropped_total, and receiver-side dedup plus
+// the device tier's full-history re-report on reconnect restore
+// at-least-once delivery for what was spilled. A restarted
 // owner reloads its owned provenance (confirmation counts survive) and
 // its arming seq from the provenance store; a restarted non-owner
 // reloads the replicated armed set — and, on a deputy, the shadow
@@ -146,6 +192,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -166,6 +213,12 @@ const helloTimeout = 10 * time.Second
 // otherwise be redialed at the minimum backoff forever — dial success
 // alone proves nothing about session health.
 const linkMinUptime = time.Second
+
+// defaultForwardOutboxCap bounds a peer link's forward outbox when
+// Config.ForwardOutboxCap is unset: enough for a storm's worth of
+// forwards across a transient partition, small enough that a
+// partitioned link costs megabytes, not the heap.
+const defaultForwardOutboxCap = 4096
 
 // Member names one remote hub of the cluster seed and how to reach it:
 // a ready transport (immunity.NewTCPTransport across machines,
@@ -198,11 +251,44 @@ type Config struct {
 	// joiner admitted from its peer-hello, a member learned from a
 	// snapshot). Nil restricts outbound links to the configured Peers.
 	Resolve func(m wire.MemberInfo) immunity.Transport
-	// FailoverAfter is how long a member's link must be continuously
-	// down before the failure detector marks it dead and this node
-	// assumes ownership of the keys it is deputy for. 0 disables
-	// failover (a dead owner parks its slice until it returns).
+	// FailoverAfter is the failure-detection budget: roughly how long a
+	// member must stay unreachable — by direct and indirect probes, not
+	// just on this node's own link — before it is marked dead and this
+	// node assumes ownership of the keys it is deputy for. It seeds the
+	// probe timing defaults (interval D/4, timeout D/8, suspicion D/2)
+	// and the lease TTL. 0 disables failure detection, and with it the
+	// quorum lease (a dead owner parks its slice until it returns).
 	FailoverAfter time.Duration
+	// ProbeInterval, ProbeTimeout, and ProbeSuspect override the
+	// SWIM-style prober's cadence: one direct ping per interval
+	// (round-robin over live members), escalation to indirect ping-reqs
+	// after timeout, mark-down after a suspicion window without any
+	// proof of life. Zero values derive from FailoverAfter; setting any
+	// of them with FailoverAfter == 0 enables failure detection on its
+	// own.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	ProbeSuspect  time.Duration
+	// ProbeIndirect is how many proxy members relay indirect ping-reqs
+	// when a direct probe times out (default 2).
+	ProbeIndirect int
+	// LeaseTTL is the quorum-lease lifetime (default: the suspicion
+	// window, and always clamped to ProbeTimeout+ProbeSuspect so a
+	// deposed owner's last lease has certainly expired before its
+	// deputy can be promoted).
+	LeaseTTL time.Duration
+	// NoLease disables the quorum lease while keeping probe-based
+	// failure detection: arming falls back to epoch fencing alone, so a
+	// symmetric partition may arm on both sides — the pre-lease
+	// behavior the partition regression tests pin down.
+	NoLease bool
+	// ForwardOutboxCap bounds each peer link's forward outbox (queued +
+	// in-flight messages); 0 means the 4096 default, negative means
+	// unbounded. When a long partition fills the outbox the oldest
+	// messages spill (immunity_cluster_forward_dropped_total);
+	// receiver-side dedup plus the device tier's full-history re-report
+	// restore at-least-once delivery for what was spilled.
+	ForwardOutboxCap int
 	// WireCeiling caps the wire version this node's outbound peer links
 	// advertise — pair it with immunity.WithWireCeiling on the hub to
 	// pin a whole node during a staged rollout. 0 (or any value outside
@@ -230,9 +316,11 @@ type Node struct {
 	reg      *metrics.Registry
 	resolve  func(m wire.MemberInfo) immunity.Transport
 
-	membership    *Membership
-	ring          atomic.Pointer[Ring]
-	failoverAfter time.Duration
+	membership *Membership
+	ring       atomic.Pointer[Ring]
+	prober     *prober
+	lease      *leaseManager
+	outboxCap  int
 
 	// applyMu serializes the membership pipeline (applyMembership) so
 	// two triggers cannot interleave their re-bind and handoff phases.
@@ -245,10 +333,11 @@ type Node struct {
 	// members beyond the seed go through resolve.
 	transports map[string]immunity.Transport
 
-	metFailovers *metrics.Counter
-	metHandoffs  *metrics.Counter
-	metReplicas  *metrics.Counter
-	metEpoch     *metrics.Gauge
+	metFailovers      *metrics.Counter
+	metHandoffs       *metrics.Counter
+	metReplicas       *metrics.Counter
+	metEpoch          *metrics.Gauge
+	metForwardDropped *metrics.Counter
 
 	closeOnce sync.Once
 	closeCh   chan struct{}
@@ -287,18 +376,25 @@ func New(cfg Config) (*Node, error) {
 	if maxV < wire.PeerVersion || maxV > wire.Version {
 		maxV = wire.Version
 	}
+	outboxCap := cfg.ForwardOutboxCap
+	switch {
+	case outboxCap == 0:
+		outboxCap = defaultForwardOutboxCap
+	case outboxCap < 0:
+		outboxCap = 0 // unbounded
+	}
 	n := &Node{
-		self:          cfg.Self,
-		selfAddr:      cfg.SelfAddr,
-		hub:           cfg.Hub,
-		maxV:          maxV,
-		reg:           cfg.Metrics,
-		resolve:       cfg.Resolve,
-		membership:    newMembership(cfg.Self, cfg.SelfAddr, seed),
-		failoverAfter: cfg.FailoverAfter,
-		links:         make(map[string]*link, len(cfg.Peers)),
-		transports:    transports,
-		closeCh:       make(chan struct{}),
+		self:       cfg.Self,
+		selfAddr:   cfg.SelfAddr,
+		hub:        cfg.Hub,
+		maxV:       maxV,
+		reg:        cfg.Metrics,
+		resolve:    cfg.Resolve,
+		membership: newMembership(cfg.Self, cfg.SelfAddr, seed),
+		outboxCap:  outboxCap,
+		links:      make(map[string]*link, len(cfg.Peers)),
+		transports: transports,
+		closeCh:    make(chan struct{}),
 	}
 	n.ring.Store(ring)
 	n.metFailovers = cfg.Metrics.Counter("immunity_cluster_failovers_total",
@@ -310,13 +406,26 @@ func New(cfg Config) (*Node, error) {
 	n.metEpoch = cfg.Metrics.Gauge("immunity_cluster_membership_epoch",
 		"Current membership epoch (the arm-broadcast fencing token).")
 	n.metEpoch.Set(1)
+	n.metForwardDropped = cfg.Metrics.Counter("immunity_cluster_forward_dropped_total",
+		"Oldest forward-outbox messages spilled by the per-peer cap during long partitions.")
+	pc := resolveProbe(cfg)
+	if pc.enabled {
+		n.prober = newProber(n, pc)
+		if !cfg.NoLease {
+			n.lease = newLeaseManager(n, pc.leaseTTL)
+		}
+	}
 	// Bind before any link (or device) traffic: the hub must know the
 	// ring before it accepts its first report or peer-hello.
 	cfg.Hub.BindCluster(n)
 	n.ensureLinks(n.membership.live())
-	if cfg.FailoverAfter > 0 {
+	if n.prober != nil {
 		n.wg.Add(1)
-		go n.runFailureDetector()
+		go n.prober.run()
+	}
+	if n.lease != nil {
+		n.wg.Add(1)
+		go n.lease.run()
 	}
 	return n, nil
 }
@@ -571,9 +680,9 @@ type link struct {
 	ver         int    // negotiated wire version of the current session (0 while down)
 	lastApplied uint64
 	// lastUp is when the link last had a live session (creation time
-	// before the first handshake) — the failure detector's clock: a
-	// member is declared dead once sess has been nil for
-	// FailoverAfter past lastUp.
+	// before the first handshake) — kept for debugging; liveness
+	// judgment belongs to the prober, which probes through other
+	// members before believing this link's word.
 	lastUp time.Time
 	// cur is the dial attempt whose session passed the handshake; only
 	// its broadcasts may advance lastApplied. An attempt the handshake
@@ -602,7 +711,21 @@ type link struct {
 // dialAttempt quarantines one dial's cursor advances until the
 // handshake accepts the session. Guarded by link.mu.
 type dialAttempt struct {
-	maxSeq uint64 // highest owner seq received on this attempt's session
+	maxSeq    uint64 // highest owner seq received on this attempt's session
+	fencedLow uint64 // lowest fenced owner seq on this session (0 = none)
+}
+
+// cursor is the seq this attempt may advance the durable cursor to:
+// the highest seq received, floored below the lowest fenced seq. A
+// replay burst that races a partition heal is fenced until the sender
+// is merged back into the ring; letting a later accepted arm carry the
+// cursor past the refused prefix would mask those armings forever —
+// the floor keeps them inside the next handshake's replay window.
+func (a *dialAttempt) cursor() uint64 {
+	if a.fencedLow > 0 && a.fencedLow-1 < a.maxSeq {
+		return a.fencedLow - 1
+	}
+	return a.maxSeq
 }
 
 func newLink(n *Node, peerID string, t immunity.Transport, resumeSeq uint64, maxV int, reg *metrics.Registry) *link {
@@ -623,6 +746,12 @@ func newLink(n *Node, peerID string, t immunity.Transport, resumeSeq uint64, max
 	l.outbox = immunity.NewQueue(immunity.QueueConfig[wire.Message]{
 		Deliver:      l.deliver,
 		RetryOnError: true,
+		// A partition longer than the cap's worth of traffic spills the
+		// oldest messages rather than growing without bound; the spill is
+		// safe for the same reason redelivery is (receiver dedup + the
+		// device tier re-reporting its full history on reconnect).
+		Cap:    n.outboxCap,
+		OnDrop: func(wire.Message) { n.metForwardDropped.Inc() },
 		// Per-peer forward-outbox lag: depth is what a partition is
 		// holding back, in-flight what the drain has taken.
 		Depth: reg.GaugeVec("immunity_cluster_forward_pending",
@@ -680,6 +809,50 @@ func (l *link) down(error) {
 	}
 }
 
+// Direct-send failure classes: the prober and lease treat a legacy
+// peer (live session below wire.ProbeVersion) as answering, and a
+// down/missing link as an immediate probe failure worth escalating.
+var (
+	errNoLink     = errors.New("cluster: no link to peer")
+	errLinkDown   = errors.New("cluster: peer link down")
+	errLegacyPeer = errors.New("cluster: peer below probe wire version")
+)
+
+// sendDirect sends one probe/lease message on the live session,
+// bypassing the forward outbox: a parked outbox must never delay — or
+// worse, replay after heal — a liveness or lease request whose meaning
+// is "now".
+func (l *link) sendDirect(m wire.Message) error {
+	l.mu.Lock()
+	sess := l.sess
+	ver := l.ver
+	l.mu.Unlock()
+	if sess == nil {
+		return errLinkDown
+	}
+	if ver < wire.ProbeVersion {
+		return errLegacyPeer
+	}
+	m.V = ver
+	if err := sess.Send(m); err != nil {
+		l.down(err)
+		return err
+	}
+	return nil
+}
+
+// sendDirect routes one probe/lease message to a peer's live session.
+// Never called with prober or lease locks held: loopback transports
+// deliver synchronously, so a send can nest the peer's (and, on a
+// relayed ack, our own) handlers on this goroutine's stack.
+func (n *Node) sendDirect(peer string, m wire.Message) error {
+	l := n.linkFor(peer)
+	if l == nil {
+		return errNoLink
+	}
+	return l.sendDirect(m)
+}
+
 // recv handles one hub→dialer message on behalf of dial attempt att
 // (transport goroutine, no link lock held while calling into the local
 // hub).
@@ -705,7 +878,22 @@ func (l *link) recv(att *dialAttempt, m wire.Message) {
 			// Malformed or fenced: never kill the link over one frame,
 			// and never advance the cursor — a fenced stale owner's seq
 			// must not mask the armings the promoted owner will send
-			// under the same numbers.
+			// under the same numbers. A fenced arm from the peer itself
+			// additionally floors the cursor below its seq: after a
+			// partition heals, the reconnect replay can race the
+			// membership merge that puts the sender back in the ring,
+			// and every arm refused in that window must stay inside the
+			// next handshake's replay.
+			if errors.Is(err, immunity.ErrFenced) && m.Arm.Owner == l.peerID {
+				l.mu.Lock()
+				if att.fencedLow == 0 || m.Arm.Seq < att.fencedLow {
+					att.fencedLow = m.Arm.Seq
+				}
+				if l.cur == att && l.lastApplied >= m.Arm.Seq {
+					l.lastApplied = m.Arm.Seq - 1
+				}
+				l.mu.Unlock()
+			}
 			return
 		}
 		l.mu.Lock()
@@ -713,8 +901,8 @@ func (l *link) recv(att *dialAttempt, m wire.Message) {
 			att.maxSeq = m.Arm.Seq
 			// Only an accepted session moves the durable cursor; replay
 			// that raced the handshake is merged in when dial accepts.
-			if l.cur == att && att.maxSeq > l.lastApplied {
-				l.lastApplied = att.maxSeq
+			if l.cur == att && att.cursor() > l.lastApplied {
+				l.lastApplied = att.cursor()
 			}
 		}
 		if applied {
@@ -755,6 +943,18 @@ func (l *link) dial() error {
 	if err != nil {
 		clearAck()
 		return err
+	}
+	// A successful transport connect is the liveness proof: revive the
+	// member BEFORE the hello goes out, because the hello's answer is a
+	// replay burst that may be delivered synchronously — if the peer
+	// were still down-marked here, every replayed arm would be fenced
+	// against the pre-revival ring and the burst lost until the next
+	// handshake. Reviving first lands the replay in the merged ring.
+	// (Should the handshake still fail, the prober re-condemns a member
+	// this connect wrongly revived; membership mistakes are safe by
+	// construction — see the package comment's fencing rule.)
+	if l.node.membership.seen(l.peerID, "") {
+		l.node.applyMembership()
 	}
 	// The peer-hello precedes negotiation, so it is framed at the JSON
 	// ceiling — any peer version can parse it — while the advertised
@@ -812,9 +1012,11 @@ func (l *link) dial() error {
 		l.lastUp = time.Now()
 		// Merge replay that arrived before the handshake settled: those
 		// broadcasts were filtered against the seq we sent, so on an
-		// accepted session they are safe cursor advances.
-		if att.maxSeq > l.lastApplied {
-			l.lastApplied = att.maxSeq
+		// accepted session they are safe cursor advances — up to the
+		// fenced floor, which marks armings this session failed to
+		// install and the next replay must carry again.
+		if att.cursor() > l.lastApplied {
+			l.lastApplied = att.cursor()
 		}
 		if l.handshakes++; l.handshakes > 1 {
 			l.reconnects++
@@ -827,6 +1029,14 @@ func (l *link) dial() error {
 		clearAck()
 		sess.Close()
 		return fmt.Errorf("peer %s: timed out waiting for ack", l.peerID)
+	case <-l.downCh:
+		// The session died mid-handshake (or a fault layer severed it):
+		// abort now instead of burning the full hello timeout — after a
+		// partition heals, that stall would delay the reconnect replay
+		// by up to helloTimeout for nothing.
+		clearAck()
+		sess.Close()
+		return fmt.Errorf("peer %s: session died during handshake", l.peerID)
 	case <-l.node.closeCh:
 		clearAck()
 		sess.Close()
@@ -861,10 +1071,14 @@ func (n *Node) runLink(l *link) {
 	backoffMin, backoffMax := 5*time.Millisecond, 2*time.Second
 	backoff := backoffMin
 	sleep := func() bool {
+		// Jitter the wait to half-to-full backoff: every hub backs off
+		// from a partition on the same clock, and without jitter they
+		// would all thunder-herd the healed side at the same instant.
+		wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
 		select {
 		case <-n.closeCh:
 			return false
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		}
 		if backoff *= 2; backoff > backoffMax {
 			backoff = backoffMax
@@ -894,10 +1108,14 @@ func (n *Node) runLink(l *link) {
 			}
 			continue
 		}
-		// A completed outbound handshake is a liveness proof: revive the
-		// member if the failure detector had declared it dead (it gets
-		// its keys back by handoff from the pipeline).
-		n.PeerSeen(l.peerID, "")
+		// The revival itself happened inside dial(), before the hello —
+		// an outbound connect is a liveness proof, and merging the member
+		// back in first is what lets the handshake's replay land instead
+		// of being fenced against the pre-revival ring. Deliberately no
+		// re-check here: killing a live session to force a re-merge would
+		// also kill the probe path that keeps the revived member alive,
+		// and the prober would re-condemn it before the next handshake —
+		// a revive/condemn livelock with every link down.
 		connectedAt := time.Now()
 		l.metConnected.Add(1)
 		select {
@@ -906,14 +1124,20 @@ func (n *Node) runLink(l *link) {
 			return
 		case <-l.downCh:
 			l.mu.Lock()
-			if l.sess != nil {
-				l.sess.Close()
-				l.sess = nil
-			}
+			sess := l.sess
+			l.sess = nil
 			l.ver = 0
 			l.cur = nil // a dead session's stragglers must not move the cursor
 			l.lastUp = time.Now()
 			l.mu.Unlock()
+			if sess != nil {
+				// Closed OUTSIDE l.mu: Close can wait on the peer hub's
+				// connection teardown, whose in-flight handlers may be
+				// blocked taking this very lock (a probe ack riding a
+				// synchronous loopback delivery) — holding it here closes
+				// a lock cycle with the fault layer's sever path.
+				sess.Close()
+			}
 			l.metConnected.Add(-1)
 		}
 		if time.Since(connectedAt) >= linkMinUptime {

@@ -6,61 +6,10 @@ import (
 	"github.com/dimmunix/dimmunix/internal/immunity/wire"
 )
 
-// runFailureDetector watches the outbound peer links and marks a
-// member down once its link has been continuously disconnected for
-// Config.FailoverAfter — the deputy-promotion trigger. It only runs
-// when FailoverAfter > 0; a zero config keeps the pre-elastic
-// behavior (a dead owner parks its slice until it returns).
-func (n *Node) runFailureDetector() {
-	defer n.wg.Done()
-	tick := n.failoverAfter / 4
-	if tick < 10*time.Millisecond {
-		tick = 10 * time.Millisecond
-	}
-	t := time.NewTicker(tick)
-	defer t.Stop()
-	for {
-		select {
-		case <-n.closeCh:
-			return
-		case <-t.C:
-		}
-		n.checkPeers()
-	}
-}
-
-// checkPeers is one failure-detector sweep: every up-marked member
-// whose link has been down past the threshold is marked down, and one
-// membership pipeline run re-rings, re-binds ownership (promoting
-// this hub for every key it is deputy of), and spreads the death
-// observation to the surviving peers.
-func (n *Node) checkPeers() {
-	now := time.Now()
-	var dead []string
-	n.linksMu.Lock()
-	for id, l := range n.links {
-		l.mu.Lock()
-		downFor := time.Duration(0)
-		if l.sess == nil {
-			downFor = now.Sub(l.lastUp)
-		}
-		l.mu.Unlock()
-		if downFor > n.failoverAfter && n.membership.isUp(id) {
-			dead = append(dead, id)
-		}
-	}
-	n.linksMu.Unlock()
-	changed := false
-	for _, id := range dead {
-		if n.membership.markDown(id) {
-			n.metFailovers.Inc()
-			changed = true
-		}
-	}
-	if changed {
-		n.applyMembership()
-	}
-}
+// Failure detection lives in probe.go: the SWIM-style prober marks a
+// member down only after direct and indirect probes through other
+// members fail for the whole suspicion window, then drives the
+// applyMembership pipeline below — the deputy-promotion trigger.
 
 // applyMembership is the single pipeline behind every membership
 // change (merge, admit, revive, mark-down, leave). Strictly ordered:

@@ -241,6 +241,19 @@ func (ms *Membership) leave() bool {
 	return true
 }
 
+// count is how many members this hub has ever known — down members
+// included. It is the quorum lease's denominator: down members still
+// count against the majority, so a minority partition fragment that
+// marks the other side down cannot vote itself a quorum, and because
+// the map only grows (short of a higher-epoch wholesale adoption,
+// which itself reflects a larger view), two disjoint fragments can
+// never both hold one.
+func (ms *Membership) count() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return len(ms.members)
+}
+
 // isUp reports whether id is a known, not-down member.
 func (ms *Membership) isUp(id string) bool {
 	ms.mu.Lock()

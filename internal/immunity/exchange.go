@@ -102,6 +102,10 @@ type ExchangeStats struct {
 	// (all zero when admission is disabled): reports admitted without
 	// waiting, admitted after a bounded wait, and dropped at max wait.
 	AdmissionAdmitted, AdmissionDelayed, AdmissionShed uint64
+	// Parked is the number of signatures whose threshold crossing is
+	// currently deferred because the hub does not hold the quorum lease
+	// (cluster mode with leases only; see ClusterBinding.MayArm).
+	Parked int
 }
 
 // hubMetrics bundles the registry instruments the Exchange hot paths
@@ -118,6 +122,8 @@ type hubMetrics struct {
 	fenced         *metrics.Counter
 	replicaRecords *metrics.Counter
 	handoffRecords *metrics.Counter
+	parkedArms     *metrics.Counter
+	parkedGauge    *metrics.Gauge
 	authFailures   *metrics.CounterVec
 	deviceSessions *metrics.Gauge
 	peerSessions   *metrics.Gauge
@@ -141,6 +147,8 @@ func newHubMetrics(reg *metrics.Registry) hubMetrics {
 		fenced:         reg.Counter("immunity_hub_fenced_total", "Stale peer arm-broadcasts refused by the membership fencing rule."),
 		replicaRecords: reg.Counter("immunity_hub_replica_records_total", "Deputy-replicated pending confirmation sets installed."),
 		handoffRecords: reg.Counter("immunity_hub_handoff_records_total", "Owned provenance records imported via ownership handoff."),
+		parkedArms:     reg.Counter("immunity_hub_parked_arms_total", "Threshold crossings deferred because the hub did not hold the quorum lease."),
+		parkedGauge:    reg.Gauge("immunity_hub_parked_arms", "Signatures currently parked at threshold awaiting the quorum lease."),
 		authFailures:   reg.CounterVec("immunity_hub_auth_failures_total", "Sessions refused by authentication, by reason.", "reason"),
 		deviceSessions: reg.Gauge("immunity_hub_device_sessions", "Devices currently attached by hello."),
 		peerSessions:   reg.Gauge("immunity_hub_peer_sessions", "Peer hubs currently attached by peer-hello."),
@@ -272,6 +280,19 @@ type ClusterBinding interface {
 	// hub with an address is admitted into the membership, a down-marked
 	// hub is revived. Called without Exchange.mu held.
 	PeerSeen(hub, addr string)
+	// MayArm reports whether this hub currently holds the right to take
+	// a fresh arming decision — true always without a quorum lease,
+	// else only while the lease is held. The Exchange consults it at
+	// every threshold crossing; when false the decision parks (the hub
+	// degrades to read-only forwarding and confirmation counting) until
+	// LeaseChanged(true) replays the parked set. Pure and lock-cheap:
+	// called with Exchange.mu held on the report hot path.
+	MayArm() bool
+	// HandleProbe routes one probe or lease frame (wire.TypePing,
+	// TypePingAck, TypeLease, TypeLeaseAck) that arrived on a registered
+	// peer session. Called without Exchange.mu held — the node may send
+	// replies synchronously from inside it.
+	HandleProbe(m wire.Message)
 }
 
 // Exchange is the fleet hub. It holds no references to device Services —
@@ -321,6 +342,12 @@ type Exchange struct {
 	forwards       uint64
 	remoteInstalls uint64
 	fenced         uint64
+	// parked holds the keys whose fresh arming decision was refused by
+	// MayArm (quorum lease lost on a minority partition side): their
+	// confirmation sets keep growing, but the threshold crossing is
+	// deferred until LeaseChanged(true) re-scans the set. Keys leave the
+	// set by arming (locally on unpark, or via a peer's arm-broadcast).
+	parked map[string]bool
 
 	// persistMu serializes provenance-store appends in mutation order;
 	// acquired while still holding mu, released after the write (same
@@ -469,6 +496,7 @@ func NewExchange(confirmThreshold int, opts ...ExchangeOption) (*Exchange, error
 		entries:   make(map[string]*fleetSig),
 		conns:     make(map[string]*Conn),
 		peers:     make(map[string]*Conn),
+		parked:    make(map[string]bool),
 		gen:       hex.EncodeToString(nonce[:]),
 	}
 	for _, opt := range opts {
@@ -962,6 +990,16 @@ func (c *Conn) Handle(m wire.Message) error {
 		}
 		c.hub.applyMemberUpdate(*m.Member)
 		return nil
+	case wire.TypePing, wire.TypePingAck, wire.TypeLease, wire.TypeLeaseAck:
+		if peerHub == "" {
+			return c.refuse("%s before peer-hello", m.Type)
+		}
+		// Routed outside Exchange.mu: the node answers probes and grants
+		// leases from its own state and may send replies synchronously.
+		if cluster := c.hub.clusterBinding(); cluster != nil {
+			cluster.HandleProbe(m)
+		}
+		return nil
 	default:
 		return c.refuse("unexpected client message type %q", m.Type)
 	}
@@ -1393,12 +1431,21 @@ func (x *Exchange) reportFrom(tenant, device string, sigs []*core.Signature, hop
 			e.confirmedBy[device] = true
 			x.confirms++
 			x.met.confirms.Inc()
-			if !e.armed && len(e.confirmedBy) >= threshold {
+			if !e.armed && len(e.confirmedBy) >= threshold && x.mayArmLocked() {
 				x.armLocked(e)
 				if x.cluster != nil && e.owner == x.selfID {
 					broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
 						Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
 						Tenant: e.tenant})
+				}
+			} else if !e.armed && len(e.confirmedBy) >= threshold {
+				// At threshold without the quorum lease (minority partition
+				// side): park the decision — the set keeps growing and
+				// replicating, and LeaseChanged(true) arms it later.
+				x.parkLocked(key)
+				if x.cluster != nil && e.owner == x.selfID {
+					replKeys = append(replKeys, key)
+					replRecs = append(replRecs, ownedRecordLocked(e))
 				}
 			} else if x.cluster != nil && !e.armed && e.owner == x.selfID {
 				// Pending owned confirmation: copy the full set to the
@@ -1466,6 +1513,11 @@ func (x *Exchange) pushArmedLocked(e *fleetSig) {
 	x.epoch++
 	e.armEpoch = x.epoch
 	x.met.armed.Inc()
+	if len(x.parked) > 0 {
+		// Arming from any path (remote install, handoff, unpark) settles
+		// a parked decision for the same key.
+		x.unparkLocked(tenantKey(e.tenant, e.sig.Key()))
+	}
 	d := wire.NewShared(wire.Message{Type: wire.TypeDelta,
 		Delta: &wire.Delta{Epoch: x.epoch, Sigs: []wire.Signature{e.ws}}})
 	for _, conn := range x.conns {
@@ -1651,10 +1703,14 @@ func (x *Exchange) InstallReplica(owner string, recs []wire.OwnedRecord) error {
 		}
 		x.met.replicaRecords.Inc()
 		if e.owner == x.selfID && !e.armed && len(e.confirmedBy) >= x.thresholdFor(e.tenant) {
-			x.armLocked(e)
-			broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
-				Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
-				Tenant: e.tenant})
+			if x.mayArmLocked() {
+				x.armLocked(e)
+				broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
+					Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
+					Tenant: e.tenant})
+			} else {
+				x.parkLocked(d.key)
+			}
 		}
 		dirty = append(dirty, x.recordLocked(d.key, e))
 	}
@@ -1698,15 +1754,26 @@ func (x *Exchange) ImportOwned(from string, recs []wire.OwnedRecord) error {
 			prevOwner := e.owner
 			e.owner = x.selfID
 			switch {
-			case !e.armed && (d.rec.Armed || len(e.confirmedBy) >= x.thresholdFor(e.tenant)):
-				// Either the previous owner armed it and died before every
-				// peer saw the broadcast, or the merged set crosses the
-				// threshold here: arm under this owner's seq and tell the
-				// cluster.
+			case !e.armed && d.rec.Armed:
+				// The previous owner armed it and died before every peer saw
+				// the broadcast: installing its decision is not a fresh one,
+				// so the quorum lease does not gate it — arm under this
+				// owner's seq and tell the cluster.
 				x.armLocked(e)
 				broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
 					Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
 					Tenant: e.tenant})
+			case !e.armed && len(e.confirmedBy) >= x.thresholdFor(e.tenant):
+				// The merged set crosses the threshold here: a fresh
+				// decision, taken only under the lease.
+				if x.mayArmLocked() {
+					x.armLocked(e)
+					broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
+						Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
+						Tenant: e.tenant})
+				} else {
+					x.parkLocked(d.key)
+				}
 			case e.armed && prevOwner != x.selfID:
 				// Already armed here as a replica; adopting ownership moves
 				// the arming into this owner's seq namespace so peer
@@ -1765,10 +1832,18 @@ func (x *Exchange) RebindOwnership() map[string][]wire.OwnedRecord {
 			} else {
 				e.ownerSeq = 0
 				if len(e.confirmedBy) >= x.thresholdFor(e.tenant) {
-					x.armLocked(e)
-					broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
-						Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
-						Tenant: e.tenant})
+					// Promotion arming (the deputy assuming a dead owner's
+					// keys) is a fresh decision: only under the lease. Safe
+					// against the deposed owner's residual lease because the
+					// suspicion window outlives the lease TTL.
+					if x.mayArmLocked() {
+						x.armLocked(e)
+						broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
+							Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
+							Tenant: e.tenant})
+					} else {
+						x.parkLocked(key)
+					}
 				}
 			}
 			dirty = append(dirty, x.recordLocked(key, e))
@@ -1786,6 +1861,92 @@ func (x *Exchange) RebindOwnership() map[string][]wire.OwnedRecord {
 	x.mu.Unlock()
 	persist()
 	return handoffs
+}
+
+// mayArmLocked asks the cluster binding whether a fresh arming
+// decision is currently allowed — true outside a cluster or without a
+// quorum lease. Caller holds x.mu; the binding's answer is one atomic
+// load.
+func (x *Exchange) mayArmLocked() bool {
+	return x.cluster == nil || x.cluster.MayArm()
+}
+
+// parkLocked defers a threshold crossing until the lease returns.
+// Caller holds x.mu.
+func (x *Exchange) parkLocked(key string) {
+	if !x.parked[key] {
+		x.parked[key] = true
+		x.met.parkedArms.Inc()
+		x.met.parkedGauge.Set(int64(len(x.parked)))
+	}
+}
+
+// unparkLocked settles a parked decision (the key armed, or no longer
+// qualifies). Caller holds x.mu.
+func (x *Exchange) unparkLocked(key string) {
+	if x.parked[key] {
+		delete(x.parked, key)
+		x.met.parkedGauge.Set(int64(len(x.parked)))
+	}
+}
+
+// clusterBinding reads the bound cluster node (nil outside a
+// federation).
+func (x *Exchange) clusterBinding() ClusterBinding {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.cluster
+}
+
+// LeaseChanged is the cluster node's notification that the quorum
+// lease was acquired (held=true) or lost (held=false). On acquisition
+// the hub re-scans the parked set and arms every entry that still
+// qualifies — this hub's pending decisions deferred while it sat on
+// the minority side of a partition; entries that armed meanwhile via a
+// peer broadcast, or moved to another owner, simply unpark. On loss
+// there is nothing to do: the parked set only grows via the arm-path
+// gates. Called without x.mu held.
+func (x *Exchange) LeaseChanged(held bool) {
+	if !held {
+		return
+	}
+	x.mu.Lock()
+	if x.closed || len(x.parked) == 0 {
+		x.mu.Unlock()
+		return
+	}
+	keys := make([]string, 0, len(x.parked))
+	for key := range x.parked {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var dirty []ProvenanceRecord
+	var broadcasts []*wire.ArmBroadcast
+	for _, key := range keys {
+		e, ok := x.entries[key]
+		if !ok || e.armed {
+			x.unparkLocked(key)
+			continue
+		}
+		if !x.mayArmLocked() {
+			break // the lease flapped away mid-scan; the rest stays parked
+		}
+		if len(e.confirmedBy) < x.thresholdFor(e.tenant) {
+			x.unparkLocked(key) // no longer qualifies (it never should shrink, but stay safe)
+			continue
+		}
+		x.armLocked(e)
+		if x.cluster != nil && e.owner == x.selfID {
+			broadcasts = append(broadcasts, &wire.ArmBroadcast{Owner: x.selfID, Seq: e.ownerSeq,
+				Confirmations: len(e.confirmedBy), Sig: e.ws, Fence: x.cluster.Epoch(),
+				Tenant: e.tenant})
+		}
+		dirty = append(dirty, x.recordLocked(key, e))
+	}
+	x.broadcastArmsLocked(broadcasts)
+	persist := x.persistHandoffLocked(dirty)
+	x.mu.Unlock()
+	persist()
 }
 
 // applyMemberUpdate forwards a peer's membership snapshot to the
@@ -1993,6 +2154,7 @@ func (x *Exchange) Stats() ExchangeStats {
 		AdmissionAdmitted: x.admit.Admitted(),
 		AdmissionDelayed:  x.admit.Delayed(),
 		AdmissionShed:     x.admit.Shed(),
+		Parked:            len(x.parked),
 	}
 }
 

@@ -36,6 +36,8 @@ func (s *stubBinding) ForwardReport(string, string, []wire.Signature, []string, 
 func (s *stubBinding) Replicate(string, wire.OwnedRecord)                            {}
 func (s *stubBinding) ApplyMemberUpdate(wire.MemberUpdate)                           {}
 func (s *stubBinding) PeerSeen(string, string)                                       {}
+func (s *stubBinding) MayArm() bool                                                  { return true }
+func (s *stubBinding) HandleProbe(wire.Message)                                      {}
 
 func fenceSig(id int) wire.Signature {
 	a := core.Frame{Class: "com.app.Fence", Method: "lockA", Line: 10 + id*100}

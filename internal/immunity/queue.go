@@ -83,6 +83,18 @@ type QueueConfig[T any] struct {
 	// failed item at the front and parks the drain until Resume.
 	RetryOnError bool
 
+	// Cap, when positive, bounds the queue: an Enqueue that would grow
+	// the depth (queued + in-flight) past Cap first spills the oldest
+	// queued items, handing each to OnDrop. Retry-mode outboxes use it
+	// so a long partition costs bounded memory instead of an unbounded
+	// backlog; receiver-side dedup plus the device tier's full-history
+	// re-report on reconnect restore at-least-once delivery for what
+	// was spilled. The newest item is never spilled.
+	Cap int
+	// OnDrop, when set, observes each item spilled by Cap, outside the
+	// queue lock.
+	OnDrop func(T)
+
 	// Depth and InFlight, when set, track this queue's item counts live
 	// as gauge deltas: Depth counts queued + in-flight items (what
 	// Pending reports), InFlight counts only the batch the drain has
@@ -105,15 +117,28 @@ func NewQueue[T any](cfg QueueConfig[T]) *Queue[T] {
 	return q
 }
 
-// Enqueue appends an item. Never blocks.
+// Enqueue appends an item, spilling the oldest queued items when a Cap
+// is set and the depth would exceed it. Never blocks.
 func (q *Queue[T]) Enqueue(v T) {
+	var dropped []T
 	q.mu.Lock()
 	if !q.closed {
 		q.queue = append(q.queue, v)
+		if q.cfg.Cap > 0 {
+			for len(q.queue)+q.inFlight > q.cfg.Cap && len(q.queue) > 1 {
+				dropped = append(dropped, q.queue[0])
+				q.queue = q.queue[1:]
+			}
+		}
 		q.syncGaugesLocked()
 		q.cond.Signal()
 	}
 	q.mu.Unlock()
+	if q.cfg.OnDrop != nil {
+		for _, d := range dropped {
+			q.cfg.OnDrop(d)
+		}
+	}
 }
 
 // Resume un-parks a retry-mode drain after its session was replaced;

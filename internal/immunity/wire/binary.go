@@ -51,6 +51,10 @@ const (
 	binMemberUpdate
 	binHandoff
 	binReplicate
+	binPing
+	binPingAck
+	binLease
+	binLeaseAck
 )
 
 // typeCode maps a message type to its binary code.
@@ -84,6 +88,14 @@ func typeCode(t Type) (byte, bool) {
 		return binHandoff, true
 	case TypeReplicate:
 		return binReplicate, true
+	case TypePing:
+		return binPing, true
+	case TypePingAck:
+		return binPingAck, true
+	case TypeLease:
+		return binLease, true
+	case TypeLeaseAck:
+		return binLeaseAck, true
 	}
 	return 0, false
 }
@@ -119,6 +131,14 @@ func codeType(c byte) (Type, bool) {
 		return TypeHandoff, true
 	case binReplicate:
 		return TypeReplicate, true
+	case binPing:
+		return TypePing, true
+	case binPingAck:
+		return TypePingAck, true
+	case binLease:
+		return TypeLease, true
+	case binLeaseAck:
+		return TypeLeaseAck, true
 	}
 	return "", false
 }
@@ -364,6 +384,24 @@ func appendBinary(dst []byte, m Message) ([]byte, error) {
 	case TypeReplicate:
 		b = appendStr(b, m.Replicate.Owner)
 		b = appendOwnedRecords(b, m.Replicate.Records)
+	case TypePing:
+		b = appendStr(b, m.Ping.From)
+		b = appendStr(b, m.Ping.Target)
+		b = appendU64(b, m.Ping.Seq)
+	case TypePingAck:
+		b = appendStr(b, m.PingAck.From)
+		b = appendStr(b, m.PingAck.Target)
+		b = appendU64(b, m.PingAck.Seq)
+		b = appendBool(b, m.PingAck.OK)
+	case TypeLease:
+		b = appendStr(b, m.Lease.From)
+		b = appendU64(b, m.Lease.Epoch)
+		b = appendU64(b, m.Lease.Seq)
+	case TypeLeaseAck:
+		b = appendStr(b, m.LeaseAck.From)
+		b = appendU64(b, m.LeaseAck.Epoch)
+		b = appendU64(b, m.LeaseAck.Seq)
+		b = appendBool(b, m.LeaseAck.OK)
 	}
 	return b, nil
 }
@@ -654,6 +692,14 @@ func DecodeBinary(b []byte) (Message, error) {
 		m.Handoff = &Handoff{From: d.str(), Records: d.ownedRecords()}
 	case TypeReplicate:
 		m.Replicate = &Replicate{Owner: d.str(), Records: d.ownedRecords()}
+	case TypePing:
+		m.Ping = &Ping{From: d.str(), Target: d.str(), Seq: d.u64()}
+	case TypePingAck:
+		m.PingAck = &PingAck{From: d.str(), Target: d.str(), Seq: d.u64(), OK: d.bool()}
+	case TypeLease:
+		m.Lease = &Lease{From: d.str(), Epoch: d.u64(), Seq: d.u64()}
+	case TypeLeaseAck:
+		m.LeaseAck = &LeaseAck{From: d.str(), Epoch: d.u64(), Seq: d.u64(), OK: d.bool()}
 	}
 	if d.err != nil {
 		return Message{}, d.err

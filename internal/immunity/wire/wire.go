@@ -72,6 +72,30 @@
 //	                                                        set, so arming survives an
 //	                                                        owner crash
 //
+// # Probe and lease messages (partition-tolerant ownership, v6)
+//
+// Four more peer messages make ownership partition-safe (all require a
+// negotiated version >= ProbeVersion):
+//
+//	type            direction       payload                 purpose
+//	----            ---------       -------                 -------
+//	ping            both            from, target, seq       SWIM failure-detector probe:
+//	                                                        direct (target == receiver) or
+//	                                                        an indirect probe request the
+//	                                                        receiver relays through its own
+//	                                                        link to target
+//	ping-ack        both            from, target, seq, ok   probe answer / relayed verdict
+//	lease           both            from, epoch, seq        quorum-lease renewal: countersign
+//	                                                        the sender's right to arm
+//	ack             both            from, epoch, seq, ok    grant, or refusal carrying the
+//	                                                        granter's newer membership epoch
+//
+// A hub may arm owned signatures only while a majority of its
+// membership view (down members included in the denominator) has acked
+// a lease renewal within the lease TTL — two partition sides can never
+// both hold a quorum over the same member universe, so split-brain
+// arming is structurally impossible, not merely fenced after heal.
+//
 // Fencing: every arm-broadcast carries the sender's membership epoch
 // (`fence`). A receiver refuses a broadcast whose fence is older than
 // its own membership epoch unless the sender still owns the signature
@@ -111,6 +135,11 @@
 //	             provenance records, per-tenant status view. A hub with
 //	             auth disabled ignores the token, so v≤4 interop is
 //	             unchanged wherever auth is off
+//	6   binary   partition-tolerant ownership: ping/ping-ack failure
+//	             probes and lease/lease-ack quorum renewals. Links
+//	             negotiated lower never carry them — their peers are
+//	             judged by session liveness and counted as lease
+//	             granters, the pre-v6 trust model
 //
 // The negotiation rules, applied by both ends:
 //
@@ -180,11 +209,17 @@ import (
 // advertised range (a bare v1 hello advertises exactly its envelope
 // version).
 const (
-	Version    = 5
+	Version    = 6
 	MinVersion = 1
 	// PeerVersion is the minimum negotiated version for the peer message
 	// set (hub federation).
 	PeerVersion = 2
+	// ProbeVersion is the minimum negotiated version for the probe and
+	// lease peer messages (ping, ping-ack, lease, lease-ack). A link
+	// negotiated lower never carries them: its peer is probed by the
+	// legacy session-liveness signal and counted as granting leases
+	// (staged-rollout trust).
+	ProbeVersion = 6
 	// AuthVersion is the version that introduced the authenticated
 	// multi-tenant fabric (hello token, tenant-scoped peer messages).
 	// The hello token itself travels in the pre-negotiation JSON hello,
@@ -257,6 +292,13 @@ const (
 	TypeMemberUpdate Type = "member-update"
 	TypeHandoff      Type = "handoff"
 	TypeReplicate    Type = "replicate"
+
+	// The probe/lease message set (partition-tolerant ownership);
+	// requires ProbeVersion.
+	TypePing     Type = "ping"
+	TypePingAck  Type = "ping-ack"
+	TypeLease    Type = "lease"
+	TypeLeaseAck Type = "lease-ack"
 )
 
 // Message is the envelope: the version, the type, and exactly the one
@@ -280,6 +322,11 @@ type Message struct {
 	Member    *MemberUpdate `json:"member,omitempty"`
 	Handoff   *Handoff      `json:"handoff,omitempty"`
 	Replicate *Replicate    `json:"replicate,omitempty"`
+
+	Ping     *Ping     `json:"ping,omitempty"`
+	PingAck  *PingAck  `json:"ping_ack,omitempty"`
+	Lease    *Lease    `json:"lease,omitempty"`
+	LeaseAck *LeaseAck `json:"lease_ack,omitempty"`
 }
 
 // Hello subscribes a device. Epoch is the fleet delta epoch the device
@@ -481,6 +528,55 @@ type Replicate struct {
 	Records []OwnedRecord `json:"records"`
 }
 
+// Ping (v6) is one failure-detector probe. From is the probing hub.
+// When Target equals the receiver's id the ping is direct and the
+// receiver answers with a ping-ack over its own link to From. When
+// Target names a third hub the ping is an indirect probe request
+// (SWIM's ping-req): the receiver probes Target over its own link and
+// relays the verdict back to From — which is what keeps one stalled
+// TCP link from reading as a dead hub. Seq matches acks to probes; it
+// is meaningful only to the hub that issued it.
+type Ping struct {
+	From   string `json:"from"`
+	Target string `json:"target"`
+	Seq    uint64 `json:"seq"`
+}
+
+// PingAck (v6) answers a ping. From is the answering hub, Target the
+// hub whose liveness is being vouched for (== From for a direct ack;
+// the probed third hub for a relayed indirect verdict), and Seq echoes
+// the probe's Seq. OK is false only on a relayed verdict whose proxy
+// probe timed out.
+type PingAck struct {
+	From   string `json:"from"`
+	Target string `json:"target"`
+	Seq    uint64 `json:"seq"`
+	OK     bool   `json:"ok"`
+}
+
+// Lease (v6) asks a peer to countersign the sender's quorum lease: the
+// sender may arm owned signatures and accept handoffs only while a
+// majority of the membership view has acked a lease renewal within the
+// lease TTL. Epoch is the sender's membership epoch — a granter with a
+// newer view refuses, which keeps a healed-but-stale hub parked until
+// it has merged the partition-era membership changes. Seq matches acks
+// to renewals.
+type Lease struct {
+	From  string `json:"from"`
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+}
+
+// LeaseAck (v6) answers a lease renewal. OK grants; a refusal carries
+// the granter's own Epoch so the requester knows it is behind on
+// membership rather than partitioned.
+type LeaseAck struct {
+	From  string `json:"from"`
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+	OK    bool   `json:"ok"`
+}
+
 // Status is the hub's observability snapshot.
 type Status struct {
 	Epoch      uint64      `json:"epoch"`
@@ -647,7 +743,8 @@ func (m Message) Validate() error {
 	for _, p := range []bool{m.Hello != nil, m.Ack != nil, m.Report != nil,
 		m.Confirm != nil, m.Delta != nil, m.Status != nil,
 		m.PeerHello != nil, m.Forward != nil, m.FwdConfirm != nil, m.Arm != nil,
-		m.Member != nil, m.Handoff != nil, m.Replicate != nil} {
+		m.Member != nil, m.Handoff != nil, m.Replicate != nil,
+		m.Ping != nil, m.PingAck != nil, m.Lease != nil, m.LeaseAck != nil} {
 		if p {
 			payloads++
 		}
@@ -688,6 +785,14 @@ func (m Message) Validate() error {
 		return want(m.Handoff != nil)
 	case TypeReplicate:
 		return want(m.Replicate != nil)
+	case TypePing:
+		return want(m.Ping != nil)
+	case TypePingAck:
+		return want(m.PingAck != nil)
+	case TypeLease:
+		return want(m.Lease != nil)
+	case TypeLeaseAck:
+		return want(m.LeaseAck != nil)
 	case TypeStatusReq:
 		if payloads != 0 {
 			return fmt.Errorf("wire message %s: unexpected payload", m.Type)

@@ -22,7 +22,7 @@ func TestWireVersionMatrix(t *testing.T) {
 		hubPin, clientPin    int // 0 = newest
 		want                 int
 	}{
-		{"v5-hub_v5-client", 0, 0, 5},
+		{"v6-hub_v6-client", 0, 0, 6},
 		{"v4-hub_v4-client", 4, 4, 4},
 		{"v3-hub_v2-client", 0, 2, 2},
 		{"v3-hub_v1-client", 0, 1, 1},
